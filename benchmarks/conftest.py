@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark harness.
+
+Every file in this directory regenerates one of the paper's tables or
+figures (see DESIGN.md's per-experiment index).  Benchmarks print the
+regenerated rows/series so `pytest benchmarks/ --benchmark-only -s`
+doubles as the reproduction report; EXPERIMENTS.md records a captured
+run against the paper's numbers.
+"""
+
+import pytest
+
+from repro.store import PerfConfig
+
+# Scaled-down but shape-preserving simulation parameters: the paper runs
+# 90 s per point on AWS; we run 4 simulated seconds per point.
+BENCH_PERF_CONFIG = PerfConfig(duration_ms=4_000.0, warmup_ms=500.0)
+CLIENT_COUNTS = (1, 8, 32, 96, 192)
+
+
+@pytest.fixture(scope="session")
+def perf_config():
+    return BENCH_PERF_CONFIG

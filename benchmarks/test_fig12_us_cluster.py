@@ -1,0 +1,71 @@
+"""Figure 12: throughput/latency vs clients on the US cluster.
+
+Three sub-figures -- SmallBank (a), SEATS (b), TPC-C (c) -- each with the
+four configurations EC / AT-EC / SC / AT-SC.  The assertions pin the
+qualitative claims of Section 7.2:
+
+- SC costs dramatically more than EC (lower throughput, higher latency);
+- AT-EC tracks EC (the refactoring itself is nearly free under EC);
+- AT-SC lands between, beating SC on both axes.
+"""
+
+import pytest
+
+from repro.corpus import SEATS, SMALLBANK, TPCC
+from repro.exp import run_perf_sweep
+from repro.exp.reporting import format_series
+from repro.store import US_CLUSTER
+
+from conftest import BENCH_PERF_CONFIG, CLIENT_COUNTS
+
+BENCHES = {b.name: b for b in (SMALLBANK, SEATS, TPCC)}
+
+_sweeps = {}
+
+
+def _run(bench):
+    return run_perf_sweep(
+        bench,
+        US_CLUSTER,
+        client_counts=CLIENT_COUNTS,
+        config=BENCH_PERF_CONFIG,
+        scale=12,
+    )
+
+
+@pytest.mark.parametrize("name", list(BENCHES), ids=list(BENCHES))
+def test_fig12_sweep(benchmark, name):
+    sweep = benchmark.pedantic(_run, args=(BENCHES[name],), rounds=1, iterations=1)
+    _sweeps[name] = sweep
+    ec = sweep.series["EC"].points[-1]
+    sc = sweep.series["SC"].points[-1]
+    at_ec = sweep.series["AT-EC"].points[-1]
+    at_sc = sweep.series["AT-SC"].points[-1]
+    assert ec.throughput > sc.throughput
+    assert ec.avg_latency_ms < sc.avg_latency_ms
+    assert at_ec.throughput >= ec.throughput * 0.9  # "negligible overhead"
+    assert at_sc.throughput > sc.throughput          # the headline gain
+    assert at_sc.avg_latency_ms < sc.avg_latency_ms
+
+
+def test_print_fig12_report():
+    if not _sweeps:
+        pytest.skip("sweeps not collected")
+    print()
+    gains, cuts = [], []
+    for name, sweep in _sweeps.items():
+        print(f"Figure 12 ({name}, US cluster) -- txn/s then ms by clients")
+        for mode in ("EC", "AT-EC", "SC", "AT-SC"):
+            series = sweep.series[mode]
+            print(" ", format_series(f"{mode} thr", sweep.client_counts, series.throughputs()))
+            print(" ", format_series(f"{mode} lat", sweep.client_counts, series.latencies()))
+        gains.append(sweep.gain_at_peak())
+        cuts.append(sweep.latency_reduction_at_peak())
+        print(
+            f"  AT-SC vs SC at peak: +{sweep.gain_at_peak():.0%} throughput, "
+            f"-{sweep.latency_reduction_at_peak():.0%} latency"
+        )
+    print(
+        f"average: +{sum(gains)/len(gains):.0%} throughput (paper +120%), "
+        f"-{sum(cuts)/len(cuts):.0%} latency (paper -45%)"
+    )

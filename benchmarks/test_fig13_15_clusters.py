@@ -1,0 +1,67 @@
+"""Figures 13-15: the same sweeps across VA / US / Global clusters.
+
+The appendix figures repeat SmallBank, SEATS, and TPC-C on a single-DC
+cluster (VA) and a globally distributed one (N. Virginia / London /
+Tokyo).  The key cross-cluster claim: the EC-vs-SC latency penalty grows
+with geographic spread, while EC (and AT-EC) latencies barely move.
+"""
+
+import pytest
+
+from repro.corpus import SEATS, SMALLBANK, TPCC
+from repro.exp import run_perf_sweep
+from repro.store import CLUSTERS
+
+from conftest import BENCH_PERF_CONFIG
+
+# Low client count so latency reflects topology rather than queueing.
+LOW_CLIENTS = (2, 16)
+BENCHES = (SMALLBANK, SEATS, TPCC)
+
+_results = {}
+
+
+def _run(bench, cluster):
+    return run_perf_sweep(
+        bench, cluster, client_counts=LOW_CLIENTS,
+        config=BENCH_PERF_CONFIG, scale=12,
+    )
+
+
+@pytest.mark.parametrize("bench", BENCHES, ids=[b.name for b in BENCHES])
+@pytest.mark.parametrize("cluster_name", list(CLUSTERS), ids=list(CLUSTERS))
+def test_cluster_sweep(benchmark, bench, cluster_name):
+    cluster = CLUSTERS[cluster_name]
+    sweep = benchmark.pedantic(_run, args=(bench, cluster), rounds=1, iterations=1)
+    _results[(bench.name, cluster_name)] = sweep
+    sc = sweep.series["SC"].points[0]
+    ec = sweep.series["EC"].points[0]
+    assert sc.avg_latency_ms > ec.avg_latency_ms
+
+
+@pytest.mark.parametrize("bench", BENCHES, ids=[b.name for b in BENCHES])
+def test_sc_penalty_grows_with_distance(bench):
+    needed = [(bench.name, c) for c in ("VA", "US", "Global")]
+    if not all(k in _results for k in needed):
+        pytest.skip("cluster sweeps not collected")
+
+    def sc_latency(cluster):
+        return _results[(bench.name, cluster)].series["SC"].points[0].avg_latency_ms
+
+    assert sc_latency("VA") < sc_latency("US") < sc_latency("Global")
+
+
+def test_print_cluster_report():
+    if not _results:
+        pytest.skip("no sweeps collected")
+    print()
+    print("Figures 13-15: SC latency at 2 clients (ms) per cluster")
+    for bench in BENCHES:
+        row = []
+        for cluster in ("VA", "US", "Global"):
+            sweep = _results.get((bench.name, cluster))
+            if sweep:
+                ec = sweep.series["EC"].points[0].avg_latency_ms
+                sc = sweep.series["SC"].points[0].avg_latency_ms
+                row.append(f"{cluster}: EC {ec:.1f} / SC {sc:.1f}")
+        print(f"  {bench.name:10s} " + " | ".join(row))

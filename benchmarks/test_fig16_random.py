@@ -1,0 +1,45 @@
+"""Figure 16 / Appendix A.3: random refactoring vs oracle-guided repair.
+
+For the three largest-anomaly-count benchmarks, run rounds of random
+refactorings and compare anomaly counts against Atropos's result.  The
+paper's finding: random search essentially never reduces the count and
+never reaches the oracle-guided result.
+"""
+
+import pytest
+
+from repro.corpus import SEATS, SMALLBANK, TPCC
+from repro.exp import run_random_search
+
+BENCHES = (SMALLBANK, SEATS, TPCC)
+
+_results = {}
+
+
+@pytest.mark.parametrize("bench", BENCHES, ids=[b.name for b in BENCHES])
+def test_fig16_random_search(benchmark, bench):
+    result = benchmark.pedantic(
+        run_random_search,
+        args=(bench,),
+        kwargs={"rounds": 6, "refactorings_per_round": 8, "seed": 42},
+        rounds=1,
+        iterations=1,
+    )
+    _results[bench.name] = result
+    # Atropos strictly beats the best random round.
+    assert result.atropos_count < result.initial_count
+    assert result.atropos_count <= result.best_random
+    # Random refactorings at best scratch the surface.
+    assert result.best_random >= result.initial_count * 0.5
+
+
+def test_print_fig16_report():
+    if not _results:
+        pytest.skip("no results collected")
+    print()
+    print("Figure 16: anomaly counts -- random rounds vs Atropos")
+    for name, result in _results.items():
+        print(
+            f"  {name:10s} initial={result.initial_count:3d} "
+            f"random={result.round_counts} atropos={result.atropos_count}"
+        )

@@ -1,0 +1,61 @@
+"""Performance study (Section 7.2, Figures 12-15) on the simulator.
+
+Sweeps closed-loop clients over the US cluster for SmallBank, SEATS and
+TPC-C in the four configurations, then shows the cross-cluster latency
+effect (VA vs US vs Global).
+
+Run:  python examples/perf_study.py            (about a minute)
+      python examples/perf_study.py --fast     (seconds, coarser grid)
+"""
+
+import sys
+
+from repro.corpus import SEATS, SMALLBANK, TPCC
+from repro.exp import run_perf_sweep
+from repro.exp.reporting import format_series
+from repro.store import CLUSTERS, PerfConfig, US_CLUSTER
+
+
+def sweep_us_cluster(fast: bool) -> None:
+    clients = (1, 8, 32) if fast else (1, 8, 32, 96, 192)
+    config = PerfConfig(duration_ms=2000 if fast else 6000, warmup_ms=400)
+    gains, cuts = [], []
+    for bench in (SMALLBANK, SEATS, TPCC):
+        sweep = run_perf_sweep(
+            bench, US_CLUSTER, client_counts=clients, config=config, scale=12
+        )
+        print(f"== {bench.name} on the US cluster ==")
+        for mode in ("EC", "AT-EC", "SC", "AT-SC"):
+            series = sweep.series[mode]
+            print(" ", format_series(f"{mode:5s} txn/s", clients, series.throughputs()))
+        gains.append(sweep.gain_at_peak())
+        cuts.append(sweep.latency_reduction_at_peak())
+        print(f"  AT-SC vs SC: +{gains[-1]:.0%} throughput, -{cuts[-1]:.0%} latency")
+        print()
+    print(f"average over the three benchmarks: "
+          f"+{sum(gains)/3:.0%} throughput (paper: +120%), "
+          f"-{sum(cuts)/3:.0%} latency (paper: -45%)")
+
+
+def sweep_clusters(fast: bool) -> None:
+    config = PerfConfig(duration_ms=1500, warmup_ms=300)
+    print()
+    print("== cross-cluster SC latency (2 clients, SmallBank) ==")
+    for name, cluster in CLUSTERS.items():
+        sweep = run_perf_sweep(
+            SMALLBANK, cluster, client_counts=(2,), config=config, scale=8
+        )
+        ec = sweep.series["EC"].points[0].avg_latency_ms
+        sc = sweep.series["SC"].points[0].avg_latency_ms
+        print(f"  {name:7s} EC {ec:7.1f} ms   SC {sc:7.1f} ms   "
+              f"penalty x{sc / ec:.1f}")
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    sweep_us_cluster(fast)
+    sweep_clusters(fast)
+
+
+if __name__ == "__main__":
+    main()

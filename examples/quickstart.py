@@ -1,0 +1,45 @@
+"""Quickstart: detect and repair serializability anomalies in 30 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import detect_anomalies, parse_program, print_program, repair
+
+# A tiny account service: the read-then-write pattern races with itself
+# (lost update), and the two-table read can observe fractured state.
+SOURCE = """
+schema ACCOUNT { key acc_id; field balance; }
+schema AUDIT   { key acc_id; field last_amount; }
+
+txn deposit(id, amount) {
+  x := select balance from ACCOUNT where acc_id = id;
+  update ACCOUNT set balance = x.balance + amount where acc_id = id;
+  update AUDIT set last_amount = amount where acc_id = id;
+}
+
+txn statement(id) {
+  a := select balance from ACCOUNT where acc_id = id;
+  b := select last_amount from AUDIT where acc_id = id;
+  return a.balance + b.last_amount;
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+
+    print("== anomalous access pairs under eventual consistency ==")
+    for pair in detect_anomalies(program):
+        print(" ", pair.describe(), "via", ", ".join(pair.interferers))
+
+    report = repair(program)
+    print()
+    print("== repair summary ==")
+    print(report.summary())
+    print()
+    print("== repaired program ==")
+    print(print_program(report.repaired_program))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""SmallBank case study (Section 7.1 + Appendix A.2).
+
+Shows the three-way story on the banking benchmark:
+
+1. static analysis finds the anomaly set; repair fuses the satellite
+   balance tables into the account row and eliminates the fracture
+   pairs, while the check-then-zero pattern resists the logger rule
+   (the paper's residual 26%);
+2. the surviving transactions are pinned to serializable execution
+   (the AT-SC program);
+3. the dynamic invariant study: which application invariants are
+   violable under adversarial EC executions, before and after repair.
+
+Run:  python examples/smallbank_study.py
+"""
+
+from repro import detect_anomalies, print_program, repair
+from repro.corpus import SMALLBANK
+from repro.exp import run_invariant_study
+
+
+def main() -> None:
+    program = SMALLBANK.program()
+    print(f"SmallBank: {len(program.transactions)} transactions, "
+          f"{len(program.schemas)} tables")
+
+    report = repair(program)
+    print(f"anomalous pairs: {len(report.initial_pairs)} -> "
+          f"{len(report.residual_pairs)}")
+    print(f"tables: {[s.name for s in program.schemas]} -> "
+          f"{[s.name for s in report.repaired_program.schemas]}")
+
+    print()
+    print("residual (unrepairable) pairs -- the check-then-write shapes:")
+    for pair in report.residual_pairs[:8]:
+        print("  ", pair.describe())
+
+    at_sc = report.serializable_variant()
+    flagged = [t.name for t in at_sc.transactions if t.serializable]
+    print()
+    print(f"AT-SC pins these transactions to serializable execution: {flagged}")
+
+    print()
+    print("repaired Balance transaction (single atomic row read):")
+    print(print_program(report.repaired_program).split("txn Balance")[1].split("}")[0])
+
+    print()
+    print("== dynamic invariant study (Appendix A.2) ==")
+    study = run_invariant_study(samples=40)
+    for inv in ("nonnegative", "conservation", "joint-view"):
+        print(f"  {inv:13s} original={'VIOLABLE' if study.original[inv] else 'safe':9s}"
+              f" repaired={'VIOLABLE' if study.repaired[inv] else 'safe'}")
+    print()
+    print("(paper: original violates 3, repaired violates 1; our register-"
+          "based store cannot express the increment-negativity case, so the "
+          "original shows 2 -- see EXPERIMENTS.md)")
+
+
+if __name__ == "__main__":
+    main()

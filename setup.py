@@ -1,0 +1,16 @@
+"""Legacy installer shim.
+
+`pip install -e .` uses pyproject.toml; this file exists for environments
+whose setuptools predates PEP 660 editable installs (fall back to
+`python setup.py develop`).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,268 @@
+"""Command access summaries.
+
+The anomaly encoder does not work on raw ASTs; it works on per-command
+summaries: which table and fields a command reads and writes, how its
+where clause addresses records, and which earlier select feeds each
+update expression (the read-modify-write dataflow that the lost-update
+pattern and the logger refactoring both key on).
+
+Loops are summarised by their body (one unrolling) and both branches of
+conditionals are included -- the standard may-execute abstraction for
+static anomaly detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.lang import ast
+from repro.lang.traverse import (
+    expression_field_accesses,
+    iter_subexpressions,
+    where_expressions,
+)
+from repro.lang.validate import well_formed_where
+
+
+@dataclass(frozen=True)
+class CommandInfo:
+    """Static summary of one database command.
+
+    Attributes:
+        txn: owning transaction name.
+        label: command label within the transaction (``S1`` etc.).
+        kind: ``"select"``, ``"update"``, or ``"insert"``.
+        table: accessed table.
+        read_fields: fields the command observes -- where-clause fields
+            plus, for selects, the retrieved fields.
+        write_fields: fields the command writes (updates and inserts;
+            inserts include the implicit ``alive``).
+        key_exprs: ``key field -> expression`` when the where clause is
+            well-formed (Section 4.2.1), else None.  Inserts use their
+            key-field assignments.
+        var: result variable (selects only).
+        rmw_sources: for updates, ``assigned field -> {(var, source
+            field)}`` collected from ``at``-accesses in the assignment
+            expression; the lost-update pattern requires the assigned
+            field to be derived from a read of itself.
+        uuid_key: insert assigns ``uuid()`` to a key field, which makes
+            the inserted record fresh (it can never collide with another
+            instance's writes).
+        in_loop: the command sits inside an ``iterate`` body.
+        in_branch: the command sits inside an ``if`` body.
+    """
+
+    txn: str
+    label: str
+    kind: str
+    table: str
+    read_fields: Tuple[str, ...]
+    write_fields: Tuple[str, ...]
+    key_exprs: Optional[Tuple[Tuple[str, ast.Expr], ...]]
+    var: Optional[str] = None
+    rmw_sources: Tuple[Tuple[str, Tuple[Tuple[str, str], ...]], ...] = ()
+    uuid_key: bool = False
+    in_loop: bool = False
+    in_branch: bool = False
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in ("update", "insert")
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == "select"
+
+    def key_expr_map(self) -> Optional[Mapping[str, ast.Expr]]:
+        if self.key_exprs is None:
+            return None
+        return dict(self.key_exprs)
+
+    def rmw_map(self) -> Mapping[str, Set[Tuple[str, str]]]:
+        return {f: set(srcs) for f, srcs in self.rmw_sources}
+
+
+@dataclass(frozen=True)
+class TransactionSummary:
+    """All command summaries of one transaction, in program order."""
+
+    name: str
+    params: Tuple[str, ...]
+    commands: Tuple[CommandInfo, ...]
+    # var -> label of the select that binds it
+    bindings: Tuple[Tuple[str, str], ...]
+
+    def command(self, label: str) -> CommandInfo:
+        for info in self.commands:
+            if info.label == label:
+                return info
+        raise KeyError(f"{self.name}: no command labelled {label}")
+
+    def binding_of(self, var: str) -> Optional[str]:
+        for v, label in self.bindings:
+            if v == var:
+                return label
+        return None
+
+    def writes(self) -> Tuple[CommandInfo, ...]:
+        return tuple(c for c in self.commands if c.is_write)
+
+    def reads(self) -> Tuple[CommandInfo, ...]:
+        return tuple(c for c in self.commands if c.is_read)
+
+    def ordered_pairs(self) -> List[Tuple[CommandInfo, CommandInfo]]:
+        """All ordered distinct command pairs (c1 before c2)."""
+        out = []
+        for i in range(len(self.commands)):
+            for j in range(i + 1, len(self.commands)):
+                out.append((self.commands[i], self.commands[j]))
+        return out
+
+
+def summarize_transaction(
+    program: ast.Program, txn: ast.Transaction
+) -> TransactionSummary:
+    commands: List[CommandInfo] = []
+    bindings: List[Tuple[str, str]] = []
+
+    def walk(body: Sequence[ast.Command], in_loop: bool, in_branch: bool) -> None:
+        for cmd in body:
+            if isinstance(cmd, ast.Select):
+                info = _summarize_select(program, txn, cmd, in_loop, in_branch)
+                commands.append(info)
+                bindings.append((cmd.var, cmd.label))
+            elif isinstance(cmd, ast.Update):
+                commands.append(
+                    _summarize_update(program, txn, cmd, in_loop, in_branch)
+                )
+            elif isinstance(cmd, ast.Insert):
+                commands.append(
+                    _summarize_insert(program, txn, cmd, in_loop, in_branch)
+                )
+            elif isinstance(cmd, ast.If):
+                walk(cmd.body, in_loop, True)
+            elif isinstance(cmd, ast.Iterate):
+                walk(cmd.body, True, in_branch)
+
+    walk(txn.body, False, False)
+    return TransactionSummary(
+        name=txn.name,
+        params=txn.params,
+        commands=tuple(commands),
+        bindings=tuple(bindings),
+    )
+
+
+def summarize_program(program: ast.Program) -> Dict[str, TransactionSummary]:
+    """Summaries for every transaction, keyed by transaction name."""
+    return {
+        txn.name: summarize_transaction(program, txn)
+        for txn in program.transactions
+    }
+
+
+def _summarize_select(
+    program: ast.Program,
+    txn: ast.Transaction,
+    cmd: ast.Select,
+    in_loop: bool,
+    in_branch: bool,
+) -> CommandInfo:
+    schema = program.schema(cmd.table)
+    selected = cmd.selected_fields(schema)
+    read = _ordered_union(ast.where_fields(cmd.where), selected)
+    key_exprs = well_formed_where(schema, cmd.where)
+    return CommandInfo(
+        txn=txn.name,
+        label=cmd.label,
+        kind="select",
+        table=cmd.table,
+        read_fields=read,
+        write_fields=(),
+        key_exprs=tuple(sorted(key_exprs.items())) if key_exprs else None,
+        var=cmd.var,
+        in_loop=in_loop,
+        in_branch=in_branch,
+    )
+
+
+def _summarize_update(
+    program: ast.Program,
+    txn: ast.Transaction,
+    cmd: ast.Update,
+    in_loop: bool,
+    in_branch: bool,
+) -> CommandInfo:
+    schema = program.schema(cmd.table)
+    key_exprs = well_formed_where(schema, cmd.where)
+    rmw: List[Tuple[str, Tuple[Tuple[str, str], ...]]] = []
+    for f, expr in cmd.assignments:
+        sources = tuple(sorted(expression_field_accesses(expr)))
+        if sources:
+            rmw.append((f, sources))
+    return CommandInfo(
+        txn=txn.name,
+        label=cmd.label,
+        kind="update",
+        table=cmd.table,
+        read_fields=ast.where_fields(cmd.where),
+        write_fields=cmd.written_fields,
+        key_exprs=tuple(sorted(key_exprs.items())) if key_exprs else None,
+        rmw_sources=tuple(rmw),
+        in_loop=in_loop,
+        in_branch=in_branch,
+    )
+
+
+def _summarize_insert(
+    program: ast.Program,
+    txn: ast.Transaction,
+    cmd: ast.Insert,
+    in_loop: bool,
+    in_branch: bool,
+) -> CommandInfo:
+    schema = program.schema(cmd.table)
+    assignments = dict(cmd.assignments)
+    key_exprs = tuple(sorted((k, assignments[k]) for k in schema.key))
+    uuid_key = any(isinstance(assignments[k], ast.Uuid) for k in schema.key)
+    return CommandInfo(
+        txn=txn.name,
+        label=cmd.label,
+        kind="insert",
+        table=cmd.table,
+        read_fields=(),
+        write_fields=tuple(cmd.written_fields) + ("alive",),
+        key_exprs=key_exprs,
+        uuid_key=uuid_key,
+        in_loop=in_loop,
+        in_branch=in_branch,
+    )
+
+
+def _ordered_union(*seqs: Sequence[str]) -> Tuple[str, ...]:
+    out: List[str] = []
+    for seq in seqs:
+        for item in seq:
+            if item not in out:
+                out.append(item)
+    return tuple(out)
+
+
+def rmw_field(
+    summary: TransactionSummary, read: CommandInfo, write: CommandInfo
+) -> Optional[str]:
+    """The field making (read, write) a read-modify-write pair, if any.
+
+    Requires: same table, ``write`` assigns a field whose expression
+    accesses that same field from the variable bound by ``read``.
+    """
+    if read.kind != "select" or write.kind != "update":
+        return None
+    if read.table != write.table or read.var is None:
+        return None
+    for assigned, sources in write.rmw_sources:
+        for var, src_field in sources:
+            if var == read.var and src_field == assigned and assigned in read.read_fields:
+                return assigned
+    return None

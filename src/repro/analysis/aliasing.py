@@ -1,0 +1,127 @@
+"""May-alias analysis for command pairs.
+
+Two commands *alias* when they can address the same record of the same
+table in some execution.  The encoder materialises a boolean per
+undetermined pair; this module decides which pairs are forced, impossible,
+or free:
+
+- different tables never alias;
+- within one transaction instance, two well-formed commands whose
+  primary-key expressions are syntactically identical always alias (same
+  arguments, same record), and commands addressing distinct constants
+  never alias;
+- across instances, key expressions built from arguments may coincide
+  (two calls may receive equal arguments), so such pairs are free --
+  except distinct constants, which remain impossible;
+- a record inserted under a ``uuid()`` key is fresh: it can never alias
+  another *write* (no other command can name the same key), but reads
+  that scan the table (non-well-formed where) may observe it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.lang import ast
+from repro.analysis.accesses import CommandInfo
+
+
+class Alias(Enum):
+    """Tri-state outcome of the static alias test."""
+
+    ALWAYS = "always"
+    NEVER = "never"
+    MAYBE = "maybe"
+
+
+def alias_commands(
+    a: CommandInfo,
+    b: CommandInfo,
+    same_instance: bool,
+    distinct_args: bool = True,
+) -> Alias:
+    """Decide whether commands ``a`` and ``b`` may address one record.
+
+    ``distinct_args`` enables the distinct-argument heuristic: within one
+    transaction instance, two commands keyed by *different parameters*
+    (e.g. ``custid1`` vs ``custid2`` in SmallBank's Amalgamate) are
+    assumed to address different records.  Callers that want the fully
+    conservative analysis (parameters may coincide at runtime) can turn
+    it off; the ablation benchmark measures the effect.
+    """
+    if a.table != b.table:
+        return Alias.NEVER
+    # Freshness of uuid-keyed inserts: no other write can hit the record.
+    if (a.uuid_key and b.is_write) or (b.uuid_key and a.is_write):
+        return Alias.NEVER
+    akeys = a.key_expr_map()
+    bkeys = b.key_expr_map()
+    if akeys is None or bkeys is None:
+        # At least one command scans (non-well-formed where): it may reach
+        # any record of the table, including the other command's.
+        return Alias.MAYBE
+    if set(akeys) != set(bkeys):
+        return Alias.MAYBE
+    constant_verdict = _compare_constants(akeys, bkeys)
+    if constant_verdict is not None:
+        return constant_verdict
+    if same_instance:
+        if all(_syntactically_equal(akeys[k], bkeys[k]) for k in akeys):
+            return Alias.ALWAYS
+        if distinct_args and any(
+            isinstance(akeys[k], ast.Arg)
+            and isinstance(bkeys[k], ast.Arg)
+            and akeys[k].name != bkeys[k].name
+            for k in akeys
+        ):
+            return Alias.NEVER
+    return Alias.MAYBE
+
+
+def _compare_constants(akeys, bkeys) -> Optional[Alias]:
+    """If every key position is a constant on both sides, the answer is
+    exact: alias iff all constants agree."""
+    all_const = True
+    all_equal = True
+    for k in akeys:
+        ae, be = akeys[k], bkeys[k]
+        if isinstance(ae, ast.Const) and isinstance(be, ast.Const):
+            if ae.value != be.value:
+                return Alias.NEVER
+        else:
+            all_const = False
+    if all_const and all_equal:
+        return Alias.ALWAYS
+    return None
+
+
+def _syntactically_equal(a: ast.Expr, b: ast.Expr) -> bool:
+    """Structural equality of expressions (same instance context)."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, ast.Const):
+        return a.value == b.value  # type: ignore[union-attr]
+    if isinstance(a, ast.Arg):
+        return a.name == b.name  # type: ignore[union-attr]
+    if isinstance(a, (ast.IterVar, ast.Uuid)):
+        # uuid() values are fresh per evaluation: never equal.
+        return isinstance(a, ast.IterVar)
+    if isinstance(a, ast.At):
+        b_at = b
+        return (
+            a.var == b_at.var
+            and a.field == b_at.field
+            and _syntactically_equal(a.index, b_at.index)
+        )
+    if isinstance(a, ast.Agg):
+        return a.func == b.func and a.var == b.var and a.field == b.field
+    if isinstance(a, (ast.BinOp, ast.Cmp, ast.BoolOp)):
+        return (
+            a.op == b.op
+            and _syntactically_equal(a.left, b.left)
+            and _syntactically_equal(a.right, b.right)
+        )
+    if isinstance(a, ast.Not):
+        return _syntactically_equal(a.operand, b.operand)
+    return False

@@ -1,0 +1,49 @@
+"""Consistency levels the oracle can assume (Section 7.1's EC/CC/RR/SC).
+
+Each level is a set of axioms over per-command visibility variables; the
+axioms themselves live in :mod:`repro.analysis.encoding`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConsistencyLevel:
+    """A named consistency level.
+
+    Attributes:
+        name: short identifier used in reports.
+        session_frozen: views never change within a transaction
+            (repeatable read as the paper defines it: results of newly
+            committed transactions cannot become visible to a running
+            transaction, nor can previously seen results vanish).
+        causal: views are closed under session order of the writer
+            (seeing a later write implies seeing the writer's earlier
+            writes) and grow monotonically within the reader.
+        total_order: transactions are totally ordered and atomically
+            visible (serializability); all anomaly queries are UNSAT.
+    """
+
+    name: str
+    session_frozen: bool = False
+    causal: bool = False
+    total_order: bool = False
+
+
+EC = ConsistencyLevel("EC")
+CC = ConsistencyLevel("CC", causal=True)
+RR = ConsistencyLevel("RR", session_frozen=True)
+SC = ConsistencyLevel("SC", total_order=True)
+
+LEVELS = {level.name: level for level in (EC, CC, RR, SC)}
+
+
+def by_name(name: str) -> ConsistencyLevel:
+    try:
+        return LEVELS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown consistency level {name!r}; choose from {sorted(LEVELS)}"
+        ) from None

@@ -1,0 +1,389 @@
+"""SAT encoding of anomaly queries.
+
+For a transaction ``A``, an ordered command pair ``(c1, c2)`` of ``A``,
+and an interfering transaction ``B`` (two *instances*, so ``B`` may be
+``A`` itself), the encoder builds a propositional formula that is
+satisfiable iff the consistency level admits an execution in which the
+pair witnesses a serializability anomaly.
+
+Variables:
+
+- ``V[b, a]`` -- the effects of ``B``'s write command ``b`` are in the
+  local view of ``A``'s command ``a`` (the paper's ``vis`` restricted to
+  the bounded instance);
+- ``W[a, b]`` -- symmetric direction, ``A``'s write visible to ``B``;
+- ``alias[x, y]`` -- commands ``x`` and ``y`` address the same record
+  (free where the static analysis says *maybe*, constant otherwise),
+  with transitivity enforced per table.
+
+Violation patterns (each a disjunction over statically collected
+conflict candidates):
+
+- **fractured read** (reader side): some ``B`` writes ``w1, w2`` with
+  ``c1`` witnessing ``w1`` but ``c2`` missing ``w2`` (or the mirrored
+  gain direction).  Covers non-repeatable reads, dirty reads, and
+  non-atomic multi-table observations;
+- **fractured write** (writer side): ``c1, c2`` both write and some
+  ``B`` readers observe them inconsistently;
+- **read-write race** (both directions): ``c1`` reads what ``B`` writes
+  while ``c2`` writes what ``B`` reads, and neither instance sees the
+  other -- the lost-update / write-skew shape.
+
+Consistency levels contribute axiom sets over ``V``/``W``:
+
+- EC: none (record-level atomicity is inherent in the per-command
+  granularity of the variables);
+- RR (frozen sessions): ``V[b, c1] <-> V[b, c2]`` -- a transaction's
+  view never changes mid-flight;
+- CC (causal): session-prefix closure plus monotone view growth;
+- SC: a single order boolean decides which instance commits first and
+  fixes every visibility variable, rendering all patterns UNSAT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.accesses import CommandInfo, TransactionSummary
+from repro.analysis.aliasing import Alias, alias_commands
+from repro.analysis.consistency import ConsistencyLevel
+from repro.smt.formula import (
+    And,
+    BoolVar,
+    FALSE,
+    Formula,
+    FormulaBuilder,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    big_or,
+    evaluate,
+)
+
+
+@dataclass(frozen=True)
+class Disjunct:
+    """One candidate anomaly witness: the formula plus the fields of the
+    pair's two commands that it implicates."""
+
+    formula: Formula
+    pattern: str
+    fields1: FrozenSet[str]
+    fields2: FrozenSet[str]
+    partner1: str
+    partner2: str
+
+
+@dataclass
+class PairWitness:
+    """A confirmed anomaly for a pair against one interferer."""
+
+    interferer: str
+    pattern: str
+    fields1: FrozenSet[str]
+    fields2: FrozenSet[str]
+
+
+class PairEncoder:
+    """Builds and solves the anomaly query for one (A, c1, c2, B) tuple."""
+
+    def __init__(
+        self,
+        summary_a: TransactionSummary,
+        c1: CommandInfo,
+        c2: CommandInfo,
+        summary_b: TransactionSummary,
+        level: ConsistencyLevel,
+        distinct_args: bool = True,
+    ):
+        self.a = summary_a
+        self.b = summary_b
+        self.c1 = c1
+        self.c2 = c2
+        self.level = level
+        self.distinct_args = distinct_args
+        self.builder = FormulaBuilder()
+        self.same_txn = summary_a.name == summary_b.name
+        self._alias_cache: Dict[Tuple[str, str], Formula] = {}
+
+    # -- variable constructors ------------------------------------------
+
+    def vis_b_to_a(self, b: CommandInfo, a: CommandInfo) -> BoolVar:
+        return self.builder.var(f"V[{b.label}->{a.label}]")
+
+    def vis_a_to_b(self, a: CommandInfo, b: CommandInfo) -> BoolVar:
+        return self.builder.var(f"W[{a.label}->{b.label}]")
+
+    def alias(self, x: CommandInfo, x_side: str, y: CommandInfo, y_side: str) -> Formula:
+        """Alias formula between a node of side ``x_side`` ('A'/'B') and
+        one of ``y_side``; sides matter because two instances of the same
+        transaction have independent arguments."""
+        key = self._node_key(x, x_side), self._node_key(y, y_side)
+        canon = tuple(sorted(key))
+        if canon in self._alias_cache:
+            return self._alias_cache[canon]
+        same_instance = x_side == y_side
+        verdict = alias_commands(
+            x, y, same_instance=same_instance, distinct_args=self.distinct_args
+        )
+        if verdict is Alias.ALWAYS:
+            out: Formula = TRUE
+        elif verdict is Alias.NEVER:
+            out = FALSE
+        else:
+            out = self.builder.var(f"alias[{canon[0]}|{canon[1]}]")
+        self._alias_cache[canon] = out
+        return out
+
+    @staticmethod
+    def _node_key(cmd: CommandInfo, side: str) -> str:
+        return f"{side}:{cmd.label}"
+
+    # -- axiom construction ------------------------------------------------
+
+    def assert_axioms(self) -> None:
+        self._assert_alias_transitivity()
+        if self.level.total_order:
+            self._assert_serializable()
+        if self.level.session_frozen:
+            self._assert_frozen()
+        if self.level.causal:
+            self._assert_causal()
+
+    def _nodes(self) -> List[Tuple[CommandInfo, str]]:
+        out = [(self.c1, "A"), (self.c2, "A")]
+        out += [(cmd, "B") for cmd in self.b.commands]
+        return out
+
+    def _assert_alias_transitivity(self) -> None:
+        nodes = self._nodes()
+        by_table: Dict[str, List[Tuple[CommandInfo, str]]] = {}
+        for node in nodes:
+            by_table.setdefault(node[0].table, []).append(node)
+        for group in by_table.values():
+            n = len(group)
+            for i in range(n):
+                for j in range(i + 1, n):
+                    for k in range(j + 1, n):
+                        x, y, z = group[i], group[j], group[k]
+                        axy = self.alias(x[0], x[1], y[0], y[1])
+                        ayz = self.alias(y[0], y[1], z[0], z[1])
+                        axz = self.alias(x[0], x[1], z[0], z[1])
+                        self.builder.add(Implies(And(axy, ayz), axz))
+                        self.builder.add(Implies(And(axy, axz), ayz))
+                        self.builder.add(Implies(And(ayz, axz), axy))
+
+    def _assert_serializable(self) -> None:
+        # `ab` true: the A instance commits first.
+        ab = self.builder.var("order[A<B]")
+        for b in self.b.writes():
+            for a in (self.c1, self.c2):
+                self.builder.add(Iff(self.vis_b_to_a(b, a), Not(ab)))
+        for a in (self.c1, self.c2):
+            if not a.is_write:
+                continue
+            for b in self.b.commands:
+                self.builder.add(Iff(self.vis_a_to_b(a, b), ab))
+
+    def _assert_frozen(self) -> None:
+        # A transaction's view is fixed for its whole execution.
+        for b in self.b.writes():
+            self.builder.add(
+                Iff(self.vis_b_to_a(b, self.c1), self.vis_b_to_a(b, self.c2))
+            )
+        a_writes = [c for c in (self.c1, self.c2) if c.is_write]
+        b_cmds = self.b.commands
+        for a in a_writes:
+            for i in range(len(b_cmds)):
+                for j in range(i + 1, len(b_cmds)):
+                    self.builder.add(
+                        Iff(
+                            self.vis_a_to_b(a, b_cmds[i]),
+                            self.vis_a_to_b(a, b_cmds[j]),
+                        )
+                    )
+
+    def _assert_causal(self) -> None:
+        # Session-prefix closure: seeing a later write of a session
+        # implies seeing its earlier writes.
+        b_writes = list(self.b.writes())
+        for i in range(len(b_writes)):
+            for j in range(i + 1, len(b_writes)):
+                earlier, later = b_writes[i], b_writes[j]
+                for a in (self.c1, self.c2):
+                    self.builder.add(
+                        Implies(self.vis_b_to_a(later, a), self.vis_b_to_a(earlier, a))
+                    )
+        # Monotone growth: views never shrink within a session.
+        for b in b_writes:
+            self.builder.add(
+                Implies(self.vis_b_to_a(b, self.c1), self.vis_b_to_a(b, self.c2))
+            )
+        if self.c1.is_write and self.c2.is_write:
+            for b in self.b.commands:
+                self.builder.add(
+                    Implies(self.vis_a_to_b(self.c2, b), self.vis_a_to_b(self.c1, b))
+                )
+        a_writes = [c for c in (self.c1, self.c2) if c.is_write]
+        b_cmds = self.b.commands
+        for a in a_writes:
+            for i in range(len(b_cmds)):
+                for j in range(i + 1, len(b_cmds)):
+                    self.builder.add(
+                        Implies(
+                            self.vis_a_to_b(a, b_cmds[i]),
+                            self.vis_a_to_b(a, b_cmds[j]),
+                        )
+                    )
+
+    # -- violation patterns ---------------------------------------------------
+
+    def collect_disjuncts(self) -> List[Disjunct]:
+        out: List[Disjunct] = []
+        out += self._fractured_read()
+        out += self._fractured_write()
+        out += self._read_write_race(self.c1, self.c2, forward=True)
+        out += self._read_write_race(self.c2, self.c1, forward=False)
+        return out
+
+    def _read_conflicts(self, cmd: CommandInfo) -> List[Tuple[CommandInfo, FrozenSet[str]]]:
+        """B writes conflicting with ``cmd``'s reads."""
+        out = []
+        for w in self.b.writes():
+            if w.table != cmd.table:
+                continue
+            fields = frozenset(w.write_fields) & frozenset(cmd.read_fields)
+            if fields and alias_commands(
+                w, cmd, same_instance=False, distinct_args=self.distinct_args
+            ) is not Alias.NEVER:
+                out.append((w, fields))
+        return out
+
+    def _write_conflicts(self, cmd: CommandInfo) -> List[Tuple[CommandInfo, FrozenSet[str]]]:
+        """B reads conflicting with ``cmd``'s writes."""
+        out = []
+        for r in self.b.commands:
+            if r.table != cmd.table:
+                continue
+            fields = frozenset(cmd.write_fields) & frozenset(r.read_fields)
+            if fields and alias_commands(
+                cmd, r, same_instance=False, distinct_args=self.distinct_args
+            ) is not Alias.NEVER:
+                out.append((r, fields))
+        return out
+
+    def _fractured_read(self) -> List[Disjunct]:
+        cands1 = self._read_conflicts(self.c1)
+        cands2 = self._read_conflicts(self.c2)
+        out: List[Disjunct] = []
+        for w1, f1 in cands1:
+            for w2, f2 in cands2:
+                if w1.label == w2.label and f1 == f2 and self.c1.table != self.c2.table:
+                    pass  # still a valid witness; no special casing needed
+                a1 = self.alias(w1, "B", self.c1, "A")
+                a2 = self.alias(w2, "B", self.c2, "A")
+                v1 = self.vis_b_to_a(w1, self.c1)
+                v2 = self.vis_b_to_a(w2, self.c2)
+                fracture = Or(And(v1, Not(v2)), And(Not(v1), v2))
+                out.append(
+                    Disjunct(
+                        formula=And(a1, a2, fracture),
+                        pattern="fractured-read",
+                        fields1=f1,
+                        fields2=f2,
+                        partner1=w1.label,
+                        partner2=w2.label,
+                    )
+                )
+        return out
+
+    def _fractured_write(self) -> List[Disjunct]:
+        if not (self.c1.is_write and self.c2.is_write):
+            return []
+        cands1 = self._write_conflicts(self.c1)
+        cands2 = self._write_conflicts(self.c2)
+        out: List[Disjunct] = []
+        for r1, f1 in cands1:
+            for r2, f2 in cands2:
+                a1 = self.alias(self.c1, "A", r1, "B")
+                a2 = self.alias(self.c2, "A", r2, "B")
+                v1 = self.vis_a_to_b(self.c1, r1)
+                v2 = self.vis_a_to_b(self.c2, r2)
+                fracture = Or(And(v1, Not(v2)), And(Not(v1), v2))
+                out.append(
+                    Disjunct(
+                        formula=And(a1, a2, fracture),
+                        pattern="fractured-write",
+                        fields1=f1,
+                        fields2=f2,
+                        partner1=r1.label,
+                        partner2=r2.label,
+                    )
+                )
+        return out
+
+    def _read_write_race(
+        self, reader: CommandInfo, writer: CommandInfo, forward: bool
+    ) -> List[Disjunct]:
+        """``reader`` reads what B writes; ``writer`` writes what B reads;
+        neither instance observes the other (lost update / write skew)."""
+        if not writer.is_write or not reader.read_fields:
+            return []
+        # Freshly-keyed inserts are functional updates: they never
+        # overwrite, so they cannot lose (or be lost to) a concurrent
+        # update -- the commutativity the logger refactoring exploits.
+        if writer.uuid_key:
+            return []
+        w_cands = [
+            (w, f) for w, f in self._read_conflicts(reader) if not w.uuid_key
+        ]
+        r_cands = self._write_conflicts(writer)
+        out: List[Disjunct] = []
+        for w_b, f_r in w_cands:
+            for r_b, f_w in r_cands:
+                a1 = self.alias(w_b, "B", reader, "A")
+                a2 = self.alias(writer, "A", r_b, "B")
+                miss_b = Not(self.vis_b_to_a(w_b, reader))
+                miss_a = Not(self.vis_a_to_b(writer, r_b))
+                fields = (f_r, f_w) if forward else (f_w, f_r)
+                out.append(
+                    Disjunct(
+                        formula=And(a1, a2, miss_b, miss_a),
+                        pattern="rw-race",
+                        fields1=fields[0],
+                        fields2=fields[1],
+                        partner1=w_b.label if forward else r_b.label,
+                        partner2=r_b.label if forward else w_b.label,
+                    )
+                )
+        return out
+
+    # -- top level ---------------------------------------------------------
+
+    def solve(self) -> Optional[PairWitness]:
+        """Check the pair against this interferer; None when safe."""
+        disjuncts = self.collect_disjuncts()
+        if not disjuncts:
+            return None
+        self.assert_axioms()
+        self.builder.add(big_or([d.formula for d in disjuncts]))
+        model = self.builder.check()
+        if model is None:
+            return None
+        fields1: FrozenSet[str] = frozenset()
+        fields2: FrozenSet[str] = frozenset()
+        pattern = ""
+        for d in disjuncts:
+            if evaluate(d.formula, model):
+                fields1 |= d.fields1
+                fields2 |= d.fields2
+                pattern = pattern or d.pattern
+        return PairWitness(
+            interferer=self.b.name,
+            pattern=pattern or disjuncts[0].pattern,
+            fields1=fields1,
+            fields2=fields2,
+        )

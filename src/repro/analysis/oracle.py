@@ -1,0 +1,152 @@
+"""The anomaly oracle ``O(P)``: enumerate anomalous access pairs.
+
+For every transaction ``T`` of the program and every ordered pair of its
+database commands, the oracle asks whether any interfering transaction
+(any transaction of the program, including a second instance of ``T``)
+admits an anomalous execution under the chosen consistency level, by
+discharging the SAT query of :mod:`repro.analysis.encoding`.
+
+The result is the paper's set of chi tuples
+``(c1, f1-bar, c2, f2-bar)`` -- see the Section 3.2 examples
+``(S1, {st_name}, S2, {em_addr})`` etc. -- enriched with the interfering
+transactions that witness them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.accesses import (
+    CommandInfo,
+    TransactionSummary,
+    summarize_program,
+)
+from repro.analysis.consistency import EC, ConsistencyLevel
+from repro.analysis.encoding import PairEncoder, PairWitness
+from repro.lang import ast
+
+
+@dataclass(frozen=True)
+class AccessPair:
+    """An anomalous database access pair (the paper's chi)."""
+
+    txn: str
+    c1: str
+    fields1: FrozenSet[str]
+    c2: str
+    fields2: FrozenSet[str]
+    interferers: Tuple[str, ...]
+    patterns: Tuple[str, ...]
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.txn, self.c1, self.c2)
+
+    def describe(self) -> str:
+        f1 = "{" + ", ".join(sorted(self.fields1)) + "}"
+        f2 = "{" + ", ".join(sorted(self.fields2)) + "}"
+        return f"{self.txn}: ({self.c1}, {f1}, {self.c2}, {f2})"
+
+
+@dataclass
+class AnalysisReport:
+    """Oracle output: the anomalous pairs plus bookkeeping."""
+
+    level: str
+    pairs: List[AccessPair]
+    pairs_checked: int
+    sat_queries: int
+    elapsed_seconds: float
+
+    @property
+    def count(self) -> int:
+        return len(self.pairs)
+
+
+class AnomalyOracle:
+    """Static anomaly detector, parameterised by consistency level.
+
+    ``use_prefilter`` controls the cheap static screen that skips SAT
+    queries with no conflict candidates (the DESIGN.md ablation knob);
+    results are identical either way, only running time differs.
+    """
+
+    def __init__(
+        self,
+        level: ConsistencyLevel = EC,
+        use_prefilter: bool = True,
+        distinct_args: bool = True,
+    ):
+        self.level = level
+        self.use_prefilter = use_prefilter
+        self.distinct_args = distinct_args
+
+    def analyze(self, program: ast.Program) -> AnalysisReport:
+        start = time.perf_counter()
+        summaries = summarize_program(program)
+        pairs: List[AccessPair] = []
+        checked = 0
+        sat_queries = 0
+        for summary in summaries.values():
+            for c1, c2 in summary.ordered_pairs():
+                checked += 1
+                witnesses: List[PairWitness] = []
+                for other in summaries.values():
+                    encoder = PairEncoder(
+                        summary, c1, c2, other, self.level,
+                        distinct_args=self.distinct_args,
+                    )
+                    if self.use_prefilter and not encoder.collect_disjuncts():
+                        continue
+                    sat_queries += 1
+                    witness = encoder.solve()
+                    if witness is not None:
+                        witnesses.append(witness)
+                if witnesses:
+                    pairs.append(_merge_witnesses(summary, c1, c2, witnesses))
+        elapsed = time.perf_counter() - start
+        return AnalysisReport(
+            level=self.level.name,
+            pairs=pairs,
+            pairs_checked=checked,
+            sat_queries=sat_queries,
+            elapsed_seconds=elapsed,
+        )
+
+
+def _merge_witnesses(
+    summary: TransactionSummary,
+    c1: CommandInfo,
+    c2: CommandInfo,
+    witnesses: List[PairWitness],
+) -> AccessPair:
+    fields1: FrozenSet[str] = frozenset()
+    fields2: FrozenSet[str] = frozenset()
+    interferers: List[str] = []
+    patterns: List[str] = []
+    for w in witnesses:
+        fields1 |= w.fields1
+        fields2 |= w.fields2
+        if w.interferer not in interferers:
+            interferers.append(w.interferer)
+        if w.pattern not in patterns:
+            patterns.append(w.pattern)
+    return AccessPair(
+        txn=summary.name,
+        c1=c1.label,
+        fields1=fields1,
+        c2=c2.label,
+        fields2=fields2,
+        interferers=tuple(interferers),
+        patterns=tuple(patterns),
+    )
+
+
+def detect_anomalies(
+    program: ast.Program,
+    level: ConsistencyLevel = EC,
+    use_prefilter: bool = True,
+) -> List[AccessPair]:
+    """Convenience wrapper returning just the anomalous pairs."""
+    return AnomalyOracle(level, use_prefilter).analyze(program).pairs

@@ -1,0 +1,52 @@
+"""The benchmark corpus of Section 7.1 (Table 1).
+
+Nine OLTP benchmark programs encoded in the DSL: TPC-C, SEATS,
+Courseware, SmallBank, Twitter, FMKe, SIBench, Wikipedia, and Killrchat.
+Each module exposes a :class:`~repro.corpus.base.Benchmark` instance with
+the program text, an initial-database populator, and a workload generator
+(transaction mix plus argument distributions) used by the performance
+experiments.
+
+``ALL_BENCHMARKS`` lists them in the paper's Table 1 order.
+"""
+
+from repro.corpus.base import Benchmark, PaperRow
+from repro.corpus.tpcc import TPCC
+from repro.corpus.seats import SEATS
+from repro.corpus.courseware import COURSEWARE
+from repro.corpus.smallbank import SMALLBANK
+from repro.corpus.twitter import TWITTER
+from repro.corpus.fmke import FMKE
+from repro.corpus.sibench import SIBENCH
+from repro.corpus.wikipedia import WIKIPEDIA
+from repro.corpus.killrchat import KILLRCHAT
+
+ALL_BENCHMARKS = (
+    TPCC,
+    SEATS,
+    COURSEWARE,
+    SMALLBANK,
+    TWITTER,
+    FMKE,
+    SIBENCH,
+    WIKIPEDIA,
+    KILLRCHAT,
+)
+
+BY_NAME = {b.name: b for b in ALL_BENCHMARKS}
+
+__all__ = [
+    "Benchmark",
+    "PaperRow",
+    "ALL_BENCHMARKS",
+    "BY_NAME",
+    "TPCC",
+    "SEATS",
+    "COURSEWARE",
+    "SMALLBANK",
+    "TWITTER",
+    "FMKE",
+    "SIBENCH",
+    "WIKIPEDIA",
+    "KILLRCHAT",
+]

@@ -1,0 +1,88 @@
+"""Shared scaffolding for corpus benchmarks."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.lang import ast, parse_program
+from repro.semantics.interp import TxnCall
+from repro.semantics.state import Database
+
+# An argument generator: (rng, scale) -> argument tuple.
+ArgGen = Callable[[random.Random, int], Tuple]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The benchmark's row in the paper's Table 1 (for EXPERIMENTS.md)."""
+
+    txns: int
+    tables_before: int
+    tables_after: int
+    ec: int
+    at: int
+    cc: int
+    rr: int
+    time_s: float
+
+
+@dataclass
+class Benchmark:
+    """A corpus benchmark: program + population + workload.
+
+    Attributes:
+        name: Table 1 name.
+        source: DSL source text.
+        populate: fills a fresh :class:`Database` at the given scale.
+        mix: transaction mix as ``(txn name, weight, arg generator)``.
+        paper: the row the paper reports, kept for paper-vs-measured
+            comparison in EXPERIMENTS.md.
+    """
+
+    name: str
+    source: str
+    populate: Callable[[Database, int], None]
+    mix: Sequence[Tuple[str, float, ArgGen]]
+    paper: PaperRow
+    _program: Optional[ast.Program] = field(default=None, repr=False)
+
+    def program(self) -> ast.Program:
+        if self._program is None:
+            self._program = parse_program(self.source)
+        return self._program
+
+    def database(self, scale: int = 8) -> Database:
+        db = Database(self.program())
+        self.populate(db, scale)
+        return db
+
+    def sample_call(self, rng: random.Random, scale: int = 8) -> TxnCall:
+        """Draw one transaction call from the mix."""
+        total = sum(w for _, w, _ in self.mix)
+        pick = rng.random() * total
+        acc = 0.0
+        for name, weight, gen in self.mix:
+            acc += weight
+            if pick <= acc:
+                return TxnCall(name, gen(rng, scale))
+        name, _, gen = self.mix[-1]
+        return TxnCall(name, gen(rng, scale))
+
+    def workload(
+        self, rng: random.Random, count: int, scale: int = 8
+    ) -> List[TxnCall]:
+        return [self.sample_call(rng, scale) for _ in range(count)]
+
+
+def zipf_int(rng: random.Random, n: int, skew: float = 1.1) -> int:
+    """A Zipf-ish draw over ``0..n-1`` (hot keys first), cheap and stable."""
+    if n <= 1:
+        return 0
+    # Inverse-CDF over a truncated zeta distribution via rejection-free
+    # approximation: u^(1/(1-skew)) concentrates mass on small ranks.
+    u = rng.random()
+    rank = int(n * (u ** skew))
+    return min(rank, n - 1)

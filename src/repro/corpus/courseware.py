@@ -1,0 +1,110 @@
+"""Courseware: the paper's running example (Sections 2-5), five txns."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.corpus.base import Benchmark, PaperRow, zipf_int
+from repro.semantics.state import Database
+
+SOURCE = """
+schema COURSE {
+  key co_id;
+  field co_avail;
+  field co_st_cnt;
+}
+
+schema EMAIL {
+  key em_id;
+  field em_addr;
+}
+
+schema STUDENT {
+  key st_id;
+  field st_name;
+  field st_em_id ref EMAIL.em_id;
+  field st_co_id ref COURSE.co_id;
+  field st_reg;
+}
+
+txn getSt(id) {
+  x := select * from STUDENT where st_id = id;
+  y := select em_addr from EMAIL where em_id = x.st_em_id;
+  z := select co_avail from COURSE where co_id = x.st_co_id;
+  return y.em_addr;
+}
+
+txn setSt(id, name, email) {
+  x := select st_em_id from STUDENT where st_id = id;
+  update STUDENT set st_name = name where st_id = id;
+  update EMAIL set em_addr = email where em_id = x.st_em_id;
+}
+
+txn regSt(id, course) {
+  update STUDENT set st_co_id = course, st_reg = true where st_id = id;
+  x := select co_st_cnt from COURSE where co_id = course;
+  update COURSE set co_st_cnt = x.co_st_cnt + 1, co_avail = true
+    where co_id = course;
+}
+
+txn getCourse(course) {
+  z := select co_avail from COURSE where co_id = course;
+  return z.co_avail;
+}
+
+txn unregSt(id) {
+  update STUDENT set st_reg = false where st_id = id;
+}
+"""
+
+
+def populate(db: Database, scale: int) -> None:
+    courses = max(scale // 4, 1)
+    for co in range(courses):
+        db.insert("COURSE", co_id=co, co_avail=False, co_st_cnt=0)
+    for st in range(scale):
+        db.insert("EMAIL", em_id=1000 + st, em_addr=f"st{st}@host")
+        db.insert(
+            "STUDENT",
+            st_id=st,
+            st_name=f"student{st}",
+            st_em_id=1000 + st,
+            st_co_id=st % courses,
+            st_reg=False,
+        )
+
+
+def _student(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale),)
+
+
+def _set_args(rng: random.Random, scale: int) -> Tuple:
+    s = zipf_int(rng, scale)
+    return (s, f"name{rng.randrange(100)}", f"mail{rng.randrange(100)}@host")
+
+
+def _reg_args(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale), rng.randrange(max(scale // 4, 1)))
+
+
+def _course(rng: random.Random, scale: int) -> Tuple:
+    return (rng.randrange(max(scale // 4, 1)),)
+
+
+COURSEWARE = Benchmark(
+    name="Courseware",
+    source=SOURCE,
+    populate=populate,
+    mix=(
+        ("getSt", 30.0, _student),
+        ("setSt", 15.0, _set_args),
+        ("regSt", 25.0, _reg_args),
+        ("getCourse", 20.0, _course),
+        ("unregSt", 10.0, _student),
+    ),
+    paper=PaperRow(
+        txns=5, tables_before=3, tables_after=2,
+        ec=5, at=0, cc=5, rr=5, time_s=12.7,
+    ),
+)

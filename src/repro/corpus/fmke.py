@@ -1,0 +1,164 @@
+"""FMKe: the healthcare key-value benchmark (7 tables, 7 transactions)."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.corpus.base import Benchmark, PaperRow, zipf_int
+from repro.semantics.state import Database
+
+SOURCE = """
+schema PATIENT {
+  key pat_id;
+  field pat_name;
+  field pat_rx_cnt;
+}
+
+schema PHARMACY {
+  key ph_id;
+  field ph_name;
+  field ph_rx_cnt;
+}
+
+schema FACILITY {
+  key fac_id;
+  field fac_name;
+}
+
+schema STAFF {
+  key stf_id;
+  field stf_name;
+}
+
+schema PRESCRIPTION {
+  key pr_id;
+  field pr_pat_id ref PATIENT.pat_id;
+  field pr_ph_id ref PHARMACY.ph_id;
+  field pr_stf_id ref STAFF.stf_id;
+  field pr_drugs;
+  field pr_processed;
+}
+
+schema PATIENT_RX {
+  key px_pat_id;
+  key px_pr_id;
+  field px_active;
+}
+
+schema PHARMACY_RX {
+  key hx_ph_id;
+  key hx_pr_id;
+  field hx_active;
+}
+
+txn CreatePrescription(prid, pat, ph, stf, drugs) {
+  insert into PRESCRIPTION values (pr_id = prid, pr_pat_id = pat,
+    pr_ph_id = ph, pr_stf_id = stf, pr_drugs = drugs, pr_processed = false);
+  insert into PATIENT_RX values (px_pat_id = pat, px_pr_id = prid,
+    px_active = true);
+  insert into PHARMACY_RX values (hx_ph_id = ph, hx_pr_id = prid,
+    hx_active = true);
+  p := select pat_rx_cnt from PATIENT where pat_id = pat;
+  update PATIENT set pat_rx_cnt = p.pat_rx_cnt + 1 where pat_id = pat;
+}
+
+txn GetPrescription(prid) {
+  p := select pr_drugs, pr_processed from PRESCRIPTION where pr_id = prid;
+  return p.pr_drugs;
+}
+
+txn GetPatientRecord(pat) {
+  p := select pat_name, pat_rx_cnt from PATIENT where pat_id = pat;
+  rx := select px_pr_id from PATIENT_RX where px_pat_id = pat;
+  return p.pat_rx_cnt;
+}
+
+txn ProcessPrescription(prid) {
+  p := select pr_processed from PRESCRIPTION where pr_id = prid;
+  if (not p.pr_processed) {
+    update PRESCRIPTION set pr_processed = true where pr_id = prid;
+  }
+}
+
+txn UpdatePrescriptionMedication(prid, drugs) {
+  update PRESCRIPTION set pr_drugs = drugs where pr_id = prid;
+}
+
+txn GetPharmacyPrescriptions(ph) {
+  h := select ph_name, ph_rx_cnt from PHARMACY where ph_id = ph;
+  rx := select hx_pr_id from PHARMACY_RX where hx_ph_id = ph;
+  return h.ph_rx_cnt;
+}
+
+txn GetStaffInfo(stf) {
+  s := select stf_name from STAFF where stf_id = stf;
+  return s.stf_name;
+}
+"""
+
+
+def populate(db: Database, scale: int) -> None:
+    for p in range(scale):
+        db.insert("PATIENT", pat_id=p, pat_name=f"patient{p}", pat_rx_cnt=1)
+    for f in range(max(scale // 4, 1)):
+        db.insert("FACILITY", fac_id=f, fac_name=f"facility{f}")
+        db.insert("PHARMACY", ph_id=f, ph_name=f"pharmacy{f}", ph_rx_cnt=1)
+        db.insert("STAFF", stf_id=f, stf_name=f"staff{f}")
+    for r in range(scale):
+        db.insert(
+            "PRESCRIPTION", pr_id=r, pr_pat_id=r,
+            pr_ph_id=r % max(scale // 4, 1), pr_stf_id=r % max(scale // 4, 1),
+            pr_drugs="aspirin", pr_processed=False,
+        )
+        db.insert("PATIENT_RX", px_pat_id=r, px_pr_id=r, px_active=True)
+        db.insert(
+            "PHARMACY_RX", hx_ph_id=r % max(scale // 4, 1), hx_pr_id=r,
+            hx_active=True,
+        )
+
+
+def _create(rng: random.Random, scale: int) -> Tuple:
+    return (
+        10_000 + rng.randrange(1_000_000),
+        zipf_int(rng, scale),
+        rng.randrange(max(scale // 4, 1)),
+        rng.randrange(max(scale // 4, 1)),
+        "ibuprofen",
+    )
+
+
+def _rx(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale),)
+
+
+def _patient(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale),)
+
+
+def _update_rx(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale), "paracetamol")
+
+
+def _pharmacy(rng: random.Random, scale: int) -> Tuple:
+    return (rng.randrange(max(scale // 4, 1)),)
+
+
+FMKE = Benchmark(
+    name="FMKe",
+    source=SOURCE,
+    populate=populate,
+    mix=(
+        ("CreatePrescription", 15.0, _create),
+        ("GetPrescription", 25.0, _rx),
+        ("GetPatientRecord", 15.0, _patient),
+        ("ProcessPrescription", 15.0, _rx),
+        ("UpdatePrescriptionMedication", 10.0, _update_rx),
+        ("GetPharmacyPrescriptions", 15.0, _pharmacy),
+        ("GetStaffInfo", 5.0, _pharmacy),
+    ),
+    paper=PaperRow(
+        txns=7, tables_before=7, tables_after=9,
+        ec=6, at=2, cc=6, rr=6, time_s=33.6,
+    ),
+)

@@ -1,0 +1,108 @@
+"""Killrchat: the scalable chat application (3 tables, 5 transactions)."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.corpus.base import Benchmark, PaperRow, zipf_int
+from repro.semantics.state import Database
+
+SOURCE = """
+schema ROOM {
+  key rm_id;
+  field rm_name;
+  field rm_participants;
+}
+
+schema PARTICIPANT {
+  key pt_rm_id;
+  key pt_u_id;
+  field pt_active;
+}
+
+schema MESSAGE {
+  key msg_id;
+  field msg_rm_id;
+  field msg_u_id;
+  field msg_text;
+}
+
+txn CreateRoom(rmid, name) {
+  insert into ROOM values (rm_id = rmid, rm_name = name,
+    rm_participants = 0);
+}
+
+txn JoinRoom(rmid, uid) {
+  insert into PARTICIPANT values (pt_rm_id = rmid, pt_u_id = uid,
+    pt_active = true);
+  r := select rm_participants from ROOM where rm_id = rmid;
+  update ROOM set rm_participants = r.rm_participants + 1 where rm_id = rmid;
+}
+
+txn LeaveRoom(rmid, uid) {
+  update PARTICIPANT set pt_active = false
+    where pt_rm_id = rmid and pt_u_id = uid;
+  r := select rm_participants from ROOM where rm_id = rmid;
+  update ROOM set rm_participants = r.rm_participants - 1 where rm_id = rmid;
+}
+
+txn SendMessage(rmid, uid, text) {
+  insert into MESSAGE values (msg_id = uuid(), msg_rm_id = rmid,
+    msg_u_id = uid, msg_text = text);
+}
+
+txn GetRoom(rmid) {
+  r := select rm_name, rm_participants from ROOM where rm_id = rmid;
+  return r.rm_participants;
+}
+"""
+
+
+def populate(db: Database, scale: int) -> None:
+    rooms = max(scale // 2, 1)
+    for rm in range(rooms):
+        db.insert(
+            "ROOM", rm_id=rm, rm_name=f"room{rm}", rm_participants=0
+        )
+    for u in range(scale):
+        db.insert(
+            "PARTICIPANT", pt_rm_id=u % rooms, pt_u_id=u, pt_active=True
+        )
+    db.insert(
+        "MESSAGE", msg_id="seed", msg_rm_id=0, msg_u_id=0, msg_text="hello"
+    )
+
+
+def _room(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, max(scale // 2, 1)),)
+
+
+def _create(rng: random.Random, scale: int) -> Tuple:
+    return (10_000 + rng.randrange(1_000_000), "fresh room")
+
+
+def _member(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, max(scale // 2, 1)), zipf_int(rng, scale))
+
+
+def _message(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, max(scale // 2, 1)), zipf_int(rng, scale), "hi!")
+
+
+KILLRCHAT = Benchmark(
+    name="Killrchat",
+    source=SOURCE,
+    populate=populate,
+    mix=(
+        ("CreateRoom", 5.0, _create),
+        ("JoinRoom", 20.0, _member),
+        ("LeaveRoom", 15.0, _member),
+        ("SendMessage", 40.0, _message),
+        ("GetRoom", 20.0, _room),
+    ),
+    paper=PaperRow(
+        txns=5, tables_before=3, tables_after=4,
+        ec=6, at=3, cc=6, rr=6, time_s=42.9,
+    ),
+)

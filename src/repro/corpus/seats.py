@@ -1,0 +1,182 @@
+"""SEATS: the airline ticketing benchmark (8 tables, 6 transactions)."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.corpus.base import Benchmark, PaperRow, zipf_int
+from repro.semantics.state import Database
+
+SOURCE = """
+schema COUNTRY {
+  key co_id;
+  field co_name;
+}
+
+schema AIRPORT {
+  key ap_id;
+  field ap_code;
+  field ap_co_id;
+}
+
+schema AIRLINE {
+  key al_id;
+  field al_name;
+}
+
+schema CUSTOMER {
+  key cu_id;
+  field cu_balance;
+  field cu_iattr;
+}
+
+schema FREQUENT_FLYER {
+  key ff_cu_id;
+  key ff_al_id;
+  field ff_points;
+}
+
+schema FLIGHT {
+  key f_id;
+  field f_al_id;
+  field f_seats_left;
+  field f_price;
+  field f_status;
+}
+
+schema RESERVATION {
+  key r_id;
+  field r_f_id;
+  field r_cu_id;
+  field r_seat;
+  field r_price;
+}
+
+schema CONFIG {
+  key cfg_id;
+  field cfg_val;
+}
+
+txn FindFlights(fid) {
+  f := select f_al_id, f_price, f_status from FLIGHT where f_id = fid;
+  a := select al_name from AIRLINE where al_id = f.f_al_id;
+  return f.f_price;
+}
+
+txn FindOpenSeats(fid) {
+  f := select f_seats_left, f_price from FLIGHT where f_id = fid;
+  return f.f_seats_left;
+}
+
+txn NewReservation(rid, fid, cuid, alid, seat) {
+  f := select f_seats_left, f_price from FLIGHT where f_id = fid;
+  insert into RESERVATION values (r_id = rid, r_f_id = fid, r_cu_id = cuid,
+    r_seat = seat, r_price = f.f_price);
+  update FLIGHT set f_seats_left = f.f_seats_left - 1 where f_id = fid;
+  c := select cu_balance from CUSTOMER where cu_id = cuid;
+  update CUSTOMER set cu_balance = c.cu_balance - f.f_price where cu_id = cuid;
+  p := select ff_points from FREQUENT_FLYER
+    where ff_cu_id = cuid and ff_al_id = alid;
+  update FREQUENT_FLYER set ff_points = p.ff_points + 10
+    where ff_cu_id = cuid and ff_al_id = alid;
+}
+
+txn UpdateCustomer(cuid, attr) {
+  c := select cu_iattr from CUSTOMER where cu_id = cuid;
+  update CUSTOMER set cu_iattr = attr where cu_id = cuid;
+}
+
+txn UpdateReservation(rid, seat) {
+  r := select r_seat from RESERVATION where r_id = rid;
+  update RESERVATION set r_seat = seat where r_id = rid;
+}
+
+txn DeleteReservation(rid, fid, cuid, alid) {
+  r := select r_price from RESERVATION where r_id = rid;
+  update RESERVATION set r_seat = 0, r_price = 0 where r_id = rid;
+  f := select f_seats_left from FLIGHT where f_id = fid;
+  update FLIGHT set f_seats_left = f.f_seats_left + 1 where f_id = fid;
+  c := select cu_balance from CUSTOMER where cu_id = cuid;
+  update CUSTOMER set cu_balance = c.cu_balance + r.r_price where cu_id = cuid;
+  p := select ff_points from FREQUENT_FLYER
+    where ff_cu_id = cuid and ff_al_id = alid;
+  update FREQUENT_FLYER set ff_points = p.ff_points - 10
+    where ff_cu_id = cuid and ff_al_id = alid;
+}
+"""
+
+AIRLINES = 2
+
+
+def populate(db: Database, scale: int) -> None:
+    db.insert("COUNTRY", co_id=0, co_name="US")
+    db.insert("AIRPORT", ap_id=0, ap_code="JFK", ap_co_id=0)
+    db.insert("AIRPORT", ap_id=1, ap_code="SFO", ap_co_id=0)
+    db.insert("CONFIG", cfg_id=0, cfg_val=1)
+    for al in range(AIRLINES):
+        db.insert("AIRLINE", al_id=al, al_name=f"airline{al}")
+    flights = max(scale // 2, 1)
+    for f in range(flights):
+        db.insert(
+            "FLIGHT", f_id=f, f_al_id=f % AIRLINES,
+            f_seats_left=150, f_price=100 + f, f_status=0,
+        )
+    for cu in range(scale):
+        db.insert("CUSTOMER", cu_id=cu, cu_balance=1000, cu_iattr=0)
+        for al in range(AIRLINES):
+            db.insert("FREQUENT_FLYER", ff_cu_id=cu, ff_al_id=al, ff_points=0)
+        db.insert(
+            "RESERVATION", r_id=cu, r_f_id=cu % flights, r_cu_id=cu,
+            r_seat=cu, r_price=100,
+        )
+
+
+def _flight(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, max(scale // 2, 1)),)
+
+
+def _new_res(rng: random.Random, scale: int) -> Tuple:
+    return (
+        10_000 + rng.randrange(1_000_000),
+        zipf_int(rng, max(scale // 2, 1)),
+        zipf_int(rng, scale),
+        rng.randrange(AIRLINES),
+        rng.randint(1, 150),
+    )
+
+
+def _upd_cust(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale), rng.randint(0, 9))
+
+
+def _upd_res(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale), rng.randint(1, 150))
+
+
+def _del_res(rng: random.Random, scale: int) -> Tuple:
+    return (
+        zipf_int(rng, scale),
+        zipf_int(rng, max(scale // 2, 1)),
+        zipf_int(rng, scale),
+        rng.randrange(AIRLINES),
+    )
+
+
+SEATS = Benchmark(
+    name="SEATS",
+    source=SOURCE,
+    populate=populate,
+    mix=(
+        ("FindFlights", 25.0, _flight),
+        ("FindOpenSeats", 25.0, _flight),
+        ("NewReservation", 20.0, _new_res),
+        ("UpdateCustomer", 10.0, _upd_cust),
+        ("UpdateReservation", 10.0, _upd_res),
+        ("DeleteReservation", 10.0, _del_res),
+    ),
+    paper=PaperRow(
+        txns=6, tables_before=8, tables_after=12,
+        ec=35, at=10, cc=35, rr=33, time_s=61.5,
+    ),
+)

@@ -1,0 +1,50 @@
+"""SIBench: the minimal snapshot-isolation stress benchmark (one table)."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.corpus.base import Benchmark, PaperRow, zipf_int
+from repro.semantics.state import Database
+
+SOURCE = """
+schema SITEM {
+  key si_id;
+  field si_value;
+}
+
+txn ReadValue(k) {
+  x := select si_value from SITEM where si_id = k;
+  return x.si_value;
+}
+
+txn IncrementValue(k) {
+  x := select si_value from SITEM where si_id = k;
+  update SITEM set si_value = x.si_value + 1 where si_id = k;
+}
+"""
+
+
+def populate(db: Database, scale: int) -> None:
+    for i in range(scale):
+        db.insert("SITEM", si_id=i, si_value=0)
+
+
+def _key(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale),)
+
+
+SIBENCH = Benchmark(
+    name="SIBench",
+    source=SOURCE,
+    populate=populate,
+    mix=(
+        ("ReadValue", 50.0, _key),
+        ("IncrementValue", 50.0, _key),
+    ),
+    paper=PaperRow(
+        txns=2, tables_before=1, tables_after=2,
+        ec=1, at=0, cc=1, rr=1, time_s=0.3,
+    ),
+)

@@ -1,0 +1,158 @@
+"""SmallBank: the banking micro-benchmark of Section 7.1 / Appendix A.2.
+
+Three tables (accounts plus keyed savings/checking satellites) and six
+transactions.  The balance-check-then-write shape (``WriteCheck``,
+``Amalgamate``'s zeroing) is exactly the pattern schema refactoring
+cannot fully repair -- the paper reports 8 of 24 anomalies surviving, and
+one of the three application invariants still violable after repair.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.corpus.base import Benchmark, PaperRow, zipf_int
+from repro.semantics.state import Database
+
+SOURCE = """
+schema ACCOUNTS {
+  key custid;
+  field name;
+}
+
+schema SAVINGS {
+  key s_custid ref ACCOUNTS.custid;
+  field s_bal;
+}
+
+schema CHECKING {
+  key c_custid ref ACCOUNTS.custid;
+  field c_bal;
+}
+
+txn Balance(custid) {
+  a := select name from ACCOUNTS where custid = custid;
+  s := select s_bal from SAVINGS where s_custid = custid;
+  c := select c_bal from CHECKING where c_custid = custid;
+  return s.s_bal + c.c_bal;
+}
+
+txn DepositChecking(custid, amount) {
+  c := select c_bal from CHECKING where c_custid = custid;
+  update CHECKING set c_bal = c.c_bal + amount where c_custid = custid;
+}
+
+txn TransactSavings(custid, amount) {
+  s := select s_bal from SAVINGS where s_custid = custid;
+  update SAVINGS set s_bal = s.s_bal + amount where s_custid = custid;
+}
+
+txn Amalgamate(custid1, custid2) {
+  s := select s_bal from SAVINGS where s_custid = custid1;
+  c := select c_bal from CHECKING where c_custid = custid1;
+  update SAVINGS set s_bal = 0 where s_custid = custid1;
+  update CHECKING set c_bal = 0 where c_custid = custid1;
+  d := select c_bal from CHECKING where c_custid = custid2;
+  update CHECKING set c_bal = d.c_bal + s.s_bal + c.c_bal
+    where c_custid = custid2;
+}
+
+txn WriteCheck(custid, amount) {
+  s := select s_bal from SAVINGS where s_custid = custid;
+  c := select c_bal from CHECKING where c_custid = custid;
+  if (s.s_bal + c.c_bal < amount) {
+    update CHECKING set c_bal = c.c_bal - amount - 1 where c_custid = custid;
+  }
+  if (s.s_bal + c.c_bal >= amount) {
+    update CHECKING set c_bal = c.c_bal - amount where c_custid = custid;
+  }
+}
+
+txn SendPayment(sender, receiver, amount) {
+  c := select c_bal from CHECKING where c_custid = sender;
+  if (c.c_bal >= amount) {
+    update CHECKING set c_bal = c.c_bal - amount where c_custid = sender;
+    d := select c_bal from CHECKING where c_custid = receiver;
+    update CHECKING set c_bal = d.c_bal + amount where c_custid = receiver;
+  }
+}
+"""
+
+
+def populate(db: Database, scale: int) -> None:
+    for cid in range(scale):
+        db.insert("ACCOUNTS", custid=cid, name=f"cust{cid}")
+        db.insert("SAVINGS", s_custid=cid, s_bal=100)
+        db.insert("CHECKING", c_custid=cid, c_bal=100)
+
+
+def _one_cust(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale),)
+
+
+def _cust_amount(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale), rng.randint(1, 50))
+
+
+def _two_custs(rng: random.Random, scale: int) -> Tuple:
+    a = zipf_int(rng, scale)
+    b = (a + 1 + rng.randrange(max(scale - 1, 1))) % max(scale, 1)
+    return (a, b)
+
+
+def _payment(rng: random.Random, scale: int) -> Tuple:
+    a, b = _two_custs(rng, scale)
+    return (a, b, rng.randint(1, 30))
+
+
+SMALLBANK = Benchmark(
+    name="SmallBank",
+    source=SOURCE,
+    populate=populate,
+    mix=(
+        ("Balance", 25.0, _one_cust),
+        ("DepositChecking", 20.0, _cust_amount),
+        ("TransactSavings", 20.0, _cust_amount),
+        ("Amalgamate", 10.0, _two_custs),
+        ("WriteCheck", 15.0, _cust_amount),
+        ("SendPayment", 10.0, _payment),
+    ),
+    paper=PaperRow(
+        txns=6, tables_before=3, tables_after=5,
+        ec=24, at=8, cc=21, rr=20, time_s=68.7,
+    ),
+)
+
+# The three application-level invariants of Appendix A.2, as predicates
+# over a materialised state (table -> key -> fields).
+
+
+def invariant_nonnegative(tables) -> bool:
+    """Invariant 1: no checking or savings balance is negative."""
+    for table in ("SAVINGS", "CHECKING"):
+        fieldname = "s_bal" if table == "SAVINGS" else "c_bal"
+        for fields in tables.get(table, {}).values():
+            bal = fields.get(fieldname)
+            if bal is not None and bal < 0:
+                return False
+    return True
+
+
+def invariant_total_conserved(tables, expected_total: int) -> bool:
+    """Invariant 2: the sum over all balances matches the deposit history
+    (no money created or destroyed by concurrency)."""
+    total = 0
+    for table, fieldname in (("SAVINGS", "s_bal"), ("CHECKING", "c_bal")):
+        for fields in tables.get(table, {}).values():
+            bal = fields.get(fieldname)
+            if bal is not None:
+                total += bal
+    return total == expected_total
+
+
+def invariant_consistent_view(savings_read, checking_read, tables, custid) -> bool:
+    """Invariant 3: a client observing both balances of one customer sees
+    a state some serial execution could produce; used by the dynamic
+    experiment which compares joint reads against reachable serial states."""
+    return (savings_read, checking_read) is not None  # refined in repro.exp

@@ -1,0 +1,251 @@
+"""TPC-C: the order-processing benchmark (9 tables, 5 transactions).
+
+The DSL encoding follows the standard transaction profiles at the
+granularity the paper's language supports: one order line per new order
+(the ``iterate`` construct is exercised by the SEATS encoding instead),
+explicit district-sequence and stock read-modify-writes, and the
+customer-balance updates of Payment and Delivery.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.corpus.base import Benchmark, PaperRow, zipf_int
+from repro.semantics.state import Database
+
+SOURCE = """
+schema WAREHOUSE {
+  key w_id;
+  field w_name;
+  field w_ytd;
+}
+
+schema DISTRICT {
+  key d_w_id ref WAREHOUSE.w_id;
+  key d_id;
+  field d_ytd;
+  field d_next_o_id;
+}
+
+schema CUSTOMER {
+  key c_w_id;
+  key c_d_id;
+  key c_id;
+  field c_balance;
+  field c_ytd_payment;
+  field c_payment_cnt;
+  field c_delivery_cnt;
+}
+
+schema ORDERS {
+  key o_w_id;
+  key o_d_id;
+  key o_id;
+  field o_c_id;
+  field o_carrier_id;
+  field o_ol_cnt;
+}
+
+schema NEW_ORDER {
+  key no_w_id;
+  key no_d_id;
+  key no_o_id;
+  field no_pending;
+}
+
+schema ORDER_LINE {
+  key ol_w_id;
+  key ol_d_id;
+  key ol_o_id;
+  key ol_number;
+  field ol_i_id;
+  field ol_qty;
+  field ol_amount;
+  field ol_delivery_d;
+}
+
+schema ITEM {
+  key i_id;
+  field i_price;
+  field i_name;
+}
+
+schema STOCK {
+  key s_w_id;
+  key s_i_id;
+  field s_qty;
+  field s_ytd;
+}
+
+schema HISTORY {
+  key h_id;
+  field h_c_id;
+  field h_amount;
+}
+
+txn NewOrder(wid, did, cid, iid, qty) {
+  d := select d_next_o_id from DISTRICT where d_w_id = wid and d_id = did;
+  update DISTRICT set d_next_o_id = d.d_next_o_id + 1
+    where d_w_id = wid and d_id = did;
+  insert into ORDERS values (o_w_id = wid, o_d_id = did,
+    o_id = d.d_next_o_id, o_c_id = cid, o_carrier_id = 0, o_ol_cnt = 1);
+  insert into NEW_ORDER values (no_w_id = wid, no_d_id = did,
+    no_o_id = d.d_next_o_id, no_pending = true);
+  i := select i_price from ITEM where i_id = iid;
+  s := select s_qty from STOCK where s_w_id = wid and s_i_id = iid;
+  update STOCK set s_qty = s.s_qty - qty where s_w_id = wid and s_i_id = iid;
+  insert into ORDER_LINE values (ol_w_id = wid, ol_d_id = did,
+    ol_o_id = d.d_next_o_id, ol_number = 1, ol_i_id = iid, ol_qty = qty,
+    ol_amount = qty * i.i_price, ol_delivery_d = 0);
+  return d.d_next_o_id;
+}
+
+txn Payment(wid, did, cid, amount) {
+  w := select w_ytd from WAREHOUSE where w_id = wid;
+  update WAREHOUSE set w_ytd = w.w_ytd + amount where w_id = wid;
+  d := select d_ytd from DISTRICT where d_w_id = wid and d_id = did;
+  update DISTRICT set d_ytd = d.d_ytd + amount
+    where d_w_id = wid and d_id = did;
+  c := select c_balance from CUSTOMER
+    where c_w_id = wid and c_d_id = did and c_id = cid;
+  update CUSTOMER set c_balance = c.c_balance - amount
+    where c_w_id = wid and c_d_id = did and c_id = cid;
+  p := select c_ytd_payment from CUSTOMER
+    where c_w_id = wid and c_d_id = did and c_id = cid;
+  update CUSTOMER set c_ytd_payment = p.c_ytd_payment + amount
+    where c_w_id = wid and c_d_id = did and c_id = cid;
+  insert into HISTORY values (h_id = uuid(), h_c_id = cid, h_amount = amount);
+}
+
+txn OrderStatus(wid, did, cid, oid) {
+  c := select c_balance from CUSTOMER
+    where c_w_id = wid and c_d_id = did and c_id = cid;
+  o := select o_carrier_id, o_ol_cnt from ORDERS
+    where o_w_id = wid and o_d_id = did and o_id = oid;
+  l := select ol_amount, ol_delivery_d from ORDER_LINE
+    where ol_w_id = wid and ol_d_id = did and ol_o_id = oid and ol_number = 1;
+  return c.c_balance;
+}
+
+txn Delivery(wid, did, oid, carrier) {
+  n := select no_pending from NEW_ORDER
+    where no_w_id = wid and no_d_id = did and no_o_id = oid;
+  update NEW_ORDER set no_pending = false
+    where no_w_id = wid and no_d_id = did and no_o_id = oid;
+  o := select o_c_id from ORDERS
+    where o_w_id = wid and o_d_id = did and o_id = oid;
+  update ORDERS set o_carrier_id = carrier
+    where o_w_id = wid and o_d_id = did and o_id = oid;
+  l := select ol_amount from ORDER_LINE
+    where ol_w_id = wid and ol_d_id = did and ol_o_id = oid and ol_number = 1;
+  update ORDER_LINE set ol_delivery_d = 1
+    where ol_w_id = wid and ol_d_id = did and ol_o_id = oid and ol_number = 1;
+  c := select c_balance from CUSTOMER
+    where c_w_id = wid and c_d_id = did and c_id = o.o_c_id;
+  update CUSTOMER set c_balance = c.c_balance + l.ol_amount
+    where c_w_id = wid and c_d_id = did and c_id = o.o_c_id;
+}
+
+txn StockLevel(wid, did, iid, threshold) {
+  d := select d_next_o_id from DISTRICT where d_w_id = wid and d_id = did;
+  s := select s_qty from STOCK where s_w_id = wid and s_i_id = iid;
+  if (s.s_qty < threshold) {
+    skip;
+  }
+  return s.s_qty;
+}
+"""
+
+DISTRICTS = 2
+ITEMS = 8
+
+
+def populate(db: Database, scale: int) -> None:
+    warehouses = max(scale // 4, 1)
+    for w in range(warehouses):
+        db.insert("WAREHOUSE", w_id=w, w_name=f"wh{w}", w_ytd=0)
+        for d in range(DISTRICTS):
+            db.insert("DISTRICT", d_w_id=w, d_id=d, d_ytd=0, d_next_o_id=1)
+            for c in range(max(scale // warehouses, 1)):
+                db.insert(
+                    "CUSTOMER",
+                    c_w_id=w, c_d_id=d, c_id=c,
+                    c_balance=100, c_ytd_payment=0,
+                    c_payment_cnt=0, c_delivery_cnt=0,
+                )
+            db.insert(
+                "ORDERS", o_w_id=w, o_d_id=d, o_id=0,
+                o_c_id=0, o_carrier_id=0, o_ol_cnt=1,
+            )
+            db.insert(
+                "NEW_ORDER", no_w_id=w, no_d_id=d, no_o_id=0, no_pending=True
+            )
+            db.insert(
+                "ORDER_LINE",
+                ol_w_id=w, ol_d_id=d, ol_o_id=0, ol_number=1,
+                ol_i_id=0, ol_qty=1, ol_amount=10, ol_delivery_d=0,
+            )
+    for i in range(ITEMS):
+        db.insert("ITEM", i_id=i, i_price=10 + i, i_name=f"item{i}")
+        for w in range(warehouses):
+            db.insert("STOCK", s_w_id=w, s_i_id=i, s_qty=100, s_ytd=0)
+
+
+def _wh(rng: random.Random, scale: int) -> int:
+    return rng.randrange(max(scale // 4, 1))
+
+
+def _new_order(rng: random.Random, scale: int) -> Tuple:
+    w = _wh(rng, scale)
+    return (
+        w,
+        rng.randrange(DISTRICTS),
+        zipf_int(rng, max(scale // max(scale // 4, 1), 1)),
+        rng.randrange(ITEMS),
+        rng.randint(1, 5),
+    )
+
+
+def _payment(rng: random.Random, scale: int) -> Tuple:
+    w = _wh(rng, scale)
+    return (
+        w,
+        rng.randrange(DISTRICTS),
+        zipf_int(rng, max(scale // max(scale // 4, 1), 1)),
+        rng.randint(1, 50),
+    )
+
+
+def _order_status(rng: random.Random, scale: int) -> Tuple:
+    w = _wh(rng, scale)
+    return (w, rng.randrange(DISTRICTS), 0, 0)
+
+
+def _delivery(rng: random.Random, scale: int) -> Tuple:
+    w = _wh(rng, scale)
+    return (w, rng.randrange(DISTRICTS), 0, rng.randint(1, 10))
+
+
+def _stock_level(rng: random.Random, scale: int) -> Tuple:
+    w = _wh(rng, scale)
+    return (w, rng.randrange(DISTRICTS), rng.randrange(ITEMS), 20)
+
+
+TPCC = Benchmark(
+    name="TPC-C",
+    source=SOURCE,
+    populate=populate,
+    mix=(
+        ("NewOrder", 45.0, _new_order),
+        ("Payment", 43.0, _payment),
+        ("OrderStatus", 4.0, _order_status),
+        ("Delivery", 4.0, _delivery),
+        ("StockLevel", 4.0, _stock_level),
+    ),
+    paper=PaperRow(
+        txns=5, tables_before=9, tables_after=16,
+        ec=33, at=8, cc=33, rr=33, time_s=81.2,
+    ),
+)

@@ -1,0 +1,116 @@
+"""Twitter: the OLTP-Bench social-network workload (4 tables, 5 txns)."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.corpus.base import Benchmark, PaperRow, zipf_int
+from repro.semantics.state import Database
+
+SOURCE = """
+schema USERS {
+  key u_id;
+  field u_name;
+  field u_follower_cnt;
+  field u_tweet_cnt;
+}
+
+schema FOLLOWS {
+  key fw_u_id;
+  key fw_f_id;
+  field fw_active;
+}
+
+schema FOLLOWERS {
+  key fo_u_id;
+  key fo_f_id;
+  field fo_active;
+}
+
+schema TWEETS {
+  key t_id;
+  field t_u_id;
+  field t_text;
+}
+
+txn GetTweet(tid) {
+  t := select t_u_id, t_text from TWEETS where t_id = tid;
+  return t.t_text;
+}
+
+txn GetFollowers(uid) {
+  fo := select fo_f_id, fo_active from FOLLOWERS where fo_u_id = uid;
+  u := select u_follower_cnt from USERS where u_id = uid;
+  return u.u_follower_cnt + count(fo.fo_active);
+}
+
+txn GetUserTweets(uid) {
+  u := select u_tweet_cnt from USERS where u_id = uid;
+  t := select t_text from TWEETS where t_u_id = uid;
+  return u.u_tweet_cnt + count(t.t_text);
+}
+
+txn InsertTweet(uid, tid, text) {
+  u := select u_tweet_cnt from USERS where u_id = uid;
+  insert into TWEETS values (t_id = tid, t_u_id = uid, t_text = text);
+  update USERS set u_tweet_cnt = u.u_tweet_cnt + 1 where u_id = uid;
+}
+
+txn Follow(uid, target) {
+  insert into FOLLOWS values (fw_u_id = uid, fw_f_id = target,
+                              fw_active = true);
+  insert into FOLLOWERS values (fo_u_id = target, fo_f_id = uid,
+                                fo_active = true);
+  u := select u_follower_cnt from USERS where u_id = target;
+  update USERS set u_follower_cnt = u.u_follower_cnt + 1 where u_id = target;
+}
+"""
+
+
+def populate(db: Database, scale: int) -> None:
+    for u in range(scale):
+        db.insert(
+            "USERS", u_id=u, u_name=f"user{u}", u_follower_cnt=0, u_tweet_cnt=1
+        )
+        db.insert("TWEETS", t_id=u, t_u_id=u, t_text=f"hello from {u}")
+        db.insert("FOLLOWS", fw_u_id=u, fw_f_id=(u + 1) % scale, fw_active=True)
+        db.insert(
+            "FOLLOWERS", fo_u_id=(u + 1) % scale, fo_f_id=u, fo_active=True
+        )
+
+
+def _tweet(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale),)
+
+
+def _user(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale),)
+
+
+def _insert_tweet(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale), 10_000 + rng.randrange(1_000_000), "tweet!")
+
+
+def _follow(rng: random.Random, scale: int) -> Tuple:
+    a = zipf_int(rng, scale)
+    b = (a + 1 + rng.randrange(max(scale - 1, 1))) % max(scale, 1)
+    return (a, b)
+
+
+TWITTER = Benchmark(
+    name="Twitter",
+    source=SOURCE,
+    populate=populate,
+    mix=(
+        ("GetTweet", 50.0, _tweet),
+        ("GetFollowers", 15.0, _user),
+        ("GetUserTweets", 10.0, _user),
+        ("InsertTweet", 15.0, _insert_tweet),
+        ("Follow", 10.0, _follow),
+    ),
+    paper=PaperRow(
+        txns=5, tables_before=4, tables_after=5,
+        ec=6, at=1, cc=6, rr=5, time_s=3.6,
+    ),
+)

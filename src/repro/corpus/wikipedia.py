@@ -1,0 +1,189 @@
+"""Wikipedia: the article-editing workload (12 tables, 5 transactions)."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.corpus.base import Benchmark, PaperRow, zipf_int
+from repro.semantics.state import Database
+
+SOURCE = """
+schema PAGE {
+  key pg_id;
+  field pg_title;
+  field pg_latest;
+  field pg_touched;
+}
+
+schema REVISION {
+  key rev_id;
+  field rev_pg_id;
+  field rev_content;
+  field rev_user;
+}
+
+schema TEXT {
+  key txt_id;
+  field txt_content;
+}
+
+schema USERACCT {
+  key u_id;
+  field u_name;
+  field u_editcount;
+  field u_touched;
+}
+
+schema WATCHLIST {
+  key wl_u_id;
+  key wl_pg_id;
+  field wl_notif;
+}
+
+schema LOGGING {
+  key log_id;
+  field log_type;
+  field log_user;
+}
+
+schema RECENTCHANGES {
+  key rc_id;
+  field rc_pg_id;
+  field rc_user;
+}
+
+schema IPBLOCKS {
+  key ipb_id;
+  field ipb_address;
+  field ipb_user;
+}
+
+schema USER_GROUPS {
+  key ug_u_id;
+  key ug_group;
+  field ug_active;
+}
+
+schema PAGE_RESTRICTIONS {
+  key pre_pg_id;
+  key pre_type;
+  field pre_level;
+}
+
+schema CATEGORY {
+  key cat_id;
+  field cat_title;
+  field cat_pages;
+}
+
+schema PAGELINKS {
+  key pl_from;
+  key pl_to;
+  field pl_active;
+}
+
+txn GetPageAnonymous(pgid) {
+  p := select pg_title, pg_latest from PAGE where pg_id = pgid;
+  r := select rev_content from REVISION where rev_id = p.pg_latest;
+  pr := select pre_level from PAGE_RESTRICTIONS
+    where pre_pg_id = pgid and pre_type = 0;
+  return r.rev_content;
+}
+
+txn GetPageAuthenticated(pgid, uid) {
+  u := select u_name from USERACCT where u_id = uid;
+  g := select ug_active from USER_GROUPS where ug_u_id = uid and ug_group = 0;
+  p := select pg_title, pg_latest from PAGE where pg_id = pgid;
+  r := select rev_content from REVISION where rev_id = p.pg_latest;
+  return r.rev_content;
+}
+
+txn AddWatchList(uid, pgid) {
+  insert into WATCHLIST values (wl_u_id = uid, wl_pg_id = pgid,
+    wl_notif = true);
+  update USERACCT set u_touched = 1 where u_id = uid;
+}
+
+txn RemoveWatchList(uid, pgid) {
+  update WATCHLIST set wl_notif = false where wl_u_id = uid and wl_pg_id = pgid;
+  update USERACCT set u_touched = 2 where u_id = uid;
+}
+
+txn UpdatePage(pgid, uid, content, txtid, revid) {
+  insert into TEXT values (txt_id = txtid, txt_content = content);
+  insert into REVISION values (rev_id = revid, rev_pg_id = pgid,
+    rev_content = content, rev_user = uid);
+  update PAGE set pg_latest = revid, pg_touched = 1 where pg_id = pgid;
+  u := select u_editcount from USERACCT where u_id = uid;
+  update USERACCT set u_editcount = u.u_editcount + 1 where u_id = uid;
+  insert into RECENTCHANGES values (rc_id = uuid(), rc_pg_id = pgid,
+    rc_user = uid);
+  insert into LOGGING values (log_id = uuid(), log_type = 1, log_user = uid);
+}
+"""
+
+
+def populate(db: Database, scale: int) -> None:
+    for pg in range(scale):
+        db.insert(
+            "PAGE", pg_id=pg, pg_title=f"page{pg}", pg_latest=pg, pg_touched=0
+        )
+        db.insert(
+            "REVISION", rev_id=pg, rev_pg_id=pg,
+            rev_content=f"content of page {pg}", rev_user=0,
+        )
+        db.insert("TEXT", txt_id=pg, txt_content=f"content of page {pg}")
+        db.insert("PAGE_RESTRICTIONS", pre_pg_id=pg, pre_type=0, pre_level=0)
+    for u in range(max(scale // 2, 1)):
+        db.insert(
+            "USERACCT", u_id=u, u_name=f"user{u}", u_editcount=0, u_touched=0
+        )
+        db.insert("USER_GROUPS", ug_u_id=u, ug_group=0, ug_active=True)
+    db.insert("IPBLOCKS", ipb_id=0, ipb_address="10.0.0.1", ipb_user=0)
+    db.insert("CATEGORY", cat_id=0, cat_title="root", cat_pages=0)
+    db.insert("PAGELINKS", pl_from=0, pl_to=0, pl_active=True)
+    db.insert("LOGGING", log_id="seed", log_type=0, log_user=0)
+    db.insert("RECENTCHANGES", rc_id="seed", rc_pg_id=0, rc_user=0)
+    db.insert("WATCHLIST", wl_u_id=0, wl_pg_id=0, wl_notif=False)
+
+
+def _page(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale),)
+
+
+def _page_user(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, scale), zipf_int(rng, max(scale // 2, 1)))
+
+
+def _watch(rng: random.Random, scale: int) -> Tuple:
+    return (zipf_int(rng, max(scale // 2, 1)), zipf_int(rng, scale))
+
+
+def _update(rng: random.Random, scale: int) -> Tuple:
+    fresh = 10_000 + rng.randrange(1_000_000)
+    return (
+        zipf_int(rng, scale),
+        zipf_int(rng, max(scale // 2, 1)),
+        "new content",
+        fresh,
+        fresh + 1,
+    )
+
+
+WIKIPEDIA = Benchmark(
+    name="Wikipedia",
+    source=SOURCE,
+    populate=populate,
+    mix=(
+        ("GetPageAnonymous", 50.0, _page),
+        ("GetPageAuthenticated", 25.0, _page_user),
+        ("AddWatchList", 10.0, _watch),
+        ("RemoveWatchList", 5.0, _watch),
+        ("UpdatePage", 10.0, _update),
+    ),
+    paper=PaperRow(
+        txns=5, tables_before=12, tables_after=13,
+        ec=2, at=1, cc=2, rr=2, time_s=9.0,
+    ),
+)

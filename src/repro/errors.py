@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at tool boundaries while the library keeps
+fine-grained categories internally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when DSL source text cannot be tokenized or parsed.
+
+    Carries the 1-based source position to make error messages actionable.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class ValidationError(ReproError):
+    """Raised when a syntactically valid program fails static checks.
+
+    Examples: referencing an unknown table or field, a where clause on a
+    field that does not belong to the queried schema, or re-declaring a
+    transaction name.
+    """
+
+
+class SemanticsError(ReproError):
+    """Raised by the interpreter for runtime-level faults.
+
+    Examples: evaluating ``at1(x.f)`` when ``x`` holds no records, or an
+    insert that does not assign the full primary key.
+    """
+
+
+class RefactoringError(ReproError):
+    """Raised when a refactoring rule is applied outside its precondition.
+
+    The repair engine treats these as "rule not applicable" and moves on;
+    direct users of :mod:`repro.refactor` see them as hard errors.
+    """
+
+
+class SolverError(ReproError):
+    """Raised for malformed solver input (e.g. clauses over unknown vars)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the distributed-store simulator for invalid configs."""

@@ -1,0 +1,28 @@
+"""Experiment drivers: one module per paper table/figure.
+
+- :mod:`repro.exp.table1` -- static anomaly counts and repair (Table 1);
+- :mod:`repro.exp.perf` -- throughput/latency sweeps (Figures 12-15);
+- :mod:`repro.exp.random_search` -- random-refactoring baseline (Fig 16);
+- :mod:`repro.exp.invariants` -- SmallBank application invariants (A.2);
+- :mod:`repro.exp.reporting` -- plain-text table/series rendering.
+"""
+
+from repro.exp.table1 import Table1Row, run_table1, run_table1_row
+from repro.exp.perf import PerfPoint, PerfSeries, run_perf_sweep
+from repro.exp.random_search import RandomSearchResult, run_random_search
+from repro.exp.invariants import InvariantReport, run_invariant_study
+from repro.exp.reporting import format_table
+
+__all__ = [
+    "Table1Row",
+    "run_table1",
+    "run_table1_row",
+    "PerfPoint",
+    "PerfSeries",
+    "run_perf_sweep",
+    "RandomSearchResult",
+    "run_random_search",
+    "InvariantReport",
+    "run_invariant_study",
+    "format_table",
+]

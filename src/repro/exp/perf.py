@@ -1,0 +1,131 @@
+"""Figures 12-15: throughput and latency sweeps on simulated clusters.
+
+One sweep runs the four configurations of Section 7.2 over a range of
+closed-loop client counts:
+
+- **EC**: the original program, all transactions weakly consistent;
+- **SC**: the original program, all transactions serializable;
+- **AT-EC**: the Atropos-refactored program, all weakly consistent;
+- **AT-SC**: the refactored program with residually-anomalous
+  transactions serializable and the rest weak.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.corpus import Benchmark
+from repro.refactor.migrate import migrate_database
+from repro.repair import repair
+from repro.store import (
+    ClusterSpec,
+    PerfConfig,
+    US_CLUSTER,
+    profile_program,
+    simulate,
+)
+from repro.store.profile import sample_calls_for
+
+MODES = ("EC", "AT-EC", "SC", "AT-SC")
+
+
+@dataclass
+class PerfPoint:
+    clients: int
+    throughput: float
+    avg_latency_ms: float
+
+
+@dataclass
+class PerfSeries:
+    mode: str
+    points: List[PerfPoint] = field(default_factory=list)
+
+    def throughputs(self) -> List[float]:
+        return [p.throughput for p in self.points]
+
+    def latencies(self) -> List[float]:
+        return [p.avg_latency_ms for p in self.points]
+
+
+@dataclass
+class PerfSweep:
+    benchmark: str
+    cluster: str
+    client_counts: List[int]
+    series: Dict[str, PerfSeries]
+
+    def gain_at_peak(self) -> float:
+        """AT-SC throughput gain over SC at the largest client count
+        (the paper's headline is a 120% average gain)."""
+        at_sc = self.series["AT-SC"].points[-1].throughput
+        sc = self.series["SC"].points[-1].throughput
+        return (at_sc - sc) / sc if sc > 0 else float("inf")
+
+    def latency_reduction_at_peak(self) -> float:
+        """AT-SC latency reduction vs SC (paper: 45% average)."""
+        at_sc = self.series["AT-SC"].points[-1].avg_latency_ms
+        sc = self.series["SC"].points[-1].avg_latency_ms
+        return (sc - at_sc) / sc if sc > 0 else 0.0
+
+
+def run_perf_sweep(
+    benchmark: Benchmark,
+    cluster: ClusterSpec = US_CLUSTER,
+    client_counts: Sequence[int] = (1, 8, 32, 64, 128),
+    config: Optional[PerfConfig] = None,
+    scale: int = 16,
+    seed: int = 7,
+) -> PerfSweep:
+    """Run the four-configuration sweep for one benchmark."""
+    config = config or PerfConfig()
+    rng = random.Random(seed)
+    program = benchmark.program()
+    report = repair(program)
+
+    db = benchmark.database(scale)
+    calls = sample_calls_for(benchmark, rng, scale)
+    profiles_orig = profile_program(program, db, calls)
+
+    at_program = report.repaired_program
+    at_db = migrate_database(db, at_program, report.rewrites)
+    profiles_at = profile_program(at_program, at_db, calls)
+
+    at_sc_program = report.serializable_variant()
+    flagged = {t.name for t in at_sc_program.transactions if t.serializable}
+    profiles_at_sc = {
+        name: (
+            prof
+            if name not in flagged
+            else type(prof)(txn=prof.txn, ops=prof.ops, serializable=True)
+        )
+        for name, prof in profiles_at.items()
+    }
+
+    mix = [(name, weight) for name, weight, _ in benchmark.mix]
+    series = {mode: PerfSeries(mode) for mode in MODES}
+    for clients in client_counts:
+        runs = {
+            "EC": simulate(profiles_orig, mix, cluster, clients, config),
+            "SC": simulate(
+                profiles_orig, mix, cluster, clients, config, serialize_all=True
+            ),
+            "AT-EC": simulate(profiles_at, mix, cluster, clients, config),
+            "AT-SC": simulate(profiles_at_sc, mix, cluster, clients, config),
+        }
+        for mode, result in runs.items():
+            series[mode].points.append(
+                PerfPoint(
+                    clients=clients,
+                    throughput=result.throughput,
+                    avg_latency_ms=result.avg_latency_ms,
+                )
+            )
+    return PerfSweep(
+        benchmark=benchmark.name,
+        cluster=cluster.name,
+        client_counts=list(client_counts),
+        series=series,
+    )

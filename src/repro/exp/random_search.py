@@ -1,0 +1,98 @@
+"""Appendix A.3 / Figure 16: random refactoring vs oracle-guided repair.
+
+The baseline removes the anomaly-guided search: each round applies a
+batch of *randomly chosen* refactorings (random redirects and random
+logger translations over randomly chosen tables/fields) and re-counts
+anomalies.  The paper's finding -- random search almost never reduces the
+anomaly count, and never approaches the oracle-guided result -- falls out
+of how narrow the applicability windows of the rules are.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis import detect_anomalies
+from repro.errors import RefactoringError
+from repro.lang import ast
+from repro.refactor.logger import apply_logger, build_logger
+from repro.refactor.redirect import apply_redirect, build_redirect
+from repro.repair import repair
+
+
+@dataclass
+class RandomSearchResult:
+    benchmark: str
+    atropos_count: int
+    initial_count: int
+    round_counts: List[int] = field(default_factory=list)
+
+    @property
+    def best_random(self) -> int:
+        return min(self.round_counts) if self.round_counts else self.initial_count
+
+
+def _random_refactoring(
+    program: ast.Program, rng: random.Random
+) -> Optional[ast.Program]:
+    """Try one random rule application; None if the draw is inapplicable."""
+    tables = list(program.schema_names)
+    if not tables:
+        return None
+    if rng.random() < 0.5:
+        src = rng.choice(tables)
+        dst = rng.choice(tables)
+        if src == dst:
+            return None
+        schema = program.schema(src)
+        if not schema.non_key_fields:
+            return None
+        fields = [rng.choice(schema.non_key_fields)]
+        rewrite = build_redirect(program, src, dst, fields)
+        if rewrite is None:
+            return None
+        try:
+            new_program, _ = apply_redirect(program, rewrite)
+            return new_program
+        except RefactoringError:
+            return None
+    src = rng.choice(tables)
+    schema = program.schema(src)
+    if not schema.non_key_fields:
+        return None
+    rewrite = build_logger(program, src, rng.choice(schema.non_key_fields))
+    try:
+        new_program, _ = apply_logger(program, rewrite)
+        return new_program
+    except RefactoringError:
+        return None
+
+
+def run_random_search(
+    benchmark,
+    rounds: int = 20,
+    refactorings_per_round: int = 10,
+    seed: int = 42,
+) -> RandomSearchResult:
+    """Figure 16 for one benchmark: ``rounds`` batches of random
+    refactorings, each scored by the EC anomaly count."""
+    rng = random.Random(seed)
+    program = benchmark.program()
+    initial = len(detect_anomalies(program))
+    atropos = len(repair(program).residual_pairs)
+    counts: List[int] = []
+    for _ in range(rounds):
+        candidate = program
+        for _ in range(refactorings_per_round):
+            result = _random_refactoring(candidate, rng)
+            if result is not None:
+                candidate = result
+        counts.append(len(detect_anomalies(candidate)))
+    return RandomSearchResult(
+        benchmark=benchmark.name,
+        atropos_count=atropos,
+        initial_count=initial,
+        round_counts=counts,
+    )

@@ -1,0 +1,27 @@
+"""Plain-text rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Align columns; no external dependencies, terminal-friendly."""
+    materialized: List[List[str]] = [list(map(str, headers))]
+    materialized += [list(map(str, row)) for row in rows]
+    widths = [
+        max(len(row[i]) for row in materialized)
+        for i in range(len(materialized[0]))
+    ]
+    lines = []
+    for idx, row in enumerate(materialized):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[int], ys: Sequence[float]) -> str:
+    pairs = ", ".join(f"{x}:{y:.1f}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

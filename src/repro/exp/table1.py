@@ -1,0 +1,78 @@
+"""Table 1: anomalous access pairs before/after repair, per level.
+
+For each benchmark the driver reports the columns of the paper's Table 1:
+transaction count, table counts before and after refactoring, anomaly
+counts under EC for the original (EC) and refactored (AT) programs,
+anomaly counts under causal consistency (CC) and repeatable read (RR)
+for the original program, and the total analysis+repair time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis import AnomalyOracle, CC, EC, RR
+from repro.corpus import ALL_BENCHMARKS, Benchmark
+from repro.repair import repair
+from repro.repair.engine import RepairReport
+
+
+@dataclass
+class Table1Row:
+    """One benchmark's measured row, paired with the paper's numbers."""
+
+    name: str
+    txns: int
+    tables_before: int
+    tables_after: int
+    ec: int
+    at: int
+    cc: int
+    rr: int
+    time_s: float
+    report: RepairReport
+    paper_ec: int
+    paper_at: int
+
+    def columns(self) -> List[str]:
+        return [
+            self.name,
+            str(self.txns),
+            f"{self.tables_before}, {self.tables_after}",
+            str(self.ec),
+            str(self.at),
+            str(self.cc),
+            str(self.rr),
+            f"{self.time_s:.1f}",
+        ]
+
+
+def run_table1_row(benchmark: Benchmark) -> Table1Row:
+    """Analyse and repair one benchmark."""
+    start = time.perf_counter()
+    program = benchmark.program()
+    report = repair(program)
+    cc_pairs = AnomalyOracle(CC).analyze(program).pairs
+    rr_pairs = AnomalyOracle(RR).analyze(program).pairs
+    elapsed = time.perf_counter() - start
+    return Table1Row(
+        name=benchmark.name,
+        txns=len(program.transactions),
+        tables_before=len(program.schemas),
+        tables_after=len(report.repaired_program.schemas),
+        ec=len(report.initial_pairs),
+        at=len(report.residual_pairs),
+        cc=len(cc_pairs),
+        rr=len(rr_pairs),
+        time_s=elapsed,
+        report=report,
+        paper_ec=benchmark.paper.ec,
+        paper_at=benchmark.paper.at,
+    )
+
+
+def run_table1(benchmarks: Optional[Sequence[Benchmark]] = None) -> List[Table1Row]:
+    """The full Table 1 sweep."""
+    return [run_table1_row(b) for b in (benchmarks or ALL_BENCHMARKS)]

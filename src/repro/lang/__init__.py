@@ -1,0 +1,91 @@
+"""The database-program DSL of the paper (Figure 5).
+
+This package provides:
+
+- :mod:`repro.lang.ast` -- immutable AST node types for schemas,
+  expressions, where clauses, commands, transactions, and programs;
+- :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` -- a hand-written
+  tokenizer and recursive-descent parser for the textual DSL;
+- :mod:`repro.lang.printer` -- a round-trippable pretty printer;
+- :mod:`repro.lang.validate` -- static well-formedness checking;
+- :mod:`repro.lang.traverse` -- generic traversal and rewriting helpers.
+
+The convenience function :func:`parse_program` turns DSL source text into
+a validated :class:`repro.lang.ast.Program`.
+"""
+
+from repro.lang.ast import (
+    Agg,
+    Arg,
+    At,
+    BinOp,
+    BoolOp,
+    Cmp,
+    Command,
+    Const,
+    Expr,
+    If,
+    Insert,
+    Iterate,
+    IterVar,
+    Not,
+    Program,
+    Schema,
+    Select,
+    Skip,
+    Transaction,
+    Update,
+    Uuid,
+    Where,
+    WhereBool,
+    WhereCond,
+    WhereTrue,
+    STAR,
+)
+from repro.lang.parser import parse_program, parse_expression, parse_where
+from repro.lang.printer import (
+    print_program,
+    print_transaction,
+    print_command,
+    print_expression,
+    print_where,
+)
+from repro.lang.validate import validate_program
+
+__all__ = [
+    "Agg",
+    "Arg",
+    "At",
+    "BinOp",
+    "BoolOp",
+    "Cmp",
+    "Command",
+    "Const",
+    "Expr",
+    "If",
+    "Insert",
+    "Iterate",
+    "IterVar",
+    "Not",
+    "Program",
+    "Schema",
+    "Select",
+    "Skip",
+    "Transaction",
+    "Update",
+    "Uuid",
+    "Where",
+    "WhereBool",
+    "WhereCond",
+    "WhereTrue",
+    "STAR",
+    "parse_program",
+    "parse_expression",
+    "parse_where",
+    "print_program",
+    "print_transaction",
+    "print_command",
+    "print_expression",
+    "print_where",
+    "validate_program",
+]

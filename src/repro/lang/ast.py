@@ -1,0 +1,486 @@
+"""AST node definitions for the database-program DSL (paper Figure 5).
+
+The grammar implemented here is the paper's language extended with the two
+constructs its refactored programs rely on:
+
+- ``INSERT`` commands (the paper models inserts through the ``alive``
+  field; the refactored programs of Section 2 use explicit inserts into
+  logging tables, so we make them first-class), and
+- the ``uuid()`` expression used to generate fresh primary keys for
+  logging-table inserts.
+
+All nodes are immutable (frozen dataclasses); rewriting produces new trees
+via :mod:`repro.lang.traverse`.  Commands carry an optional ``label``
+(``"S1"``, ``"U4.2"``, ...) used by the anomaly detector and repair engine
+to report access pairs exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+# Sentinel used as the field list of ``SELECT * FROM ...``.
+STAR = "*"
+
+ARITH_OPS = ("+", "-", "*", "/")
+CMP_OPS = ("<", "<=", "=", "!=", ">", ">=")
+BOOL_OPS = ("and", "or")
+AGG_FUNCS = ("sum", "min", "max", "count", "any")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expressions (``e`` in Figure 5)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant: integer, boolean, or string."""
+
+    value: Union[int, bool, str]
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Arg(Expr):
+    """A reference to a transaction parameter."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class IterVar(Expr):
+    """The current iteration counter inside an ``iterate`` body (``iter``)."""
+
+
+@dataclass(frozen=True)
+class Uuid(Expr):
+    """``uuid()`` -- a value guaranteed fresh per evaluation.
+
+    Used by the logger refactoring to mint unique ``log_id`` keys so every
+    transaction instance inserts a distinct record.
+    """
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Arithmetic operation ``e1 (+|-|*|/) e2``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITH_OPS:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """Comparison ``e1 (<|<=|=|!=|>|>=) e2``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in CMP_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """Boolean connective ``e1 (and|or) e2``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BOOL_OPS:
+            raise ValueError(f"unknown boolean operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Boolean negation.
+
+    Not part of Figure 5's minimal grammar but standard in the benchmark
+    programs; desugars to nothing special.
+    """
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class At(Expr):
+    """``at_e(x.f)`` -- the field ``f`` of the ``e``-th record held in ``x``.
+
+    Indexing is 1-based, matching the paper's ``at1`` notation.  The
+    surface syntax ``x.f`` is sugar for ``at_1(x.f)``.
+    """
+
+    index: Expr
+    var: str
+    field: str
+
+
+@dataclass(frozen=True)
+class Agg(Expr):
+    """``agg(x.f)`` -- aggregate field ``f`` over all records held in ``x``.
+
+    ``func`` is one of ``sum``, ``min``, ``max``, ``count``, ``any``; the
+    paper's core grammar lists sum/min/max, ``count`` appears in benchmark
+    programs and ``any`` is the nondeterministic-choice aggregator used by
+    value correspondences.
+    """
+
+    func: str
+    var: str
+    field: str
+
+    def __post_init__(self) -> None:
+        if self.func not in AGG_FUNCS:
+            raise ValueError(f"unknown aggregator {self.func!r}")
+
+
+# ---------------------------------------------------------------------------
+# Where clauses
+# ---------------------------------------------------------------------------
+
+
+class Where:
+    """Base class for where clauses (``phi`` in Figure 5)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class WhereTrue(Where):
+    """The trivially true clause (full-table scan)."""
+
+
+@dataclass(frozen=True)
+class WhereCond(Where):
+    """``this.f (op) e`` -- constrain field ``f`` of the scanned record."""
+
+    field: str
+    op: str
+    expr: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in CMP_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class WhereBool(Where):
+    """``phi1 (and|or) phi2``."""
+
+    op: str
+    left: Where
+    right: Where
+
+    def __post_init__(self) -> None:
+        if self.op not in BOOL_OPS:
+            raise ValueError(f"unknown boolean operator {self.op!r}")
+
+
+def where_fields(phi: Where) -> Tuple[str, ...]:
+    """The ordered set of fields mentioned by a where clause (``phi_fld``)."""
+    out: list[str] = []
+
+    def walk(w: Where) -> None:
+        if isinstance(w, WhereCond):
+            if w.field not in out:
+                out.append(w.field)
+        elif isinstance(w, WhereBool):
+            walk(w.left)
+            walk(w.right)
+
+    walk(phi)
+    return tuple(out)
+
+
+def where_conjuncts(phi: Where) -> Optional[Tuple[WhereCond, ...]]:
+    """Flatten ``phi`` into a conjunction of atomic conditions.
+
+    Returns ``None`` if the clause contains a disjunction, in which case it
+    cannot be treated as a simple conjunction (used by the well-formedness
+    check of Section 4.2.1).
+    """
+    out: list[WhereCond] = []
+
+    def walk(w: Where) -> bool:
+        if isinstance(w, WhereTrue):
+            return True
+        if isinstance(w, WhereCond):
+            out.append(w)
+            return True
+        if isinstance(w, WhereBool):
+            if w.op != "and":
+                return False
+            return walk(w.left) and walk(w.right)
+        raise TypeError(f"not a where clause: {w!r}")
+
+    if not walk(phi):
+        return None
+    return tuple(out)
+
+
+def make_conjunction(conds: Sequence[Where]) -> Where:
+    """Build ``c1 and c2 and ...``; empty input yields :class:`WhereTrue`."""
+    conds = [c for c in conds if not isinstance(c, WhereTrue)]
+    if not conds:
+        return WhereTrue()
+    result: Where = conds[0]
+    for cond in conds[1:]:
+        result = WhereBool("and", result, cond)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+class Command:
+    """Base class for commands (``c`` in Figure 5)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Select(Command):
+    """``x := SELECT f1, f2 FROM R WHERE phi``.
+
+    ``fields`` is either the tuple of selected field names or the
+    :data:`STAR` sentinel for ``SELECT *``.
+    """
+
+    var: str
+    fields: Union[str, Tuple[str, ...]]
+    table: str
+    where: Where
+    label: str = ""
+
+    def selected_fields(self, schema: "Schema") -> Tuple[str, ...]:
+        """Resolve the accessed fields against ``schema`` (expands ``*``)."""
+        if self.fields == STAR:
+            return schema.fields
+        return tuple(self.fields)
+
+
+@dataclass(frozen=True)
+class Update(Command):
+    """``UPDATE R SET f1 = e1, f2 = e2 WHERE phi``."""
+
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Where
+    label: str = ""
+
+    @property
+    def written_fields(self) -> Tuple[str, ...]:
+        return tuple(f for f, _ in self.assignments)
+
+
+@dataclass(frozen=True)
+class Insert(Command):
+    """``INSERT INTO R VALUES (f1 = e1, ...)``.
+
+    Semantically sugar for materialising a fresh record (the paper models
+    this by flipping the implicit ``alive`` field); the assignments must
+    cover the schema's full primary key.
+    """
+
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    label: str = ""
+
+    @property
+    def written_fields(self) -> Tuple[str, ...]:
+        return tuple(f for f, _ in self.assignments)
+
+
+@dataclass(frozen=True)
+class If(Command):
+    """``if (e) { c }``."""
+
+    cond: Expr
+    body: Tuple[Command, ...]
+
+
+@dataclass(frozen=True)
+class Iterate(Command):
+    """``iterate (e) { c }`` -- run the body ``e`` times."""
+
+    count: Expr
+    body: Tuple[Command, ...]
+
+
+@dataclass(frozen=True)
+class Skip(Command):
+    """``skip`` -- the no-op command."""
+
+
+# ---------------------------------------------------------------------------
+# Schemas, transactions, programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A database schema: name, fields, primary-key subset, references.
+
+    ``refs`` maps a (non-key) field to the ``(table, field)`` it references
+    -- the DSL's ``ref`` annotation.  References are how benchmark programs
+    declare the foreign-key-like relationships the redirect refactoring
+    exploits to construct record correspondences (the lifted theta-hat of
+    Section 4.2.1).
+    """
+
+    name: str
+    fields: Tuple[str, ...]
+    key: Tuple[str, ...]
+    refs: Tuple[Tuple[str, Tuple[str, str]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError(f"schema {self.name} must have a primary key")
+        seen = set()
+        for f in self.fields:
+            if f in seen:
+                raise ValueError(f"schema {self.name}: duplicate field {f}")
+            seen.add(f)
+        for k in self.key:
+            if k not in self.fields:
+                raise ValueError(f"schema {self.name}: key field {k} not declared")
+
+    @property
+    def non_key_fields(self) -> Tuple[str, ...]:
+        return tuple(f for f in self.fields if f not in self.key)
+
+    @property
+    def ref_map(self) -> Mapping[str, Tuple[str, str]]:
+        return dict(self.refs)
+
+    def with_field(self, fname: str, ref: Optional[Tuple[str, str]] = None) -> "Schema":
+        """Return a copy with one extra non-key field (rule ``intro rho.f``)."""
+        if fname in self.fields:
+            raise ValueError(f"schema {self.name}: field {fname} already exists")
+        refs = self.refs + ((fname, ref),) if ref else self.refs
+        return replace(self, fields=self.fields + (fname,), refs=refs)
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A named transaction: parameters, body, and return expression.
+
+    ``serializable`` marks the transaction as requiring serializable
+    execution from the store; the repair pipeline sets it on transactions
+    whose anomalies could not be refactored away (the AT-SC configuration
+    of Section 7.2).
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    body: Tuple[Command, ...]
+    ret: Optional[Expr] = None
+    serializable: bool = False
+
+
+@dataclass(frozen=True)
+class Program:
+    """A database program ``P = (R-bar, T-bar)``."""
+
+    schemas: Tuple[Schema, ...]
+    transactions: Tuple[Transaction, ...]
+
+    def schema(self, name: str) -> Schema:
+        for s in self.schemas:
+            if s.name == name:
+                return s
+        raise KeyError(f"no schema named {name}")
+
+    def has_schema(self, name: str) -> bool:
+        return any(s.name == name for s in self.schemas)
+
+    def transaction(self, name: str) -> Transaction:
+        for t in self.transactions:
+            if t.name == name:
+                return t
+        raise KeyError(f"no transaction named {name}")
+
+    @property
+    def schema_names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.schemas)
+
+    def with_schema(self, schema: Schema) -> "Program":
+        """Add a new schema (rule ``intro rho``)."""
+        if self.has_schema(schema.name):
+            raise ValueError(f"schema {schema.name} already exists")
+        return replace(self, schemas=self.schemas + (schema,))
+
+    def replace_schema(self, schema: Schema) -> "Program":
+        return replace(
+            self,
+            schemas=tuple(schema if s.name == schema.name else s for s in self.schemas),
+        )
+
+    def without_schema(self, name: str) -> "Program":
+        return replace(self, schemas=tuple(s for s in self.schemas if s.name != name))
+
+    def replace_transaction(self, txn: Transaction) -> "Program":
+        return replace(
+            self,
+            transactions=tuple(
+                txn if t.name == txn.name else t for t in self.transactions
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Convenience iteration
+# ---------------------------------------------------------------------------
+
+
+def iter_commands(body: Sequence[Command]) -> Iterator[Command]:
+    """Yield every database command in ``body``, descending into control."""
+    for cmd in body:
+        if isinstance(cmd, (If, Iterate)):
+            yield from iter_commands(cmd.body)
+        elif isinstance(cmd, (Select, Update, Insert)):
+            yield cmd
+
+
+def iter_db_commands(txn: Transaction) -> Iterator[Command]:
+    """Yield the database commands of a transaction in program order."""
+    return iter_commands(txn.body)
+
+
+def command_by_label(program: Program, label: str) -> Command:
+    """Find a database command anywhere in ``program`` by its label."""
+    for txn in program.transactions:
+        for cmd in iter_db_commands(txn):
+            if getattr(cmd, "label", "") == label:
+                return cmd
+    raise KeyError(f"no command labelled {label}")
+
+
+def transaction_of_label(program: Program, label: str) -> Transaction:
+    """Find the transaction containing the command labelled ``label``."""
+    for txn in program.transactions:
+        for cmd in iter_db_commands(txn):
+            if getattr(cmd, "label", "") == label:
+                return txn
+    raise KeyError(f"no command labelled {label}")

@@ -1,0 +1,174 @@
+"""Tokenizer for the database-program DSL.
+
+A small hand-written scanner: it keeps line/column information for error
+reporting and understands ``//`` line comments (the comment style the
+paper's listings use) as well as ``#`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset(
+    {
+        "schema",
+        "key",
+        "field",
+        "ref",
+        "txn",
+        "return",
+        "select",
+        "from",
+        "where",
+        "update",
+        "set",
+        "insert",
+        "into",
+        "values",
+        "if",
+        "iterate",
+        "skip",
+        "and",
+        "or",
+        "not",
+        "true",
+        "false",
+        "this",
+        "iter",
+        "sum",
+        "min",
+        "max",
+        "count",
+        "any",
+        "at",
+        "uuid",
+        "serializable",
+    }
+)
+
+# Multi-character operators must precede their prefixes.
+SYMBOLS = (
+    ":=",
+    "<=",
+    ">=",
+    "!=",
+    "==",
+    "(",
+    ")",
+    "{",
+    "}",
+    ",",
+    ";",
+    ".",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of ``"ident"``, ``"keyword"``, ``"int"``, ``"string"``,
+    ``"symbol"``, or ``"eof"``; ``value`` is the lexeme (for ints, the
+    decimal text).
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind == "symbol" and self.value in symbols
+
+    def is_keyword(self, *keywords: str) -> bool:
+        return self.kind == "keyword" and self.value in keywords
+
+
+def tokenize(source: str) -> List[Token]:
+    """Scan ``source`` into a token list ending with an ``eof`` token."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        # Whitespace.
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # Comments: // ... and # ...
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        # String literals.
+        if ch in ("'", '"'):
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and source[j] != quote:
+                if source[j] == "\n":
+                    raise ParseError("unterminated string literal", line, col)
+                buf.append(source[j])
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", line, col)
+            yield Token("string", "".join(buf), line, col)
+            width = j + 1 - i
+            i = j + 1
+            col += width
+            continue
+        # Numbers.
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            yield Token("int", source[i:j], line, col)
+            col += j - i
+            i = j
+            continue
+        # Identifiers / keywords.
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            yield Token(kind, word, line, col)
+            col += j - i
+            i = j
+            continue
+        # Symbols.
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                yield Token("symbol", sym, line, col)
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line, col)
+    yield Token("eof", "", line, col)

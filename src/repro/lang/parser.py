@@ -1,0 +1,468 @@
+"""Recursive-descent parser for the database-program DSL.
+
+Surface syntax (mirrors the paper's listings)::
+
+    schema STUDENT {
+      key st_id;
+      field st_name;
+      field st_em_id ref EMAIL.em_id;
+      field st_co_id ref COURSE.co_id;
+      field st_reg;
+    }
+
+    txn getSt(id) {
+      x := select * from STUDENT where st_id = id;
+      y := select em_addr from EMAIL where em_id = x.st_em_id;
+      z := select co_avail from COURSE where co_id = x.st_co_id;
+      return y.em_addr;
+    }
+
+Notes:
+
+- ``x.f`` in an expression is sugar for ``at(1, x.f)``;
+- bare identifiers in expressions denote transaction arguments;
+- where clauses accept both ``st_id = id`` and ``this.st_id = id``;
+- database commands are automatically labelled ``S1, S2, ...`` (selects),
+  ``U1, ...`` (updates), ``I1, ...`` (inserts) in program order within each
+  transaction, matching the paper's figure conventions.  Explicit labels
+  can be given with a leading ``@name:`` marker -- not needed in practice.
+- a transaction may be prefixed with ``serializable`` to pin it to
+  serializable execution (used for AT-SC program variants).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+
+
+def parse_program(source: str, validate: bool = True) -> ast.Program:
+    """Parse DSL source text into a :class:`~repro.lang.ast.Program`.
+
+    When ``validate`` is true (the default) the program is also checked by
+    :func:`repro.lang.validate.validate_program`.
+    """
+    program = _Parser(tokenize(source)).parse_program()
+    if validate:
+        # Imported lazily to avoid an import cycle at module load.
+        from repro.lang.validate import validate_program
+
+        validate_program(program)
+    return program
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a standalone expression (mainly for tests and the REPL)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+def parse_where(source: str) -> ast.Where:
+    """Parse a standalone where clause."""
+    parser = _Parser(tokenize(source))
+    where = parser.parse_where_clause()
+    parser.expect_eof()
+    return where
+
+
+class _Parser:
+    """Stateful cursor over the token stream."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def error(self, message: str) -> ParseError:
+        tok = self.current
+        return ParseError(f"{message} (found {tok.kind} {tok.value!r})", tok.line, tok.column)
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.current.is_symbol(symbol):
+            raise self.error(f"expected {symbol!r}")
+        return self.advance()
+
+    def expect_keyword(self, keyword: str) -> Token:
+        if not self.current.is_keyword(keyword):
+            raise self.error(f"expected keyword {keyword!r}")
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.current.kind != "ident":
+            raise self.error("expected identifier")
+        return self.advance().value
+
+    def expect_eof(self) -> None:
+        if self.current.kind != "eof":
+            raise self.error("expected end of input")
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.current.is_symbol(symbol):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, keyword: str) -> bool:
+        if self.current.is_keyword(keyword):
+            self.advance()
+            return True
+        return False
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        schemas: List[ast.Schema] = []
+        txns: List[ast.Transaction] = []
+        while self.current.kind != "eof":
+            if self.current.is_keyword("schema"):
+                schemas.append(self.parse_schema())
+            elif self.current.is_keyword("txn", "serializable"):
+                txns.append(self.parse_transaction())
+            else:
+                raise self.error("expected 'schema' or 'txn'")
+        return ast.Program(schemas=tuple(schemas), transactions=tuple(txns))
+
+    def parse_schema(self) -> ast.Schema:
+        self.expect_keyword("schema")
+        name = self.expect_ident()
+        self.expect_symbol("{")
+        fields: List[str] = []
+        key: List[str] = []
+        refs: List[Tuple[str, Tuple[str, str]]] = []
+        while not self.accept_symbol("}"):
+            if self.accept_keyword("key"):
+                fname = self.expect_ident()
+                fields.append(fname)
+                key.append(fname)
+                if self.accept_keyword("ref"):
+                    rtable = self.expect_ident()
+                    self.expect_symbol(".")
+                    rfield = self.expect_ident()
+                    refs.append((fname, (rtable, rfield)))
+            elif self.accept_keyword("field"):
+                fname = self.expect_ident()
+                fields.append(fname)
+                if self.accept_keyword("ref"):
+                    rtable = self.expect_ident()
+                    self.expect_symbol(".")
+                    rfield = self.expect_ident()
+                    refs.append((fname, (rtable, rfield)))
+            else:
+                raise self.error("expected 'key' or 'field' declaration")
+            self.expect_symbol(";")
+        return ast.Schema(name=name, fields=tuple(fields), key=tuple(key), refs=tuple(refs))
+
+    def parse_transaction(self) -> ast.Transaction:
+        serializable = self.accept_keyword("serializable")
+        self.expect_keyword("txn")
+        name = self.expect_ident()
+        self.expect_symbol("(")
+        params: List[str] = []
+        if not self.current.is_symbol(")"):
+            params.append(self.expect_ident())
+            while self.accept_symbol(","):
+                params.append(self.expect_ident())
+        self.expect_symbol(")")
+        self.expect_symbol("{")
+        labeler = _Labeler()
+        body, ret = self.parse_block_body(labeler, allow_return=True)
+        return ast.Transaction(
+            name=name,
+            params=tuple(params),
+            body=tuple(body),
+            ret=ret,
+            serializable=serializable,
+        )
+
+    def parse_block_body(
+        self, labeler: "_Labeler", allow_return: bool
+    ) -> Tuple[List[ast.Command], Optional[ast.Expr]]:
+        """Parse statements until the closing ``}``; returns (body, ret)."""
+        body: List[ast.Command] = []
+        ret: Optional[ast.Expr] = None
+        while not self.accept_symbol("}"):
+            if self.current.is_keyword("return"):
+                if not allow_return:
+                    raise self.error("'return' only allowed at transaction top level")
+                self.advance()
+                ret = self.parse_expr()
+                self.expect_symbol(";")
+                self.expect_symbol("}")
+                break
+            body.append(self.parse_statement(labeler))
+        return body, ret
+
+    def parse_statement(self, labeler: "_Labeler") -> ast.Command:
+        tok = self.current
+        if tok.is_keyword("update"):
+            return self.parse_update(labeler)
+        if tok.is_keyword("insert"):
+            return self.parse_insert(labeler)
+        if tok.is_keyword("if"):
+            return self.parse_if(labeler)
+        if tok.is_keyword("iterate"):
+            return self.parse_iterate(labeler)
+        if tok.is_keyword("skip"):
+            self.advance()
+            self.expect_symbol(";")
+            return ast.Skip()
+        if tok.kind == "ident":
+            return self.parse_select(labeler)
+        raise self.error("expected a statement")
+
+    def parse_select(self, labeler: "_Labeler") -> ast.Select:
+        var = self.expect_ident()
+        self.expect_symbol(":=")
+        self.expect_keyword("select")
+        if self.accept_symbol("*"):
+            fields: object = ast.STAR
+        else:
+            names = [self.expect_ident()]
+            while self.accept_symbol(","):
+                names.append(self.expect_ident())
+            fields = tuple(names)
+        self.expect_keyword("from")
+        table = self.expect_ident()
+        self.expect_keyword("where")
+        where = self.parse_where_clause()
+        self.expect_symbol(";")
+        return ast.Select(
+            var=var, fields=fields, table=table, where=where, label=labeler.select()
+        )
+
+    def parse_update(self, labeler: "_Labeler") -> ast.Update:
+        self.expect_keyword("update")
+        table = self.expect_ident()
+        self.expect_keyword("set")
+        assignments = [self.parse_assignment()]
+        while self.accept_symbol(","):
+            assignments.append(self.parse_assignment())
+        self.expect_keyword("where")
+        where = self.parse_where_clause()
+        self.expect_symbol(";")
+        return ast.Update(
+            table=table,
+            assignments=tuple(assignments),
+            where=where,
+            label=labeler.update(),
+        )
+
+    def parse_insert(self, labeler: "_Labeler") -> ast.Insert:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_ident()
+        self.expect_keyword("values")
+        self.expect_symbol("(")
+        assignments = [self.parse_assignment()]
+        while self.accept_symbol(","):
+            assignments.append(self.parse_assignment())
+        self.expect_symbol(")")
+        self.expect_symbol(";")
+        return ast.Insert(
+            table=table, assignments=tuple(assignments), label=labeler.insert()
+        )
+
+    def parse_assignment(self) -> Tuple[str, ast.Expr]:
+        field = self.expect_ident()
+        self.expect_symbol("=")
+        return field, self.parse_expr()
+
+    def parse_if(self, labeler: "_Labeler") -> ast.If:
+        self.expect_keyword("if")
+        self.expect_symbol("(")
+        cond = self.parse_expr()
+        self.expect_symbol(")")
+        self.expect_symbol("{")
+        body, _ = self.parse_block_body(labeler, allow_return=False)
+        return ast.If(cond=cond, body=tuple(body))
+
+    def parse_iterate(self, labeler: "_Labeler") -> ast.Iterate:
+        self.expect_keyword("iterate")
+        self.expect_symbol("(")
+        count = self.parse_expr()
+        self.expect_symbol(")")
+        self.expect_symbol("{")
+        body, _ = self.parse_block_body(labeler, allow_return=False)
+        return ast.Iterate(count=count, body=tuple(body))
+
+    # -- where clauses -------------------------------------------------------
+
+    def parse_where_clause(self) -> ast.Where:
+        return self.parse_where_or()
+
+    def parse_where_or(self) -> ast.Where:
+        left = self.parse_where_and()
+        while self.accept_keyword("or"):
+            right = self.parse_where_and()
+            left = ast.WhereBool("or", left, right)
+        return left
+
+    def parse_where_and(self) -> ast.Where:
+        left = self.parse_where_atom()
+        while self.accept_keyword("and"):
+            right = self.parse_where_atom()
+            left = ast.WhereBool("and", left, right)
+        return left
+
+    def parse_where_atom(self) -> ast.Where:
+        if self.accept_keyword("true"):
+            return ast.WhereTrue()
+        if self.accept_symbol("("):
+            inner = self.parse_where_or()
+            self.expect_symbol(")")
+            return inner
+        if self.accept_keyword("this"):
+            self.expect_symbol(".")
+        field = self.expect_ident()
+        op = self.parse_cmp_op()
+        # The condition's right-hand side stops at the arithmetic level so
+        # that `and`/`or` bind as clause connectives, not expression ones.
+        expr = self.parse_add()
+        return ast.WhereCond(field=field, op=op, expr=expr)
+
+    def parse_cmp_op(self) -> str:
+        tok = self.current
+        if tok.is_symbol("=", "==", "<", "<=", ">", ">=", "!="):
+            self.advance()
+            return "=" if tok.value == "==" else tok.value
+        raise self.error("expected comparison operator")
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.accept_keyword("or"):
+            left = ast.BoolOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.accept_keyword("and"):
+            left = ast.BoolOp("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.accept_keyword("not"):
+            return ast.Not(self.parse_not())
+        return self.parse_cmp()
+
+    def parse_cmp(self) -> ast.Expr:
+        left = self.parse_add()
+        tok = self.current
+        if tok.is_symbol("=", "==", "<", "<=", ">", ">=", "!="):
+            self.advance()
+            op = "=" if tok.value == "==" else tok.value
+            return ast.Cmp(op, left, self.parse_add())
+        return left
+
+    def parse_add(self) -> ast.Expr:
+        left = self.parse_mul()
+        while self.current.is_symbol("+", "-"):
+            op = self.advance().value
+            left = ast.BinOp(op, left, self.parse_mul())
+        return left
+
+    def parse_mul(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.current.is_symbol("*", "/"):
+            op = self.advance().value
+            left = ast.BinOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.accept_symbol("-"):
+            return ast.BinOp("-", ast.Const(0), self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.current
+        if tok.kind == "int":
+            self.advance()
+            return ast.Const(int(tok.value))
+        if tok.kind == "string":
+            self.advance()
+            return ast.Const(tok.value)
+        if tok.is_keyword("true"):
+            self.advance()
+            return ast.Const(True)
+        if tok.is_keyword("false"):
+            self.advance()
+            return ast.Const(False)
+        if tok.is_keyword("iter"):
+            self.advance()
+            return ast.IterVar()
+        if tok.is_keyword("uuid"):
+            self.advance()
+            self.expect_symbol("(")
+            self.expect_symbol(")")
+            return ast.Uuid()
+        if tok.is_keyword("sum", "min", "max", "count", "any"):
+            func = self.advance().value
+            self.expect_symbol("(")
+            var = self.expect_ident()
+            self.expect_symbol(".")
+            field = self.expect_ident()
+            self.expect_symbol(")")
+            return ast.Agg(func, var, field)
+        if tok.is_keyword("at"):
+            self.advance()
+            self.expect_symbol("(")
+            index = self.parse_expr()
+            self.expect_symbol(",")
+            var = self.expect_ident()
+            self.expect_symbol(".")
+            field = self.expect_ident()
+            self.expect_symbol(")")
+            return ast.At(index, var, field)
+        if tok.is_symbol("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_symbol(")")
+            return inner
+        if tok.kind == "ident":
+            name = self.advance().value
+            if self.accept_symbol("."):
+                field = self.expect_ident()
+                return ast.At(ast.Const(1), name, field)
+            return ast.Arg(name)
+        raise self.error("expected an expression")
+
+
+class _Labeler:
+    """Assigns the paper-style S/U/I labels within one transaction."""
+
+    def __init__(self) -> None:
+        self.selects = 0
+        self.updates = 0
+        self.inserts = 0
+
+    def select(self) -> str:
+        self.selects += 1
+        return f"S{self.selects}"
+
+    def update(self) -> str:
+        self.updates += 1
+        return f"U{self.updates}"
+
+    def insert(self) -> str:
+        self.inserts += 1
+        return f"I{self.inserts}"

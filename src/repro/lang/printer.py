@@ -1,0 +1,155 @@
+"""Pretty printer for the DSL.
+
+``parse_program(print_program(p))`` is structurally equal to ``p`` up to
+command labels (which are regenerated deterministically by the parser);
+the round-trip property is exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+
+_INDENT = "  "
+
+
+def print_expression(expr: ast.Expr) -> str:
+    """Render an expression in surface syntax."""
+    return _expr(expr, 0)
+
+
+# Binding strengths for parenthesisation: higher binds tighter.
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "cmp": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+}
+
+
+def _expr(expr: ast.Expr, parent_prec: int) -> str:
+    if isinstance(expr, ast.Const):
+        if isinstance(expr.value, bool):
+            return "true" if expr.value else "false"
+        if isinstance(expr.value, str):
+            return f"'{expr.value}'"
+        return str(expr.value)
+    if isinstance(expr, ast.Arg):
+        return expr.name
+    if isinstance(expr, ast.IterVar):
+        return "iter"
+    if isinstance(expr, ast.Uuid):
+        return "uuid()"
+    if isinstance(expr, ast.At):
+        if expr.index == ast.Const(1):
+            return f"{expr.var}.{expr.field}"
+        return f"at({_expr(expr.index, 0)}, {expr.var}.{expr.field})"
+    if isinstance(expr, ast.Agg):
+        return f"{expr.func}({expr.var}.{expr.field})"
+    if isinstance(expr, ast.Not):
+        # `not` binds between `and` and comparisons; parenthesise when the
+        # context binds tighter.
+        text = f"not {_expr(expr.operand, 3)}"
+        return f"({text})" if parent_prec > 2 else text
+    if isinstance(expr, ast.BinOp):
+        prec = _PRECEDENCE[expr.op]
+        text = f"{_expr(expr.left, prec)} {expr.op} {_expr(expr.right, prec + 1)}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, ast.Cmp):
+        prec = _PRECEDENCE["cmp"]
+        text = f"{_expr(expr.left, prec + 1)} {expr.op} {_expr(expr.right, prec + 1)}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, ast.BoolOp):
+        prec = _PRECEDENCE[expr.op]
+        text = f"{_expr(expr.left, prec)} {expr.op} {_expr(expr.right, prec + 1)}"
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def print_where(where: ast.Where) -> str:
+    """Render a where clause in surface syntax."""
+    if isinstance(where, ast.WhereTrue):
+        return "true"
+    if isinstance(where, ast.WhereCond):
+        return f"{where.field} {where.op} {_expr(where.expr, 0)}"
+    if isinstance(where, ast.WhereBool):
+        left = print_where(where.left)
+        right = print_where(where.right)
+        if where.op == "and":
+            if isinstance(where.left, ast.WhereBool) and where.left.op == "or":
+                left = f"({left})"
+            if isinstance(where.right, ast.WhereBool) and where.right.op == "or":
+                right = f"({right})"
+        return f"{left} {where.op} {right}"
+    raise TypeError(f"not a where clause: {where!r}")
+
+
+def print_command(cmd: ast.Command, indent: int = 0, labels: bool = True) -> str:
+    """Render a command; nested bodies are indented."""
+    pad = _INDENT * indent
+    note = ""
+    if labels and getattr(cmd, "label", ""):
+        note = f"  // {cmd.label}"
+    if isinstance(cmd, ast.Select):
+        fields = "*" if cmd.fields == ast.STAR else ", ".join(cmd.fields)
+        return (
+            f"{pad}{cmd.var} := select {fields} from {cmd.table} "
+            f"where {print_where(cmd.where)};{note}"
+        )
+    if isinstance(cmd, ast.Update):
+        sets = ", ".join(f"{f} = {_expr(e, 0)}" for f, e in cmd.assignments)
+        return (
+            f"{pad}update {cmd.table} set {sets} "
+            f"where {print_where(cmd.where)};{note}"
+        )
+    if isinstance(cmd, ast.Insert):
+        sets = ", ".join(f"{f} = {_expr(e, 0)}" for f, e in cmd.assignments)
+        return f"{pad}insert into {cmd.table} values ({sets});{note}"
+    if isinstance(cmd, ast.If):
+        lines = [f"{pad}if ({_expr(cmd.cond, 0)}) {{"]
+        lines += [print_command(c, indent + 1, labels) for c in cmd.body]
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if isinstance(cmd, ast.Iterate):
+        lines = [f"{pad}iterate ({_expr(cmd.count, 0)}) {{"]
+        lines += [print_command(c, indent + 1, labels) for c in cmd.body]
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if isinstance(cmd, ast.Skip):
+        return f"{pad}skip;"
+    raise TypeError(f"not a command: {cmd!r}")
+
+
+def print_schema(schema: ast.Schema) -> str:
+    lines = [f"schema {schema.name} {{"]
+    refs = schema.ref_map
+    for f in schema.fields:
+        kind = "key" if f in schema.key else "field"
+        suffix = ""
+        if f in refs:
+            rtable, rfield = refs[f]
+            suffix = f" ref {rtable}.{rfield}"
+        lines.append(f"{_INDENT}{kind} {f}{suffix};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_transaction(txn: ast.Transaction, labels: bool = True) -> str:
+    prefix = "serializable " if txn.serializable else ""
+    lines = [f"{prefix}txn {txn.name}({', '.join(txn.params)}) {{"]
+    lines += [print_command(c, 1, labels) for c in txn.body]
+    if txn.ret is not None:
+        lines.append(f"{_INDENT}return {_expr(txn.ret, 0)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_program(program: ast.Program, labels: bool = True) -> str:
+    """Render a whole program (schemas first, then transactions)."""
+    parts: List[str] = [print_schema(s) for s in program.schemas]
+    parts += [print_transaction(t, labels) for t in program.transactions]
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,251 @@
+"""Generic traversal and rewriting helpers over DSL ASTs.
+
+The refactoring engine (Section 4) is expressed as structural rewrites on
+expressions, where clauses, and commands; this module centralises the
+boilerplate so rule implementations only say what changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lang import ast
+
+ExprFn = Callable[[ast.Expr], Optional[ast.Expr]]
+CmdFn = Callable[[ast.Command], Optional[Sequence[ast.Command]]]
+
+
+# ---------------------------------------------------------------------------
+# Expression traversal
+# ---------------------------------------------------------------------------
+
+
+def iter_subexpressions(expr: ast.Expr) -> Iterator[ast.Expr]:
+    """Yield ``expr`` and all its descendants, preorder."""
+    yield expr
+    if isinstance(expr, (ast.BinOp, ast.Cmp, ast.BoolOp)):
+        yield from iter_subexpressions(expr.left)
+        yield from iter_subexpressions(expr.right)
+    elif isinstance(expr, ast.Not):
+        yield from iter_subexpressions(expr.operand)
+    elif isinstance(expr, ast.At):
+        yield from iter_subexpressions(expr.index)
+
+
+def rewrite_expression(expr: ast.Expr, fn: ExprFn) -> ast.Expr:
+    """Bottom-up rewrite: ``fn`` may return a replacement or ``None``."""
+    if isinstance(expr, (ast.BinOp, ast.Cmp, ast.BoolOp)):
+        expr = replace(
+            expr,
+            left=rewrite_expression(expr.left, fn),
+            right=rewrite_expression(expr.right, fn),
+        )
+    elif isinstance(expr, ast.Not):
+        expr = replace(expr, operand=rewrite_expression(expr.operand, fn))
+    elif isinstance(expr, ast.At):
+        expr = replace(expr, index=rewrite_expression(expr.index, fn))
+    replacement = fn(expr)
+    return expr if replacement is None else replacement
+
+
+def expression_vars(expr: ast.Expr) -> Set[str]:
+    """Local variables (``x`` of ``x.f`` / ``agg(x.f)``) referenced."""
+    out: Set[str] = set()
+    for sub in iter_subexpressions(expr):
+        if isinstance(sub, (ast.At, ast.Agg)):
+            out.add(sub.var)
+    return out
+
+
+def expression_field_accesses(expr: ast.Expr) -> Set[Tuple[str, str]]:
+    """All ``(var, field)`` accesses appearing in the expression."""
+    out: Set[Tuple[str, str]] = set()
+    for sub in iter_subexpressions(expr):
+        if isinstance(sub, (ast.At, ast.Agg)):
+            out.add((sub.var, sub.field))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Where-clause traversal
+# ---------------------------------------------------------------------------
+
+
+def rewrite_where(where: ast.Where, fn: ExprFn) -> ast.Where:
+    """Apply an expression rewrite inside every condition of ``where``."""
+    if isinstance(where, ast.WhereTrue):
+        return where
+    if isinstance(where, ast.WhereCond):
+        return replace(where, expr=rewrite_expression(where.expr, fn))
+    if isinstance(where, ast.WhereBool):
+        return replace(
+            where,
+            left=rewrite_where(where.left, fn),
+            right=rewrite_where(where.right, fn),
+        )
+    raise TypeError(f"not a where clause: {where!r}")
+
+
+def where_expressions(where: ast.Where) -> Iterator[ast.Expr]:
+    if isinstance(where, ast.WhereCond):
+        yield where.expr
+    elif isinstance(where, ast.WhereBool):
+        yield from where_expressions(where.left)
+        yield from where_expressions(where.right)
+
+
+def where_vars(where: ast.Where) -> Set[str]:
+    out: Set[str] = set()
+    for expr in where_expressions(where):
+        out |= expression_vars(expr)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Command traversal
+# ---------------------------------------------------------------------------
+
+
+def rewrite_commands(
+    body: Sequence[ast.Command], fn: CmdFn
+) -> Tuple[ast.Command, ...]:
+    """Rewrite a command sequence.
+
+    ``fn`` is applied to each database command (selects/updates/inserts);
+    it may return ``None`` (keep), an empty sequence (delete), or one or
+    more replacement commands (split/merge sites use this).  Control
+    commands recurse into their bodies.
+    """
+    out: List[ast.Command] = []
+    for cmd in body:
+        if isinstance(cmd, ast.If):
+            out.append(replace(cmd, body=rewrite_commands(cmd.body, fn)))
+        elif isinstance(cmd, ast.Iterate):
+            out.append(replace(cmd, body=rewrite_commands(cmd.body, fn)))
+        elif isinstance(cmd, (ast.Select, ast.Update, ast.Insert)):
+            result = fn(cmd)
+            if result is None:
+                out.append(cmd)
+            else:
+                out.extend(result)
+        else:
+            out.append(cmd)
+    return tuple(out)
+
+
+def rewrite_transaction_commands(txn: ast.Transaction, fn: CmdFn) -> ast.Transaction:
+    return replace(txn, body=rewrite_commands(txn.body, fn))
+
+
+def rewrite_program_commands(program: ast.Program, fn: CmdFn) -> ast.Program:
+    return replace(
+        program,
+        transactions=tuple(
+            rewrite_transaction_commands(t, fn) for t in program.transactions
+        ),
+    )
+
+
+def rewrite_program_expressions(program: ast.Program, fn: ExprFn) -> ast.Program:
+    """Apply an expression rewrite everywhere expressions occur."""
+
+    def on_command(cmd: ast.Command) -> Optional[Sequence[ast.Command]]:
+        if isinstance(cmd, ast.Select):
+            return (replace(cmd, where=rewrite_where(cmd.where, fn)),)
+        if isinstance(cmd, ast.Update):
+            assignments = tuple(
+                (f, rewrite_expression(e, fn)) for f, e in cmd.assignments
+            )
+            return (
+                replace(
+                    cmd, assignments=assignments, where=rewrite_where(cmd.where, fn)
+                ),
+            )
+        if isinstance(cmd, ast.Insert):
+            assignments = tuple(
+                (f, rewrite_expression(e, fn)) for f, e in cmd.assignments
+            )
+            return (replace(cmd, assignments=assignments),)
+        return None
+
+    def on_txn(txn: ast.Transaction) -> ast.Transaction:
+        txn = rewrite_transaction_commands(txn, on_command)
+        # Conditions and iteration counts also hold expressions.
+        txn = replace(txn, body=_rewrite_control_exprs(txn.body, fn))
+        if txn.ret is not None:
+            txn = replace(txn, ret=rewrite_expression(txn.ret, fn))
+        return txn
+
+    return replace(
+        program, transactions=tuple(on_txn(t) for t in program.transactions)
+    )
+
+
+def _rewrite_control_exprs(
+    body: Sequence[ast.Command], fn: ExprFn
+) -> Tuple[ast.Command, ...]:
+    out: List[ast.Command] = []
+    for cmd in body:
+        if isinstance(cmd, ast.If):
+            out.append(
+                replace(
+                    cmd,
+                    cond=rewrite_expression(cmd.cond, fn),
+                    body=_rewrite_control_exprs(cmd.body, fn),
+                )
+            )
+        elif isinstance(cmd, ast.Iterate):
+            out.append(
+                replace(
+                    cmd,
+                    count=rewrite_expression(cmd.count, fn),
+                    body=_rewrite_control_exprs(cmd.body, fn),
+                )
+            )
+        else:
+            out.append(cmd)
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Dataflow helpers
+# ---------------------------------------------------------------------------
+
+
+def used_vars(txn: ast.Transaction) -> Set[str]:
+    """Variables read anywhere in the transaction (not counting bindings)."""
+    out: Set[str] = set()
+
+    def collect_expr(expr: ast.Expr) -> None:
+        out.update(expression_vars(expr))
+
+    def walk(body: Sequence[ast.Command]) -> None:
+        for cmd in body:
+            if isinstance(cmd, ast.Select):
+                out.update(where_vars(cmd.where))
+            elif isinstance(cmd, ast.Update):
+                for _, e in cmd.assignments:
+                    collect_expr(e)
+                out.update(where_vars(cmd.where))
+            elif isinstance(cmd, ast.Insert):
+                for _, e in cmd.assignments:
+                    collect_expr(e)
+            elif isinstance(cmd, (ast.If, ast.Iterate)):
+                cond = cmd.cond if isinstance(cmd, ast.If) else cmd.count
+                collect_expr(cond)
+                walk(cmd.body)
+
+    walk(txn.body)
+    if txn.ret is not None:
+        collect_expr(txn.ret)
+    return out
+
+
+def accessed_tables(txn: ast.Transaction) -> Set[str]:
+    """Tables touched by any database command of the transaction."""
+    return {
+        cmd.table
+        for cmd in ast.iter_db_commands(txn)
+        if isinstance(cmd, (ast.Select, ast.Update, ast.Insert))
+    }

@@ -1,0 +1,265 @@
+"""Static well-formedness checking for DSL programs.
+
+Checks performed (each violation raises
+:class:`~repro.errors.ValidationError`):
+
+- schema names, transaction names, and command labels are unique;
+- every command references a declared table;
+- selected / updated / where-clause fields belong to the table's schema;
+- ``ref`` annotations point at declared key fields of declared tables;
+- inserts assign the full primary key of their table;
+- expressions only reference transaction parameters or variables bound by
+  an earlier select (no use-before-bind), and field accesses ``x.f`` use
+  fields actually retrievable from ``x``'s select;
+- updates do not assign primary-key fields (key mutation would break the
+  record-identity model of Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.errors import ValidationError
+from repro.lang import ast
+from repro.lang.traverse import iter_subexpressions, where_expressions
+
+
+def validate_program(program: ast.Program) -> None:
+    """Validate ``program``; raises :class:`ValidationError` on failure."""
+    _check_schemas(program)
+    seen_txns: Set[str] = set()
+    for txn in program.transactions:
+        if txn.name in seen_txns:
+            raise ValidationError(f"duplicate transaction name {txn.name}")
+        seen_txns.add(txn.name)
+        _check_transaction(program, txn)
+
+
+def _check_schemas(program: ast.Program) -> None:
+    names: Set[str] = set()
+    for schema in program.schemas:
+        if schema.name in names:
+            raise ValidationError(f"duplicate schema name {schema.name}")
+        names.add(schema.name)
+    for schema in program.schemas:
+        for fname, (rtable, rfield) in schema.ref_map.items():
+            if not program.has_schema(rtable):
+                raise ValidationError(
+                    f"{schema.name}.{fname} references unknown table {rtable}"
+                )
+            target = program.schema(rtable)
+            if rfield not in target.fields:
+                raise ValidationError(
+                    f"{schema.name}.{fname} references unknown field "
+                    f"{rtable}.{rfield}"
+                )
+
+
+class _Scope:
+    """Tracks variable bindings (var -> retrievable fields) along a path."""
+
+    def __init__(self, params: Sequence[str]):
+        self.params: Set[str] = set(params)
+        self.vars: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+
+    def bind(self, var: str, table: str, fields: Tuple[str, ...]) -> None:
+        self.vars[var] = (table, fields)
+
+
+def _check_transaction(program: ast.Program, txn: ast.Transaction) -> None:
+    if len(set(txn.params)) != len(txn.params):
+        raise ValidationError(f"{txn.name}: duplicate parameter name")
+    labels: Set[str] = set()
+    for cmd in ast.iter_db_commands(txn):
+        label = getattr(cmd, "label", "")
+        if label:
+            if label in labels:
+                raise ValidationError(f"{txn.name}: duplicate command label {label}")
+            labels.add(label)
+    scope = _Scope(txn.params)
+    _check_body(program, txn, txn.body, scope, in_loop=False)
+    if txn.ret is not None:
+        _check_expression(program, txn, txn.ret, scope, in_loop=False)
+
+
+def _check_body(
+    program: ast.Program,
+    txn: ast.Transaction,
+    body: Sequence[ast.Command],
+    scope: _Scope,
+    in_loop: bool,
+) -> None:
+    for cmd in body:
+        if isinstance(cmd, ast.Select):
+            _check_select(program, txn, cmd, scope, in_loop)
+        elif isinstance(cmd, ast.Update):
+            _check_update(program, txn, cmd, scope, in_loop)
+        elif isinstance(cmd, ast.Insert):
+            _check_insert(program, txn, cmd, scope, in_loop)
+        elif isinstance(cmd, ast.If):
+            _check_expression(program, txn, cmd.cond, scope, in_loop)
+            _check_body(program, txn, cmd.body, scope, in_loop)
+        elif isinstance(cmd, ast.Iterate):
+            _check_expression(program, txn, cmd.count, scope, in_loop)
+            _check_body(program, txn, cmd.body, scope, in_loop=True)
+        elif isinstance(cmd, ast.Skip):
+            continue
+        else:
+            raise ValidationError(f"{txn.name}: unknown command {cmd!r}")
+
+
+def _schema_of(program: ast.Program, txn: ast.Transaction, table: str) -> ast.Schema:
+    if not program.has_schema(table):
+        raise ValidationError(f"{txn.name}: unknown table {table}")
+    return program.schema(table)
+
+
+def _check_select(
+    program: ast.Program,
+    txn: ast.Transaction,
+    cmd: ast.Select,
+    scope: _Scope,
+    in_loop: bool,
+) -> None:
+    schema = _schema_of(program, txn, cmd.table)
+    fields = cmd.selected_fields(schema)
+    for f in fields:
+        if f not in schema.fields:
+            raise ValidationError(
+                f"{txn.name}/{cmd.label}: select of unknown field "
+                f"{cmd.table}.{f}"
+            )
+    _check_where(program, txn, cmd, schema, cmd.where, scope, in_loop)
+    scope.bind(cmd.var, cmd.table, fields)
+
+
+def _check_update(
+    program: ast.Program,
+    txn: ast.Transaction,
+    cmd: ast.Update,
+    scope: _Scope,
+    in_loop: bool,
+) -> None:
+    schema = _schema_of(program, txn, cmd.table)
+    if not cmd.assignments:
+        raise ValidationError(f"{txn.name}/{cmd.label}: update with no assignments")
+    seen: Set[str] = set()
+    for f, expr in cmd.assignments:
+        if f not in schema.fields:
+            raise ValidationError(
+                f"{txn.name}/{cmd.label}: update of unknown field {cmd.table}.{f}"
+            )
+        if f in schema.key:
+            raise ValidationError(
+                f"{txn.name}/{cmd.label}: update must not assign key field "
+                f"{cmd.table}.{f}"
+            )
+        if f in seen:
+            raise ValidationError(
+                f"{txn.name}/{cmd.label}: duplicate assignment to {f}"
+            )
+        seen.add(f)
+        _check_expression(program, txn, expr, scope, in_loop)
+    _check_where(program, txn, cmd, schema, cmd.where, scope, in_loop)
+
+
+def _check_insert(
+    program: ast.Program,
+    txn: ast.Transaction,
+    cmd: ast.Insert,
+    scope: _Scope,
+    in_loop: bool,
+) -> None:
+    schema = _schema_of(program, txn, cmd.table)
+    assigned = {f for f, _ in cmd.assignments}
+    for f, expr in cmd.assignments:
+        if f not in schema.fields:
+            raise ValidationError(
+                f"{txn.name}/{cmd.label}: insert of unknown field {cmd.table}.{f}"
+            )
+        _check_expression(program, txn, expr, scope, in_loop)
+    missing = [k for k in schema.key if k not in assigned]
+    if missing:
+        raise ValidationError(
+            f"{txn.name}/{cmd.label}: insert must assign the full primary key "
+            f"of {cmd.table} (missing {', '.join(missing)})"
+        )
+
+
+def _check_where(
+    program: ast.Program,
+    txn: ast.Transaction,
+    cmd: ast.Command,
+    schema: ast.Schema,
+    where: ast.Where,
+    scope: _Scope,
+    in_loop: bool,
+) -> None:
+    label = getattr(cmd, "label", "?")
+    for field in ast.where_fields(where):
+        if field not in schema.fields:
+            raise ValidationError(
+                f"{txn.name}/{label}: where clause uses unknown field "
+                f"{schema.name}.{field}"
+            )
+    for expr in where_expressions(where):
+        _check_expression(program, txn, expr, scope, in_loop)
+
+
+def _check_expression(
+    program: ast.Program,
+    txn: ast.Transaction,
+    expr: ast.Expr,
+    scope: _Scope,
+    in_loop: bool,
+) -> None:
+    for sub in iter_subexpressions(expr):
+        if isinstance(sub, ast.Arg):
+            if sub.name not in scope.params:
+                raise ValidationError(
+                    f"{txn.name}: reference to unknown argument {sub.name!r} "
+                    "(local records must be accessed as x.field)"
+                )
+        elif isinstance(sub, (ast.At, ast.Agg)):
+            binding = scope.vars.get(sub.var)
+            if binding is None:
+                raise ValidationError(
+                    f"{txn.name}: variable {sub.var!r} used before being bound "
+                    "by a select"
+                )
+            table, fields = binding
+            if sub.field not in fields:
+                raise ValidationError(
+                    f"{txn.name}: field {sub.field!r} was not retrieved into "
+                    f"{sub.var!r} (select on {table} got {', '.join(fields)})"
+                )
+        elif isinstance(sub, ast.IterVar) and not in_loop:
+            raise ValidationError(
+                f"{txn.name}: 'iter' used outside an iterate body"
+            )
+
+
+def well_formed_where(
+    schema: ast.Schema, where: ast.Where
+) -> Optional[Dict[str, ast.Expr]]:
+    """Section 4.2.1 well-formedness: conjunctions of equalities covering
+    the full primary key.
+
+    Returns the map ``key field -> phi[f]_exp`` when well-formed, else
+    ``None``.  This is the applicability condition of the redirect rule:
+    only commands that address a single record through its primary key can
+    be redirected.
+    """
+    conjuncts = ast.where_conjuncts(where)
+    if conjuncts is None:
+        return None
+    key_exprs: Dict[str, ast.Expr] = {}
+    for cond in conjuncts:
+        if cond.op != "=":
+            return None
+        if cond.field in key_exprs:
+            return None
+        key_exprs[cond.field] = cond.expr
+    if set(key_exprs) != set(schema.key):
+        return None
+    return key_exprs

@@ -1,0 +1,45 @@
+"""Schema refactoring calculus (Section 4).
+
+The three rule templates of Figure 8 are implemented as operations on
+programs plus a set of :class:`~repro.refactor.correspondence.ValueCorrespondence`
+records:
+
+- ``intro rho``  -- :func:`repro.refactor.rules.intro_schema`;
+- ``intro rho.f`` -- :func:`repro.refactor.rules.intro_field`;
+- ``intro v``     -- the two instantiations of the rewrite ``[[.]]_v``:
+  the **redirect** rule (:mod:`repro.refactor.redirect`, aggregator
+  ``any``) and the **logger** rule (:mod:`repro.refactor.logger`,
+  aggregator ``sum``).
+
+:mod:`repro.refactor.containment` implements the containment relation
+``<=_V`` on concrete table states, used by the property-based refinement
+tests; :mod:`repro.refactor.migrate` converts initial databases to the
+refactored layout so original and refactored programs can be executed
+side by side.
+"""
+
+from repro.refactor.correspondence import (
+    Aggregator,
+    RecordCorrespondence,
+    ValueCorrespondence,
+)
+from repro.refactor.redirect import RedirectRewrite, apply_redirect
+from repro.refactor.logger import LoggerRewrite, apply_logger
+from repro.refactor.rules import intro_field, intro_schema
+from repro.refactor.containment import check_containment, ContainmentViolation
+from repro.refactor.migrate import migrate_database
+
+__all__ = [
+    "Aggregator",
+    "RecordCorrespondence",
+    "ValueCorrespondence",
+    "RedirectRewrite",
+    "apply_redirect",
+    "LoggerRewrite",
+    "apply_logger",
+    "intro_field",
+    "intro_schema",
+    "check_containment",
+    "ContainmentViolation",
+    "migrate_database",
+]

@@ -1,0 +1,85 @@
+"""Value correspondences (Section 4.1).
+
+A value correspondence ``(R, R', f, f', theta, alpha)`` explains how to
+recover field ``f`` of source schema ``R`` from field ``f'`` of target
+schema ``R'``:
+
+- the *record correspondence* ``theta`` maps a source record to the set
+  of target records that carry its data.  Atropos only uses *lifted*
+  correspondences (the paper's ``theta-hat``): the source primary key is
+  matched against named target fields, so ``theta`` is representable as a
+  field map and evaluable on concrete table instances;
+- the *fold* ``alpha`` aggregates the values found in the target records
+  (``any`` for plain relocation, ``sum`` for logging schemas).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+
+class Aggregator(enum.Enum):
+    """The fold function alpha of a value correspondence."""
+
+    ANY = "any"
+    SUM = "sum"
+
+    def fold(self, values: List[Any]) -> Any:
+        if self is Aggregator.SUM:
+            return sum(v for v in values if v is not None)
+        # ANY: nondeterministic choice; concrete evaluation returns the
+        # value set so callers can check membership (see containment).
+        raise NotImplementedError("ANY is checked set-wise, not folded")
+
+
+@dataclass(frozen=True)
+class RecordCorrespondence:
+    """The lifted theta-hat: source key field -> target field.
+
+    ``theta(r)`` for a source record with key values ``(n_1, ..., n_k)``
+    is the set of target records whose field ``key_map[f_i]`` equals
+    ``n_i`` for every source key field ``f_i``.
+    """
+
+    src_table: str
+    dst_table: str
+    key_map: Tuple[Tuple[str, str], ...]
+
+    def map(self) -> Mapping[str, str]:
+        return dict(self.key_map)
+
+    def theta(
+        self,
+        src_key_fields: Tuple[str, ...],
+        src_key: Tuple[Any, ...],
+        dst_records: Dict[Tuple[Any, ...], Dict[str, Any]],
+    ) -> List[Tuple[Any, ...]]:
+        """Evaluate theta(r) on a concrete target table instance."""
+        key_map = self.map()
+        want = {key_map[f]: v for f, v in zip(src_key_fields, src_key)}
+        out = []
+        for dst_key, fields in dst_records.items():
+            if all(fields.get(g) == v for g, v in want.items()):
+                out.append(dst_key)
+        return out
+
+
+@dataclass(frozen=True)
+class ValueCorrespondence:
+    """One value correspondence ``(R, R', f, f', theta, alpha)``."""
+
+    src_table: str
+    dst_table: str
+    src_field: str
+    dst_field: str
+    theta: RecordCorrespondence
+    alpha: Aggregator
+
+    def describe(self) -> str:
+        return (
+            f"({self.src_table}, {self.dst_table}, {self.src_field}, "
+            f"{self.dst_field}, theta-hat{dict(self.theta.key_map)}, "
+            f"{self.alpha.value})"
+        )

@@ -1,0 +1,384 @@
+"""The logger rule (Section 4.2.2): turn updates into log inserts.
+
+A :class:`LoggerRewrite` retargets one numeric field of a source schema
+to a fresh *logging schema* whose primary key extends the source key with
+a ``log_id``.  Every increment-style update of the field becomes an
+insert of the increment; every read becomes a program-level ``sum`` over
+the matching log records:
+
+    UPDATE R SET f = at_1(x.f) + e WHERE phi
+      ==>  INSERT INTO Log_R (k = phi[k]_exp, log_id = uuid(), f_log = e)
+
+    at_1(x.f)  ==>  sum(x.f_log)      (x now selected from Log_R)
+
+The transformation removes the write-write race on ``f``: concurrent
+increments insert distinct fresh records (uuid keys never collide), so
+both survive under any consistency level -- the functional-update idea
+of Section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RefactoringError
+from repro.lang import ast
+from repro.lang.validate import well_formed_where
+from repro.refactor.correspondence import (
+    Aggregator,
+    RecordCorrespondence,
+    ValueCorrespondence,
+)
+
+LOG_ID_FIELD = "log_id"
+
+
+@dataclass(frozen=True)
+class LoggerRewrite:
+    """Log-table refactoring of one source field."""
+
+    src_table: str
+    field: str
+    log_table: str
+    log_field: str
+
+    def theta(self, program: ast.Program) -> RecordCorrespondence:
+        src = program.schema(self.src_table)
+        return RecordCorrespondence(
+            src_table=self.src_table,
+            dst_table=self.log_table,
+            key_map=tuple((k, k) for k in src.key),
+        )
+
+    def correspondence(self, program: ast.Program) -> ValueCorrespondence:
+        return ValueCorrespondence(
+            src_table=self.src_table,
+            dst_table=self.log_table,
+            src_field=self.field,
+            dst_field=self.log_field,
+            theta=self.theta(program),
+            alpha=Aggregator.SUM,
+        )
+
+
+def build_logger(program: ast.Program, src_table: str, field: str) -> LoggerRewrite:
+    """Name the logging schema following the paper's convention
+    (``COURSE_CO_ST_CNT_LOG`` for ``COURSE.co_st_cnt``)."""
+    base = f"{src_table}_{field.upper()}_LOG"
+    name = base
+    suffix = 2
+    while program.has_schema(name):
+        name = f"{base}{suffix}"
+        suffix += 1
+    return LoggerRewrite(
+        src_table=src_table,
+        field=field,
+        log_table=name,
+        log_field=f"{field}_log",
+    )
+
+
+def increment_delta(expr: ast.Expr, var_field: Tuple[str, str]) -> Optional[ast.Expr]:
+    """Extract ``delta`` from ``at_1(x.f) + delta`` (commuted and
+    subtraction forms included); None when the expression is not an
+    increment of the read value."""
+    var, field = var_field
+    def is_self_read(e: ast.Expr) -> bool:
+        return (
+            isinstance(e, ast.At)
+            and e.var == var
+            and e.field == field
+            and e.index == ast.Const(1)
+        )
+
+    if isinstance(expr, ast.BinOp) and expr.op == "+":
+        if is_self_read(expr.left):
+            return expr.right
+        if is_self_read(expr.right):
+            return expr.left
+    if isinstance(expr, ast.BinOp) and expr.op == "-" and is_self_read(expr.left):
+        return ast.BinOp("-", ast.Const(0), expr.right)
+    return None
+
+
+def logger_applicable(program: ast.Program, rewrite: LoggerRewrite) -> Optional[str]:
+    """Reason the rewrite cannot be applied, or None.
+
+    Requirements over *every* access to the field in the program:
+
+    - updates assign only this field, with a well-formed where clause and
+      an increment-form expression reading the field through ``at_1`` of
+      a variable selected from the source table;
+    - selects retrieving the field have where clauses that are
+      conjunctions of equalities over key fields only (the clause is
+      transplanted verbatim onto the log schema's shared key prefix), and
+      all expression uses of the field are ``at_1(x.f)`` or ``sum(x.f)``.
+    """
+    src = program.schema(rewrite.src_table)
+    if rewrite.field in src.key:
+        return f"{rewrite.src_table}.{rewrite.field} is a key field"
+    if LOG_ID_FIELD in src.key:
+        return f"{rewrite.src_table} is already a logging schema"
+    for txn in program.transactions:
+        select_vars: Set[str] = set()
+        for cmd in ast.iter_db_commands(txn):
+            if isinstance(cmd, ast.Select) and cmd.table == rewrite.src_table:
+                if rewrite.field in cmd.selected_fields(src):
+                    select_vars.add(cmd.var)
+                    if not _key_only_where(src, cmd.where):
+                        return (
+                            f"{txn.name}/{cmd.label}: where clause uses "
+                            "non-key fields"
+                        )
+            elif isinstance(cmd, ast.Update) and cmd.table == rewrite.src_table:
+                written = set(cmd.written_fields)
+                if rewrite.field not in written:
+                    continue
+                if written != {rewrite.field}:
+                    return (
+                        f"{txn.name}/{cmd.label}: update writes other fields "
+                        "besides the logged one"
+                    )
+                if well_formed_where(src, cmd.where) is None:
+                    return f"{txn.name}/{cmd.label}: where clause not well-formed"
+                (field, expr), = cmd.assignments
+                if not any(
+                    increment_delta(expr, (v, rewrite.field)) is not None
+                    for v in select_vars
+                ):
+                    return (
+                        f"{txn.name}/{cmd.label}: assignment is not an "
+                        "increment of the read value"
+                    )
+            elif isinstance(cmd, ast.Insert) and cmd.table == rewrite.src_table:
+                # Inserts may initialise the field: a zero initialisation
+                # is simply dropped (empty log sums to 0), a non-zero one
+                # becomes a companion log insert.  Both are handled by the
+                # rewrite, so no applicability restriction here.
+                continue
+        violation = _check_field_uses(program, txn, rewrite, select_vars)
+        if violation:
+            return violation
+    return None
+
+
+def _key_only_where(schema: ast.Schema, where: ast.Where) -> bool:
+    conjuncts = ast.where_conjuncts(where)
+    if conjuncts is None:
+        return False
+    return all(c.field in schema.key and c.op == "=" for c in conjuncts)
+
+
+def _check_field_uses(
+    program: ast.Program,
+    txn: ast.Transaction,
+    rewrite: LoggerRewrite,
+    select_vars: Set[str],
+) -> Optional[str]:
+    """All expression uses of the field must be at_1 or sum accesses."""
+    from repro.lang.traverse import iter_subexpressions
+
+    def scan(expr: ast.Expr) -> Optional[str]:
+        for sub in iter_subexpressions(expr):
+            if isinstance(sub, ast.At):
+                if sub.var in select_vars and sub.field == rewrite.field:
+                    if sub.index != ast.Const(1):
+                        return (
+                            f"{txn.name}: at_k access (k != 1) to "
+                            f"{rewrite.field} cannot be logged"
+                        )
+            if isinstance(sub, ast.Agg):
+                if sub.var in select_vars and sub.field == rewrite.field:
+                    if sub.func != "sum":
+                        return (
+                            f"{txn.name}: {sub.func} aggregation of "
+                            f"{rewrite.field} cannot be logged"
+                        )
+        return None
+
+    for cmd in ast.iter_db_commands(txn):
+        if isinstance(cmd, ast.Update):
+            for _, e in cmd.assignments:
+                reason = scan(e)
+                if reason:
+                    return reason
+        if isinstance(cmd, ast.Insert):
+            for _, e in cmd.assignments:
+                reason = scan(e)
+                if reason:
+                    return reason
+    if txn.ret is not None:
+        return scan(txn.ret)
+    return None
+
+
+def apply_logger(
+    program: ast.Program, rewrite: LoggerRewrite
+) -> Tuple[ast.Program, List[ValueCorrespondence]]:
+    """Apply the rewrite; raises RefactoringError when inapplicable."""
+    reason = logger_applicable(program, rewrite)
+    if reason is not None:
+        raise RefactoringError(f"logger not applicable: {reason}")
+    src = program.schema(rewrite.src_table)
+    # intro rho + intro rho.f: the logging schema.
+    log_schema = ast.Schema(
+        name=rewrite.log_table,
+        fields=src.key + (LOG_ID_FIELD, rewrite.log_field),
+        key=src.key + (LOG_ID_FIELD,),
+    )
+    program = program.with_schema(log_schema)
+    new_txns = tuple(
+        _rewrite_transaction(program, txn, rewrite, src)
+        for txn in program.transactions
+    )
+    program = replace(program, transactions=new_txns)
+    return program, [rewrite.correspondence(program)]
+
+
+def _rewrite_transaction(
+    program: ast.Program,
+    txn: ast.Transaction,
+    rewrite: LoggerRewrite,
+    src: ast.Schema,
+) -> ast.Transaction:
+    # Variables whose select retrieved the logged field, mapped to the
+    # replacement log-select variable.
+    log_vars: Dict[str, str] = {}
+
+    def rewrite_expr(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, (ast.BinOp, ast.Cmp, ast.BoolOp)):
+            return replace(
+                expr, left=rewrite_expr(expr.left), right=rewrite_expr(expr.right)
+            )
+        if isinstance(expr, ast.Not):
+            return replace(expr, operand=rewrite_expr(expr.operand))
+        if isinstance(expr, ast.At):
+            if expr.var in log_vars and expr.field == rewrite.field:
+                return ast.Agg("sum", log_vars[expr.var], rewrite.log_field)
+            return replace(expr, index=rewrite_expr(expr.index))
+        if isinstance(expr, ast.Agg):
+            if expr.var in log_vars and expr.field == rewrite.field:
+                return replace(
+                    expr, var=log_vars[expr.var], field=rewrite.log_field
+                )
+            return expr
+        return expr
+
+    def rewrite_where(where: ast.Where) -> ast.Where:
+        if isinstance(where, ast.WhereTrue):
+            return where
+        if isinstance(where, ast.WhereCond):
+            return replace(where, expr=rewrite_expr(where.expr))
+        if isinstance(where, ast.WhereBool):
+            return replace(
+                where, left=rewrite_where(where.left), right=rewrite_where(where.right)
+            )
+        raise RefactoringError(f"unknown where clause {where!r}")
+
+    def walk(body: Sequence[ast.Command]) -> Tuple[ast.Command, ...]:
+        out: List[ast.Command] = []
+        for cmd in body:
+            if isinstance(cmd, ast.Select) and cmd.table == rewrite.src_table:
+                selected = cmd.selected_fields(src)
+                if rewrite.field in selected:
+                    others = tuple(f for f in selected if f != rewrite.field)
+                    log_var = f"{cmd.var}_{rewrite.log_field}"
+                    if others and set(others) - set(src.key):
+                        # Keep a narrowed select for the remaining fields.
+                        out.append(
+                            replace(
+                                cmd,
+                                fields=others,
+                                where=rewrite_where(cmd.where),
+                            )
+                        )
+                        label = f"{cmd.label}L"
+                    else:
+                        label = cmd.label
+                    out.append(
+                        ast.Select(
+                            var=log_var,
+                            fields=(rewrite.log_field,),
+                            table=rewrite.log_table,
+                            where=rewrite_where(cmd.where),
+                            label=label,
+                        )
+                    )
+                    log_vars[cmd.var] = log_var
+                else:
+                    out.append(replace(cmd, where=rewrite_where(cmd.where)))
+            elif isinstance(cmd, ast.Update) and cmd.table == rewrite.src_table and rewrite.field in cmd.written_fields:
+                (field, expr), = cmd.assignments
+                delta = None
+                for var in list(log_vars) + [
+                    v for v, _ in _select_bindings(txn) if v not in log_vars
+                ]:
+                    delta = increment_delta(expr, (var, rewrite.field))
+                    if delta is not None:
+                        break
+                assert delta is not None  # guaranteed by applicability
+                key_exprs = well_formed_where(src, cmd.where)
+                assert key_exprs is not None
+                assignments = tuple(
+                    (k, rewrite_expr(e)) for k, e in sorted(key_exprs.items())
+                ) + (
+                    (LOG_ID_FIELD, ast.Uuid()),
+                    (rewrite.log_field, rewrite_expr(delta)),
+                )
+                out.append(
+                    ast.Insert(
+                        table=rewrite.log_table,
+                        assignments=assignments,
+                        label=cmd.label,
+                    )
+                )
+            elif isinstance(cmd, ast.Update):
+                assignments = tuple((f, rewrite_expr(e)) for f, e in cmd.assignments)
+                out.append(
+                    replace(cmd, assignments=assignments, where=rewrite_where(cmd.where))
+                )
+            elif isinstance(cmd, ast.Insert):
+                assignments = tuple((f, rewrite_expr(e)) for f, e in cmd.assignments)
+                if cmd.table == rewrite.src_table and rewrite.field in cmd.written_fields:
+                    init_value = dict(assignments)[rewrite.field]
+                    kept = tuple(
+                        (f, e) for f, e in assignments if f != rewrite.field
+                    )
+                    out.append(replace(cmd, assignments=kept))
+                    if init_value != ast.Const(0):
+                        # Non-zero initialisation: seed the log so the sum
+                        # reconstructs the starting value.
+                        key_assignments = tuple(
+                            (k, dict(assignments)[k]) for k in src.key
+                        )
+                        out.append(
+                            ast.Insert(
+                                table=rewrite.log_table,
+                                assignments=key_assignments
+                                + ((LOG_ID_FIELD, ast.Uuid()),
+                                   (rewrite.log_field, init_value)),
+                                label=f"{cmd.label}L",
+                            )
+                        )
+                else:
+                    out.append(replace(cmd, assignments=assignments))
+            elif isinstance(cmd, ast.If):
+                out.append(replace(cmd, cond=rewrite_expr(cmd.cond), body=walk(cmd.body)))
+            elif isinstance(cmd, ast.Iterate):
+                out.append(replace(cmd, count=rewrite_expr(cmd.count), body=walk(cmd.body)))
+            else:
+                out.append(cmd)
+        return tuple(out)
+
+    new_body = walk(txn.body)
+    new_ret = rewrite_expr(txn.ret) if txn.ret is not None else None
+    return replace(txn, body=new_body, ret=new_ret)
+
+
+def _select_bindings(txn: ast.Transaction) -> List[Tuple[str, str]]:
+    out = []
+    for cmd in ast.iter_db_commands(txn):
+        if isinstance(cmd, ast.Select):
+            out.append((cmd.var, cmd.label))
+    return out

@@ -1,0 +1,98 @@
+"""Data migration from an original database to a refactored layout.
+
+A refactoring changes where values live; to execute the original and
+refactored programs side by side (refinement tests, the performance
+study) the initial population must be migrated along the same value
+correspondences:
+
+- **redirect** rewrites copy each moved field's value into every target
+  record that theta maps the source record to;
+- **logger** rewrites seed the logging table with one initial record per
+  source record carrying the field's starting value (so the program-level
+  ``sum`` reconstructs it).
+
+Tables absent from the refactored program's schema list are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.errors import RefactoringError
+from repro.lang import ast
+from repro.refactor.logger import LoggerRewrite
+from repro.refactor.redirect import RedirectRewrite
+from repro.semantics.state import Database
+
+Rewrite = Union[RedirectRewrite, LoggerRewrite]
+
+
+def migrate_database(
+    original_db: Database,
+    refactored_program: ast.Program,
+    rewrites: List[Rewrite],
+) -> Database:
+    """Build an initial database for ``refactored_program`` whose state is
+    contained in (recoverable from) ``original_db``."""
+    # Working copy of plain table data keyed the same way as Database.
+    data: Dict[str, Dict[Tuple[Any, ...], Dict[str, Any]]] = {
+        table: {k: dict(v) for k, v in records.items()}
+        for table, records in original_db.tables.items()
+    }
+    src_program = original_db.program
+    for rewrite in rewrites:
+        if isinstance(rewrite, RedirectRewrite):
+            _migrate_redirect(data, src_program, rewrite)
+        elif isinstance(rewrite, LoggerRewrite):
+            _migrate_logger(data, src_program, rewrite)
+        else:
+            raise RefactoringError(f"unknown rewrite {rewrite!r}")
+
+    out = Database(refactored_program)
+    for schema in refactored_program.schemas:
+        for key, fields in data.get(schema.name, {}).items():
+            out.insert(
+                schema.name,
+                **{f: fields.get(f) for f in schema.fields},
+            )
+    return out
+
+
+def _migrate_redirect(
+    data: Dict[str, Dict[Tuple[Any, ...], Dict[str, Any]]],
+    src_program: ast.Program,
+    rewrite: RedirectRewrite,
+) -> None:
+    src_schema = src_program.schema(rewrite.src_table)
+    theta = rewrite.theta.map()
+    fmap = rewrite.fields()
+    src_records = data.get(rewrite.src_table, {})
+    dst_records = data.setdefault(rewrite.dst_table, {})
+    # Index source records by key for the reverse lookup.
+    for dst_key, dst_fields in dst_records.items():
+        src_key = tuple(
+            dst_fields.get(theta[k]) for k in src_schema.key
+        )
+        src_fields = src_records.get(src_key)
+        for f, target in fmap.items():
+            if f in src_schema.key:
+                continue
+            dst_fields[target] = None if src_fields is None else src_fields.get(f)
+
+
+def _migrate_logger(
+    data: Dict[str, Dict[Tuple[Any, ...], Dict[str, Any]]],
+    src_program: ast.Program,
+    rewrite: LoggerRewrite,
+) -> None:
+    src_schema = src_program.schema(rewrite.src_table)
+    src_records = data.get(rewrite.src_table, {})
+    log_records: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+    for i, (src_key, fields) in enumerate(sorted(src_records.items(), key=repr)):
+        log_id = f"init-{i}"
+        log_key = src_key + (log_id,)
+        record = {k: v for k, v in zip(src_schema.key, src_key)}
+        record["log_id"] = log_id
+        record[rewrite.log_field] = fields.get(rewrite.field)
+        log_records[log_key] = record
+    data[rewrite.log_table] = log_records

@@ -1,0 +1,315 @@
+"""The redirect rule (Section 4.2.1): relocate fields between schemas.
+
+A :class:`RedirectRewrite` moves a set of fields from a source schema
+into a target schema along a lifted record correspondence theta-hat, and
+rewrites every program access accordingly:
+
+- ``SELECT f FROM R WHERE phi`` becomes ``SELECT f' FROM R' WHERE
+  redirect(phi, theta-hat)`` where ``redirect`` conjoins
+  ``this.theta-hat(k) = phi[k]_exp`` over the source key fields;
+- ``UPDATE R SET f = e WHERE phi`` is redirected the same way;
+- expressions over redirected result variables substitute the new field
+  names (``[[at_1(x.f)]] = at_1(x.f')``).
+
+Applicability (checked before any rewriting): every program command that
+touches a moved field must have a well-formed where clause -- a
+conjunction of equalities covering the source schema's full primary key
+-- because only single-record addressing can be re-expressed through
+theta-hat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import RefactoringError
+from repro.lang import ast
+from repro.lang.validate import well_formed_where
+from repro.refactor.correspondence import (
+    Aggregator,
+    RecordCorrespondence,
+    ValueCorrespondence,
+)
+from repro.refactor.rules import intro_field
+
+
+@dataclass(frozen=True)
+class RedirectRewrite:
+    """A bundle of redirect-rule applications sharing one theta-hat.
+
+    Attributes:
+        src_table / dst_table: source and target schemas.
+        field_map: source field -> target field.  Includes the source key
+            fields, mapped to the theta-hat target fields, so ``SELECT *``
+            results remain fully addressable after the rewrite.
+        theta: the lifted record correspondence (source key field ->
+            target field holding that key's value).
+    """
+
+    src_table: str
+    dst_table: str
+    field_map: Tuple[Tuple[str, str], ...]
+    theta: RecordCorrespondence
+
+    def fields(self) -> Mapping[str, str]:
+        return dict(self.field_map)
+
+    def moved_non_key_fields(self, program: ast.Program) -> List[str]:
+        schema = program.schema(self.src_table)
+        return [f for f, _ in self.field_map if f not in schema.key]
+
+    def correspondences(self, program: ast.Program) -> List[ValueCorrespondence]:
+        fmap = self.fields()
+        return [
+            ValueCorrespondence(
+                src_table=self.src_table,
+                dst_table=self.dst_table,
+                src_field=f,
+                dst_field=fmap[f],
+                theta=self.theta,
+                alpha=Aggregator.ANY,
+            )
+            for f in self.moved_non_key_fields(program)
+        ]
+
+
+def build_redirect(
+    program: ast.Program, src_table: str, dst_table: str, fields: Sequence[str]
+) -> Optional[RedirectRewrite]:
+    """Construct a redirect moving ``fields`` of ``src_table`` into
+    ``dst_table``, if the target declares reference fields covering the
+    source's primary key; returns None when no theta-hat exists."""
+    src = program.schema(src_table)
+    dst = program.schema(dst_table)
+    key_map: Dict[str, str] = {}
+    # Forward references: a target field declares `ref src.key` (the
+    # STUDENT.st_em_id -> EMAIL.em_id shape of the paper).
+    for dst_field, (rtable, rfield) in dst.ref_map.items():
+        if rtable == src_table and rfield in src.key:
+            key_map.setdefault(rfield, dst_field)
+    # Reverse references: the source's own key declares `ref dst.field`
+    # (one-to-one keyed satellite tables, e.g. CHECKING.custid ref
+    # ACCOUNTS.custid); the target field holding the key value is the
+    # referenced field itself.
+    for src_field, (rtable, rfield) in src.ref_map.items():
+        if src_field in src.key and rtable == dst_table and rfield in dst.fields:
+            key_map.setdefault(src_field, rfield)
+    if set(key_map) != set(src.key):
+        return None
+    field_map: Dict[str, str] = dict(key_map)
+    for f in fields:
+        if f in src.key:
+            continue
+        field_map[f] = _target_field_name(dst, key_map, src, f)
+    theta = RecordCorrespondence(
+        src_table=src_table,
+        dst_table=dst_table,
+        key_map=tuple(sorted(key_map.items())),
+    )
+    return RedirectRewrite(
+        src_table=src_table,
+        dst_table=dst_table,
+        field_map=tuple(sorted(field_map.items())),
+        theta=theta,
+    )
+
+
+def _target_field_name(
+    dst: ast.Schema, key_map: Mapping[str, str], src: ast.Schema, field: str
+) -> str:
+    """Pick a fresh target field name, preferring the paper's convention:
+    ``st_em_id ref em_id`` + ``em_addr`` yields ``st_em_addr``."""
+    ref_field = key_map[src.key[0]]
+    src_key = src.key[0]
+    candidate = None
+    if ref_field.endswith(src_key):
+        prefix = ref_field[: -len(src_key)]
+        candidate = prefix + field
+    if not candidate or candidate in dst.fields:
+        candidate = f"{dst.name.lower()}_{field}"
+    base = candidate
+    suffix = 2
+    while candidate in dst.fields:
+        candidate = f"{base}{suffix}"
+        suffix += 1
+    return candidate
+
+
+def redirect_applicable(
+    program: ast.Program, rewrite: RedirectRewrite
+) -> Optional[str]:
+    """Return a reason the rewrite cannot be applied, or None if it can."""
+    src = program.schema(rewrite.src_table)
+    moved = set(rewrite.moved_non_key_fields(program))
+    fmap = rewrite.fields()
+    for txn in program.transactions:
+        for cmd in ast.iter_db_commands(txn):
+            if getattr(cmd, "table", None) != rewrite.src_table:
+                continue
+            if isinstance(cmd, ast.Select):
+                accessed = set(cmd.selected_fields(src))
+                if not (accessed & moved):
+                    continue
+                if not (accessed <= set(fmap)):
+                    return (
+                        f"{txn.name}/{cmd.label}: selects unmoved fields "
+                        f"{sorted(accessed - set(fmap))}"
+                    )
+                if well_formed_where(src, cmd.where) is None:
+                    return f"{txn.name}/{cmd.label}: where clause not well-formed"
+            elif isinstance(cmd, ast.Update):
+                written = set(cmd.written_fields)
+                if not (written & moved):
+                    continue
+                if not (written <= moved):
+                    return (
+                        f"{txn.name}/{cmd.label}: updates unmoved fields "
+                        f"{sorted(written - moved)}"
+                    )
+                if well_formed_where(src, cmd.where) is None:
+                    return f"{txn.name}/{cmd.label}: where clause not well-formed"
+            elif isinstance(cmd, ast.Insert):
+                written = set(cmd.written_fields)
+                if written & moved:
+                    return f"{txn.name}/{cmd.label}: inserts into moved fields"
+    return None
+
+
+def apply_redirect(
+    program: ast.Program, rewrite: RedirectRewrite
+) -> Tuple[ast.Program, List[ValueCorrespondence]]:
+    """Apply the rewrite; returns the refactored program and the value
+    correspondences it introduces.  Raises
+    :class:`~repro.errors.RefactoringError` when inapplicable."""
+    reason = redirect_applicable(program, rewrite)
+    if reason is not None:
+        raise RefactoringError(f"redirect not applicable: {reason}")
+    correspondences = rewrite.correspondences(program)
+    # intro rho.f for each fresh target field.
+    dst = program.schema(rewrite.dst_table)
+    for corr in correspondences:
+        if corr.dst_field not in program.schema(rewrite.dst_table).fields:
+            program = intro_field(program, rewrite.dst_table, corr.dst_field)
+    # Rewrite every transaction.
+    new_txns = [
+        _rewrite_transaction(program, txn, rewrite)
+        for txn in program.transactions
+    ]
+    program = replace(program, transactions=tuple(new_txns))
+    return program, correspondences
+
+
+def _rewrite_transaction(
+    program: ast.Program, txn: ast.Transaction, rewrite: RedirectRewrite
+) -> ast.Transaction:
+    src = program.schema(rewrite.src_table)
+    moved = set(rewrite.moved_non_key_fields(program))
+    fmap = rewrite.fields()
+    theta = rewrite.theta.map()
+    redirected_vars: Set[str] = set()
+
+    def rewrite_expr(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, (ast.BinOp, ast.Cmp, ast.BoolOp)):
+            return replace(
+                expr, left=rewrite_expr(expr.left), right=rewrite_expr(expr.right)
+            )
+        if isinstance(expr, ast.Not):
+            return replace(expr, operand=rewrite_expr(expr.operand))
+        if isinstance(expr, ast.At):
+            expr = replace(expr, index=rewrite_expr(expr.index))
+            if expr.var in redirected_vars and expr.field in fmap:
+                return replace(expr, field=fmap[expr.field])
+            return expr
+        if isinstance(expr, ast.Agg):
+            if expr.var in redirected_vars and expr.field in fmap:
+                return replace(expr, field=fmap[expr.field])
+            return expr
+        return expr
+
+    def rewrite_plain_where(where: ast.Where) -> ast.Where:
+        if isinstance(where, ast.WhereTrue):
+            return where
+        if isinstance(where, ast.WhereCond):
+            return replace(where, expr=rewrite_expr(where.expr))
+        if isinstance(where, ast.WhereBool):
+            return replace(
+                where,
+                left=rewrite_plain_where(where.left),
+                right=rewrite_plain_where(where.right),
+            )
+        raise RefactoringError(f"unknown where clause {where!r}")
+
+    def redirect_where(where: ast.Where) -> ast.Where:
+        key_exprs = well_formed_where(src, where)
+        assert key_exprs is not None  # guaranteed by applicability check
+        conds = [
+            ast.WhereCond(field=theta[k], op="=", expr=rewrite_expr(e))
+            for k, e in sorted(key_exprs.items())
+        ]
+        return ast.make_conjunction(conds)
+
+    def walk(body: Sequence[ast.Command]) -> Tuple[ast.Command, ...]:
+        out: List[ast.Command] = []
+        for cmd in body:
+            if isinstance(cmd, ast.Select):
+                accessed = set(cmd.selected_fields(src)) if cmd.table == rewrite.src_table else set()
+                if cmd.table == rewrite.src_table and accessed & moved:
+                    fields = tuple(
+                        fmap[f] for f in cmd.selected_fields(src)
+                    )
+                    out.append(
+                        replace(
+                            cmd,
+                            table=rewrite.dst_table,
+                            fields=fields,
+                            where=redirect_where(cmd.where),
+                        )
+                    )
+                    redirected_vars.add(cmd.var)
+                else:
+                    out.append(replace(cmd, where=rewrite_plain_where(cmd.where)))
+            elif isinstance(cmd, ast.Update):
+                if cmd.table == rewrite.src_table and set(cmd.written_fields) & moved:
+                    assignments = tuple(
+                        (fmap[f], rewrite_expr(e)) for f, e in cmd.assignments
+                    )
+                    out.append(
+                        replace(
+                            cmd,
+                            table=rewrite.dst_table,
+                            assignments=assignments,
+                            where=redirect_where(cmd.where),
+                        )
+                    )
+                else:
+                    assignments = tuple(
+                        (f, rewrite_expr(e)) for f, e in cmd.assignments
+                    )
+                    out.append(
+                        replace(
+                            cmd,
+                            assignments=assignments,
+                            where=rewrite_plain_where(cmd.where),
+                        )
+                    )
+            elif isinstance(cmd, ast.Insert):
+                assignments = tuple(
+                    (f, rewrite_expr(e)) for f, e in cmd.assignments
+                )
+                out.append(replace(cmd, assignments=assignments))
+            elif isinstance(cmd, ast.If):
+                out.append(
+                    replace(cmd, cond=rewrite_expr(cmd.cond), body=walk(cmd.body))
+                )
+            elif isinstance(cmd, ast.Iterate):
+                out.append(
+                    replace(cmd, count=rewrite_expr(cmd.count), body=walk(cmd.body))
+                )
+            else:
+                out.append(cmd)
+        return tuple(out)
+
+    new_body = walk(txn.body)
+    new_ret = rewrite_expr(txn.ret) if txn.ret is not None else None
+    return replace(txn, body=new_body, ret=new_ret)

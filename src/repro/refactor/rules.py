@@ -1,0 +1,47 @@
+"""The schema-extension rules ``intro rho`` and ``intro rho.f``.
+
+These two rules only grow the schema component of a program; the
+companion ``intro v`` rule (redirect/logger rewrites) changes the
+transactions.  Kept as standalone functions so the repair engine and the
+random-refactoring baseline (Appendix A.3) share one implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import RefactoringError
+from repro.lang import ast
+
+
+def intro_schema(
+    program: ast.Program,
+    name: str,
+    key: Tuple[str, ...],
+    fields: Tuple[str, ...] = (),
+) -> ast.Program:
+    """``intro rho``: add a fresh schema to the program.
+
+    The paper's rule adds an empty schema; since our :class:`Schema`
+    requires a primary key, the key fields are supplied at creation and
+    further fields arrive via :func:`intro_field`.
+    """
+    if program.has_schema(name):
+        raise RefactoringError(f"schema {name} already exists")
+    schema = ast.Schema(name=name, fields=key + fields, key=key)
+    return program.with_schema(schema)
+
+
+def intro_field(
+    program: ast.Program,
+    table: str,
+    field: str,
+    ref: Optional[Tuple[str, str]] = None,
+) -> ast.Program:
+    """``intro rho.f``: add a fresh (non-key) field to an existing schema."""
+    if not program.has_schema(table):
+        raise RefactoringError(f"no schema named {table}")
+    schema = program.schema(table)
+    if field in schema.fields:
+        raise RefactoringError(f"{table}.{field} already exists")
+    return program.replace_schema(schema.with_field(field, ref))

@@ -1,0 +1,36 @@
+"""The repair procedure (Section 5, Figure 10).
+
+``repair(P)`` runs the full pipeline:
+
+1. detect anomalous access pairs with the oracle ``O``;
+2. **preprocess**: split multi-field updates so each command sits in at
+   most one anomalous pair (skipped when the split fields are accessed
+   together elsewhere);
+3. for each pair, **try_repair**: merge same-schema commands whose where
+   clauses provably address the same records; otherwise redirect one
+   command's schema onto the other's (via a declared reference path) and
+   merge; otherwise translate a read-modify-write update into a logging
+   insert;
+4. **postprocess**: merge remaining mergeable commands, drop dead
+   selects, and dissolve tables whose entire payload moved elsewhere.
+
+The result is a :class:`~repro.repair.engine.RepairReport` carrying the
+repaired program, the accumulated value correspondences and rewrites
+(for data migration and containment checking), per-pair outcomes, and
+the residual anomalies.
+"""
+
+from repro.repair.engine import RepairOutcome, RepairReport, repair
+from repro.repair.preprocess import preprocess
+from repro.repair.postprocess import postprocess
+from repro.repair.merging import try_merging, where_equivalent
+
+__all__ = [
+    "RepairOutcome",
+    "RepairReport",
+    "repair",
+    "preprocess",
+    "postprocess",
+    "try_merging",
+    "where_equivalent",
+]

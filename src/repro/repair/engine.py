@@ -1,0 +1,374 @@
+"""The repair driver (Figure 10's ``repair`` / ``try_repair``).
+
+The engine follows the paper's control flow exactly:
+
+- same-kind, same-schema pairs go straight to merging;
+- same-kind, cross-schema pairs first redirect one schema onto the other
+  (needs a declared reference path for theta-hat), then merge;
+- everything else (the select/update read-modify-write shape) goes to the
+  logger translation.
+
+All rewrites are applied program-wide; the engine tracks label renames so
+later anomalies referring to merged-away commands still resolve.  The
+returned :class:`RepairReport` carries everything downstream consumers
+need: the repaired program, value correspondences and rewrites (for data
+migration / containment checks), per-pair outcomes, and the residual
+anomaly set whose transactions the AT-SC configuration pins to
+serializable execution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.accesses import rmw_field, summarize_transaction
+from repro.analysis.consistency import EC, ConsistencyLevel
+from repro.analysis.oracle import AccessPair, AnomalyOracle
+from repro.errors import RefactoringError
+from repro.lang import ast
+from repro.refactor.correspondence import ValueCorrespondence
+from repro.refactor.logger import apply_logger, build_logger, logger_applicable
+from repro.refactor.redirect import apply_redirect, build_redirect, redirect_applicable
+from repro.repair.merging import try_merging
+from repro.repair.postprocess import postprocess
+from repro.repair.preprocess import preprocess
+
+Rewrite = Union["RedirectRewriteT", "LoggerRewriteT"]
+# (typing aliases resolved at runtime to avoid import cycles in docs)
+from repro.refactor.redirect import RedirectRewrite as RedirectRewriteT
+from repro.refactor.logger import LoggerRewrite as LoggerRewriteT
+
+
+@dataclass
+class RepairOutcome:
+    """What happened to one anomalous access pair."""
+
+    pair: AccessPair
+    action: str  # merged | redirected | redirected+merged | logged | absorbed | unrepaired
+    detail: str = ""
+
+
+@dataclass
+class RepairReport:
+    """Complete output of the repair pipeline."""
+
+    original_program: ast.Program
+    repaired_program: ast.Program
+    initial_pairs: List[AccessPair]
+    residual_pairs: List[AccessPair]
+    outcomes: List[RepairOutcome]
+    correspondences: List[ValueCorrespondence]
+    rewrites: List[Rewrite]
+    elapsed_seconds: float
+
+    @property
+    def repaired_count(self) -> int:
+        return len(self.initial_pairs) - len(self.residual_pairs)
+
+    @property
+    def repair_ratio(self) -> float:
+        if not self.initial_pairs:
+            return 1.0
+        return self.repaired_count / len(self.initial_pairs)
+
+    def serializable_variant(self) -> ast.Program:
+        """The AT-SC program: transactions still carrying anomalies are
+        marked ``serializable``; the rest stay weakly consistent."""
+        flagged = {p.txn for p in self.residual_pairs}
+        txns = tuple(
+            replace(t, serializable=True) if t.name in flagged else t
+            for t in self.repaired_program.transactions
+        )
+        return replace(self.repaired_program, transactions=txns)
+
+    def summary(self) -> str:
+        lines = [
+            f"anomalous pairs: {len(self.initial_pairs)} -> "
+            f"{len(self.residual_pairs)} "
+            f"({self.repair_ratio:.0%} repaired)",
+            f"tables: {len(self.original_program.schemas)} -> "
+            f"{len(self.repaired_program.schemas)}",
+            f"time: {self.elapsed_seconds:.2f}s",
+        ]
+        for outcome in self.outcomes:
+            lines.append(f"  [{outcome.action}] {outcome.pair.describe()}")
+        return "\n".join(lines)
+
+
+class RepairEngine:
+    """Stateful driver for one repair run."""
+
+    def __init__(self, level: ConsistencyLevel = EC, use_prefilter: bool = True):
+        self.oracle = AnomalyOracle(level, use_prefilter)
+        # (txn, original label) -> current label after merges.
+        self._label_map: Dict[Tuple[str, str], str] = {}
+        # Secondary rewrites produced by hub redirection (two rewrites
+        # repair one pair); drained into the report after each pair.
+        self._extra_rewrites: List[Rewrite] = []
+        self._extra_correspondences: List[ValueCorrespondence] = []
+
+    # -- label bookkeeping -------------------------------------------------
+
+    def _current(self, txn: str, label: str) -> str:
+        seen = set()
+        while (txn, label) in self._label_map and label not in seen:
+            seen.add(label)
+            label = self._label_map[(txn, label)]
+        return label
+
+    def _note_merge(self, txn: str, winner: str, loser: str) -> None:
+        self._label_map[(txn, loser)] = winner
+
+    # -- main algorithm ------------------------------------------------------
+
+    def repair(self, program: ast.Program) -> RepairReport:
+        start = time.perf_counter()
+        original = program
+        initial_report = self.oracle.analyze(program)
+        program = preprocess(program, initial_report.pairs)
+        # Re-detect: splitting renamed command labels.
+        pairs = self.oracle.analyze(program).pairs
+        pairs = sorted(pairs, key=lambda p: (p.txn, p.c1, p.c2))
+
+        outcomes: List[RepairOutcome] = []
+        correspondences: List[ValueCorrespondence] = []
+        rewrites: List[Rewrite] = []
+        for pair in pairs:
+            result = self.try_repair(program, pair)
+            if result is None:
+                outcomes.append(RepairOutcome(pair, "unrepaired"))
+                continue
+            program, action, new_corrs, new_rewrites = result
+            outcomes.append(RepairOutcome(pair, action))
+            correspondences.extend(new_corrs)
+            rewrites.extend(new_rewrites)
+            if self._extra_rewrites:
+                rewrites.extend(self._extra_rewrites)
+                correspondences.extend(self._extra_correspondences)
+                self._extra_rewrites = []
+                self._extra_correspondences = []
+
+        program = postprocess(program, correspondences)
+        residual = self.oracle.analyze(program).pairs
+        elapsed = time.perf_counter() - start
+        return RepairReport(
+            original_program=original,
+            repaired_program=program,
+            initial_pairs=pairs,
+            residual_pairs=residual,
+            outcomes=outcomes,
+            correspondences=correspondences,
+            rewrites=rewrites,
+            elapsed_seconds=elapsed,
+        )
+
+    def try_repair(
+        self, program: ast.Program, pair: AccessPair
+    ) -> Optional[Tuple[ast.Program, str, List[ValueCorrespondence], List[Rewrite]]]:
+        """One application of Figure 10's ``try_repair``; None on failure."""
+        txn_name = pair.txn
+        label1 = self._current(txn_name, pair.c1)
+        label2 = self._current(txn_name, pair.c2)
+        if label1 == label2:
+            return program, "absorbed", [], []
+        c1 = _find_command(program, txn_name, label1)
+        c2 = _find_command(program, txn_name, label2)
+        if c1 is None or c2 is None:
+            return None
+
+        if _same_kind(c1, c2):
+            if c1.table == c2.table:  # type: ignore[union-attr]
+                merged = try_merging(program, txn_name, label1, label2)
+                if merged is not None:
+                    self._note_merge(txn_name, label1, label2)
+                    return merged, "merged", [], []
+                return None
+            redirected = self._try_redirect(program, txn_name, c1, c2)
+            if redirected is not None:
+                program, corrs, rewrite = redirected
+                merged = try_merging(program, txn_name, label1, label2)
+                if merged is not None:
+                    self._note_merge(txn_name, label1, label2)
+                    return merged, "redirected+merged", corrs, [rewrite]
+                return program, "redirected", corrs, [rewrite]
+            return None
+        return self._try_logging(program, txn_name, c1, c2)
+
+    # -- redirect ------------------------------------------------------------
+
+    def _try_redirect(
+        self,
+        program: ast.Program,
+        txn_name: str,
+        c1: ast.Command,
+        c2: ast.Command,
+    ) -> Optional[Tuple[ast.Program, List[ValueCorrespondence], Rewrite]]:
+        """Redirect c2's schema into c1's (then reverse, then via a hub).
+
+        The moved field set is closed under accessed-together fields: if
+        some select retrieves a moved field alongside other payload
+        fields of the source table, those are moved too, so every access
+        site remains expressible after the rewrite.
+        """
+        for src_cmd, dst_cmd in ((c2, c1), (c1, c2)):
+            result = self._redirect_into(program, src_cmd, dst_cmd.table)  # type: ignore[union-attr]
+            if result is not None:
+                return result
+        # Common hub: both tables fold into a third one that declares (or
+        # is declared by) reference paths to each -- e.g. SAVINGS and
+        # CHECKING both keyed by ACCOUNTS.custid.
+        hub = self._redirect_into_hub(program, txn_name, c1, c2)
+        if hub is not None:
+            return hub
+        return None
+
+    def _redirect_into(
+        self, program: ast.Program, src_cmd: ast.Command, dst_table: str
+    ) -> Optional[Tuple[ast.Program, List[ValueCorrespondence], Rewrite]]:
+        fields = _accessed_payload_fields(program, src_cmd)
+        if not fields or src_cmd.table == dst_table:  # type: ignore[union-attr]
+            return None
+        fields = _close_accessed_together(program, src_cmd.table, fields)  # type: ignore[union-attr]
+        rewrite = build_redirect(program, src_cmd.table, dst_table, fields)  # type: ignore[union-attr]
+        if rewrite is None or redirect_applicable(program, rewrite) is not None:
+            return None
+        try:
+            new_program, corrs = apply_redirect(program, rewrite)
+        except RefactoringError:
+            return None
+        return new_program, corrs, rewrite
+
+    def _redirect_into_hub(
+        self,
+        program: ast.Program,
+        txn_name: str,
+        c1: ast.Command,
+        c2: ast.Command,
+    ) -> Optional[Tuple[ast.Program, List[ValueCorrespondence], Rewrite]]:
+        for hub in program.schema_names:
+            if hub in (c1.table, c2.table):  # type: ignore[union-attr]
+                continue
+            first = self._redirect_into(program, c1, hub)
+            if first is None:
+                continue
+            program1, corrs1, rewrite1 = first
+            c2_now = _find_command(program1, txn_name, getattr(c2, "label", ""))
+            if c2_now is None:
+                continue
+            second = self._redirect_into(program1, c2_now, hub)
+            if second is None:
+                continue
+            program2, corrs2, rewrite2 = second
+            # Record both rewrites; report the first, stash the second.
+            self._extra_rewrites.append(rewrite2)
+            self._extra_correspondences.extend(corrs2)
+            return program2, corrs1, rewrite1
+        return None
+
+    # -- logging ---------------------------------------------------------------
+
+    def _try_logging(
+        self,
+        program: ast.Program,
+        txn_name: str,
+        c1: ast.Command,
+        c2: ast.Command,
+    ) -> Optional[Tuple[ast.Program, str, List[ValueCorrespondence], List[Rewrite]]]:
+        select, update = (c1, c2) if isinstance(c1, ast.Select) else (c2, c1)
+        if not isinstance(select, ast.Select) or not isinstance(update, ast.Update):
+            return None
+        txn = program.transaction(txn_name)
+        summary = summarize_transaction(program, txn)
+        try:
+            info_r = summary.command(select.label)
+            info_w = summary.command(update.label)
+        except KeyError:
+            return None
+        f = rmw_field(summary, info_r, info_w)
+        if f is None:
+            return None
+        rewrite = build_logger(program, update.table, f)
+        if logger_applicable(program, rewrite) is not None:
+            return None
+        try:
+            new_program, corrs = apply_logger(program, rewrite)
+        except RefactoringError:
+            return None
+        return new_program, "logged", corrs, [rewrite]
+
+
+def repair(
+    program: ast.Program,
+    level: ConsistencyLevel = EC,
+    use_prefilter: bool = True,
+) -> RepairReport:
+    """Run the full repair pipeline on ``program``."""
+    return RepairEngine(level, use_prefilter).repair(program)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _find_command(
+    program: ast.Program, txn_name: str, label: str
+) -> Optional[ast.Command]:
+    try:
+        txn = program.transaction(txn_name)
+    except KeyError:
+        return None
+    for cmd in ast.iter_db_commands(txn):
+        if getattr(cmd, "label", "") == label:
+            return cmd
+    return None
+
+
+def _same_kind(c1: ast.Command, c2: ast.Command) -> bool:
+    kinds = {type(c1), type(c2)}
+    return kinds == {ast.Select} or kinds == {ast.Update}
+
+
+def _close_accessed_together(
+    program: ast.Program, table: str, fields: List[str]
+) -> List[str]:
+    """Close the moved-field set under 'retrieved by the same select':
+    if any select pulls a moved field together with other payload fields
+    of the table, those fields must move too or the select has no home."""
+    schema = program.schema(table)
+    moved = set(fields)
+    changed = True
+    while changed:
+        changed = False
+        for txn in program.transactions:
+            for cmd in ast.iter_db_commands(txn):
+                if getattr(cmd, "table", None) != table:
+                    continue
+                if isinstance(cmd, ast.Select):
+                    accessed = {
+                        f for f in cmd.selected_fields(schema) if f not in schema.key
+                    }
+                elif isinstance(cmd, ast.Update):
+                    accessed = {
+                        f for f in cmd.written_fields if f not in schema.key
+                    }
+                else:
+                    continue
+                if accessed & moved and not accessed <= moved:
+                    moved |= accessed
+                    changed = True
+    return [f for f in schema.fields if f in moved]
+
+
+def _accessed_payload_fields(program: ast.Program, cmd: ast.Command) -> List[str]:
+    """Non-key fields the command accesses on its table."""
+    schema = program.schema(cmd.table)  # type: ignore[union-attr]
+    if isinstance(cmd, ast.Select):
+        accessed = cmd.selected_fields(schema)
+    elif isinstance(cmd, ast.Update):
+        accessed = cmd.written_fields
+    else:
+        return []
+    return [f for f in accessed if f not in schema.key]

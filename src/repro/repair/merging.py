@@ -1,0 +1,283 @@
+"""Command merging (the ``try_merging`` of Figure 10).
+
+Two same-kind commands on the same schema merge into one -- turning two
+separately-viewed accesses into a single record-atomic command -- when
+their where clauses provably address the same records (condition R1 of
+Section 4.2).  Three provable cases, in order:
+
+(a) **syntactic equality**: equal conjunct maps;
+(b) **self-lookup**: ``c``'s clause is ``g = at_1(x.g) /\\ ...`` where
+    ``x`` was selected *from the same table*; the clause then re-selects
+    (at least) ``x``'s records, so it inherits the equivalence class of
+    ``x``'s select -- this is how ``S2'`` (``st_em_id = x.st_em_id``)
+    merges with ``S1`` (``st_id = id``) in Figure 9;
+(c) **assigned-key match** (updates): ``c2``'s clause ``g = e`` matches
+    an assignment ``g = e`` performed by ``c1``, so right after ``c1``
+    the updated record satisfies it -- how ``U4.2'`` merges into ``U3``
+    in Figure 11.
+
+Merging additionally requires that no command between the two conflicts
+with the moved one (reads or writes its fields on the same table), and
+that the moved command's expressions only use variables already bound
+before the merge point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lang import ast
+from repro.lang.traverse import (
+    expression_vars,
+    rewrite_expression,
+    rewrite_where,
+    where_vars,
+)
+
+
+def _conjunct_map(where: ast.Where) -> Optional[Dict[str, ast.Expr]]:
+    conjuncts = ast.where_conjuncts(where)
+    if conjuncts is None:
+        return None
+    out: Dict[str, ast.Expr] = {}
+    for cond in conjuncts:
+        if cond.op != "=" or cond.field in out:
+            return None
+        out[cond.field] = cond.expr
+    return out
+
+
+def _exprs_equal(a: ast.Expr, b: ast.Expr) -> bool:
+    from repro.analysis.aliasing import _syntactically_equal
+
+    return _syntactically_equal(a, b)
+
+
+def where_equivalent(
+    txn: ast.Transaction,
+    c1: ast.Command,
+    c2: ast.Command,
+) -> bool:
+    """Do ``c1`` and ``c2`` provably address the same records?
+
+    ``c1`` and ``c2`` must be database commands on the same table inside
+    ``txn``; see the module docstring for the three provable cases.
+    """
+    if getattr(c1, "table", None) != getattr(c2, "table", None):
+        return False
+    m1 = _resolve_clause(txn, c1)
+    m2 = _resolve_clause(txn, c2)
+    if m1 is None or m2 is None:
+        return False
+    if _maps_equal(m1, m2):
+        return True
+    # Case (c): clauses of c2 satisfied by assignments of c1.
+    if isinstance(c1, ast.Update):
+        remaining = {
+            f: e
+            for f, e in m2.items()
+            if not any(f == af and _exprs_equal(e, ae) for af, ae in c1.assignments)
+        }
+        if not remaining or _maps_equal(m1, remaining):
+            return True
+    return False
+
+
+def _maps_equal(a: Dict[str, ast.Expr], b: Dict[str, ast.Expr]) -> bool:
+    if set(a) != set(b):
+        return False
+    return all(_exprs_equal(a[f], b[f]) for f in a)
+
+
+def _resolve_clause(
+    txn: ast.Transaction, cmd: ast.Command, depth: int = 4
+) -> Optional[Dict[str, ast.Expr]]:
+    """Conjunct map of ``cmd``'s where, chasing self-lookups (case b)."""
+    where = getattr(cmd, "where", None)
+    if where is None:
+        return None
+    table = cmd.table  # type: ignore[union-attr]
+    m = _conjunct_map(where)
+    while m is not None and depth > 0:
+        lookup_var = _self_lookup_var(m, table, txn)
+        if lookup_var is None:
+            return m
+        source = _select_binding(txn, lookup_var)
+        if source is None or source.table != table:
+            return m
+        resolved = _conjunct_map(source.where)
+        if resolved is None:
+            return m
+        m = resolved
+        depth -= 1
+    return m
+
+
+def _self_lookup_var(
+    m: Dict[str, ast.Expr], table: str, txn: ast.Transaction
+) -> Optional[str]:
+    """If every conjunct is ``g = at_1(x.g)`` for one shared ``x`` bound by
+    a select on ``table``, return ``x``."""
+    var: Optional[str] = None
+    for field, expr in m.items():
+        if not (
+            isinstance(expr, ast.At)
+            and expr.index == ast.Const(1)
+            and expr.field == field
+        ):
+            return None
+        if var is None:
+            var = expr.var
+        elif var != expr.var:
+            return None
+    return var
+
+
+def _select_binding(txn: ast.Transaction, var: str) -> Optional[ast.Select]:
+    for cmd in ast.iter_db_commands(txn):
+        if isinstance(cmd, ast.Select) and cmd.var == var:
+            return cmd
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The merge operation
+# ---------------------------------------------------------------------------
+
+
+def try_merging(
+    program: ast.Program, txn_name: str, label1: str, label2: str
+) -> Optional[ast.Program]:
+    """Merge the command labelled ``label2`` into ``label1`` inside
+    ``txn_name``; returns the new program or None when not mergeable."""
+    txn = program.transaction(txn_name)
+    body = list(txn.body)
+    pos1 = _top_level_index(body, label1)
+    pos2 = _top_level_index(body, label2)
+    if pos1 is None or pos2 is None:
+        return None  # nested commands are not merged (conservative)
+    if pos1 > pos2:
+        pos1, pos2 = pos2, pos1
+        label1, label2 = label2, label1
+    c1, c2 = body[pos1], body[pos2]
+    if type(c1) is not type(c2) or isinstance(c1, ast.Insert):
+        return None
+    if c1.table != c2.table:  # type: ignore[union-attr]
+        return None
+    if not where_equivalent(txn, c1, c2):
+        return None
+    if not _safe_to_hoist(program, txn, body, pos1, pos2):
+        return None
+
+    if isinstance(c1, ast.Select):
+        merged, var_rename = _merge_selects(program, c1, c2)
+    else:
+        merged = _merge_updates(c1, c2)
+        var_rename = None
+    new_body = body[:pos1] + [merged] + body[pos1 + 1 : pos2] + body[pos2 + 1 :]
+    new_txn = replace(txn, body=tuple(new_body))
+    if var_rename is not None:
+        old_var, new_var = var_rename
+        new_txn = _rename_var(new_txn, old_var, new_var)
+    return program.replace_transaction(new_txn)
+
+
+def _top_level_index(body: List[ast.Command], label: str) -> Optional[int]:
+    for i, cmd in enumerate(body):
+        if getattr(cmd, "label", "") == label:
+            return i
+    return None
+
+
+def _safe_to_hoist(
+    program: ast.Program,
+    txn: ast.Transaction,
+    body: List[ast.Command],
+    pos1: int,
+    pos2: int,
+) -> bool:
+    """Moving c2 up to c1's position must not cross conflicting commands
+    or unbound variables."""
+    c2 = body[pos2]
+    table = c2.table  # type: ignore[union-attr]
+    schema = program.schema(table)
+    if isinstance(c2, ast.Select):
+        c2_fields = set(c2.selected_fields(schema)) | set(ast.where_fields(c2.where))
+        needed_vars = where_vars(c2.where)
+    else:
+        assert isinstance(c2, ast.Update)
+        c2_fields = set(c2.written_fields) | set(ast.where_fields(c2.where))
+        needed_vars = where_vars(c2.where)
+        for _, e in c2.assignments:
+            needed_vars |= expression_vars(e)
+
+    bound_before: Set[str] = set()
+    for cmd in body[:pos1]:
+        if isinstance(cmd, ast.Select):
+            bound_before.add(cmd.var)
+    # Variables resolved through a self-lookup on c1 itself are fine:
+    # after merging, c1's records subsume them.  Accept variables bound by
+    # c1 too.
+    c1 = body[pos1]
+    if isinstance(c1, ast.Select):
+        bound_before.add(c1.var)
+    if not needed_vars <= bound_before:
+        return False
+
+    for cmd in body[pos1 + 1 : pos2]:
+        for sub in _flatten(cmd):
+            if getattr(sub, "table", None) != table:
+                continue
+            if isinstance(sub, ast.Select):
+                accessed = set(sub.selected_fields(schema)) | set(
+                    ast.where_fields(sub.where)
+                )
+            elif isinstance(sub, (ast.Update, ast.Insert)):
+                accessed = set(sub.written_fields)
+                if isinstance(sub, ast.Update):
+                    accessed |= set(ast.where_fields(sub.where))
+            else:
+                continue
+            if accessed & c2_fields:
+                return False
+    return True
+
+
+def _flatten(cmd: ast.Command):
+    if isinstance(cmd, (ast.If, ast.Iterate)):
+        for sub in cmd.body:
+            yield from _flatten(sub)
+    else:
+        yield cmd
+
+
+def _merge_selects(
+    program: ast.Program, c1: ast.Select, c2: ast.Select
+) -> Tuple[ast.Select, Tuple[str, str]]:
+    schema = program.schema(c1.table)
+    if c1.fields == ast.STAR or c2.fields == ast.STAR:
+        fields: object = ast.STAR
+    else:
+        fields = tuple(dict.fromkeys(tuple(c1.fields) + tuple(c2.fields)))
+    merged = replace(c1, fields=fields)
+    return merged, (c2.var, c1.var)
+
+
+def _merge_updates(c1: ast.Update, c2: ast.Update) -> ast.Update:
+    assignments = dict(c1.assignments)
+    for f, e in c2.assignments:
+        assignments[f] = e  # later command wins on field collision
+    return replace(c1, assignments=tuple(assignments.items()))
+
+
+def _rename_var(txn: ast.Transaction, old: str, new: str) -> ast.Transaction:
+    def on_expr(expr: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(expr, (ast.At, ast.Agg)) and expr.var == old:
+            return replace(expr, var=new)
+        return None
+
+    from repro.lang.traverse import rewrite_program_expressions
+
+    probe = ast.Program(schemas=(), transactions=(txn,))
+    return rewrite_program_expressions(probe, on_expr).transactions[0]

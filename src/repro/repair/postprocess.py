@@ -1,0 +1,104 @@
+"""Postprocessing: dead-code elimination and final merging (Section 5).
+
+After the per-anomaly repairs:
+
+1. repeatedly merge any remaining mergeable command pairs (repairs often
+   leave adjacent commands on the same record, e.g. ``S1``/``S3'`` in
+   ``getSt``);
+2. remove selects whose result variable is never used (the paper's
+   obsolete ``S5`` after the logger rewrite);
+3. dissolve tables that no command accesses anymore, provided every
+   non-key field is recoverable through a recorded value correspondence
+   (information preservation), and scrub dangling ``ref`` annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.lang import ast
+from repro.lang.traverse import accessed_tables, used_vars
+from repro.refactor.correspondence import ValueCorrespondence
+from repro.repair.merging import try_merging
+
+
+def postprocess(
+    program: ast.Program,
+    correspondences: Sequence[ValueCorrespondence] = (),
+) -> ast.Program:
+    changed = True
+    while changed:
+        changed = False
+        merged = _merge_pass(program)
+        if merged is not None:
+            program = merged
+            changed = True
+        pruned = _dead_select_pass(program)
+        if pruned is not None:
+            program = pruned
+            changed = True
+    program = _drop_dead_tables(program, correspondences)
+    return program
+
+
+def _merge_pass(program: ast.Program) -> Optional[ast.Program]:
+    """One successful merge anywhere, or None."""
+    for txn in program.transactions:
+        labels = [
+            cmd.label
+            for cmd in txn.body
+            if isinstance(cmd, (ast.Select, ast.Update)) and cmd.label
+        ]
+        for i in range(len(labels)):
+            for j in range(i + 1, len(labels)):
+                result = try_merging(program, txn.name, labels[i], labels[j])
+                if result is not None:
+                    return result
+    return None
+
+
+def _dead_select_pass(program: ast.Program) -> Optional[ast.Program]:
+    """Remove one dead select anywhere, or None."""
+    for txn in program.transactions:
+        live = used_vars(txn)
+        new_body: List[ast.Command] = []
+        removed = False
+        for cmd in txn.body:
+            if isinstance(cmd, ast.Select) and cmd.var not in live and not removed:
+                removed = True
+                continue
+            new_body.append(cmd)
+        if removed:
+            return program.replace_transaction(replace(txn, body=tuple(new_body)))
+    return None
+
+
+def _drop_dead_tables(
+    program: ast.Program, correspondences: Sequence[ValueCorrespondence]
+) -> ast.Program:
+    accessed: Set[str] = set()
+    for txn in program.transactions:
+        accessed |= accessed_tables(txn)
+    covered = {(c.src_table, c.src_field) for c in correspondences}
+    for schema in list(program.schemas):
+        if schema.name in accessed:
+            continue
+        non_key = set(schema.non_key_fields)
+        if not non_key:
+            continue  # key-only tables carry no payload worth a schema? keep
+        if all((schema.name, f) in covered for f in non_key):
+            program = program.without_schema(schema.name)
+    return _scrub_refs(program)
+
+
+def _scrub_refs(program: ast.Program) -> ast.Program:
+    """Drop ref annotations pointing at removed tables."""
+    names = set(program.schema_names)
+    new_schemas = []
+    for schema in program.schemas:
+        refs = tuple(
+            (f, target) for f, target in schema.refs if target[0] in names
+        )
+        new_schemas.append(replace(schema, refs=refs) if refs != schema.refs else schema)
+    return replace(program, schemas=tuple(new_schemas))

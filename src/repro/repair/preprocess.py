@@ -1,0 +1,140 @@
+"""Preprocessing: command splitting (Section 5).
+
+An update assigning several fields may participate in several anomalous
+access pairs through different field subsets; splitting it into one
+update per field group lets each group be repaired independently (the
+paper splits ``U4`` into ``U4.1``/``U4.2`` before repairing ``regSt``).
+
+The split is skipped when the separated field groups are accessed
+together by some other command -- separating them there would create a
+brand-new fractured observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.analysis.oracle import AccessPair
+from repro.lang import ast
+from repro.lang.traverse import rewrite_program_commands
+
+
+def preprocess(program: ast.Program, pairs: Sequence[AccessPair]) -> ast.Program:
+    """Split multi-field updates so each command joins at most one pair."""
+    plans = _split_plans(program, pairs)
+    if not plans:
+        return program
+
+    def on_command(cmd: ast.Command):
+        if not isinstance(cmd, ast.Update):
+            return None
+        key = None
+        for (txn, label), groups in plans.items():
+            if cmd.label == label and _command_in_txn(program, txn, cmd):
+                key = (txn, label)
+                break
+        if key is None:
+            return None
+        groups = plans[key]
+        out: List[ast.Command] = []
+        for i, group in enumerate(groups, start=1):
+            assignments = tuple(
+                (f, e) for f, e in cmd.assignments if f in group
+            )
+            out.append(
+                replace(cmd, assignments=assignments, label=f"{cmd.label}.{i}")
+            )
+        return out
+
+    return rewrite_program_commands(program, on_command)
+
+
+def _command_in_txn(program: ast.Program, txn_name: str, cmd: ast.Command) -> bool:
+    txn = program.transaction(txn_name)
+    return any(c is cmd for c in ast.iter_db_commands(txn))
+
+
+def _split_plans(
+    program: ast.Program, pairs: Sequence[AccessPair]
+) -> Dict[Tuple[str, str], List[Set[str]]]:
+    """Compute, per (txn, update label), the ordered field groups to split
+    into.  Only commands involved in >= 2 pairs with distinct field
+    subsets are split."""
+    involvement: Dict[Tuple[str, str], List[FrozenSet[str]]] = {}
+    for pair in pairs:
+        for label, fields in ((pair.c1, pair.fields1), (pair.c2, pair.fields2)):
+            involvement.setdefault((pair.txn, label), []).append(frozenset(fields))
+
+    plans: Dict[Tuple[str, str], List[Set[str]]] = {}
+    for (txn_name, label), field_sets in involvement.items():
+        cmd = _find_update(program, txn_name, label)
+        if cmd is None:
+            continue
+        assigned = [f for f, _ in cmd.assignments]
+        groups = _partition(assigned, field_sets)
+        if len(groups) < 2:
+            continue
+        if _accessed_together_elsewhere(program, txn_name, label, cmd.table, groups):
+            continue
+        plans[(txn_name, label)] = groups
+    return plans
+
+
+def _find_update(program: ast.Program, txn_name: str, label: str):
+    txn = program.transaction(txn_name)
+    for cmd in ast.iter_db_commands(txn):
+        if isinstance(cmd, ast.Update) and cmd.label == label:
+            return cmd
+    return None
+
+
+def _partition(
+    assigned: List[str], field_sets: List[FrozenSet[str]]
+) -> List[Set[str]]:
+    """Group assigned fields by the set of pairs that touch them.
+
+    Fields sharing exactly the same pair membership stay together;
+    untouched fields form their own trailing group.
+    """
+    signature: Dict[str, Tuple[int, ...]] = {}
+    for f in assigned:
+        signature[f] = tuple(
+            i for i, fs in enumerate(field_sets) if f in fs
+        )
+    groups: List[Set[str]] = []
+    seen: Dict[Tuple[int, ...], Set[str]] = {}
+    for f in assigned:
+        sig = signature[f]
+        if sig not in seen:
+            seen[sig] = set()
+            groups.append(seen[sig])
+        seen[sig].add(f)
+    return [g for g in groups if g]
+
+
+def _accessed_together_elsewhere(
+    program: ast.Program,
+    txn_name: str,
+    label: str,
+    table: str,
+    groups: List[Set[str]],
+) -> bool:
+    """True when some other command reads/writes fields from two distinct
+    groups on the same table -- splitting would then manufacture a new
+    fractured observation for that command."""
+    for txn in program.transactions:
+        for cmd in ast.iter_db_commands(txn):
+            if txn.name == txn_name and getattr(cmd, "label", "") == label:
+                continue
+            if getattr(cmd, "table", None) != table:
+                continue
+            accessed: Set[str] = set()
+            if isinstance(cmd, ast.Select):
+                accessed = set(cmd.selected_fields(program.schema(table)))
+            elif isinstance(cmd, (ast.Update, ast.Insert)):
+                accessed = set(cmd.written_fields)
+            touched = [bool(accessed & g) for g in groups]
+            if sum(touched) >= 2:
+                return True
+    return False

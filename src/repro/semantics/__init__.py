@@ -1,0 +1,64 @@
+"""Operational semantics of weakly isolated database programs (Section 3).
+
+The model follows the paper: a database state is a triple
+``(str, vis, cnt)`` of an event store, a visibility relation, and a global
+execution counter.  Commands execute against *local views* of the store
+that are only required to respect record-level atomicity
+(``ConstructView``); stronger consistency levels add further closure
+conditions on the views a policy may construct.
+
+Public surface:
+
+- :class:`repro.semantics.state.Database` / ``DatabaseState`` -- concrete
+  stores;
+- :class:`repro.semantics.interp.Instance` /
+  :func:`repro.semantics.interp.execute_command` -- the small-step
+  interpreter;
+- :mod:`repro.semantics.views` -- view construction policies (serial,
+  random-EC, scripted);
+- :mod:`repro.semantics.scheduler` -- serial and interleaved execution
+  drivers;
+- :mod:`repro.semantics.history` -- execution histories plus the strong
+  atomicity / strong isolation checks of Section 3.2.
+"""
+
+from repro.semantics.events import Event
+from repro.semantics.state import Database, DatabaseState
+from repro.semantics.interp import Instance, TxnCall, execute_command
+from repro.semantics.views import (
+    FullView,
+    RandomPartialView,
+    ScriptedView,
+    ViewPolicy,
+)
+from repro.semantics.scheduler import (
+    run_serial,
+    run_interleaved,
+    enumerate_schedules,
+)
+from repro.semantics.history import (
+    History,
+    check_strong_atomicity,
+    check_strong_isolation,
+    is_serializable,
+)
+
+__all__ = [
+    "Event",
+    "Database",
+    "DatabaseState",
+    "Instance",
+    "TxnCall",
+    "execute_command",
+    "FullView",
+    "RandomPartialView",
+    "ScriptedView",
+    "ViewPolicy",
+    "run_serial",
+    "run_interleaved",
+    "enumerate_schedules",
+    "History",
+    "check_strong_atomicity",
+    "check_strong_isolation",
+    "is_serializable",
+]

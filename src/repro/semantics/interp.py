@@ -1,0 +1,347 @@
+"""The small-step interpreter (Figure 6).
+
+A transaction instance is compiled into a Python generator that yields
+each database command it is about to execute; the scheduler performs the
+command against the shared :class:`DatabaseState` with a policy-chosen
+local view and resumes the generator.  Control commands (``if``,
+``iterate``, ``skip``, sequencing) are evaluated locally, exactly as in
+the paper where only database commands interact with Sigma.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SemanticsError
+from repro.lang import ast
+from repro.semantics.events import Event, READ, WRITE, RecordId
+from repro.semantics.state import DatabaseState
+
+# A local binding: ordered records as (record id, field -> value).
+ResultSet = List[Tuple[RecordId, Dict[str, Any]]]
+
+
+@dataclass
+class TxnCall:
+    """A transaction invocation: name plus argument values."""
+
+    name: str
+    args: Tuple[Any, ...] = ()
+
+    def bind(self, txn: ast.Transaction) -> Dict[str, Any]:
+        if len(self.args) != len(txn.params):
+            raise SemanticsError(
+                f"{txn.name} expects {len(txn.params)} args, got {len(self.args)}"
+            )
+        return dict(zip(txn.params, self.args))
+
+
+class Instance:
+    """A running transaction instance (the tuples of Gamma in Fig. 6)."""
+
+    def __init__(self, iid: int, program: ast.Program, call: TxnCall):
+        self.iid = iid
+        self.program = program
+        self.txn = program.transaction(call.name)
+        self.call = call
+        self.args = call.bind(self.txn)
+        self.store: Dict[str, ResultSet] = {}
+        self.iter_stack: List[int] = []
+        self.result: Any = None
+        self.finished = False
+        self._gen = self._run()
+
+    # -- driving ---------------------------------------------------------
+
+    def next_command(self) -> Optional[ast.Command]:
+        """Advance to the next database command; None when finished."""
+        try:
+            return next(self._gen)
+        except StopIteration:
+            self.finished = True
+            return None
+
+    def _run(self) -> Generator[ast.Command, None, None]:
+        yield from self._exec_body(self.txn.body)
+        if self.txn.ret is not None:
+            self.result = self.eval_expr(self.txn.ret)
+
+    def _exec_body(
+        self, body: Iterable[ast.Command]
+    ) -> Generator[ast.Command, None, None]:
+        for cmd in body:
+            if isinstance(cmd, (ast.Select, ast.Update, ast.Insert)):
+                yield cmd
+            elif isinstance(cmd, ast.If):
+                if _truthy(self.eval_expr(cmd.cond)):
+                    yield from self._exec_body(cmd.body)
+            elif isinstance(cmd, ast.Iterate):
+                count = self.eval_expr(cmd.count)
+                if not isinstance(count, int) or count < 0:
+                    raise SemanticsError(
+                        f"{self.txn.name}: iterate count must be a non-negative "
+                        f"int, got {count!r}"
+                    )
+                for i in range(count):
+                    self.iter_stack.append(i + 1)
+                    yield from self._exec_body(cmd.body)
+                    self.iter_stack.pop()
+            elif isinstance(cmd, ast.Skip):
+                continue
+            else:
+                raise SemanticsError(f"unknown command {cmd!r}")
+
+    # -- expression evaluation (the big-step relation of the paper) -------
+
+    def eval_expr(self, expr: ast.Expr) -> Any:
+        if isinstance(expr, ast.Const):
+            return expr.value
+        if isinstance(expr, ast.Arg):
+            if expr.name not in self.args:
+                raise SemanticsError(f"unbound argument {expr.name!r}")
+            return self.args[expr.name]
+        if isinstance(expr, ast.IterVar):
+            if not self.iter_stack:
+                raise SemanticsError("'iter' outside an iterate body")
+            return self.iter_stack[-1]
+        if isinstance(expr, ast.Uuid):
+            # Freshness is provided by the state at command execution
+            # time; within pure expression evaluation, a placeholder is
+            # produced and replaced by execute_command.
+            raise SemanticsError("uuid() may only appear in insert assignments")
+        if isinstance(expr, ast.BinOp):
+            left = self.eval_expr(expr.left)
+            right = self.eval_expr(expr.right)
+            return _arith(expr.op, left, right)
+        if isinstance(expr, ast.Cmp):
+            left = self.eval_expr(expr.left)
+            right = self.eval_expr(expr.right)
+            return _compare(expr.op, left, right)
+        if isinstance(expr, ast.BoolOp):
+            left = _truthy(self.eval_expr(expr.left))
+            if expr.op == "and":
+                return left and _truthy(self.eval_expr(expr.right))
+            return left or _truthy(self.eval_expr(expr.right))
+        if isinstance(expr, ast.Not):
+            return not _truthy(self.eval_expr(expr.operand))
+        if isinstance(expr, ast.At):
+            records = self._records_of(expr.var)
+            index = self.eval_expr(expr.index)
+            if not isinstance(index, int) or index < 1 or index > len(records):
+                raise SemanticsError(
+                    f"at({index}, {expr.var}.{expr.field}): index out of "
+                    f"range (have {len(records)} records)"
+                )
+            return records[index - 1][1].get(expr.field)
+        if isinstance(expr, ast.Agg):
+            records = self._records_of(expr.var)
+            values = [fields.get(expr.field) for _, fields in records]
+            return _aggregate(expr.func, values)
+        raise SemanticsError(f"unknown expression {expr!r}")
+
+    def _records_of(self, var: str) -> ResultSet:
+        if var not in self.store:
+            raise SemanticsError(f"variable {var!r} not bound")
+        return self.store[var]
+
+    def eval_where(self, where: ast.Where, record_fields: Dict[str, Any]) -> bool:
+        """Evaluate a where clause against a record snapshot."""
+        if isinstance(where, ast.WhereTrue):
+            return True
+        if isinstance(where, ast.WhereCond):
+            lhs = record_fields.get(where.field)
+            rhs = self.eval_expr(where.expr)
+            return _compare(where.op, lhs, rhs)
+        if isinstance(where, ast.WhereBool):
+            left = self.eval_where(where.left, record_fields)
+            if where.op == "and":
+                return left and self.eval_where(where.right, record_fields)
+            return left or self.eval_where(where.right, record_fields)
+        raise SemanticsError(f"unknown where clause {where!r}")
+
+
+# ---------------------------------------------------------------------------
+# Command execution against the shared state
+# ---------------------------------------------------------------------------
+
+
+def execute_command(
+    state: DatabaseState,
+    instance: Instance,
+    cmd: ast.Command,
+    view: FrozenSet[int],
+) -> List[Event]:
+    """Execute one database command under ``view``; returns its events.
+
+    Mirrors the (select)/(update) rules: evaluates the where clause
+    against the view-reconstructed record snapshots, produces the event
+    batch with a single fresh timestamp, appends it to the store with
+    visibility edges from the view, and advances the counter.
+    """
+    if isinstance(cmd, ast.Select):
+        return _exec_select(state, instance, cmd, view)
+    if isinstance(cmd, ast.Update):
+        return _exec_update(state, instance, cmd, view)
+    if isinstance(cmd, ast.Insert):
+        return _exec_insert(state, instance, cmd, view)
+    raise SemanticsError(f"not a database command: {cmd!r}")
+
+
+def _exec_select(
+    state: DatabaseState,
+    instance: Instance,
+    cmd: ast.Select,
+    view: FrozenSet[int],
+) -> List[Event]:
+    schema = state.program.schema(cmd.table)
+    fields = cmd.selected_fields(schema)
+    where_fields = ast.where_fields(cmd.where)
+    ts = state.tick()
+    events: List[Event] = []
+    results: ResultSet = []
+    for record in state.visible_records(view, cmd.table):
+        snapshot = state.record_snapshot(
+            view, record, set(where_fields) | set(fields) | {"alive"}
+        )
+        if snapshot.get("alive") is False:
+            continue
+        # epsilon_1: the scan touches the where-clause fields of every record.
+        for f in where_fields:
+            events.append(
+                Event(state.next_eid() + len(events), READ, ts, record, f, None,
+                      instance.iid, cmd.label)
+            )
+        if instance.eval_where(cmd.where, snapshot):
+            # epsilon_2: read events for the retrieved fields.
+            for f in fields:
+                events.append(
+                    Event(state.next_eid() + len(events), READ, ts, record, f,
+                          None, instance.iid, cmd.label)
+                )
+            results.append((record, {f: snapshot[f] for f in fields}))
+    state.append_events(events, view)
+    instance.store[cmd.var] = results
+    return events
+
+
+def _exec_update(
+    state: DatabaseState,
+    instance: Instance,
+    cmd: ast.Update,
+    view: FrozenSet[int],
+) -> List[Event]:
+    where_fields = ast.where_fields(cmd.where)
+    ts = state.tick()
+    events: List[Event] = []
+    for record in state.visible_records(view, cmd.table):
+        snapshot = state.record_snapshot(
+            view, record, set(where_fields) | {"alive"}
+        )
+        if snapshot.get("alive") is False:
+            continue
+        if not instance.eval_where(cmd.where, snapshot):
+            continue
+        for f, expr in cmd.assignments:
+            value = instance.eval_expr(expr)
+            events.append(
+                Event(state.next_eid() + len(events), WRITE, ts, record, f,
+                      value, instance.iid, cmd.label)
+            )
+    state.append_events(events, view)
+    return events
+
+
+def _exec_insert(
+    state: DatabaseState,
+    instance: Instance,
+    cmd: ast.Insert,
+    view: FrozenSet[int],
+) -> List[Event]:
+    schema = state.program.schema(cmd.table)
+    ts = state.tick()
+    values: Dict[str, Any] = {}
+    for f, expr in cmd.assignments:
+        if isinstance(expr, ast.Uuid):
+            values[f] = state.fresh_uuid()
+        else:
+            values[f] = instance.eval_expr(expr)
+    key = tuple(values[k] for k in schema.key)
+    record: RecordId = (cmd.table, key)
+    events: List[Event] = []
+    for f in schema.fields:
+        if f in values:
+            events.append(
+                Event(state.next_eid() + len(events), WRITE, ts, record, f,
+                      values[f], instance.iid, cmd.label)
+            )
+    # The implicit alive flag materialises the record (Section 3's model
+    # of INSERT).
+    events.append(
+        Event(state.next_eid() + len(events), WRITE, ts, record, "alive",
+              True, instance.iid, cmd.label)
+    )
+    state.append_events(events, view)
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Value helpers
+# ---------------------------------------------------------------------------
+
+
+def _truthy(value: Any) -> bool:
+    return bool(value)
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise SemanticsError("division by zero")
+        return left // right if isinstance(left, int) and isinstance(right, int) else left / right
+    raise SemanticsError(f"unknown arithmetic operator {op!r}")
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if left is None or right is None:
+        return False
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise SemanticsError(f"unknown comparison operator {op!r}")
+
+
+def _aggregate(func: str, values: List[Any]) -> Any:
+    present = [v for v in values if v is not None]
+    if func == "sum":
+        return sum(present) if present else 0
+    if func == "count":
+        return len(present)
+    if func == "min":
+        if not present:
+            raise SemanticsError("min() of empty result set")
+        return min(present)
+    if func == "max":
+        if not present:
+            raise SemanticsError("max() of empty result set")
+        return max(present)
+    if func == "any":
+        if not present:
+            raise SemanticsError("any() of empty result set")
+        return present[0]
+    raise SemanticsError(f"unknown aggregator {func!r}")

@@ -1,0 +1,152 @@
+"""Execution drivers: serial runs, scripted interleavings, exploration.
+
+These drive :class:`~repro.semantics.interp.Instance` generators against
+a shared :class:`~repro.semantics.state.DatabaseState`, one database
+command per step, recording a :class:`~repro.semantics.history.History`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SemanticsError
+from repro.lang import ast
+from repro.semantics.history import History, Step
+from repro.semantics.interp import Instance, TxnCall, execute_command
+from repro.semantics.state import Database, DatabaseState
+from repro.semantics.views import FullView, ViewPolicy
+
+
+def run_serial(
+    program: ast.Program, db: Database, calls: Sequence[TxnCall]
+) -> History:
+    """Run ``calls`` one after another under full visibility.
+
+    The result is a serializable history by construction; its final state
+    is the reference point for refinement testing.
+    """
+    state = DatabaseState(db.copy())
+    history = History(state)
+    policy = FullView()
+    for iid, call in enumerate(calls):
+        instance = Instance(iid, program, call)
+        _run_to_completion(state, history, instance, policy)
+        history.results[iid] = instance.result
+    return history
+
+
+def run_interleaved(
+    program: ast.Program,
+    db: Database,
+    calls: Sequence[TxnCall],
+    schedule: Sequence[int],
+    policy: ViewPolicy,
+) -> History:
+    """Run ``calls`` interleaved according to ``schedule``.
+
+    ``schedule[i]`` names which instance executes its next database
+    command at step ``i``; remaining commands run to completion in
+    instance order afterwards (so partial schedules are allowed).
+    """
+    state = DatabaseState(db.copy())
+    history = History(state)
+    instances = [Instance(iid, program, call) for iid, call in enumerate(calls)]
+    pending: List[Optional[ast.Command]] = [inst.next_command() for inst in instances]
+    for iid in schedule:
+        if iid < 0 or iid >= len(instances):
+            raise SemanticsError(f"schedule names unknown instance {iid}")
+        cmd = pending[iid]
+        if cmd is None:
+            continue
+        _step(state, history, instances[iid], cmd, policy)
+        pending[iid] = instances[iid].next_command()
+    for iid, instance in enumerate(instances):
+        while pending[iid] is not None:
+            _step(state, history, instance, pending[iid], policy)  # type: ignore[arg-type]
+            pending[iid] = instance.next_command()
+        history.results[iid] = instance.result
+    return history
+
+
+def _run_to_completion(
+    state: DatabaseState, history: History, instance: Instance, policy: ViewPolicy
+) -> None:
+    cmd = instance.next_command()
+    while cmd is not None:
+        _step(state, history, instance, cmd, policy)
+        cmd = instance.next_command()
+
+
+def _step(
+    state: DatabaseState,
+    history: History,
+    instance: Instance,
+    cmd: ast.Command,
+    policy: ViewPolicy,
+) -> None:
+    view = policy.choose_view(state, instance.iid)
+    events = execute_command(state, instance, cmd, view)
+    history.record(
+        Step(
+            instance=instance.iid,
+            txn_name=instance.txn.name,
+            label=getattr(cmd, "label", ""),
+            ts=events[0].ts if events else state.cnt - 1,
+            view=view,
+            events=tuple(events),
+        )
+    )
+
+
+def enumerate_schedules(
+    command_counts: Sequence[int], limit: Optional[int] = None
+) -> Iterator[Tuple[int, ...]]:
+    """All interleavings of instances with the given command counts.
+
+    Yields tuples of instance indices (each index ``i`` appearing
+    ``command_counts[i]`` times).  ``limit`` caps the number of schedules
+    produced (the count grows multinomially).
+    """
+    symbols: List[int] = []
+    for iid, count in enumerate(command_counts):
+        symbols.extend([iid] * count)
+    seen = 0
+    emitted = set()
+    for perm in itertools.permutations(symbols):
+        if perm in emitted:
+            continue
+        emitted.add(perm)
+        yield perm
+        seen += 1
+        if limit is not None and seen >= limit:
+            return
+
+
+def count_db_commands(
+    program: ast.Program, call: TxnCall, db: Optional[Database] = None
+) -> int:
+    """Number of database commands a call will execute.
+
+    Loops and conditionals are counted by a dry serial execution on ``db``
+    (an empty database by default), so data-dependent control flow is
+    respected.
+    """
+    history = run_serial(program, db or Database(program), [call])
+    return len(history.steps)
+
+
+def random_schedules(
+    command_counts: Sequence[int],
+    rng: random.Random,
+    samples: int,
+) -> Iterator[Tuple[int, ...]]:
+    """Uniformly sampled interleavings (with replacement)."""
+    symbols: List[int] = []
+    for iid, count in enumerate(command_counts):
+        symbols.extend([iid] * count)
+    for _ in range(samples):
+        shuffled = symbols[:]
+        rng.shuffle(shuffled)
+        yield tuple(shuffled)

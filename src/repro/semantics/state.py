@@ -1,0 +1,175 @@
+"""Concrete database states.
+
+``Database`` is a plain initial table assignment (what the paper calls the
+table instances at history start); ``DatabaseState`` is the evolving
+triple ``(str, vis, cnt)`` layered over it.  Record reconstruction
+``Sigma(r.f)`` resolves a field to the value of the maximal-timestamp
+visible write, falling back to the initial database.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import SemanticsError
+from repro.lang import ast
+from repro.semantics.events import Event, RecordId, WRITE
+
+# table -> key tuple -> field -> value
+TableData = Dict[str, Dict[Tuple[Any, ...], Dict[str, Any]]]
+
+
+class Database:
+    """An initial database population for a program's schemas."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.tables: TableData = {s.name: {} for s in program.schemas}
+
+    def insert(self, table: str, **fields: Any) -> Tuple[Any, ...]:
+        """Populate one record; returns its key tuple.
+
+        All schema fields must be provided (missing non-key fields default
+        to ``None``); key fields are mandatory.
+        """
+        schema = self.program.schema(table)
+        for k in schema.key:
+            if k not in fields:
+                raise SemanticsError(f"insert into {table} missing key field {k}")
+        unknown = set(fields) - set(schema.fields)
+        if unknown:
+            raise SemanticsError(
+                f"insert into {table} with unknown fields {sorted(unknown)}"
+            )
+        key = tuple(fields[k] for k in schema.key)
+        record = {f: fields.get(f) for f in schema.fields}
+        self.tables[table][key] = record
+        return key
+
+    def copy(self) -> "Database":
+        dup = Database(self.program)
+        dup.tables = copy.deepcopy(self.tables)
+        return dup
+
+    def records(self, table: str) -> Dict[Tuple[Any, ...], Dict[str, Any]]:
+        return self.tables[table]
+
+
+class DatabaseState:
+    """The evolving state Sigma = (str, vis, cnt) over an initial database.
+
+    ``vis`` is stored as ``{target eid -> set of source eids}``: the set of
+    events that were in the local view when the target event was created
+    (the paper's ``vis(eta, eta')`` with eta visible to eta').
+    """
+
+    def __init__(self, base: Database):
+        self.base = base
+        self.program = base.program
+        self.events: List[Event] = []
+        self.vis: Dict[int, FrozenSet[int]] = {}
+        self.cnt = 1  # counter 0 is reserved for the initial database
+        self._uuid_counter = 0
+
+    # -- event allocation ----------------------------------------------------
+
+    def append_events(self, events: Iterable[Event], view: FrozenSet[int]) -> None:
+        for ev in events:
+            self.events.append(ev)
+            self.vis[ev.eid] = view
+
+    def next_eid(self) -> int:
+        return len(self.events)
+
+    def fresh_uuid(self) -> str:
+        self._uuid_counter += 1
+        return f"uuid-{self._uuid_counter}"
+
+    def tick(self) -> int:
+        ts = self.cnt
+        self.cnt += 1
+        return ts
+
+    # -- views and reconstruction ---------------------------------------------
+
+    def all_event_ids(self) -> FrozenSet[int]:
+        return frozenset(ev.eid for ev in self.events)
+
+    def atomicity_closure(self, eids: Set[int]) -> FrozenSet[int]:
+        """Close an event-id set under record-level atomicity.
+
+        ConstructView: if an event is in the view, every event with the
+        same record and the same counter value must be in the view too.
+        """
+        atoms = {self.events[e].atom() for e in eids}
+        closed = {ev.eid for ev in self.events if ev.atom() in atoms}
+        return frozenset(closed | eids)
+
+    def visible_writes(
+        self, view: FrozenSet[int], record: RecordId, field: str
+    ) -> List[Event]:
+        """Writes to ``record.field`` inside ``view``, timestamp order."""
+        out = [
+            ev
+            for ev in self.events
+            if ev.eid in view
+            and ev.kind == WRITE
+            and ev.record == record
+            and ev.field == field
+        ]
+        out.sort(key=lambda ev: (ev.ts, ev.eid))
+        return out
+
+    def read_field(
+        self, view: FrozenSet[int], record: RecordId, field: str
+    ) -> Any:
+        """Sigma(r.f) restricted to ``view``: latest visible write, or the
+        initial database value."""
+        writes = self.visible_writes(view, record, field)
+        if writes:
+            return writes[-1].value
+        table, key = record
+        base_record = self.base.tables.get(table, {}).get(key)
+        if base_record is None:
+            return None
+        return base_record.get(field)
+
+    def visible_records(self, view: FrozenSet[int], table: str) -> List[RecordId]:
+        """Record identities present in ``view``: initial records plus
+        records materialised by visible ``alive`` writes (inserts)."""
+        keys = set(self.base.tables.get(table, {}).keys())
+        for ev in self.events:
+            if (
+                ev.eid in view
+                and ev.kind == WRITE
+                and ev.table == table
+                and ev.field == "alive"
+                and ev.value
+            ):
+                keys.add(ev.key)
+        return [(table, k) for k in sorted(keys, key=repr)]
+
+    def record_snapshot(
+        self, view: FrozenSet[int], record: RecordId, fields: Iterable[str]
+    ) -> Dict[str, Any]:
+        return {f: self.read_field(view, record, f) for f in fields}
+
+    # -- whole-table reconstruction (full visibility) ---------------------------
+
+    def materialize(self) -> TableData:
+        """Reconstruct every table under full visibility.
+
+        Used by tests, the containment checker, and invariant assertions.
+        """
+        view = self.all_event_ids()
+        out: TableData = {}
+        for schema in self.program.schemas:
+            table: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+            for record in self.visible_records(view, schema.name):
+                table[record[1]] = self.record_snapshot(view, record, schema.fields)
+            out[schema.name] = table
+        return out
+
+    def events_of_txn(self, txn: int) -> List[Event]:
+        return [ev for ev in self.events if ev.txn == txn]

@@ -1,0 +1,123 @@
+"""Local-view construction policies.
+
+The semantics lets every database command pick an arbitrary local view
+``Sigma' <= Sigma`` subject to record-level atomicity.  A *policy*
+resolves that nondeterminism.  Policies model consistency levels:
+
+- :class:`FullView` -- every committed event is visible (what a serial or
+  strongly consistent execution provides);
+- :class:`RandomPartialView` -- eventually-consistent chaos: each foreign
+  atomicity group is independently visible or not (optionally keeping a
+  transaction's own earlier events visible, the session read-your-writes
+  guarantee real stores provide);
+- :class:`ScriptedView` -- an explicit visibility script, used by the
+  exhaustive interleaving explorer and by regression tests to pin down a
+  specific anomaly execution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, Optional, Protocol, Set, Tuple
+
+from repro.semantics.state import DatabaseState
+
+
+class ViewPolicy(Protocol):
+    """Chooses the event-id view a command executes against."""
+
+    def choose_view(self, state: DatabaseState, txn: int) -> FrozenSet[int]:
+        """Return the set of visible event ids for a command of ``txn``."""
+        ...
+
+
+class FullView:
+    """All events are visible (serial executions, SC stores)."""
+
+    def choose_view(self, state: DatabaseState, txn: int) -> FrozenSet[int]:
+        return state.all_event_ids()
+
+
+class RandomPartialView:
+    """Random eventually-consistent views.
+
+    Each atomicity group (same command timestamp, same record) generated
+    by *other* transactions is visible with probability ``p_visible``.
+    The choice is re-drawn per command, so visibility can regress between
+    commands of the same transaction -- exactly the weakness the paper's
+    EC model permits.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        p_visible: float = 0.5,
+        read_your_writes: bool = True,
+    ):
+        self.rng = rng or random.Random(0)
+        self.p_visible = p_visible
+        self.read_your_writes = read_your_writes
+
+    def choose_view(self, state: DatabaseState, txn: int) -> FrozenSet[int]:
+        chosen: Set[int] = set()
+        group_choice: Dict[Tuple, bool] = {}
+        for ev in state.events:
+            if ev.txn == txn:
+                if self.read_your_writes:
+                    chosen.add(ev.eid)
+                continue
+            atom = ev.atom()
+            if atom not in group_choice:
+                group_choice[atom] = self.rng.random() < self.p_visible
+            if group_choice[atom]:
+                chosen.add(ev.eid)
+        return state.atomicity_closure(chosen)
+
+
+class ScriptedView:
+    """Visibility driven by an explicit script.
+
+    The script maps a step index (the how-manieth command executed under
+    this policy) to the set of *atom groups* that should be visible; own
+    events are always visible.  Atom groups are identified by
+    ``(txn, label)`` of the generating command, which is stable across
+    runs and independent of event ids.
+    """
+
+    def __init__(self, script: Iterable[FrozenSet[Tuple[int, str]]]):
+        self.script = list(script)
+        self.step = 0
+
+    def choose_view(self, state: DatabaseState, txn: int) -> FrozenSet[int]:
+        visible_groups = (
+            self.script[self.step] if self.step < len(self.script) else frozenset()
+        )
+        self.step += 1
+        chosen: Set[int] = set()
+        for ev in state.events:
+            if ev.txn == txn or (ev.txn, ev.label) in visible_groups:
+                chosen.add(ev.eid)
+        return state.atomicity_closure(chosen)
+
+
+def causal_closure(state: DatabaseState, view: Set[int]) -> FrozenSet[int]:
+    """Close a view under causal visibility (used by CC-style policies):
+    if event e is visible and e' was visible to e's command, e' joins."""
+    changed = True
+    out = set(view)
+    while changed:
+        changed = False
+        for eid in list(out):
+            for dep in state.vis.get(eid, ()):  # events e saw when created
+                if dep not in out:
+                    out.add(dep)
+                    changed = True
+    return state.atomicity_closure(out)
+
+
+class CausalPartialView(RandomPartialView):
+    """Random views that additionally respect causal consistency."""
+
+    def choose_view(self, state: DatabaseState, txn: int) -> FrozenSet[int]:
+        base = super().choose_view(state, txn)
+        return causal_closure(state, set(base))

@@ -1,0 +1,49 @@
+"""A from-scratch SAT/SMT substrate.
+
+The paper discharges anomaly-detection queries with Z3.  Z3 is not
+available in this environment, so this package provides the solving stack
+the analysis needs:
+
+- :mod:`repro.smt.solver` -- a CDCL SAT solver with two-watched-literal
+  propagation, VSIDS-style activity ordering, first-UIP clause learning,
+  and Luby restarts;
+- :mod:`repro.smt.formula` -- a boolean formula AST with Tseitin
+  conversion to CNF and model evaluation;
+- :mod:`repro.smt.order` -- an eager axiomatisation of strict total
+  orders over finite domains (used for event timestamps).
+
+The anomaly encodings of :mod:`repro.analysis` are finite, so an
+equisatisfiable propositional encoding is a faithful substitute for the
+paper's FOL-plus-Z3 pipeline.
+"""
+
+from repro.smt.formula import (
+    And,
+    BoolConst,
+    BoolVar,
+    FormulaBuilder,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    FALSE,
+    TRUE,
+)
+from repro.smt.solver import Solver, SolverResult
+from repro.smt.order import TotalOrder
+
+__all__ = [
+    "And",
+    "BoolConst",
+    "BoolVar",
+    "FormulaBuilder",
+    "Iff",
+    "Implies",
+    "Not",
+    "Or",
+    "FALSE",
+    "TRUE",
+    "Solver",
+    "SolverResult",
+    "TotalOrder",
+]

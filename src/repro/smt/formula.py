@@ -1,0 +1,254 @@
+"""Boolean formula layer on top of the CDCL core.
+
+Provides a tiny structural formula AST (:class:`BoolVar`, :class:`And`,
+:class:`Or`, :class:`Not`, :class:`Implies`, :class:`Iff`, constants) and
+a :class:`FormulaBuilder` that manages variable allocation and converts
+formulas to CNF via the Tseitin transformation before handing them to
+:class:`repro.smt.solver.Solver`.
+
+The anomaly encoder only ever asserts formulas and asks for a model, so
+the builder exposes exactly that surface: ``add(formula)`` and
+``check() -> model | None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.smt import solver as sat
+
+
+class Formula:
+    """Base class for boolean formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class BoolConst(Formula):
+    value: bool
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+@dataclass(frozen=True)
+class BoolVar(Formula):
+    """A named propositional variable; names are interned by the builder."""
+
+    name: str
+
+
+class _NaryFormula(Formula):
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Formula):
+        flat: List[Formula] = []
+        for op in operands:
+            if isinstance(op, type(self)):
+                flat.extend(op.operands)  # type: ignore[attr-defined]
+            else:
+                flat.append(op)
+        self.operands = tuple(flat)
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and self.operands == other.operands  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.operands))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(map(repr, self.operands))
+        return f"{type(self).__name__}({inner})"
+
+
+class And(_NaryFormula):
+    """N-ary conjunction; nested Ands are flattened."""
+
+
+class Or(_NaryFormula):
+    """N-ary disjunction; nested Ors are flattened."""
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+
+def Implies(antecedent: Formula, consequent: Formula) -> Formula:
+    return Or(Not(antecedent), consequent)
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    left: Formula
+    right: Formula
+
+
+def big_and(formulas: Iterable[Formula]) -> Formula:
+    items = list(formulas)
+    if not items:
+        return TRUE
+    if len(items) == 1:
+        return items[0]
+    return And(*items)
+
+
+def big_or(formulas: Iterable[Formula]) -> Formula:
+    items = list(formulas)
+    if not items:
+        return FALSE
+    if len(items) == 1:
+        return items[0]
+    return Or(*items)
+
+
+def at_most_one(formulas: Iterable[Formula]) -> Formula:
+    """Pairwise at-most-one constraint (fine at the encoder's sizes)."""
+    items = list(formulas)
+    clauses: List[Formula] = []
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            clauses.append(Or(Not(items[i]), Not(items[j])))
+    return big_and(clauses)
+
+
+class FormulaBuilder:
+    """Accumulates asserted formulas and discharges them with CDCL.
+
+    Variables are identified by name; :meth:`var` interns them.  ``add``
+    performs Tseitin conversion eagerly, so the builder can be used
+    incrementally (assert, check, assert more, check again).
+    """
+
+    def __init__(self) -> None:
+        self.solver = sat.Solver()
+        self._vars: Dict[str, int] = {}
+        self._aux_count = 0
+        self._cache: Dict[int, int] = {}
+
+    # -- variables -----------------------------------------------------
+
+    def var(self, name: str) -> BoolVar:
+        """Declare (or fetch) a named variable."""
+        if name not in self._vars:
+            self._vars[name] = self.solver.new_var()
+        return BoolVar(name)
+
+    def var_names(self) -> Tuple[str, ...]:
+        return tuple(self._vars)
+
+    def _fresh(self) -> int:
+        self._aux_count += 1
+        return self.solver.new_var()
+
+    def _lookup(self, v: BoolVar) -> int:
+        if v.name not in self._vars:
+            self._vars[v.name] = self.solver.new_var()
+        return self._vars[v.name]
+
+    # -- assertion -------------------------------------------------------
+
+    def add(self, formula: Formula) -> None:
+        """Assert ``formula`` (conjoined with everything added so far)."""
+        root = self._tseitin(formula)
+        if root is None:  # constant
+            if not self._const_value(formula):
+                self.solver.add_clause([])  # unsatisfiable marker
+            return
+        self.solver.add_clause([root])
+
+    def _const_value(self, formula: Formula) -> bool:
+        assert isinstance(formula, BoolConst)
+        return formula.value
+
+    def _tseitin(self, formula: Formula) -> Optional[int]:
+        """Return the literal equisatisfiable with ``formula`` (or None for
+        constants, which the caller handles)."""
+        lit = self._encode(formula)
+        return lit
+
+    def _encode(self, formula: Formula) -> Optional[int]:
+        if isinstance(formula, BoolConst):
+            # Encode constants as fresh pinned variables.
+            v = self._fresh()
+            self.solver.add_clause([sat.lit(v, formula.value)])
+            return sat.lit(v, True)
+        if isinstance(formula, BoolVar):
+            return sat.lit(self._lookup(formula), True)
+        if isinstance(formula, Not):
+            inner = self._encode(formula.operand)
+            assert inner is not None
+            return sat.neg(inner)
+        if isinstance(formula, And):
+            if not formula.operands:
+                return self._encode(TRUE)
+            lits = [self._encode(op) for op in formula.operands]
+            out = sat.lit(self._fresh(), True)
+            for l in lits:
+                assert l is not None
+                self.solver.add_clause([sat.neg(out), l])
+            self.solver.add_clause([out] + [sat.neg(l) for l in lits])  # type: ignore[arg-type]
+            return out
+        if isinstance(formula, Or):
+            if not formula.operands:
+                return self._encode(FALSE)
+            lits = [self._encode(op) for op in formula.operands]
+            out = sat.lit(self._fresh(), True)
+            for l in lits:
+                assert l is not None
+                self.solver.add_clause([sat.neg(l), out])
+            self.solver.add_clause([sat.neg(out)] + list(lits))  # type: ignore[arg-type]
+            return out
+        if isinstance(formula, Iff):
+            a = self._encode(formula.left)
+            b = self._encode(formula.right)
+            assert a is not None and b is not None
+            out = sat.lit(self._fresh(), True)
+            self.solver.add_clause([sat.neg(out), sat.neg(a), b])
+            self.solver.add_clause([sat.neg(out), a, sat.neg(b)])
+            self.solver.add_clause([out, a, b])
+            self.solver.add_clause([out, sat.neg(a), sat.neg(b)])
+            return out
+        raise TypeError(f"not a formula: {formula!r}")
+
+    # -- solving ----------------------------------------------------------
+
+    def check(self) -> Optional[Dict[str, bool]]:
+        """Solve the asserted conjunction.
+
+        Returns a model as ``{var name: bool}`` when satisfiable, else
+        ``None``.
+        """
+        result = self.solver.solve()
+        if not result.sat:
+            return None
+        return {name: result.value(idx) for name, idx in self._vars.items()}
+
+
+def evaluate(formula: Formula, model: Dict[str, bool]) -> bool:
+    """Evaluate a formula under a model (unknown vars default to False)."""
+    if isinstance(formula, BoolConst):
+        return formula.value
+    if isinstance(formula, BoolVar):
+        return model.get(formula.name, False)
+    if isinstance(formula, Not):
+        return not evaluate(formula.operand, model)
+    if isinstance(formula, And):
+        return all(evaluate(op, model) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(evaluate(op, model) for op in formula.operands)
+    if isinstance(formula, Iff):
+        return evaluate(formula.left, model) == evaluate(formula.right, model)
+    raise TypeError(f"not a formula: {formula!r}")

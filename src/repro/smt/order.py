@@ -1,0 +1,112 @@
+"""Eager axiomatisation of strict total orders over finite domains.
+
+The anomaly encoding needs an arbitration/linearisation order over the
+events of the two transaction instances it instantiates (the paper's
+global execution counter ``cnt``).  At those sizes (a handful of events)
+the eager encoding -- one boolean ``before(a, b)`` per ordered pair plus
+totality, antisymmetry-by-construction, and transitivity clauses over all
+triples -- is compact and lets plain CDCL handle the theory, replacing
+Z3's integer ordering reasoning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.smt.formula import (
+    BoolVar,
+    Formula,
+    FormulaBuilder,
+    Implies,
+    Not,
+    Or,
+)
+
+
+class TotalOrder:
+    """A strict total order over a finite element set, encoded in SAT.
+
+    ``before(a, b)`` returns the variable asserting ``a < b``.  The
+    constructor asserts:
+
+    - totality/antisymmetry: ``before(a, b) <-> not before(b, a)`` for all
+      distinct pairs (encoded as exactly-one of the two directions);
+    - transitivity: ``before(a, b) and before(b, c) -> before(a, c)``;
+    - any caller-provided fixed precedences (e.g. program order).
+    """
+
+    def __init__(
+        self,
+        builder: FormulaBuilder,
+        elements: Sequence[Hashable],
+        name: str = "ord",
+    ) -> None:
+        if len(set(elements)) != len(elements):
+            raise ValueError("order elements must be distinct")
+        self.builder = builder
+        self.elements: Tuple[Hashable, ...] = tuple(elements)
+        self.name = name
+        self._index: Dict[Hashable, int] = {e: i for i, e in enumerate(self.elements)}
+        self._vars: Dict[Tuple[int, int], BoolVar] = {}
+        self._assert_axioms()
+
+    def _pair_var(self, i: int, j: int) -> Formula:
+        """Variable for ``elements[i] < elements[j]`` (i != j).
+
+        Only one direction is materialised; the other is its negation,
+        which bakes antisymmetry and totality into the encoding.
+        """
+        if i == j:
+            raise ValueError("no self-ordering")
+        if i < j:
+            key = (i, j)
+            if key not in self._vars:
+                self._vars[key] = self.builder.var(f"{self.name}[{i}<{j}]")
+            return self._vars[key]
+        flipped = self._pair_var(j, i)
+        return Not(flipped)
+
+    def before(self, a: Hashable, b: Hashable) -> Formula:
+        """The formula asserting ``a`` precedes ``b``."""
+        return self._pair_var(self._index[a], self._index[b])
+
+    def _assert_axioms(self) -> None:
+        n = len(self.elements)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                for k in range(n):
+                    if k == i or k == j:
+                        continue
+                    self.builder.add(
+                        Implies(
+                            self._pair_var(i, j) & self._pair_var(j, k),  # type: ignore[operator]
+                            self._pair_var(i, k),
+                        )
+                    )
+
+    def require(self, pairs: Iterable[Tuple[Hashable, Hashable]]) -> None:
+        """Assert fixed precedences (e.g. same-transaction program order)."""
+        for a, b in pairs:
+            self.builder.add(self.before(a, b))
+
+    def extract(self, model: Dict[str, bool]) -> List[Hashable]:
+        """Read back a linearisation of the elements from a SAT model."""
+
+        def key(e: Hashable) -> int:
+            i = self._index[e]
+            return sum(
+                1
+                for other in self.elements
+                if other != e
+                and _holds(self._pair_var(self._index[other], i), model)
+            )
+
+        return sorted(self.elements, key=key)
+
+
+def _holds(formula: Formula, model: Dict[str, bool]) -> bool:
+    from repro.smt.formula import evaluate
+
+    return evaluate(formula, model)

@@ -1,0 +1,500 @@
+"""A CDCL SAT solver.
+
+Implements the standard modern architecture:
+
+- literals are encoded as ``2*var`` (positive) / ``2*var + 1`` (negative),
+  variables are dense non-negative integers allocated by the caller;
+- unit propagation with two watched literals per clause;
+- conflict analysis producing first-UIP learned clauses with
+  non-chronological backjumping;
+- exponential-moving-average variable activity (VSIDS flavour) with a
+  binary-heap decision queue;
+- Luby-sequence restarts;
+- learned-clause deletion driven by clause activity.
+
+The solver is deliberately dependency-free and deterministic: given the
+same clause set it always makes the same decisions, which keeps the
+anomaly detector's output stable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import SolverError
+
+
+def lit(var: int, positive: bool = True) -> int:
+    """Encode a literal for ``var`` with the given polarity."""
+    return 2 * var + (0 if positive else 1)
+
+
+def neg(literal: int) -> int:
+    """Negate an encoded literal."""
+    return literal ^ 1
+
+
+def lit_var(literal: int) -> int:
+    return literal >> 1
+
+
+def lit_sign(literal: int) -> bool:
+    """True when the literal is positive."""
+    return literal & 1 == 0
+
+
+class SolverResult:
+    """Outcome of a :meth:`Solver.solve` call."""
+
+    __slots__ = ("sat", "model")
+
+    def __init__(self, sat: bool, model: Optional[Dict[int, bool]] = None):
+        self.sat = sat
+        self.model = model or {}
+
+    def __bool__(self) -> bool:
+        return self.sat
+
+    def value(self, var: int) -> bool:
+        return self.model.get(var, False)
+
+
+class _Clause:
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: List[int], learned: bool):
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+
+
+_UNASSIGNED = -1
+
+
+class Solver:
+    """CDCL SAT solver over integer variables.
+
+    Usage::
+
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([lit(a), lit(b)])
+        s.add_clause([neg(lit(a))])
+        result = s.solve()
+        assert result.sat and result.value(b)
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[_Clause] = []
+        self.learned: List[_Clause] = []
+        # watches[l] = clauses currently watching literal l.
+        self.watches: List[List[_Clause]] = []
+        # assigns[v] in {0 (false), 1 (true), _UNASSIGNED}.
+        self.assigns: List[int] = []
+        self.levels: List[int] = []
+        self.reasons: List[Optional[_Clause]] = []
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.prop_head = 0
+        self.activity: List[float] = []
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self.polarity: List[bool] = []
+        self._ok = True
+        self.stats = {
+            "decisions": 0,
+            "propagations": 0,
+            "conflicts": 0,
+            "restarts": 0,
+            "learned": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its index."""
+        v = self.num_vars
+        self.num_vars += 1
+        self.watches.append([])
+        self.watches.append([])
+        self.assigns.append(_UNASSIGNED)
+        self.levels.append(0)
+        self.reasons.append(None)
+        self.activity.append(0.0)
+        self.polarity.append(False)
+        return v
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause (a disjunction of encoded literals)."""
+        if not self._ok:
+            return
+        seen: Dict[int, bool] = {}
+        lits: List[int] = []
+        for l in literals:
+            v = lit_var(l)
+            if v < 0 or v >= self.num_vars:
+                raise SolverError(f"literal {l} references unallocated variable {v}")
+            if l in seen:
+                continue
+            if neg(l) in seen:
+                return  # Tautology: trivially satisfied.
+            seen[l] = True
+            lits.append(l)
+        if not lits:
+            self._ok = False
+            return
+        # Top-level simplification: drop clauses satisfied at level 0 and
+        # falsified literals.
+        if not self.trail_lim:
+            filtered = []
+            for l in lits:
+                val = self._value(l)
+                if val == 1:
+                    return
+                if val == 0:
+                    continue
+                filtered.append(l)
+            lits = filtered
+            if not lits:
+                self._ok = False
+                return
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], None):
+                self._ok = False
+            return
+        clause = _Clause(lits, learned=False)
+        self.clauses.append(clause)
+        self._watch(clause)
+
+    def _watch(self, clause: _Clause) -> None:
+        self.watches[neg(clause.lits[0])].append(clause)
+        self.watches[neg(clause.lits[1])].append(clause)
+
+    # ------------------------------------------------------------------
+    # Assignment plumbing
+    # ------------------------------------------------------------------
+
+    def _value(self, literal: int) -> int:
+        """1 true, 0 false, _UNASSIGNED unknown."""
+        a = self.assigns[lit_var(literal)]
+        if a == _UNASSIGNED:
+            return _UNASSIGNED
+        return a ^ (literal & 1)
+
+    @property
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _enqueue(self, literal: int, reason: Optional[_Clause]) -> bool:
+        val = self._value(literal)
+        if val == 0:
+            return False
+        if val == 1:
+            return True
+        v = lit_var(literal)
+        self.assigns[v] = 1 if lit_sign(literal) else 0
+        self.levels[v] = self._decision_level
+        self.reasons[v] = reason
+        self.trail.append(literal)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Exhaust unit propagation; returns a conflicting clause or None."""
+        while self.prop_head < len(self.trail):
+            literal = self.trail[self.prop_head]
+            self.prop_head += 1
+            self.stats["propagations"] += 1
+            watchers = self.watches[literal]
+            self.watches[literal] = []
+            i = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # Ensure the falsified watch is lits[1].
+                if lits[0] == neg(literal):
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == 1:
+                    self.watches[literal].append(clause)
+                    continue
+                # Look for a new watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self.watches[neg(lits[1])].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                self.watches[literal].append(clause)
+                if not self._enqueue(first, clause):
+                    # Conflict: restore remaining watchers and report.
+                    self.watches[literal].extend(watchers[i:])
+                    return clause
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: _Clause) -> tuple[List[int], int]:
+        """First-UIP analysis; returns (learned clause, backjump level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * self.num_vars
+        counter = 0
+        literal = -1
+        reason: Optional[_Clause] = conflict
+        index = len(self.trail)
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            start = 0 if literal == -1 else 1
+            lits = reason.lits
+            # For the conflict clause consider all literals; for a reason
+            # clause skip the asserting literal itself (position 0).
+            for k in range(start, len(lits)):
+                q = lits[k] if literal == -1 or lits[k] != literal else None
+                if q is None:
+                    continue
+                v = lit_var(q)
+                if not seen[v] and self.levels[v] > 0:
+                    seen[v] = True
+                    self._bump_var(v)
+                    if self.levels[v] >= self._decision_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Pick the next trail literal to resolve on.
+            while True:
+                index -= 1
+                literal = self.trail[index]
+                if seen[lit_var(literal)]:
+                    break
+            v = lit_var(literal)
+            seen[v] = False
+            counter -= 1
+            if counter == 0:
+                learned[0] = neg(literal)
+                break
+            reason = self.reasons[v]
+            # Reason clause has the asserting literal at position 0; rotate
+            # if necessary.
+            if reason is not None and reason.lits[0] != literal:
+                rl = reason.lits
+                idx = rl.index(literal)
+                rl[0], rl[idx] = rl[idx], rl[0]
+        # Minimise: drop literals implied by the rest (cheap self-subsumption).
+        learned = self._minimize(learned, seen)
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest level in the clause.
+        max_i = 1
+        for k in range(2, len(learned)):
+            if self.levels[lit_var(learned[k])] > self.levels[lit_var(learned[max_i])]:
+                max_i = k
+        learned[1], learned[max_i] = learned[max_i], learned[1]
+        return learned, self.levels[lit_var(learned[1])]
+
+    def _minimize(self, learned: List[int], seen: List[bool]) -> List[int]:
+        for l in learned:
+            seen[lit_var(l)] = True
+        out = [learned[0]]
+        for l in learned[1:]:
+            reason = self.reasons[lit_var(l)]
+            if reason is None:
+                out.append(l)
+                continue
+            # Redundant if every other literal of the reason is already in
+            # the learned clause (or assigned at level 0).
+            redundant = all(
+                seen[lit_var(q)] or self.levels[lit_var(q)] == 0
+                for q in reason.lits
+                if q != neg(l)
+            )
+            if not redundant:
+                out.append(l)
+        for l in learned:
+            seen[lit_var(l)] = False
+        return out
+
+    # ------------------------------------------------------------------
+    # Activity / heuristics
+    # ------------------------------------------------------------------
+
+    def _bump_var(self, v: int) -> None:
+        self.activity[v] += self.var_inc
+        if self.activity[v] > 1e100:
+            for i in range(self.num_vars):
+                self.activity[i] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _decay_var_activity(self) -> None:
+        self.var_inc /= self.var_decay
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if clause.learned:
+            clause.activity += self.cla_inc
+            if clause.activity > 1e20:
+                for c in self.learned:
+                    c.activity *= 1e-20
+                self.cla_inc *= 1e-20
+
+    def _decay_clause_activity(self) -> None:
+        self.cla_inc /= self.cla_decay
+
+    def _pick_branch_var(self) -> int:
+        best = -1
+        best_act = -1.0
+        for v in range(self.num_vars):
+            if self.assigns[v] == _UNASSIGNED and self.activity[v] > best_act:
+                best = v
+                best_act = self.activity[v]
+        return best
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level <= level:
+            return
+        bound = self.trail_lim[level]
+        for literal in reversed(self.trail[bound:]):
+            v = lit_var(literal)
+            self.polarity[v] = lit_sign(literal)
+            self.assigns[v] = _UNASSIGNED
+            self.reasons[v] = None
+        del self.trail[bound:]
+        del self.trail_lim[level:]
+        self.prop_head = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # Learned clause management
+    # ------------------------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        self.learned.sort(key=lambda c: c.activity)
+        keep_from = len(self.learned) // 2
+        removed = set()
+        for c in self.learned[:keep_from]:
+            if len(c.lits) > 2 and not self._is_reason(c):
+                removed.add(id(c))
+        if not removed:
+            return
+        self.learned = [c for c in self.learned if id(c) not in removed]
+        for wl in self.watches:
+            wl[:] = [c for c in wl if id(c) not in removed]
+
+    def _is_reason(self, clause: _Clause) -> bool:
+        v = lit_var(clause.lits[0])
+        return self.reasons[v] is clause and self.assigns[v] != _UNASSIGNED
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SolverResult:
+        """Decide satisfiability under optional assumption literals."""
+        if not self._ok:
+            return SolverResult(False)
+        self._cancel_until(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return SolverResult(False)
+
+        restart_idx = 0
+        conflicts_until_restart = 32 * _luby(restart_idx)
+        conflict_budget_used = 0
+        max_learned = max(1000, len(self.clauses) // 2)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                conflict_budget_used += 1
+                if self._decision_level == 0:
+                    return SolverResult(False)
+                learned_lits, back_level = self._analyze(conflict)
+                self._cancel_until(max(back_level, self._assumption_level(assumptions)))
+                if len(learned_lits) == 1:
+                    if self._decision_level > 0:
+                        # Can't assert at a level above the assumptions; retry
+                        # from level 0 if assumptions got in the way.
+                        self._cancel_until(0)
+                    if not self._enqueue(learned_lits[0], None):
+                        return SolverResult(False)
+                else:
+                    clause = _Clause(learned_lits, learned=True)
+                    self.learned.append(clause)
+                    self.stats["learned"] += 1
+                    self._watch(clause)
+                    self._enqueue(learned_lits[0], clause)
+                self._decay_var_activity()
+                self._decay_clause_activity()
+                continue
+
+            if conflict_budget_used >= conflicts_until_restart:
+                conflict_budget_used = 0
+                restart_idx += 1
+                conflicts_until_restart = 32 * _luby(restart_idx)
+                self.stats["restarts"] += 1
+                self._cancel_until(0)
+                continue
+
+            if len(self.learned) > max_learned + len(self.trail):
+                self._reduce_db()
+
+            # Apply assumptions first, then branch.
+            next_lit = self._next_assumption(assumptions)
+            if next_lit is None:
+                v = self._pick_branch_var()
+                if v == -1:
+                    model = {
+                        i: self.assigns[i] == 1
+                        for i in range(self.num_vars)
+                        if self.assigns[i] != _UNASSIGNED
+                    }
+                    return SolverResult(True, model)
+                self.stats["decisions"] += 1
+                next_lit = lit(v, self.polarity[v])
+            elif next_lit is False:
+                return SolverResult(False)
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(next_lit, None)
+
+    def _assumption_level(self, assumptions: Sequence[int]) -> int:
+        return 0
+
+    def _next_assumption(self, assumptions: Sequence[int]):
+        """Next unassigned assumption literal, False if one is violated."""
+        for a in assumptions:
+            val = self._value(a)
+            if val == 0:
+                return False
+            if val == _UNASSIGNED:
+                return a
+        return None
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    k = 1
+    while (1 << (k + 1)) - 1 <= i + 1:
+        k += 1
+    while True:
+        if i + 1 == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+        k -= 1
+        if k <= 0:
+            return 1

@@ -1,0 +1,42 @@
+"""Discrete-event simulator of a geo-replicated document store.
+
+The paper's performance study (Section 7.2, Figures 12-15) runs MongoDB
+on three-node AWS clusters.  This package substitutes a discrete-event
+model that reproduces the mechanisms those numbers come from:
+
+- a 3-region cluster with a configurable inter-region RTT matrix
+  (:mod:`repro.store.network` ships the VA / US / Global presets);
+- replicas with finite service capacity (FIFO queues, per-operation
+  service time) -- :mod:`repro.store.replica`;
+- two execution protocols: **EC** (reads/writes served by the client's
+  local replica, asynchronous replication) and **SC** (operations routed
+  to a leader, plus a majority-acknowledged commit round per
+  transaction) -- :mod:`repro.store.protocol`;
+- closed-loop clients driving a benchmark transaction mix
+  (:mod:`repro.store.client`), with per-transaction consistency choice so
+  the AT-SC configuration (only residually-anomalous transactions
+  serialized) is expressible;
+- transaction *operation profiles* extracted by dry-running the DSL
+  interpreter (:mod:`repro.store.profile`), so refactored programs
+  automatically cost fewer or different operations than originals.
+
+Absolute numbers are not meant to match AWS; the relative shapes (EC >>
+SC, AT-EC ~ EC, AT-SC in between, saturation with client count) are.
+"""
+
+from repro.store.network import ClusterSpec, CLUSTERS, VA_CLUSTER, US_CLUSTER, GLOBAL_CLUSTER
+from repro.store.profile import OpProfile, profile_program
+from repro.store.runner import PerfConfig, PerfResult, simulate
+
+__all__ = [
+    "ClusterSpec",
+    "CLUSTERS",
+    "VA_CLUSTER",
+    "US_CLUSTER",
+    "GLOBAL_CLUSTER",
+    "OpProfile",
+    "profile_program",
+    "PerfConfig",
+    "PerfResult",
+    "simulate",
+]

@@ -1,0 +1,97 @@
+"""Cluster topologies: regions and inter-region round-trip times.
+
+The three presets correspond to the paper's experimental clusters:
+
+- **VA**: three nodes in one data centre (N. Virginia);
+- **US**: N. Virginia, Ohio, Oregon;
+- **Global**: N. Virginia, London, Tokyo.
+
+RTT values are representative public inter-region latencies (ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A replica cluster: region names and a symmetric RTT matrix (ms)."""
+
+    name: str
+    regions: Tuple[str, ...]
+    rtt_ms: Tuple[Tuple[float, ...], ...]
+    leader: int = 0
+
+    def __post_init__(self) -> None:
+        n = len(self.regions)
+        if len(self.rtt_ms) != n or any(len(row) != n for row in self.rtt_ms):
+            raise SimulationError(f"cluster {self.name}: RTT matrix shape mismatch")
+        for i in range(n):
+            for j in range(n):
+                if abs(self.rtt_ms[i][j] - self.rtt_ms[j][i]) > 1e-9:
+                    raise SimulationError(
+                        f"cluster {self.name}: RTT matrix must be symmetric"
+                    )
+
+    @property
+    def size(self) -> int:
+        return len(self.regions)
+
+    def rtt(self, a: int, b: int) -> float:
+        return self.rtt_ms[a][b]
+
+    def majority_commit_ms(self) -> float:
+        """Round trip from the leader to the nearest majority.
+
+        With three replicas, a majority needs one remote acknowledgement;
+        the commit wait is the smallest leader-to-peer RTT.
+        """
+        peers = [
+            self.rtt(self.leader, r)
+            for r in range(self.size)
+            if r != self.leader
+        ]
+        peers.sort()
+        needed = (self.size // 2 + 1) - 1  # acks beyond the leader itself
+        if needed <= 0:
+            return 0.0
+        return peers[needed - 1]
+
+
+VA_CLUSTER = ClusterSpec(
+    name="VA",
+    regions=("va-a", "va-b", "va-c"),
+    rtt_ms=(
+        (0.0, 0.6, 0.6),
+        (0.6, 0.0, 0.6),
+        (0.6, 0.6, 0.0),
+    ),
+)
+
+US_CLUSTER = ClusterSpec(
+    name="US",
+    regions=("n-virginia", "ohio", "oregon"),
+    rtt_ms=(
+        (0.0, 12.0, 72.0),
+        (12.0, 0.0, 60.0),
+        (72.0, 60.0, 0.0),
+    ),
+)
+
+GLOBAL_CLUSTER = ClusterSpec(
+    name="Global",
+    regions=("n-virginia", "london", "tokyo"),
+    rtt_ms=(
+        (0.0, 76.0, 160.0),
+        (76.0, 0.0, 220.0),
+        (160.0, 220.0, 0.0),
+    ),
+)
+
+CLUSTERS: Dict[str, ClusterSpec] = {
+    c.name: c for c in (VA_CLUSTER, US_CLUSTER, GLOBAL_CLUSTER)
+}

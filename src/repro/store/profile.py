@@ -1,0 +1,85 @@
+"""Transaction operation profiles.
+
+The simulator does not re-interpret the DSL for every simulated
+transaction (millions per sweep); instead each transaction type is
+dry-run once on the benchmark's populated database and summarised as the
+sequence of store operations it issues.  Refactored programs therefore
+automatically exhibit their changed costs: merged commands issue fewer
+operations, logging schemas turn read-modify-writes into blind inserts,
+and log reads scan more records.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SemanticsError
+from repro.lang import ast
+from repro.semantics.interp import TxnCall
+from repro.semantics.scheduler import run_serial
+from repro.semantics.state import Database
+
+READ_OP = "r"
+WRITE_OP = "w"
+
+
+@dataclass(frozen=True)
+class OpProfile:
+    """Operation sequence of one transaction type.
+
+    ``ops`` is a tuple of ``(kind, table)`` with kind ``"r"`` or ``"w"``;
+    ``serializable`` mirrors the transaction's annotation (AT-SC runs
+    route these through the strong path).
+    """
+
+    txn: str
+    ops: Tuple[Tuple[str, str], ...]
+    serializable: bool
+
+    @property
+    def reads(self) -> int:
+        return sum(1 for kind, _ in self.ops if kind == READ_OP)
+
+    @property
+    def writes(self) -> int:
+        return sum(1 for kind, _ in self.ops if kind == WRITE_OP)
+
+
+def profile_program(
+    program: ast.Program,
+    db: Database,
+    sample_calls: Dict[str, TxnCall],
+) -> Dict[str, OpProfile]:
+    """Profile every transaction by serial dry-run on ``db``.
+
+    ``sample_calls`` provides representative arguments per transaction
+    name (from the benchmark's workload generator).
+    """
+    profiles: Dict[str, OpProfile] = {}
+    for txn in program.transactions:
+        call = sample_calls.get(txn.name)
+        if call is None:
+            raise SemanticsError(f"no sample call for transaction {txn.name}")
+        history = run_serial(program, db, [call])
+        ops: List[Tuple[str, str]] = []
+        for step in history.steps:
+            events = step.events
+            kind = WRITE_OP if any(e.is_write for e in events) else READ_OP
+            table = events[0].table if events else "?"
+            ops.append((kind, table))
+        profiles[txn.name] = OpProfile(
+            txn=txn.name,
+            ops=tuple(ops),
+            serializable=txn.serializable,
+        )
+    return profiles
+
+
+def sample_calls_for(benchmark, rng: random.Random, scale: int) -> Dict[str, TxnCall]:
+    """One representative call per transaction in the benchmark's mix."""
+    out: Dict[str, TxnCall] = {}
+    for name, _, gen in benchmark.mix:
+        out[name] = TxnCall(name, gen(rng, scale))
+    return out

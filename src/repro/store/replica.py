@@ -1,0 +1,35 @@
+"""Replica capacity model: a single-server FIFO queue per node.
+
+Each replica serves one operation at a time; an operation arriving at a
+busy replica waits for the queue to drain.  This is the saturation
+mechanism behind the throughput plateaus of Figures 12-15.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Replica:
+    """One storage node with deterministic per-op service times."""
+
+    def __init__(self, region: int):
+        self.region = region
+        self._busy_until = 0.0
+        self.ops_served = 0
+
+    def serve(self, arrival: float, service_ms: float) -> float:
+        """Enqueue an op arriving at ``arrival``; returns completion time."""
+        start = max(arrival, self._busy_until)
+        finish = start + service_ms
+        self._busy_until = finish
+        self.ops_served += 1
+        return finish
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+
+def make_replicas(count: int) -> List[Replica]:
+    return [Replica(region=i) for i in range(count)]

@@ -1,0 +1,231 @@
+"""Closed-loop workload simulation.
+
+``simulate`` drives N closed-loop clients against a replicated cluster
+for a fixed simulated duration and reports throughput and latency --
+one point of the Figure 12-15 curves.
+
+Protocol model (see DESIGN.md for the substitution argument):
+
+- **EC transactions**: every operation goes to the client's local
+  replica (half-RTT there and back is sub-millisecond within a region);
+  writes are replicated asynchronously, which consumes capacity on the
+  other replicas but does not delay the client.
+- **SC (serializable) transactions**: every operation is routed to the
+  leader region (paying the client-leader RTT), costs more service time
+  (replication bookkeeping), and the transaction ends with a
+  majority-acknowledged commit round (leader to nearest peer RTT).
+
+The per-transaction choice comes from the transaction's ``serializable``
+flag, so the same machinery runs all four configurations of the paper:
+EC (nothing flagged), SC (everything flagged), AT-EC (refactored,
+nothing flagged), AT-SC (refactored, residual transactions flagged).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.store.network import ClusterSpec
+from repro.store.profile import OpProfile, WRITE_OP
+from repro.store.replica import Replica, make_replicas
+from repro.store.sim import EventLoop
+
+
+@dataclass(frozen=True)
+class PerfConfig:
+    """Tunables of the capacity/latency model (defaults calibrated so the
+    US-cluster SmallBank curves land in the paper's ballpark)."""
+
+    ec_service_ms: float = 1.0
+    sc_service_ms: float = 1.6
+    local_half_rtt_ms: float = 0.3
+    replication_service_ms: float = 0.4
+    duration_ms: float = 10_000.0
+    warmup_ms: float = 1_000.0
+    seed: int = 1
+
+
+@dataclass
+class PerfResult:
+    """One simulated point: (clients, mode) -> throughput & latency."""
+
+    clients: int
+    committed: int
+    duration_s: float
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per second."""
+        return self.committed / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def avg_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return sum(self.latencies_ms) / len(self.latencies_ms)
+
+    def percentile_latency_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        data = sorted(self.latencies_ms)
+        idx = min(int(q * len(data)), len(data) - 1)
+        return data[idx]
+
+
+class _Client:
+    """One closed-loop client: issue, wait, repeat."""
+
+    def __init__(
+        self,
+        cid: int,
+        region: int,
+        pick_profile,
+        cluster: ClusterSpec,
+        replicas: List[Replica],
+        config: PerfConfig,
+        result: PerfResult,
+        loop: EventLoop,
+        serialize_all: bool,
+    ):
+        self.cid = cid
+        self.region = region
+        self.pick_profile = pick_profile
+        self.cluster = cluster
+        self.replicas = replicas
+        self.config = config
+        self.result = result
+        self.loop = loop
+        self.serialize_all = serialize_all
+
+    def start(self, when: float) -> None:
+        self.loop.schedule(when, self._begin_txn)
+
+    # -- one transaction ---------------------------------------------------
+
+    def _begin_txn(self, now: float) -> None:
+        profile: OpProfile = self.pick_profile()
+        strong = self.serialize_all or profile.serializable
+        state = {"start": now, "ops": list(profile.ops), "strong": strong}
+        self._next_op(now, state)
+
+    def _next_op(self, now: float, state: Dict) -> None:
+        if not state["ops"]:
+            self._commit(now, state)
+            return
+        kind, _table = state["ops"].pop(0)
+        cfg = self.config
+        if state["strong"]:
+            target = self.replicas[self.cluster.leader]
+            half = self.cluster.rtt(self.region, self.cluster.leader) / 2.0
+            half = max(half, cfg.local_half_rtt_ms)
+            service = cfg.sc_service_ms
+        else:
+            target = self.replicas[self.region]
+            half = cfg.local_half_rtt_ms
+            service = cfg.ec_service_ms
+
+        arrival = now + half
+
+        def arrive(_t: float, kind=kind, target=target, half=half, service=service):
+            finish = target.serve(arrival, service)
+            if kind == WRITE_OP:
+                self._replicate(finish, target.region)
+            self.loop.schedule(
+                finish + half, lambda t2: self._next_op(t2, state)
+            )
+
+        self.loop.schedule(arrival, arrive)
+
+    def _replicate(self, when: float, origin: int) -> None:
+        """Asynchronous write propagation: background load on peers."""
+        for replica in self.replicas:
+            if replica.region == origin:
+                continue
+            delay = self.cluster.rtt(origin, replica.region) / 2.0
+            self.loop.schedule(
+                when + delay,
+                lambda t, r=replica: r.serve(t, self.config.replication_service_ms),
+            )
+
+    def _commit(self, now: float, state: Dict) -> None:
+        cfg = self.config
+        if state["strong"]:
+            commit_wait = self.cluster.majority_commit_ms()
+            half = max(
+                self.cluster.rtt(self.region, self.cluster.leader) / 2.0,
+                cfg.local_half_rtt_ms,
+            )
+            done = now + commit_wait + half
+        else:
+            done = now
+        self.loop.schedule(done, lambda t: self._finish(t, state))
+
+    def _finish(self, now: float, state: Dict) -> None:
+        if now >= self.config.warmup_ms:
+            self.result.committed += 1
+            self.result.latencies_ms.append(now - state["start"])
+        self._begin_txn(now)
+
+
+def simulate(
+    profiles: Dict[str, OpProfile],
+    mix: Sequence[Tuple[str, float]],
+    cluster: ClusterSpec,
+    clients: int,
+    config: Optional[PerfConfig] = None,
+    serialize_all: bool = False,
+) -> PerfResult:
+    """Run one closed-loop simulation point.
+
+    Args:
+        profiles: per-transaction operation profiles (from
+            :func:`repro.store.profile.profile_program`).
+        mix: transaction mix as ``(txn name, weight)``.
+        cluster: topology preset.
+        clients: number of closed-loop clients (spread over regions).
+        config: model tunables.
+        serialize_all: route *every* transaction through the strong path
+            (the SC configuration); otherwise per-transaction flags rule.
+    """
+    config = config or PerfConfig()
+    if clients <= 0:
+        raise SimulationError("need at least one client")
+    for name, _ in mix:
+        if name not in profiles:
+            raise SimulationError(f"mix names unknown transaction {name}")
+    rng = random.Random(config.seed)
+    loop = EventLoop()
+    replicas = make_replicas(cluster.size)
+    measured = (config.duration_ms - config.warmup_ms) / 1000.0
+    result = PerfResult(clients=clients, committed=0, duration_s=measured)
+
+    total_weight = sum(w for _, w in mix)
+
+    def pick_profile() -> OpProfile:
+        target = rng.random() * total_weight
+        acc = 0.0
+        for name, weight in mix:
+            acc += weight
+            if target <= acc:
+                return profiles[name]
+        return profiles[mix[-1][0]]
+
+    for cid in range(clients):
+        client = _Client(
+            cid=cid,
+            region=cid % cluster.size,
+            pick_profile=pick_profile,
+            cluster=cluster,
+            replicas=replicas,
+            config=config,
+            result=result,
+            loop=loop,
+            serialize_all=serialize_all,
+        )
+        client.start(rng.random())  # tiny stagger to avoid lockstep
+    loop.run_until(config.duration_ms)
+    return result

@@ -1,0 +1,36 @@
+"""A minimal discrete-event loop (heapq-based)."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Tuple
+
+
+class EventLoop:
+    """Time-ordered callback scheduler.
+
+    Events fire in (time, insertion order); callbacks receive the current
+    simulation time and may schedule further events.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[float], None]]] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, when: float, fn: Callable[[float], None]) -> None:
+        if when < self.now:
+            when = self.now
+        heapq.heappush(self._heap, (when, next(self._seq), fn))
+
+    def run_until(self, deadline: float) -> None:
+        """Process events up to (and including) ``deadline``."""
+        while self._heap and self._heap[0][0] <= deadline:
+            when, _, fn = heapq.heappop(self._heap)
+            self.now = when
+            fn(when)
+        self.now = deadline
+
+    def __len__(self) -> int:
+        return len(self._heap)

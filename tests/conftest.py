@@ -1,0 +1,76 @@
+"""Shared fixtures: the paper's running example and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import parse_program
+from repro.semantics.state import Database
+
+COURSEWARE_SRC = """
+schema COURSE { key co_id; field co_avail; field co_st_cnt; }
+schema EMAIL { key em_id; field em_addr; }
+schema STUDENT {
+  key st_id;
+  field st_name;
+  field st_em_id ref EMAIL.em_id;
+  field st_co_id ref COURSE.co_id;
+  field st_reg;
+}
+
+txn getSt(id) {
+  x := select * from STUDENT where st_id = id;
+  y := select em_addr from EMAIL where em_id = x.st_em_id;
+  z := select co_avail from COURSE where co_id = x.st_co_id;
+  return y.em_addr;
+}
+
+txn setSt(id, name, email) {
+  x := select st_em_id from STUDENT where st_id = id;
+  update STUDENT set st_name = name where st_id = id;
+  update EMAIL set em_addr = email where em_id = x.st_em_id;
+}
+
+txn regSt(id, course) {
+  update STUDENT set st_co_id = course, st_reg = true where st_id = id;
+  x := select co_st_cnt from COURSE where co_id = course;
+  update COURSE set co_st_cnt = x.co_st_cnt + 1, co_avail = true
+    where co_id = course;
+}
+"""
+
+ACCOUNT_SRC = """
+schema ACCOUNT { key acc_id; field bal; field owner; }
+
+txn deposit(id, amt) {
+  x := select bal from ACCOUNT where acc_id = id;
+  update ACCOUNT set bal = x.bal + amt where acc_id = id;
+}
+
+txn read_bal(id) {
+  x := select bal from ACCOUNT where acc_id = id;
+  return x.bal;
+}
+
+txn rename(id, name) {
+  update ACCOUNT set owner = name where acc_id = id;
+}
+"""
+
+
+@pytest.fixture
+def courseware():
+    return parse_program(COURSEWARE_SRC)
+
+
+@pytest.fixture
+def account_program():
+    return parse_program(ACCOUNT_SRC)
+
+
+@pytest.fixture
+def account_db(account_program):
+    db = Database(account_program)
+    db.insert("ACCOUNT", acc_id=1, bal=100, owner="ada")
+    db.insert("ACCOUNT", acc_id=2, bal=50, owner="bob")
+    return db

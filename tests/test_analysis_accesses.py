@@ -1,0 +1,171 @@
+"""Access-summary and aliasing tests."""
+
+import pytest
+
+from repro.analysis.accesses import rmw_field, summarize_program, summarize_transaction
+from repro.analysis.aliasing import Alias, alias_commands
+from repro.lang import ast, parse_program
+
+
+class TestSummaries:
+    def test_select_reads_where_and_selected(self, courseware):
+        summary = summarize_program(courseware)["getSt"]
+        s1 = summary.command("S1")
+        assert s1.kind == "select"
+        assert s1.table == "STUDENT"
+        assert "st_id" in s1.read_fields
+        assert "st_name" in s1.read_fields  # via SELECT *
+
+    def test_update_write_fields(self, courseware):
+        summary = summarize_program(courseware)["setSt"]
+        u1 = summary.command("U1")
+        assert u1.write_fields == ("st_name",)
+        assert u1.read_fields == ("st_id",)
+
+    def test_key_exprs_for_well_formed(self, courseware):
+        summary = summarize_program(courseware)["getSt"]
+        s1 = summary.command("S1")
+        assert s1.key_exprs is not None
+        assert dict(s1.key_exprs)["st_id"] == ast.Arg("id")
+
+    def test_scan_has_no_key_exprs(self):
+        p = parse_program(
+            "schema T { key id; field grp; field v; } txn f(g) "
+            "{ x := select v from T where grp = g; return sum(x.v); }"
+        )
+        info = summarize_program(p)["f"].command("S1")
+        assert info.key_exprs is None
+
+    def test_insert_uuid_key_flag(self):
+        p = parse_program(
+            "schema T { key id; field v; } txn f(n) "
+            "{ insert into T values (id = uuid(), v = n); }"
+        )
+        info = summarize_program(p)["f"].command("I1")
+        assert info.uuid_key
+        assert "alive" in info.write_fields
+
+    def test_loop_and_branch_flags(self):
+        p = parse_program(
+            "schema T { key id; field v; } txn f(k) "
+            "{ iterate (2) { update T set v = iter where id = k; } "
+            "  if (k > 0) { x := select v from T where id = k; } }"
+        )
+        summary = summarize_program(p)["f"]
+        assert summary.command("U1").in_loop
+        assert summary.command("S1").in_branch
+
+    def test_ordered_pairs_count(self, courseware):
+        summary = summarize_program(courseware)["getSt"]
+        assert len(summary.ordered_pairs()) == 3  # C(3, 2)
+
+    def test_bindings(self, courseware):
+        summary = summarize_program(courseware)["getSt"]
+        assert summary.binding_of("x") == "S1"
+        assert summary.binding_of("nope") is None
+
+
+class TestRmwDetection:
+    def test_increment_is_rmw(self, courseware):
+        summary = summarize_program(courseware)["regSt"]
+        read = summary.command("S1")
+        write = summary.command("U2")
+        assert rmw_field(summary, read, write) == "co_st_cnt"
+
+    def test_blind_write_is_not_rmw(self, courseware):
+        summary = summarize_program(courseware)["setSt"]
+        read = summary.command("S1")
+        write = summary.command("U1")  # st_name = name (argument)
+        assert rmw_field(summary, read, write) is None
+
+    def test_cross_field_flow_is_not_rmw(self):
+        p = parse_program(
+            "schema T { key id; field a; field b; } txn f(k) "
+            "{ x := select a from T where id = k;"
+            "  update T set b = x.a where id = k; }"
+        )
+        summary = summarize_program(p)["f"]
+        assert rmw_field(summary, summary.command("S1"), summary.command("U1")) is None
+
+
+class TestAliasing:
+    def _infos(self, src, txn="f"):
+        p = parse_program(src)
+        return p, summarize_program(p)[txn]
+
+    def test_different_tables_never(self):
+        p, s = self._infos(
+            "schema A { key id; field x; } schema B { key id; field y; }"
+            "txn f(k) { a := select x from A where id = k;"
+            " b := select y from B where id = k; }"
+        )
+        assert alias_commands(s.command("S1"), s.command("S2"), True) is Alias.NEVER
+
+    def test_same_key_expr_always(self):
+        p, s = self._infos(
+            "schema T { key id; field x; field y; }"
+            "txn f(k) { a := select x from T where id = k;"
+            " b := select y from T where id = k; }"
+        )
+        assert alias_commands(s.command("S1"), s.command("S2"), True) is Alias.ALWAYS
+
+    def test_distinct_constants_never(self):
+        p, s = self._infos(
+            "schema T { key id; field x; }"
+            "txn f() { a := select x from T where id = 1;"
+            " b := select x from T where id = 2; }"
+        )
+        assert alias_commands(s.command("S1"), s.command("S2"), True) is Alias.NEVER
+
+    def test_equal_constants_always(self):
+        p, s = self._infos(
+            "schema T { key id; field x; }"
+            "txn f() { a := select x from T where id = 7;"
+            " b := select x from T where id = 7; }"
+        )
+        assert alias_commands(s.command("S1"), s.command("S2"), True) is Alias.ALWAYS
+
+    def test_distinct_args_same_instance(self):
+        p, s = self._infos(
+            "schema T { key id; field x; }"
+            "txn f(a, b) { u := select x from T where id = a;"
+            " v := select x from T where id = b; }"
+        )
+        assert alias_commands(s.command("S1"), s.command("S2"), True) is Alias.NEVER
+        assert (
+            alias_commands(s.command("S1"), s.command("S2"), True, distinct_args=False)
+            is Alias.MAYBE
+        )
+
+    def test_cross_instance_args_maybe(self):
+        p, s = self._infos(
+            "schema T { key id; field x; }"
+            "txn f(a) { u := select x from T where id = a;"
+            " update T set x = 1 where id = a; }"
+        )
+        # Across two instances the arguments may coincide.
+        assert alias_commands(s.command("S1"), s.command("U1"), False) is Alias.MAYBE
+
+    def test_scan_maybe_aliases(self):
+        p, s = self._infos(
+            "schema T { key id; field grp; field x; }"
+            "txn f(g, k) { u := select x from T where grp = g;"
+            " update T set x = 1 where id = k; }"
+        )
+        assert alias_commands(s.command("S1"), s.command("U1"), True) is Alias.MAYBE
+
+    def test_uuid_insert_never_aliases_write(self):
+        p, s = self._infos(
+            "schema T { key id; field x; }"
+            "txn f(k) { insert into T values (id = uuid(), x = 1);"
+            " update T set x = 2 where id = k; }"
+        )
+        assert alias_commands(s.command("I1"), s.command("U1"), True) is Alias.NEVER
+
+    def test_uuid_insert_may_alias_scan(self):
+        p, s = self._infos(
+            "schema T { key id; field grp; field x; }"
+            "txn f(g) { insert into T values (id = uuid(), grp = g, x = 1);"
+            " u := select x from T where grp = g; }"
+        )
+        assert alias_commands(s.command("I1"), s.command("S1"), True) is Alias.MAYBE

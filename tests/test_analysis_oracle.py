@@ -1,0 +1,201 @@
+"""Anomaly oracle tests, anchored on the paper's running example."""
+
+import pytest
+
+from repro.analysis import AnomalyOracle, CC, EC, RR, SC, detect_anomalies
+from repro.lang import parse_program
+
+
+def pair_keys(pairs):
+    return {(p.txn, p.c1, p.c2) for p in pairs}
+
+
+class TestRunningExample:
+    """Section 3.2 names these exact anomalous access pairs."""
+
+    def test_five_pairs_under_ec(self, courseware):
+        pairs = detect_anomalies(courseware, EC)
+        assert len(pairs) == 5
+
+    def test_pair_identities(self, courseware):
+        keys = pair_keys(detect_anomalies(courseware, EC))
+        assert ("getSt", "S1", "S2") in keys   # (S1,{st_name},S2,{em_addr})
+        assert ("getSt", "S1", "S3") in keys   # the dirty-read of Fig 2
+        assert ("setSt", "U1", "U2") in keys   # (U1,{st_name},U2,{em_addr})
+
+    def test_chi1_fields(self, courseware):
+        # chi_1 = (U3, {st_co_id, st_reg}, U4, {co_avail}); our labeller
+        # names regSt's commands U1 (STUDENT update) and U2 (COURSE update).
+        pairs = detect_anomalies(courseware, EC)
+        chi1 = next(p for p in pairs if p.txn == "regSt" and p.c1 == "U1")
+        assert chi1.fields1 == {"st_co_id", "st_reg"}
+        assert "co_avail" in chi1.fields2
+
+    def test_chi2_lost_update(self, courseware):
+        pairs = detect_anomalies(courseware, EC)
+        chi2 = next(
+            p for p in pairs if p.txn == "regSt" and p.c1 == "S1"
+        )
+        assert chi2.fields1 == {"co_st_cnt"}
+        assert chi2.fields2 == {"co_st_cnt"}
+        assert "rw-race" in chi2.patterns
+
+    def test_serializability_eliminates_everything(self, courseware):
+        assert detect_anomalies(courseware, SC) == []
+
+    def test_cc_and_rr_keep_the_fractures(self, courseware):
+        # Matches the paper's Courseware row: EC 5, CC 5, RR 5.
+        assert len(detect_anomalies(courseware, CC)) == 5
+        assert len(detect_anomalies(courseware, RR)) == 5
+
+
+class TestLevelOrdering:
+    """Stronger levels can only remove anomalies, never add them."""
+
+    @pytest.mark.parametrize("level", [CC, RR, SC])
+    def test_subset_of_ec(self, courseware, level):
+        ec = pair_keys(detect_anomalies(courseware, EC))
+        stronger = pair_keys(detect_anomalies(courseware, level))
+        assert stronger <= ec
+
+
+class TestRepeatableRead:
+    def test_rr_fixes_same_item_non_repeatable_read(self):
+        src = """
+        schema T { key id; field v; }
+        txn double_read(k) {
+          a := select v from T where id = k;
+          b := select v from T where id = k;
+          return a.v - b.v;
+        }
+        txn writer(k, n) { update T set v = n where id = k; }
+        """
+        p = parse_program(src)
+        assert len(detect_anomalies(p, EC)) == 1
+        assert detect_anomalies(p, RR) == []
+
+    def test_rr_keeps_lost_update(self):
+        src = """
+        schema T { key id; field v; }
+        txn incr(k) {
+          x := select v from T where id = k;
+          update T set v = x.v + 1 where id = k;
+        }
+        """
+        p = parse_program(src)
+        assert len(detect_anomalies(p, EC)) == 1
+        assert len(detect_anomalies(p, RR)) == 1
+        assert detect_anomalies(p, SC) == []
+
+    def test_rr_keeps_cross_record_fracture(self):
+        src = """
+        schema A { key id; field x; }
+        schema B { key id; field y; }
+        txn w(k) { update A set x = 1 where id = k; update B set y = 1 where id = k; }
+        txn r(k) {
+          a := select x from A where id = k;
+          b := select y from B where id = k;
+          return a.x + b.y;
+        }
+        """
+        p = parse_program(src)
+        ec = pair_keys(detect_anomalies(p, EC))
+        rr = pair_keys(detect_anomalies(p, RR))
+        assert ("r", "S1", "S2") in ec
+        assert ("r", "S1", "S2") in rr  # frozen-but-partial snapshots remain
+
+
+class TestNoFalseAlarms:
+    def test_read_only_program_is_clean(self):
+        src = """
+        schema T { key id; field v; }
+        txn r1(k) { x := select v from T where id = k; return x.v; }
+        txn r2(k) { x := select v from T where id = k; return x.v; }
+        """
+        assert detect_anomalies(parse_program(src), EC) == []
+
+    def test_single_command_txns_have_no_pairs(self):
+        src = """
+        schema T { key id; field v; }
+        txn w(k, n) { update T set v = n where id = k; }
+        txn r(k) { x := select v from T where id = k; return x.v; }
+        """
+        assert detect_anomalies(parse_program(src), EC) == []
+
+    def test_disjoint_tables_no_interference(self):
+        src = """
+        schema A { key id; field x; }
+        schema B { key id; field y; }
+        txn t1(k) {
+          a := select x from A where id = k;
+          b := select y from B where id = k;
+          return a.x + b.y;
+        }
+        txn t2(k, n) { update A set x = n where id = k; }
+        """
+        # t2 writes only A; no transaction writes both tables, so t1's
+        # two reads cannot be fractured by a single interferer.
+        assert detect_anomalies(parse_program(src), EC) == []
+
+    def test_distinct_constant_keys_never_alias(self):
+        src = """
+        schema T { key id; field v; }
+        txn t1() {
+          x := select v from T where id = 1;
+          y := select v from T where id = 2;
+          return x.v + y.v;
+        }
+        txn t2() {
+          update T set v = 1 where id = 3;
+          update T set v = 2 where id = 4;
+        }
+        """
+        assert detect_anomalies(parse_program(src), EC) == []
+
+    def test_uuid_inserts_do_not_race(self):
+        src = """
+        schema LOG { key l_id; field v; }
+        txn add(n) {
+          x := select v from LOG where true;
+          insert into LOG values (l_id = uuid(), v = n);
+        }
+        """
+        pairs = detect_anomalies(parse_program(src), EC)
+        # The insert conflicts with the scan as a fracture source at most;
+        # there is no rw-race because the insert can never overwrite.
+        assert all("rw-race" not in p.patterns for p in pairs)
+
+
+class TestOracleKnobs:
+    def test_prefilter_does_not_change_results(self, courseware):
+        with_filter = AnomalyOracle(EC, use_prefilter=True).analyze(courseware)
+        without = AnomalyOracle(EC, use_prefilter=False).analyze(courseware)
+        assert pair_keys(with_filter.pairs) == pair_keys(without.pairs)
+        assert without.sat_queries >= with_filter.sat_queries
+
+    def test_distinct_args_heuristic_monotone(self):
+        src = """
+        schema T { key id; field v; }
+        txn move(a, b) {
+          x := select v from T where id = a;
+          y := select v from T where id = b;
+          update T set v = 0 where id = a;
+          update T set v = x.v + y.v where id = b;
+        }
+        """
+        p = parse_program(src)
+        strict = AnomalyOracle(EC, distinct_args=True).analyze(p).pairs
+        loose = AnomalyOracle(EC, distinct_args=False).analyze(p).pairs
+        assert pair_keys(strict) <= pair_keys(loose)
+
+    def test_report_metadata(self, courseware):
+        report = AnomalyOracle(EC).analyze(courseware)
+        assert report.level == "EC"
+        assert report.pairs_checked > 0
+        assert report.sat_queries > 0
+        assert report.elapsed_seconds >= 0
+
+    def test_describe_format(self, courseware):
+        pair = detect_anomalies(courseware, EC)[0]
+        text = pair.describe()
+        assert pair.txn in text and pair.c1 in text

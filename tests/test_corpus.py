@@ -1,0 +1,115 @@
+"""Corpus benchmark sanity: every program parses, validates, populates,
+executes its whole transaction mix, and repairs in the right direction."""
+
+import random
+
+import pytest
+
+from repro.analysis import detect_anomalies, SC
+from repro.corpus import ALL_BENCHMARKS, BY_NAME
+from repro.lang import ast
+from repro.repair import repair
+from repro.semantics import run_serial
+
+IDS = [b.name for b in ALL_BENCHMARKS]
+
+
+@pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=IDS)
+class TestCorpusPrograms:
+    def test_parses_and_validates(self, bench):
+        program = bench.program()
+        assert program.transactions
+
+    def test_txn_count_matches_paper(self, bench):
+        assert len(bench.program().transactions) == bench.paper.txns
+
+    def test_table_count_matches_paper(self, bench):
+        assert len(bench.program().schemas) == bench.paper.tables_before
+
+    def test_database_populates(self, bench):
+        db = bench.database(scale=8)
+        assert any(db.tables[t] for t in db.tables)
+
+    def test_mix_covers_all_transactions(self, bench):
+        mix_names = {name for name, _, _ in bench.mix}
+        txn_names = {t.name for t in bench.program().transactions}
+        assert mix_names == txn_names
+
+    def test_workload_generation(self, bench):
+        rng = random.Random(3)
+        calls = bench.workload(rng, count=20, scale=8)
+        assert len(calls) == 20
+        assert all(c.name in {t.name for t in bench.program().transactions} for c in calls)
+
+    def test_every_transaction_executes_serially(self, bench):
+        rng = random.Random(5)
+        program = bench.program()
+        db = bench.database(scale=8)
+        for name, _, gen in bench.mix:
+            from repro.semantics import TxnCall
+
+            call = TxnCall(name, gen(rng, 8))
+            history = run_serial(program, db, [call])
+            assert history.steps or program.transaction(name).body == ()
+
+    def test_sc_level_is_clean(self, bench):
+        assert detect_anomalies(bench.program(), SC) == []
+
+
+@pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=IDS)
+class TestCorpusRepair:
+    def test_repair_reduces_anomalies(self, bench):
+        report = repair(bench.program())
+        assert len(report.residual_pairs) <= len(report.initial_pairs)
+
+    def test_repaired_program_validates(self, bench):
+        from repro.lang.validate import validate_program
+
+        report = repair(bench.program())
+        validate_program(report.repaired_program)
+
+    def test_transaction_names_preserved(self, bench):
+        report = repair(bench.program())
+        before = {t.name for t in bench.program().transactions}
+        after = {t.name for t in report.repaired_program.transactions}
+        assert before == after
+
+
+class TestExpectedShapes:
+    """Anchor the headline Table-1 shape (exact values live in
+    EXPERIMENTS.md; these bounds catch regressions)."""
+
+    def test_courseware_exact(self):
+        report = repair(BY_NAME["Courseware"].program())
+        assert len(report.initial_pairs) == 5
+        assert report.residual_pairs == []
+        assert len(report.repaired_program.schemas) == 2
+
+    def test_sibench_exact(self):
+        report = repair(BY_NAME["SIBench"].program())
+        assert len(report.initial_pairs) == 1
+        assert report.residual_pairs == []
+
+    def test_twitter_matches_paper_count(self):
+        report = repair(BY_NAME["Twitter"].program())
+        assert len(report.initial_pairs) == BY_NAME["Twitter"].paper.ec
+
+    def test_smallbank_keeps_residual_races(self):
+        report = repair(BY_NAME["SmallBank"].program())
+        assert report.residual_pairs  # zeroing blocks full repair
+        assert len(report.residual_pairs) < len(report.initial_pairs)
+
+    def test_overall_repair_ratio_in_paper_band(self):
+        total_ec = total_at = 0
+        for bench in ALL_BENCHMARKS:
+            report = repair(bench.program())
+            total_ec += len(report.initial_pairs)
+            total_at += len(report.residual_pairs)
+        ratio = (total_ec - total_at) / total_ec
+        # The paper repairs 74% on average; accept a band around it.
+        assert 0.6 <= ratio <= 0.95, ratio
+
+    def test_tpcc_adds_log_tables(self):
+        report = repair(BY_NAME["TPC-C"].program())
+        after = set(report.repaired_program.schema_names)
+        assert any(name.endswith("_LOG") for name in after)

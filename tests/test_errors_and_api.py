@@ -1,0 +1,73 @@
+"""Error hierarchy and top-level API surface tests."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ParseError,
+    RefactoringError,
+    ReproError,
+    SemanticsError,
+    SimulationError,
+    SolverError,
+    ValidationError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [ParseError, ValidationError, SemanticsError, RefactoringError,
+         SolverError, SimulationError],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_parse_error_position_formatting(self):
+        err = ParseError("bad token", line=3, column=7)
+        assert "3:7" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_parse_error_without_position(self):
+        assert str(ParseError("oops")) == "oops"
+
+    def test_catch_all_at_tool_boundary(self):
+        with pytest.raises(ReproError):
+            repro.parse_program("schema {")
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_end_to_end_via_public_api(self):
+        program = repro.parse_program(
+            """
+            schema T { key id; field v; }
+            txn bump(k) {
+              x := select v from T where id = k;
+              update T set v = x.v + 1 where id = k;
+            }
+            """
+        )
+        pairs = repro.detect_anomalies(program)
+        assert len(pairs) == 1
+        report = repro.repair(program)
+        assert report.residual_pairs == []
+        text = repro.print_program(report.repaired_program)
+        assert "T_V_LOG" in text
+
+    def test_levels_exported(self):
+        assert repro.EC.name == "EC"
+        assert repro.SC.total_order
+
+    def test_solver_error_on_bad_literal(self):
+        from repro.smt.solver import Solver
+
+        s = Solver()
+        with pytest.raises(SolverError):
+            s.add_clause([99])

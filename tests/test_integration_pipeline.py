@@ -1,0 +1,79 @@
+"""Cross-module integration: the full pipeline on every benchmark.
+
+For each corpus benchmark: repair, migrate the populated database to the
+refactored layout, dry-run every transaction of both programs to build
+operation profiles, and check initial-state containment.  This exercises
+the exact path the performance experiments take, for all nine benchmarks
+(the figures only sweep three).
+"""
+
+import random
+
+import pytest
+
+from repro.corpus import ALL_BENCHMARKS
+from repro.refactor import check_containment, migrate_database
+from repro.repair import repair
+from repro.semantics import run_serial
+from repro.store.profile import profile_program, sample_calls_for
+
+IDS = [b.name for b in ALL_BENCHMARKS]
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    out = {}
+    rng = random.Random(17)
+    for bench in ALL_BENCHMARKS:
+        program = bench.program()
+        report = repair(program)
+        db = bench.database(scale=8)
+        at_db = migrate_database(db, report.repaired_program, report.rewrites)
+        calls = sample_calls_for(bench, rng, 8)
+        out[bench.name] = (bench, program, report, db, at_db, calls)
+    return out
+
+
+@pytest.mark.parametrize("name", IDS)
+class TestFullPipeline:
+    def test_original_profiles_build(self, pipelines, name):
+        bench, program, report, db, at_db, calls = pipelines[name]
+        profiles = profile_program(program, db, calls)
+        assert set(profiles) == {t.name for t in program.transactions}
+        assert all(p.ops for p in profiles.values())
+
+    def test_refactored_profiles_build(self, pipelines, name):
+        bench, program, report, db, at_db, calls = pipelines[name]
+        profiles = profile_program(report.repaired_program, at_db, calls)
+        assert set(profiles) == {t.name for t in program.transactions}
+
+    def test_refactoring_never_inflates_reads(self, pipelines, name):
+        """Merged/redirected programs issue at most a couple more ops
+        (log seeding) and usually fewer."""
+        bench, program, report, db, at_db, calls = pipelines[name]
+        before = profile_program(program, db, calls)
+        after = profile_program(report.repaired_program, at_db, calls)
+        total_before = sum(len(p.ops) for p in before.values())
+        total_after = sum(len(p.ops) for p in after.values())
+        assert total_after <= total_before + 2
+
+    def test_initial_state_containment(self, pipelines, name):
+        bench, program, report, db, at_db, calls = pipelines[name]
+        orig = run_serial(program, db, []).state.materialize()
+        refact = run_serial(
+            report.repaired_program, at_db, []
+        ).state.materialize()
+        violations = check_containment(
+            program, orig, refact, report.correspondences
+        )
+        assert violations == [], [v.describe() for v in violations][:5]
+
+    def test_at_sc_variant_flags_match_residual(self, pipelines, name):
+        bench, program, report, db, at_db, calls = pipelines[name]
+        flagged = {
+            t.name
+            for t in report.serializable_variant().transactions
+            if t.serializable
+        }
+        residual_txns = {p.txn for p in report.residual_pairs}
+        assert flagged == residual_txns

@@ -1,0 +1,117 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def values(src):
+    return [t.value for t in tokenize(src) if t.kind != "eof"]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == "eof"
+
+    def test_identifier(self):
+        toks = tokenize("st_name")
+        assert toks[0].kind == "ident"
+        assert toks[0].value == "st_name"
+
+    def test_keyword_recognised(self):
+        assert tokenize("select")[0].kind == "keyword"
+
+    def test_keyword_prefix_is_identifier(self):
+        assert tokenize("selector")[0].kind == "ident"
+
+    def test_integer(self):
+        tok = tokenize("12345")[0]
+        assert tok.kind == "int"
+        assert tok.value == "12345"
+
+    def test_single_quoted_string(self):
+        tok = tokenize("'hello world'")[0]
+        assert tok.kind == "string"
+        assert tok.value == "hello world"
+
+    def test_double_quoted_string(self):
+        assert tokenize('"hi"')[0].value == "hi"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_string_with_newline_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("'a\nb'")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("€")
+
+
+class TestSymbols:
+    def test_assign_symbol(self):
+        assert values("x := 1") == ["x", ":=", "1"]
+
+    def test_comparison_operators(self):
+        assert values("<= >= != < > =") == ["<=", ">=", "!=", "<", ">", "="]
+
+    def test_double_equals(self):
+        assert values("a == b") == ["a", "==", "b"]
+
+    def test_arithmetic(self):
+        assert values("a + b * c / d - e") == ["a", "+", "b", "*", "c", "/", "d", "-", "e"]
+
+    def test_punctuation(self):
+        assert values("(x, y);") == ["(", "x", ",", "y", ")", ";"]
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("a // comment here\nb") == ["a", "b"]
+
+    def test_hash_comment_skipped(self):
+        assert values("a # comment\nb") == ["a", "b"]
+
+    def test_comment_at_end_of_input(self):
+        assert values("a // trailing") == ["a"]
+
+
+class TestPositions:
+    def test_line_numbers_advance(self):
+        toks = tokenize("a\nb\nc")
+        assert [t.line for t in toks[:3]] == [1, 2, 3]
+
+    def test_column_numbers(self):
+        toks = tokenize("ab cd")
+        assert toks[0].column == 1
+        assert toks[1].column == 4
+
+    def test_parse_error_carries_position(self):
+        try:
+            tokenize("x\n  €")
+        except ParseError as err:
+            assert err.line == 2
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestTokenHelpers:
+    def test_is_symbol(self):
+        tok = Token("symbol", ";", 1, 1)
+        assert tok.is_symbol(";")
+        assert tok.is_symbol(",", ";")
+        assert not tok.is_symbol(",")
+
+    def test_is_keyword(self):
+        tok = Token("keyword", "select", 1, 1)
+        assert tok.is_keyword("select")
+        assert not tok.is_keyword("update")

@@ -1,0 +1,198 @@
+"""Data migration and containment-checker unit tests."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.refactor import (
+    check_containment,
+    migrate_database,
+)
+from repro.refactor.correspondence import (
+    Aggregator,
+    RecordCorrespondence,
+    ValueCorrespondence,
+)
+from repro.refactor.logger import build_logger
+from repro.refactor.redirect import build_redirect
+from repro.repair import repair
+from repro.semantics import Database
+
+
+@pytest.fixture
+def fused():
+    """A redirect-repaired two-table program plus its artifacts."""
+    src = """
+    schema HUB { key id; field name; }
+    schema SAT { key s_id ref HUB.id; field v; }
+    txn get(k) {
+      h := select name from HUB where id = k;
+      s := select v from SAT where s_id = k;
+      return s.v;
+    }
+    txn put(k, n) {
+      update HUB set name = n where id = k;
+      update SAT set v = 1 where s_id = k;
+    }
+    """
+    program = parse_program(src)
+    report = repair(program)
+    db = Database(program)
+    db.insert("HUB", id=1, name="a")
+    db.insert("HUB", id=2, name="b")
+    db.insert("SAT", s_id=1, v=10)
+    db.insert("SAT", s_id=2, v=20)
+    return program, report, db
+
+
+class TestMigrateRedirect:
+    def test_values_copied_into_target(self, fused):
+        program, report, db = fused
+        at_db = migrate_database(db, report.repaired_program, report.rewrites)
+        hub = at_db.tables["HUB"]
+        moved_field = report.correspondences[0].dst_field
+        assert hub[(1,)][moved_field] == 10
+        assert hub[(2,)][moved_field] == 20
+
+    def test_dissolved_table_absent(self, fused):
+        program, report, db = fused
+        at_db = migrate_database(db, report.repaired_program, report.rewrites)
+        assert "SAT" not in at_db.tables
+
+    def test_unmatched_target_gets_none(self):
+        src = """
+        schema HUB { key id; field n; }
+        schema SAT { key s_id ref HUB.id; field v; }
+        txn g(k) { s := select v from SAT where s_id = k; return s.v; }
+        txn w(k) { update SAT set v = 1 where s_id = k; }
+        """
+        program = parse_program(src)
+        report = repair(program)
+        if not report.rewrites:
+            pytest.skip("no redirect applied")
+        db = Database(program)
+        db.insert("HUB", id=1, n="x")  # no SAT row for id=1
+        at_db = migrate_database(db, report.repaired_program, report.rewrites)
+        field = report.correspondences[0].dst_field
+        assert at_db.tables["HUB"][(1,)][field] is None
+
+
+class TestMigrateLogger:
+    def test_initial_values_seeded(self):
+        src = """
+        schema T { key id; field v; }
+        txn incr(k) {
+          x := select v from T where id = k;
+          update T set v = x.v + 1 where id = k;
+        }
+        """
+        program = parse_program(src)
+        report = repair(program)
+        db = Database(program)
+        db.insert("T", id=1, v=42)
+        at_db = migrate_database(db, report.repaired_program, report.rewrites)
+        logs = at_db.tables["T_V_LOG"]
+        assert len(logs) == 1
+        (record,) = logs.values()
+        assert record["v_log"] == 42
+        assert record["id"] == 1
+
+
+def _state(tables):
+    """Wrap plain dicts as a materialised state."""
+    return tables
+
+
+class TestContainmentChecker:
+    PROGRAM = parse_program(
+        "schema T { key id; field v; } txn g(k) "
+        "{ x := select v from T where id = k; return x.v; }"
+    )
+
+    def test_identity_match(self):
+        orig = {"T": {(1,): {"id": 1, "v": 5}}}
+        assert check_containment(self.PROGRAM, orig, orig, []) == []
+
+    def test_identity_mismatch(self):
+        orig = {"T": {(1,): {"id": 1, "v": 5}}}
+        refact = {"T": {(1,): {"id": 1, "v": 6}}}
+        violations = check_containment(self.PROGRAM, orig, refact, [])
+        assert len(violations) == 1
+        assert "identity mismatch" in violations[0].describe()
+
+    def test_missing_record(self):
+        orig = {"T": {(1,): {"id": 1, "v": 5}}}
+        refact = {"T": {}}
+        assert check_containment(self.PROGRAM, orig, refact, [])
+
+    def test_sum_correspondence(self):
+        corr = ValueCorrespondence(
+            src_table="T", dst_table="L", src_field="v", dst_field="v_log",
+            theta=RecordCorrespondence("T", "L", (("id", "id"),)),
+            alpha=Aggregator.SUM,
+        )
+        orig = {"T": {(1,): {"id": 1, "v": 5}}}
+        refact = {
+            "L": {
+                (1, "a"): {"id": 1, "log_id": "a", "v_log": 2},
+                (1, "b"): {"id": 1, "log_id": "b", "v_log": 3},
+            }
+        }
+        assert check_containment(self.PROGRAM, orig, refact, [corr]) == []
+
+    def test_sum_mismatch_detected(self):
+        corr = ValueCorrespondence(
+            src_table="T", dst_table="L", src_field="v", dst_field="v_log",
+            theta=RecordCorrespondence("T", "L", (("id", "id"),)),
+            alpha=Aggregator.SUM,
+        )
+        orig = {"T": {(1,): {"id": 1, "v": 5}}}
+        refact = {"L": {(1, "a"): {"id": 1, "log_id": "a", "v_log": 2}}}
+        violations = check_containment(self.PROGRAM, orig, refact, [corr])
+        assert violations and "sum fold" in violations[0].describe()
+
+    def test_any_correspondence_membership(self):
+        corr = ValueCorrespondence(
+            src_table="T", dst_table="H", src_field="v", dst_field="hv",
+            theta=RecordCorrespondence("T", "H", (("id", "t_ref"),)),
+            alpha=Aggregator.ANY,
+        )
+        orig = {"T": {(1,): {"id": 1, "v": 5}}}
+        refact = {
+            "H": {
+                (10,): {"hid": 10, "t_ref": 1, "hv": 5},
+                (11,): {"hid": 11, "t_ref": 1, "hv": 7},
+            }
+        }
+        assert check_containment(self.PROGRAM, orig, refact, [corr]) == []
+
+    def test_any_correspondence_value_missing(self):
+        corr = ValueCorrespondence(
+            src_table="T", dst_table="H", src_field="v", dst_field="hv",
+            theta=RecordCorrespondence("T", "H", (("id", "t_ref"),)),
+            alpha=Aggregator.ANY,
+        )
+        orig = {"T": {(1,): {"id": 1, "v": 5}}}
+        refact = {"H": {(10,): {"hid": 10, "t_ref": 1, "hv": 9}}}
+        violations = check_containment(self.PROGRAM, orig, refact, [corr])
+        assert violations and "not among theta(r) copies" in violations[0].describe()
+
+    def test_empty_theta_dissolves_record(self):
+        # The appendix semantics: record presence follows theta(r).
+        corr = ValueCorrespondence(
+            src_table="T", dst_table="H", src_field="v", dst_field="hv",
+            theta=RecordCorrespondence("T", "H", (("id", "t_ref"),)),
+            alpha=Aggregator.ANY,
+        )
+        orig = {"T": {(1,): {"id": 1, "v": 5}}}
+        refact = {"H": {}}
+        assert check_containment(self.PROGRAM, orig, refact, [corr]) == []
+
+    def test_theta_evaluation(self):
+        theta = RecordCorrespondence("T", "H", (("id", "t_ref"),))
+        records = {
+            (10,): {"t_ref": 1},
+            (11,): {"t_ref": 2},
+            (12,): {"t_ref": 1},
+        }
+        assert sorted(theta.theta(("id",), (1,), records)) == [(10,), (12,)]
+        assert theta.theta(("id",), (3,), records) == []

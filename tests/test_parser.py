@@ -1,0 +1,258 @@
+"""Parser unit tests: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.errors import ParseError, ValidationError
+from repro.lang import ast, parse_expression, parse_program, parse_where
+
+
+class TestSchemas:
+    def test_single_schema(self):
+        p = parse_program("schema T { key id; field v; } ")
+        assert p.schema("T").fields == ("id", "v")
+        assert p.schema("T").key == ("id",)
+
+    def test_composite_key(self):
+        p = parse_program("schema T { key a; key b; field v; }")
+        assert p.schema("T").key == ("a", "b")
+
+    def test_field_ref(self):
+        p = parse_program(
+            "schema A { key a_id; } schema B { key b_id; field b_a ref A.a_id; }"
+        )
+        assert p.schema("B").ref_map["b_a"] == ("A", "a_id")
+
+    def test_key_ref(self):
+        p = parse_program(
+            "schema A { key a_id; } schema B { key b_id ref A.a_id; field v; }"
+        )
+        assert p.schema("B").ref_map["b_id"] == ("A", "a_id")
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("schema T { key id field v; }")
+
+
+class TestTransactions:
+    def test_params(self):
+        p = parse_program("schema T { key id; } txn f(a, b, c) { skip; }")
+        assert p.transaction("f").params == ("a", "b", "c")
+
+    def test_no_params(self):
+        p = parse_program("schema T { key id; } txn f() { skip; }")
+        assert p.transaction("f").params == ()
+
+    def test_serializable_marker(self):
+        p = parse_program("schema T { key id; } serializable txn f() { skip; }")
+        assert p.transaction("f").serializable
+
+    def test_return_expression(self):
+        p = parse_program(
+            "schema T { key id; field v; }"
+            "txn f(k) { x := select v from T where id = k; return x.v; }"
+        )
+        assert isinstance(p.transaction("f").ret, ast.At)
+
+    def test_return_must_be_last(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "schema T { key id; } txn f() { return 1; skip; }"
+            )
+
+
+class TestCommands:
+    def test_select_star(self):
+        p = parse_program(
+            "schema T { key id; field v; } txn f(k) "
+            "{ x := select * from T where id = k; }"
+        )
+        cmd = p.transaction("f").body[0]
+        assert cmd.fields == ast.STAR
+
+    def test_select_field_list(self):
+        p = parse_program(
+            "schema T { key id; field a; field b; } txn f(k) "
+            "{ x := select a, b from T where id = k; }"
+        )
+        assert p.transaction("f").body[0].fields == ("a", "b")
+
+    def test_update_multiple_assignments(self):
+        p = parse_program(
+            "schema T { key id; field a; field b; } txn f(k) "
+            "{ update T set a = 1, b = 2 where id = k; }"
+        )
+        cmd = p.transaction("f").body[0]
+        assert cmd.written_fields == ("a", "b")
+
+    def test_insert(self):
+        p = parse_program(
+            "schema T { key id; field v; } txn f(k) "
+            "{ insert into T values (id = k, v = 0); }"
+        )
+        cmd = p.transaction("f").body[0]
+        assert isinstance(cmd, ast.Insert)
+        assert cmd.written_fields == ("id", "v")
+
+    def test_insert_with_uuid(self):
+        p = parse_program(
+            "schema T { key id; field v; } txn f() "
+            "{ insert into T values (id = uuid(), v = 1); }"
+        )
+        assignments = dict(p.transaction("f").body[0].assignments)
+        assert isinstance(assignments["id"], ast.Uuid)
+
+    def test_if_block(self):
+        p = parse_program(
+            "schema T { key id; field v; } txn f(k) "
+            "{ if (k > 0) { update T set v = 1 where id = k; } }"
+        )
+        cmd = p.transaction("f").body[0]
+        assert isinstance(cmd, ast.If)
+        assert len(cmd.body) == 1
+
+    def test_iterate_block(self):
+        p = parse_program(
+            "schema T { key id; field v; } txn f(k) "
+            "{ iterate (3) { update T set v = iter where id = k; } }"
+        )
+        cmd = p.transaction("f").body[0]
+        assert isinstance(cmd, ast.Iterate)
+        assert cmd.count == ast.Const(3)
+
+    def test_skip(self):
+        p = parse_program("schema T { key id; } txn f() { skip; }")
+        assert isinstance(p.transaction("f").body[0], ast.Skip)
+
+
+class TestLabels:
+    def test_selects_labelled_in_order(self, courseware):
+        labels = [c.label for c in ast.iter_db_commands(courseware.transaction("getSt"))]
+        assert labels == ["S1", "S2", "S3"]
+
+    def test_mixed_labels(self, courseware):
+        labels = [c.label for c in ast.iter_db_commands(courseware.transaction("regSt"))]
+        assert labels == ["U1", "S1", "U2"]
+
+    def test_labels_reach_into_branches(self):
+        p = parse_program(
+            "schema T { key id; field v; } txn f(k) "
+            "{ x := select v from T where id = k;"
+            "  if (x.v > 0) { update T set v = 0 where id = k; } }"
+        )
+        labels = [c.label for c in ast.iter_db_commands(p.transaction("f"))]
+        assert labels == ["S1", "U1"]
+
+
+class TestWhereClauses:
+    def test_conjunction(self):
+        w = parse_where("a = 1 and b = 2")
+        assert isinstance(w, ast.WhereBool)
+        assert w.op == "and"
+
+    def test_conjunction_binds_correctly(self):
+        w = parse_where("a = x and b = y")
+        conjuncts = ast.where_conjuncts(w)
+        assert conjuncts is not None
+        assert [c.field for c in conjuncts] == ["a", "b"]
+
+    def test_disjunction(self):
+        w = parse_where("a = 1 or b = 2")
+        assert isinstance(w, ast.WhereBool)
+        assert w.op == "or"
+        assert ast.where_conjuncts(w) is None
+
+    def test_true_clause(self):
+        assert isinstance(parse_where("true"), ast.WhereTrue)
+
+    def test_this_prefix(self):
+        w = parse_where("this.a = 1")
+        assert isinstance(w, ast.WhereCond)
+        assert w.field == "a"
+
+    def test_arithmetic_rhs(self):
+        w = parse_where("a = x + 1")
+        assert isinstance(w.expr, ast.BinOp)
+
+    def test_parenthesised(self):
+        w = parse_where("(a = 1 or b = 2) and c = 3")
+        assert isinstance(w, ast.WhereBool)
+        assert w.op == "and"
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp)
+        assert e.op == "+"
+        assert isinstance(e.right, ast.BinOp)
+
+    def test_parentheses_override(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*"
+
+    def test_comparison(self):
+        e = parse_expression("a + 1 >= b")
+        assert isinstance(e, ast.Cmp)
+        assert e.op == ">="
+
+    def test_bool_ops(self):
+        e = parse_expression("a > 1 and b < 2 or c = 3")
+        assert isinstance(e, ast.BoolOp)
+        assert e.op == "or"
+
+    def test_not(self):
+        e = parse_expression("not a")
+        assert isinstance(e, ast.Not)
+
+    def test_field_access_sugar(self):
+        e = parse_expression("x.f")
+        assert e == ast.At(ast.Const(1), "x", "f")
+
+    def test_at_explicit(self):
+        e = parse_expression("at(2, x.f)")
+        assert e == ast.At(ast.Const(2), "x", "f")
+
+    def test_aggregators(self):
+        for func in ("sum", "min", "max", "count", "any"):
+            e = parse_expression(f"{func}(x.f)")
+            assert e == ast.Agg(func, "x", "f")
+
+    def test_unary_minus(self):
+        e = parse_expression("-x")
+        assert e == ast.BinOp("-", ast.Const(0), ast.Arg("x"))
+
+    def test_iter(self):
+        assert parse_expression("iter") == ast.IterVar()
+
+    def test_booleans(self):
+        assert parse_expression("true") == ast.Const(True)
+        assert parse_expression("false") == ast.Const(False)
+
+    def test_string_literal(self):
+        assert parse_expression("'abc'") == ast.Const("abc")
+
+
+class TestErrors:
+    def test_unknown_toplevel(self):
+        with pytest.raises(ParseError):
+            parse_program("select * from T;")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("schema T { key id; }\ntxn f( { }")
+        assert exc.value.line == 2
+
+    def test_validation_runs_by_default(self):
+        with pytest.raises(ValidationError):
+            parse_program(
+                "schema T { key id; } txn f(k) "
+                "{ x := select v from T where id = k; }"
+            )
+
+    def test_validation_can_be_skipped(self):
+        p = parse_program(
+            "schema T { key id; } txn f(k) "
+            "{ x := select nope from T where id = k; }",
+            validate=False,
+        )
+        assert p.transaction("f") is not None

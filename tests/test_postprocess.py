@@ -1,0 +1,134 @@
+"""Postprocessing unit tests: dead code, final merging, table dissolution."""
+
+from repro.lang import ast, parse_program
+from repro.refactor.correspondence import (
+    Aggregator,
+    RecordCorrespondence,
+    ValueCorrespondence,
+)
+from repro.repair.postprocess import postprocess
+
+
+def commands(program, txn):
+    return list(ast.iter_db_commands(program.transaction(txn)))
+
+
+class TestDeadSelectRemoval:
+    def test_unused_select_removed(self):
+        p = parse_program(
+            "schema T { key id; field v; } txn f(k) "
+            "{ x := select v from T where id = k;"
+            "  update T set v = 1 where id = k; }"
+        )
+        out = postprocess(p)
+        cmds = commands(out, "f")
+        assert len(cmds) == 1
+        assert isinstance(cmds[0], ast.Update)
+
+    def test_used_select_kept(self):
+        p = parse_program(
+            "schema T { key id; field v; } txn f(k) "
+            "{ x := select v from T where id = k;"
+            "  update T set v = x.v + 1 where id = k; }"
+        )
+        out = postprocess(p)
+        assert len(commands(out, "f")) == 2
+
+    def test_select_used_only_in_return_kept(self):
+        p = parse_program(
+            "schema T { key id; field v; } txn f(k) "
+            "{ x := select v from T where id = k; return x.v; }"
+        )
+        out = postprocess(p)
+        assert len(commands(out, "f")) == 1
+
+    def test_cascading_dead_code(self):
+        # y depends on x; neither is used downstream -> both go.
+        p = parse_program(
+            "schema T { key id; field a; field b; } txn f(k) "
+            "{ x := select a from T where id = k;"
+            "  y := select b from T where a = x.a;"
+            "  update T set b = 1 where id = k; }"
+        )
+        out = postprocess(p)
+        assert len(commands(out, "f")) == 1
+
+
+class TestFinalMerging:
+    def test_adjacent_same_record_selects_merge(self):
+        p = parse_program(
+            "schema T { key id; field a; field b; } txn f(k) "
+            "{ x := select a from T where id = k;"
+            "  y := select b from T where id = k;"
+            "  return x.a + y.b; }"
+        )
+        out = postprocess(p)
+        cmds = commands(out, "f")
+        assert len(cmds) == 1
+        assert set(cmds[0].fields) == {"a", "b"}
+
+    def test_merge_runs_to_fixpoint(self):
+        p = parse_program(
+            "schema T { key id; field a; field b; field c; } txn f(k) "
+            "{ x := select a from T where id = k;"
+            "  y := select b from T where id = k;"
+            "  z := select c from T where id = k;"
+            "  return x.a + y.b + z.c; }"
+        )
+        out = postprocess(p)
+        assert len(commands(out, "f")) == 1
+
+
+class TestTableDissolution:
+    def _correspondence(self):
+        return ValueCorrespondence(
+            src_table="OLD", dst_table="NEW", src_field="v", dst_field="nv",
+            theta=RecordCorrespondence("OLD", "NEW", (("id", "ref_id"),)),
+            alpha=Aggregator.ANY,
+        )
+
+    def test_unreferenced_covered_table_dropped(self):
+        p = parse_program(
+            "schema OLD { key id; field v; }"
+            "schema NEW { key nid; field ref_id ref OLD.id; field nv; }"
+            "txn f(k) { x := select nv from NEW where nid = k; return x.nv; }"
+        )
+        out = postprocess(p, [self._correspondence()])
+        assert not out.has_schema("OLD")
+
+    def test_referenced_table_kept(self):
+        p = parse_program(
+            "schema OLD { key id; field v; }"
+            "schema NEW { key nid; field ref_id ref OLD.id; field nv; }"
+            "txn f(k) { x := select v from OLD where id = k; return x.v; }"
+        )
+        out = postprocess(p, [self._correspondence()])
+        assert out.has_schema("OLD")
+
+    def test_uncovered_table_kept(self):
+        # OLD has a field (w) with no correspondence: dropping would lose data.
+        p = parse_program(
+            "schema OLD { key id; field v; field w; }"
+            "schema NEW { key nid; field ref_id ref OLD.id; field nv; }"
+            "txn f(k) { x := select nv from NEW where nid = k; return x.nv; }"
+        )
+        out = postprocess(p, [self._correspondence()])
+        assert out.has_schema("OLD")
+
+    def test_dangling_refs_scrubbed(self):
+        p = parse_program(
+            "schema OLD { key id; field v; }"
+            "schema NEW { key nid; field ref_id ref OLD.id; field nv; }"
+            "txn f(k) { x := select nv from NEW where nid = k; return x.nv; }"
+        )
+        out = postprocess(p, [self._correspondence()])
+        assert "ref_id" in out.schema("NEW").fields
+        assert "ref_id" not in out.schema("NEW").ref_map
+
+    def test_clean_program_is_fixpoint(self, courseware):
+        from repro.lang import print_program
+        from repro.repair import repair
+
+        report = repair(courseware)
+        again = postprocess(report.repaired_program, report.correspondences)
+        assert print_program(again) == print_program(report.repaired_program)

@@ -1,0 +1,109 @@
+"""Pretty-printer tests, including a generative round-trip property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus import ALL_BENCHMARKS
+from repro.lang import (
+    ast,
+    parse_expression,
+    parse_program,
+    parse_where,
+    print_expression,
+    print_program,
+    print_where,
+)
+
+# ---------------------------------------------------------------------------
+# Generative expression round-trip
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "xval", "k"])
+_fields = st.sampled_from(["f", "g", "val"])
+_vars = st.sampled_from(["x", "y"])
+
+
+def _expr_strategy() -> st.SearchStrategy:
+    base = st.one_of(
+        st.integers(min_value=0, max_value=999).map(ast.Const),
+        st.booleans().map(ast.Const),
+        _names.map(ast.Arg),
+        st.just(ast.Uuid()),
+        st.tuples(_vars, _fields).map(lambda t: ast.At(ast.Const(1), *t)),
+        st.tuples(st.sampled_from(["sum", "min", "max", "count", "any"]), _vars, _fields).map(
+            lambda t: ast.Agg(*t)
+        ),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(["+", "-", "*", "/"]), children, children).map(
+                lambda t: ast.BinOp(*t)
+            ),
+            st.tuples(st.sampled_from(["<", "<=", "=", "!=", ">", ">="]), children, children).map(
+                lambda t: ast.Cmp(*t)
+            ),
+            st.tuples(st.sampled_from(["and", "or"]), children, children).map(
+                lambda t: ast.BoolOp(*t)
+            ),
+            children.map(ast.Not),
+        )
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+class TestExpressionRoundTrip:
+    @given(_expr_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_print_parse_identity(self, expr):
+        text = print_expression(expr)
+        reparsed = parse_expression(text)
+        assert reparsed == expr, text
+
+
+class TestWherePrinting:
+    def test_cond(self):
+        w = parse_where("a = 1")
+        assert print_where(w) == "a = 1"
+
+    def test_and_or_parenthesisation(self):
+        w = parse_where("(a = 1 or b = 2) and c = 3")
+        assert parse_where(print_where(w)) == w
+
+    def test_true(self):
+        assert print_where(ast.WhereTrue()) == "true"
+
+    @given(st.lists(st.sampled_from(["a = 1", "b = x", "c >= 2"]), min_size=1, max_size=3))
+    @settings(deadline=None)
+    def test_conjunction_round_trip(self, conds):
+        text = " and ".join(conds)
+        w = parse_where(text)
+        assert parse_where(print_where(w)) == w
+
+
+class TestProgramRoundTrip:
+    def test_courseware_round_trip(self, courseware):
+        text = print_program(courseware)
+        again = parse_program(text)
+        assert print_program(again) == text
+
+    @pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=lambda b: b.name)
+    def test_corpus_round_trip(self, bench):
+        program = bench.program()
+        text = print_program(program)
+        again = parse_program(text)
+        assert print_program(again) == text
+
+    def test_labels_omittable(self, courseware):
+        text = print_program(courseware, labels=False)
+        assert "// S1" not in text
+
+    def test_serializable_prefix_printed(self, courseware):
+        from dataclasses import replace
+
+        txn = replace(courseware.transaction("getSt"), serializable=True)
+        marked = courseware.replace_transaction(txn)
+        assert "serializable txn getSt" in print_program(marked)
+
+    def test_refs_printed(self, courseware):
+        assert "ref EMAIL.em_id" in print_program(courseware)

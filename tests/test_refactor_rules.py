@@ -1,0 +1,273 @@
+"""Refactoring rule tests: intro rho / intro rho.f / redirect / logger."""
+
+import pytest
+
+from repro.errors import RefactoringError
+from repro.lang import ast, parse_program, print_program
+from repro.refactor import (
+    apply_logger,
+    apply_redirect,
+    intro_field,
+    intro_schema,
+)
+from repro.refactor.logger import build_logger, increment_delta, logger_applicable
+from repro.refactor.redirect import build_redirect, redirect_applicable
+
+
+class TestIntroRules:
+    def test_intro_schema(self, courseware):
+        p = intro_schema(courseware, "NEW", key=("n_id",))
+        assert p.has_schema("NEW")
+        assert p.schema("NEW").key == ("n_id",)
+
+    def test_intro_schema_duplicate_rejected(self, courseware):
+        with pytest.raises(RefactoringError):
+            intro_schema(courseware, "STUDENT", key=("x",))
+
+    def test_intro_field(self, courseware):
+        p = intro_field(courseware, "STUDENT", "st_extra")
+        assert "st_extra" in p.schema("STUDENT").fields
+        assert "st_extra" not in p.schema("STUDENT").key
+
+    def test_intro_field_duplicate_rejected(self, courseware):
+        with pytest.raises(RefactoringError):
+            intro_field(courseware, "STUDENT", "st_name")
+
+    def test_intro_field_unknown_table(self, courseware):
+        with pytest.raises(RefactoringError):
+            intro_field(courseware, "NOPE", "x")
+
+    def test_original_untouched(self, courseware):
+        intro_field(courseware, "STUDENT", "st_extra")
+        assert "st_extra" not in courseware.schema("STUDENT").fields
+
+
+class TestBuildRedirect:
+    def test_forward_reference_path(self, courseware):
+        rw = build_redirect(courseware, "EMAIL", "STUDENT", ["em_addr"])
+        assert rw is not None
+        assert dict(rw.theta.key_map) == {"em_id": "st_em_id"}
+        assert rw.fields()["em_addr"] == "st_em_addr"
+
+    def test_no_reference_path_returns_none(self, courseware):
+        assert build_redirect(courseware, "STUDENT", "EMAIL", ["st_name"]) is None
+
+    def test_reverse_key_reference(self):
+        p = parse_program(
+            "schema HUB { key id; field n; }"
+            "schema SAT { key s_id ref HUB.id; field v; }"
+            "txn f(k) { x := select v from SAT where s_id = k; return x.v; }"
+        )
+        rw = build_redirect(p, "SAT", "HUB", ["v"])
+        assert rw is not None
+        assert dict(rw.theta.key_map) == {"s_id": "id"}
+
+    def test_paper_naming_convention(self, courseware):
+        rw = build_redirect(courseware, "COURSE", "STUDENT", ["co_avail"])
+        assert rw.fields()["co_avail"] == "st_co_avail"
+
+
+class TestApplyRedirect:
+    def test_figure9_getst(self, courseware):
+        rw = build_redirect(courseware, "EMAIL", "STUDENT", ["em_addr"])
+        refactored, corrs = apply_redirect(courseware, rw)
+        get_st = refactored.transaction("getSt")
+        s2 = list(ast.iter_db_commands(get_st))[1]
+        assert s2.table == "STUDENT"
+        assert s2.fields == ("st_em_addr",)
+        assert ast.where_fields(s2.where) == ("st_em_id",)
+        # Return expression follows the moved field.
+        assert get_st.ret == ast.At(ast.Const(1), "y", "st_em_addr")
+
+    def test_figure9_setst_update(self, courseware):
+        rw = build_redirect(courseware, "EMAIL", "STUDENT", ["em_addr"])
+        refactored, _ = apply_redirect(courseware, rw)
+        set_st = refactored.transaction("setSt")
+        u2 = list(ast.iter_db_commands(set_st))[2]
+        assert isinstance(u2, ast.Update)
+        assert u2.table == "STUDENT"
+        assert u2.written_fields == ("st_em_addr",)
+
+    def test_value_correspondence_recorded(self, courseware):
+        rw = build_redirect(courseware, "EMAIL", "STUDENT", ["em_addr"])
+        _, corrs = apply_redirect(courseware, rw)
+        assert len(corrs) == 1
+        corr = corrs[0]
+        assert corr.src_table == "EMAIL" and corr.dst_table == "STUDENT"
+        assert corr.src_field == "em_addr" and corr.dst_field == "st_em_addr"
+        assert corr.alpha.value == "any"
+
+    def test_target_field_added_to_schema(self, courseware):
+        rw = build_redirect(courseware, "EMAIL", "STUDENT", ["em_addr"])
+        refactored, _ = apply_redirect(courseware, rw)
+        assert "st_em_addr" in refactored.schema("STUDENT").fields
+
+    def test_result_still_validates(self, courseware):
+        from repro.lang.validate import validate_program
+
+        rw = build_redirect(courseware, "EMAIL", "STUDENT", ["em_addr"])
+        refactored, _ = apply_redirect(courseware, rw)
+        validate_program(refactored)
+
+    def test_inapplicable_when_scan_touches_field(self):
+        p = parse_program(
+            "schema A { key id; field x; }"
+            "schema B { key id; field b_a ref A.id; field y; }"
+            "txn f(k) { u := select x from A where true; return sum(u.x); }"
+        )
+        rw = build_redirect(p, "A", "B", ["x"])
+        assert rw is not None
+        assert redirect_applicable(p, rw) is not None
+        with pytest.raises(RefactoringError):
+            apply_redirect(p, rw)
+
+
+class TestIncrementDelta:
+    def _expr(self, text):
+        from repro.lang import parse_expression
+
+        return parse_expression(text)
+
+    def test_plus_right(self):
+        assert increment_delta(self._expr("x.v + 3"), ("x", "v")) == ast.Const(3)
+
+    def test_plus_left(self):
+        assert increment_delta(self._expr("3 + x.v"), ("x", "v")) == ast.Const(3)
+
+    def test_minus(self):
+        delta = increment_delta(self._expr("x.v - 2"), ("x", "v"))
+        assert delta == ast.BinOp("-", ast.Const(0), ast.Const(2))
+
+    def test_wrong_var(self):
+        assert increment_delta(self._expr("y.v + 1"), ("x", "v")) is None
+
+    def test_blind_write(self):
+        assert increment_delta(self._expr("42"), ("x", "v")) is None
+
+    def test_multiplication_rejected(self):
+        assert increment_delta(self._expr("x.v * 2"), ("x", "v")) is None
+
+
+class TestApplyLogger:
+    # Direct rule application needs the combined COURSE update already
+    # split (the repair engine's preprocessing does this; Figure 11 top).
+    SPLIT_SRC = """
+    schema COURSE { key co_id; field co_avail; field co_st_cnt; }
+    txn regSt(course) {
+      x := select co_st_cnt from COURSE where co_id = course;
+      update COURSE set co_st_cnt = x.co_st_cnt + 1 where co_id = course;
+      update COURSE set co_avail = true where co_id = course;
+    }
+    """
+
+    @pytest.fixture
+    def split_courseware(self):
+        return parse_program(self.SPLIT_SRC)
+
+    def test_courseware_count_logging(self, split_courseware):
+        rw = build_logger(split_courseware, "COURSE", "co_st_cnt")
+        assert rw.log_table == "COURSE_CO_ST_CNT_LOG"
+        refactored, corrs = apply_logger(split_courseware, rw)
+        schema = refactored.schema("COURSE_CO_ST_CNT_LOG")
+        assert schema.key == ("co_id", "log_id")
+        assert "co_st_cnt_log" in schema.fields
+
+    def test_update_becomes_insert(self, split_courseware):
+        rw = build_logger(split_courseware, "COURSE", "co_st_cnt")
+        refactored, _ = apply_logger(split_courseware, rw)
+        reg_st = refactored.transaction("regSt")
+        inserts = [
+            c for c in ast.iter_db_commands(reg_st) if isinstance(c, ast.Insert)
+        ]
+        assert len(inserts) == 1
+        assignments = dict(inserts[0].assignments)
+        assert isinstance(assignments["log_id"], ast.Uuid)
+        assert assignments["co_st_cnt_log"] == ast.Const(1)
+
+    def test_correspondence_uses_sum(self, split_courseware):
+        rw = build_logger(split_courseware, "COURSE", "co_st_cnt")
+        _, corrs = apply_logger(split_courseware, rw)
+        assert corrs[0].alpha.value == "sum"
+
+    def test_multi_field_update_blocks_logger(self, courseware):
+        # The unsplit running example: U2 writes co_st_cnt and co_avail
+        # together, so the logger precondition fails.
+        rw = build_logger(courseware, "COURSE", "co_st_cnt")
+        assert logger_applicable(courseware, rw) is not None
+
+    def test_reads_become_log_sums(self):
+        src = """
+        schema T { key id; field v; }
+        txn incr(k) {
+          x := select v from T where id = k;
+          update T set v = x.v + 1 where id = k;
+        }
+        txn get(k) {
+          x := select v from T where id = k;
+          return x.v;
+        }
+        """
+        p = parse_program(src)
+        rw = build_logger(p, "T", "v")
+        refactored, _ = apply_logger(p, rw)
+        get = refactored.transaction("get")
+        assert isinstance(get.ret, ast.Agg)
+        assert get.ret.func == "sum"
+
+    def test_blind_write_blocks_logging(self):
+        src = """
+        schema T { key id; field v; }
+        txn incr(k) {
+          x := select v from T where id = k;
+          update T set v = x.v + 1 where id = k;
+        }
+        txn reset(k) { update T set v = 0 where id = k; }
+        """
+        p = parse_program(src)
+        rw = build_logger(p, "T", "v")
+        assert logger_applicable(p, rw) is not None
+
+    def test_key_field_rejected(self, courseware):
+        rw = build_logger(courseware, "COURSE", "co_id")
+        assert logger_applicable(courseware, rw) is not None
+
+    def test_insert_initialisation_zero_dropped(self):
+        src = """
+        schema T { key id; field v; }
+        txn create(k) { insert into T values (id = k, v = 0); }
+        txn incr(k) {
+          x := select v from T where id = k;
+          update T set v = x.v + 1 where id = k;
+        }
+        """
+        p = parse_program(src)
+        rw = build_logger(p, "T", "v")
+        refactored, _ = apply_logger(p, rw)
+        create = refactored.transaction("create")
+        (insert,) = list(ast.iter_db_commands(create))
+        assert "v" not in dict(insert.assignments)
+
+    def test_insert_initialisation_nonzero_seeds_log(self):
+        src = """
+        schema T { key id; field v; }
+        txn create(k) { insert into T values (id = k, v = 10); }
+        txn incr(k) {
+          x := select v from T where id = k;
+          update T set v = x.v + 1 where id = k;
+        }
+        """
+        p = parse_program(src)
+        rw = build_logger(p, "T", "v")
+        refactored, _ = apply_logger(p, rw)
+        create = refactored.transaction("create")
+        commands = list(ast.iter_db_commands(create))
+        assert len(commands) == 2
+        assert commands[1].table == "T_V_LOG"
+        assert dict(commands[1].assignments)["v_log"] == ast.Const(10)
+
+    def test_result_still_validates(self, split_courseware):
+        from repro.lang.validate import validate_program
+
+        rw = build_logger(split_courseware, "COURSE", "co_st_cnt")
+        refactored, _ = apply_logger(split_courseware, rw)
+        validate_program(refactored)

@@ -1,0 +1,161 @@
+"""End-to-end repair tests: the paper's Figures 3/9/11 reproduced."""
+
+import pytest
+
+from repro.analysis import detect_anomalies
+from repro.lang import ast, parse_program, print_program
+from repro.repair import repair
+
+
+class TestCoursewareRepair:
+    """The running example must reproduce Figure 3 exactly."""
+
+    @pytest.fixture
+    def report(self, courseware):
+        return repair(courseware)
+
+    def test_all_anomalies_repaired(self, report):
+        assert len(report.initial_pairs) == 5
+        assert report.residual_pairs == []
+        assert report.repair_ratio == 1.0
+
+    def test_tables_three_to_two(self, report):
+        names = set(report.repaired_program.schema_names)
+        assert names == {"STUDENT", "COURSE_CO_ST_CNT_LOG"}
+
+    def test_student_schema_absorbed_fields(self, report):
+        student = report.repaired_program.schema("STUDENT")
+        assert "st_em_addr" in student.fields
+        assert "st_co_avail" in student.fields
+
+    def test_getst_is_single_select(self, report):
+        get_st = report.repaired_program.transaction("getSt")
+        cmds = list(ast.iter_db_commands(get_st))
+        assert len(cmds) == 1
+        assert isinstance(cmds[0], ast.Select)
+        assert cmds[0].table == "STUDENT"
+
+    def test_setst_is_single_update(self, report):
+        set_st = report.repaired_program.transaction("setSt")
+        cmds = list(ast.iter_db_commands(set_st))
+        assert len(cmds) == 1
+        assert isinstance(cmds[0], ast.Update)
+        written = set(cmds[0].written_fields)
+        assert written == {"st_name", "st_em_addr"}
+
+    def test_regst_is_update_plus_log_insert(self, report):
+        reg_st = report.repaired_program.transaction("regSt")
+        cmds = list(ast.iter_db_commands(reg_st))
+        assert len(cmds) == 2
+        assert isinstance(cmds[0], ast.Update)
+        assert set(cmds[0].written_fields) == {"st_co_id", "st_reg", "st_co_avail"}
+        assert isinstance(cmds[1], ast.Insert)
+        assert cmds[1].table == "COURSE_CO_ST_CNT_LOG"
+
+    def test_repaired_program_validates(self, report):
+        from repro.lang.validate import validate_program
+
+        validate_program(report.repaired_program)
+
+    def test_repaired_program_clean_on_reanalysis(self, report):
+        assert detect_anomalies(report.repaired_program) == []
+
+    def test_correspondences_cover_moved_fields(self, report):
+        covered = {(c.src_table, c.src_field) for c in report.correspondences}
+        assert ("EMAIL", "em_addr") in covered
+        assert ("COURSE", "co_avail") in covered
+        assert ("COURSE", "co_st_cnt") in covered
+
+    def test_outcome_actions(self, report):
+        actions = {o.action for o in report.outcomes}
+        assert "redirected+merged" in actions
+        assert "logged" in actions
+        assert "merged" in actions
+
+    def test_serializable_variant_has_no_flags(self, report):
+        # Nothing residual, so no transaction gets pinned.
+        variant = report.serializable_variant()
+        assert not any(t.serializable for t in variant.transactions)
+
+    def test_summary_mentions_counts(self, report):
+        text = report.summary()
+        assert "5 -> 0" in text
+
+
+class TestPartialRepair:
+    SRC = """
+    schema S { key id; field bal; }
+    schema C { key c_id ref S.id; field c_bal; }
+
+    txn check_and_spend(k, amt) {
+      s := select bal from S where id = k;
+      c := select c_bal from C where c_id = k;
+      if (s.bal + c.c_bal >= amt) {
+        update C set c_bal = c.c_bal - amt where c_id = k;
+      }
+    }
+
+    txn zero(k) {
+      update S set bal = 0 where id = k;
+      update C set c_bal = 0 where c_id = k;
+    }
+    """
+
+    def test_fractures_merge_but_races_remain(self):
+        p = parse_program(self.SRC)
+        report = repair(p)
+        assert len(report.residual_pairs) < len(report.initial_pairs)
+        assert report.residual_pairs  # zeroing blocks the logger
+        flagged = {t.name for t in report.serializable_variant().transactions if t.serializable}
+        assert flagged  # residual txns pinned to SC
+
+    def test_tables_fused(self):
+        p = parse_program(self.SRC)
+        report = repair(p)
+        assert len(report.repaired_program.schemas) == 1
+
+
+class TestRepairIdempotence:
+    def test_second_repair_is_noop(self, courseware):
+        first = repair(courseware)
+        second = repair(first.repaired_program)
+        assert second.initial_pairs == []
+        assert print_program(second.repaired_program) == print_program(
+            first.repaired_program
+        )
+
+    def test_clean_program_untouched(self):
+        src = """
+        schema T { key id; field v; }
+        txn r(k) { x := select v from T where id = k; return x.v; }
+        """
+        p = parse_program(src)
+        report = repair(p)
+        assert report.initial_pairs == []
+        assert print_program(report.repaired_program) == print_program(p)
+
+
+class TestSiBenchRepair:
+    SRC = """
+    schema SITEM { key si_id; field si_value; }
+    txn ReadValue(k) {
+      x := select si_value from SITEM where si_id = k;
+      return x.si_value;
+    }
+    txn IncrementValue(k) {
+      x := select si_value from SITEM where si_id = k;
+      update SITEM set si_value = x.si_value + 1 where si_id = k;
+    }
+    """
+
+    def test_single_anomaly_fully_repaired(self):
+        report = repair(parse_program(self.SRC))
+        assert len(report.initial_pairs) == 1
+        assert report.residual_pairs == []
+
+    def test_increment_becomes_functional(self):
+        report = repair(parse_program(self.SRC))
+        incr = report.repaired_program.transaction("IncrementValue")
+        cmds = list(ast.iter_db_commands(incr))
+        assert len(cmds) == 1
+        assert isinstance(cmds[0], ast.Insert)

@@ -1,0 +1,174 @@
+"""Merging and preprocessing unit tests."""
+
+import pytest
+
+from repro.analysis import detect_anomalies
+from repro.lang import ast, parse_program
+from repro.repair.merging import try_merging, where_equivalent
+from repro.repair.preprocess import preprocess
+
+
+def commands(program, txn):
+    return list(ast.iter_db_commands(program.transaction(txn)))
+
+
+class TestWhereEquivalence:
+    def _txn(self, src, name="f"):
+        p = parse_program(src)
+        return p.transaction(name)
+
+    def test_syntactic_equality(self):
+        txn = self._txn(
+            "schema T { key id; field a; field b; } txn f(k) "
+            "{ x := select a from T where id = k;"
+            "  y := select b from T where id = k; }"
+        )
+        c1, c2 = list(ast.iter_db_commands(txn))
+        assert where_equivalent(txn, c1, c2)
+
+    def test_different_args_not_equivalent(self):
+        txn = self._txn(
+            "schema T { key id; field a; } txn f(k, j) "
+            "{ x := select a from T where id = k;"
+            "  y := select a from T where id = j; }"
+        )
+        c1, c2 = list(ast.iter_db_commands(txn))
+        assert not where_equivalent(txn, c1, c2)
+
+    def test_self_lookup_case(self):
+        # y reselects x's record through a retrieved field (Figure 9).
+        txn = self._txn(
+            "schema T { key id; field ref_f; field a; } txn f(k) "
+            "{ x := select ref_f from T where id = k;"
+            "  y := select a from T where ref_f = x.ref_f; }"
+        )
+        c1, c2 = list(ast.iter_db_commands(txn))
+        assert where_equivalent(txn, c1, c2)
+
+    def test_assigned_key_case(self):
+        # Figure 11: U2 addresses records through the value U1 assigned.
+        txn = self._txn(
+            "schema T { key id; field grp; field a; } txn f(k, g) "
+            "{ update T set grp = g where id = k;"
+            "  update T set a = 1 where grp = g; }"
+        )
+        c1, c2 = list(ast.iter_db_commands(txn))
+        assert where_equivalent(txn, c1, c2)
+
+    def test_different_tables_not_equivalent(self):
+        txn = self._txn(
+            "schema A { key id; field x; } schema B { key id; field y; } "
+            "txn f(k) { a := select x from A where id = k;"
+            " b := select y from B where id = k; }"
+        )
+        c1, c2 = list(ast.iter_db_commands(txn))
+        assert not where_equivalent(txn, c1, c2)
+
+
+class TestTryMerging:
+    def test_merge_selects_unions_fields(self):
+        p = parse_program(
+            "schema T { key id; field a; field b; } txn f(k) "
+            "{ x := select a from T where id = k;"
+            "  y := select b from T where id = k;"
+            "  return x.a + y.b; }"
+        )
+        merged = try_merging(p, "f", "S1", "S2")
+        assert merged is not None
+        cmds = commands(merged, "f")
+        assert len(cmds) == 1
+        assert set(cmds[0].fields) == {"a", "b"}
+        # Variable y is renamed to x everywhere.
+        assert merged.transaction("f").ret == ast.BinOp(
+            "+", ast.At(ast.Const(1), "x", "a"), ast.At(ast.Const(1), "x", "b")
+        )
+
+    def test_merge_updates_combines_assignments(self):
+        p = parse_program(
+            "schema T { key id; field a; field b; } txn f(k) "
+            "{ update T set a = 1 where id = k;"
+            "  update T set b = 2 where id = k; }"
+        )
+        merged = try_merging(p, "f", "U1", "U2")
+        assert merged is not None
+        cmds = commands(merged, "f")
+        assert len(cmds) == 1
+        assert set(cmds[0].written_fields) == {"a", "b"}
+
+    def test_no_merge_across_conflicting_command(self):
+        p = parse_program(
+            "schema T { key id; field a; field b; } txn f(k) "
+            "{ update T set a = 1 where id = k;"
+            "  x := select b from T where id = k;"
+            "  update T set b = x.b + 1 where id = k; }"
+        )
+        # Hoisting U2 over the select of b would change what S1 reads.
+        assert try_merging(p, "f", "U1", "U2") is None
+
+    def test_no_merge_when_var_bound_between(self):
+        p = parse_program(
+            "schema T { key id; field a; field b; } txn f(k, j) "
+            "{ update T set a = 1 where id = k;"
+            "  x := select a from T where id = j;"
+            "  update T set b = x.a where id = k; }"
+        )
+        # U2's assignment needs x, bound after U1.
+        assert try_merging(p, "f", "U1", "U2") is None
+
+    def test_no_merge_different_kinds(self, courseware):
+        assert try_merging(courseware, "regSt", "U1", "S1") is None
+
+    def test_merged_program_validates(self):
+        from repro.lang.validate import validate_program
+
+        p = parse_program(
+            "schema T { key id; field a; field b; } txn f(k) "
+            "{ x := select a from T where id = k;"
+            "  y := select b from T where id = k;"
+            "  return x.a + y.b; }"
+        )
+        merged = try_merging(p, "f", "S1", "S2")
+        validate_program(merged)
+
+
+class TestPreprocess:
+    def test_splits_multi_pair_update(self, courseware):
+        pairs = detect_anomalies(courseware)
+        split = preprocess(courseware, pairs)
+        labels = [c.label for c in commands(split, "regSt")]
+        assert "U2.1" in labels and "U2.2" in labels
+
+    def test_split_preserves_assignments(self, courseware):
+        pairs = detect_anomalies(courseware)
+        split = preprocess(courseware, pairs)
+        cmds = {c.label: c for c in commands(split, "regSt")}
+        assert cmds["U2.1"].written_fields == ("co_st_cnt",)
+        assert cmds["U2.2"].written_fields == ("co_avail",)
+
+    def test_split_program_validates(self, courseware):
+        from repro.lang.validate import validate_program
+
+        pairs = detect_anomalies(courseware)
+        validate_program(preprocess(courseware, pairs))
+
+    def test_no_pairs_no_change(self, courseware):
+        assert preprocess(courseware, []) is courseware
+
+    def test_fields_accessed_together_blocks_split(self):
+        src = """
+        schema T { key id; field a; field b; }
+        txn w(k) { update T set a = 1, b = 2 where id = k; }
+        txn r1(k) { x := select a, b from T where id = k; return x.a; }
+        txn r2(k) {
+          x := select a from T where id = k;
+          y := select b from T where id = k;
+          return x.a + y.b;
+        }
+        """
+        p = parse_program(src)
+        pairs = detect_anomalies(p)
+        split = preprocess(p, pairs)
+        # r1 reads a and b together in one command, so splitting w's
+        # update would manufacture a brand-new fracture for r1.
+        labels = [c.label for c in commands(split, "w")]
+        assert labels == ["U1"]

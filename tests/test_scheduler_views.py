@@ -1,0 +1,149 @@
+"""Scheduler enumeration and view-policy tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SemanticsError
+from repro.lang import parse_program
+from repro.semantics import (
+    Database,
+    TxnCall,
+    enumerate_schedules,
+    run_interleaved,
+    run_serial,
+)
+from repro.semantics.scheduler import count_db_commands, random_schedules
+from repro.semantics.views import (
+    CausalPartialView,
+    FullView,
+    RandomPartialView,
+    causal_closure,
+)
+
+
+class TestEnumerateSchedules:
+    def test_counts_are_multinomial(self):
+        # 2 txns with 2 commands each: C(4,2) = 6 interleavings.
+        assert len(list(enumerate_schedules([2, 2]))) == 6
+
+    def test_three_way(self):
+        # 3 txns of 1 command: 3! = 6.
+        assert len(list(enumerate_schedules([1, 1, 1]))) == 6
+
+    def test_limit_respected(self):
+        assert len(list(enumerate_schedules([3, 3], limit=4))) == 4
+
+    def test_each_schedule_preserves_counts(self):
+        for schedule in enumerate_schedules([2, 3]):
+            assert schedule.count(0) == 2
+            assert schedule.count(1) == 3
+
+    def test_schedules_are_unique(self):
+        schedules = list(enumerate_schedules([2, 2]))
+        assert len(set(schedules)) == len(schedules)
+
+
+class TestRandomSchedules:
+    def test_sample_count(self):
+        rng = random.Random(1)
+        assert len(list(random_schedules([2, 2], rng, 10))) == 10
+
+    def test_samples_valid(self):
+        rng = random.Random(2)
+        for schedule in random_schedules([1, 4], rng, 5):
+            assert schedule.count(0) == 1 and schedule.count(1) == 4
+
+
+class TestCountDbCommands:
+    def test_straight_line(self, account_program, account_db):
+        assert count_db_commands(
+            account_program, TxnCall("deposit", (1, 5)), account_db
+        ) == 2
+
+    def test_data_dependent_loop(self):
+        p = parse_program(
+            "schema T { key id; field v; } txn f(k, n) "
+            "{ iterate (n) { update T set v = iter where id = k; } }"
+        )
+        db = Database(p)
+        db.insert("T", id=1, v=0)
+        assert count_db_commands(p, TxnCall("f", (1, 3)), db) == 3
+        assert count_db_commands(p, TxnCall("f", (1, 0)), db) == 0
+
+
+class TestInterleavedDriver:
+    def test_partial_schedule_completes(self, account_program, account_db):
+        # Schedule only names the first command; the rest run to completion.
+        h = run_interleaved(
+            account_program, account_db,
+            [TxnCall("deposit", (1, 5))],
+            schedule=[0],
+            policy=FullView(),
+        )
+        assert h.state.materialize()["ACCOUNT"][(1,)]["bal"] == 105
+
+    def test_unknown_instance_rejected(self, account_program, account_db):
+        with pytest.raises(SemanticsError):
+            run_interleaved(
+                account_program, account_db,
+                [TxnCall("deposit", (1, 5))],
+                schedule=[7],
+                policy=FullView(),
+            )
+
+    @given(st.integers(0, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_full_view_interleavings_match_some_serial(self, seed):
+        """With full visibility (and absolute writes from reads *after*
+        all prior writes), any interleaving of two blind writers equals a
+        serial order's final state."""
+        src = """
+        schema T { key id; field v; }
+        txn setv(k, n) { update T set v = n where id = k; }
+        """
+        p = parse_program(src)
+        db = Database(p)
+        db.insert("T", id=1, v=0)
+        calls = [TxnCall("setv", (1, 10)), TxnCall("setv", (1, 20))]
+        rng = random.Random(seed)
+        schedule = list(next(random_schedules([1, 1], rng, 1)))
+        h = run_interleaved(p, db, calls, schedule, FullView())
+        final = h.state.materialize()["T"][(1,)]["v"]
+        serial_finals = set()
+        for order in ([0, 1], [1, 0]):
+            hs = run_serial(p, db, [calls[i] for i in order])
+            serial_finals.add(hs.state.materialize()["T"][(1,)]["v"])
+        assert final in serial_finals
+
+
+class TestCausalViews:
+    def test_causal_closure_pulls_dependencies(self, account_program, account_db):
+        # Run two dependent writes, then closure over the later one must
+        # include the earlier one it observed.
+        h = run_serial(
+            account_program, account_db,
+            [TxnCall("deposit", (1, 5)), TxnCall("deposit", (1, 5))],
+        )
+        state = h.state
+        later_write = max(
+            (e for e in state.events if e.is_write), key=lambda e: e.ts
+        )
+        closed = causal_closure(state, {later_write.eid})
+        # The second deposit's write observed the first's events.
+        first_write = min(
+            (e for e in state.events if e.is_write), key=lambda e: e.ts
+        )
+        assert first_write.eid in closed
+
+    def test_causal_policy_is_superset_of_random(self, account_program, account_db):
+        state_policy = RandomPartialView(random.Random(3), p_visible=0.4)
+        causal_policy = CausalPartialView(random.Random(3), p_visible=0.4)
+        h = run_serial(
+            account_program, account_db,
+            [TxnCall("deposit", (1, 5)), TxnCall("deposit", (1, 5))],
+        )
+        plain = state_policy.choose_view(h.state, txn=99)
+        causal = causal_policy.choose_view(h.state, txn=99)
+        assert plain <= causal

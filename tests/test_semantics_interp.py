@@ -1,0 +1,198 @@
+"""Interpreter tests: expression evaluation and command execution."""
+
+import pytest
+
+from repro.errors import SemanticsError
+from repro.lang import parse_program
+from repro.semantics import Database, TxnCall, run_serial
+from repro.semantics.interp import Instance
+
+
+def run(program, db, *calls):
+    return run_serial(program, db, [TxnCall(n, a) for n, a in calls])
+
+
+class TestSerialExecution:
+    def test_deposit_updates_balance(self, account_program, account_db):
+        h = run(account_program, account_db, ("deposit", (1, 25)))
+        assert h.state.materialize()["ACCOUNT"][(1,)]["bal"] == 125
+
+    def test_read_returns_value(self, account_program, account_db):
+        h = run(account_program, account_db, ("read_bal", (2,)))
+        assert h.results[0] == 50
+
+    def test_sequence_of_deposits(self, account_program, account_db):
+        h = run(
+            account_program, account_db,
+            ("deposit", (1, 10)), ("deposit", (1, 20)), ("read_bal", (1,)),
+        )
+        assert h.results[2] == 130
+
+    def test_update_only_touches_matching_records(self, account_program, account_db):
+        h = run(account_program, account_db, ("deposit", (1, 10)))
+        final = h.state.materialize()
+        assert final["ACCOUNT"][(2,)]["bal"] == 50
+
+    def test_initial_db_not_mutated(self, account_program, account_db):
+        run(account_program, account_db, ("deposit", (1, 10)))
+        assert account_db.tables["ACCOUNT"][(1,)]["bal"] == 100
+
+    def test_wrong_arity_raises(self, account_program, account_db):
+        with pytest.raises(SemanticsError):
+            run(account_program, account_db, ("deposit", (1,)))
+
+
+class TestInserts:
+    SRC = """
+    schema LOG { key l_id; field l_val; }
+    txn add(v) { insert into LOG values (l_id = uuid(), l_val = v); }
+    txn total() { x := select l_val from LOG where true; return sum(x.l_val); }
+    """
+
+    def test_insert_creates_record(self):
+        p = parse_program(self.SRC)
+        db = Database(p)
+        h = run(p, db, ("add", (5,)), ("add", (7,)), ("total", ()))
+        assert h.results[2] == 12
+
+    def test_uuid_keys_are_fresh(self):
+        p = parse_program(self.SRC)
+        db = Database(p)
+        h = run(p, db, ("add", (1,)), ("add", (1,)))
+        assert len(h.state.materialize()["LOG"]) == 2
+
+
+class TestControlFlow:
+    SRC = """
+    schema T { key id; field v; }
+    txn cond_set(k, n) {
+      x := select v from T where id = k;
+      if (x.v < n) { update T set v = n where id = k; }
+    }
+    txn loop_add(k, times) {
+      iterate (times) {
+        y := select v from T where id = k;
+        update T set v = y.v + iter where id = k;
+      }
+    }
+    """
+
+    def _setup(self):
+        p = parse_program(self.SRC)
+        db = Database(p)
+        db.insert("T", id=1, v=10)
+        return p, db
+
+    def test_if_taken(self):
+        p, db = self._setup()
+        h = run(p, db, ("cond_set", (1, 20)))
+        assert h.state.materialize()["T"][(1,)]["v"] == 20
+
+    def test_if_not_taken(self):
+        p, db = self._setup()
+        h = run(p, db, ("cond_set", (1, 5)))
+        assert h.state.materialize()["T"][(1,)]["v"] == 10
+
+    def test_iterate_runs_n_times(self):
+        p, db = self._setup()
+        h = run(p, db, ("loop_add", (1, 3)))
+        # v = 10 + 1 + 2 + 3
+        assert h.state.materialize()["T"][(1,)]["v"] == 16
+
+    def test_iterate_zero_times(self):
+        p, db = self._setup()
+        h = run(p, db, ("loop_add", (1, 0)))
+        assert h.state.materialize()["T"][(1,)]["v"] == 10
+
+    def test_negative_iterate_raises(self):
+        p, db = self._setup()
+        with pytest.raises(SemanticsError):
+            run(p, db, ("loop_add", (1, -1)))
+
+
+class TestAggregates:
+    SRC = """
+    schema T { key id; field grp; field v; }
+    txn agg_of(g) {
+      x := select v from T where grp = g;
+      return sum(x.v);
+    }
+    txn count_of(g) {
+      x := select v from T where grp = g;
+      return count(x.v);
+    }
+    txn max_of(g) {
+      x := select v from T where grp = g;
+      return max(x.v);
+    }
+    """
+
+    def _setup(self):
+        p = parse_program(self.SRC)
+        db = Database(p)
+        for i, (g, v) in enumerate([(1, 5), (1, 7), (2, 100)]):
+            db.insert("T", id=i, grp=g, v=v)
+        return p, db
+
+    def test_sum(self):
+        p, db = self._setup()
+        assert run(p, db, ("agg_of", (1,))).results[0] == 12
+
+    def test_sum_empty_is_zero(self):
+        p, db = self._setup()
+        assert run(p, db, ("agg_of", (99,))).results[0] == 0
+
+    def test_count(self):
+        p, db = self._setup()
+        assert run(p, db, ("count_of", (1,))).results[0] == 2
+
+    def test_max(self):
+        p, db = self._setup()
+        assert run(p, db, ("max_of", (2,))).results[0] == 100
+
+    def test_max_empty_raises(self):
+        p, db = self._setup()
+        with pytest.raises(SemanticsError):
+            run(p, db, ("max_of", (99,)))
+
+
+class TestEventGeneration:
+    def test_select_generates_read_events(self, account_program, account_db):
+        h = run(account_program, account_db, ("read_bal", (1,)))
+        events = h.steps[0].events
+        assert all(e.is_read for e in events)
+        assert any(e.field == "bal" for e in events)
+
+    def test_update_generates_write_events(self, account_program, account_db):
+        h = run(account_program, account_db, ("rename", (1, "eve")))
+        writes = [e for e in h.steps[0].events if e.is_write]
+        assert len(writes) == 1
+        assert writes[0].field == "owner"
+        assert writes[0].value == "eve"
+
+    def test_command_events_share_timestamp(self, account_program, account_db):
+        h = run(account_program, account_db, ("deposit", (1, 5)))
+        for step in h.steps:
+            assert len({e.ts for e in step.events}) <= 1
+
+    def test_timestamps_strictly_increase(self, account_program, account_db):
+        h = run(account_program, account_db, ("deposit", (1, 5)), ("deposit", (2, 5)))
+        ts = [s.ts for s in h.steps]
+        assert ts == sorted(ts)
+        assert len(set(ts)) == len(ts)
+
+
+class TestDivisionAndComparison:
+    def test_division_by_zero_raises(self, account_program, account_db):
+        from repro.lang import ast
+
+        instance = Instance(0, account_program, TxnCall("read_bal", (1,)))
+        with pytest.raises(SemanticsError):
+            instance.eval_expr(ast.BinOp("/", ast.Const(1), ast.Const(0)))
+
+    def test_comparison_with_none_is_false(self, account_program):
+        from repro.lang import ast
+
+        instance = Instance(0, account_program, TxnCall("read_bal", (1,)))
+        expr = ast.Cmp("<", ast.Const(1), ast.Const(2))
+        assert instance.eval_expr(expr) is True

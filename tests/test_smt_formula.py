@@ -1,0 +1,146 @@
+"""Formula layer tests: Tseitin conversion correctness via hypothesis."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.formula import (
+    And,
+    BoolConst,
+    FALSE,
+    FormulaBuilder,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    at_most_one,
+    big_and,
+    big_or,
+    evaluate,
+)
+
+
+class TestOperators:
+    def test_and_flattens(self):
+        f = And(And(TRUE, FALSE), TRUE)
+        assert len(f.operands) == 3
+
+    def test_or_flattens(self):
+        f = Or(Or(TRUE, FALSE), FALSE)
+        assert len(f.operands) == 3
+
+    def test_dunder_composition(self):
+        fb = FormulaBuilder()
+        a, b = fb.var("a"), fb.var("b")
+        f = (a & b) | ~a
+        assert isinstance(f, Or)
+
+    def test_implies_expansion(self):
+        fb = FormulaBuilder()
+        a, b = fb.var("a"), fb.var("b")
+        assert evaluate(Implies(a, b), {"a": True, "b": False}) is False
+        assert evaluate(Implies(a, b), {"a": False, "b": False}) is True
+
+    def test_iff(self):
+        fb = FormulaBuilder()
+        a, b = fb.var("a"), fb.var("b")
+        assert evaluate(Iff(a, b), {"a": True, "b": True})
+        assert not evaluate(Iff(a, b), {"a": True, "b": False})
+
+    def test_big_and_empty_is_true(self):
+        assert big_and([]) is TRUE
+
+    def test_big_or_empty_is_false(self):
+        assert big_or([]) is FALSE
+
+    def test_at_most_one(self):
+        fb = FormulaBuilder()
+        vs = [fb.var(f"v{i}") for i in range(3)]
+        f = at_most_one(vs)
+        assert evaluate(f, {"v0": True, "v1": False, "v2": False})
+        assert not evaluate(f, {"v0": True, "v1": True, "v2": False})
+
+
+class TestBuilderSolving:
+    def test_simple_sat(self):
+        fb = FormulaBuilder()
+        a, b = fb.var("a"), fb.var("b")
+        fb.add(a | b)
+        fb.add(~a)
+        model = fb.check()
+        assert model is not None
+        assert not model["a"] and model["b"]
+
+    def test_simple_unsat(self):
+        fb = FormulaBuilder()
+        a = fb.var("a")
+        fb.add(a)
+        fb.add(~a)
+        assert fb.check() is None
+
+    def test_constants(self):
+        fb = FormulaBuilder()
+        fb.add(TRUE)
+        assert fb.check() is not None
+        fb.add(FALSE)
+        assert fb.check() is None
+
+    def test_incremental_assertions(self):
+        fb = FormulaBuilder()
+        a, b, c = fb.var("a"), fb.var("b"), fb.var("c")
+        fb.add(Implies(a, b))
+        fb.add(Implies(b, c))
+        fb.add(a)
+        model = fb.check()
+        assert model and model["c"]
+        fb.add(~c)
+        assert fb.check() is None
+
+    def test_iff_constraint(self):
+        fb = FormulaBuilder()
+        a, b = fb.var("a"), fb.var("b")
+        fb.add(Iff(a, b))
+        fb.add(a)
+        model = fb.check()
+        assert model and model["b"]
+
+
+# Generative: Tseitin-encoded solving agrees with direct evaluation.
+
+_names = ["p", "q", "r", "s"]
+
+
+def _formula_strategy():
+    base = st.one_of(
+        st.sampled_from(_names).map(lambda n: FormulaBuilder().var(n).__class__(n)),
+        st.booleans().map(BoolConst),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda t: And(*t)),
+            st.tuples(children, children).map(lambda t: Or(*t)),
+            st.tuples(children, children).map(lambda t: Iff(*t)),
+            children.map(Not),
+        )
+
+    return st.recursive(base, extend, max_leaves=10)
+
+
+class TestTseitinEquisatisfiability:
+    @given(_formula_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_sat_iff_some_assignment_satisfies(self, formula):
+        import itertools
+
+        fb = FormulaBuilder()
+        for n in _names:
+            fb.var(n)
+        fb.add(formula)
+        model = fb.check()
+        brute = any(
+            evaluate(formula, dict(zip(_names, bits)))
+            for bits in itertools.product([False, True], repeat=len(_names))
+        )
+        assert (model is not None) == brute
+        if model is not None:
+            assert evaluate(formula, model)

@@ -1,0 +1,69 @@
+"""Total-order theory tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.formula import FormulaBuilder, Not, evaluate
+from repro.smt.order import TotalOrder
+
+
+class TestAxioms:
+    def test_chain_is_satisfiable(self):
+        fb = FormulaBuilder()
+        order = TotalOrder(fb, ["a", "b", "c"])
+        order.require([("a", "b"), ("b", "c")])
+        model = fb.check()
+        assert model is not None
+        assert order.extract(model) == ["a", "b", "c"]
+
+    def test_cycle_is_unsat(self):
+        fb = FormulaBuilder()
+        order = TotalOrder(fb, ["a", "b", "c"])
+        order.require([("a", "b"), ("b", "c"), ("c", "a")])
+        assert fb.check() is None
+
+    def test_two_element_antisymmetry(self):
+        fb = FormulaBuilder()
+        order = TotalOrder(fb, ["x", "y"])
+        fb.add(order.before("x", "y"))
+        fb.add(order.before("y", "x"))
+        assert fb.check() is None
+
+    def test_totality(self):
+        fb = FormulaBuilder()
+        order = TotalOrder(fb, ["x", "y"])
+        fb.add(Not(order.before("x", "y")))
+        model = fb.check()
+        assert model is not None
+        assert evaluate(order.before("y", "x"), model)
+
+    def test_duplicate_elements_rejected(self):
+        fb = FormulaBuilder()
+        with pytest.raises(ValueError):
+            TotalOrder(fb, ["a", "a"])
+
+    def test_self_ordering_rejected(self):
+        fb = FormulaBuilder()
+        order = TotalOrder(fb, ["a", "b"])
+        with pytest.raises(ValueError):
+            order.before("a", "a")
+
+
+class TestExtraction:
+    @given(st.permutations(["a", "b", "c", "d", "e"]))
+    @settings(max_examples=40, deadline=None)
+    def test_any_permutation_expressible(self, perm):
+        fb = FormulaBuilder()
+        order = TotalOrder(fb, ["a", "b", "c", "d", "e"])
+        order.require(list(zip(perm, perm[1:])))
+        model = fb.check()
+        assert model is not None
+        assert order.extract(model) == list(perm)
+
+    def test_transitivity_derived(self):
+        fb = FormulaBuilder()
+        order = TotalOrder(fb, list("abcd"))
+        order.require([("a", "b"), ("b", "c"), ("c", "d")])
+        model = fb.check()
+        assert model is not None
+        assert evaluate(order.before("a", "d"), model)

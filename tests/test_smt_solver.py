@@ -1,0 +1,184 @@
+"""CDCL solver tests: unit cases, classic instances, and a generative
+cross-check against brute-force enumeration."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.solver import Solver, lit, neg, lit_var, lit_sign
+
+
+class TestLiteralEncoding:
+    def test_positive_literal(self):
+        assert lit(3) == 6
+        assert lit_var(lit(3)) == 3
+        assert lit_sign(lit(3))
+
+    def test_negative_literal(self):
+        l = lit(3, positive=False)
+        assert l == 7
+        assert lit_var(l) == 3
+        assert not lit_sign(l)
+
+    def test_negation_involution(self):
+        l = lit(5)
+        assert neg(neg(l)) == l
+        assert lit_var(neg(l)) == 5
+
+
+class TestBasicSolving:
+    def test_empty_problem_sat(self):
+        assert Solver().solve().sat
+
+    def test_single_unit(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([lit(a)])
+        r = s.solve()
+        assert r.sat and r.value(a)
+
+    def test_contradictory_units(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([lit(a)])
+        s.add_clause([neg(lit(a))])
+        assert not s.solve().sat
+
+    def test_implication_chain(self):
+        s = Solver()
+        vs = [s.new_var() for _ in range(10)]
+        for i in range(9):
+            s.add_clause([neg(lit(vs[i])), lit(vs[i + 1])])
+        s.add_clause([lit(vs[0])])
+        r = s.solve()
+        assert r.sat and all(r.value(v) for v in vs)
+
+    def test_tautological_clause_ignored(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([lit(a), neg(lit(a))])
+        assert s.solve().sat
+
+    def test_duplicate_literals_deduplicated(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([lit(a), lit(a), lit(b)])
+        assert s.solve().sat
+
+    def test_empty_clause_unsat(self):
+        s = Solver()
+        s.new_var()
+        s.add_clause([])
+        assert not s.solve().sat
+
+    def test_model_satisfies_all_clauses(self):
+        s = Solver()
+        vs = [s.new_var() for _ in range(4)]
+        clauses = [
+            [lit(vs[0]), lit(vs[1])],
+            [neg(lit(vs[0])), lit(vs[2])],
+            [neg(lit(vs[1])), neg(lit(vs[2])), lit(vs[3])],
+        ]
+        for c in clauses:
+            s.add_clause(c)
+        r = s.solve()
+        assert r.sat
+        for c in clauses:
+            assert any(r.model.get(l >> 1, False) != bool(l & 1) for l in c)
+
+
+def _pigeonhole(pigeons, holes):
+    s = Solver()
+    v = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for i in range(pigeons):
+        s.add_clause([lit(v[i][j]) for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                s.add_clause([neg(lit(v[i1][j])), neg(lit(v[i2][j]))])
+    return s
+
+
+class TestClassicInstances:
+    def test_pigeonhole_unsat(self):
+        assert not _pigeonhole(4, 3).solve().sat
+
+    def test_pigeonhole_sat(self):
+        assert _pigeonhole(3, 3).solve().sat
+
+    def test_larger_pigeonhole_unsat(self):
+        # Exercises clause learning and restarts.
+        assert not _pigeonhole(6, 5).solve().sat
+
+    def test_at_most_one_chain(self):
+        s = Solver()
+        vs = [s.new_var() for _ in range(8)]
+        s.add_clause([lit(v) for v in vs])
+        for i in range(8):
+            for j in range(i + 1, 8):
+                s.add_clause([neg(lit(vs[i])), neg(lit(vs[j]))])
+        r = s.solve()
+        assert r.sat
+        assert sum(r.value(v) for v in vs) == 1
+
+
+def _brute_force(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[l >> 1] != bool(l & 1) for l in c) for c in clauses):
+            return True
+    return False
+
+
+@st.composite
+def _cnf(draw):
+    num_vars = draw(st.integers(min_value=2, max_value=7))
+    num_clauses = draw(st.integers(min_value=1, max_value=24))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = [
+            lit(draw(st.integers(0, num_vars - 1)), draw(st.booleans()))
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return num_vars, clauses
+
+
+class TestAgainstBruteForce:
+    @given(_cnf())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_enumeration(self, problem):
+        num_vars, clauses = problem
+        s = Solver()
+        for _ in range(num_vars):
+            s.new_var()
+        for c in clauses:
+            s.add_clause(c)
+        got = s.solve()
+        assert got.sat == _brute_force(num_vars, clauses)
+        if got.sat:
+            for c in clauses:
+                assert any(got.model.get(l >> 1, False) != bool(l & 1) for l in c)
+
+
+class TestIncremental:
+    def test_solve_twice_stable(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([lit(a), lit(b)])
+        assert s.solve().sat
+        assert s.solve().sat
+
+    def test_add_after_solve(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([lit(a)])
+        assert s.solve().sat
+        s.add_clause([neg(lit(a))])
+        assert not s.solve().sat
+
+    def test_stats_populated(self):
+        s = _pigeonhole(5, 4)
+        s.solve()
+        assert s.stats["conflicts"] > 0
+        assert s.stats["decisions"] > 0

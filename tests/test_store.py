@@ -1,0 +1,209 @@
+"""Store simulator tests: event loop, network, replicas, closed loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.store import (
+    CLUSTERS,
+    GLOBAL_CLUSTER,
+    PerfConfig,
+    US_CLUSTER,
+    VA_CLUSTER,
+    profile_program,
+    simulate,
+)
+from repro.store.network import ClusterSpec
+from repro.store.profile import OpProfile, sample_calls_for
+from repro.store.replica import Replica
+from repro.store.sim import EventLoop
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, lambda t: fired.append(("b", t)))
+        loop.schedule(1.0, lambda t: fired.append(("a", t)))
+        loop.run_until(10.0)
+        assert fired == [("a", 1.0), ("b", 5.0)]
+
+    def test_ties_fire_in_insertion_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda t: fired.append("first"))
+        loop.schedule(1.0, lambda t: fired.append("second"))
+        loop.run_until(2.0)
+        assert fired == ["first", "second"]
+
+    def test_deadline_cuts_off(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, lambda t: fired.append(t))
+        loop.run_until(3.0)
+        assert fired == []
+        assert len(loop) == 1
+
+    def test_callbacks_can_reschedule(self):
+        loop = EventLoop()
+        fired = []
+
+        def tick(t):
+            fired.append(t)
+            if t < 3:
+                loop.schedule(t + 1, tick)
+
+        loop.schedule(0.0, tick)
+        loop.run_until(10.0)
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_past_events_clamped_to_now(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, lambda t: loop.schedule(1.0, lambda u: fired.append(u)))
+        loop.run_until(5.0)
+        assert fired == [2.0]
+
+
+class TestClusterSpecs:
+    def test_presets_exist(self):
+        assert set(CLUSTERS) == {"VA", "US", "Global"}
+
+    def test_rtt_symmetry_enforced(self):
+        with pytest.raises(SimulationError):
+            ClusterSpec(
+                name="bad",
+                regions=("a", "b"),
+                rtt_ms=((0.0, 1.0), (2.0, 0.0)),
+            )
+
+    def test_majority_commit_is_nearest_peer(self):
+        assert US_CLUSTER.majority_commit_ms() == 12.0
+        assert GLOBAL_CLUSTER.majority_commit_ms() == 76.0
+        assert VA_CLUSTER.majority_commit_ms() == pytest.approx(0.6)
+
+    def test_cluster_ordering_by_latency(self):
+        assert (
+            VA_CLUSTER.majority_commit_ms()
+            < US_CLUSTER.majority_commit_ms()
+            < GLOBAL_CLUSTER.majority_commit_ms()
+        )
+
+
+class TestReplica:
+    def test_idle_replica_serves_immediately(self):
+        r = Replica(0)
+        assert r.serve(arrival=10.0, service_ms=2.0) == 12.0
+
+    def test_busy_replica_queues(self):
+        r = Replica(0)
+        r.serve(0.0, 5.0)
+        assert r.serve(1.0, 5.0) == 10.0
+
+    def test_ops_counted(self):
+        r = Replica(0)
+        r.serve(0.0, 1.0)
+        r.serve(0.0, 1.0)
+        assert r.ops_served == 2
+
+
+def _profiles():
+    return {
+        "read": OpProfile(txn="read", ops=(("r", "T"),), serializable=False),
+        "write": OpProfile(
+            txn="write", ops=(("r", "T"), ("w", "T")), serializable=False
+        ),
+    }
+
+
+MIX = [("read", 50.0), ("write", 50.0)]
+
+
+class TestSimulate:
+    def test_throughput_positive(self):
+        result = simulate(_profiles(), MIX, US_CLUSTER, clients=4,
+                          config=PerfConfig(duration_ms=2000, warmup_ms=200))
+        assert result.throughput > 0
+        assert result.avg_latency_ms > 0
+
+    def test_sc_slower_than_ec(self):
+        cfg = PerfConfig(duration_ms=2000, warmup_ms=200)
+        ec = simulate(_profiles(), MIX, US_CLUSTER, 8, cfg)
+        sc = simulate(_profiles(), MIX, US_CLUSTER, 8, cfg, serialize_all=True)
+        assert sc.avg_latency_ms > ec.avg_latency_ms
+        assert sc.throughput < ec.throughput
+
+    def test_latency_grows_with_clients(self):
+        cfg = PerfConfig(duration_ms=2000, warmup_ms=200)
+        small = simulate(_profiles(), MIX, US_CLUSTER, 2, cfg)
+        large = simulate(_profiles(), MIX, US_CLUSTER, 128, cfg)
+        assert large.avg_latency_ms >= small.avg_latency_ms
+
+    def test_throughput_saturates(self):
+        cfg = PerfConfig(duration_ms=2000, warmup_ms=200)
+        mid = simulate(_profiles(), MIX, US_CLUSTER, 64, cfg)
+        big = simulate(_profiles(), MIX, US_CLUSTER, 256, cfg)
+        # Within 25% of each other once saturated.
+        assert big.throughput <= mid.throughput * 1.25
+
+    def test_global_cluster_slower_under_sc(self):
+        cfg = PerfConfig(duration_ms=2000, warmup_ms=200)
+        us = simulate(_profiles(), MIX, US_CLUSTER, 8, cfg, serialize_all=True)
+        gl = simulate(_profiles(), MIX, GLOBAL_CLUSTER, 8, cfg, serialize_all=True)
+        assert gl.avg_latency_ms > us.avg_latency_ms
+
+    def test_deterministic_given_seed(self):
+        cfg = PerfConfig(duration_ms=1000, warmup_ms=100, seed=9)
+        a = simulate(_profiles(), MIX, US_CLUSTER, 4, cfg)
+        b = simulate(_profiles(), MIX, US_CLUSTER, 4, cfg)
+        assert a.throughput == b.throughput
+        assert a.latencies_ms == b.latencies_ms
+
+    def test_zero_clients_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate(_profiles(), MIX, US_CLUSTER, 0)
+
+    def test_unknown_mix_name_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate(_profiles(), [("nope", 1.0)], US_CLUSTER, 1)
+
+    def test_percentile_latency(self):
+        cfg = PerfConfig(duration_ms=1000, warmup_ms=100)
+        result = simulate(_profiles(), MIX, US_CLUSTER, 4, cfg)
+        assert result.percentile_latency_ms(0.95) >= result.percentile_latency_ms(0.5)
+
+
+class TestProfiles:
+    def test_profile_counts_commands(self, account_program, account_db):
+        from repro.semantics import TxnCall
+
+        profiles = profile_program(
+            account_program,
+            account_db,
+            {
+                "deposit": TxnCall("deposit", (1, 5)),
+                "read_bal": TxnCall("read_bal", (1,)),
+                "rename": TxnCall("rename", (1, "x")),
+            },
+        )
+        assert profiles["deposit"].reads == 1
+        assert profiles["deposit"].writes == 1
+        assert profiles["read_bal"].writes == 0
+
+    def test_refactored_program_has_fewer_ops(self):
+        """The repaired courseware getSt runs 1 op instead of 3."""
+        import random
+
+        from repro.corpus import COURSEWARE
+        from repro.refactor.migrate import migrate_database
+        from repro.repair import repair
+
+        program = COURSEWARE.program()
+        report = repair(program)
+        rng = random.Random(0)
+        calls = sample_calls_for(COURSEWARE, rng, 8)
+        db = COURSEWARE.database(8)
+        before = profile_program(program, db, calls)
+        at_db = migrate_database(db, report.repaired_program, report.rewrites)
+        after = profile_program(report.repaired_program, at_db, calls)
+        assert len(after["getSt"].ops) < len(before["getSt"].ops)
+        assert len(after["setSt"].ops) < len(before["setSt"].ops)

@@ -1,0 +1,137 @@
+"""Traversal/rewriting helper tests."""
+
+from dataclasses import replace
+
+from repro.lang import ast, parse_expression, parse_program
+from repro.lang.traverse import (
+    accessed_tables,
+    expression_field_accesses,
+    expression_vars,
+    iter_subexpressions,
+    rewrite_commands,
+    rewrite_expression,
+    rewrite_program_expressions,
+    rewrite_where,
+    used_vars,
+    where_vars,
+)
+
+
+class TestExpressionTraversal:
+    def test_iter_subexpressions_preorder(self):
+        e = parse_expression("x.f + 2")
+        kinds = [type(s).__name__ for s in iter_subexpressions(e)]
+        assert kinds[0] == "BinOp"
+        assert "At" in kinds and "Const" in kinds
+
+    def test_expression_vars(self):
+        e = parse_expression("x.f + sum(y.g) * k")
+        assert expression_vars(e) == {"x", "y"}
+
+    def test_expression_field_accesses(self):
+        e = parse_expression("x.f + x.g")
+        assert expression_field_accesses(e) == {("x", "f"), ("x", "g")}
+
+    def test_rewrite_expression_bottom_up(self):
+        e = parse_expression("a + 1")
+
+        def bump_consts(expr):
+            if isinstance(expr, ast.Const) and isinstance(expr.value, int):
+                return ast.Const(expr.value + 10)
+            return None
+
+        out = rewrite_expression(e, bump_consts)
+        assert out == parse_expression("a + 11")
+
+    def test_rewrite_reaches_at_indices(self):
+        # `x.f` desugars to at(1, x.f); the hidden index participates in
+        # bottom-up rewriting like any subexpression.
+        e = parse_expression("x.f")
+        out = rewrite_expression(
+            e, lambda s: ast.Const(2) if s == ast.Const(1) else None
+        )
+        assert out == ast.At(ast.Const(2), "x", "f")
+
+    def test_rewrite_leaves_unmatched_nodes(self):
+        e = parse_expression("a + b")
+        out = rewrite_expression(e, lambda _: None)
+        assert out == e
+
+    def test_rewrite_inside_at_index(self):
+        e = ast.At(parse_expression("1 + 1"), "x", "f")
+        out = rewrite_expression(
+            e, lambda s: ast.Const(2) if s == parse_expression("1 + 1") else None
+        )
+        assert out.index == ast.Const(2)
+
+
+class TestWhereTraversal:
+    def test_rewrite_where(self):
+        from repro.lang import parse_where
+
+        w = parse_where("id = k and grp = x.g")
+        out = rewrite_where(
+            w,
+            lambda e: ast.Arg("j") if e == ast.Arg("k") else None,
+        )
+        conjuncts = ast.where_conjuncts(out)
+        assert conjuncts[0].expr == ast.Arg("j")
+
+    def test_where_vars(self):
+        from repro.lang import parse_where
+
+        assert where_vars(parse_where("a = x.f and b = y.g")) == {"x", "y"}
+
+
+class TestCommandTraversal:
+    def test_rewrite_commands_delete(self, courseware):
+        txn = courseware.transaction("getSt")
+        body = rewrite_commands(
+            txn.body,
+            lambda c: () if getattr(c, "label", "") == "S2" else None,
+        )
+        labels = [c.label for c in ast.iter_commands(body)]
+        assert labels == ["S1", "S3"]
+
+    def test_rewrite_commands_split(self, courseware):
+        txn = courseware.transaction("setSt")
+        body = rewrite_commands(
+            txn.body,
+            lambda c: (c, c) if getattr(c, "label", "") == "U1" else None,
+        )
+        labels = [c.label for c in ast.iter_commands(body)]
+        assert labels.count("U1") == 2
+
+    def test_rewrite_recurses_into_control(self):
+        p = parse_program(
+            "schema T { key id; field v; } txn f(k) "
+            "{ if (k > 0) { update T set v = 1 where id = k; } }"
+        )
+        txn = p.transaction("f")
+        seen = []
+        rewrite_commands(txn.body, lambda c: seen.append(c.label) or None)
+        assert seen == ["U1"]
+
+    def test_rewrite_program_expressions_touches_everything(self, courseware):
+        out = rewrite_program_expressions(
+            courseware,
+            lambda e: ast.Arg("ID") if e == ast.Arg("id") else None,
+        )
+        text_out = str(out)
+        assert "Arg(name='ID')" in text_out
+        # Original untouched (immutability).
+        assert "Arg(name='ID')" not in str(courseware)
+
+
+class TestDataflowHelpers:
+    def test_used_vars(self, courseware):
+        assert used_vars(courseware.transaction("getSt")) == {"x", "y"}
+
+    def test_used_vars_excludes_dead_bindings(self, courseware):
+        # z is bound but never read in getSt.
+        assert "z" not in used_vars(courseware.transaction("getSt"))
+
+    def test_accessed_tables(self, courseware):
+        assert accessed_tables(courseware.transaction("getSt")) == {
+            "STUDENT", "EMAIL", "COURSE",
+        }

@@ -1,0 +1,168 @@
+"""Static validation tests."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.lang import ast, parse_program, parse_where
+from repro.lang.validate import well_formed_where
+
+
+def expect_invalid(src, fragment):
+    with pytest.raises(ValidationError) as exc:
+        parse_program(src)
+    assert fragment in str(exc.value)
+
+
+class TestSchemaChecks:
+    def test_duplicate_schema_name(self):
+        expect_invalid(
+            "schema T { key id; } schema T { key id; }", "duplicate schema"
+        )
+
+    def test_ref_to_unknown_table(self):
+        expect_invalid(
+            "schema A { key a; field x ref NOPE.f; }", "unknown table"
+        )
+
+    def test_ref_to_unknown_field(self):
+        expect_invalid(
+            "schema B { key b; } schema A { key a; field x ref B.nope; }",
+            "unknown field",
+        )
+
+    def test_schema_without_key_rejected(self):
+        with pytest.raises(ValueError):
+            ast.Schema(name="T", fields=("v",), key=())
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            ast.Schema(name="T", fields=("v", "v"), key=("v",))
+
+
+class TestTransactionChecks:
+    def test_duplicate_txn_name(self):
+        expect_invalid(
+            "schema T { key id; } txn f() { skip; } txn f() { skip; }",
+            "duplicate transaction",
+        )
+
+    def test_duplicate_params(self):
+        expect_invalid(
+            "schema T { key id; } txn f(a, a) { skip; }", "duplicate parameter"
+        )
+
+    def test_unknown_table(self):
+        expect_invalid(
+            "schema T { key id; } txn f(k) { update NOPE set v = 1 where id = k; }",
+            "unknown table",
+        )
+
+    def test_unknown_select_field(self):
+        expect_invalid(
+            "schema T { key id; } txn f(k) { x := select v from T where id = k; }",
+            "unknown field",
+        )
+
+    def test_unknown_where_field(self):
+        expect_invalid(
+            "schema T { key id; field v; } txn f(k) "
+            "{ x := select v from T where nope = k; }",
+            "unknown field",
+        )
+
+    def test_update_key_field_rejected(self):
+        expect_invalid(
+            "schema T { key id; field v; } txn f(k) "
+            "{ update T set id = 1 where v = k; }",
+            "key field",
+        )
+
+    def test_update_duplicate_assignment(self):
+        expect_invalid(
+            "schema T { key id; field v; } txn f(k) "
+            "{ update T set v = 1, v = 2 where id = k; }",
+            "duplicate assignment",
+        )
+
+    def test_insert_missing_key(self):
+        expect_invalid(
+            "schema T { key a; key b; field v; } txn f(k) "
+            "{ insert into T values (a = k, v = 1); }",
+            "full primary key",
+        )
+
+    def test_unbound_variable(self):
+        expect_invalid(
+            "schema T { key id; field v; } txn f(k) "
+            "{ update T set v = x.v where id = k; }",
+            "used before being bound",
+        )
+
+    def test_field_not_retrieved(self):
+        expect_invalid(
+            "schema T { key id; field a; field b; } txn f(k) "
+            "{ x := select a from T where id = k;"
+            "  update T set b = x.b where id = k; }",
+            "was not retrieved",
+        )
+
+    def test_unknown_argument(self):
+        expect_invalid(
+            "schema T { key id; field v; } txn f(k) "
+            "{ update T set v = amount where id = k; }",
+            "unknown argument",
+        )
+
+    def test_iter_outside_loop(self):
+        expect_invalid(
+            "schema T { key id; field v; } txn f(k) "
+            "{ update T set v = iter where id = k; }",
+            "outside an iterate",
+        )
+
+    def test_iter_inside_loop_ok(self):
+        parse_program(
+            "schema T { key id; field v; } txn f(k) "
+            "{ iterate (2) { update T set v = iter where id = k; } }"
+        )
+
+    def test_select_star_binds_all_fields(self):
+        parse_program(
+            "schema T { key id; field a; field b; } txn f(k) "
+            "{ x := select * from T where id = k; return x.b; }"
+        )
+
+
+class TestWellFormedWhere:
+    SCHEMA = ast.Schema(name="T", fields=("a", "b", "v"), key=("a", "b"))
+
+    def test_full_key_equalities(self):
+        m = well_formed_where(self.SCHEMA, parse_where("a = 1 and b = 2"))
+        assert m is not None
+        assert set(m) == {"a", "b"}
+
+    def test_partial_key_rejected(self):
+        assert well_formed_where(self.SCHEMA, parse_where("a = 1")) is None
+
+    def test_non_equality_rejected(self):
+        assert (
+            well_formed_where(self.SCHEMA, parse_where("a = 1 and b > 2")) is None
+        )
+
+    def test_disjunction_rejected(self):
+        assert (
+            well_formed_where(self.SCHEMA, parse_where("a = 1 or b = 2")) is None
+        )
+
+    def test_extra_non_key_condition_rejected(self):
+        assert (
+            well_formed_where(
+                self.SCHEMA, parse_where("a = 1 and b = 2 and v = 3")
+            )
+            is None
+        )
+
+    def test_duplicate_key_condition_rejected(self):
+        assert (
+            well_formed_where(self.SCHEMA, parse_where("a = 1 and a = 2")) is None
+        )
