@@ -9,7 +9,6 @@
    showing clause learning carrying the encoder's workload.
 """
 
-import pytest
 
 from repro.analysis import AnomalyOracle, EC
 from repro.corpus import SMALLBANK, TPCC

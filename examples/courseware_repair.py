@@ -14,10 +14,10 @@ Reproduces, in order:
 Run:  python examples/courseware_repair.py
 """
 
-from repro import CC, EC, RR, SC, detect_anomalies, parse_program, print_program, repair
+from repro import CC, EC, RR, SC, detect_anomalies, print_program, repair
 from repro.corpus.courseware import COURSEWARE
 from repro.refactor import check_containment, migrate_database
-from repro.semantics import Database, TxnCall, is_serializable, run_interleaved, run_serial
+from repro.semantics import TxnCall, is_serializable, run_interleaved, run_serial
 from repro.semantics.views import ScriptedView
 
 
@@ -62,7 +62,7 @@ def dynamic_dirty_read(program, report) -> None:
         program, db, calls, schedule=[0, 0, 0, 1, 1, 1],
         policy=ScriptedView(script),
     )
-    print(f"  original program serializable under this schedule? "
+    print("  original program serializable under this schedule? "
           f"{is_serializable(history)}")
 
     at_db = migrate_database(db, report.repaired_program, report.rewrites)
@@ -70,7 +70,7 @@ def dynamic_dirty_read(program, report) -> None:
         report.repaired_program, at_db, calls, schedule=[0, 0, 1],
         policy=ScriptedView([frozenset()] * 3),
     )
-    print(f"  repaired program serializable under the analogous schedule? "
+    print("  repaired program serializable under the analogous schedule? "
           f"{is_serializable(at_history)}")
 
 

@@ -9,7 +9,6 @@ simulated geo-cluster.
 Run:  python examples/custom_benchmark.py
 """
 
-import random
 
 from repro import detect_anomalies, parse_program, print_program, repair
 from repro.refactor import migrate_database

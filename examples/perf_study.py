@@ -32,7 +32,7 @@ def sweep_us_cluster(fast: bool) -> None:
         cuts.append(sweep.latency_reduction_at_peak())
         print(f"  AT-SC vs SC: +{gains[-1]:.0%} throughput, -{cuts[-1]:.0%} latency")
         print()
-    print(f"average over the three benchmarks: "
+    print("average over the three benchmarks: "
           f"+{sum(gains)/3:.0%} throughput (paper: +120%), "
           f"-{sum(cuts)/3:.0%} latency (paper: -45%)")
 

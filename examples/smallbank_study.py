@@ -14,7 +14,7 @@ Shows the three-way story on the banking benchmark:
 Run:  python examples/smallbank_study.py
 """
 
-from repro import detect_anomalies, print_program, repair
+from repro import print_program, repair
 from repro.corpus import SMALLBANK
 from repro.exp import run_invariant_study
 

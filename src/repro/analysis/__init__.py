@@ -27,6 +27,13 @@ atomically visible transactions).
 from repro.analysis.consistency import ConsistencyLevel, EC, CC, RR, SC
 from repro.analysis.accesses import CommandInfo, TransactionSummary, summarize_program
 from repro.analysis.oracle import AccessPair, AnomalyOracle, detect_anomalies
+from repro.analysis.pipeline import (
+    AnalysisPipeline,
+    ParallelStrategy,
+    QueryCache,
+    QueryPlanner,
+    SerialStrategy,
+)
 
 __all__ = [
     "ConsistencyLevel",
@@ -40,4 +47,9 @@ __all__ = [
     "AccessPair",
     "AnomalyOracle",
     "detect_anomalies",
+    "AnalysisPipeline",
+    "ParallelStrategy",
+    "QueryCache",
+    "QueryPlanner",
+    "SerialStrategy",
 ]

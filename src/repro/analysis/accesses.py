@@ -13,15 +13,11 @@ static anomaly detection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.lang import ast
-from repro.lang.traverse import (
-    expression_field_accesses,
-    iter_subexpressions,
-    where_expressions,
-)
+from repro.lang.traverse import expression_field_accesses
 from repro.lang.validate import well_formed_where
 
 

@@ -42,8 +42,8 @@ Consistency levels contribute axiom sets over ``V``/``W``:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.accesses import CommandInfo, TransactionSummary
 from repro.analysis.aliasing import Alias, alias_commands
@@ -55,7 +55,6 @@ from repro.smt.formula import (
     Formula,
     FormulaBuilder,
     Iff,
-    Implies,
     Not,
     Or,
     TRUE,
@@ -88,16 +87,23 @@ class PairWitness:
 
 
 class PairEncoder:
-    """Builds and solves the anomaly query for one (A, c1, c2, B) tuple."""
+    """Builds and solves the anomaly query for one (A, c1, c2, B) tuple.
+
+    ``summary_a`` may be None when the caller owns witness naming (the
+    analysis pipeline): the encoding itself only reads the focus pair
+    and the interferer.  ``fold_constants`` selects the simplifying
+    Tseitin pass of :class:`FormulaBuilder`.
+    """
 
     def __init__(
         self,
-        summary_a: TransactionSummary,
+        summary_a: Optional[TransactionSummary],
         c1: CommandInfo,
         c2: CommandInfo,
         summary_b: TransactionSummary,
         level: ConsistencyLevel,
         distinct_args: bool = True,
+        fold_constants: bool = False,
     ):
         self.a = summary_a
         self.b = summary_b
@@ -105,8 +111,8 @@ class PairEncoder:
         self.c2 = c2
         self.level = level
         self.distinct_args = distinct_args
-        self.builder = FormulaBuilder()
-        self.same_txn = summary_a.name == summary_b.name
+        self.builder = FormulaBuilder(fold_constants=fold_constants)
+        self.same_txn = summary_a is not None and summary_a.name == summary_b.name
         self._alias_cache: Dict[Tuple[str, str], Formula] = {}
 
     # -- variable constructors ------------------------------------------
@@ -172,9 +178,9 @@ class PairEncoder:
                         axy = self.alias(x[0], x[1], y[0], y[1])
                         ayz = self.alias(y[0], y[1], z[0], z[1])
                         axz = self.alias(x[0], x[1], z[0], z[1])
-                        self.builder.add(Implies(And(axy, ayz), axz))
-                        self.builder.add(Implies(And(axy, axz), ayz))
-                        self.builder.add(Implies(And(ayz, axz), axy))
+                        self.builder.assert_implication((axy, ayz), axz)
+                        self.builder.assert_implication((axy, axz), ayz)
+                        self.builder.assert_implication((ayz, axz), axy)
 
     def _assert_serializable(self) -> None:
         # `ab` true: the A instance commits first.
@@ -214,29 +220,27 @@ class PairEncoder:
             for j in range(i + 1, len(b_writes)):
                 earlier, later = b_writes[i], b_writes[j]
                 for a in (self.c1, self.c2):
-                    self.builder.add(
-                        Implies(self.vis_b_to_a(later, a), self.vis_b_to_a(earlier, a))
+                    self.builder.assert_implication(
+                        (self.vis_b_to_a(later, a),), self.vis_b_to_a(earlier, a)
                     )
         # Monotone growth: views never shrink within a session.
         for b in b_writes:
-            self.builder.add(
-                Implies(self.vis_b_to_a(b, self.c1), self.vis_b_to_a(b, self.c2))
+            self.builder.assert_implication(
+                (self.vis_b_to_a(b, self.c1),), self.vis_b_to_a(b, self.c2)
             )
         if self.c1.is_write and self.c2.is_write:
             for b in self.b.commands:
-                self.builder.add(
-                    Implies(self.vis_a_to_b(self.c2, b), self.vis_a_to_b(self.c1, b))
+                self.builder.assert_implication(
+                    (self.vis_a_to_b(self.c2, b),), self.vis_a_to_b(self.c1, b)
                 )
         a_writes = [c for c in (self.c1, self.c2) if c.is_write]
         b_cmds = self.b.commands
         for a in a_writes:
             for i in range(len(b_cmds)):
                 for j in range(i + 1, len(b_cmds)):
-                    self.builder.add(
-                        Implies(
-                            self.vis_a_to_b(a, b_cmds[i]),
-                            self.vis_a_to_b(a, b_cmds[j]),
-                        )
+                    self.builder.assert_implication(
+                        (self.vis_a_to_b(a, b_cmds[i]),),
+                        self.vis_a_to_b(a, b_cmds[j]),
                     )
 
     # -- violation patterns ---------------------------------------------------

@@ -15,7 +15,7 @@ transactions that witness them.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.accesses import (
@@ -51,17 +51,39 @@ class AccessPair:
 
 @dataclass
 class AnalysisReport:
-    """Oracle output: the anomalous pairs plus bookkeeping."""
+    """Oracle output: the anomalous pairs plus bookkeeping.
+
+    ``sat_queries`` counts actual solver invocations; with a memo cache
+    attached, hits skip the solver entirely and show up in
+    ``cache_hits`` instead.  ``solver_stats`` aggregates the CDCL
+    solver's counters (decisions, propagations, conflicts, ...) over
+    every query the report's run solved.
+    """
 
     level: str
     pairs: List[AccessPair]
     pairs_checked: int
     sat_queries: int
     elapsed_seconds: float
+    strategy: str = "serial"
+    cache_hits: int = 0
+    cache_misses: int = 0
+    solver_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def count(self) -> int:
         return len(self.pairs)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return (self.cache_hits + self.sat_queries) / self.elapsed_seconds
 
 
 class AnomalyOracle:
@@ -70,6 +92,25 @@ class AnomalyOracle:
     ``use_prefilter`` controls the cheap static screen that skips SAT
     queries with no conflict candidates (the DESIGN.md ablation knob);
     results are identical either way, only running time differs.
+
+    ``strategy`` selects how the SAT queries are executed:
+
+    - ``"serial"`` (default): the seed execution loop -- inline,
+      uncached, one query at a time.  Kept verbatim as the reference
+      both for results and for benchmark baselines.
+    - ``"cached"``: the :mod:`repro.analysis.pipeline` planner with the
+      deterministic in-process runner plus the structural memo cache.
+    - ``"parallel"``: the pipeline with a ``ProcessPoolExecutor``
+      fan-out (degrading to in-process on single-core hosts) plus the
+      memo cache.
+    - ``"auto"``: ``"parallel"`` when multiple cores are available,
+      else ``"cached"``.
+    - any object with a ``run(specs, level, distinct_args)`` method.
+
+    Every strategy produces the same pair set; ``cache`` (a
+    :class:`~repro.analysis.pipeline.QueryCache`) may be shared across
+    oracles so repeated analyses only re-solve queries whose
+    transactions actually changed.
     """
 
     def __init__(
@@ -77,12 +118,41 @@ class AnomalyOracle:
         level: ConsistencyLevel = EC,
         use_prefilter: bool = True,
         distinct_args: bool = True,
+        strategy: object = "serial",
+        cache: Optional[object] = None,
+        max_workers: Optional[int] = None,
     ):
         self.level = level
         self.use_prefilter = use_prefilter
         self.distinct_args = distinct_args
+        self.strategy = strategy
+        if strategy == "serial":
+            self._pipeline = None
+        else:
+            from repro.analysis.pipeline import AnalysisPipeline
+
+            self._pipeline = AnalysisPipeline(
+                level,
+                use_prefilter=use_prefilter,
+                distinct_args=distinct_args,
+                strategy=strategy,
+                cache=cache,
+                max_workers=max_workers,
+            )
+
+    @property
+    def cache(self):
+        """The pipeline's memo cache (None for the serial seed path)."""
+        return self._pipeline.cache if self._pipeline is not None else None
+
+    def close(self) -> None:
+        """Release strategy resources (worker pools); serial is a no-op."""
+        if self._pipeline is not None:
+            self._pipeline.close()
 
     def analyze(self, program: ast.Program) -> AnalysisReport:
+        if self._pipeline is not None:
+            return self._pipeline.analyze(program)
         start = time.perf_counter()
         summaries = summarize_program(program)
         pairs: List[AccessPair] = []

@@ -1,0 +1,693 @@
+"""Analysis execution pipeline: planned, cached, parallel SAT queries.
+
+The seed oracle (:class:`repro.analysis.oracle.AnomalyOracle` with
+``strategy="serial"``) discharges every ``(transaction, command pair,
+interferer)`` SAT query inline, one at a time, and re-solves everything
+from scratch on every call.  This module turns that loop into an
+execution subsystem with three independent levers:
+
+1. a :class:`QueryPlanner` that enumerates the oracle's queries into a
+   small dependency DAG -- per access pair, the SAT *query* nodes feed a
+   *merge* node -- and batches them into topological generations so a
+   runner can fan out everything inside one generation;
+2. pluggable runners: :class:`SerialStrategy` (deterministic in-process
+   fallback) and :class:`ParallelStrategy` (a ``ProcessPoolExecutor``
+   fan-out that degrades to in-process execution on single-core hosts);
+3. a :class:`QueryCache` memoising query outcomes under structural
+   fingerprints of the participating :class:`TransactionSummary` data
+   plus the consistency level, so a repair loop's re-analysis only
+   re-solves queries whose transactions a rewrite actually touched.
+
+Per-query results are independent of execution order, so every strategy
+produces the same :class:`~repro.analysis.oracle.AnalysisReport` pair
+set; queries are additionally solved with the constant-folding Tseitin
+pass (``FormulaBuilder(fold_constants=True)``), which discharges the
+same queries on a much smaller clause stream.
+
+Caching is sound because a query's outcome is a pure function of its
+fingerprinted inputs: the two focus commands, the interfering
+transaction's full command list, the consistency level, and the
+``distinct_args`` knob.  Transaction and interferer *names* are excluded
+from the key (they only label the result), so rewrites that rename or
+merge labels invalidate exactly the entries whose fingerprinted
+structure changed.  One cross-level rule is exploited: every level's
+axiom set extends EC's, so a query UNSAT under EC is UNSAT under any
+level and the cached EC miss is reused verbatim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.accesses import (
+    CommandInfo,
+    TransactionSummary,
+    summarize_program,
+)
+from repro.analysis.consistency import ConsistencyLevel, by_name
+from repro.analysis.encoding import PairEncoder, PairWitness
+from repro.lang import ast
+from repro.smt.formula import big_or, evaluate
+
+
+class WitnessData(NamedTuple):
+    """A :class:`PairWitness` minus the interferer name (which is not part
+    of the cache key and is re-attached by the consumer)."""
+
+    pattern: str
+    fields1: FrozenSet[str]
+    fields2: FrozenSet[str]
+
+
+class QueryOutcome(NamedTuple):
+    """Result of executing one query: witness (or None), whether a SAT
+    solve actually ran (False when the static screen emptied the query),
+    and the solver's counters."""
+
+    witness: Optional[WitnessData]
+    solved: bool
+    stats: Dict[str, int]
+
+
+# ---------------------------------------------------------------------------
+# Structural fingerprints
+# ---------------------------------------------------------------------------
+
+
+def fingerprint_command(cmd: CommandInfo) -> str:
+    """Stable structural digest of one command summary.
+
+    Everything the encoder can observe is included; the owning
+    transaction's *name* is not, so a renamed-but-identical transaction
+    still hits the cache.
+    """
+    payload = repr(
+        (
+            cmd.label,
+            cmd.kind,
+            cmd.table,
+            cmd.read_fields,
+            cmd.write_fields,
+            cmd.key_exprs,
+            cmd.var,
+            cmd.rmw_sources,
+            cmd.uuid_key,
+            cmd.in_loop,
+            cmd.in_branch,
+        )
+    )
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+def fingerprint_summary(summary: TransactionSummary) -> str:
+    """Stable structural digest of a whole transaction summary."""
+    payload = repr(summary.params).encode() + b"|".join(
+        fingerprint_command(c).encode() for c in summary.commands
+    )
+    return hashlib.sha1(payload).hexdigest()
+
+
+CacheKey = Tuple[str, str, str, str, bool]
+
+
+def query_cache_key(
+    c1_fp: str,
+    c2_fp: str,
+    b_fp: str,
+    level: ConsistencyLevel,
+    distinct_args: bool,
+) -> CacheKey:
+    return (c1_fp, c2_fp, b_fp, level.name, distinct_args)
+
+
+# ---------------------------------------------------------------------------
+# Memo cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _CacheEntry:
+    witness: Optional[WitnessData]
+    txns: FrozenSet[str]
+    tables: FrozenSet[str]
+
+
+class QueryCache:
+    """Memo cache for anomaly queries, keyed by structural fingerprints.
+
+    Correctness never depends on explicit invalidation -- a rewritten
+    transaction fingerprints differently and simply misses -- but
+    :meth:`invalidate` lets the repair engine drop entries touching the
+    transactions/tables of an applied rewrite, bounding staleness and
+    memory across a long fixpoint run.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[CacheKey, _CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def lookup(self, key: CacheKey) -> Tuple[bool, Optional[WitnessData]]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return True, entry.witness
+        if key[3] != "EC":
+            # Every level's axioms extend EC's, so an EC-UNSAT query is
+            # UNSAT at any level; reuse the (witness-free) outcome.
+            ec_entry = self._entries.get(key[:3] + ("EC", key[4]))
+            if ec_entry is not None and ec_entry.witness is None:
+                self.hits += 1
+                return True, None
+        self.misses += 1
+        return False, None
+
+    def store(
+        self,
+        key: CacheKey,
+        witness: Optional[WitnessData],
+        txns: Iterable[str],
+        tables: Iterable[str],
+    ) -> None:
+        self._entries[key] = _CacheEntry(
+            witness=witness, txns=frozenset(txns), tables=frozenset(tables)
+        )
+
+    def invalidate(
+        self,
+        txns: Iterable[str] = (),
+        tables: Iterable[str] = (),
+    ) -> int:
+        """Drop entries involving any of the given transaction names or
+        tables; returns how many entries were removed."""
+        txn_set = frozenset(txns)
+        table_set = frozenset(tables)
+        if not txn_set and not table_set:
+            return 0
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if entry.txns & txn_set or entry.tables & table_set
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+# ---------------------------------------------------------------------------
+# Query plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QuerySpec:
+    """One SAT query: a focus pair of transaction ``a_name`` against one
+    interfering transaction instance."""
+
+    index: int
+    batch: int
+    a_name: str
+    c1: CommandInfo
+    c2: CommandInfo
+    summary_b: TransactionSummary
+    cache_key: CacheKey
+    tables: FrozenSet[str]
+
+
+@dataclass
+class QueryBatch:
+    """All queries contributing witnesses to one candidate access pair;
+    the plan's merge node joins them back into an ``AccessPair``."""
+
+    index: int
+    summary_a: TransactionSummary
+    c1: CommandInfo
+    c2: CommandInfo
+    queries: List[QuerySpec] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """A node of the plan DAG: a SAT query or a per-pair merge."""
+
+    kind: str  # "query" | "merge"
+    payload: int  # query index or batch index
+    deps: Tuple[int, ...] = ()
+
+
+@dataclass
+class QueryPlan:
+    """The planner's output: batches plus a topologically staged DAG."""
+
+    level: ConsistencyLevel
+    distinct_args: bool
+    batches: List[QueryBatch]
+    nodes: List[PlanNode]
+
+    def queries(self) -> List[QuerySpec]:
+        return [q for batch in self.batches for q in batch.queries]
+
+    def generations(self) -> List[List[PlanNode]]:
+        """Kahn-style topological generations: every node in generation
+        ``i`` depends only on nodes of earlier generations, so a runner
+        may execute each generation with unbounded fan-out."""
+        remaining: Dict[int, Set[int]] = {
+            i: set(node.deps) for i, node in enumerate(self.nodes)
+        }
+        dependants: Dict[int, List[int]] = {i: [] for i in remaining}
+        for i, node in enumerate(self.nodes):
+            for dep in node.deps:
+                dependants[dep].append(i)
+        ready = sorted(i for i, deps in remaining.items() if not deps)
+        generations: List[List[PlanNode]] = []
+        seen = 0
+        while ready:
+            generations.append([self.nodes[i] for i in ready])
+            seen += len(ready)
+            next_ready: Set[int] = set()
+            for i in ready:
+                for j in dependants[i]:
+                    remaining[j].discard(i)
+                    if not remaining[j]:
+                        next_ready.add(j)
+            for i in ready:
+                remaining.pop(i, None)
+            ready = sorted(next_ready)
+        if seen != len(self.nodes):
+            raise ValueError("query plan contains a dependency cycle")
+        return generations
+
+
+class QueryPlanner:
+    """Enumerates the oracle's SAT queries for one program."""
+
+    def plan(
+        self,
+        summaries: Dict[str, TransactionSummary],
+        level: ConsistencyLevel,
+        distinct_args: bool,
+    ) -> QueryPlan:
+        summary_fps = {
+            name: fingerprint_summary(s) for name, s in summaries.items()
+        }
+        command_fps = {
+            (name, c.label): fingerprint_command(c)
+            for name, s in summaries.items()
+            for c in s.commands
+        }
+        batches: List[QueryBatch] = []
+        nodes: List[PlanNode] = []
+        query_index = 0
+        for summary in summaries.values():
+            for c1, c2 in summary.ordered_pairs():
+                batch = QueryBatch(
+                    index=len(batches), summary_a=summary, c1=c1, c2=c2
+                )
+                query_nodes: List[int] = []
+                for other in summaries.values():
+                    key = query_cache_key(
+                        command_fps[(summary.name, c1.label)],
+                        command_fps[(summary.name, c2.label)],
+                        summary_fps[other.name],
+                        level,
+                        distinct_args,
+                    )
+                    tables = frozenset(
+                        {c1.table, c2.table}
+                        | {c.table for c in other.commands}
+                    )
+                    batch.queries.append(
+                        QuerySpec(
+                            index=query_index,
+                            batch=batch.index,
+                            a_name=summary.name,
+                            c1=c1,
+                            c2=c2,
+                            summary_b=other,
+                            cache_key=key,
+                            tables=tables,
+                        )
+                    )
+                    query_nodes.append(len(nodes))
+                    nodes.append(PlanNode(kind="query", payload=query_index))
+                    query_index += 1
+                nodes.append(
+                    PlanNode(
+                        kind="merge",
+                        payload=batch.index,
+                        deps=tuple(query_nodes),
+                    )
+                )
+                batches.append(batch)
+        return QueryPlan(
+            level=level,
+            distinct_args=distinct_args,
+            batches=batches,
+            nodes=nodes,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Query execution
+# ---------------------------------------------------------------------------
+
+
+def solve_query(
+    c1: CommandInfo,
+    c2: CommandInfo,
+    summary_b: TransactionSummary,
+    level: ConsistencyLevel,
+    distinct_args: bool,
+    use_prefilter: bool = True,
+) -> QueryOutcome:
+    """Discharge one anomaly query; pure function of its arguments.
+
+    Mirrors :meth:`PairEncoder.solve` but collects the candidate
+    disjuncts exactly once (the seed path recomputes them when the
+    oracle's prefilter is on) and runs on the folding builder.  The
+    witness is identical either way; ``use_prefilter`` only mirrors the
+    seed oracle's accounting, which bills a disjunct-free query as a
+    SAT query when the static screen is off.
+    """
+    encoder = PairEncoder(
+        None, c1, c2, summary_b, level,
+        distinct_args=distinct_args, fold_constants=True,
+    )
+    disjuncts = encoder.collect_disjuncts()
+    if not disjuncts:
+        return QueryOutcome(witness=None, solved=not use_prefilter, stats={})
+    encoder.assert_axioms()
+    encoder.builder.add(big_or([d.formula for d in disjuncts]))
+    model = encoder.builder.check()
+    stats = dict(encoder.builder.solver.stats)
+    if model is None:
+        return QueryOutcome(witness=None, solved=True, stats=stats)
+    fields1: FrozenSet[str] = frozenset()
+    fields2: FrozenSet[str] = frozenset()
+    pattern = ""
+    for d in disjuncts:
+        if evaluate(d.formula, model):
+            fields1 |= d.fields1
+            fields2 |= d.fields2
+            pattern = pattern or d.pattern
+    return QueryOutcome(
+        witness=WitnessData(
+            pattern=pattern or disjuncts[0].pattern,
+            fields1=fields1,
+            fields2=fields2,
+        ),
+        solved=True,
+        stats=stats,
+    )
+
+
+def _solve_chunk(payload):
+    """Worker entry point: solve a chunk of queries in one process."""
+    level_name, distinct_args, use_prefilter, chunk = payload
+    level = by_name(level_name)
+    out = []
+    for index, c1, c2, summary_b in chunk:
+        out.append(
+            (
+                index,
+                solve_query(c1, c2, summary_b, level, distinct_args, use_prefilter),
+            )
+        )
+    return out
+
+
+class SerialStrategy:
+    """Deterministic in-process execution, in plan order.
+
+    Named ``"cached"`` in reports: it is the pipeline's serial runner,
+    always paired with the memo cache (``strategy="serial"`` on the
+    oracle means the seed loop instead, which bypasses the pipeline).
+    """
+
+    name = "cached"
+
+    def run(
+        self,
+        specs: Sequence[QuerySpec],
+        level: ConsistencyLevel,
+        distinct_args: bool,
+        use_prefilter: bool = True,
+    ) -> List[QueryOutcome]:
+        return [
+            solve_query(s.c1, s.c2, s.summary_b, level, distinct_args, use_prefilter)
+            for s in specs
+        ]
+
+    def close(self) -> None:  # symmetry with ParallelStrategy
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class ParallelStrategy:
+    """``ProcessPoolExecutor`` fan-out over query chunks.
+
+    Each query is an independent bounded SAT instance, so the fan-out is
+    embarrassingly parallel; results are reassembled in plan order, which
+    keeps the output bit-identical to the serial runner.  On single-core
+    hosts (or ``max_workers=1``) the pool would be pure IPC overhead, so
+    execution degrades to the in-process path.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        chunks_per_worker: int = 4,
+    ):
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.chunks_per_worker = chunks_per_worker
+        self._executor = None
+        self._serial = SerialStrategy()
+
+    @property
+    def name(self) -> str:
+        return f"parallel[{self.max_workers}]"
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX hosts
+                context = multiprocessing.get_context()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=context
+            )
+        return self._executor
+
+    def run(
+        self,
+        specs: Sequence[QuerySpec],
+        level: ConsistencyLevel,
+        distinct_args: bool,
+        use_prefilter: bool = True,
+    ) -> List[QueryOutcome]:
+        if self.max_workers <= 1 or len(specs) <= 1:
+            return self._serial.run(specs, level, distinct_args, use_prefilter)
+        chunk_count = min(
+            len(specs), self.max_workers * self.chunks_per_worker
+        )
+        chunk_size = -(-len(specs) // chunk_count)
+        chunks = [
+            [
+                (s.index, s.c1, s.c2, s.summary_b)
+                for s in specs[i : i + chunk_size]
+            ]
+            for i in range(0, len(specs), chunk_size)
+        ]
+        payloads = [
+            (level.name, distinct_args, use_prefilter, chunk) for chunk in chunks
+        ]
+        try:
+            executor = self._ensure_executor()
+            by_index: Dict[int, QueryOutcome] = {}
+            for chunk_result in executor.map(_solve_chunk, payloads):
+                for index, outcome in chunk_result:
+                    by_index[index] = outcome
+        except Exception:
+            # A broken pool (killed worker, unpicklable corner case) must
+            # not take the analysis down: fall back to in-process.
+            self.close()
+            return self._serial.run(specs, level, distinct_args, use_prefilter)
+        return [by_index[s.index] for s in specs]
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def resolve_strategy(spec, max_workers: Optional[int] = None):
+    """Map a strategy spec (name or instance) to a runner instance.
+
+    Names: ``"cached"`` (serial runner + memo cache), ``"parallel"``
+    (process fan-out + memo cache), ``"auto"`` (parallel when the host
+    has more than one core, else the serial runner).  ``"serial"`` is
+    handled by the oracle itself (the seed execution loop) and is not a
+    pipeline strategy.
+    """
+    if spec is None or spec == "cached":
+        return SerialStrategy()
+    if spec == "parallel":
+        return ParallelStrategy(max_workers=max_workers)
+    if spec == "auto":
+        workers = max_workers or os.cpu_count() or 1
+        if workers > 1:
+            return ParallelStrategy(max_workers=workers)
+        return SerialStrategy()
+    if hasattr(spec, "run"):
+        return spec
+    raise ValueError(
+        f"unknown analysis strategy {spec!r}; "
+        "expected 'serial', 'cached', 'parallel', 'auto', or a strategy object"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+
+
+class AnalysisPipeline:
+    """Plan, memoise, execute, and merge the oracle's SAT queries."""
+
+    def __init__(
+        self,
+        level: ConsistencyLevel,
+        use_prefilter: bool = True,
+        distinct_args: bool = True,
+        strategy=None,
+        cache: Optional[QueryCache] = None,
+        max_workers: Optional[int] = None,
+    ):
+        self.level = level
+        self.use_prefilter = use_prefilter
+        self.distinct_args = distinct_args
+        self.planner = QueryPlanner()
+        self.strategy = resolve_strategy(strategy, max_workers)
+        self.cache = cache if cache is not None else QueryCache()
+
+    def analyze(self, program: ast.Program):
+        from repro.analysis.oracle import AnalysisReport, _merge_witnesses
+
+        start = time.perf_counter()
+        summaries = summarize_program(program)
+        plan = self.planner.plan(summaries, self.level, self.distinct_args)
+        specs = plan.queries()
+
+        outcomes: Dict[int, Optional[WitnessData]] = {}
+        pending: Dict[CacheKey, List[QuerySpec]] = {}
+        hits = misses = 0
+        for spec in specs:
+            found, witness = self.cache.lookup(spec.cache_key)
+            if found:
+                hits += 1
+                outcomes[spec.index] = witness
+            else:
+                misses += 1
+                # Structurally identical queries (same fingerprints) are
+                # solved once; every spec sharing the key gets the result.
+                pending.setdefault(spec.cache_key, []).append(spec)
+
+        sat_queries = 0
+        solver_stats: Dict[str, int] = {}
+        if pending:
+            unique = [group[0] for group in pending.values()]
+            results = self.strategy.run(
+                unique, self.level, self.distinct_args, self.use_prefilter
+            )
+            for spec, outcome in zip(unique, results):
+                if outcome.solved:
+                    sat_queries += 1
+                for key, value in outcome.stats.items():
+                    solver_stats[key] = solver_stats.get(key, 0) + value
+                group = pending[spec.cache_key]
+                for twin in group:
+                    outcomes[twin.index] = outcome.witness
+                self.cache.store(
+                    spec.cache_key,
+                    outcome.witness,
+                    txns={s.a_name for s in group}
+                    | {s.summary_b.name for s in group},
+                    tables=frozenset().union(*(s.tables for s in group)),
+                )
+
+        # Merge stage.  The plan DAG (see generations()) stages every
+        # query before its batch's merge node; since all queries above
+        # have completed, the merges reduce to batch-order iteration.
+        pairs = []
+        for batch in plan.batches:
+            witnesses = [
+                PairWitness(
+                    interferer=spec.summary_b.name,
+                    pattern=outcomes[spec.index].pattern,
+                    fields1=outcomes[spec.index].fields1,
+                    fields2=outcomes[spec.index].fields2,
+                )
+                for spec in batch.queries
+                if outcomes[spec.index] is not None
+            ]
+            if witnesses:
+                pairs.append(
+                    _merge_witnesses(batch.summary_a, batch.c1, batch.c2, witnesses)
+                )
+
+        elapsed = time.perf_counter() - start
+        return AnalysisReport(
+            level=self.level.name,
+            pairs=pairs,
+            pairs_checked=len(plan.batches),
+            sat_queries=sat_queries,
+            elapsed_seconds=elapsed,
+            strategy=self.strategy.name,
+            cache_hits=hits,
+            cache_misses=misses,
+            solver_stats=solver_stats,
+        )
+
+    def close(self) -> None:
+        self.strategy.close()

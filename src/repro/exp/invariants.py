@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Sequence
 
 from repro.corpus.smallbank import SMALLBANK
 from repro.lang import ast

@@ -78,12 +78,17 @@ def run_perf_sweep(
     config: Optional[PerfConfig] = None,
     scale: int = 16,
     seed: int = 7,
+    strategy: object = "serial",
 ) -> PerfSweep:
-    """Run the four-configuration sweep for one benchmark."""
+    """Run the four-configuration sweep for one benchmark.
+
+    ``strategy`` configures the repair step's anomaly oracle (the sweep
+    itself is simulation-bound); see :func:`repro.repair.engine.repair`.
+    """
     config = config or PerfConfig()
     rng = random.Random(seed)
     program = benchmark.program()
-    report = repair(program)
+    report = repair(program, strategy=strategy)
 
     db = benchmark.database(scale)
     calls = sample_calls_for(benchmark, rng, scale)

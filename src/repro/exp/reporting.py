@@ -25,3 +25,9 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
 def format_series(name: str, xs: Sequence[int], ys: Sequence[float]) -> str:
     pairs = ", ".join(f"{x}:{y:.1f}" for x, y in zip(xs, ys))
     return f"{name}: {pairs}"
+
+
+def format_stats(title: str, stats: dict) -> str:
+    """Render a counter mapping (solver/cache stats) on one line."""
+    body = ", ".join(f"{k}={stats[k]}" for k in sorted(stats))
+    return f"{title}: {body}" if body else f"{title}: (empty)"

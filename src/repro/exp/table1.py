@@ -5,15 +5,22 @@ transaction count, table counts before and after refactoring, anomaly
 counts under EC for the original (EC) and refactored (AT) programs,
 anomaly counts under causal consistency (CC) and repeatable read (RR)
 for the original program, and the total analysis+repair time.
+
+``strategy`` selects the oracle execution path (see
+:class:`~repro.analysis.oracle.AnomalyOracle`); the caching strategies
+share one :class:`~repro.analysis.pipeline.QueryCache` per row across
+the repair loop's re-analyses and the CC/RR sweeps, which is where the
+incremental speedup of the pipeline comes from.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis import AnomalyOracle, CC, EC, RR
+from repro.analysis import AnomalyOracle, CC, RR
+from repro.analysis.pipeline import QueryCache, resolve_strategy
 from repro.corpus import ALL_BENCHMARKS, Benchmark
 from repro.repair import repair
 from repro.repair.engine import RepairReport
@@ -35,6 +42,8 @@ class Table1Row:
     report: RepairReport
     paper_ec: int
     paper_at: int
+    # Oracle execution counters accumulated over the row's analyses.
+    oracle_stats: Dict[str, int] = field(default_factory=dict)
 
     def columns(self) -> List[str]:
         return [
@@ -49,13 +58,41 @@ class Table1Row:
         ]
 
 
-def run_table1_row(benchmark: Benchmark) -> Table1Row:
-    """Analyse and repair one benchmark."""
+def _merge_stats(into: Dict[str, int], report) -> None:
+    into["sat_queries"] = into.get("sat_queries", 0) + report.sat_queries
+    into["cache_hits"] = into.get("cache_hits", 0) + report.cache_hits
+    into["cache_misses"] = into.get("cache_misses", 0) + report.cache_misses
+    for key, value in report.solver_stats.items():
+        into[key] = into.get(key, 0) + value
+
+
+def run_table1_row(
+    benchmark: Benchmark,
+    strategy: object = "serial",
+    cache: Optional[QueryCache] = None,
+) -> Table1Row:
+    """Analyse and repair one benchmark.
+
+    A strategy named by string is resolved once, shared by the repair
+    run and the CC/RR sweeps, and torn down before returning; a strategy
+    instance is the caller's to close.
+    """
     start = time.perf_counter()
     program = benchmark.program()
-    report = repair(program)
-    cc_pairs = AnomalyOracle(CC).analyze(program).pairs
-    rr_pairs = AnomalyOracle(RR).analyze(program).pairs
+    owns_runner = isinstance(strategy, str) and strategy != "serial"
+    runner = resolve_strategy(strategy) if owns_runner else strategy
+    if runner != "serial" and cache is None:
+        cache = QueryCache()
+    try:
+        report = repair(program, strategy=runner, cache=cache)
+        oracle_stats: Dict[str, int] = {}
+        cc_report = AnomalyOracle(CC, strategy=runner, cache=cache).analyze(program)
+        rr_report = AnomalyOracle(RR, strategy=runner, cache=cache).analyze(program)
+    finally:
+        if owns_runner:
+            runner.close()
+    for analysis in (cc_report, rr_report):
+        _merge_stats(oracle_stats, analysis)
     elapsed = time.perf_counter() - start
     return Table1Row(
         name=benchmark.name,
@@ -64,15 +101,33 @@ def run_table1_row(benchmark: Benchmark) -> Table1Row:
         tables_after=len(report.repaired_program.schemas),
         ec=len(report.initial_pairs),
         at=len(report.residual_pairs),
-        cc=len(cc_pairs),
-        rr=len(rr_pairs),
+        cc=len(cc_report.pairs),
+        rr=len(rr_report.pairs),
         time_s=elapsed,
         report=report,
         paper_ec=benchmark.paper.ec,
         paper_at=benchmark.paper.at,
+        oracle_stats=oracle_stats,
     )
 
 
-def run_table1(benchmarks: Optional[Sequence[Benchmark]] = None) -> List[Table1Row]:
-    """The full Table 1 sweep."""
-    return [run_table1_row(b) for b in (benchmarks or ALL_BENCHMARKS)]
+def run_table1(
+    benchmarks: Optional[Sequence[Benchmark]] = None,
+    strategy: object = "serial",
+    cache: Optional[QueryCache] = None,
+) -> List[Table1Row]:
+    """The full Table 1 sweep.
+
+    With a caching strategy, one strategy instance (and its worker pool,
+    if any) plus one memo cache is shared across all rows.
+    """
+    benches = benchmarks or ALL_BENCHMARKS
+    if strategy == "serial":
+        return [run_table1_row(b) for b in benches]
+    runner = resolve_strategy(strategy)
+    if cache is None:
+        cache = QueryCache()
+    try:
+        return [run_table1_row(b, strategy=runner, cache=cache) for b in benches]
+    finally:
+        runner.close()

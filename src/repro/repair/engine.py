@@ -20,8 +20,8 @@ serializable execution.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.accesses import rmw_field, summarize_transaction
 from repro.analysis.consistency import EC, ConsistencyLevel
@@ -29,16 +29,23 @@ from repro.analysis.oracle import AccessPair, AnomalyOracle
 from repro.errors import RefactoringError
 from repro.lang import ast
 from repro.refactor.correspondence import ValueCorrespondence
-from repro.refactor.logger import apply_logger, build_logger, logger_applicable
-from repro.refactor.redirect import apply_redirect, build_redirect, redirect_applicable
+from repro.refactor.logger import (
+    LoggerRewrite,
+    apply_logger,
+    build_logger,
+    logger_applicable,
+)
+from repro.refactor.redirect import (
+    RedirectRewrite,
+    apply_redirect,
+    build_redirect,
+    redirect_applicable,
+)
 from repro.repair.merging import try_merging
 from repro.repair.postprocess import postprocess
 from repro.repair.preprocess import preprocess
 
-Rewrite = Union["RedirectRewriteT", "LoggerRewriteT"]
-# (typing aliases resolved at runtime to avoid import cycles in docs)
-from repro.refactor.redirect import RedirectRewrite as RedirectRewriteT
-from repro.refactor.logger import LoggerRewrite as LoggerRewriteT
+Rewrite = Union[RedirectRewrite, LoggerRewrite]
 
 
 @dataclass
@@ -98,16 +105,40 @@ class RepairReport:
 
 
 class RepairEngine:
-    """Stateful driver for one repair run."""
+    """Stateful driver for one repair run.
 
-    def __init__(self, level: ConsistencyLevel = EC, use_prefilter: bool = True):
-        self.oracle = AnomalyOracle(level, use_prefilter)
+    ``strategy``/``cache`` configure the anomaly oracle's execution
+    pipeline (see :class:`~repro.analysis.oracle.AnomalyOracle`).  With a
+    caching strategy the engine's repeated re-analyses -- after
+    preprocessing and after the repair loop -- only re-solve queries
+    whose transactions a rewrite actually touched: untouched transaction
+    pairs fingerprint identically and hit the memo cache, while a
+    renamed/merged command changes its transaction's fingerprint and so
+    invalidates exactly the entries that mention it.  (Entries for
+    superseded program versions stay until ``cache.invalidate``/``clear``
+    -- they are unreachable by construction, merely occupying memory.)
+    """
+
+    def __init__(
+        self,
+        level: ConsistencyLevel = EC,
+        use_prefilter: bool = True,
+        strategy: object = "serial",
+        cache: Optional[object] = None,
+    ):
+        self.oracle = AnomalyOracle(
+            level, use_prefilter, strategy=strategy, cache=cache
+        )
         # (txn, original label) -> current label after merges.
         self._label_map: Dict[Tuple[str, str], str] = {}
         # Secondary rewrites produced by hub redirection (two rewrites
         # repair one pair); drained into the report after each pair.
         self._extra_rewrites: List[Rewrite] = []
         self._extra_correspondences: List[ValueCorrespondence] = []
+
+    def close(self) -> None:
+        """Release the oracle's strategy resources (worker pools)."""
+        self.oracle.close()
 
     # -- label bookkeeping -------------------------------------------------
 
@@ -128,8 +159,13 @@ class RepairEngine:
         original = program
         initial_report = self.oracle.analyze(program)
         program = preprocess(program, initial_report.pairs)
-        # Re-detect: splitting renamed command labels.
-        pairs = self.oracle.analyze(program).pairs
+        if program is original:
+            # Preprocessing split nothing; analysis is deterministic, so
+            # re-running it would reproduce the initial report verbatim.
+            pairs = list(initial_report.pairs)
+        else:
+            # Re-detect: splitting renamed command labels.
+            pairs = self.oracle.analyze(program).pairs
         pairs = sorted(pairs, key=lambda p: (p.txn, p.c1, p.c2))
 
         outcomes: List[RepairOutcome] = []
@@ -303,9 +339,21 @@ def repair(
     program: ast.Program,
     level: ConsistencyLevel = EC,
     use_prefilter: bool = True,
+    strategy: object = "serial",
+    cache: Optional[object] = None,
 ) -> RepairReport:
-    """Run the full repair pipeline on ``program``."""
-    return RepairEngine(level, use_prefilter).repair(program)
+    """Run the full repair pipeline on ``program``.
+
+    A strategy given by name is owned by this call and torn down (worker
+    pools included) before returning; a strategy *instance* belongs to
+    the caller and is left running for reuse.
+    """
+    engine = RepairEngine(level, use_prefilter, strategy=strategy, cache=cache)
+    try:
+        return engine.repair(program)
+    finally:
+        if isinstance(strategy, str):
+            engine.close()
 
 
 # ---------------------------------------------------------------------------

@@ -25,15 +25,10 @@ before the merge point.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.lang import ast
-from repro.lang.traverse import (
-    expression_vars,
-    rewrite_expression,
-    rewrite_where,
-    where_vars,
-)
+from repro.lang.traverse import expression_vars, where_vars
 
 
 def _conjunct_map(where: ast.Where) -> Optional[Dict[str, ast.Expr]]:

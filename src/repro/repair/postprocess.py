@@ -15,7 +15,7 @@ After the per-anomaly repairs:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set
 
 from repro.lang import ast
 from repro.lang.traverse import accessed_tables, used_vars

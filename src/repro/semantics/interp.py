@@ -10,7 +10,7 @@ the paper where only database commands interact with Sigma.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SemanticsError

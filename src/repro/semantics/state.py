@@ -10,7 +10,7 @@ visible write, falling back to the initial database.
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.errors import SemanticsError
 from repro.lang import ast

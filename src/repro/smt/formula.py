@@ -14,7 +14,7 @@ the builder exposes exactly that surface: ``add(formula)`` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.smt import solver as sat
 
@@ -130,13 +130,21 @@ class FormulaBuilder:
     Variables are identified by name; :meth:`var` interns them.  ``add``
     performs Tseitin conversion eagerly, so the builder can be used
     incrementally (assert, check, assert more, check again).
+
+    ``fold_constants=True`` switches to a simplifying Tseitin pass that
+    folds ``TRUE``/``FALSE`` operands, deduplicates operand literals and
+    collapses tautological/contradictory connectives before emitting
+    clauses.  The default eager pass instead materialises every constant
+    as a fresh pinned variable; it is kept as-is because downstream
+    consumers pin its exact model choices.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fold_constants: bool = False) -> None:
         self.solver = sat.Solver()
+        self.fold_constants = fold_constants
         self._vars: Dict[str, int] = {}
         self._aux_count = 0
-        self._cache: Dict[int, int] = {}
+        self._true_lit: Optional[int] = None
 
     # -- variables -----------------------------------------------------
 
@@ -162,6 +170,9 @@ class FormulaBuilder:
 
     def add(self, formula: Formula) -> None:
         """Assert ``formula`` (conjoined with everything added so far)."""
+        if self.fold_constants:
+            self._assert_folded(formula)
+            return
         root = self._tseitin(formula)
         if root is None:  # constant
             if not self._const_value(formula):
@@ -220,6 +231,189 @@ class FormulaBuilder:
             self.solver.add_clause([sat.neg(out), a, sat.neg(b)])
             self.solver.add_clause([out, a, b])
             self.solver.add_clause([out, sat.neg(a), sat.neg(b)])
+            return out
+        raise TypeError(f"not a formula: {formula!r}")
+
+    # -- folding Tseitin pass ---------------------------------------------
+
+    def _assert_folded(self, formula: Formula) -> None:
+        """Assert with clausal shortcuts: conjunctions split into separate
+        assertions, disjunctions (including negated conjuncts, the
+        ``Implies`` shape) become a single clause, and equivalences over
+        literal-encodable sides become two binary clauses.  Tseitin aux
+        variables are introduced only below genuinely nested structure.
+        """
+        if isinstance(formula, And):
+            for op in formula.operands:
+                self._assert_folded(op)
+            return
+        true = self._const_lit(True)
+        false = sat.neg(true)
+        if isinstance(formula, Or):
+            lits: List[int] = []
+            for op in formula.operands:
+                if isinstance(op, Not) and isinstance(op.operand, And):
+                    # De Morgan: ¬(g1 ∧ ... ∧ gk) contributes ¬g1, ..., ¬gk.
+                    encoded = [
+                        sat.neg(self._encode_folded(g))
+                        for g in op.operand.operands
+                    ]
+                else:
+                    encoded = [self._encode_folded(op)]
+                for l in encoded:
+                    if l == true:
+                        return  # clause satisfied
+                    if l == false:
+                        continue
+                    lits.append(l)
+            lits = list(dict.fromkeys(lits))
+            present = set(lits)
+            if any(sat.neg(l) in present for l in lits):
+                return  # tautology
+            if not lits:
+                self.solver.add_clause([])  # unsatisfiable marker
+                return
+            self.solver.add_clause_unchecked(lits)
+            return
+        if isinstance(formula, Iff):
+            a = self._encode_folded(formula.left)
+            b = self._encode_folded(formula.right)
+            if a == true:
+                self._assert_lit(b)
+            elif a == false:
+                self._assert_lit(sat.neg(b))
+            elif b == true:
+                self._assert_lit(a)
+            elif b == false:
+                self._assert_lit(sat.neg(a))
+            elif a == b:
+                pass
+            elif a == sat.neg(b):
+                self.solver.add_clause([])  # unsatisfiable marker
+            else:
+                self.solver.add_clause_unchecked([sat.neg(a), b])
+                self.solver.add_clause_unchecked([a, sat.neg(b)])
+            return
+        self._assert_lit(self._encode_folded(formula))
+
+    def assert_implication(
+        self, antecedents: Sequence[Formula], consequent: Formula
+    ) -> None:
+        """Assert ``(antecedents[0] ∧ ... ∧ antecedents[n]) → consequent``.
+
+        Semantically ``add(Implies(And(*antecedents), consequent))``; on
+        the folding path the clause is emitted directly without building
+        the intermediate formula objects (this is the encoder's hottest
+        assertion shape -- alias transitivity emits one per triple).
+        """
+        if not self.fold_constants:
+            antecedent = (
+                antecedents[0] if len(antecedents) == 1 else And(*antecedents)
+            )
+            self.add(Implies(antecedent, consequent))
+            return
+        true = self._const_lit(True)
+        false = sat.neg(true)
+        lits: List[int] = []
+        for a in antecedents:
+            l = self._encode_folded(a)
+            if l == false:
+                return  # antecedent unsatisfiable: implication holds
+            if l == true:
+                continue
+            lits.append(sat.neg(l))
+        c = self._encode_folded(consequent)
+        if c == true:
+            return
+        if c != false:
+            lits.append(c)
+        lits = list(dict.fromkeys(lits))
+        present = set(lits)
+        if any(sat.neg(l) in present for l in lits):
+            return  # tautology
+        if not lits:
+            self.solver.add_clause([])  # unsatisfiable marker
+            return
+        self.solver.add_clause_unchecked(lits)
+
+    def _assert_lit(self, literal: int) -> None:
+        if literal == self._const_lit(True):
+            return
+        if literal == sat.neg(self._const_lit(True)):
+            self.solver.add_clause([])  # unsatisfiable marker
+            return
+        self.solver.add_clause_unchecked([literal])
+
+    def _const_lit(self, value: bool) -> int:
+        """The shared pinned literal for a boolean constant."""
+        if self._true_lit is None:
+            v = self._fresh()
+            self.solver.add_clause_unchecked([sat.lit(v, True)])
+            self._true_lit = sat.lit(v, True)
+        return self._true_lit if value else sat.neg(self._true_lit)
+
+    def _encode_folded(self, formula: Formula) -> int:
+        """Simplifying Tseitin: returns a literal equivalent to ``formula``
+        under the emitted clauses, folding constants along the way."""
+        if isinstance(formula, BoolConst):
+            return self._const_lit(formula.value)
+        if isinstance(formula, BoolVar):
+            return sat.lit(self._lookup(formula), True)
+        if isinstance(formula, Not):
+            return sat.neg(self._encode_folded(formula.operand))
+        true = self._const_lit(True)
+        false = sat.neg(true)
+        add = self.solver.add_clause_unchecked
+        if isinstance(formula, (And, Or)):
+            is_and = isinstance(formula, And)
+            absorbing = false if is_and else true
+            neutral = true if is_and else false
+            lits: List[int] = []
+            for op in formula.operands:
+                l = self._encode_folded(op)
+                if l == neutral:
+                    continue
+                if l == absorbing:
+                    return absorbing
+                lits.append(l)
+            lits = list(dict.fromkeys(lits))
+            if not lits:
+                return neutral
+            if len(lits) == 1:
+                return lits[0]
+            present = set(lits)
+            if any(sat.neg(l) in present for l in lits):
+                return absorbing
+            out = sat.lit(self._fresh(), True)
+            if is_and:
+                for l in lits:
+                    add([sat.neg(out), l])
+                add([out] + [sat.neg(l) for l in lits])
+            else:
+                for l in lits:
+                    add([sat.neg(l), out])
+                add([sat.neg(out)] + lits)
+            return out
+        if isinstance(formula, Iff):
+            a = self._encode_folded(formula.left)
+            b = self._encode_folded(formula.right)
+            if a == true:
+                return b
+            if a == false:
+                return sat.neg(b)
+            if b == true:
+                return a
+            if b == false:
+                return sat.neg(a)
+            if a == b:
+                return true
+            if a == sat.neg(b):
+                return false
+            out = sat.lit(self._fresh(), True)
+            add([sat.neg(out), sat.neg(a), b])
+            add([sat.neg(out), a, sat.neg(b)])
+            add([out, a, b])
+            add([out, sat.neg(a), sat.neg(b)])
             return out
         raise TypeError(f"not a formula: {formula!r}")
 

@@ -13,14 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 
-from repro.smt.formula import (
-    BoolVar,
-    Formula,
-    FormulaBuilder,
-    Implies,
-    Not,
-    Or,
-)
+from repro.smt.formula import BoolVar, Formula, FormulaBuilder, Implies, Not
 
 
 class TotalOrder:

@@ -82,9 +82,18 @@ class Solver:
         s.add_clause([neg(lit(a))])
         result = s.solve()
         assert result.sat and result.value(b)
+
+    ``branching`` selects the decision queue: ``"heap"`` (default) keeps
+    unassigned variables in an indexed binary max-heap ordered by VSIDS
+    activity, popped lazily at decision time; ``"linear"`` is the
+    reference O(num_vars) scan.  Ties break toward the lowest variable
+    index in both, so the two modes make identical decisions.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, branching: str = "heap") -> None:
+        if branching not in ("heap", "linear"):
+            raise SolverError(f"unknown branching mode {branching!r}")
+        self.branching = branching
         self.num_vars = 0
         self.clauses: List[_Clause] = []
         self.learned: List[_Clause] = []
@@ -103,6 +112,12 @@ class Solver:
         self.cla_inc = 1.0
         self.cla_decay = 0.999
         self.polarity: List[bool] = []
+        # Indexed binary max-heap over unassigned variables (decision
+        # queue).  heap holds variable indices; heap_pos[v] is v's slot
+        # in heap, or -1 when absent.  Assigned variables are evicted
+        # lazily at pop time and re-inserted on unassignment.
+        self.heap: List[int] = []
+        self.heap_pos: List[int] = []
         self._ok = True
         self.stats = {
             "decisions": 0,
@@ -127,6 +142,9 @@ class Solver:
         self.reasons.append(None)
         self.activity.append(0.0)
         self.polarity.append(False)
+        # Joined to the decision heap in bulk at the next solve() call;
+        # per-variable insertion here would cost O(V log V) per problem.
+        self.heap_pos.append(-1)
         return v
 
     def add_clause(self, literals: Iterable[int]) -> None:
@@ -148,8 +166,20 @@ class Solver:
         if not lits:
             self._ok = False
             return
-        # Top-level simplification: drop clauses satisfied at level 0 and
-        # falsified literals.
+        self.add_clause_unchecked(lits)
+
+    def add_clause_unchecked(self, lits: List[int]) -> None:
+        """Add a non-empty clause already known to be duplicate-free,
+        tautology-free and within the allocated variable range.
+
+        The Tseitin emitters produce exactly such clauses, so this skips
+        :meth:`add_clause`'s screening passes; ``add_clause`` delegates
+        here after screening, so the two paths share the top-level
+        simplification (dropping clauses satisfied at level 0 and
+        falsified literals) and clause installation.
+        """
+        if not self._ok:
+            return
         if not self.trail_lim:
             filtered = []
             for l in lits:
@@ -336,6 +366,12 @@ class Solver:
             for i in range(self.num_vars):
                 self.activity[i] *= 1e-100
             self.var_inc *= 1e-100
+            # Uniform rescaling preserves ordering except where values
+            # collapse into each other (underflow), so re-heapify.
+            for i in range(len(self.heap) // 2 - 1, -1, -1):
+                self._heap_sift_down(i)
+        elif self.heap_pos[v] != -1:
+            self._heap_sift_up(self.heap_pos[v])
 
     def _decay_var_activity(self) -> None:
         self.var_inc /= self.var_decay
@@ -352,13 +388,96 @@ class Solver:
         self.cla_inc /= self.cla_decay
 
     def _pick_branch_var(self) -> int:
-        best = -1
-        best_act = -1.0
+        if self.branching == "linear":
+            best = -1
+            best_act = -1.0
+            for v in range(self.num_vars):
+                if self.assigns[v] == _UNASSIGNED and self.activity[v] > best_act:
+                    best = v
+                    best_act = self.activity[v]
+            return best
+        # Lazy heap pop: assigned variables linger in the heap until they
+        # surface here; every unassigned variable is guaranteed present
+        # (bulk-filled at solve() entry, re-inserted by _cancel_until).
+        while self.heap:
+            v = self._heap_pop()
+            if self.assigns[v] == _UNASSIGNED:
+                return v
+        return -1
+
+    # The heap orders by (activity desc, index asc); the strict total
+    # order makes heap and linear branching pick identical variables.
+
+    def _heap_before(self, u: int, v: int) -> bool:
+        au, av = self.activity[u], self.activity[v]
+        return au > av or (au == av and u < v)
+
+    def _heap_push(self, v: int) -> None:
+        if self.heap_pos[v] != -1:
+            return
+        self.heap_pos[v] = len(self.heap)
+        self.heap.append(v)
+        self._heap_sift_up(len(self.heap) - 1)
+
+    def _heap_fill(self) -> None:
+        """Bulk-insert every unassigned, absent variable, then heapify --
+        O(V) versus O(V log V) for per-variable pushes."""
+        heap, heap_pos = self.heap, self.heap_pos
+        added = False
         for v in range(self.num_vars):
-            if self.assigns[v] == _UNASSIGNED and self.activity[v] > best_act:
-                best = v
-                best_act = self.activity[v]
-        return best
+            if self.assigns[v] == _UNASSIGNED and heap_pos[v] == -1:
+                heap_pos[v] = len(heap)
+                heap.append(v)
+                added = True
+        if added:
+            for i in range(len(heap) // 2 - 1, -1, -1):
+                self._heap_sift_down(i)
+
+    def _heap_pop(self) -> int:
+        heap = self.heap
+        top = heap[0]
+        self.heap_pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            self.heap_pos[last] = 0
+            self._heap_sift_down(0)
+        return top
+
+    def _heap_sift_up(self, pos: int) -> None:
+        heap, heap_pos = self.heap, self.heap_pos
+        v = heap[pos]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            p = heap[parent]
+            if not self._heap_before(v, p):
+                break
+            heap[pos] = p
+            heap_pos[p] = pos
+            pos = parent
+        heap[pos] = v
+        heap_pos[v] = pos
+
+    def _heap_sift_down(self, pos: int) -> None:
+        heap, heap_pos = self.heap, self.heap_pos
+        n = len(heap)
+        v = heap[pos]
+        while True:
+            child = 2 * pos + 1
+            if child >= n:
+                break
+            c = heap[child]
+            right = child + 1
+            if right < n and self._heap_before(heap[right], c):
+                child = right
+                c = heap[right]
+            if not self._heap_before(c, v):
+                break
+            heap[pos] = c
+            heap_pos[c] = pos
+            pos = child
+        heap[pos] = v
+        heap_pos[v] = pos
 
     # ------------------------------------------------------------------
     # Backtracking
@@ -373,6 +492,7 @@ class Solver:
             self.polarity[v] = lit_sign(literal)
             self.assigns[v] = _UNASSIGNED
             self.reasons[v] = None
+            self._heap_push(v)
         del self.trail[bound:]
         del self.trail_lim[level:]
         self.prop_head = len(self.trail)
@@ -411,6 +531,8 @@ class Solver:
         if conflict is not None:
             self._ok = False
             return SolverResult(False)
+        if self.branching != "linear":
+            self._heap_fill()
 
         restart_idx = 0
         conflicts_until_restart = 32 * _luby(restart_idx)
@@ -425,7 +547,17 @@ class Solver:
                 if self._decision_level == 0:
                     return SolverResult(False)
                 learned_lits, back_level = self._analyze(conflict)
-                self._cancel_until(max(back_level, self._assumption_level(assumptions)))
+                # Keep assumption decisions across backjumps: clamp the
+                # target at the assumption prefix -- but only when the
+                # conflict is deeper than the prefix.  A conflict at (or
+                # inside) the prefix must cancel past it so the asserting
+                # literal's variable is actually freed; the cancelled
+                # assumptions are re-decided by _next_assumption.
+                target = back_level
+                prefix = self._assumption_level(assumptions)
+                if self._decision_level > prefix:
+                    target = max(back_level, prefix)
+                self._cancel_until(target)
                 if len(learned_lits) == 1:
                     if self._decision_level > 0:
                         # Can't assert at a level above the assumptions; retry
@@ -473,7 +605,24 @@ class Solver:
             self._enqueue(next_lit, None)
 
     def _assumption_level(self, assumptions: Sequence[int]) -> int:
-        return 0
+        """Number of leading decision levels forced by assumptions.
+
+        Assumptions are always decided before ordinary branching, so the
+        levels they occupy form a prefix of ``trail_lim``.  Backjumping
+        must never cancel into that prefix, or the solver would silently
+        drop an assumption mid-solve and explore a search space the
+        caller excluded.
+        """
+        if not assumptions:
+            return 0
+        aset = set(assumptions)
+        count = 0
+        for level_idx, bound in enumerate(self.trail_lim):
+            if bound < len(self.trail) and self.trail[bound] in aset:
+                count = level_idx + 1
+            else:
+                break
+        return count
 
     def _next_assumption(self, assumptions: Sequence[int]):
         """Next unassigned assumption literal, False if one is violated."""

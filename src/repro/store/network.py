@@ -12,7 +12,7 @@ RTT values are representative public inter-region latencies (ms).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
 from repro.errors import SimulationError
 

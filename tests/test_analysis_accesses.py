@@ -1,8 +1,7 @@
 """Access-summary and aliasing tests."""
 
-import pytest
 
-from repro.analysis.accesses import rmw_field, summarize_program, summarize_transaction
+from repro.analysis.accesses import rmw_field, summarize_program
 from repro.analysis.aliasing import Alias, alias_commands
 from repro.lang import ast, parse_program
 

@@ -1,0 +1,249 @@
+"""Analysis pipeline tests: planner topology, memo cache semantics, and
+strategy equivalence against the serial seed oracle."""
+
+import pytest
+
+from repro.analysis import (
+    AnomalyOracle,
+    CC,
+    EC,
+    QueryCache,
+    QueryPlanner,
+    RR,
+    summarize_program,
+)
+from repro.analysis.pipeline import (
+    ParallelStrategy,
+    SerialStrategy,
+    fingerprint_command,
+    fingerprint_summary,
+    resolve_strategy,
+)
+from repro.lang import parse_program
+
+
+def canonical(pairs):
+    """Full structural identity of an AccessPair list."""
+    return [
+        (
+            p.txn,
+            p.c1,
+            p.c2,
+            tuple(sorted(p.fields1)),
+            tuple(sorted(p.fields2)),
+            p.interferers,
+            p.patterns,
+        )
+        for p in pairs
+    ]
+
+
+class TestPlanner:
+    def test_one_query_per_pair_and_interferer(self, courseware):
+        summaries = summarize_program(courseware)
+        plan = QueryPlanner().plan(summaries, EC, True)
+        n_txns = len(summaries)
+        expected_pairs = sum(
+            len(s.ordered_pairs()) for s in summaries.values()
+        )
+        assert len(plan.batches) == expected_pairs
+        assert len(plan.queries()) == expected_pairs * n_txns
+
+    def test_generations_are_topological(self, courseware):
+        summaries = summarize_program(courseware)
+        plan = QueryPlanner().plan(summaries, EC, True)
+        generations = plan.generations()
+        # Queries have no dependencies; merges depend only on queries.
+        assert len(generations) == 2
+        assert all(n.kind == "query" for n in generations[0])
+        assert all(n.kind == "merge" for n in generations[1])
+        assert len(generations[1]) == len(plan.batches)
+
+    def test_cache_keys_ignore_transaction_names(self):
+        src = """
+        schema T {{ key id; field v; }}
+        txn {name}(k) {{
+          x := select v from T where id = k;
+          update T set v = x.v + 1 where id = k;
+        }}
+        """
+        s1 = summarize_program(parse_program(src.format(name="incr")))
+        s2 = summarize_program(parse_program(src.format(name="bump")))
+        assert fingerprint_summary(s1["incr"]) == fingerprint_summary(s2["bump"])
+
+    def test_fingerprints_see_structural_change(self):
+        base = """
+        schema T { key id; field v; field w; }
+        txn t(k) { update T set v = 1 where id = k; }
+        """
+        changed = base.replace("set v = 1", "set w = 1")
+        c1 = summarize_program(parse_program(base))["t"].commands[0]
+        c2 = summarize_program(parse_program(changed))["t"].commands[0]
+        assert fingerprint_command(c1) != fingerprint_command(c2)
+
+
+class TestQueryCache:
+    def test_identical_requery_hits(self, courseware):
+        cache = QueryCache()
+        oracle = AnomalyOracle(EC, strategy="cached", cache=cache)
+        first = oracle.analyze(courseware)
+        second = oracle.analyze(courseware)
+        assert first.cache_hits == 0
+        assert second.cache_misses == 0
+        assert second.cache_hits == first.cache_misses
+        assert canonical(first.pairs) == canonical(second.pairs)
+
+    def test_touched_transactions_miss_untouched_hit(self):
+        """A merge-style rewrite of one transaction must invalidate only
+        the queries that mention it."""
+        base = """
+        schema A { key id; field x; field y; }
+        txn writer(k) {
+          update A set x = 1 where id = k;
+          update A set y = 2 where id = k;
+        }
+        txn reader(k) {
+          p := select x from A where id = k;
+          q := select y from A where id = k;
+          return p.x + q.y;
+        }
+        """
+        # The merged variant of `writer` (one combined update): its
+        # summaries fingerprint differently, reader's stay identical.
+        merged = """
+        schema A { key id; field x; field y; }
+        txn writer(k) {
+          update A set x = 1, y = 2 where id = k;
+        }
+        txn reader(k) {
+          p := select x from A where id = k;
+          q := select y from A where id = k;
+          return p.x + q.y;
+        }
+        """
+        cache = QueryCache()
+        oracle = AnomalyOracle(EC, strategy="cached", cache=cache)
+        oracle.analyze(parse_program(base))
+        report = oracle.analyze(parse_program(merged))
+        # reader-vs-reader queries are untouched by the rewrite and hit;
+        # anything involving the rewritten writer misses.
+        assert report.cache_hits > 0
+        assert report.cache_misses > 0
+        summaries = summarize_program(parse_program(merged))
+        reader_pairs = len(summaries["reader"].ordered_pairs())
+        assert report.cache_hits == reader_pairs  # (reader, c1, c2) vs reader
+
+    def test_explicit_invalidation(self, courseware):
+        cache = QueryCache()
+        oracle = AnomalyOracle(EC, strategy="cached", cache=cache)
+        oracle.analyze(courseware)
+        assert len(cache) > 0
+        dropped = cache.invalidate(txns={"regSt"})
+        assert dropped > 0
+        report = oracle.analyze(courseware)
+        assert report.cache_misses == dropped
+
+    def test_invalidate_by_table(self, courseware):
+        cache = QueryCache()
+        AnomalyOracle(EC, strategy="cached", cache=cache).analyze(courseware)
+        populated = len(cache)
+        assert populated > 0
+        # Every courseware query touches STUDENT, EMAIL, or COURSE.
+        dropped = cache.invalidate(tables={"STUDENT", "EMAIL", "COURSE"})
+        assert dropped == populated
+        assert len(cache) == 0
+        assert cache.invalidate(tables={"STUDENT"}) == 0  # already empty
+
+    def test_ec_unsat_reused_at_stronger_levels(self):
+        src = """
+        schema T { key id; field v; }
+        txn r1(k) { x := select v from T where id = k; return x.v; }
+        txn r2(k) {
+          x := select v from T where id = k;
+          y := select v from T where id = k;
+          return x.v + y.v;
+        }
+        """
+        program = parse_program(src)
+        cache = QueryCache()
+        ec = AnomalyOracle(EC, strategy="cached", cache=cache).analyze(program)
+        assert ec.pairs == []  # read-only program: every query is UNSAT
+        rr = AnomalyOracle(RR, strategy="cached", cache=cache).analyze(program)
+        assert rr.cache_misses == 0
+        assert rr.pairs == []
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("level", [EC, CC, RR])
+    def test_cached_matches_serial(self, courseware, level):
+        serial = AnomalyOracle(level).analyze(courseware)
+        cached = AnomalyOracle(level, strategy="cached").analyze(courseware)
+        assert canonical(serial.pairs) == canonical(cached.pairs)
+        assert serial.pairs_checked == cached.pairs_checked
+
+    def test_parallel_matches_serial(self, courseware):
+        serial = AnomalyOracle(EC).analyze(courseware)
+        oracle = AnomalyOracle(
+            EC, strategy=ParallelStrategy(max_workers=2)
+        )
+        try:
+            parallel = oracle.analyze(courseware)
+        finally:
+            oracle.close()
+        assert canonical(serial.pairs) == canonical(parallel.pairs)
+
+    def test_prefilter_knob_is_result_neutral(self, courseware):
+        with_screen = AnomalyOracle(
+            EC, use_prefilter=True, strategy="cached"
+        ).analyze(courseware)
+        without = AnomalyOracle(
+            EC, use_prefilter=False, strategy="cached"
+        ).analyze(courseware)
+        assert canonical(with_screen.pairs) == canonical(without.pairs)
+
+    def test_report_carries_execution_metadata(self, courseware):
+        report = AnomalyOracle(EC, strategy="cached").analyze(courseware)
+        assert report.strategy == "cached"
+        assert report.cache_misses > 0
+        assert report.solver_stats.get("propagations", 0) > 0
+        assert report.queries_per_second >= 0
+
+
+class TestStrategyResolution:
+    def test_names_resolve(self):
+        assert isinstance(resolve_strategy("cached"), SerialStrategy)
+        assert isinstance(resolve_strategy("parallel"), ParallelStrategy)
+        auto = resolve_strategy("auto")
+        assert isinstance(auto, (SerialStrategy, ParallelStrategy))
+
+    def test_instance_passthrough(self):
+        runner = SerialStrategy()
+        assert resolve_strategy(runner) is runner
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_strategy("warp-speed")
+
+    def test_single_worker_parallel_degrades_in_process(self, courseware):
+        strategy = ParallelStrategy(max_workers=1)
+        oracle = AnomalyOracle(EC, strategy=strategy)
+        report = oracle.analyze(courseware)
+        assert strategy._executor is None  # never spun up a pool
+        assert len(report.pairs) == 5
+
+
+class TestRepairEngineIntegration:
+    def test_repair_reuses_cache_across_reanalyses(self, courseware):
+        from repro.repair.engine import RepairEngine
+
+        cache = QueryCache()
+        serial = RepairEngine().repair(courseware)
+        cached = RepairEngine(strategy="cached", cache=cache).repair(courseware)
+        assert canonical(serial.initial_pairs) == canonical(cached.initial_pairs)
+        assert canonical(serial.residual_pairs) == canonical(
+            cached.residual_pairs
+        )
+        assert [o.action for o in serial.outcomes] == [
+            o.action for o in cached.outcomes
+        ]
+        assert cache.hits > 0  # the fixpoint re-analyses hit the memo

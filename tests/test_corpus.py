@@ -7,7 +7,6 @@ import pytest
 
 from repro.analysis import detect_anomalies, SC
 from repro.corpus import ALL_BENCHMARKS, BY_NAME
-from repro.lang import ast
 from repro.repair import repair
 from repro.semantics import run_serial
 

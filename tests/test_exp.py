@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.corpus import BY_NAME, COURSEWARE, SIBENCH, SMALLBANK
+from repro.corpus import COURSEWARE, SIBENCH, SMALLBANK
 from repro.exp import (
     format_table,
     run_invariant_study,

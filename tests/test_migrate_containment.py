@@ -12,8 +12,6 @@ from repro.refactor.correspondence import (
     RecordCorrespondence,
     ValueCorrespondence,
 )
-from repro.refactor.logger import build_logger
-from repro.refactor.redirect import build_redirect
 from repro.repair import repair
 from repro.semantics import Database
 

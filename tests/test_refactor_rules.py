@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import RefactoringError
-from repro.lang import ast, parse_program, print_program
+from repro.lang import ast, parse_program
 from repro.refactor import (
     apply_logger,
     apply_redirect,

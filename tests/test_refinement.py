@@ -8,7 +8,6 @@ final states, and check the containment relation under the accumulated
 value correspondences -- plus equality of transaction return values.
 """
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

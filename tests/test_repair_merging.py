@@ -1,6 +1,5 @@
 """Merging and preprocessing unit tests."""
 
-import pytest
 
 from repro.analysis import detect_anomalies
 from repro.lang import ast, parse_program

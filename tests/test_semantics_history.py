@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.lang import parse_program
 from repro.semantics import (
@@ -14,7 +13,7 @@ from repro.semantics import (
     run_interleaved,
     run_serial,
 )
-from repro.semantics.views import FullView, RandomPartialView, ScriptedView
+from repro.semantics.views import RandomPartialView, ScriptedView
 
 RMW_SRC = """
 schema T { key id; field v; }

@@ -3,8 +3,10 @@ cross-check against brute-force enumeration."""
 
 import itertools
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.errors import SolverError
 from repro.smt.solver import Solver, lit, neg, lit_var, lit_sign
 
 
@@ -159,6 +161,164 @@ class TestAgainstBruteForce:
         if got.sat:
             for c in clauses:
                 assert any(got.model.get(l >> 1, False) != bool(l & 1) for l in c)
+
+
+class TestHeapBranching:
+    """The indexed VSIDS heap must make exactly the decisions of the
+    reference linear scan (ties break toward the lowest index in both)."""
+
+    def _compare(self, build):
+        heap_solver = build(Solver(branching="heap"))
+        linear_solver = build(Solver(branching="linear"))
+        heap_result = heap_solver.solve()
+        linear_result = linear_solver.solve()
+        assert heap_result.sat == linear_result.sat
+        assert heap_result.model == linear_result.model
+        assert heap_solver.stats == linear_solver.stats
+        return heap_result
+
+    def test_pigeonhole_unsat_identical(self):
+        def build(s):
+            v = [[s.new_var() for _ in range(4)] for _ in range(5)]
+            for i in range(5):
+                s.add_clause([lit(v[i][j]) for j in range(4)])
+            for j in range(4):
+                for i1 in range(5):
+                    for i2 in range(i1 + 1, 5):
+                        s.add_clause([neg(lit(v[i1][j])), neg(lit(v[i2][j]))])
+            return s
+
+        assert not self._compare(build).sat
+
+    def test_at_most_one_identical(self):
+        def build(s):
+            vs = [s.new_var() for _ in range(8)]
+            s.add_clause([lit(v) for v in vs])
+            for i in range(8):
+                for j in range(i + 1, 8):
+                    s.add_clause([neg(lit(vs[i])), neg(lit(vs[j]))])
+            return s
+
+        assert self._compare(build).sat
+
+    @given(_cnf())
+    @settings(max_examples=60, deadline=None)
+    def test_random_cnf_identical(self, problem):
+        num_vars, clauses = problem
+
+        def build(s):
+            for _ in range(num_vars):
+                s.new_var()
+            for c in clauses:
+                s.add_clause(c)
+            return s
+
+        self._compare(build)
+
+    def test_unknown_branching_rejected(self):
+        with pytest.raises(SolverError):
+            Solver(branching="random")
+
+
+def _assumption_instance(s, seed=58):
+    """A deterministic random 3-SAT instance (satisfiable under the
+    assumptions, with several conflicts under the default heuristics)
+    whose conflict-driven backjumps target levels inside the two-deep
+    assumption prefix -- exactly the shape the ``_assumption_level``
+    regression mis-handled."""
+    import random
+
+    rng = random.Random(seed)
+    vs = [s.new_var() for _ in range(30)]
+    clauses = []
+    for _ in range(120):
+        c = [lit(rng.randrange(30), rng.random() < 0.5) for _ in range(3)]
+        clauses.append(c)
+        s.add_clause(c)
+    return vs, clauses, [lit(vs[0]), lit(vs[1])]
+
+
+class TestAssumptionLevels:
+    """Regression: _assumption_level returned 0, so backjumping could
+    cancel assumption decisions mid-solve."""
+
+    def test_deep_backjump_keeps_assumptions(self):
+        cancels = []
+
+        class Probe(Solver):
+            def _cancel_until(self, level):
+                cancels.append((len(self.trail_lim), level))
+                super()._cancel_until(level)
+
+        s = Probe()
+        vs, clauses, assumptions = _assumption_instance(s)
+        r = s.solve(assumptions=assumptions)
+        assert r.sat
+        assert s.stats["conflicts"] > 0
+        assert r.value(vs[0]) and r.value(vs[1])
+        for c in clauses:
+            assert any(r.model.get(l >> 1, False) != bool(l & 1) for l in c)
+        # Conflict-driven backjumps clamp at the assumption prefix; only
+        # the initial reset and learned-unit restarts may go to level 0.
+        for from_level, to_level in cancels:
+            if from_level > len(assumptions):
+                assert to_level == 0 or to_level >= len(assumptions)
+        # The clamp actually engaged: some backjump from deeper in the
+        # tree stopped exactly at the assumption prefix.
+        assert any(
+            from_level > 2 and to_level == 2 for from_level, to_level in cancels
+        )
+
+    def test_assumption_level_counts_decision_prefix(self):
+        seen = []
+
+        class Spy(Solver):
+            def _assumption_level(self, assumptions):
+                level = super()._assumption_level(assumptions)
+                seen.append(level)
+                return level
+
+        s = Spy()
+        _, _, assumptions = _assumption_instance(s)
+        assert s.solve(assumptions=assumptions).sat
+        # At some conflict both assumption decisions were on the trail.
+        assert seen and max(seen) == 2
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+    def test_assumptions_agree_with_unit_clauses(self, seed):
+        """Solving under assumptions must decide exactly like solving
+        with the assumptions added as unit clauses (seed 1 is UNSAT and
+        historically went wrong when a no-op backjump at the assumption
+        prefix swallowed a conflict)."""
+        s1 = Solver()
+        vs1, clauses, assumptions = _assumption_instance(s1, seed=seed)
+        r1 = s1.solve(assumptions=assumptions)
+        s2 = Solver()
+        vs2, _, _ = _assumption_instance(s2, seed=seed)
+        for a in [lit(vs2[0]), lit(vs2[1])]:
+            s2.add_clause([a])
+        r2 = s2.solve()
+        assert r1.sat == r2.sat
+        if r1.sat:
+            for c in clauses:
+                assert any(r1.model.get(l >> 1, False) != bool(l & 1) for l in c)
+
+    def test_no_assumptions_is_level_zero(self):
+        s = Solver()
+        s.new_var()
+        assert s._assumption_level([]) == 0
+
+    def test_violated_assumption_unsat(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([neg(lit(a))])
+        assert not s.solve(assumptions=[lit(a)]).sat
+
+    def test_contradictory_assumptions_unsat(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([lit(a), lit(b)])
+        assert not s.solve(assumptions=[lit(a), neg(lit(a))]).sat
 
 
 class TestIncremental:

@@ -1,6 +1,5 @@
 """Traversal/rewriting helper tests."""
 
-from dataclasses import replace
 
 from repro.lang import ast, parse_expression, parse_program
 from repro.lang.traverse import (
