@@ -1,0 +1,119 @@
+"""Compare a fresh oracle-scaling run against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --fresh BENCH_fresh.json --baseline BENCH_oracle.json \
+        [--tolerance 0.2]
+
+The committed ``BENCH_oracle.json`` is measured on the full corpus
+while CI runs the small smoke corpus, so absolute seconds are not
+comparable across the two.  The gate therefore compares the *relative*
+speedups -- incremental-vs-pipeline and pipeline-vs-serial -- which are
+corpus-size-stable: the fresh run fails if either ratio drops more than
+``tolerance`` (default 20%) below the baseline's.
+
+Pipeline-relative ratios are **not** stable across core counts: on a
+single-core host ``strategy="parallel"`` degrades to the in-process
+runner, while a multi-core runner spins a real process pool, shifting
+them for reasons that have nothing to do with a code regression.
+Those ratios are therefore only gated when the fresh run's
+``cpu_count`` matches the baseline's.  The incremental-vs-serial
+speedup *is* host-shape-stable (both strategies run single-threaded
+everywhere), so it is gated unconditionally -- that is the ratio that
+catches a broken warm-session subsystem on any CI host.
+
+Result rows (per-benchmark ec/at/cc/rr counts) are compared exactly for
+every benchmark present in both runs: a count drift is a correctness
+regression, never noise, and fails regardless of tolerance or host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> list:
+    failures = []
+
+    base_rows = {r["name"]: r for r in baseline.get("rows", [])}
+    for row in fresh.get("rows", []):
+        base = base_rows.get(row["name"])
+        if base is None:
+            continue
+        for column in ("ec", "at", "cc", "rr"):
+            if row[column] != base[column]:
+                failures.append(
+                    f"{row['name']}: {column} drifted "
+                    f"{base[column]} -> {row[column]} (correctness gate)"
+                )
+
+    fresh_cpus = fresh.get("environment", {}).get("cpu_count")
+    base_cpus = baseline.get("environment", {}).get("cpu_count")
+    gates = [("incremental_speedup_vs_serial", "incremental-vs-serial speedup")]
+    if fresh_cpus == base_cpus:
+        gates += [
+            ("speedup", "pipeline-vs-serial speedup"),
+            ("incremental_speedup_vs_pipeline", "incremental-vs-pipeline speedup"),
+        ]
+    else:
+        print(
+            f"host shape differs (cpu_count {base_cpus} -> {fresh_cpus}); "
+            "pipeline-relative ratios reported but not gated"
+        )
+
+    for key, label in gates:
+        base_value = baseline.get(key)
+        fresh_value = fresh.get(key)
+        if base_value is None or fresh_value is None:
+            # Older baselines predate the incremental entry; skip rather
+            # than fail so the first run after an upgrade can seed it.
+            continue
+        floor = base_value * (1.0 - tolerance)
+        if fresh_value < floor:
+            failures.append(
+                f"{label} regressed: {fresh_value:.2f}x < "
+                f"{floor:.2f}x (baseline {base_value:.2f}x - {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True, help="freshly measured JSON")
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional speedup drop before failing (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    failures = check(fresh, baseline, args.tolerance)
+
+    print(
+        f"fresh: pipeline {fresh.get('speedup')}x, "
+        f"incremental {fresh.get('incremental_speedup_vs_pipeline')}x | "
+        f"baseline: pipeline {baseline.get('speedup')}x, "
+        f"incremental {baseline.get('incremental_speedup_vs_pipeline')}x"
+    )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("bench regression gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

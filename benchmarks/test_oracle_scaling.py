@@ -1,11 +1,12 @@
-"""Oracle execution-pipeline scaling: serial seed loop vs parallel+cached.
+"""Oracle execution scaling: serial seed loop vs parallel+cached
+pipeline vs incremental warm-solver sessions.
 
 Runs the full-corpus Table 1 workload (repair fixpoint plus CC/RR
-sweeps) twice -- once with the seed serial oracle, once with the
-pipeline's parallel+cached strategy -- verifies the outputs are
-identical, and records wall-clock speedup, cache hit-rate, queries/sec
-and solver counters into ``BENCH_oracle.json`` so CI tracks the perf
-trajectory on every run.
+sweeps) three ways -- the seed serial oracle, the PR 1 parallel+cached
+pipeline, and the PR 2 incremental session strategy -- verifies the
+outputs are identical, and records wall-clock speedups, cache hit-rate,
+session reuse, queries/sec and solver counters into
+``BENCH_oracle.json`` so CI tracks the perf trajectory on every run.
 
 Environment knobs:
 
@@ -20,6 +21,7 @@ import platform
 import time
 
 from repro.analysis import AnomalyOracle, EC, QueryCache
+from repro.analysis.pipeline import resolve_strategy
 from repro.corpus import ALL_BENCHMARKS, BY_NAME
 from repro.exp import run_table1
 
@@ -63,50 +65,108 @@ def _row_signature(rows):
     ]
 
 
+def _count_signature(rows):
+    """Level counts only: CC/RR pair *fields* may legitimately differ
+    between strategies (an equally-valid witness of the same anomaly),
+    the counts and the repair-facing EC pairs may not."""
+    return [(r.name, r.ec, r.at, r.cc, r.rr, r.tables_after) for r in rows]
+
+
+def _repair_signature(rows):
+    """The repair-facing output: EC pair sets, field-exact."""
+    return [
+        (
+            row.name,
+            _canonical(row.report.initial_pairs),
+            _canonical(row.report.residual_pairs),
+        )
+        for row in rows
+    ]
+
+
 class TestStrategyEquivalence:
-    """Acceptance gate: the parallel+cached oracle must reproduce the
-    serial seed oracle exactly on TPC-C, SmallBank, and Courseware."""
+    """Acceptance gate: the pipeline and incremental oracles must
+    reproduce the serial seed oracle exactly on TPC-C, SmallBank, and
+    Courseware."""
 
     def test_identical_access_pairs(self):
         for name in SMOKE_CORPUS:
             program = BY_NAME[name].program()
             serial = AnomalyOracle(EC).analyze(program)
-            oracle = AnomalyOracle(EC, strategy="parallel")
-            try:
-                pipelined = oracle.analyze(program)
-            finally:
-                oracle.close()
-            assert _canonical(serial.pairs) == _canonical(pipelined.pairs), name
-            assert serial.pairs_checked == pipelined.pairs_checked, name
+            for strategy in ("parallel", "incremental"):
+                oracle = AnomalyOracle(EC, strategy=strategy)
+                try:
+                    report = oracle.analyze(program)
+                finally:
+                    oracle.close()
+                assert _canonical(serial.pairs) == _canonical(report.pairs), (
+                    name,
+                    strategy,
+                )
+                assert serial.pairs_checked == report.pairs_checked, (name, strategy)
 
 
 def test_oracle_scaling(capsys):
     corpus = _corpus()
 
-    # Serial seed baseline (best of two to damp scheduler noise).
+    # Serial seed baseline (best of three to damp scheduler noise).
     serial_seconds = float("inf")
-    for _ in range(2):
+    for _ in range(3):
         start = time.perf_counter()
         serial_rows = run_table1(corpus)
         serial_seconds = min(serial_seconds, time.perf_counter() - start)
 
-    # Parallel+cached pipeline, cold cache each repetition.
+    # Parallel+cached pipeline (PR 1), cold cache each repetition.
     pipeline_seconds = float("inf")
-    for _ in range(2):
+    for _ in range(3):
         cache = QueryCache()
         start = time.perf_counter()
         pipeline_rows = run_table1(corpus, strategy="parallel", cache=cache)
         pipeline_seconds = min(pipeline_seconds, time.perf_counter() - start)
 
+    # Incremental warm-solver sessions (PR 2), cold cache + pool each
+    # repetition.  Pool counters are deterministic across repetitions,
+    # so capture them once; close each runner so the three warm pools
+    # don't stack up in memory.
+    incremental_seconds = float("inf")
+    session_counters = {}
+    for _ in range(3):
+        inc_cache = QueryCache()
+        with resolve_strategy("incremental") as runner:
+            start = time.perf_counter()
+            incremental_rows = run_table1(corpus, strategy=runner, cache=inc_cache)
+            incremental_seconds = min(
+                incremental_seconds, time.perf_counter() - start
+            )
+            session_counters = runner.pool.counters()
+
+    # Hard equivalence gates: the pipeline matches the seed exactly;
+    # the incremental strategy matches every count and the repair-facing
+    # EC pair sets field-for-field (its first, witness-bearing solve per
+    # session runs on a virgin solver).  CC/RR witness fields may differ
+    # only by picking another model of the same encoding, which
+    # tests/test_oracle_session.py validates semantically per query.
     assert _row_signature(serial_rows) == _row_signature(pipeline_rows)
+    assert _count_signature(serial_rows) == _count_signature(incremental_rows)
+    assert _repair_signature(serial_rows) == _repair_signature(incremental_rows)
 
     queries = cache.hits + cache.misses
     solver_stats = {}
     for row in pipeline_rows:
         for key, value in row.oracle_stats.items():
             solver_stats[key] = solver_stats.get(key, 0) + value
+    incremental_stats = {}
+    for row in incremental_rows:
+        for key, value in row.oracle_stats.items():
+            incremental_stats[key] = incremental_stats.get(key, 0) + value
 
     speedup = serial_seconds / pipeline_seconds if pipeline_seconds else 0.0
+    incremental_speedup = (
+        pipeline_seconds / incremental_seconds if incremental_seconds else 0.0
+    )
+    total_speedup = (
+        serial_seconds / incremental_seconds if incremental_seconds else 0.0
+    )
     payload = {
         "benchmark": "oracle-scaling",
         "workload": "table1 (repair fixpoint + CC/RR sweeps)",
@@ -118,21 +178,27 @@ def test_oracle_scaling(capsys):
         },
         "serial_seconds": round(serial_seconds, 4),
         "pipeline_seconds": round(pipeline_seconds, 4),
+        "incremental_seconds": round(incremental_seconds, 4),
         "speedup": round(speedup, 2),
+        "incremental_speedup_vs_pipeline": round(incremental_speedup, 2),
+        "incremental_speedup_vs_serial": round(total_speedup, 2),
         "queries": queries,
         "queries_per_second": {
             "serial": round(queries / serial_seconds, 1),
             "pipeline": round(queries / pipeline_seconds, 1),
+            "incremental": round(queries / incremental_seconds, 1),
         },
         "cache": {
             "hits": cache.hits,
             "misses": cache.misses,
             "hit_rate": round(cache.hit_rate, 4),
         },
+        "sessions": session_counters,
         "solver": solver_stats,
+        "incremental_solver": incremental_stats,
         "rows": [
             {"name": r.name, "ec": r.ec, "at": r.at, "cc": r.cc, "rr": r.rr}
-            for r in pipeline_rows
+            for r in incremental_rows
         ],
     }
     out_path = os.environ.get("BENCH_ORACLE_OUT", "BENCH_oracle.json")
@@ -143,12 +209,23 @@ def test_oracle_scaling(capsys):
     with capsys.disabled():
         print(
             f"\noracle scaling: serial={serial_seconds:.2f}s "
-            f"pipeline={pipeline_seconds:.2f}s speedup={speedup:.2f}x "
-            f"cache hit-rate={cache.hit_rate:.1%} -> {out_path}"
+            f"pipeline={pipeline_seconds:.2f}s "
+            f"incremental={incremental_seconds:.2f}s | "
+            f"pipeline {speedup:.2f}x, incremental {incremental_speedup:.2f}x "
+            f"over pipeline ({total_speedup:.2f}x over serial), "
+            f"cache hit-rate={cache.hit_rate:.1%}, "
+            f"session model-hits={session_counters.get('model_hits', 0)} "
+            f"-> {out_path}"
         )
 
     # Identical results are a hard gate (asserted above).  The speedup
-    # floor here is intentionally below the ~2.4x we measure, so CI noise
-    # cannot turn the perf record into a flake; BENCH_oracle.json carries
-    # the actual number.
+    # floors are intentionally below what we measure, so CI noise cannot
+    # turn the perf record into a flake; BENCH_oracle.json carries the
+    # actual numbers.  incremental-vs-serial is host-shape-stable (both
+    # run single-threaded everywhere); the pipeline-relative ratio is
+    # only meaningful where "parallel" degrades to in-process, i.e. on
+    # single-core hosts like the bench machine.
     assert speedup > 1.2
+    assert total_speedup > 1.5
+    if (os.cpu_count() or 1) == 1:
+        assert incremental_speedup > 1.2

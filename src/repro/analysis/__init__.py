@@ -26,9 +26,16 @@ atomically visible transactions).
 
 from repro.analysis.consistency import ConsistencyLevel, EC, CC, RR, SC
 from repro.analysis.accesses import CommandInfo, TransactionSummary, summarize_program
-from repro.analysis.oracle import AccessPair, AnomalyOracle, detect_anomalies
+from repro.analysis.encoding import PairSession
+from repro.analysis.oracle import (
+    AccessPair,
+    AnomalyOracle,
+    OracleSession,
+    detect_anomalies,
+)
 from repro.analysis.pipeline import (
     AnalysisPipeline,
+    IncrementalStrategy,
     ParallelStrategy,
     QueryCache,
     QueryPlanner,
@@ -46,8 +53,11 @@ __all__ = [
     "summarize_program",
     "AccessPair",
     "AnomalyOracle",
+    "OracleSession",
+    "PairSession",
     "detect_anomalies",
     "AnalysisPipeline",
+    "IncrementalStrategy",
     "ParallelStrategy",
     "QueryCache",
     "QueryPlanner",

@@ -47,7 +47,8 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.accesses import CommandInfo, TransactionSummary
 from repro.analysis.aliasing import Alias, alias_commands
-from repro.analysis.consistency import ConsistencyLevel
+from repro.analysis.consistency import EC, ConsistencyLevel
+from repro.smt.solver import neg as sat_neg, stats_delta
 from repro.smt.formula import (
     And,
     BoolVar,
@@ -114,14 +115,28 @@ class PairEncoder:
         self.builder = FormulaBuilder(fold_constants=fold_constants)
         self.same_txn = summary_a is not None and summary_a.name == summary_b.name
         self._alias_cache: Dict[Tuple[str, str], Formula] = {}
+        # Visibility variables are requested repeatedly by the disjunct
+        # builders, every axiom generator, and model evaluation; memoise
+        # them to skip the name formatting and interning lookups.
+        self._vis_cache: Dict[Tuple[str, str, str], BoolVar] = {}
 
     # -- variable constructors ------------------------------------------
 
     def vis_b_to_a(self, b: CommandInfo, a: CommandInfo) -> BoolVar:
-        return self.builder.var(f"V[{b.label}->{a.label}]")
+        key = ("V", b.label, a.label)
+        var = self._vis_cache.get(key)
+        if var is None:
+            var = self.builder.var(f"V[{b.label}->{a.label}]")
+            self._vis_cache[key] = var
+        return var
 
     def vis_a_to_b(self, a: CommandInfo, b: CommandInfo) -> BoolVar:
-        return self.builder.var(f"W[{a.label}->{b.label}]")
+        key = ("W", a.label, b.label)
+        var = self._vis_cache.get(key)
+        if var is None:
+            var = self.builder.var(f"W[{a.label}->{b.label}]")
+            self._vis_cache[key] = var
+        return var
 
     def alias(self, x: CommandInfo, x_side: str, y: CommandInfo, y_side: str) -> Formula:
         """Alias formula between a node of side ``x_side`` ('A'/'B') and
@@ -148,6 +163,10 @@ class PairEncoder:
     def _node_key(cmd: CommandInfo, side: str) -> str:
         return f"{side}:{cmd.label}"
 
+    def resolve_literal(self, var: BoolVar) -> int:
+        """The solver literal for a (possibly new) named variable."""
+        return self.builder.literal(var)
+
     # -- axiom construction ------------------------------------------------
 
     def assert_axioms(self) -> None:
@@ -159,12 +178,20 @@ class PairEncoder:
         if self.level.causal:
             self._assert_causal()
 
+    # The per-feature axiom sets are produced by constraint generators
+    # shared between clause assertion (below) and model evaluation
+    # (:meth:`model_satisfies`), so the warm-session shortcut that checks
+    # a cached model against a level's axioms can never drift from what
+    # the solver would enforce.
+
     def _nodes(self) -> List[Tuple[CommandInfo, str]]:
         out = [(self.c1, "A"), (self.c2, "A")]
         out += [(cmd, "B") for cmd in self.b.commands]
         return out
 
-    def _assert_alias_transitivity(self) -> None:
+    def _alias_triangles(self):
+        """Yield per-table alias triangles ``(axy, ayz, axz)``; each is
+        transitively closed in all three directions."""
         nodes = self._nodes()
         by_table: Dict[str, List[Tuple[CommandInfo, str]]] = {}
         for node in nodes:
@@ -178,41 +205,59 @@ class PairEncoder:
                         axy = self.alias(x[0], x[1], y[0], y[1])
                         ayz = self.alias(y[0], y[1], z[0], z[1])
                         axz = self.alias(x[0], x[1], z[0], z[1])
-                        self.builder.assert_implication((axy, ayz), axz)
-                        self.builder.assert_implication((axy, axz), ayz)
-                        self.builder.assert_implication((ayz, axz), axy)
+                        yield axy, ayz, axz
 
-    def _assert_serializable(self) -> None:
-        # `ab` true: the A instance commits first.
-        ab = self.builder.var("order[A<B]")
+    def _assert_alias_transitivity(self) -> None:
+        for axy, ayz, axz in self._alias_triangles():
+            self.builder.assert_implication((axy, ayz), axz)
+            self.builder.assert_implication((axy, axz), ayz)
+            self.builder.assert_implication((ayz, axz), axy)
+
+    def transitivity_holds(self, model: Dict[str, bool]) -> bool:
+        """Whether a candidate assignment respects alias transitivity."""
+        for triangle in self._alias_triangles():
+            a, b, c = (evaluate(f, model) for f in triangle)
+            if (a and b and not c) or (a and c and not b) or (b and c and not a):
+                return False
+        return True
+
+    def _serializable_links(self):
+        """Yield ``(vis, flipped)``: each visibility variable is
+        equivalent to the commit-order boolean (``order[A<B]`` true means
+        the A instance commits first), negated when ``flipped``."""
         for b in self.b.writes():
             for a in (self.c1, self.c2):
-                self.builder.add(Iff(self.vis_b_to_a(b, a), Not(ab)))
+                yield self.vis_b_to_a(b, a), True
         for a in (self.c1, self.c2):
             if not a.is_write:
                 continue
             for b in self.b.commands:
-                self.builder.add(Iff(self.vis_a_to_b(a, b), ab))
+                yield self.vis_a_to_b(a, b), False
 
-    def _assert_frozen(self) -> None:
-        # A transaction's view is fixed for its whole execution.
+    def _assert_serializable(self) -> None:
+        # `ab` true: the A instance commits first.
+        ab = self.builder.var("order[A<B]")
+        for vis, flipped in self._serializable_links():
+            self.builder.add(Iff(vis, Not(ab) if flipped else ab))
+
+    def _frozen_pairs(self):
+        """Yield variable pairs constrained to be equivalent: a
+        transaction's view is fixed for its whole execution."""
         for b in self.b.writes():
-            self.builder.add(
-                Iff(self.vis_b_to_a(b, self.c1), self.vis_b_to_a(b, self.c2))
-            )
+            yield self.vis_b_to_a(b, self.c1), self.vis_b_to_a(b, self.c2)
         a_writes = [c for c in (self.c1, self.c2) if c.is_write]
         b_cmds = self.b.commands
         for a in a_writes:
             for i in range(len(b_cmds)):
                 for j in range(i + 1, len(b_cmds)):
-                    self.builder.add(
-                        Iff(
-                            self.vis_a_to_b(a, b_cmds[i]),
-                            self.vis_a_to_b(a, b_cmds[j]),
-                        )
-                    )
+                    yield self.vis_a_to_b(a, b_cmds[i]), self.vis_a_to_b(a, b_cmds[j])
 
-    def _assert_causal(self) -> None:
+    def _assert_frozen(self) -> None:
+        for v1, v2 in self._frozen_pairs():
+            self.builder.add(Iff(v1, v2))
+
+    def _causal_implications(self):
+        """Yield ``(antecedent, consequent)`` visibility implications."""
         # Session-prefix closure: seeing a later write of a session
         # implies seeing its earlier writes.
         b_writes = list(self.b.writes())
@@ -220,28 +265,49 @@ class PairEncoder:
             for j in range(i + 1, len(b_writes)):
                 earlier, later = b_writes[i], b_writes[j]
                 for a in (self.c1, self.c2):
-                    self.builder.assert_implication(
-                        (self.vis_b_to_a(later, a),), self.vis_b_to_a(earlier, a)
-                    )
+                    yield self.vis_b_to_a(later, a), self.vis_b_to_a(earlier, a)
         # Monotone growth: views never shrink within a session.
         for b in b_writes:
-            self.builder.assert_implication(
-                (self.vis_b_to_a(b, self.c1),), self.vis_b_to_a(b, self.c2)
-            )
+            yield self.vis_b_to_a(b, self.c1), self.vis_b_to_a(b, self.c2)
         if self.c1.is_write and self.c2.is_write:
             for b in self.b.commands:
-                self.builder.assert_implication(
-                    (self.vis_a_to_b(self.c2, b),), self.vis_a_to_b(self.c1, b)
-                )
+                yield self.vis_a_to_b(self.c2, b), self.vis_a_to_b(self.c1, b)
         a_writes = [c for c in (self.c1, self.c2) if c.is_write]
         b_cmds = self.b.commands
         for a in a_writes:
             for i in range(len(b_cmds)):
                 for j in range(i + 1, len(b_cmds)):
-                    self.builder.assert_implication(
-                        (self.vis_a_to_b(a, b_cmds[i]),),
-                        self.vis_a_to_b(a, b_cmds[j]),
-                    )
+                    yield self.vis_a_to_b(a, b_cmds[i]), self.vis_a_to_b(a, b_cmds[j])
+
+    def _assert_causal(self) -> None:
+        for antecedent, consequent in self._causal_implications():
+            self.builder.assert_implication((antecedent,), consequent)
+
+    def model_satisfies(self, level: ConsistencyLevel, model: Dict[str, bool]) -> bool:
+        """Whether a (skeleton) model already satisfies ``level``'s
+        axioms -- the warm-session shortcut that turns a repeat query
+        into a pure model evaluation.  Uses the same constraint
+        generators as the assertion methods."""
+        get = model.get
+        if level.session_frozen:
+            for v1, v2 in self._frozen_pairs():
+                if get(v1.name, False) != get(v2.name, False):
+                    return False
+        if level.causal:
+            for antecedent, consequent in self._causal_implications():
+                if get(antecedent.name, False) and not get(consequent.name, False):
+                    return False
+        if level.total_order:
+            links = list(self._serializable_links())
+            for order_ab in (False, True):
+                if all(
+                    get(vis.name, False) == (not order_ab if flipped else order_ab)
+                    for vis, flipped in links
+                ):
+                    break
+            else:
+                return False
+        return True
 
     # -- violation patterns ---------------------------------------------------
 
@@ -391,3 +457,366 @@ class PairEncoder:
             fields1=fields1,
             fields2=fields2,
         )
+
+
+def tables_may_conflict(
+    c1: CommandInfo, c2: CommandInfo, summary_b: TransactionSummary
+) -> bool:
+    """Cheap sound screen: every violation pattern needs an interferer
+    command on the table of ``c1`` or ``c2``, so a triple with no shared
+    table has no disjuncts and never reaches the solver."""
+    tables = {c1.table, c2.table}
+    return any(cmd.table in tables for cmd in summary_b.commands)
+
+
+class PairSession:
+    """Warm incremental SAT session for one ``(c1, c2, B)`` focus triple.
+
+    A cold query (:meth:`PairEncoder.solve`, or the pipeline's
+    ``solve_query``) rebuilds the entire encoding for every consistency
+    level: formula construction, Tseitin conversion, and a fresh solver
+    per query.  The session instead registers the level-independent
+    skeleton exactly once on one persistent incremental solver --
+    visibility/alias variables, alias transitivity, and the anomaly
+    disjunction -- and puts each consistency feature's axiom set
+    (serializable / frozen / causal) in its own retractable
+    activation-literal group, created lazily the first time a queried
+    level needs it.  A repeat query at a new level then reduces to a
+    single assumption-based solve that retains the learned clauses and
+    VSIDS activity of every earlier query on the triple.
+
+    Sessions pickle by shedding their warm state (solver, groups,
+    disjuncts): a worker that receives one over a process boundary
+    re-warms it on first query, so the ``ProcessPoolExecutor`` path
+    stays viable without serialising solver internals.
+    """
+
+    # (ConsistencyLevel flag, axiom assertion method) in the exact order
+    # assert_axioms applies them, so warm encodings match cold ones.
+    _FEATURES = (
+        ("total_order", "_assert_serializable"),
+        ("session_frozen", "_assert_frozen"),
+        ("causal", "_assert_causal"),
+    )
+
+    def __init__(
+        self,
+        c1: CommandInfo,
+        c2: CommandInfo,
+        summary_b: TransactionSummary,
+        distinct_args: bool = True,
+    ):
+        self.c1 = c1
+        self.c2 = c2
+        self.summary_b = summary_b
+        self.distinct_args = distinct_args
+        self.queries = 0
+        self.model_hits = 0
+        self._encoder: Optional[PairEncoder] = None
+        self._disjuncts: Optional[List[Disjunct]] = None
+        self._groups: Dict[str, int] = {}
+        # Models known to satisfy skeleton + disjunction, newest last
+        # (bounded); candidates for the warm model-reuse shortcut.
+        self._models: List[Dict[str, bool]] = []
+        self._static_candidates: Optional[List[Dict[str, bool]]] = None
+        # Witness extraction memo, keyed by the identity of the model
+        # object (models live in _models/_static_candidates, so their
+        # ids are stable while referenced).
+        self._witness_by_model: Dict[int, PairWitness] = {}
+
+    @property
+    def warmed(self) -> bool:
+        """Whether the skeleton has been encoded on the warm solver."""
+        return self._disjuncts is not None
+
+    def _ensure_warm(self) -> None:
+        if self._disjuncts is not None:
+            return
+        if not tables_may_conflict(self.c1, self.c2, self.summary_b):
+            self._disjuncts = []
+            return
+        encoder = PairEncoder(
+            None,
+            self.c1,
+            self.c2,
+            self.summary_b,
+            EC,
+            distinct_args=self.distinct_args,
+            fold_constants=True,
+        )
+        disjuncts = encoder.collect_disjuncts()
+        self._disjuncts = disjuncts
+        if not disjuncts:
+            return
+        # The level-independent skeleton, registered once: EC's axiom set
+        # is exactly alias transitivity, and the violation disjunction is
+        # the same formula for every level.
+        encoder.assert_axioms()
+        encoder.builder.add(big_or([d.formula for d in disjuncts]))
+        self._encoder = encoder
+
+    def _axiom_groups(self, level: ConsistencyLevel) -> List[int]:
+        """Activation groups for ``level``'s axioms, building each
+        feature's group on first use.
+
+        The feature axioms are pure binary constraints over interned
+        variables, so the session resolves them to literals once and
+        emits the guarded clauses through the solver's group API --
+        the same clause set the formula layer's folded shortcuts
+        produce, minus the per-query formula-object construction.
+        """
+        assert self._encoder is not None
+        encoder = self._encoder
+        builder = encoder.builder
+        groups: List[int] = []
+        for flag, _ in self._FEATURES:
+            if not getattr(level, flag):
+                continue
+            group_id = self._groups.get(flag)
+            if group_id is None:
+                group_id = builder.new_group()
+                solver = builder.solver
+                resolve = encoder.resolve_literal
+                if flag == "total_order":
+                    ab = resolve(builder.var("order[A<B]"))
+                    for vis, flipped in encoder._serializable_links():
+                        v = resolve(vis)
+                        order = sat_neg(ab) if flipped else ab
+                        solver.add_clause([sat_neg(v), order], group=group_id)
+                        solver.add_clause([v, sat_neg(order)], group=group_id)
+                elif flag == "session_frozen":
+                    for v1, v2 in encoder._frozen_pairs():
+                        l1, l2 = resolve(v1), resolve(v2)
+                        solver.add_clause([sat_neg(l1), l2], group=group_id)
+                        solver.add_clause([l1, sat_neg(l2)], group=group_id)
+                else:  # causal
+                    for antecedent, consequent in encoder._causal_implications():
+                        solver.add_clause(
+                            [sat_neg(resolve(antecedent)), resolve(consequent)],
+                            group=group_id,
+                        )
+                self._groups[flag] = group_id
+            groups.append(group_id)
+        return groups
+
+    def query(
+        self, level: ConsistencyLevel, use_prefilter: bool = True
+    ) -> Tuple[Optional[PairWitness], bool, Dict[str, int]]:
+        """Check the triple at ``level`` on the warm solver.
+
+        Returns ``(witness | None, solved, solver stat delta)`` where
+        ``solved`` mirrors the cold path's accounting: False when the
+        static screen emptied the query (and the prefilter is billing
+        such queries as skipped).
+        """
+        self._ensure_warm()
+        self.queries += 1
+        if not self._disjuncts:
+            return None, not use_prefilter, {}
+        assert self._encoder is not None
+        # Warm shortcut: a model known to satisfy the skeleton and the
+        # disjunction (found by an earlier query, or the static
+        # empty-view candidate) that also satisfies this level's axioms
+        # proves the query SAT with no solving -- and no axiom groups
+        # ever built.  Levels only shrink the model set, so reusing a
+        # model across levels is sound.  If every candidate fails, fall
+        # through to the solver.
+        model = self._reusable_model(level)
+        if model is not None:
+            self.model_hits += 1
+            delta: Dict[str, int] = {}
+        else:
+            builder = self._encoder.builder
+            groups = self._axiom_groups(level)
+            before = builder.solver.stats()
+            model = builder.check(groups=groups)
+            delta = stats_delta(builder.solver.stats(), before)
+            if model is None:
+                return None, True, delta
+            self._remember_model(model)
+        witness = self._witness_by_model.get(id(model))
+        if witness is None:
+            fields1: FrozenSet[str] = frozenset()
+            fields2: FrozenSet[str] = frozenset()
+            pattern = ""
+            for d in self._disjuncts:
+                if evaluate(d.formula, model):
+                    fields1 |= d.fields1
+                    fields2 |= d.fields2
+                    pattern = pattern or d.pattern
+            witness = PairWitness(
+                interferer=self.summary_b.name,
+                pattern=pattern or self._disjuncts[0].pattern,
+                fields1=fields1,
+                fields2=fields2,
+            )
+            self._witness_by_model[id(model)] = witness
+        return witness, True, delta
+
+    _MAX_MODELS = 4
+
+    def _reusable_model(self, level: ConsistencyLevel) -> Optional[Dict[str, bool]]:
+        """A known skeleton+disjunction model satisfying ``level``'s
+        axioms, or None.  Only consulted once the session is warm (a
+        solver-found model exists), so a session's first query -- the
+        one whose witness the repair loop consumes -- is always solved
+        cold and stays bit-identical to the cold encoder."""
+        if not self._models:
+            return None
+        assert self._encoder is not None
+        for model in reversed(self._models):
+            if self._encoder.model_satisfies(level, model):
+                return model
+        for candidate in self._candidate_models():
+            if self._encoder.model_satisfies(level, candidate):
+                return candidate
+        return None
+
+    def _remember_model(self, model: Dict[str, bool]) -> None:
+        self._models.append(model)
+        if len(self._models) > self._MAX_MODELS:
+            evicted = self._models.pop(0)
+            # Drop the memoised witness too: once the dict is garbage
+            # collected its id may be reused by a different model.
+            self._witness_by_model.pop(id(evicted), None)
+
+    def _candidate_models(self) -> List[Dict[str, bool]]:
+        """Closed-form skeleton models derived from the disjunct shapes.
+
+        Every candidate sets all free alias variables true (screened
+        against alias transitivity once) and picks visibility values
+        that make one disjunct true while keeping views session-prefix
+        closed and monotone:
+
+        - the *empty view* (all visibility false) realises rw-race
+          disjuncts -- and trivially satisfies frozen and causal;
+        - for a fractured read over distinct writes, both commands see
+          the same prefix of the interferer's session cut at the
+          earlier write -- equal views satisfy frozen, prefixes satisfy
+          causal, and the later write's absence fractures the read;
+        - for a fractured read over one shared write (CC only), the
+          first command's view stops just short of it and the second's
+          includes it -- monotone growth, but not frozen;
+        - for a fractured write, one focus write is visible to every
+          interferer command and the other to none.
+
+        Each construction is re-screened by :meth:`PairEncoder.
+        model_satisfies` / the disjunct evaluation before use, so the
+        closed forms can only ever skip the solver, not mislead it.
+        Candidates are built once per session, in disjunct order.
+        """
+        if self._static_candidates is not None:
+            return self._static_candidates
+        assert self._encoder is not None and self._disjuncts is not None
+        encoder = self._encoder
+        aliases = {
+            f.name: True
+            for f in encoder._alias_cache.values()
+            if isinstance(f, BoolVar)
+        }
+        candidates: List[Dict[str, bool]] = []
+        if encoder.transitivity_holds(aliases):
+            b_writes = list(self.summary_b.writes())
+            write_index = {w.label: i for i, w in enumerate(b_writes)}
+            b_cmds = self.summary_b.commands
+
+            def prefix_view(cutoff: int, cutoff2: int) -> Dict[str, bool]:
+                view = dict(aliases)
+                for i, w in enumerate(b_writes):
+                    view[encoder.vis_b_to_a(w, self.c1).name] = i <= cutoff
+                    view[encoder.vis_b_to_a(w, self.c2).name] = i <= cutoff2
+                return view
+
+            seen_shapes = set()
+            for d in self._disjuncts:
+                if d.pattern == "rw-race":
+                    shape = ("empty",)
+                    if shape not in seen_shapes:
+                        seen_shapes.add(shape)
+                        candidates.append(dict(aliases))
+                elif d.pattern == "fractured-read":
+                    i1 = write_index.get(d.partner1)
+                    i2 = write_index.get(d.partner2)
+                    if i1 is None or i2 is None:
+                        continue
+                    if i1 != i2:
+                        cut = min(i1, i2)
+                        shape = ("prefix", cut, cut)
+                    else:
+                        # Shared write: views may only differ by growth.
+                        shape = ("prefix", i1 - 1, i1)
+                    if shape not in seen_shapes:
+                        seen_shapes.add(shape)
+                        candidates.append(prefix_view(shape[1], shape[2]))
+                elif d.pattern == "fractured-write":
+                    for winner in ("c1", "c2"):
+                        shape = ("writer", winner)
+                        if shape in seen_shapes:
+                            continue
+                        seen_shapes.add(shape)
+                        view = dict(aliases)
+                        vis_cmd = self.c1 if winner == "c1" else self.c2
+                        for b in b_cmds:
+                            view[encoder.vis_a_to_b(vis_cmd, b).name] = True
+                        candidates.append(view)
+            candidates = [
+                c
+                for c in candidates
+                if any(evaluate(d.formula, c) for d in self._disjuncts)
+            ]
+        self._static_candidates = candidates
+        return candidates
+
+    def retire_axioms(self, level: ConsistencyLevel) -> int:
+        """Retire the activation groups of ``level``'s axiom features;
+        returns how many groups were dropped.  Later queries needing a
+        retired feature rebuild it in a fresh group."""
+        dropped = 0
+        if self._encoder is None:
+            return dropped
+        for flag, _ in self._FEATURES:
+            if not getattr(level, flag):
+                continue
+            group_id = self._groups.pop(flag, None)
+            if group_id is not None:
+                self._encoder.builder.retire_group(group_id)
+                dropped += 1
+        return dropped
+
+    def close(self) -> None:
+        """Retire every axiom group and release the warm solver."""
+        if self._encoder is not None:
+            for group_id in self._groups.values():
+                self._encoder.builder.retire_group(group_id)
+        self._groups = {}
+        self._encoder = None
+        self._disjuncts = None
+        self._models = []
+        self._static_candidates = None
+        self._witness_by_model = {}
+
+    # -- pickling (ProcessPool path) ------------------------------------
+
+    def __getstate__(self):
+        return {
+            "c1": self.c1,
+            "c2": self.c2,
+            "summary_b": self.summary_b,
+            "distinct_args": self.distinct_args,
+            "queries": self.queries,
+            "model_hits": self.model_hits,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.c1 = state["c1"]
+        self.c2 = state["c2"]
+        self.summary_b = state["summary_b"]
+        self.distinct_args = state["distinct_args"]
+        self.queries = state["queries"]
+        self.model_hits = state["model_hits"]
+        self._encoder = None
+        self._disjuncts = None
+        self._groups = {}
+        self._models = []
+        self._static_candidates = None
+        self._witness_by_model = {}

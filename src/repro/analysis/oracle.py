@@ -15,6 +15,7 @@ transactions that witness them.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -24,7 +25,7 @@ from repro.analysis.accesses import (
     summarize_program,
 )
 from repro.analysis.consistency import EC, ConsistencyLevel
-from repro.analysis.encoding import PairEncoder, PairWitness
+from repro.analysis.encoding import PairEncoder, PairSession, PairWitness
 from repro.lang import ast
 
 
@@ -86,6 +87,137 @@ class AnalysisReport:
         return (self.cache_hits + self.sat_queries) / self.elapsed_seconds
 
 
+SessionKey = Tuple[str, str, str, bool]
+
+
+class OracleSession:
+    """The warm-solver pool behind the ``"incremental"`` strategy.
+
+    Owns one :class:`~repro.analysis.encoding.PairSession` per focus
+    triple, keyed by the same structural fingerprints as the memo cache
+    minus the consistency level -- so the repair fixpoint's EC queries,
+    the CC/RR sweeps, and any later re-analysis of a structurally
+    unchanged triple all land on the same incremental solver and reuse
+    its registered skeleton, learned clauses, and variable activity.
+
+    Sessions are evicted least-recently-used past ``max_sessions``.
+    Like the memo cache, the pool never needs explicit invalidation for
+    correctness -- a rewritten transaction fingerprints to a new key --
+    but sessions for superseded program versions linger until evicted,
+    and a warm session is far heavier than a cache entry (a full solver
+    with its clause database).  The default cap bounds a long repair
+    fixpoint's memory; shrink it for memory-constrained runs.
+
+    The pool pickles cleanly: each session sheds its warm solver state
+    on serialisation and re-warms on first use, so a ``ProcessPool``
+    worker can receive a pool and rebuild only what it actually queries.
+    """
+
+    def __init__(self, distinct_args: bool = True, max_sessions: int = 4096):
+        self.distinct_args = distinct_args
+        self.max_sessions = max_sessions
+        self._sessions: "OrderedDict[SessionKey, PairSession]" = OrderedDict()
+        self.created = 0
+        self.reused = 0
+        self.evicted = 0
+        self._retired_queries = 0
+        self._retired_model_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def session(
+        self,
+        c1: CommandInfo,
+        c2: CommandInfo,
+        summary_b: TransactionSummary,
+        distinct_args: Optional[bool] = None,
+        key: Optional[SessionKey] = None,
+    ) -> PairSession:
+        """The (possibly warm) session for a focus triple."""
+        if distinct_args is None:
+            distinct_args = self.distinct_args
+        if key is None:
+            from repro.analysis.pipeline import (
+                fingerprint_command,
+                fingerprint_summary,
+            )
+
+            key = (
+                fingerprint_command(c1),
+                fingerprint_command(c2),
+                fingerprint_summary(summary_b),
+                distinct_args,
+            )
+        sess = self._sessions.get(key)
+        if sess is None:
+            sess = PairSession(c1, c2, summary_b, distinct_args)
+            self.created += 1
+            self._sessions[key] = sess
+            if len(self._sessions) > self.max_sessions:
+                _, evicted = self._sessions.popitem(last=False)
+                self._retired_queries += evicted.queries
+                self._retired_model_hits += evicted.model_hits
+                evicted.close()
+                self.evicted += 1
+        else:
+            self.reused += 1
+            self._sessions.move_to_end(key)
+        return sess
+
+    def solve(
+        self,
+        c1: CommandInfo,
+        c2: CommandInfo,
+        summary_b: TransactionSummary,
+        level: ConsistencyLevel,
+        distinct_args: Optional[bool] = None,
+        use_prefilter: bool = True,
+        key: Optional[SessionKey] = None,
+    ):
+        """Discharge one anomaly query on the triple's warm session;
+        returns a :class:`~repro.analysis.pipeline.QueryOutcome`."""
+        from repro.analysis.pipeline import QueryOutcome, WitnessData
+
+        sess = self.session(c1, c2, summary_b, distinct_args, key=key)
+        witness, solved, stats = sess.query(level, use_prefilter=use_prefilter)
+        data = (
+            WitnessData(
+                pattern=witness.pattern,
+                fields1=witness.fields1,
+                fields2=witness.fields2,
+            )
+            if witness is not None
+            else None
+        )
+        return QueryOutcome(witness=data, solved=solved, stats=stats)
+
+    def counters(self) -> Dict[str, int]:
+        """Pool accounting: sessions created/reused/evicted/live, plus
+        query and model-reuse totals (including closed sessions)."""
+        queries = self._retired_queries
+        model_hits = self._retired_model_hits
+        for sess in self._sessions.values():
+            queries += sess.queries
+            model_hits += sess.model_hits
+        return {
+            "created": self.created,
+            "reused": self.reused,
+            "evicted": self.evicted,
+            "live": len(self._sessions),
+            "queries": queries,
+            "model_hits": model_hits,
+        }
+
+    def close(self) -> None:
+        """Drop every session (counters survive for reporting)."""
+        for sess in self._sessions.values():
+            self._retired_queries += sess.queries
+            self._retired_model_hits += sess.model_hits
+            sess.close()
+        self._sessions.clear()
+
+
 class AnomalyOracle:
     """Static anomaly detector, parameterised by consistency level.
 
@@ -100,11 +232,18 @@ class AnomalyOracle:
       both for results and for benchmark baselines.
     - ``"cached"``: the :mod:`repro.analysis.pipeline` planner with the
       deterministic in-process runner plus the structural memo cache.
+    - ``"incremental"``: the pipeline with warm per-triple solver
+      sessions (an :class:`OracleSession` pool): each focus triple's
+      skeleton is encoded once on a persistent incremental solver, and
+      re-queries at other consistency levels activate that level's
+      axiom groups by assumption, retaining learned clauses and
+      variable activity across the repair fixpoint and the level
+      sweeps.
     - ``"parallel"``: the pipeline with a ``ProcessPoolExecutor``
       fan-out (degrading to in-process on single-core hosts) plus the
       memo cache.
     - ``"auto"``: ``"parallel"`` when multiple cores are available,
-      else ``"cached"``.
+      else ``"incremental"``.
     - any object with a ``run(specs, level, distinct_args)`` method.
 
     Every strategy produces the same pair set; ``cache`` (a

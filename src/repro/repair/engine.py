@@ -117,6 +117,15 @@ class RepairEngine:
     invalidates exactly the entries that mention it.  (Entries for
     superseded program versions stay until ``cache.invalidate``/``clear``
     -- they are unreachable by construction, merely occupying memory.)
+
+    With ``strategy="incremental"`` the engine additionally keeps one
+    warm solver session per focus triple across the whole fixpoint: the
+    oracle instance (and so its strategy's
+    :class:`~repro.analysis.oracle.OracleSession` pool) is shared by
+    every re-analysis, so a query that misses the memo cache only
+    because it runs at a new consistency level lands on the previous
+    iteration's solver -- skeleton already encoded, learned clauses and
+    activity retained -- and reduces to one assumption-based solve.
     """
 
     def __init__(

@@ -13,9 +13,11 @@ the builder exposes exactly that surface: ``add(formula)`` and
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import SolverError
 from repro.smt import solver as sat
 
 
@@ -137,6 +139,20 @@ class FormulaBuilder:
     clauses.  The default eager pass instead materialises every constant
     as a fresh pinned variable; it is kept as-is because downstream
     consumers pin its exact model choices.
+
+    The folding pass additionally *hash-conses* structural subformulas:
+    every ``And``/``Or``/``Iff`` already encoded in the session maps to
+    its existing Tseitin literal, so a shared subformula's CNF is emitted
+    exactly once per builder no matter how many assertions mention it.
+
+    Assertions can be made *retractable* via activation-literal groups
+    (folding pass only): every clause emitted inside a
+    :meth:`group` block carries the group's guard literal, the group is
+    enforced only when passed to :meth:`check`, and
+    :meth:`retire_group` discards it for good.  Subformulas first
+    encoded inside a group are interned per group -- their defining
+    clauses are guarded, so the literal is only trusted while that group
+    exists.
     """
 
     def __init__(self, fold_constants: bool = False) -> None:
@@ -145,6 +161,13 @@ class FormulaBuilder:
         self._vars: Dict[str, int] = {}
         self._aux_count = 0
         self._true_lit: Optional[int] = None
+        # Hash-consing caches for the folding pass: formula -> literal.
+        # _interned holds permanently-defined subformulas; group-scoped
+        # definitions live in _group_interned and die with their group.
+        self._interned: Dict[Formula, int] = {}
+        self._group_interned: Dict[int, Dict[Formula, int]] = {}
+        self._group: Optional[int] = None
+        self._all_groups: List[int] = []
 
     # -- variables -----------------------------------------------------
 
@@ -157,6 +180,12 @@ class FormulaBuilder:
     def var_names(self) -> Tuple[str, ...]:
         return tuple(self._vars)
 
+    def literal(self, var: BoolVar) -> int:
+        """The positive solver literal of a named variable (interning it
+        if needed) -- the escape hatch for callers that emit clauses at
+        the literal level."""
+        return sat.lit(self._lookup(var), True)
+
     def _fresh(self) -> int:
         self._aux_count += 1
         return self.solver.new_var()
@@ -165,6 +194,49 @@ class FormulaBuilder:
         if v.name not in self._vars:
             self._vars[v.name] = self.solver.new_var()
         return self._vars[v.name]
+
+    # -- retractable assertion groups ----------------------------------
+
+    def new_group(self) -> int:
+        """Allocate a retractable assertion group (folding pass only)."""
+        if not self.fold_constants:
+            raise SolverError(
+                "assertion groups require the folding Tseitin pass "
+                "(FormulaBuilder(fold_constants=True))"
+            )
+        group_id = self.solver.new_group()
+        self._all_groups.append(group_id)
+        return group_id
+
+    @contextmanager
+    def group(self, group_id: int):
+        """Scope assertions to ``group_id``: every clause emitted inside
+        the block is guarded by the group's activation literal."""
+        previous = self._group
+        self._group = group_id
+        try:
+            yield
+        finally:
+            self._group = previous
+
+    def retire_group(self, group_id: int) -> None:
+        """Permanently drop a group's assertions (and its interned
+        subformula definitions)."""
+        self.solver.retire_group(group_id)
+        self._group_interned.pop(group_id, None)
+
+    def _emit(self, lits: List[int]) -> None:
+        """Install one screened clause, guarded by the active group."""
+        if self._group is not None:
+            lits = lits + [sat.lit(self._group, False)]
+        self.solver.add_clause_unchecked(lits)
+
+    def _emit_empty(self) -> None:
+        """Assert falsity: fatal when permanent, retirable in a group."""
+        if self._group is not None:
+            self.solver.add_clause_unchecked([sat.lit(self._group, False)])
+        else:
+            self.solver.add_clause([])  # unsatisfiable marker
 
     # -- assertion -------------------------------------------------------
 
@@ -271,9 +343,9 @@ class FormulaBuilder:
             if any(sat.neg(l) in present for l in lits):
                 return  # tautology
             if not lits:
-                self.solver.add_clause([])  # unsatisfiable marker
+                self._emit_empty()
                 return
-            self.solver.add_clause_unchecked(lits)
+            self._emit(lits)
             return
         if isinstance(formula, Iff):
             a = self._encode_folded(formula.left)
@@ -289,10 +361,10 @@ class FormulaBuilder:
             elif a == b:
                 pass
             elif a == sat.neg(b):
-                self.solver.add_clause([])  # unsatisfiable marker
+                self._emit_empty()
             else:
-                self.solver.add_clause_unchecked([sat.neg(a), b])
-                self.solver.add_clause_unchecked([a, sat.neg(b)])
+                self._emit([sat.neg(a), b])
+                self._emit([a, sat.neg(b)])
             return
         self._assert_lit(self._encode_folded(formula))
 
@@ -332,17 +404,17 @@ class FormulaBuilder:
         if any(sat.neg(l) in present for l in lits):
             return  # tautology
         if not lits:
-            self.solver.add_clause([])  # unsatisfiable marker
+            self._emit_empty()
             return
-        self.solver.add_clause_unchecked(lits)
+        self._emit(lits)
 
     def _assert_lit(self, literal: int) -> None:
         if literal == self._const_lit(True):
             return
         if literal == sat.neg(self._const_lit(True)):
-            self.solver.add_clause([])  # unsatisfiable marker
+            self._emit_empty()
             return
-        self.solver.add_clause_unchecked([literal])
+        self._emit([literal])
 
     def _const_lit(self, value: bool) -> int:
         """The shared pinned literal for a boolean constant."""
@@ -354,16 +426,36 @@ class FormulaBuilder:
 
     def _encode_folded(self, formula: Formula) -> int:
         """Simplifying Tseitin: returns a literal equivalent to ``formula``
-        under the emitted clauses, folding constants along the way."""
+        under the emitted clauses, folding constants along the way.
+
+        Connectives are hash-consed: a structurally equal subformula that
+        was already encoded returns its existing literal without emitting
+        any clauses.  Results computed inside a retractable group are
+        cached per group (their defining clauses carry the group guard
+        and vanish with it); permanent results are shared everywhere.
+        """
         if isinstance(formula, BoolConst):
             return self._const_lit(formula.value)
         if isinstance(formula, BoolVar):
             return sat.lit(self._lookup(formula), True)
         if isinstance(formula, Not):
             return sat.neg(self._encode_folded(formula.operand))
+        out = self._interned.get(formula)
+        if out is None and self._group is not None:
+            out = self._group_interned.get(self._group, {}).get(formula)
+        if out is not None:
+            return out
+        out = self._encode_connective(formula)
+        if self._group is None:
+            self._interned[formula] = out
+        else:
+            self._group_interned.setdefault(self._group, {})[formula] = out
+        return out
+
+    def _encode_connective(self, formula: Formula) -> int:
         true = self._const_lit(True)
         false = sat.neg(true)
-        add = self.solver.add_clause_unchecked
+        add = self._emit
         if isinstance(formula, (And, Or)):
             is_and = isinstance(formula, And)
             absorbing = false if is_and else true
@@ -419,13 +511,29 @@ class FormulaBuilder:
 
     # -- solving ----------------------------------------------------------
 
-    def check(self) -> Optional[Dict[str, bool]]:
+    def check(self, groups: Sequence[int] = ()) -> Optional[Dict[str, bool]]:
         """Solve the asserted conjunction.
+
+        ``groups`` lists the retractable assertion groups to enforce for
+        this call; every other live group is explicitly switched *off*
+        (its activation literal assumed false), so inactive guarded
+        clauses are inert rather than free choices -- which keeps the
+        search, and hence the model, independent of what other groups
+        happen to exist in the session.
 
         Returns a model as ``{var name: bool}`` when satisfiable, else
         ``None``.
         """
-        result = self.solver.solve()
+        active = set(groups)
+        assumptions: List[int] = []
+        for group_id in groups:
+            if self.solver.is_retired(group_id):
+                raise SolverError(f"assertion group {group_id} was retired")
+            assumptions.append(sat.lit(group_id, True))
+        for group_id in self._all_groups:
+            if group_id not in active and not self.solver.is_retired(group_id):
+                assumptions.append(sat.lit(group_id, False))
+        result = self.solver.solve(assumptions)
         if not result.sat:
             return None
         return {name: result.value(idx) for name, idx in self._vars.items()}

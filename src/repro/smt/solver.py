@@ -15,6 +15,17 @@ Implements the standard modern architecture:
 The solver is deliberately dependency-free and deterministic: given the
 same clause set it always makes the same decisions, which keeps the
 anomaly detector's output stable across runs.
+
+The solver is *incremental* in the MiniSat sense: clauses may be added
+after prior :meth:`Solver.solve` calls without resetting any state, and
+learned clauses, variable activity, and saved polarities all persist
+across calls.  Retractable constraints use activation-literal groups:
+:meth:`Solver.new_group` allocates a fresh activation variable, clauses
+added with ``group=g`` are guarded by its negation, solving with ``g``
+among the assumptions switches the group on, and
+:meth:`Solver.retire_group` pins the activation variable false forever,
+turning every clause of the group (including learned clauses derived
+from them, which carry the guard literal) permanently inert.
 """
 
 from __future__ import annotations
@@ -119,13 +130,26 @@ class Solver:
         self.heap: List[int] = []
         self.heap_pos: List[int] = []
         self._ok = True
-        self.stats = {
+        # Activation variables of live and retired clause groups.
+        self._groups: set[int] = set()
+        self._retired: set[int] = set()
+        self._stats = {
             "decisions": 0,
             "propagations": 0,
             "conflicts": 0,
             "restarts": 0,
             "learned": 0,
         }
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the cumulative solver counters.
+
+        The counters accumulate over the solver's whole lifetime, so
+        incremental consumers must take per-query deltas between
+        snapshots (see :func:`stats_delta`) rather than reading the
+        totals after each solve.
+        """
+        return dict(self._stats)
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -147,10 +171,56 @@ class Solver:
         self.heap_pos.append(-1)
         return v
 
-    def add_clause(self, literals: Iterable[int]) -> None:
-        """Add a clause (a disjunction of encoded literals)."""
+    def new_group(self) -> int:
+        """Allocate an activation-literal clause group.
+
+        Returns the group id (the index of its activation variable).
+        Clauses added with ``group=g`` are only enforced while ``g`` is
+        switched on -- pass :meth:`group_literal` ``(g)`` among the
+        ``solve`` assumptions -- and can be permanently dropped with
+        :meth:`retire_group`.
+        """
+        g = self.new_var()
+        self._groups.add(g)
+        return g
+
+    def group_literal(self, group: int) -> int:
+        """The assumption literal that activates ``group``."""
+        if group not in self._groups:
+            raise SolverError(f"unknown clause group {group}")
+        return lit(group, True)
+
+    def retire_group(self, group: int) -> None:
+        """Permanently deactivate ``group``.
+
+        Pins the activation variable false at the root, so every clause
+        of the group -- original or learned from it -- is satisfied by
+        its guard literal and drops out of all future solving.  Retiring
+        is idempotent; clauses added to a retired group are no-ops.
+        """
+        if group not in self._groups:
+            raise SolverError(f"unknown clause group {group}")
+        if group in self._retired:
+            return
+        self._retired.add(group)
+        self.add_clause([lit(group, False)])
+
+    def is_retired(self, group: int) -> bool:
+        return group in self._retired
+
+    def add_clause(self, literals: Iterable[int], group: Optional[int] = None) -> None:
+        """Add a clause (a disjunction of encoded literals).
+
+        With ``group``, the clause is guarded by the group's activation
+        literal: it participates in solving only when the group is among
+        the activated assumptions, and :meth:`retire_group` discards it.
+        """
         if not self._ok:
             return
+        if group is not None:
+            if group not in self._groups:
+                raise SolverError(f"unknown clause group {group}")
+            literals = list(literals) + [lit(group, False)]
         seen: Dict[int, bool] = {}
         lits: List[int] = []
         for l in literals:
@@ -177,22 +247,27 @@ class Solver:
         here after screening, so the two paths share the top-level
         simplification (dropping clauses satisfied at level 0 and
         falsified literals) and clause installation.
+
+        Clauses may be added after prior ``solve`` calls: any leftover
+        search state is first rolled back to the root level so the
+        watched-literal invariants hold for the new clause.
         """
         if not self._ok:
             return
-        if not self.trail_lim:
-            filtered = []
-            for l in lits:
-                val = self._value(l)
-                if val == 1:
-                    return
-                if val == 0:
-                    continue
-                filtered.append(l)
-            lits = filtered
-            if not lits:
-                self._ok = False
+        if self.trail_lim:
+            self._cancel_until(0)
+        filtered = []
+        for l in lits:
+            val = self._value(l)
+            if val == 1:
                 return
+            if val == 0:
+                continue
+            filtered.append(l)
+        lits = filtered
+        if not lits:
+            self._ok = False
+            return
         if len(lits) == 1:
             if not self._enqueue(lits[0], None):
                 self._ok = False
@@ -238,7 +313,7 @@ class Solver:
         while self.prop_head < len(self.trail):
             literal = self.trail[self.prop_head]
             self.prop_head += 1
-            self.stats["propagations"] += 1
+            self._stats["propagations"] += 1
             watchers = self.watches[literal]
             self.watches[literal] = []
             i = 0
@@ -542,7 +617,7 @@ class Solver:
         while True:
             conflict = self._propagate()
             if conflict is not None:
-                self.stats["conflicts"] += 1
+                self._stats["conflicts"] += 1
                 conflict_budget_used += 1
                 if self._decision_level == 0:
                     return SolverResult(False)
@@ -568,7 +643,7 @@ class Solver:
                 else:
                     clause = _Clause(learned_lits, learned=True)
                     self.learned.append(clause)
-                    self.stats["learned"] += 1
+                    self._stats["learned"] += 1
                     self._watch(clause)
                     self._enqueue(learned_lits[0], clause)
                 self._decay_var_activity()
@@ -579,7 +654,7 @@ class Solver:
                 conflict_budget_used = 0
                 restart_idx += 1
                 conflicts_until_restart = 32 * _luby(restart_idx)
-                self.stats["restarts"] += 1
+                self._stats["restarts"] += 1
                 self._cancel_until(0)
                 continue
 
@@ -597,7 +672,7 @@ class Solver:
                         if self.assigns[i] != _UNASSIGNED
                     }
                     return SolverResult(True, model)
-                self.stats["decisions"] += 1
+                self._stats["decisions"] += 1
                 next_lit = lit(v, self.polarity[v])
             elif next_lit is False:
                 return SolverResult(False)
@@ -633,6 +708,17 @@ class Solver:
             if val == _UNASSIGNED:
                 return a
         return None
+
+
+def stats_delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+    """Per-query counter delta between two :meth:`Solver.stats` snapshots.
+
+    Incremental sessions solve many queries on one warm solver; billing a
+    query with the raw totals would double-count every earlier query's
+    decisions and propagations, so accounting subtracts the snapshot
+    taken just before the solve.
+    """
+    return {key: after[key] - before.get(key, 0) for key in after}
 
 
 def _luby(i: int) -> int:

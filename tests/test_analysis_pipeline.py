@@ -13,6 +13,7 @@ from repro.analysis import (
     summarize_program,
 )
 from repro.analysis.pipeline import (
+    IncrementalStrategy,
     ParallelStrategy,
     SerialStrategy,
     fingerprint_command,
@@ -212,9 +213,11 @@ class TestStrategyEquivalence:
 class TestStrategyResolution:
     def test_names_resolve(self):
         assert isinstance(resolve_strategy("cached"), SerialStrategy)
+        assert isinstance(resolve_strategy("incremental"), IncrementalStrategy)
         assert isinstance(resolve_strategy("parallel"), ParallelStrategy)
         auto = resolve_strategy("auto")
-        assert isinstance(auto, (SerialStrategy, ParallelStrategy))
+        # Multi-core hosts fan out; single-core hosts use warm sessions.
+        assert isinstance(auto, (IncrementalStrategy, ParallelStrategy))
 
     def test_instance_passthrough(self):
         runner = SerialStrategy()

@@ -174,7 +174,7 @@ class TestHeapBranching:
         linear_result = linear_solver.solve()
         assert heap_result.sat == linear_result.sat
         assert heap_result.model == linear_result.model
-        assert heap_solver.stats == linear_solver.stats
+        assert heap_solver.stats() == linear_solver.stats()
         return heap_result
 
     def test_pigeonhole_unsat_identical(self):
@@ -254,7 +254,7 @@ class TestAssumptionLevels:
         vs, clauses, assumptions = _assumption_instance(s)
         r = s.solve(assumptions=assumptions)
         assert r.sat
-        assert s.stats["conflicts"] > 0
+        assert s.stats()["conflicts"] > 0
         assert r.value(vs[0]) and r.value(vs[1])
         for c in clauses:
             assert any(r.model.get(l >> 1, False) != bool(l & 1) for l in c)
@@ -340,5 +340,5 @@ class TestIncremental:
     def test_stats_populated(self):
         s = _pigeonhole(5, 4)
         s.solve()
-        assert s.stats["conflicts"] > 0
-        assert s.stats["decisions"] > 0
+        assert s.stats()["conflicts"] > 0
+        assert s.stats()["decisions"] > 0
