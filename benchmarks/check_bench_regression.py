@@ -26,6 +26,17 @@ catches a broken warm-session subsystem on any CI host.
 Result rows (per-benchmark ec/at/cc/rr counts) are compared exactly for
 every benchmark present in both runs: a count drift is a correctness
 regression, never noise, and fails regardless of tolerance or host.
+
+Per-benchmark ``repair_seconds`` (the plan search alone, measured on
+the incremental strategy) is gated like the pipeline-relative ratios:
+only when the host shape matches the baseline's, and against its own
+``--time-tolerance`` (default 75%, looser than the speedup gate because
+single-benchmark wall-clocks are noisier than full-corpus ratios) plus
+a 25ms absolute slack that keeps sub-10ms rows out of timer-noise
+territory.
+``plan_steps`` drift, like count drift, is a correctness gate: the
+greedy search is deterministic, so a changed step count on an unchanged
+benchmark means the planner changed behaviour.
 """
 
 from __future__ import annotations
@@ -40,8 +51,13 @@ def load(path: str) -> dict:
         return json.load(fh)
 
 
-def check(fresh: dict, baseline: dict, tolerance: float) -> list:
+def check(
+    fresh: dict, baseline: dict, tolerance: float, time_tolerance: float = 0.75
+) -> list:
     failures = []
+
+    fresh_cpus = fresh.get("environment", {}).get("cpu_count")
+    base_cpus = baseline.get("environment", {}).get("cpu_count")
 
     base_rows = {r["name"]: r for r in baseline.get("rows", [])}
     for row in fresh.get("rows", []):
@@ -49,14 +65,35 @@ def check(fresh: dict, baseline: dict, tolerance: float) -> list:
         if base is None:
             continue
         for column in ("ec", "at", "cc", "rr"):
+            # Required columns: a fresh row missing one is itself a bug,
+            # so let the KeyError surface rather than skipping the gate.
             if row[column] != base[column]:
                 failures.append(
                     f"{row['name']}: {column} drifted "
                     f"{base[column]} -> {row[column]} (correctness gate)"
                 )
-
-    fresh_cpus = fresh.get("environment", {}).get("cpu_count")
-    base_cpus = baseline.get("environment", {}).get("cpu_count")
+        if "plan_steps" in base:
+            # Optional in the *baseline* only (older baselines predate
+            # it); a fresh row missing the key is an emission bug and
+            # surfaces as a KeyError, like the required columns above.
+            if row["plan_steps"] != base["plan_steps"]:
+                failures.append(
+                    f"{row['name']}: plan_steps drifted "
+                    f"{base['plan_steps']} -> {row['plan_steps']} "
+                    "(correctness gate)"
+                )
+        if fresh_cpus == base_cpus and "repair_seconds" in base:
+            # 25ms absolute slack on top of the fractional tolerance:
+            # sub-10ms baselines (SIBench, Killrchat) are dominated by
+            # timer noise and 0.1ms JSON rounding, and must not flake.
+            ceiling = base["repair_seconds"] * (1.0 + time_tolerance) + 0.025
+            if row["repair_seconds"] > ceiling:
+                failures.append(
+                    f"{row['name']}: repair_seconds regressed: "
+                    f"{row['repair_seconds']:.3f}s > {ceiling:.3f}s "
+                    f"(baseline {base['repair_seconds']:.3f}s "
+                    f"+ {time_tolerance:.0%} + 25ms)"
+                )
     gates = [("incremental_speedup_vs_serial", "incremental-vs-serial speedup")]
     if fresh_cpus == base_cpus:
         gates += [
@@ -95,11 +132,18 @@ def main(argv=None) -> int:
         default=0.2,
         help="allowed fractional speedup drop before failing (default 0.2)",
     )
+    parser.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=0.75,
+        help="allowed fractional per-benchmark repair_seconds increase "
+        "on same-shape hosts before failing (default 0.75)",
+    )
     args = parser.parse_args(argv)
 
     fresh = load(args.fresh)
     baseline = load(args.baseline)
-    failures = check(fresh, baseline, args.tolerance)
+    failures = check(fresh, baseline, args.tolerance, args.time_tolerance)
 
     print(
         f"fresh: pipeline {fresh.get('speedup')}x, "

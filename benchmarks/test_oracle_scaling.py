@@ -5,7 +5,8 @@ Runs the full-corpus Table 1 workload (repair fixpoint plus CC/RR
 sweeps) three ways -- the seed serial oracle, the PR 1 parallel+cached
 pipeline, and the PR 2 incremental session strategy -- verifies the
 outputs are identical, and records wall-clock speedups, cache hit-rate,
-session reuse, queries/sec and solver counters into
+session reuse, queries/sec, solver counters, and per-benchmark repair
+timings (``rows[*].repair_seconds``, the plan search alone) into
 ``BENCH_oracle.json`` so CI tracks the perf trajectory on every run.
 
 Environment knobs:
@@ -197,7 +198,19 @@ def test_oracle_scaling(capsys):
         "solver": solver_stats,
         "incremental_solver": incremental_stats,
         "rows": [
-            {"name": r.name, "ec": r.ec, "at": r.at, "cc": r.cc, "rr": r.rr}
+            {
+                "name": r.name,
+                "ec": r.ec,
+                "at": r.at,
+                "cc": r.cc,
+                "rr": r.rr,
+                # Wall-clock of the plan search alone (the repair
+                # fixpoint, excluding the CC/RR sweeps), measured on the
+                # incremental strategy; gated by
+                # check_bench_regression.py on same-shape hosts.
+                "repair_seconds": round(r.repair_seconds, 4),
+                "plan_steps": len(r.plan),
+            }
             for r in incremental_rows
         ],
     }

@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
+
+Three subcommands mirror the workflows the library is used for:
+
+- ``repro table1`` -- regenerate the paper's Table 1 (optionally a
+  subset of benchmarks), with ``--plans`` provenance and ``--json``
+  machine output;
+- ``repro repair`` -- repair one benchmark or a DSL file; ``--plan-out``
+  saves the rewrite plan as JSON, ``--plan-in`` *replays* a saved plan
+  instead of searching (no oracle work);
+- ``repro bench`` -- time the repair search per benchmark under the
+  serial and incremental oracle strategies.
+
+Every subcommand exits non-zero on failure and prints plain text
+(``repro.exp.reporting``) so output diffs cleanly in CI logs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.corpus import ALL_BENCHMARKS, BY_NAME
+from repro.errors import ReproError
+
+STRATEGIES = ("serial", "cached", "parallel", "incremental", "auto")
+SEARCHES = ("greedy", "beam", "random")
+
+
+def _pick_benchmarks(names: Sequence[str]) -> List:
+    if not names:
+        return list(ALL_BENCHMARKS)
+    picked = []
+    for name in names:
+        if name not in BY_NAME:
+            known = ", ".join(sorted(BY_NAME))
+            raise SystemExit(f"unknown benchmark {name!r} (known: {known})")
+        picked.append(BY_NAME[name])
+    return picked
+
+
+def _load_program(args) -> "tuple":
+    """(label, program) from --benchmark or --file."""
+    from repro.lang import parse_program
+
+    if args.benchmark:
+        bench = _pick_benchmarks([args.benchmark])[0]
+        return bench.name, bench.program()
+    with open(args.file) as fh:
+        return args.file, parse_program(fh.read())
+
+
+# ---------------------------------------------------------------------------
+# table1
+# ---------------------------------------------------------------------------
+
+
+def cmd_table1(args) -> int:
+    from repro.exp import format_plan, format_table, run_table1
+
+    benches = _pick_benchmarks(args.benchmark)
+    rows = run_table1(benches, strategy=args.strategy, search=args.search)
+    headers = ["Benchmark", "#Txns", "#Tables", "EC", "AT", "CC", "RR", "Time"]
+    print(format_table(headers, [row.columns() for row in rows]))
+    if args.plans:
+        print()
+        for row in rows:
+            print(format_plan(f"{row.name} plan", row.plan))
+    if args.json:
+        payload = {
+            "strategy": args.strategy,
+            "search": args.search,
+            "rows": [
+                {
+                    "name": row.name,
+                    "txns": row.txns,
+                    "tables_before": row.tables_before,
+                    "tables_after": row.tables_after,
+                    "ec": row.ec,
+                    "at": row.at,
+                    "cc": row.cc,
+                    "rr": row.rr,
+                    "time_s": round(row.time_s, 4),
+                    "repair_seconds": round(row.repair_seconds, 4),
+                    "provenance": row.plan_provenance(),
+                }
+                for row in rows
+            ],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repair
+# ---------------------------------------------------------------------------
+
+
+def cmd_repair(args) -> int:
+    from repro.exp import format_plan
+    from repro.lang import print_program
+    from repro.repair import RewritePlan, repair, replay_plan
+
+    label, program = _load_program(args)
+    if args.plan_in:
+        with open(args.plan_in) as fh:
+            plan = RewritePlan.loads(fh.read())
+        report = replay_plan(program, plan)
+        print(f"replayed {len(plan)}-step plan from {args.plan_in} on {label}")
+    else:
+        report = repair(program, strategy=args.strategy, search=args.search)
+        print(report.summary())
+    print(format_plan("plan", report.plan))
+    if args.plan_out:
+        with open(args.plan_out, "w") as fh:
+            fh.write(report.plan.dumps())
+            fh.write("\n")
+        print(f"wrote plan to {args.plan_out}")
+    if args.print_program:
+        print()
+        print(print_program(report.repaired_program))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# bench
+# ---------------------------------------------------------------------------
+
+
+def cmd_bench(args) -> int:
+    from repro.exp import format_table, run_table1_row
+
+    benches = _pick_benchmarks(args.benchmark)
+    if args.corpus == "small":
+        small = {"TPC-C", "SmallBank", "Courseware"}
+        benches = [b for b in benches if b.name in small]
+    rows = []
+    for bench in benches:
+        serial_row = run_table1_row(bench, search=args.search)
+        incremental_row = run_table1_row(
+            bench, strategy="incremental", search=args.search
+        )
+        rows.append((bench.name, serial_row, incremental_row))
+
+    def fmt(name, serial_row, incremental_row):
+        speedup = (
+            serial_row.repair_seconds / incremental_row.repair_seconds
+            if incremental_row.repair_seconds
+            else 0.0
+        )
+        return [
+            name,
+            f"{serial_row.repair_seconds:.3f}",
+            f"{incremental_row.repair_seconds:.3f}",
+            f"{speedup:.2f}x",
+            str(len(incremental_row.plan)),
+        ]
+
+    headers = [
+        "Benchmark",
+        "repair_s (serial)",
+        "repair_s (incremental)",
+        "speedup",
+        "plan steps",
+    ]
+    print(format_table(headers, [fmt(*row) for row in rows]))
+    if args.json:
+        payload = {
+            "search": args.search,
+            "rows": [
+                {
+                    "name": name,
+                    "repair_seconds_serial": round(s.repair_seconds, 4),
+                    "repair_seconds_incremental": round(i.repair_seconds, 4),
+                    "plan_steps": len(i.plan),
+                }
+                for name, s, i in rows
+            ],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Atropos (PLDI 2021) reproduction: anomaly detection, "
+        "plan-based repair, and experiment drivers.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    t1.add_argument(
+        "--benchmark",
+        action="append",
+        default=[],
+        help="restrict to one benchmark (repeatable; default: all)",
+    )
+    t1.add_argument("--strategy", choices=STRATEGIES, default="serial")
+    t1.add_argument("--search", choices=SEARCHES, default="greedy")
+    t1.add_argument(
+        "--plans", action="store_true", help="print per-row plan provenance"
+    )
+    t1.add_argument("--json", metavar="FILE", help="also write rows+plans JSON")
+    t1.set_defaults(func=cmd_table1)
+
+    rp = sub.add_parser("repair", help="repair one benchmark or DSL file")
+    source = rp.add_mutually_exclusive_group(required=True)
+    source.add_argument("--benchmark", help="corpus benchmark name")
+    source.add_argument("--file", help="path to a DSL program")
+    rp.add_argument("--strategy", choices=STRATEGIES, default="serial")
+    rp.add_argument("--search", choices=SEARCHES, default="greedy")
+    rp.add_argument(
+        "--plan-out", metavar="FILE", help="write the rewrite plan as JSON"
+    )
+    rp.add_argument(
+        "--plan-in",
+        metavar="FILE",
+        help="replay a saved plan instead of searching (no oracle work)",
+    )
+    rp.add_argument(
+        "--print-program",
+        action="store_true",
+        help="print the repaired program",
+    )
+    rp.set_defaults(func=cmd_repair)
+
+    be = sub.add_parser(
+        "bench", help="time the repair search per benchmark (serial vs incremental)"
+    )
+    be.add_argument(
+        "--benchmark",
+        action="append",
+        default=[],
+        help="restrict to one benchmark (repeatable; default: all)",
+    )
+    be.add_argument(
+        "--corpus",
+        choices=("small", "full"),
+        default="full",
+        help="'small' = the CI smoke subset",
+    )
+    be.add_argument("--search", choices=SEARCHES, default="greedy")
+    be.add_argument("--json", metavar="FILE", help="write timings as JSON")
+    be.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,15 @@ class RefactoringError(ReproError):
     """
 
 
+class PlanError(ReproError):
+    """Raised when a rewrite-plan step cannot be applied or decoded.
+
+    The plan search treats these as "candidate not viable" and moves on;
+    replaying a serialized plan on a program it does not fit surfaces
+    them as hard errors.
+    """
+
+
 class SolverError(ReproError):
     """Raised for malformed solver input (e.g. clauses over unknown vars)."""
 

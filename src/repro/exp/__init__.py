@@ -11,7 +11,7 @@ from repro.exp.table1 import Table1Row, run_table1, run_table1_row
 from repro.exp.perf import PerfPoint, PerfSeries, run_perf_sweep
 from repro.exp.random_search import RandomSearchResult, run_random_search
 from repro.exp.invariants import InvariantReport, run_invariant_study
-from repro.exp.reporting import format_stats, format_table
+from repro.exp.reporting import format_plan, format_stats, format_table
 
 __all__ = [
     "Table1Row",
@@ -24,6 +24,7 @@ __all__ = [
     "run_random_search",
     "InvariantReport",
     "run_invariant_study",
+    "format_plan",
     "format_stats",
     "format_table",
 ]

@@ -6,20 +6,20 @@ logger translations over randomly chosen tables/fields) and re-counts
 anomalies.  The paper's finding -- random search almost never reduces the
 anomaly count, and never approaches the oracle-guided result -- falls out
 of how narrow the applicability windows of the rules are.
+
+Since the plan IR landed, the random rule applications live in
+:class:`repro.repair.search.RandomSearch` (the ``"random"`` plan-search
+strategy); this module is a thin driver that runs it next to the
+oracle-guided ``repair`` and shapes the comparison for Figure 16.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
-from repro.analysis import detect_anomalies
-from repro.errors import RefactoringError
-from repro.lang import ast
-from repro.refactor.logger import apply_logger, build_logger
-from repro.refactor.redirect import apply_redirect, build_redirect
-from repro.repair import repair
+from repro.analysis import AnomalyOracle
+from repro.repair import RandomSearch, RewritePlan, repair
 
 
 @dataclass
@@ -28,46 +28,13 @@ class RandomSearchResult:
     atropos_count: int
     initial_count: int
     round_counts: List[int] = field(default_factory=list)
+    # The best random round's plan (empty when no round improved on the
+    # original program), replayable like any repair plan.
+    best_plan: RewritePlan = RewritePlan()
 
     @property
     def best_random(self) -> int:
         return min(self.round_counts) if self.round_counts else self.initial_count
-
-
-def _random_refactoring(
-    program: ast.Program, rng: random.Random
-) -> Optional[ast.Program]:
-    """Try one random rule application; None if the draw is inapplicable."""
-    tables = list(program.schema_names)
-    if not tables:
-        return None
-    if rng.random() < 0.5:
-        src = rng.choice(tables)
-        dst = rng.choice(tables)
-        if src == dst:
-            return None
-        schema = program.schema(src)
-        if not schema.non_key_fields:
-            return None
-        fields = [rng.choice(schema.non_key_fields)]
-        rewrite = build_redirect(program, src, dst, fields)
-        if rewrite is None:
-            return None
-        try:
-            new_program, _ = apply_redirect(program, rewrite)
-            return new_program
-        except RefactoringError:
-            return None
-    src = rng.choice(tables)
-    schema = program.schema(src)
-    if not schema.non_key_fields:
-        return None
-    rewrite = build_logger(program, src, rng.choice(schema.non_key_fields))
-    try:
-        new_program, _ = apply_logger(program, rewrite)
-        return new_program
-    except RefactoringError:
-        return None
 
 
 def run_random_search(
@@ -78,21 +45,16 @@ def run_random_search(
 ) -> RandomSearchResult:
     """Figure 16 for one benchmark: ``rounds`` batches of random
     refactorings, each scored by the EC anomaly count."""
-    rng = random.Random(seed)
     program = benchmark.program()
-    initial = len(detect_anomalies(program))
     atropos = len(repair(program).residual_pairs)
-    counts: List[int] = []
-    for _ in range(rounds):
-        candidate = program
-        for _ in range(refactorings_per_round):
-            result = _random_refactoring(candidate, rng)
-            if result is not None:
-                candidate = result
-        counts.append(len(detect_anomalies(candidate)))
+    searcher = RandomSearch(
+        rounds=rounds, steps_per_round=refactorings_per_round, seed=seed
+    )
+    result = searcher.search(program, AnomalyOracle())
     return RandomSearchResult(
         benchmark=benchmark.name,
         atropos_count=atropos,
-        initial_count=initial,
-        round_counts=counts,
+        initial_count=len(result.initial_pairs),
+        round_counts=list(result.extras["round_counts"]),
+        best_plan=result.plan,
     )

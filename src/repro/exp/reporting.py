@@ -31,3 +31,14 @@ def format_stats(title: str, stats: dict) -> str:
     """Render a counter mapping (solver/cache stats) on one line."""
     body = ", ".join(f"{k}={stats[k]}" for k in sorted(stats))
     return f"{title}: {body}" if body else f"{title}: (empty)"
+
+
+def format_plan(title: str, plan) -> str:
+    """Render a rewrite plan's provenance: a header naming the step count
+    and one indented, numbered line per step (``plan.explain()``)."""
+    steps = len(plan)
+    if not steps:
+        return f"{title}: (no rewrites)"
+    body = "\n".join(f"  {line}" for line in plan.explain().splitlines())
+    noun = "step" if steps == 1 else "steps"
+    return f"{title}: {steps} {noun}\n{body}"

@@ -45,6 +45,30 @@ class Table1Row:
     # Oracle execution counters accumulated over the row's analyses.
     oracle_stats: Dict[str, int] = field(default_factory=dict)
 
+    @property
+    def plan(self):
+        """The rewrite plan that produced the row's repaired program."""
+        return self.report.plan
+
+    @property
+    def repair_seconds(self) -> float:
+        """Wall-clock of the repair search alone (excludes CC/RR sweeps)."""
+        return self.report.elapsed_seconds
+
+    def plan_provenance(self) -> Dict[str, object]:
+        """Plan metadata for reports/JSON: step counts by kind plus the
+        full serialized plan, so any row is reproducible from its JSON."""
+        by_kind: Dict[str, int] = {}
+        for step in self.report.plan:
+            by_kind[step.kind] = by_kind.get(step.kind, 0) + 1
+        return {
+            "benchmark": self.name,
+            "strategy": self.report.strategy,
+            "steps": len(self.report.plan),
+            "steps_by_kind": by_kind,
+            "plan": self.report.plan.to_json(),
+        }
+
     def columns(self) -> List[str]:
         return [
             self.name,
@@ -70,12 +94,15 @@ def run_table1_row(
     benchmark: Benchmark,
     strategy: object = "serial",
     cache: Optional[QueryCache] = None,
+    search: object = "greedy",
 ) -> Table1Row:
     """Analyse and repair one benchmark.
 
     A strategy named by string is resolved once, shared by the repair
     run and the CC/RR sweeps, and torn down before returning; a strategy
-    instance is the caller's to close.
+    instance is the caller's to close.  ``search`` selects the plan
+    search (see :func:`repro.repair.engine.repair`); the produced plan
+    rides on the row (``row.plan`` / ``row.plan_provenance()``).
     """
     start = time.perf_counter()
     program = benchmark.program()
@@ -84,7 +111,7 @@ def run_table1_row(
     if runner != "serial" and cache is None:
         cache = QueryCache()
     try:
-        report = repair(program, strategy=runner, cache=cache)
+        report = repair(program, strategy=runner, cache=cache, search=search)
         oracle_stats: Dict[str, int] = {}
         cc_report = AnomalyOracle(CC, strategy=runner, cache=cache).analyze(program)
         rr_report = AnomalyOracle(RR, strategy=runner, cache=cache).analyze(program)
@@ -115,6 +142,7 @@ def run_table1(
     benchmarks: Optional[Sequence[Benchmark]] = None,
     strategy: object = "serial",
     cache: Optional[QueryCache] = None,
+    search: object = "greedy",
 ) -> List[Table1Row]:
     """The full Table 1 sweep.
 
@@ -123,11 +151,14 @@ def run_table1(
     """
     benches = benchmarks or ALL_BENCHMARKS
     if strategy == "serial":
-        return [run_table1_row(b) for b in benches]
+        return [run_table1_row(b, search=search) for b in benches]
     runner = resolve_strategy(strategy)
     if cache is None:
         cache = QueryCache()
     try:
-        return [run_table1_row(b, strategy=runner, cache=cache) for b in benches]
+        return [
+            run_table1_row(b, strategy=runner, cache=cache, search=search)
+            for b in benches
+        ]
     finally:
         runner.close()

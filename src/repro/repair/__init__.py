@@ -1,4 +1,4 @@
-"""The repair procedure (Section 5, Figure 10).
+"""The repair procedure (Section 5, Figure 10), planned and searched.
 
 ``repair(P)`` runs the full pipeline:
 
@@ -6,21 +6,52 @@
 2. **preprocess**: split multi-field updates so each command sits in at
    most one anomalous pair (skipped when the split fields are accessed
    together elsewhere);
-3. for each pair, **try_repair**: merge same-schema commands whose where
-   clauses provably address the same records; otherwise redirect one
-   command's schema onto the other's (via a declared reference path) and
-   merge; otherwise translate a read-modify-write update into a logging
+3. for each pair, search for a repair among the rule applications of
+   Figure 10: merge same-schema commands whose where clauses provably
+   address the same records; otherwise redirect one command's schema
+   onto the other's (via a declared reference path) and merge;
+   otherwise translate a read-modify-write update into a logging
    insert;
 4. **postprocess**: merge remaining mergeable commands, drop dead
    selects, and dissolve tables whose entire payload moved elsewhere.
 
+Since PR 3 the repair is built as a first-class, serializable
+:class:`~repro.repair.plan.RewritePlan` (see :mod:`repro.repair.plan`)
+found by a pluggable search strategy (:mod:`repro.repair.search`):
+``greedy`` (the default, reproducing the paper's control flow),
+``beam`` (cost-guided), or ``random`` (the Appendix A.3 baseline).
+
 The result is a :class:`~repro.repair.engine.RepairReport` carrying the
-repaired program, the accumulated value correspondences and rewrites
-(for data migration and containment checking), per-pair outcomes, and
-the residual anomalies.
+repaired program, the plan that produced it (replayable on the pristine
+program via :func:`~repro.repair.engine.replay_plan` or
+``report.plan.apply``), the accumulated value correspondences and
+rewrites (for data migration and containment checking), per-pair
+outcomes, and the residual anomalies.
 """
 
-from repro.repair.engine import RepairOutcome, RepairReport, repair
+from repro.repair.engine import RepairReport, repair, replay_plan
+from repro.repair.plan import (
+    IntroFieldStep,
+    IntroSchemaStep,
+    LoggerStep,
+    MergeStep,
+    PlanContext,
+    PostprocessStep,
+    RedirectStep,
+    RewritePlan,
+    RewriteStep,
+    SplitStep,
+)
+from repro.repair.search import (
+    BeamSearch,
+    CostModel,
+    GreedySearch,
+    RandomSearch,
+    RepairOutcome,
+    SearchResult,
+    resolve_search,
+    simulated_throughput_probe,
+)
 from repro.repair.preprocess import preprocess
 from repro.repair.postprocess import postprocess
 from repro.repair.merging import try_merging, where_equivalent
@@ -29,6 +60,24 @@ __all__ = [
     "RepairOutcome",
     "RepairReport",
     "repair",
+    "replay_plan",
+    "RewritePlan",
+    "RewriteStep",
+    "PlanContext",
+    "SplitStep",
+    "MergeStep",
+    "RedirectStep",
+    "LoggerStep",
+    "IntroSchemaStep",
+    "IntroFieldStep",
+    "PostprocessStep",
+    "GreedySearch",
+    "BeamSearch",
+    "RandomSearch",
+    "SearchResult",
+    "CostModel",
+    "resolve_search",
+    "simulated_throughput_probe",
     "preprocess",
     "postprocess",
     "try_merging",

@@ -1,60 +1,40 @@
-"""The repair driver (Figure 10's ``repair`` / ``try_repair``).
+"""The repair driver (Figure 10's ``repair``), now a thin shell.
 
-The engine follows the paper's control flow exactly:
+The actual repair logic lives in two layers beneath this module:
 
-- same-kind, same-schema pairs go straight to merging;
-- same-kind, cross-schema pairs first redirect one schema onto the other
-  (needs a declared reference path for theta-hat), then merge;
-- everything else (the select/update read-modify-write shape) goes to the
-  logger translation.
+- :mod:`repro.repair.plan` -- the rewrite-plan IR: every rule
+  application (split, merge, redirect, logger, intro rho / intro rho.f,
+  postprocess) is a serializable :class:`~repro.repair.plan.RewriteStep`
+  with uniform ``applicable``/``apply``/``explain``, and a repair is a
+  replayable :class:`~repro.repair.plan.RewritePlan`;
+- :mod:`repro.repair.search` -- the planner: pluggable strategies
+  (``greedy`` -- the default, reproducing the paper's Figure 10 control
+  flow exactly; ``beam``; ``random``) searched under a
+  :class:`~repro.repair.search.CostModel`.
 
-All rewrites are applied program-wide; the engine tracks label renames so
-later anomalies referring to merged-away commands still resolve.  The
-returned :class:`RepairReport` carries everything downstream consumers
-need: the repaired program, value correspondences and rewrites (for data
-migration / containment checks), per-pair outcomes, and the residual
-anomaly set whose transactions the AT-SC configuration pins to
-serializable execution.
+The engine's job is reduced to: own the anomaly oracle (with its
+execution strategy and caches), hand the program to a search strategy,
+and wrap the result in a :class:`RepairReport`.  Label-rename threading
+across chained merges -- formerly the engine's private ``_current`` /
+``_note_merge`` dictionaries -- is handled by
+:class:`~repro.repair.plan.PlanContext` inside the plan layer.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Optional, Union
 
-from repro.analysis.accesses import rmw_field, summarize_transaction
 from repro.analysis.consistency import EC, ConsistencyLevel
 from repro.analysis.oracle import AccessPair, AnomalyOracle
-from repro.errors import RefactoringError
 from repro.lang import ast
 from repro.refactor.correspondence import ValueCorrespondence
-from repro.refactor.logger import (
-    LoggerRewrite,
-    apply_logger,
-    build_logger,
-    logger_applicable,
-)
-from repro.refactor.redirect import (
-    RedirectRewrite,
-    apply_redirect,
-    build_redirect,
-    redirect_applicable,
-)
-from repro.repair.merging import try_merging
-from repro.repair.postprocess import postprocess
-from repro.repair.preprocess import preprocess
+from repro.refactor.logger import LoggerRewrite
+from repro.refactor.redirect import RedirectRewrite
+from repro.repair.plan import RewritePlan
+from repro.repair.search import RepairOutcome, resolve_search
 
 Rewrite = Union[RedirectRewrite, LoggerRewrite]
-
-
-@dataclass
-class RepairOutcome:
-    """What happened to one anomalous access pair."""
-
-    pair: AccessPair
-    action: str  # merged | redirected | redirected+merged | logged | absorbed | unrepaired
-    detail: str = ""
 
 
 @dataclass
@@ -69,6 +49,10 @@ class RepairReport:
     correspondences: List[ValueCorrespondence]
     rewrites: List[Rewrite]
     elapsed_seconds: float
+    # Plan provenance: replaying `plan` on `original_program` reproduces
+    # `repaired_program` byte-for-byte (via the printer).
+    plan: RewritePlan = RewritePlan()
+    strategy: str = "greedy"
 
     @property
     def repaired_count(self) -> int:
@@ -108,24 +92,21 @@ class RepairEngine:
     """Stateful driver for one repair run.
 
     ``strategy``/``cache`` configure the anomaly oracle's execution
-    pipeline (see :class:`~repro.analysis.oracle.AnomalyOracle`).  With a
-    caching strategy the engine's repeated re-analyses -- after
-    preprocessing and after the repair loop -- only re-solve queries
-    whose transactions a rewrite actually touched: untouched transaction
-    pairs fingerprint identically and hit the memo cache, while a
-    renamed/merged command changes its transaction's fingerprint and so
-    invalidates exactly the entries that mention it.  (Entries for
-    superseded program versions stay until ``cache.invalidate``/``clear``
-    -- they are unreachable by construction, merely occupying memory.)
+    pipeline (see :class:`~repro.analysis.oracle.AnomalyOracle`); with a
+    caching strategy repeated re-analyses across the search only
+    re-solve queries whose transactions a rewrite actually touched, and
+    with ``strategy="incremental"`` every re-analysis shares one warm
+    solver session per focus triple -- which is what makes cost-guided
+    searches (``search="beam"``) affordable: every candidate plan's
+    residual count lands on the same
+    :class:`~repro.analysis.oracle.OracleSession` pool.
 
-    With ``strategy="incremental"`` the engine additionally keeps one
-    warm solver session per focus triple across the whole fixpoint: the
-    oracle instance (and so its strategy's
-    :class:`~repro.analysis.oracle.OracleSession` pool) is shared by
-    every re-analysis, so a query that misses the memo cache only
-    because it runs at a new consistency level lands on the previous
-    iteration's solver -- skeleton already encoded, learned clauses and
-    activity retained -- and reduces to one assumption-based solve.
+    ``search`` selects the plan-search strategy: ``"greedy"`` (default;
+    reproduces the historical engine exactly), ``"beam"``, ``"random"``,
+    or any instance with a ``search(program, oracle)`` method (see
+    :func:`repro.repair.search.resolve_search`).  ``search_options`` are
+    forwarded to the named strategy's constructor (e.g. ``width`` and
+    ``cost_model`` for beam).
     """
 
     def __init__(
@@ -134,214 +115,32 @@ class RepairEngine:
         use_prefilter: bool = True,
         strategy: object = "serial",
         cache: Optional[object] = None,
+        search: object = "greedy",
+        **search_options: object,
     ):
         self.oracle = AnomalyOracle(
             level, use_prefilter, strategy=strategy, cache=cache
         )
-        # (txn, original label) -> current label after merges.
-        self._label_map: Dict[Tuple[str, str], str] = {}
-        # Secondary rewrites produced by hub redirection (two rewrites
-        # repair one pair); drained into the report after each pair.
-        self._extra_rewrites: List[Rewrite] = []
-        self._extra_correspondences: List[ValueCorrespondence] = []
+        self.searcher = resolve_search(search, **search_options)
 
     def close(self) -> None:
         """Release the oracle's strategy resources (worker pools)."""
         self.oracle.close()
 
-    # -- label bookkeeping -------------------------------------------------
-
-    def _current(self, txn: str, label: str) -> str:
-        seen = set()
-        while (txn, label) in self._label_map and label not in seen:
-            seen.add(label)
-            label = self._label_map[(txn, label)]
-        return label
-
-    def _note_merge(self, txn: str, winner: str, loser: str) -> None:
-        self._label_map[(txn, loser)] = winner
-
-    # -- main algorithm ------------------------------------------------------
-
     def repair(self, program: ast.Program) -> RepairReport:
-        start = time.perf_counter()
-        original = program
-        initial_report = self.oracle.analyze(program)
-        program = preprocess(program, initial_report.pairs)
-        if program is original:
-            # Preprocessing split nothing; analysis is deterministic, so
-            # re-running it would reproduce the initial report verbatim.
-            pairs = list(initial_report.pairs)
-        else:
-            # Re-detect: splitting renamed command labels.
-            pairs = self.oracle.analyze(program).pairs
-        pairs = sorted(pairs, key=lambda p: (p.txn, p.c1, p.c2))
-
-        outcomes: List[RepairOutcome] = []
-        correspondences: List[ValueCorrespondence] = []
-        rewrites: List[Rewrite] = []
-        for pair in pairs:
-            result = self.try_repair(program, pair)
-            if result is None:
-                outcomes.append(RepairOutcome(pair, "unrepaired"))
-                continue
-            program, action, new_corrs, new_rewrites = result
-            outcomes.append(RepairOutcome(pair, action))
-            correspondences.extend(new_corrs)
-            rewrites.extend(new_rewrites)
-            if self._extra_rewrites:
-                rewrites.extend(self._extra_rewrites)
-                correspondences.extend(self._extra_correspondences)
-                self._extra_rewrites = []
-                self._extra_correspondences = []
-
-        program = postprocess(program, correspondences)
-        residual = self.oracle.analyze(program).pairs
-        elapsed = time.perf_counter() - start
+        result = self.searcher.search(program, self.oracle)
         return RepairReport(
-            original_program=original,
-            repaired_program=program,
-            initial_pairs=pairs,
-            residual_pairs=residual,
-            outcomes=outcomes,
-            correspondences=correspondences,
-            rewrites=rewrites,
-            elapsed_seconds=elapsed,
+            original_program=program,
+            repaired_program=result.repaired_program,
+            initial_pairs=result.initial_pairs,
+            residual_pairs=result.residual_pairs,
+            outcomes=result.outcomes,
+            correspondences=list(result.context.correspondences),
+            rewrites=list(result.context.rewrites),
+            elapsed_seconds=result.elapsed_seconds,
+            plan=result.plan,
+            strategy=result.strategy,
         )
-
-    def try_repair(
-        self, program: ast.Program, pair: AccessPair
-    ) -> Optional[Tuple[ast.Program, str, List[ValueCorrespondence], List[Rewrite]]]:
-        """One application of Figure 10's ``try_repair``; None on failure."""
-        txn_name = pair.txn
-        label1 = self._current(txn_name, pair.c1)
-        label2 = self._current(txn_name, pair.c2)
-        if label1 == label2:
-            return program, "absorbed", [], []
-        c1 = _find_command(program, txn_name, label1)
-        c2 = _find_command(program, txn_name, label2)
-        if c1 is None or c2 is None:
-            return None
-
-        if _same_kind(c1, c2):
-            if c1.table == c2.table:  # type: ignore[union-attr]
-                merged = try_merging(program, txn_name, label1, label2)
-                if merged is not None:
-                    self._note_merge(txn_name, label1, label2)
-                    return merged, "merged", [], []
-                return None
-            redirected = self._try_redirect(program, txn_name, c1, c2)
-            if redirected is not None:
-                program, corrs, rewrite = redirected
-                merged = try_merging(program, txn_name, label1, label2)
-                if merged is not None:
-                    self._note_merge(txn_name, label1, label2)
-                    return merged, "redirected+merged", corrs, [rewrite]
-                return program, "redirected", corrs, [rewrite]
-            return None
-        return self._try_logging(program, txn_name, c1, c2)
-
-    # -- redirect ------------------------------------------------------------
-
-    def _try_redirect(
-        self,
-        program: ast.Program,
-        txn_name: str,
-        c1: ast.Command,
-        c2: ast.Command,
-    ) -> Optional[Tuple[ast.Program, List[ValueCorrespondence], Rewrite]]:
-        """Redirect c2's schema into c1's (then reverse, then via a hub).
-
-        The moved field set is closed under accessed-together fields: if
-        some select retrieves a moved field alongside other payload
-        fields of the source table, those are moved too, so every access
-        site remains expressible after the rewrite.
-        """
-        for src_cmd, dst_cmd in ((c2, c1), (c1, c2)):
-            result = self._redirect_into(program, src_cmd, dst_cmd.table)  # type: ignore[union-attr]
-            if result is not None:
-                return result
-        # Common hub: both tables fold into a third one that declares (or
-        # is declared by) reference paths to each -- e.g. SAVINGS and
-        # CHECKING both keyed by ACCOUNTS.custid.
-        hub = self._redirect_into_hub(program, txn_name, c1, c2)
-        if hub is not None:
-            return hub
-        return None
-
-    def _redirect_into(
-        self, program: ast.Program, src_cmd: ast.Command, dst_table: str
-    ) -> Optional[Tuple[ast.Program, List[ValueCorrespondence], Rewrite]]:
-        fields = _accessed_payload_fields(program, src_cmd)
-        if not fields or src_cmd.table == dst_table:  # type: ignore[union-attr]
-            return None
-        fields = _close_accessed_together(program, src_cmd.table, fields)  # type: ignore[union-attr]
-        rewrite = build_redirect(program, src_cmd.table, dst_table, fields)  # type: ignore[union-attr]
-        if rewrite is None or redirect_applicable(program, rewrite) is not None:
-            return None
-        try:
-            new_program, corrs = apply_redirect(program, rewrite)
-        except RefactoringError:
-            return None
-        return new_program, corrs, rewrite
-
-    def _redirect_into_hub(
-        self,
-        program: ast.Program,
-        txn_name: str,
-        c1: ast.Command,
-        c2: ast.Command,
-    ) -> Optional[Tuple[ast.Program, List[ValueCorrespondence], Rewrite]]:
-        for hub in program.schema_names:
-            if hub in (c1.table, c2.table):  # type: ignore[union-attr]
-                continue
-            first = self._redirect_into(program, c1, hub)
-            if first is None:
-                continue
-            program1, corrs1, rewrite1 = first
-            c2_now = _find_command(program1, txn_name, getattr(c2, "label", ""))
-            if c2_now is None:
-                continue
-            second = self._redirect_into(program1, c2_now, hub)
-            if second is None:
-                continue
-            program2, corrs2, rewrite2 = second
-            # Record both rewrites; report the first, stash the second.
-            self._extra_rewrites.append(rewrite2)
-            self._extra_correspondences.extend(corrs2)
-            return program2, corrs1, rewrite1
-        return None
-
-    # -- logging ---------------------------------------------------------------
-
-    def _try_logging(
-        self,
-        program: ast.Program,
-        txn_name: str,
-        c1: ast.Command,
-        c2: ast.Command,
-    ) -> Optional[Tuple[ast.Program, str, List[ValueCorrespondence], List[Rewrite]]]:
-        select, update = (c1, c2) if isinstance(c1, ast.Select) else (c2, c1)
-        if not isinstance(select, ast.Select) or not isinstance(update, ast.Update):
-            return None
-        txn = program.transaction(txn_name)
-        summary = summarize_transaction(program, txn)
-        try:
-            info_r = summary.command(select.label)
-            info_w = summary.command(update.label)
-        except KeyError:
-            return None
-        f = rmw_field(summary, info_r, info_w)
-        if f is None:
-            return None
-        rewrite = build_logger(program, update.table, f)
-        if logger_applicable(program, rewrite) is not None:
-            return None
-        try:
-            new_program, corrs = apply_logger(program, rewrite)
-        except RefactoringError:
-            return None
-        return new_program, "logged", corrs, [rewrite]
 
 
 def repair(
@@ -350,6 +149,8 @@ def repair(
     use_prefilter: bool = True,
     strategy: object = "serial",
     cache: Optional[object] = None,
+    search: object = "greedy",
+    **search_options: object,
 ) -> RepairReport:
     """Run the full repair pipeline on ``program``.
 
@@ -357,7 +158,14 @@ def repair(
     pools included) before returning; a strategy *instance* belongs to
     the caller and is left running for reuse.
     """
-    engine = RepairEngine(level, use_prefilter, strategy=strategy, cache=cache)
+    engine = RepairEngine(
+        level,
+        use_prefilter,
+        strategy=strategy,
+        cache=cache,
+        search=search,
+        **search_options,
+    )
     try:
         return engine.repair(program)
     finally:
@@ -365,67 +173,26 @@ def repair(
             engine.close()
 
 
-# ---------------------------------------------------------------------------
-# helpers
-# ---------------------------------------------------------------------------
+def replay_plan(program: ast.Program, plan: RewritePlan) -> RepairReport:
+    """Replay a serialized plan on ``program`` without any oracle work.
 
+    The report's pair lists are empty (no analysis ran); the repaired
+    program, correspondences, and rewrites are reproduced exactly.
+    Raises :class:`~repro.errors.PlanError` when the plan does not fit.
+    """
+    import time
 
-def _find_command(
-    program: ast.Program, txn_name: str, label: str
-) -> Optional[ast.Command]:
-    try:
-        txn = program.transaction(txn_name)
-    except KeyError:
-        return None
-    for cmd in ast.iter_db_commands(txn):
-        if getattr(cmd, "label", "") == label:
-            return cmd
-    return None
-
-
-def _same_kind(c1: ast.Command, c2: ast.Command) -> bool:
-    kinds = {type(c1), type(c2)}
-    return kinds == {ast.Select} or kinds == {ast.Update}
-
-
-def _close_accessed_together(
-    program: ast.Program, table: str, fields: List[str]
-) -> List[str]:
-    """Close the moved-field set under 'retrieved by the same select':
-    if any select pulls a moved field together with other payload fields
-    of the table, those fields must move too or the select has no home."""
-    schema = program.schema(table)
-    moved = set(fields)
-    changed = True
-    while changed:
-        changed = False
-        for txn in program.transactions:
-            for cmd in ast.iter_db_commands(txn):
-                if getattr(cmd, "table", None) != table:
-                    continue
-                if isinstance(cmd, ast.Select):
-                    accessed = {
-                        f for f in cmd.selected_fields(schema) if f not in schema.key
-                    }
-                elif isinstance(cmd, ast.Update):
-                    accessed = {
-                        f for f in cmd.written_fields if f not in schema.key
-                    }
-                else:
-                    continue
-                if accessed & moved and not accessed <= moved:
-                    moved |= accessed
-                    changed = True
-    return [f for f in schema.fields if f in moved]
-
-
-def _accessed_payload_fields(program: ast.Program, cmd: ast.Command) -> List[str]:
-    """Non-key fields the command accesses on its table."""
-    schema = program.schema(cmd.table)  # type: ignore[union-attr]
-    if isinstance(cmd, ast.Select):
-        accessed = cmd.selected_fields(schema)
-    elif isinstance(cmd, ast.Update):
-        accessed = cmd.written_fields
-    else:
-        return []
-    return [f for f in accessed if f not in schema.key]
+    start = time.perf_counter()
+    application = plan.apply(program)
+    return RepairReport(
+        original_program=program,
+        repaired_program=application.program,
+        initial_pairs=[],
+        residual_pairs=[],
+        outcomes=[],
+        correspondences=application.correspondences,
+        rewrites=application.rewrites,
+        elapsed_seconds=time.perf_counter() - start,
+        plan=plan,
+        strategy="replay",
+    )

@@ -1,0 +1,600 @@
+"""The rewrite-plan IR: repairs as first-class, serializable programs.
+
+A repair is no longer something the engine *does* to an AST; it is a
+:class:`RewritePlan` -- an ordered sequence of :class:`RewriteStep`\\ s --
+that can be searched over, scored, serialized to JSON, shipped around,
+and replayed on the pristine program to reproduce the repaired program
+byte-for-byte (via :func:`repro.lang.printer.print_program`).
+
+Mapping back to the paper's refactoring calculus (Figure 8) and repair
+procedure (Section 5 / Figure 10):
+
+=====================  ======================================================
+Step                   Paper rule
+=====================  ======================================================
+:class:`IntroSchemaStep`  ``intro rho`` -- add a fresh schema.
+:class:`IntroFieldStep`   ``intro rho.f`` -- add a fresh field to a schema.
+:class:`RedirectStep`     ``intro v`` instantiated with the **redirect**
+                          rewrite ``[[.]]_v`` (Section 4.2.1, aggregator
+                          ``any``); implicitly performs its ``intro rho.f``
+                          obligations for fresh target fields.
+:class:`LoggerStep`       ``intro v`` instantiated with the **logger**
+                          rewrite (Section 4.2.2, aggregator ``sum``);
+                          implicitly performs ``intro rho`` for the fresh
+                          logging schema.
+:class:`MergeStep`        Figure 10's ``try_merging`` (condition R1).
+:class:`SplitStep`        Section 5 preprocessing (command splitting,
+                          ``U4`` -> ``U4.1``/``U4.2``).
+:class:`PostprocessStep`  Section 5 postprocessing (final merges, dead
+                          select elimination, dissolving fully-migrated
+                          tables).
+=====================  ======================================================
+
+Every step exposes the same three-method protocol:
+
+- ``applicable(program, ctx)`` -- a human-readable reason the step cannot
+  run here, or None when it can;
+- ``apply(program, ctx)`` -- the rewritten program (raising
+  :class:`~repro.errors.PlanError` when inapplicable), recording produced
+  rewrites/correspondences and label renames into the
+  :class:`PlanContext`;
+- ``explain()`` -- one line of provenance for reports.
+
+Label-rename threading lives in :class:`PlanContext`: merging ``l2``
+into ``l1`` records ``l2 -> l1`` so later steps (and the search loop's
+anomaly pairs) that still name ``l2`` resolve to the surviving command,
+including chains of merges.  This replaces the old
+``RepairEngine._current`` / ``_note_merge`` private bookkeeping.
+
+JSON format (``RewritePlan.to_json``)::
+
+    {"version": 1,
+     "steps": [{"step": "split", "txn": "regSt", "label": "U4",
+                "groups": [["st_co_id", "st_reg"], ["..."]]},
+               {"step": "redirect", "src_table": "EMAIL",
+                "dst_table": "STUDENT", "fields": ["em_addr"]},
+               {"step": "merge", "txn": "getSt",
+                "label1": "S1", "label2": "S2"},
+               {"step": "logger", "table": "COURSE", "field": "co_st_cnt"},
+               {"step": "postprocess"}]}
+
+Steps deliberately store *surface* identifiers (table/field/label names)
+rather than resolved AST nodes: replaying the same step sequence from
+the same starting program deterministically rebuilds the same rewrites,
+which is what makes a plan a reproducible artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Type, Union
+
+from repro.errors import PlanError, RefactoringError
+from repro.lang import ast
+from repro.refactor.correspondence import ValueCorrespondence
+from repro.refactor.logger import (
+    LoggerRewrite,
+    apply_logger,
+    build_logger,
+    logger_applicable,
+)
+from repro.refactor.redirect import (
+    RedirectRewrite,
+    apply_redirect,
+    build_redirect,
+    redirect_applicable,
+)
+from repro.refactor.rules import intro_field, intro_schema
+from repro.repair.merging import try_merging
+from repro.repair.postprocess import postprocess
+from repro.repair.preprocess import split_update
+
+Rewrite = Union[RedirectRewrite, LoggerRewrite]
+
+PLAN_FORMAT_VERSION = 1
+
+
+@dataclass
+class PlanContext:
+    """Mutable state threaded through a plan application.
+
+    ``label_map`` maps ``(txn, merged-away label) -> surviving label``;
+    :meth:`current` chases chains so a label renamed by several merges
+    still resolves.  ``rewrites`` and ``correspondences`` accumulate the
+    artifacts downstream consumers (data migration, containment checks)
+    need, in application order.
+    """
+
+    label_map: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    correspondences: List[ValueCorrespondence] = field(default_factory=list)
+    rewrites: List[Rewrite] = field(default_factory=list)
+
+    def current(self, txn: str, label: str) -> str:
+        """Resolve ``label`` through every merge recorded so far."""
+        seen = set()
+        while (txn, label) in self.label_map and label not in seen:
+            seen.add(label)
+            label = self.label_map[(txn, label)]
+        return label
+
+    def note_merge(self, txn: str, winner: str, loser: str) -> None:
+        self.label_map[(txn, loser)] = winner
+
+    def clone(self) -> "PlanContext":
+        """Independent copy for speculative (search) application."""
+        return PlanContext(
+            label_map=dict(self.label_map),
+            correspondences=list(self.correspondences),
+            rewrites=list(self.rewrites),
+        )
+
+
+class RewriteStep:
+    """Base of the step protocol; subclasses are frozen dataclasses."""
+
+    kind: str = "?"
+
+    def applicable(self, program: ast.Program, ctx: PlanContext) -> Optional[str]:
+        """Reason this step cannot be applied here, or None when it can."""
+        raise NotImplementedError
+
+    def apply(self, program: ast.Program, ctx: PlanContext) -> ast.Program:
+        """Apply the step; raises :class:`PlanError` when inapplicable."""
+        raise NotImplementedError
+
+    def explain(self) -> str:
+        raise NotImplementedError
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        data = {"step": self.kind}
+        data.update(self._payload())
+        return data
+
+    def _payload(self) -> dict:
+        raise NotImplementedError
+
+    @staticmethod
+    def from_json(data: dict) -> "RewriteStep":
+        kind = data.get("step")
+        cls = _STEP_KINDS.get(kind)
+        if cls is None:
+            raise PlanError(f"unknown plan step kind {kind!r}")
+        try:
+            return cls._decode(data)
+        except (KeyError, TypeError) as exc:
+            raise PlanError(f"malformed {kind} step: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SplitStep(RewriteStep):
+    """Split a multi-field update into one update per field group."""
+
+    txn: str
+    label: str
+    groups: Tuple[Tuple[str, ...], ...]
+
+    kind = "split"
+
+    def applicable(self, program, ctx):
+        label = ctx.current(self.txn, self.label)
+        cmd = _find_command(program, self.txn, label)
+        if not isinstance(cmd, ast.Update):
+            return f"{self.txn}/{label} is not an update"
+        assigned = [f for f, _ in cmd.assignments]
+        flat = [f for group in self.groups for f in group]
+        if sorted(flat) != sorted(assigned):
+            return (
+                f"{self.txn}/{label}: groups {flat} do not partition "
+                f"assigned fields {assigned}"
+            )
+        return None
+
+    def apply(self, program, ctx):
+        _check(self, program, ctx)
+        return split_update(
+            program, self.txn, ctx.current(self.txn, self.label), self.groups
+        )
+
+    def explain(self):
+        groups = " | ".join("{" + ", ".join(g) + "}" for g in self.groups)
+        return f"split {self.txn}/{self.label} into {groups}"
+
+    def _payload(self):
+        return {
+            "txn": self.txn,
+            "label": self.label,
+            "groups": [list(g) for g in self.groups],
+        }
+
+    @classmethod
+    def _decode(cls, data):
+        return cls(
+            txn=data["txn"],
+            label=data["label"],
+            groups=tuple(tuple(g) for g in data["groups"]),
+        )
+
+
+@dataclass(frozen=True)
+class MergeStep(RewriteStep):
+    """Merge the command labelled ``label2`` with ``label1`` (R1)."""
+
+    txn: str
+    label1: str
+    label2: str
+
+    kind = "merge"
+
+    def applicable(self, program, ctx):
+        l1 = ctx.current(self.txn, self.label1)
+        l2 = ctx.current(self.txn, self.label2)
+        if l1 == l2:
+            return f"{self.txn}: {self.label1} and {self.label2} already merged"
+        if try_merging(program, self.txn, l1, l2) is None:
+            return f"{self.txn}: {l1} and {l2} are not mergeable"
+        return None
+
+    def apply(self, program, ctx):
+        l1 = ctx.current(self.txn, self.label1)
+        l2 = ctx.current(self.txn, self.label2)
+        if l1 == l2:
+            raise PlanError(
+                f"merge step: {self.txn}: {self.label1} and {self.label2} "
+                "already merged"
+            )
+        merged = try_merging(program, self.txn, l1, l2)
+        if merged is None:
+            raise PlanError(
+                f"merge step: {self.txn}: {l1} and {l2} are not mergeable"
+            )
+        ctx.note_merge(self.txn, l1, l2)
+        return merged
+
+    def explain(self):
+        return f"merge {self.txn}/{self.label2} into {self.txn}/{self.label1}"
+
+    def _payload(self):
+        return {"txn": self.txn, "label1": self.label1, "label2": self.label2}
+
+    @classmethod
+    def _decode(cls, data):
+        return cls(txn=data["txn"], label1=data["label1"], label2=data["label2"])
+
+
+@dataclass(frozen=True)
+class RedirectStep(RewriteStep):
+    """Relocate ``fields`` of ``src_table`` into ``dst_table`` (intro v,
+    redirect instantiation); fresh target fields are intro rho.f'd."""
+
+    src_table: str
+    dst_table: str
+    fields: Tuple[str, ...]
+
+    kind = "redirect"
+
+    def _build(self, program) -> Optional[RedirectRewrite]:
+        if not program.has_schema(self.src_table) or not program.has_schema(
+            self.dst_table
+        ):
+            return None
+        return build_redirect(program, self.src_table, self.dst_table, self.fields)
+
+    def applicable(self, program, ctx):
+        rewrite = self._build(program)
+        if rewrite is None:
+            return (
+                f"no theta-hat from {self.src_table} to {self.dst_table} "
+                "(missing reference path)"
+            )
+        return redirect_applicable(program, rewrite)
+
+    def apply(self, program, ctx):
+        rewrite = self._build(program)
+        if rewrite is None:
+            raise PlanError(
+                f"redirect step: no theta-hat from {self.src_table} "
+                f"to {self.dst_table}"
+            )
+        try:
+            new_program, corrs = apply_redirect(program, rewrite)
+        except RefactoringError as exc:
+            raise PlanError(f"redirect step: {exc}") from exc
+        ctx.rewrites.append(rewrite)
+        ctx.correspondences.extend(corrs)
+        return new_program
+
+    def explain(self):
+        moved = ", ".join(self.fields)
+        return f"redirect {self.src_table}.{{{moved}}} into {self.dst_table}"
+
+    def _payload(self):
+        return {
+            "src_table": self.src_table,
+            "dst_table": self.dst_table,
+            "fields": list(self.fields),
+        }
+
+    @classmethod
+    def _decode(cls, data):
+        return cls(
+            src_table=data["src_table"],
+            dst_table=data["dst_table"],
+            fields=tuple(data["fields"]),
+        )
+
+
+@dataclass(frozen=True)
+class LoggerStep(RewriteStep):
+    """Turn increments of ``table.field`` into log inserts (intro v,
+    logger instantiation); the logging schema is intro rho'd."""
+
+    table: str
+    field: str
+
+    kind = "logger"
+
+    def _build(self, program) -> Optional[LoggerRewrite]:
+        if not program.has_schema(self.table):
+            return None
+        return build_logger(program, self.table, self.field)
+
+    def applicable(self, program, ctx):
+        rewrite = self._build(program)
+        if rewrite is None:
+            return f"no schema named {self.table}"
+        return logger_applicable(program, rewrite)
+
+    def apply(self, program, ctx):
+        rewrite = self._build(program)
+        if rewrite is None:
+            raise PlanError(f"logger step: no schema named {self.table}")
+        try:
+            new_program, corrs = apply_logger(program, rewrite)
+        except RefactoringError as exc:
+            raise PlanError(f"logger step: {exc}") from exc
+        ctx.rewrites.append(rewrite)
+        ctx.correspondences.extend(corrs)
+        return new_program
+
+    def explain(self):
+        return f"log {self.table}.{self.field} (functional update)"
+
+    def _payload(self):
+        return {"table": self.table, "field": self.field}
+
+    @classmethod
+    def _decode(cls, data):
+        return cls(table=data["table"], field=data["field"])
+
+
+@dataclass(frozen=True)
+class IntroSchemaStep(RewriteStep):
+    """``intro rho``: add a fresh schema."""
+
+    name: str
+    key: Tuple[str, ...]
+    fields: Tuple[str, ...] = ()
+
+    kind = "intro_schema"
+
+    def applicable(self, program, ctx):
+        if program.has_schema(self.name):
+            return f"schema {self.name} already exists"
+        return None
+
+    def apply(self, program, ctx):
+        try:
+            return intro_schema(program, self.name, self.key, self.fields)
+        except RefactoringError as exc:
+            raise PlanError(f"intro_schema step: {exc}") from exc
+
+    def explain(self):
+        return f"intro schema {self.name} (key {', '.join(self.key)})"
+
+    def _payload(self):
+        return {
+            "name": self.name,
+            "key": list(self.key),
+            "fields": list(self.fields),
+        }
+
+    @classmethod
+    def _decode(cls, data):
+        return cls(
+            name=data["name"],
+            key=tuple(data["key"]),
+            fields=tuple(data.get("fields", ())),
+        )
+
+
+@dataclass(frozen=True)
+class IntroFieldStep(RewriteStep):
+    """``intro rho.f``: add a fresh non-key field to a schema."""
+
+    table: str
+    field: str
+    ref: Optional[Tuple[str, str]] = None
+
+    kind = "intro_field"
+
+    def applicable(self, program, ctx):
+        if not program.has_schema(self.table):
+            return f"no schema named {self.table}"
+        if self.field in program.schema(self.table).fields:
+            return f"{self.table}.{self.field} already exists"
+        return None
+
+    def apply(self, program, ctx):
+        try:
+            return intro_field(program, self.table, self.field, self.ref)
+        except RefactoringError as exc:
+            raise PlanError(f"intro_field step: {exc}") from exc
+
+    def explain(self):
+        suffix = f" ref {self.ref[0]}.{self.ref[1]}" if self.ref else ""
+        return f"intro field {self.table}.{self.field}{suffix}"
+
+    def _payload(self):
+        data = {"table": self.table, "field": self.field}
+        if self.ref is not None:
+            data["ref"] = list(self.ref)
+        return data
+
+    @classmethod
+    def _decode(cls, data):
+        ref = data.get("ref")
+        return cls(
+            table=data["table"],
+            field=data["field"],
+            ref=tuple(ref) if ref else None,
+        )
+
+
+@dataclass(frozen=True)
+class PostprocessStep(RewriteStep):
+    """Section 5 postprocessing: final merges, dead-select elimination,
+    dissolving tables whose payload is covered by the correspondences
+    accumulated so far."""
+
+    kind = "postprocess"
+
+    def applicable(self, program, ctx):
+        return None
+
+    def apply(self, program, ctx):
+        return postprocess(program, ctx.correspondences)
+
+    def explain(self):
+        return "postprocess (merge remainder, drop dead selects/tables)"
+
+    def _payload(self):
+        return {}
+
+    @classmethod
+    def _decode(cls, data):
+        return cls()
+
+
+_STEP_KINDS: Dict[str, Type[RewriteStep]] = {
+    cls.kind: cls
+    for cls in (
+        SplitStep,
+        MergeStep,
+        RedirectStep,
+        LoggerStep,
+        IntroSchemaStep,
+        IntroFieldStep,
+        PostprocessStep,
+    )
+}
+
+
+def _check(step: RewriteStep, program: ast.Program, ctx: PlanContext) -> None:
+    reason = step.applicable(program, ctx)
+    if reason is not None:
+        raise PlanError(f"{step.kind} step: {reason}")
+
+
+def _find_command(
+    program: ast.Program, txn_name: str, label: str
+) -> Optional[ast.Command]:
+    try:
+        txn = program.transaction(txn_name)
+    except KeyError:
+        return None
+    for cmd in ast.iter_db_commands(txn):
+        if getattr(cmd, "label", "") == label:
+            return cmd
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlanApplication:
+    """Result of replaying a plan: the rewritten program plus the
+    accumulated artifacts (in application order)."""
+
+    program: ast.Program
+    correspondences: List[ValueCorrespondence]
+    rewrites: List[Rewrite]
+    context: PlanContext
+
+
+@dataclass(frozen=True)
+class RewritePlan:
+    """An ordered, serializable sequence of rewrite steps."""
+
+    steps: Tuple[RewriteStep, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def extended(self, *steps: RewriteStep) -> "RewritePlan":
+        return RewritePlan(self.steps + tuple(steps))
+
+    def apply(
+        self, program: ast.Program, ctx: Optional[PlanContext] = None
+    ) -> PlanApplication:
+        """Replay every step in order on ``program``.
+
+        Raises :class:`PlanError` if any step is inapplicable at its
+        position -- a plan either replays completely or not at all.
+        """
+        ctx = ctx if ctx is not None else PlanContext()
+        for step in self.steps:
+            program = step.apply(program, ctx)
+        return PlanApplication(
+            program=program,
+            correspondences=list(ctx.correspondences),
+            rewrites=list(ctx.rewrites),
+            context=ctx,
+        )
+
+    def explain(self) -> str:
+        """Multi-line provenance: one numbered line per step."""
+        if not self.steps:
+            return "(empty plan)"
+        return "\n".join(
+            f"{i:2d}. {step.explain()}" for i, step in enumerate(self.steps, 1)
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "version": PLAN_FORMAT_VERSION,
+            "steps": [step.to_json() for step in self.steps],
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "RewritePlan":
+        version = data.get("version")
+        if version != PLAN_FORMAT_VERSION:
+            raise PlanError(f"unsupported plan format version {version!r}")
+        steps = data.get("steps")
+        if not isinstance(steps, list):
+            raise PlanError("plan JSON has no 'steps' list")
+        return RewritePlan(tuple(RewriteStep.from_json(s) for s in steps))
+
+    def dumps(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent)
+
+    @staticmethod
+    def loads(text: str) -> "RewritePlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PlanError(f"plan JSON does not parse: {exc}") from exc
+        if not isinstance(data, dict):
+            raise PlanError("plan JSON must be an object")
+        return RewritePlan.from_json(data)

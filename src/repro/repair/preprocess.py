@@ -8,6 +8,11 @@ paper splits ``U4`` into ``U4.1``/``U4.2`` before repairing ``regSt``).
 The split is skipped when the separated field groups are accessed
 together by some other command -- separating them there would create a
 brand-new fractured observation.
+
+The two halves are exposed separately so the plan IR can record splits
+as explicit, replayable steps: :func:`split_plans` computes *what* to
+split (needs the anomaly pairs), :func:`split_update` performs one
+split (pure program surgery, no oracle required).
 """
 
 from __future__ import annotations
@@ -22,21 +27,26 @@ from repro.lang.traverse import rewrite_program_commands
 
 def preprocess(program: ast.Program, pairs: Sequence[AccessPair]) -> ast.Program:
     """Split multi-field updates so each command joins at most one pair."""
-    plans = _split_plans(program, pairs)
-    if not plans:
-        return program
+    plans = split_plans(program, pairs)
+    for (txn_name, label), groups in sorted(plans.items()):
+        program = split_update(program, txn_name, label, groups)
+    return program
+
+
+def split_update(
+    program: ast.Program,
+    txn_name: str,
+    label: str,
+    groups: Sequence[Tuple[str, ...]],
+) -> ast.Program:
+    """Split the update labelled ``label`` in ``txn_name`` into one update
+    per field group (labels ``label.1``, ``label.2``, ...)."""
 
     def on_command(cmd: ast.Command):
         if not isinstance(cmd, ast.Update):
             return None
-        key = None
-        for (txn, label), groups in plans.items():
-            if cmd.label == label and _command_in_txn(program, txn, cmd):
-                key = (txn, label)
-                break
-        if key is None:
+        if cmd.label != label or not _command_in_txn(program, txn_name, cmd):
             return None
-        groups = plans[key]
         out: List[ast.Command] = []
         for i, group in enumerate(groups, start=1):
             assignments = tuple(
@@ -55,9 +65,9 @@ def _command_in_txn(program: ast.Program, txn_name: str, cmd: ast.Command) -> bo
     return any(c is cmd for c in ast.iter_db_commands(txn))
 
 
-def _split_plans(
+def split_plans(
     program: ast.Program, pairs: Sequence[AccessPair]
-) -> Dict[Tuple[str, str], List[Set[str]]]:
+) -> Dict[Tuple[str, str], List[Tuple[str, ...]]]:
     """Compute, per (txn, update label), the ordered field groups to split
     into.  Only commands involved in >= 2 pairs with distinct field
     subsets are split."""
@@ -66,7 +76,7 @@ def _split_plans(
         for label, fields in ((pair.c1, pair.fields1), (pair.c2, pair.fields2)):
             involvement.setdefault((pair.txn, label), []).append(frozenset(fields))
 
-    plans: Dict[Tuple[str, str], List[Set[str]]] = {}
+    plans: Dict[Tuple[str, str], List[Tuple[str, ...]]] = {}
     for (txn_name, label), field_sets in involvement.items():
         cmd = _find_update(program, txn_name, label)
         if cmd is None:
@@ -77,7 +87,9 @@ def _split_plans(
             continue
         if _accessed_together_elsewhere(program, txn_name, label, cmd.table, groups):
             continue
-        plans[(txn_name, label)] = groups
+        plans[(txn_name, label)] = [
+            tuple(f for f in assigned if f in group) for group in groups
+        ]
     return plans
 
 

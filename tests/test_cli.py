@@ -1,0 +1,128 @@
+"""The ``python -m repro`` CLI: argument wiring and plan files."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1Command:
+    def test_single_benchmark_row(self, capsys):
+        assert main(["table1", "--benchmark", "SIBench"]) == 0
+        out = capsys.readouterr().out
+        assert "SIBench" in out
+        assert "EC" in out and "AT" in out
+
+    def test_plans_flag_prints_provenance(self, capsys):
+        assert main(["table1", "--benchmark", "SIBench", "--plans"]) == 0
+        out = capsys.readouterr().out
+        assert "SIBench plan" in out
+        assert "log SITEM.si_value" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        out_file = tmp_path / "t1.json"
+        assert (
+            main(["table1", "--benchmark", "SIBench", "--json", str(out_file)])
+            == 0
+        )
+        data = json.loads(out_file.read_text())
+        (row,) = data["rows"]
+        assert row["name"] == "SIBench"
+        assert row["ec"] == 1 and row["at"] == 0
+        assert row["provenance"]["plan"]["steps"]
+        assert row["repair_seconds"] >= 0
+
+    def test_unknown_benchmark_exits(self):
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["table1", "--benchmark", "Nope"])
+
+
+class TestRepairCommand:
+    def test_plan_out_then_plan_in_round_trip(self, tmp_path, capsys):
+        plan_file = tmp_path / "plan.json"
+        assert (
+            main(
+                [
+                    "repair",
+                    "--benchmark",
+                    "Courseware",
+                    "--plan-out",
+                    str(plan_file),
+                ]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert "5 -> 0" in first
+        data = json.loads(plan_file.read_text())
+        assert data["version"] == 1
+        assert any(s["step"] == "logger" for s in data["steps"])
+
+        assert (
+            main(
+                [
+                    "repair",
+                    "--benchmark",
+                    "Courseware",
+                    "--plan-in",
+                    str(plan_file),
+                    "--print-program",
+                ]
+            )
+            == 0
+        )
+        second = capsys.readouterr().out
+        assert "replayed" in second
+        assert "COURSE_CO_ST_CNT_LOG" in second
+
+    def test_repair_dsl_file(self, tmp_path, capsys):
+        src = tmp_path / "prog.dsl"
+        src.write_text(
+            "schema SITEM { key si_id; field si_value; }\n"
+            "txn inc(k) {\n"
+            "  x := select si_value from SITEM where si_id = k;\n"
+            "  update SITEM set si_value = x.si_value + 1 where si_id = k;\n"
+            "}\n"
+        )
+        assert main(["repair", "--file", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "1 -> 0" in out
+
+    def test_missing_plan_file_is_an_error(self, capsys):
+        assert (
+            main(
+                [
+                    "repair",
+                    "--benchmark",
+                    "SIBench",
+                    "--plan-in",
+                    "/nonexistent/plan.json",
+                ]
+            )
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_parse_error_is_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dsl"
+        bad.write_text("schema {")
+        assert main(["repair", "--file", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_bench_single_benchmark_json(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        assert (
+            main(
+                ["bench", "--benchmark", "SIBench", "--json", str(out_file)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "repair_s" in out
+        data = json.loads(out_file.read_text())
+        (row,) = data["rows"]
+        assert row["name"] == "SIBench"
+        assert row["plan_steps"] == 2

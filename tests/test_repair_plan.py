@@ -1,0 +1,231 @@
+"""The rewrite-plan IR: step protocol, JSON round-trips, replay fidelity.
+
+The load-bearing property (PR acceptance gate): for every corpus
+benchmark, the plan emitted by the default greedy repair, serialized to
+JSON and parsed back, replayed on the pristine program, reproduces the
+engine's repaired program *byte-for-byte* via the printer -- including
+chained-merge label renaming, which is where the old in-place engine
+kept private state.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import AnomalyOracle
+from repro.corpus import ALL_BENCHMARKS
+from repro.errors import PlanError
+from repro.lang import ast, parse_program, print_program
+from repro.repair import (
+    BeamSearch,
+    CostModel,
+    GreedySearch,
+    IntroFieldStep,
+    IntroSchemaStep,
+    LoggerStep,
+    MergeStep,
+    PlanContext,
+    PostprocessStep,
+    RandomSearch,
+    RedirectStep,
+    RewritePlan,
+    RewriteStep,
+    SplitStep,
+    repair,
+    replay_plan,
+    resolve_search,
+)
+
+
+class TestStepJson:
+    STEPS = [
+        SplitStep("regSt", "U2", (("co_st_cnt",), ("co_avail",))),
+        MergeStep("getSt", "S1", "S2"),
+        RedirectStep("EMAIL", "STUDENT", ("em_addr",)),
+        LoggerStep("COURSE", "co_st_cnt"),
+        IntroSchemaStep("AUDIT", ("a_id",), ("a_note",)),
+        IntroFieldStep("STUDENT", "st_flags"),
+        IntroFieldStep("STUDENT", "st_em_id2", ref=("EMAIL", "em_id")),
+        PostprocessStep(),
+    ]
+
+    @pytest.mark.parametrize("step", STEPS, ids=lambda s: s.kind)
+    def test_step_round_trips(self, step):
+        data = json.loads(json.dumps(step.to_json()))
+        assert RewriteStep.from_json(data) == step
+
+    def test_every_step_explains(self):
+        for step in self.STEPS:
+            assert isinstance(step.explain(), str) and step.explain()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlanError, match="unknown plan step kind"):
+            RewriteStep.from_json({"step": "teleport"})
+
+    def test_malformed_step_rejected(self):
+        with pytest.raises(PlanError, match="malformed merge step"):
+            RewriteStep.from_json({"step": "merge", "txn": "t"})
+
+    def test_plan_version_gate(self):
+        with pytest.raises(PlanError, match="version"):
+            RewritePlan.from_json({"version": 99, "steps": []})
+
+    def test_plan_loads_rejects_non_object(self):
+        with pytest.raises(PlanError):
+            RewritePlan.loads("[1, 2]")
+        with pytest.raises(PlanError):
+            RewritePlan.loads("{not json")
+
+
+class TestPlanContext:
+    def test_chained_renames_resolve(self):
+        ctx = PlanContext()
+        ctx.note_merge("t", "S1", "S2")
+        ctx.note_merge("t", "S1", "S3")
+        ctx.note_merge("u", "S9", "S1")  # other txn: independent namespace
+        assert ctx.current("t", "S2") == "S1"
+        assert ctx.current("t", "S3") == "S1"
+        assert ctx.current("t", "S1") == "S1"
+        assert ctx.current("u", "S1") == "S9"
+
+    def test_clone_is_independent(self):
+        ctx = PlanContext()
+        ctx.note_merge("t", "A", "B")
+        twin = ctx.clone()
+        twin.note_merge("t", "A", "C")
+        assert ctx.current("t", "C") == "C"
+        assert twin.current("t", "C") == "A"
+
+
+class TestReplayFidelity:
+    """Acceptance gate: JSON round-trip + replay == engine output."""
+
+    @pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=lambda b: b.name)
+    def test_corpus_plan_replays_byte_for_byte(self, bench):
+        program = bench.program()
+        report = repair(program)
+        # Serialize through actual JSON text, not just dict round-trip.
+        plan = RewritePlan.loads(report.plan.dumps())
+        assert plan == report.plan
+        replayed = replay_plan(program, plan)
+        assert print_program(replayed.repaired_program) == print_program(
+            report.repaired_program
+        )
+        assert replayed.rewrites == report.rewrites
+        assert replayed.correspondences == report.correspondences
+
+    def test_courseware_chained_merge_labels(self, courseware):
+        """getSt's repair merges S2 then S3 into S1: the second merge's
+        pair still names S2-era labels, so replay must thread renames."""
+        report = repair(courseware)
+        merges = [s for s in report.plan if isinstance(s, MergeStep)]
+        assert len(merges) >= 2
+        get_st = [m for m in merges if m.txn == "getSt"]
+        assert {m.label1 for m in get_st} == {"S1"}
+        # Replay on pristine program reproduces the merged getSt exactly.
+        replayed = report.plan.apply(courseware)
+        txn = replayed.program.transaction("getSt")
+        cmds = list(ast.iter_db_commands(txn))
+        assert len(cmds) == 1 and isinstance(cmds[0], ast.Select)
+        assert replayed.context.current("getSt", "S2") == "S1"
+        assert replayed.context.current("getSt", "S3") == "S1"
+
+    def test_replay_on_wrong_program_raises(self, courseware):
+        report = repair(courseware)
+        stranger = parse_program(
+            "schema T { key id; field v; }\n"
+            "txn r(k) { x := select v from T where id = k; return x.v; }\n"
+        )
+        with pytest.raises(PlanError):
+            report.plan.apply(stranger)
+
+    def test_plan_explain_lists_every_step(self, courseware):
+        report = repair(courseware)
+        text = report.plan.explain()
+        assert len(text.splitlines()) == len(report.plan)
+
+
+class TestSearchStrategies:
+    def test_resolve_search_names_and_instances(self):
+        assert isinstance(resolve_search("greedy"), GreedySearch)
+        assert isinstance(resolve_search("beam", width=2), BeamSearch)
+        assert isinstance(resolve_search("random", rounds=1), RandomSearch)
+        searcher = GreedySearch()
+        assert resolve_search(searcher) is searcher
+        with pytest.raises(ValueError):
+            resolve_search("exhaustive")
+        with pytest.raises(ValueError):
+            resolve_search(searcher, width=2)
+        with pytest.raises(TypeError):
+            resolve_search(42)
+
+    def test_greedy_matches_engine_contract(self, courseware):
+        """The greedy searcher reproduces the historical outcomes."""
+        report = repair(courseware, search="greedy")
+        assert len(report.initial_pairs) == 5
+        assert report.residual_pairs == []
+        actions = {o.action for o in report.outcomes}
+        assert actions == {"redirected+merged", "logged", "merged"}
+
+    def test_beam_repairs_courseware(self, courseware):
+        report = repair(
+            courseware, strategy="incremental", search="beam", width=3
+        )
+        assert report.residual_pairs == []
+        assert len(report.repaired_program.schemas) == 2
+        assert report.strategy == "beam"
+        # The winning plan replays to the same program.
+        replayed = report.plan.apply(courseware)
+        assert print_program(replayed.program) == print_program(
+            report.repaired_program
+        )
+
+    def test_beam_width_one_is_cost_checked_greedy(self, courseware):
+        report = repair(courseware, strategy="incremental", search="beam", width=1)
+        assert report.residual_pairs == []
+
+    def test_beam_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            BeamSearch(width=0)
+
+    def test_random_search_deterministic_per_seed(self, courseware):
+        oracle = AnomalyOracle()
+        a = RandomSearch(rounds=3, steps_per_round=4, seed=7).search(
+            courseware, oracle
+        )
+        b = RandomSearch(rounds=3, steps_per_round=4, seed=7).search(
+            courseware, oracle
+        )
+        assert a.extras["round_counts"] == b.extras["round_counts"]
+        assert a.plan == b.plan
+
+    def test_random_plan_replays(self, account_program):
+        oracle = AnomalyOracle()
+        result = RandomSearch(rounds=5, steps_per_round=6, seed=3).search(
+            account_program, oracle
+        )
+        replayed = result.plan.apply(account_program)
+        assert print_program(replayed.program) == print_program(
+            result.repaired_program
+        )
+
+
+class TestCostModel:
+    def test_score_prefers_fewer_anomalies(self, courseware):
+        oracle = AnomalyOracle()
+        model = CostModel()
+        before = model.score(courseware, PlanContext(), oracle)
+        report = repair(courseware)
+        after = model.score(
+            report.repaired_program, PlanContext(), oracle
+        )
+        assert after < before
+
+    def test_schema_growth_is_priced(self, courseware):
+        oracle = AnomalyOracle()
+        cheap = CostModel(anomaly_weight=0.0, table_weight=1.0)
+        report = repair(courseware)
+        # Courseware's repair shrinks 3 tables to 2: lower table cost.
+        assert cheap.score(
+            report.repaired_program, PlanContext(), oracle
+        ) < cheap.score(courseware, PlanContext(), oracle)
