@@ -13,15 +13,27 @@ speedups -- incremental-vs-pipeline and pipeline-vs-serial -- which are
 corpus-size-stable: the fresh run fails if either ratio drops more than
 ``tolerance`` (default 20%) below the baseline's.
 
-Pipeline-relative ratios are **not** stable across core counts: on a
-single-core host ``strategy="parallel"`` degrades to the in-process
-runner, while a multi-core runner spins a real process pool, shifting
-them for reasons that have nothing to do with a code regression.
-Those ratios are therefore only gated when the fresh run's
-``cpu_count`` matches the baseline's.  The incremental-vs-serial
-speedup *is* host-shape-stable (both strategies run single-threaded
-everywhere), so it is gated unconditionally -- that is the ratio that
-catches a broken warm-session subsystem on any CI host.
+Pool-relative ratios are **not** stable across core counts: on a
+single-core host ``strategy="parallel"`` / ``"parallel-incremental"``
+degrade to in-process runners, while a multi-core runner spins a real
+process pool, shifting them for reasons that have nothing to do with a
+code regression.  Each timed strategy therefore records its host shape
+(``strategies.<name>.cpu_count`` / ``.workers``) and its ratios are
+only gated when the fresh run's shape for *that strategy* matches the
+baseline's (older baselines without the per-strategy record fall back
+to comparing the global ``environment.cpu_count``).  The
+incremental-vs-serial speedup *is* host-shape-stable (both strategies
+run single-threaded everywhere), so it is gated unconditionally --
+that is the ratio that catches a broken warm-session subsystem on any
+CI host.
+
+The persistent-cache record (``persistent_cache.cold`` / ``.warm``) is
+gated *within* the fresh run: the warm pass must hit at least as often
+as the cold pass, or the cross-run store is not actually warm-starting.
+``--require-parallel-incremental`` additionally fails a fresh run that
+lacks the ``parallel_incremental_seconds`` / ``persistent_cache``
+fields entirely (CI passes it so the bench cannot silently stop
+measuring the subsystem).
 
 Result rows (per-benchmark ec/at/cc/rr counts) are compared exactly for
 every benchmark present in both runs: a count drift is a correctness
@@ -51,13 +63,61 @@ def load(path: str) -> dict:
         return json.load(fh)
 
 
+def strategy_shape(data: dict, name: str):
+    """(cpu_count, workers) for one timed strategy; older payloads
+    without the per-strategy record fall back to the global cpu count
+    (with an unknown worker count)."""
+    info = data.get("strategies", {}).get(name)
+    if info is not None:
+        return (info.get("cpu_count"), info.get("workers"))
+    return (data.get("environment", {}).get("cpu_count"), None)
+
+
+def same_shape(fresh: dict, baseline: dict, name: str) -> bool:
+    """Whether a strategy's timings are comparable across the two runs:
+    cpu counts must match, and worker counts must match when both runs
+    recorded them."""
+    f_cpus, f_workers = strategy_shape(fresh, name)
+    b_cpus, b_workers = strategy_shape(baseline, name)
+    if f_cpus != b_cpus:
+        return False
+    if f_workers is None or b_workers is None:
+        return True
+    return f_workers == b_workers
+
+
 def check(
-    fresh: dict, baseline: dict, tolerance: float, time_tolerance: float = 0.75
+    fresh: dict,
+    baseline: dict,
+    tolerance: float,
+    time_tolerance: float = 0.75,
+    require_parallel_incremental: bool = False,
 ) -> list:
     failures = []
 
-    fresh_cpus = fresh.get("environment", {}).get("cpu_count")
-    base_cpus = baseline.get("environment", {}).get("cpu_count")
+    if require_parallel_incremental:
+        if "parallel_incremental_seconds" not in fresh:
+            failures.append(
+                "fresh run is missing parallel_incremental_seconds "
+                "(required field)"
+            )
+        if "persistent_cache" not in fresh:
+            failures.append(
+                "fresh run is missing the persistent_cache record "
+                "(required field)"
+            )
+
+    # Warm-start gate, within the fresh run: a second pass over the
+    # persistent store must hit at least as often as the first.
+    persistent = fresh.get("persistent_cache") or {}
+    cold = persistent.get("cold")
+    warm = persistent.get("warm")
+    if cold is not None and warm is not None:
+        if warm["hit_rate"] < cold["hit_rate"]:
+            failures.append(
+                "persistent cache warm pass hit-rate regressed below the "
+                f"cold pass: {warm['hit_rate']:.2%} < {cold['hit_rate']:.2%}"
+            )
 
     base_rows = {r["name"]: r for r in baseline.get("rows", [])}
     for row in fresh.get("rows", []):
@@ -82,10 +142,12 @@ def check(
                     f"{base['plan_steps']} -> {row['plan_steps']} "
                     "(correctness gate)"
                 )
-        if fresh_cpus == base_cpus and "repair_seconds" in base:
-            # 25ms absolute slack on top of the fractional tolerance:
-            # sub-10ms baselines (SIBench, Killrchat) are dominated by
-            # timer noise and 0.1ms JSON rounding, and must not flake.
+        if same_shape(fresh, baseline, "incremental") and "repair_seconds" in base:
+            # repair_seconds is measured on the (single-threaded)
+            # incremental strategy.  25ms absolute slack on top of the
+            # fractional tolerance: sub-10ms baselines (SIBench,
+            # Killrchat) are dominated by timer noise and 0.1ms JSON
+            # rounding, and must not flake.
             ceiling = base["repair_seconds"] * (1.0 + time_tolerance) + 0.025
             if row["repair_seconds"] > ceiling:
                 failures.append(
@@ -95,15 +157,31 @@ def check(
                     f"+ {time_tolerance:.0%} + 25ms)"
                 )
     gates = [("incremental_speedup_vs_serial", "incremental-vs-serial speedup")]
-    if fresh_cpus == base_cpus:
+    if same_shape(fresh, baseline, "pipeline"):
         gates += [
             ("speedup", "pipeline-vs-serial speedup"),
             ("incremental_speedup_vs_pipeline", "incremental-vs-pipeline speedup"),
         ]
     else:
         print(
-            f"host shape differs (cpu_count {base_cpus} -> {fresh_cpus}); "
+            "pipeline host shape differs "
+            f"({strategy_shape(baseline, 'pipeline')} -> "
+            f"{strategy_shape(fresh, 'pipeline')}); "
             "pipeline-relative ratios reported but not gated"
+        )
+    if same_shape(fresh, baseline, "parallel_incremental"):
+        gates.append(
+            (
+                "parallel_incremental_speedup_vs_incremental",
+                "parallel-incremental-vs-incremental speedup",
+            )
+        )
+    else:
+        print(
+            "parallel-incremental host shape differs "
+            f"({strategy_shape(baseline, 'parallel_incremental')} -> "
+            f"{strategy_shape(fresh, 'parallel_incremental')}); "
+            "its ratio reported but not gated"
         )
 
     for key, label in gates:
@@ -139,15 +217,32 @@ def main(argv=None) -> int:
         help="allowed fractional per-benchmark repair_seconds increase "
         "on same-shape hosts before failing (default 0.75)",
     )
+    parser.add_argument(
+        "--require-parallel-incremental",
+        action="store_true",
+        help="fail if the fresh run lacks parallel_incremental_seconds "
+        "or the persistent_cache record",
+    )
     args = parser.parse_args(argv)
 
     fresh = load(args.fresh)
     baseline = load(args.baseline)
-    failures = check(fresh, baseline, args.tolerance, args.time_tolerance)
+    failures = check(
+        fresh,
+        baseline,
+        args.tolerance,
+        args.time_tolerance,
+        require_parallel_incremental=args.require_parallel_incremental,
+    )
 
+    persistent = fresh.get("persistent_cache") or {}
     print(
         f"fresh: pipeline {fresh.get('speedup')}x, "
-        f"incremental {fresh.get('incremental_speedup_vs_pipeline')}x | "
+        f"incremental {fresh.get('incremental_speedup_vs_pipeline')}x, "
+        f"parallel-incremental "
+        f"{fresh.get('parallel_incremental_speedup_vs_incremental')}x, "
+        f"warm cache hit-rate "
+        f"{(persistent.get('warm') or {}).get('hit_rate')} | "
         f"baseline: pipeline {baseline.get('speedup')}x, "
         f"incremental {baseline.get('incremental_speedup_vs_pipeline')}x"
     )

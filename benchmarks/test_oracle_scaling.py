@@ -1,27 +1,35 @@
 """Oracle execution scaling: serial seed loop vs parallel+cached
-pipeline vs incremental warm-solver sessions.
+pipeline vs incremental warm-solver sessions vs sharded
+parallel-incremental workers, plus the persistent cross-run cache.
 
 Runs the full-corpus Table 1 workload (repair fixpoint plus CC/RR
-sweeps) three ways -- the seed serial oracle, the PR 1 parallel+cached
-pipeline, and the PR 2 incremental session strategy -- verifies the
-outputs are identical, and records wall-clock speedups, cache hit-rate,
-session reuse, queries/sec, solver counters, and per-benchmark repair
-timings (``rows[*].repair_seconds``, the plan search alone) into
-``BENCH_oracle.json`` so CI tracks the perf trajectory on every run.
+sweeps) four ways -- the seed serial oracle, the PR 1 parallel+cached
+pipeline, the PR 2 incremental session strategy, and the PR 4
+parallel-incremental shard-worker pool -- verifies the outputs are
+identical, then runs a cold+warm persistent-cache pair (same on-disk
+store, fresh cache objects, standing in for separate processes) and
+records wall-clock speedups, cache hit-rates (including the warm-start
+gain), session reuse, queries/sec, solver counters, per-strategy worker
+shapes, and per-benchmark repair timings (``rows[*].repair_seconds``,
+the plan search alone) into ``BENCH_oracle.json`` so CI tracks the perf
+trajectory on every run.
 
 Environment knobs:
 
 - ``ORACLE_BENCH_CORPUS=small`` restricts to a three-benchmark smoke
   subset (the CI benchmark job uses this);
-- ``BENCH_ORACLE_OUT`` overrides the JSON output path.
+- ``BENCH_ORACLE_OUT`` overrides the JSON output path;
+- ``ORACLE_BENCH_CACHE_DIR`` pins the persistent-cache directory (a
+  temp dir by default), letting CI warm-start a second full run.
 """
 
 import json
 import os
 import platform
+import tempfile
 import time
 
-from repro.analysis import AnomalyOracle, EC, QueryCache
+from repro.analysis import AnomalyOracle, EC, PersistentQueryCache, QueryCache
 from repro.analysis.pipeline import resolve_strategy
 from repro.corpus import ALL_BENCHMARKS, BY_NAME
 from repro.exp import run_table1
@@ -94,7 +102,7 @@ class TestStrategyEquivalence:
         for name in SMOKE_CORPUS:
             program = BY_NAME[name].program()
             serial = AnomalyOracle(EC).analyze(program)
-            for strategy in ("parallel", "incremental"):
+            for strategy in ("parallel", "incremental", "parallel-incremental"):
                 oracle = AnomalyOracle(EC, strategy=strategy)
                 try:
                     report = oracle.analyze(program)
@@ -131,6 +139,7 @@ def test_oracle_scaling(capsys):
     # don't stack up in memory.
     incremental_seconds = float("inf")
     session_counters = {}
+    best_repair_seconds = {}
     for _ in range(3):
         inc_cache = QueryCache()
         with resolve_strategy("incremental") as runner:
@@ -140,16 +149,87 @@ def test_oracle_scaling(capsys):
                 incremental_seconds, time.perf_counter() - start
             )
             session_counters = runner.pool.counters()
+        # Like the aggregate seconds, per-benchmark repair timings keep
+        # the best of the three repetitions to damp scheduler noise.
+        for r in incremental_rows:
+            best_repair_seconds[r.name] = min(
+                best_repair_seconds.get(r.name, float("inf")),
+                r.repair_seconds,
+            )
+
+    # Sharded parallel-incremental workers (PR 4), cold cache + fresh
+    # worker pool each repetition.  On single-core hosts this degrades
+    # to the in-process incremental path by design; the timing is
+    # recorded either way, and check_bench_regression.py only compares
+    # it across hosts whose worker shape matches.
+    parallel_incremental_seconds = float("inf")
+    pi_counters = {}
+    pi_workers = 0
+    for _ in range(3):
+        pi_cache = QueryCache()
+        with resolve_strategy("parallel-incremental") as runner:
+            pi_workers = runner.max_workers
+            start = time.perf_counter()
+            pi_rows = run_table1(corpus, strategy=runner, cache=pi_cache)
+            parallel_incremental_seconds = min(
+                parallel_incremental_seconds, time.perf_counter() - start
+            )
+            pi_counters = runner.counters()
+
+    # Persistent cross-run cache: one cold and one warm pass over the
+    # same on-disk store, each with a *fresh* cache object (standing in
+    # for a fresh process).  The warm pass must hit strictly more and
+    # produce identical rows.
+    cache_dir = os.environ.get("ORACLE_BENCH_CACHE_DIR")
+    cache_dir_ctx = None
+    if cache_dir is None:
+        cache_dir_ctx = tempfile.TemporaryDirectory(prefix="oracle-bench-cache-")
+        cache_dir = cache_dir_ctx.name
+    persistent = {}
+    persistent_rows = {}
+    for phase in ("cold", "warm"):
+        disk_cache = PersistentQueryCache(cache_dir)
+        if phase == "cold":
+            # A pinned ORACLE_BENCH_CACHE_DIR may carry a previous
+            # run's store; the cold pass must actually be cold.
+            disk_cache.clear()
+        with resolve_strategy("incremental") as runner:
+            start = time.perf_counter()
+            persistent_rows[phase] = run_table1(
+                corpus, strategy=runner, cache=disk_cache
+            )
+            persistent[phase] = {
+                "seconds": round(time.perf_counter() - start, 4),
+                "hits": disk_cache.hits,
+                "misses": disk_cache.misses,
+                "hit_rate": round(disk_cache.hit_rate, 4),
+                "persistent_hits": disk_cache.persistent_hits,
+                "entries": len(disk_cache),
+            }
+        disk_cache.close()
+    if cache_dir_ctx is not None:
+        cache_dir_ctx.cleanup()
 
     # Hard equivalence gates: the pipeline matches the seed exactly;
-    # the incremental strategy matches every count and the repair-facing
-    # EC pair sets field-for-field (its first, witness-bearing solve per
-    # session runs on a virgin solver).  CC/RR witness fields may differ
-    # only by picking another model of the same encoding, which
-    # tests/test_oracle_session.py validates semantically per query.
+    # the warm-session strategies (incremental, parallel-incremental,
+    # and both persistent-cache passes) match every count and the
+    # repair-facing EC pair sets field-for-field (their first,
+    # witness-bearing solve per session runs on a virgin solver).
+    # CC/RR witness fields may differ only by picking another model of
+    # the same encoding, which tests/test_oracle_session.py validates
+    # semantically per query.
     assert _row_signature(serial_rows) == _row_signature(pipeline_rows)
     assert _count_signature(serial_rows) == _count_signature(incremental_rows)
     assert _repair_signature(serial_rows) == _repair_signature(incremental_rows)
+    assert _count_signature(serial_rows) == _count_signature(pi_rows)
+    assert _repair_signature(serial_rows) == _repair_signature(pi_rows)
+    for phase_rows in persistent_rows.values():
+        assert _count_signature(serial_rows) == _count_signature(phase_rows)
+        assert _repair_signature(serial_rows) == _repair_signature(phase_rows)
+    # The warm pass reads everything it can from disk: strictly higher
+    # hit rate, nothing re-solved.
+    assert persistent["warm"]["hit_rate"] > persistent["cold"]["hit_rate"]
+    assert persistent["warm"]["persistent_hits"] > 0
 
     queries = cache.hits + cache.misses
     solver_stats = {}
@@ -168,6 +248,17 @@ def test_oracle_scaling(capsys):
     total_speedup = (
         serial_seconds / incremental_seconds if incremental_seconds else 0.0
     )
+    pi_speedup_vs_incremental = (
+        incremental_seconds / parallel_incremental_seconds
+        if parallel_incremental_seconds
+        else 0.0
+    )
+    pi_speedup_vs_serial = (
+        serial_seconds / parallel_incremental_seconds
+        if parallel_incremental_seconds
+        else 0.0
+    )
+    host_cpus = os.cpu_count()
     payload = {
         "benchmark": "oracle-scaling",
         "workload": "table1 (repair fixpoint + CC/RR sweeps)",
@@ -175,26 +266,51 @@ def test_oracle_scaling(capsys):
         "environment": {
             "python": platform.python_version(),
             "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
+            "cpu_count": host_cpus,
+        },
+        # Per-strategy host shape: the regression gate only compares a
+        # strategy's timings across hosts whose cpu_count/workers match,
+        # since pool strategies scale with cores and single-threaded
+        # strategies do not.
+        "strategies": {
+            "serial": {"cpu_count": host_cpus, "workers": 1},
+            "pipeline": {"cpu_count": host_cpus, "workers": host_cpus},
+            "incremental": {"cpu_count": host_cpus, "workers": 1},
+            "parallel_incremental": {
+                "cpu_count": host_cpus,
+                "workers": pi_workers,
+            },
         },
         "serial_seconds": round(serial_seconds, 4),
         "pipeline_seconds": round(pipeline_seconds, 4),
         "incremental_seconds": round(incremental_seconds, 4),
+        "parallel_incremental_seconds": round(parallel_incremental_seconds, 4),
         "speedup": round(speedup, 2),
         "incremental_speedup_vs_pipeline": round(incremental_speedup, 2),
         "incremental_speedup_vs_serial": round(total_speedup, 2),
+        "parallel_incremental_speedup_vs_incremental": round(
+            pi_speedup_vs_incremental, 2
+        ),
+        "parallel_incremental_speedup_vs_serial": round(
+            pi_speedup_vs_serial, 2
+        ),
         "queries": queries,
         "queries_per_second": {
             "serial": round(queries / serial_seconds, 1),
             "pipeline": round(queries / pipeline_seconds, 1),
             "incremental": round(queries / incremental_seconds, 1),
+            "parallel_incremental": round(
+                queries / parallel_incremental_seconds, 1
+            ),
         },
         "cache": {
             "hits": cache.hits,
             "misses": cache.misses,
             "hit_rate": round(cache.hit_rate, 4),
         },
+        "persistent_cache": persistent,
         "sessions": session_counters,
+        "shard_sessions": pi_counters,
         "solver": solver_stats,
         "incremental_solver": incremental_stats,
         "rows": [
@@ -208,7 +324,7 @@ def test_oracle_scaling(capsys):
                 # fixpoint, excluding the CC/RR sweeps), measured on the
                 # incremental strategy; gated by
                 # check_bench_regression.py on same-shape hosts.
-                "repair_seconds": round(r.repair_seconds, 4),
+                "repair_seconds": round(best_repair_seconds[r.name], 4),
                 "plan_steps": len(r.plan),
             }
             for r in incremental_rows
@@ -223,10 +339,15 @@ def test_oracle_scaling(capsys):
         print(
             f"\noracle scaling: serial={serial_seconds:.2f}s "
             f"pipeline={pipeline_seconds:.2f}s "
-            f"incremental={incremental_seconds:.2f}s | "
+            f"incremental={incremental_seconds:.2f}s "
+            f"parallel-incremental={parallel_incremental_seconds:.2f}s "
+            f"[{pi_workers} worker(s)] | "
             f"pipeline {speedup:.2f}x, incremental {incremental_speedup:.2f}x "
             f"over pipeline ({total_speedup:.2f}x over serial), "
             f"cache hit-rate={cache.hit_rate:.1%}, "
+            f"persistent warm hit-rate "
+            f"{persistent['cold']['hit_rate']:.1%} -> "
+            f"{persistent['warm']['hit_rate']:.1%}, "
             f"session model-hits={session_counters.get('model_hits', 0)} "
             f"-> {out_path}"
         )
@@ -242,3 +363,18 @@ def test_oracle_scaling(capsys):
     assert total_speedup > 1.5
     if (os.cpu_count() or 1) == 1:
         assert incremental_speedup > 1.2
+        # Single core: parallel-incremental must have degraded to the
+        # in-process path (no pool, no IPC), tracking incremental.
+        assert pi_workers == 1
+        assert parallel_incremental_seconds <= incremental_seconds * 1.35
+    else:
+        # Multi-core: a real pool must have spun up; results were
+        # already gated identical above.  The wall-clock gate is only
+        # meaningful on the full corpus -- the smoke corpus's per-query
+        # work is too thin to amortise pool start-up and IPC, so a
+        # timing assert there would be a nondeterministic CI gate.
+        # check_bench_regression.py still tracks the recorded ratio
+        # across matching host shapes.
+        assert pi_workers > 1
+        if os.environ.get("ORACLE_BENCH_CORPUS") != "small":
+            assert parallel_incremental_seconds <= incremental_seconds * 1.25

@@ -36,7 +36,9 @@ from repro.analysis.oracle import (
 from repro.analysis.pipeline import (
     AnalysisPipeline,
     IncrementalStrategy,
+    ParallelIncrementalStrategy,
     ParallelStrategy,
+    PersistentQueryCache,
     QueryCache,
     QueryPlanner,
     SerialStrategy,
@@ -58,7 +60,9 @@ __all__ = [
     "detect_anomalies",
     "AnalysisPipeline",
     "IncrementalStrategy",
+    "ParallelIncrementalStrategy",
     "ParallelStrategy",
+    "PersistentQueryCache",
     "QueryCache",
     "QueryPlanner",
     "SerialStrategy",

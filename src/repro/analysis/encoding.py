@@ -820,3 +820,49 @@ class PairSession:
         self._models = []
         self._static_candidates = None
         self._witness_by_model = {}
+
+
+_ENCODING_FINGERPRINT: Optional[str] = None
+
+
+def encoding_fingerprint() -> str:
+    """Version digest of the anomaly encoding, for persistent caches.
+
+    A cached query outcome is only reusable across runs while the code
+    that produced it is unchanged, so the persistent
+    :class:`~repro.analysis.pipeline.PersistentQueryCache` stamps every
+    store with this digest: a sha1 over the *source* of each module the
+    outcome of a query -- or the meaning of its cache key -- depends on
+    (command summaries, aliasing, the consistency axioms, this
+    encoding, the formula/solver layers, and the pipeline module that
+    defines the structural fingerprints themselves).  Any edit to any
+    of them -- even a changed model-picking heuristic or a coarsened
+    fingerprint -- yields a new digest and silently retires every
+    persisted entry, which is exactly the "versioned invalidation on
+    encoding changes" contract: no manual version constant to forget to
+    bump.  The cost of the coarse net is only over-invalidation, never
+    stale replay.
+    """
+    global _ENCODING_FINGERPRINT
+    if _ENCODING_FINGERPRINT is None:
+        import hashlib
+        import inspect
+        import sys
+
+        from repro.analysis import accesses, aliasing, consistency, pipeline
+        from repro.smt import formula, solver
+
+        digest = hashlib.sha1()
+        modules = (
+            accesses,
+            aliasing,
+            consistency,
+            sys.modules[__name__],
+            pipeline,
+            formula,
+            solver,
+        )
+        for module in modules:
+            digest.update(inspect.getsource(module).encode())
+        _ENCODING_FINGERPRINT = digest.hexdigest()
+    return _ENCODING_FINGERPRINT

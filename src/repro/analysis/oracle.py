@@ -239,11 +239,18 @@ class AnomalyOracle:
       axiom groups by assumption, retaining learned clauses and
       variable activity across the repair fixpoint and the level
       sweeps.
-    - ``"parallel"``: the pipeline with a ``ProcessPoolExecutor``
+    - ``"parallel"``: the pipeline with a cold ``ProcessPoolExecutor``
       fan-out (degrading to in-process on single-core hosts) plus the
       memo cache.
-    - ``"auto"``: ``"parallel"`` when multiple cores are available,
-      else ``"incremental"``.
+    - ``"parallel-incremental"``: sharded warm-session workers -- one
+      long-lived process per shard, each owning its own
+      :class:`OracleSession` pool, with queries routed by the focus
+      triple's structural fingerprint so every level sweep and fixpoint
+      re-analysis of a triple lands on the same warm solver.  Degrades
+      to the in-process incremental path on single-core hosts.
+    - ``"auto"``: ``"parallel-incremental"`` when multiple cores are
+      available, else ``"incremental"``; the resolved choice is
+      recorded in :attr:`AnalysisReport.strategy`.
     - any object with a ``run(specs, level, distinct_args)`` method.
 
     Every strategy produces the same pair set; ``cache`` (a
@@ -288,6 +295,15 @@ class AnomalyOracle:
         """Release strategy resources (worker pools); serial is a no-op."""
         if self._pipeline is not None:
             self._pipeline.close()
+
+    def analyze_many(self, programs) -> List[AnalysisReport]:
+        """Analyze several programs, deduplicating and fanning their SAT
+        queries out together (see :meth:`~repro.analysis.pipeline.
+        AnalysisPipeline.analyze_many`).  The serial seed path has no
+        batching machinery and simply analyzes in order."""
+        if self._pipeline is not None:
+            return self._pipeline.analyze_many(programs)
+        return [self.analyze(program) for program in programs]
 
     def analyze(self, program: ast.Program) -> AnalysisReport:
         if self._pipeline is not None:

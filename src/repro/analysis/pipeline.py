@@ -13,13 +13,20 @@ execution subsystem with three independent levers:
 2. pluggable runners: :class:`SerialStrategy` (deterministic in-process
    fallback), :class:`IncrementalStrategy` (warm per-triple solver
    sessions with activation-literal axiom groups -- see
-   :class:`~repro.analysis.encoding.PairSession`), and
-   :class:`ParallelStrategy` (a ``ProcessPoolExecutor`` fan-out that
-   degrades to in-process execution on single-core hosts);
+   :class:`~repro.analysis.encoding.PairSession`),
+   :class:`ParallelStrategy` (a cold ``ProcessPoolExecutor`` fan-out),
+   and :class:`ParallelIncrementalStrategy` (long-lived shard workers,
+   each owning a warm session pool, with queries routed by structural
+   fingerprint so a triple always lands on its warm solver; both
+   process-pool strategies degrade to in-process execution on
+   single-core hosts);
 3. a :class:`QueryCache` memoising query outcomes under structural
    fingerprints of the participating :class:`TransactionSummary` data
    plus the consistency level, so a repair loop's re-analysis only
-   re-solves queries whose transactions a rewrite actually touched.
+   re-solves queries whose transactions a rewrite actually touched --
+   and :class:`PersistentQueryCache`, the same cache written through to
+   a sqlite file so outcomes survive across processes and runs, with
+   versioned invalidation keyed to the encoding's source fingerprint.
 
 Per-query results are independent of execution order, so every strategy
 produces the same :class:`~repro.analysis.oracle.AnalysisReport` pair
@@ -41,6 +48,7 @@ level and the cached EC miss is reused verbatim.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -153,14 +161,20 @@ class QueryCache:
     """Memo cache for anomaly queries, keyed by structural fingerprints.
 
     Correctness never depends on explicit invalidation -- a rewritten
-    transaction fingerprints differently and simply misses -- but
-    :meth:`invalidate` lets the repair engine drop entries touching the
-    transactions/tables of an applied rewrite, bounding staleness and
-    memory across a long fixpoint run.
+    transaction fingerprints differently and simply misses, which is
+    what the repair fixpoint itself relies on -- but :meth:`invalidate`
+    lets a long-lived caller (a driver holding one cache across many
+    repair runs, or a service evicting a retired benchmark) drop the
+    entries touching given transaction names or tables, bounding
+    staleness and memory.  Entries are indexed by their participating
+    transaction names and tables on the way in, so invalidation walks
+    only the touched entries (O(touched)), not the whole cache.
     """
 
     def __init__(self) -> None:
         self._entries: Dict[CacheKey, _CacheEntry] = {}
+        self._by_txn: Dict[str, Set[CacheKey]] = {}
+        self._by_table: Dict[str, Set[CacheKey]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -173,18 +187,24 @@ class QueryCache:
         return self.hits / total if total else 0.0
 
     def lookup(self, key: CacheKey) -> Tuple[bool, Optional[WitnessData]]:
+        found, witness = self._find(key)
+        if found:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return found, witness
+
+    def _find(self, key: CacheKey) -> Tuple[bool, Optional[WitnessData]]:
+        """Uncounted lookup; subclasses extend it with further tiers."""
         entry = self._entries.get(key)
         if entry is not None:
-            self.hits += 1
             return True, entry.witness
         if key[3] != "EC":
             # Every level's axioms extend EC's, so an EC-UNSAT query is
             # UNSAT at any level; reuse the (witness-free) outcome.
             ec_entry = self._entries.get(key[:3] + ("EC", key[4]))
             if ec_entry is not None and ec_entry.witness is None:
-                self.hits += 1
                 return True, None
-        self.misses += 1
         return False, None
 
     def store(
@@ -194,9 +214,58 @@ class QueryCache:
         txns: Iterable[str],
         tables: Iterable[str],
     ) -> None:
-        self._entries[key] = _CacheEntry(
+        self._install(key, witness, txns, tables)
+
+    def _install(
+        self,
+        key: CacheKey,
+        witness: Optional[WitnessData],
+        txns: Iterable[str],
+        tables: Iterable[str],
+    ) -> _CacheEntry:
+        """Place an entry in the in-memory store and its indexes."""
+        old = self._entries.get(key)
+        if old is not None:
+            self._unindex(key, old)
+        entry = _CacheEntry(
             witness=witness, txns=frozenset(txns), tables=frozenset(tables)
         )
+        self._entries[key] = entry
+        for txn in entry.txns:
+            self._by_txn.setdefault(txn, set()).add(key)
+        for table in entry.tables:
+            self._by_table.setdefault(table, set()).add(key)
+        return entry
+
+    def _unindex(self, key: CacheKey, entry: _CacheEntry) -> None:
+        for txn in entry.txns:
+            keys = self._by_txn.get(txn)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_txn[txn]
+        for table in entry.tables:
+            keys = self._by_table.get(table)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_table[table]
+
+    def _doomed_keys(
+        self, txn_set: FrozenSet[str], table_set: FrozenSet[str]
+    ) -> Set[CacheKey]:
+        doomed: Set[CacheKey] = set()
+        for txn in txn_set:
+            doomed |= self._by_txn.get(txn, set())
+        for table in table_set:
+            doomed |= self._by_table.get(table, set())
+        return doomed
+
+    def _remove(self, keys: Iterable[CacheKey]) -> None:
+        for key in keys:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._unindex(key, entry)
 
     def invalidate(
         self,
@@ -204,22 +273,367 @@ class QueryCache:
         tables: Iterable[str] = (),
     ) -> int:
         """Drop entries involving any of the given transaction names or
-        tables; returns how many entries were removed."""
+        tables; returns how many entries were removed.  Touches only the
+        entries the inverted indexes name, never the whole store."""
         txn_set = frozenset(txns)
         table_set = frozenset(tables)
         if not txn_set and not table_set:
             return 0
-        doomed = [
-            key
-            for key, entry in self._entries.items()
-            if entry.txns & txn_set or entry.tables & table_set
-        ]
-        for key in doomed:
-            del self._entries[key]
+        doomed = self._doomed_keys(txn_set, table_set)
+        self._remove(doomed)
         return len(doomed)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._by_txn.clear()
+        self._by_table.clear()
+
+    def close(self) -> None:  # symmetry with PersistentQueryCache
+        pass
+
+
+class PersistentQueryCache(QueryCache):
+    """A :class:`QueryCache` backed by a sqlite file under ``cache_dir``.
+
+    The in-memory tier behaves exactly like the plain cache; misses fall
+    through to the database, and every store is written through, so a
+    later process pointed at the same directory warm-starts with the
+    previous run's outcomes (``repro table1 --cache-dir``, repeated
+    ``repro bench`` runs, a repair fixpoint resumed after a crash).
+
+    Entries are stamped with :func:`~repro.analysis.encoding.
+    encoding_fingerprint`; opening a cache written by a different
+    encoding version drops every persisted row, so a code change can
+    never replay stale outcomes.  The sqlite side mirrors the in-memory
+    inverted indexes with a ``participants`` table, keeping
+    :meth:`invalidate` O(touched) across runs too.
+
+    Durability is deliberately relaxed (``synchronous=OFF``, and writes
+    batched into one long transaction committed every
+    ``_COMMIT_EVERY`` stores and on :meth:`close` -- per-store
+    autocommit would make a cold run pay a transaction per query): the
+    cache is a pure memo -- a crash can at worst lose or corrupt it,
+    and a corrupt file is detected on open and rebuilt empty.  Reads on
+    the same connection see the uncommitted writes; other processes see
+    them after :meth:`close`.
+    """
+
+    _COMMIT_EVERY = 512
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS meta (
+            key TEXT PRIMARY KEY, value TEXT NOT NULL);
+        CREATE TABLE IF NOT EXISTS entries (
+            c1 TEXT NOT NULL, c2 TEXT NOT NULL, b TEXT NOT NULL,
+            level TEXT NOT NULL, distinct_args INTEGER NOT NULL,
+            witness TEXT, txns TEXT NOT NULL, tabs TEXT NOT NULL,
+            PRIMARY KEY (c1, c2, b, level, distinct_args));
+        CREATE TABLE IF NOT EXISTS participants (
+            kind TEXT NOT NULL, name TEXT NOT NULL,
+            c1 TEXT NOT NULL, c2 TEXT NOT NULL, b TEXT NOT NULL,
+            level TEXT NOT NULL, distinct_args INTEGER NOT NULL);
+        CREATE INDEX IF NOT EXISTS participants_by_name
+            ON participants (kind, name);
+        CREATE INDEX IF NOT EXISTS participants_by_key
+            ON participants (c1, c2, b, level, distinct_args);
+    """
+
+    def __init__(self, cache_dir: str, version: Optional[str] = None):
+        super().__init__()
+        import sqlite3
+
+        from repro.analysis.encoding import encoding_fingerprint
+
+        self.cache_dir = cache_dir
+        self.version = version or encoding_fingerprint()
+        self.persistent_hits = 0
+        self.version_evictions = 0
+        self._db_broken = False
+        self._pending_writes = 0
+        os.makedirs(cache_dir, exist_ok=True)
+        self.path = os.path.join(cache_dir, "oracle_cache.sqlite")
+        self._conn = None
+        try:
+            self._conn = sqlite3.connect(self.path, isolation_level=None)
+            self._open_pragmas()
+            self._conn.executescript(self._SCHEMA)
+        except sqlite3.DatabaseError:
+            # Not a sqlite file (torn write, foreign junk): rebuild
+            # once -- removing the WAL/shm sidecars too, or sqlite may
+            # replay a stale WAL into the fresh empty database.
+            try:
+                if self._conn is not None:
+                    self._conn.close()
+                for suffix in ("", "-wal", "-shm"):
+                    try:
+                        os.remove(self.path + suffix)
+                    except FileNotFoundError:
+                        pass
+                self._conn = sqlite3.connect(self.path, isolation_level=None)
+                self._open_pragmas()
+                self._conn.executescript(self._SCHEMA)
+            except (sqlite3.Error, OSError):  # pragma: no cover - disk gone
+                self._db_broken = True
+        if self._conn is None:  # pragma: no cover - connect itself failed
+            self._conn = sqlite3.connect(":memory:", isolation_level=None)
+        if not self._db_broken:
+            # The version handshake needs the write lock; a concurrent
+            # writer holding its batched transaction past busy_timeout
+            # must degrade this opener to memory-only, not crash it.
+            try:
+                stored = self._conn.execute(
+                    "SELECT value FROM meta WHERE key = 'encoding_version'"
+                ).fetchone()
+                if stored is None or stored[0] != self.version:
+                    if stored is not None:
+                        self.version_evictions = self._db_len()
+                    self._conn.execute("DELETE FROM entries")
+                    self._conn.execute("DELETE FROM participants")
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO meta "
+                        "VALUES ('encoding_version', ?)",
+                        (self.version,),
+                    )
+            except sqlite3.Error as error:
+                self._guard_db(error)
+        # Rows written during this run are always in memory too, so disk
+        # lookups only ever pay off for rows persisted by *earlier* runs;
+        # a store that opened empty can skip them entirely.
+        self._persisted_at_open = 0 if self._db_broken else self._db_len()
+
+    def _open_pragmas(self) -> None:
+        # WAL lets concurrent readers proceed under an open write
+        # transaction, and the busy timeout makes a second writer wait
+        # instead of failing instantly; a still-contended (or otherwise
+        # erroring) statement trips _guard_db, which drops this process
+        # to memory-only rather than aborting the analysis.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=OFF")
+        self._conn.execute("PRAGMA busy_timeout=5000")
+
+    def _guard_db(self, error: Exception) -> None:
+        """A cache is a memo: a failing store must never take the run
+        down.  Disable the persistent tier for this process and keep
+        serving the in-memory one."""
+        import sqlite3
+
+        self._db_broken = True
+        self._persisted_at_open = 0  # skip all further disk lookups
+        try:
+            if self._conn.in_transaction:
+                self._conn.rollback()
+        except sqlite3.Error:  # pragma: no cover - double fault
+            pass
+
+    def __len__(self) -> int:
+        # Every persisted row a run saw is also in memory, so the db
+        # count dominates (it may hold rows from earlier runs too).
+        return max(len(self._entries), self._db_len())
+
+    def _db_len(self) -> int:
+        import sqlite3
+
+        if self._db_broken:
+            return 0
+        try:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM entries"
+            ).fetchone()[0]
+        except sqlite3.Error as error:
+            self._guard_db(error)
+            return 0
+
+    def _find(self, key: CacheKey) -> Tuple[bool, Optional[WitnessData]]:
+        found, witness = super()._find(key)
+        if found:
+            return True, witness
+        if not self._persisted_at_open:
+            return False, None
+        row = self._db_fetch(key)
+        if row is not None:
+            self.persistent_hits += 1
+            return True, self._install(key, *row).witness
+        if key[3] != "EC":
+            ec_row = self._db_fetch(key[:3] + ("EC", key[4]))
+            if ec_row is not None and ec_row[0] is None:
+                self.persistent_hits += 1
+                self._install(key[:3] + ("EC", key[4]), *ec_row)
+                return True, None
+        return False, None
+
+    def _db_fetch(self, key: CacheKey):
+        import sqlite3
+
+        try:
+            row = self._conn.execute(
+                "SELECT witness, txns, tabs FROM entries WHERE c1=? AND c2=? "
+                "AND b=? AND level=? AND distinct_args=?",
+                self._db_key(key),
+            ).fetchone()
+        except sqlite3.Error as error:
+            self._guard_db(error)
+            return None
+        if row is None:
+            return None
+        raw_witness, txns, tables = row
+        witness = None
+        if raw_witness is not None:
+            data = json.loads(raw_witness)
+            witness = WitnessData(
+                pattern=data["pattern"],
+                fields1=frozenset(data["fields1"]),
+                fields2=frozenset(data["fields2"]),
+            )
+        return witness, json.loads(txns), json.loads(tables)
+
+    @staticmethod
+    def _db_key(key: CacheKey) -> Tuple[str, str, str, str, int]:
+        return (key[0], key[1], key[2], key[3], int(key[4]))
+
+    def _begin_write(self) -> None:
+        if not self._conn.in_transaction:
+            self._conn.execute("BEGIN")
+
+    def _written(self) -> None:
+        self._pending_writes += 1
+        if self._pending_writes >= self._COMMIT_EVERY:
+            self._commit()
+
+    def _commit(self) -> None:
+        if self._conn.in_transaction:
+            self._conn.commit()
+        self._pending_writes = 0
+
+    def store(
+        self,
+        key: CacheKey,
+        witness: Optional[WitnessData],
+        txns: Iterable[str],
+        tables: Iterable[str],
+    ) -> None:
+        import sqlite3
+
+        entry = self._install(key, witness, txns, tables)
+        if self._db_broken:
+            return
+        raw_witness = None
+        if witness is not None:
+            raw_witness = json.dumps(
+                {
+                    "pattern": witness.pattern,
+                    "fields1": sorted(witness.fields1),
+                    "fields2": sorted(witness.fields2),
+                }
+            )
+        db_key = self._db_key(key)
+        try:
+            self._begin_write()
+            self._conn.execute(
+                "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                db_key
+                + (
+                    raw_witness,
+                    json.dumps(sorted(entry.txns)),
+                    json.dumps(sorted(entry.tables)),
+                ),
+            )
+            self._conn.execute(
+                "DELETE FROM participants WHERE c1=? AND c2=? AND b=? "
+                "AND level=? AND distinct_args=?",
+                db_key,
+            )
+            self._conn.executemany(
+                "INSERT INTO participants VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [("txn", name) + db_key for name in entry.txns]
+                + [("table", name) + db_key for name in entry.tables],
+            )
+            self._written()
+        except sqlite3.Error as error:
+            self._guard_db(error)
+
+    def invalidate(
+        self,
+        txns: Iterable[str] = (),
+        tables: Iterable[str] = (),
+    ) -> int:
+        import sqlite3
+
+        txn_set = frozenset(txns)
+        table_set = frozenset(tables)
+        if not txn_set and not table_set:
+            return 0
+        doomed = self._doomed_keys(txn_set, table_set)
+        try:
+            if not self._db_broken:
+                for kind, names in (("txn", txn_set), ("table", table_set)):
+                    for name in names:
+                        for db_key in self._conn.execute(
+                            "SELECT c1, c2, b, level, distinct_args "
+                            "FROM participants WHERE kind=? AND name=?",
+                            (kind, name),
+                        ).fetchall():
+                            doomed.add(
+                                (
+                                    db_key[0],
+                                    db_key[1],
+                                    db_key[2],
+                                    db_key[3],
+                                    bool(db_key[4]),
+                                )
+                            )
+        except sqlite3.Error as error:
+            self._guard_db(error)
+        self._remove(doomed)
+        if doomed and not self._db_broken:
+            try:
+                self._begin_write()
+                for key in doomed:
+                    db_key = self._db_key(key)
+                    where = (
+                        "c1=? AND c2=? AND b=? AND level=? AND distinct_args=?"
+                    )
+                    self._conn.execute(
+                        f"DELETE FROM entries WHERE {where}", db_key
+                    )
+                    self._conn.execute(
+                        f"DELETE FROM participants WHERE {where}", db_key
+                    )
+                    self._written()
+            except sqlite3.Error as error:
+                self._guard_db(error)
+        return len(doomed)
+
+    def clear(self) -> None:
+        import sqlite3
+
+        super().clear()
+        if self._db_broken:
+            return
+        try:
+            self._begin_write()
+            self._conn.execute("DELETE FROM entries")
+            self._conn.execute("DELETE FROM participants")
+            self._written()
+        except sqlite3.Error as error:
+            self._guard_db(error)
+
+    def close(self) -> None:
+        import sqlite3
+
+        try:
+            self._commit()
+        except sqlite3.Error as error:  # pragma: no cover - teardown race
+            self._guard_db(error)
+        self._conn.close()
+
+
+def make_query_cache(cache_dir: Optional[str] = None) -> QueryCache:
+    """The memo cache for a run: persistent under ``cache_dir`` when
+    one is given, plain in-memory otherwise.  The single constructor
+    the CLI and experiment drivers share."""
+    if cache_dir:
+        return PersistentQueryCache(cache_dir)
+    return QueryCache()
 
 
 # ---------------------------------------------------------------------------
@@ -532,10 +946,15 @@ class ParallelStrategy:
             len(specs), self.max_workers * self.chunks_per_worker
         )
         chunk_size = -(-len(specs) // chunk_count)
+        # Results are keyed by *position* in `specs`, not QuerySpec.index:
+        # a batched analyze_many hands this runner specs from several
+        # plans at once, whose plan-local indexes collide.
         chunks = [
             [
-                (s.index, s.c1, s.c2, s.summary_b)
-                for s in specs[i : i + chunk_size]
+                (position, s.c1, s.c2, s.summary_b)
+                for position, s in enumerate(
+                    specs[i : i + chunk_size], start=i
+                )
             ]
             for i in range(0, len(specs), chunk_size)
         ]
@@ -544,16 +963,16 @@ class ParallelStrategy:
         ]
         try:
             executor = self._ensure_executor()
-            by_index: Dict[int, QueryOutcome] = {}
+            by_position: Dict[int, QueryOutcome] = {}
             for chunk_result in executor.map(_solve_chunk, payloads):
-                for index, outcome in chunk_result:
-                    by_index[index] = outcome
+                for position, outcome in chunk_result:
+                    by_position[position] = outcome
         except Exception:
             # A broken pool (killed worker, unpicklable corner case) must
             # not take the analysis down: fall back to in-process.
             self.close()
             return self._serial.run(specs, level, distinct_args, use_prefilter)
-        return [by_index[s.index] for s in specs]
+        return [by_position[i] for i in range(len(specs))]
 
     def close(self) -> None:
         if self._executor is not None:
@@ -627,15 +1046,265 @@ class IncrementalStrategy:
         return False
 
 
+# ---------------------------------------------------------------------------
+# Parallel-incremental execution: sharded warm-session workers
+# ---------------------------------------------------------------------------
+
+# Per-worker-process warm session pool, built by the pool initializer.
+# Each shard worker is a single-process executor, so this global is that
+# worker's private state and lives as long as the worker does.
+_WORKER_SESSIONS = None
+
+
+def _shard_worker_init(max_sessions: int) -> None:
+    global _WORKER_SESSIONS
+    from repro.analysis.oracle import OracleSession
+
+    _WORKER_SESSIONS = OracleSession(max_sessions=max_sessions)
+
+
+def _shard_worker_solve(payload):
+    """Worker entry point: discharge one shard's queries on this
+    worker's warm :class:`~repro.analysis.oracle.OracleSession` pool."""
+    level_name, distinct_args, use_prefilter, shard = payload
+    level = by_name(level_name)
+    out = []
+    for index, c1, c2, summary_b, session_key in shard:
+        out.append(
+            (
+                index,
+                _WORKER_SESSIONS.solve(
+                    c1,
+                    c2,
+                    summary_b,
+                    level,
+                    distinct_args,
+                    use_prefilter=use_prefilter,
+                    key=session_key,
+                ),
+            )
+        )
+    return out
+
+
+def _shard_worker_counters() -> Dict[str, int]:
+    return _WORKER_SESSIONS.counters() if _WORKER_SESSIONS is not None else {}
+
+
+def shard_of(cache_key: CacheKey, shards: int) -> int:
+    """Worker index for a query, by the focus triple's structural
+    fingerprint.
+
+    Process-stable (sha1, not the salted builtin ``hash``) and
+    level-independent: every consistency-level sweep of one triple, and
+    every re-analysis of a structurally unchanged triple across the
+    repair fixpoint, routes to the same worker -- whose
+    :class:`~repro.analysis.oracle.OracleSession` pool therefore never
+    rebuilds that triple's solver cold twice.
+    """
+    digest = hashlib.sha1(
+        "|".join(cache_key[:3]).encode(), usedforsecurity=False
+    ).hexdigest()
+    return int(digest[:8], 16) % shards
+
+
+class ParallelIncrementalStrategy:
+    """Sharded warm-session workers: parallelism *and* incrementality.
+
+    :class:`ParallelStrategy` fans out cold solves; :class:`
+    IncrementalStrategy` keeps warm solvers but runs in-process.  This
+    strategy keeps one long-lived worker process per shard (a
+    single-process ``ProcessPoolExecutor`` each, so work submitted to a
+    shard always lands on the same OS process -- the affinity trick of
+    long-lived database compiler workers), gives every worker its own
+    :class:`~repro.analysis.oracle.OracleSession` pool via the pool
+    initializer, and routes each query to the worker that owns its
+    focus triple's fingerprint (:func:`shard_of`).  A triple's level
+    sweep and its fixpoint re-analyses therefore always hit the same
+    warm solver, while distinct triples solve concurrently.
+
+    On single-core hosts (or ``max_workers=1``) the processes would be
+    pure IPC overhead, so execution degrades to one in-process
+    :class:`IncrementalStrategy` -- same results, same warmth, no pool.
+    A broken pool mid-run falls back the same way.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        max_sessions_per_worker: int = 4096,
+    ):
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.max_sessions_per_worker = max_sessions_per_worker
+        self._executors: Optional[List] = None
+        self._fallback: Optional[IncrementalStrategy] = None
+        self._retired_counters: Dict[str, int] = {}
+        self._used_workers: Set[int] = set()
+        self._broken = False
+
+    @property
+    def name(self) -> str:
+        if self.max_workers <= 1 or self._broken:
+            return "parallel-incremental[in-process]"
+        return f"parallel-incremental[{self.max_workers}]"
+
+    def _ensure_fallback(self) -> IncrementalStrategy:
+        if self._fallback is None:
+            self._fallback = IncrementalStrategy()
+        return self._fallback
+
+    def _ensure_executors(self) -> List:
+        if self._executors is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX hosts
+                context = multiprocessing.get_context()
+            self._executors = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=context,
+                    initializer=_shard_worker_init,
+                    initargs=(self.max_sessions_per_worker,),
+                )
+                for _ in range(self.max_workers)
+            ]
+        return self._executors
+
+    def run(
+        self,
+        specs: Sequence[QuerySpec],
+        level: ConsistencyLevel,
+        distinct_args: bool,
+        use_prefilter: bool = True,
+    ) -> List[QueryOutcome]:
+        if self.max_workers <= 1 or self._broken:
+            return self._ensure_fallback().run(
+                specs, level, distinct_args, use_prefilter
+            )
+        # Results are keyed by *position* in `specs`, not QuerySpec.index:
+        # a batched analyze_many hands this runner specs from several
+        # plans at once, whose plan-local indexes collide.
+        shards: Dict[int, List[Tuple[int, QuerySpec]]] = {}
+        for position, spec in enumerate(specs):
+            shards.setdefault(
+                shard_of(spec.cache_key, self.max_workers), []
+            ).append((position, spec))
+        payloads = {
+            worker: (
+                level.name,
+                distinct_args,
+                use_prefilter,
+                [
+                    (
+                        position,
+                        s.c1,
+                        s.c2,
+                        s.summary_b,
+                        s.cache_key[:3] + (distinct_args,),
+                    )
+                    for position, s in shard
+                ],
+            )
+            for worker, shard in shards.items()
+        }
+        try:
+            executors = self._ensure_executors()
+            futures = [
+                executors[worker].submit(_shard_worker_solve, payload)
+                for worker, payload in payloads.items()
+            ]
+            self._used_workers.update(payloads)
+            by_position: Dict[int, QueryOutcome] = {}
+            for future in futures:
+                for position, outcome in future.result():
+                    by_position[position] = outcome
+        except Exception:
+            # A dead worker must not take the analysis down; the
+            # in-process incremental path produces the same outcomes.
+            # The breakage is sticky: later runs go straight to the
+            # fallback pool (which stays alive and keeps warming)
+            # instead of respawning -- and re-breaking -- the workers.
+            self._broken = True
+            self._shutdown_executors()
+            return self._ensure_fallback().run(
+                specs, level, distinct_args, use_prefilter
+            )
+        return [by_position[i] for i in range(len(specs))]
+
+    def _live_counters(self) -> Dict[str, int]:
+        """Session counters over every live shard worker plus the
+        in-process fallback pool, if it ever ran."""
+        totals: Dict[str, int] = {}
+        sources: List[Dict[str, int]] = []
+        if self._executors is not None:
+            # Only workers that ever received a shard: submitting to an
+            # idle executor would fork its process just to report {}.
+            for worker in sorted(self._used_workers):
+                try:
+                    sources.append(
+                        self._executors[worker]
+                        .submit(_shard_worker_counters)
+                        .result()
+                    )
+                except Exception:  # pragma: no cover - dead worker
+                    continue
+        if self._fallback is not None:
+            sources.append(self._fallback.pool.counters())
+        for counters in sources:
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def counters(self) -> Dict[str, int]:
+        """Aggregated :meth:`~repro.analysis.oracle.OracleSession.
+        counters` across the strategy's lifetime.  Like the session
+        pool itself, counters survive :meth:`close` for reporting."""
+        totals = dict(self._retired_counters)
+        for key, value in self._live_counters().items():
+            totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def _shutdown_executors(self) -> None:
+        """Tear the worker processes down without touching the fallback
+        pool (a broken pool's counters are unreachable and dropped)."""
+        if self._executors is not None:
+            for executor in self._executors:
+                executor.shutdown()
+            self._executors = None
+        self._used_workers.clear()
+
+    def close(self) -> None:
+        for key, value in self._live_counters().items():
+            self._retired_counters[key] = (
+                self._retired_counters.get(key, 0) + value
+            )
+        self._shutdown_executors()
+        if self._fallback is not None:
+            self._fallback.close()
+            self._fallback = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
 def resolve_strategy(spec, max_workers: Optional[int] = None):
     """Map a strategy spec (name or instance) to a runner instance.
 
     Names: ``"cached"`` (serial runner + memo cache), ``"incremental"``
     (warm per-triple solver sessions + memo cache), ``"parallel"``
-    (process fan-out + memo cache), ``"auto"`` (parallel when the host
-    has more than one core, else incremental sessions).  ``"serial"`` is
-    handled by the oracle itself (the seed execution loop) and is not a
-    pipeline strategy.
+    (cold process fan-out + memo cache), ``"parallel-incremental"``
+    (sharded warm-session workers + memo cache), ``"auto"``
+    (parallel-incremental when the host has more than one core, else
+    in-process incremental sessions).  ``"serial"`` is handled by the
+    oracle itself (the seed execution loop) and is not a pipeline
+    strategy.
     """
     if spec is None or spec == "cached":
         return SerialStrategy()
@@ -643,16 +1312,23 @@ def resolve_strategy(spec, max_workers: Optional[int] = None):
         return IncrementalStrategy()
     if spec == "parallel":
         return ParallelStrategy(max_workers=max_workers)
+    if spec in ("parallel-incremental", "parallel_incremental"):
+        return ParallelIncrementalStrategy(max_workers=max_workers)
     if spec == "auto":
+        # Multi-core hosts get parallelism *and* warm sessions; on one
+        # core the process pool is pure overhead, so stay in-process.
+        # The resolved runner's name lands in AnalysisReport.strategy,
+        # so reports record which path "auto" actually chose.
         workers = max_workers or os.cpu_count() or 1
         if workers > 1:
-            return ParallelStrategy(max_workers=workers)
+            return ParallelIncrementalStrategy(max_workers=workers)
         return IncrementalStrategy()
     if hasattr(spec, "run"):
         return spec
     raise ValueError(
         f"unknown analysis strategy {spec!r}; expected 'serial', 'cached', "
-        "'incremental', 'parallel', 'auto', or a strategy object"
+        "'incremental', 'parallel', 'parallel-incremental', 'auto', or a "
+        "strategy object"
     )
 
 
@@ -681,82 +1357,121 @@ class AnalysisPipeline:
         self.cache = cache if cache is not None else QueryCache()
 
     def analyze(self, program: ast.Program):
+        return self.analyze_many([program])[0]
+
+    def analyze_many(self, programs: Sequence[ast.Program]) -> List:
+        """Analyze several programs through *one* strategy fan-out.
+
+        Per-query results are pure functions of their fingerprints, so
+        batching changes nothing about any program's report -- but all
+        programs' cache misses are deduplicated together and handed to
+        the strategy as one spec list, so a parallel runner overlaps
+        every program's solving (this is what lets a beam search score a
+        whole generation of candidate plans concurrently instead of one
+        ``analyze()`` at a time).  Queries shared between programs are
+        solved once; the solve is attributed (``sat_queries``,
+        ``solver_stats``) to the first program that requested it.  Each
+        report's ``elapsed_seconds`` is the whole batch's wall-clock:
+        the programs were solved together, so no finer attribution is
+        honest.
+        """
         from repro.analysis.oracle import AnalysisReport, _merge_witnesses
 
         start = time.perf_counter()
-        summaries = summarize_program(program)
-        plan = self.planner.plan(summaries, self.level, self.distinct_args)
-        specs = plan.queries()
+        plans = []
+        outcomes_by_program: List[Dict[int, Optional[WitnessData]]] = []
+        lookup_counts: List[Tuple[int, int]] = []
+        pending: Dict[CacheKey, List[Tuple[int, QuerySpec]]] = {}
+        for program_index, program in enumerate(programs):
+            summaries = summarize_program(program)
+            plan = self.planner.plan(summaries, self.level, self.distinct_args)
+            outcomes: Dict[int, Optional[WitnessData]] = {}
+            hits = misses = 0
+            for spec in plan.queries():
+                found, witness = self.cache.lookup(spec.cache_key)
+                if found:
+                    hits += 1
+                    outcomes[spec.index] = witness
+                else:
+                    misses += 1
+                    # Structurally identical queries (same fingerprints)
+                    # are solved once; every spec sharing the key --
+                    # within a program or across the batch -- gets the
+                    # result.
+                    pending.setdefault(spec.cache_key, []).append(
+                        (program_index, spec)
+                    )
+            plans.append(plan)
+            outcomes_by_program.append(outcomes)
+            lookup_counts.append((hits, misses))
 
-        outcomes: Dict[int, Optional[WitnessData]] = {}
-        pending: Dict[CacheKey, List[QuerySpec]] = {}
-        hits = misses = 0
-        for spec in specs:
-            found, witness = self.cache.lookup(spec.cache_key)
-            if found:
-                hits += 1
-                outcomes[spec.index] = witness
-            else:
-                misses += 1
-                # Structurally identical queries (same fingerprints) are
-                # solved once; every spec sharing the key gets the result.
-                pending.setdefault(spec.cache_key, []).append(spec)
-
-        sat_queries = 0
-        solver_stats: Dict[str, int] = {}
+        sat_queries = [0] * len(plans)
+        solver_stats: List[Dict[str, int]] = [{} for _ in plans]
         if pending:
-            unique = [group[0] for group in pending.values()]
+            unique = [group[0][1] for group in pending.values()]
+            owners = [group[0][0] for group in pending.values()]
             results = self.strategy.run(
                 unique, self.level, self.distinct_args, self.use_prefilter
             )
-            for spec, outcome in zip(unique, results):
+            for owner, spec, outcome in zip(owners, unique, results):
                 if outcome.solved:
-                    sat_queries += 1
+                    sat_queries[owner] += 1
                 for key, value in outcome.stats.items():
-                    solver_stats[key] = solver_stats.get(key, 0) + value
+                    solver_stats[owner][key] = (
+                        solver_stats[owner].get(key, 0) + value
+                    )
                 group = pending[spec.cache_key]
-                for twin in group:
-                    outcomes[twin.index] = outcome.witness
+                for twin_owner, twin in group:
+                    outcomes_by_program[twin_owner][twin.index] = outcome.witness
                 self.cache.store(
                     spec.cache_key,
                     outcome.witness,
-                    txns={s.a_name for s in group}
-                    | {s.summary_b.name for s in group},
-                    tables=frozenset().union(*(s.tables for s in group)),
-                )
-
-        # Merge stage.  The plan DAG (see generations()) stages every
-        # query before its batch's merge node; since all queries above
-        # have completed, the merges reduce to batch-order iteration.
-        pairs = []
-        for batch in plan.batches:
-            witnesses = [
-                PairWitness(
-                    interferer=spec.summary_b.name,
-                    pattern=outcomes[spec.index].pattern,
-                    fields1=outcomes[spec.index].fields1,
-                    fields2=outcomes[spec.index].fields2,
-                )
-                for spec in batch.queries
-                if outcomes[spec.index] is not None
-            ]
-            if witnesses:
-                pairs.append(
-                    _merge_witnesses(batch.summary_a, batch.c1, batch.c2, witnesses)
+                    txns={s.a_name for _, s in group}
+                    | {s.summary_b.name for _, s in group},
+                    tables=frozenset().union(*(s.tables for _, s in group)),
                 )
 
         elapsed = time.perf_counter() - start
-        return AnalysisReport(
-            level=self.level.name,
-            pairs=pairs,
-            pairs_checked=len(plan.batches),
-            sat_queries=sat_queries,
-            elapsed_seconds=elapsed,
-            strategy=self.strategy.name,
-            cache_hits=hits,
-            cache_misses=misses,
-            solver_stats=solver_stats,
-        )
+        reports = []
+        for plan, outcomes, (hits, misses), sat, stats in zip(
+            plans, outcomes_by_program, lookup_counts, sat_queries, solver_stats
+        ):
+            # Merge stage.  The plan DAG (see generations()) stages
+            # every query before its batch's merge node; since all
+            # queries above have completed, the merges reduce to
+            # batch-order iteration.
+            pairs = []
+            for batch in plan.batches:
+                witnesses = [
+                    PairWitness(
+                        interferer=spec.summary_b.name,
+                        pattern=outcomes[spec.index].pattern,
+                        fields1=outcomes[spec.index].fields1,
+                        fields2=outcomes[spec.index].fields2,
+                    )
+                    for spec in batch.queries
+                    if outcomes[spec.index] is not None
+                ]
+                if witnesses:
+                    pairs.append(
+                        _merge_witnesses(
+                            batch.summary_a, batch.c1, batch.c2, witnesses
+                        )
+                    )
+            reports.append(
+                AnalysisReport(
+                    level=self.level.name,
+                    pairs=pairs,
+                    pairs_checked=len(plan.batches),
+                    sat_queries=sat,
+                    elapsed_seconds=elapsed,
+                    strategy=self.strategy.name,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                    solver_stats=stats,
+                )
+            )
+        return reports
 
     def close(self) -> None:
         self.strategy.close()

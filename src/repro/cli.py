@@ -8,8 +8,14 @@ Three subcommands mirror the workflows the library is used for:
 - ``repro repair`` -- repair one benchmark or a DSL file; ``--plan-out``
   saves the rewrite plan as JSON, ``--plan-in`` *replays* a saved plan
   instead of searching (no oracle work);
-- ``repro bench`` -- time the repair search per benchmark under the
-  serial and incremental oracle strategies.
+- ``repro bench`` -- time the repair search per benchmark: the serial
+  seed oracle against a warm strategy (incremental by default,
+  ``--strategy parallel-incremental`` for the sharded worker pool).
+
+``--cache-dir DIR`` (on every subcommand that runs the oracle) backs
+the memo cache with a persistent sqlite store, so repeated invocations
+-- separate processes included -- warm-start from earlier outcomes; the
+store self-invalidates when the encoding's source changes.
 
 Every subcommand exits non-zero on failure and prints plain text
 (``repro.exp.reporting``) so output diffs cleanly in CI logs.
@@ -20,13 +26,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from typing import List, Optional, Sequence
 
 from repro.corpus import ALL_BENCHMARKS, BY_NAME
 from repro.errors import ReproError
 
-STRATEGIES = ("serial", "cached", "parallel", "incremental", "auto")
+STRATEGIES = (
+    "serial",
+    "cached",
+    "parallel",
+    "incremental",
+    "parallel-incremental",
+    "auto",
+)
 SEARCHES = ("greedy", "beam", "random")
+BENCH_STRATEGIES = ("incremental", "parallel-incremental", "auto")
 
 
 def _pick_benchmarks(names: Sequence[str]) -> List:
@@ -57,20 +72,92 @@ def _load_program(args) -> "tuple":
 # ---------------------------------------------------------------------------
 
 
+@contextmanager
+def _open_cache(cache_dir: Optional[str]):
+    """Yield a persistent query cache for ``cache_dir`` (None without
+    one), closing it on exit -- the one cache lifecycle every
+    subcommand shares."""
+    if not cache_dir:
+        yield None
+        return
+    from repro.analysis.pipeline import make_query_cache
+
+    cache = make_query_cache(cache_dir)
+    try:
+        yield cache
+    finally:
+        cache.close()
+
+
+def _caching_strategy(args) -> str:
+    """The oracle strategy honouring ``--cache-dir``/``--workers``: the
+    seed serial loop has no cache and no pool, so either flag silently
+    doing nothing under the *default* strategy would betray its
+    contract -- upgrade to "auto" and say so.  An explicit
+    ``--strategy serial`` (the argparse default is None, so the two are
+    distinguishable) is respected; the flags are then genuinely unused
+    and say so too."""
+    pipeline_flags = [
+        flag
+        for flag, value in (
+            ("--cache-dir", args.cache_dir),
+            ("--workers", args.workers),
+        )
+        if value
+    ]
+    if pipeline_flags:
+        flags = "/".join(pipeline_flags)
+        if args.strategy is None:
+            print(
+                f"note: {flags} needs a caching strategy; "
+                "using --strategy auto (pass --strategy to override)"
+            )
+            return "auto"
+        if args.strategy == "serial":
+            print(
+                "note: --strategy serial runs the uncached, single-"
+                f"threaded seed loop; {flags} ignored"
+            )
+    return args.strategy or "serial"
+
+
+def _cache_summary(cache) -> str:
+    return (
+        f"cache: {cache.hits} hits / {cache.misses} misses "
+        f"(hit rate {cache.hit_rate:.1%}, "
+        f"{getattr(cache, 'persistent_hits', 0)} from disk, "
+        f"{len(cache)} entries)"
+    )
+
+
 def cmd_table1(args) -> int:
     from repro.exp import format_plan, format_table, run_table1
 
     benches = _pick_benchmarks(args.benchmark)
-    rows = run_table1(benches, strategy=args.strategy, search=args.search)
-    headers = ["Benchmark", "#Txns", "#Tables", "EC", "AT", "CC", "RR", "Time"]
-    print(format_table(headers, [row.columns() for row in rows]))
+    strategy = _caching_strategy(args)
+    strategy_name = strategy
+    if args.workers and strategy != "serial":
+        from repro.analysis.pipeline import resolve_strategy
+
+        strategy = resolve_strategy(strategy, max_workers=args.workers)
+        strategy_name = strategy.name
+    with _open_cache(args.cache_dir) as cache:
+        rows = run_table1(
+            benches, strategy=strategy, search=args.search, cache=cache
+        )
+        headers = [
+            "Benchmark", "#Txns", "#Tables", "EC", "AT", "CC", "RR", "Time",
+        ]
+        print(format_table(headers, [row.columns() for row in rows]))
+        if cache is not None:
+            print(_cache_summary(cache))
     if args.plans:
         print()
         for row in rows:
             print(format_plan(f"{row.name} plan", row.plan))
     if args.json:
         payload = {
-            "strategy": args.strategy,
+            "strategy": strategy_name,
             "search": args.search,
             "rows": [
                 {
@@ -113,8 +200,17 @@ def cmd_repair(args) -> int:
         report = replay_plan(program, plan)
         print(f"replayed {len(plan)}-step plan from {args.plan_in} on {label}")
     else:
-        report = repair(program, strategy=args.strategy, search=args.search)
-        print(report.summary())
+        with _open_cache(args.cache_dir) as cache:
+            report = repair(
+                program,
+                strategy=_caching_strategy(args),
+                search=args.search,
+                cache=cache,
+                max_workers=args.workers,
+            )
+            print(report.summary())
+            if cache is not None:
+                print(_cache_summary(cache))
     print(format_plan("plan", report.plan))
     if args.plan_out:
         with open(args.plan_out, "w") as fh:
@@ -133,53 +229,79 @@ def cmd_repair(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.exp import format_table, run_table1_row
+    from repro.analysis.pipeline import make_query_cache, resolve_strategy
+    from repro.exp import run_table1_row
 
     benches = _pick_benchmarks(args.benchmark)
     if args.corpus == "small":
         small = {"TPC-C", "SmallBank", "Courseware"}
         benches = [b for b in benches if b.name in small]
+    cache = make_query_cache(args.cache_dir)
+    runner = resolve_strategy(args.strategy, max_workers=args.workers)
     rows = []
-    for bench in benches:
-        serial_row = run_table1_row(bench, search=args.search)
-        incremental_row = run_table1_row(
-            bench, strategy="incremental", search=args.search
-        )
-        rows.append((bench.name, serial_row, incremental_row))
+    try:
+        for bench in benches:
+            serial_row = run_table1_row(bench, search=args.search)
+            warm_row = run_table1_row(
+                bench, strategy=runner, cache=cache, search=args.search
+            )
+            rows.append((bench.name, serial_row, warm_row))
+        return _report_bench(args, runner, cache, rows)
+    finally:
+        runner.close()
+        cache.close()
 
-    def fmt(name, serial_row, incremental_row):
+
+def _report_bench(args, runner, cache, rows) -> int:
+    from repro.exp import format_table
+
+    def fmt(name, serial_row, warm_row):
         speedup = (
-            serial_row.repair_seconds / incremental_row.repair_seconds
-            if incremental_row.repair_seconds
+            serial_row.repair_seconds / warm_row.repair_seconds
+            if warm_row.repair_seconds
             else 0.0
         )
         return [
             name,
             f"{serial_row.repair_seconds:.3f}",
-            f"{incremental_row.repair_seconds:.3f}",
+            f"{warm_row.repair_seconds:.3f}",
             f"{speedup:.2f}x",
-            str(len(incremental_row.plan)),
+            str(len(warm_row.plan)),
         ]
 
     headers = [
         "Benchmark",
         "repair_s (serial)",
-        "repair_s (incremental)",
+        f"repair_s ({runner.name})",
         "speedup",
         "plan steps",
     ]
     print(format_table(headers, [fmt(*row) for row in rows]))
+    print(_cache_summary(cache))
     if args.json:
         payload = {
             "search": args.search,
+            "strategy": runner.name,
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": round(cache.hit_rate, 4),
+                "persistent_hits": getattr(cache, "persistent_hits", 0),
+                "entries": len(cache),
+            },
             "rows": [
                 {
                     "name": name,
+                    # Counts come from the *warm* (cached-strategy) row,
+                    # so cold-vs-warm row comparisons actually exercise
+                    # the cached path rather than the serial control.
+                    "ec": w.ec,
+                    "at": w.at,
                     "repair_seconds_serial": round(s.repair_seconds, 4),
-                    "repair_seconds_incremental": round(i.repair_seconds, 4),
-                    "plan_steps": len(i.plan),
+                    "repair_seconds_warm": round(w.repair_seconds, 4),
+                    "plan_steps": len(w.plan),
                 }
-                for name, s, i in rows
+                for name, s, w in rows
             ],
         }
         with open(args.json, "w") as fh:
@@ -209,8 +331,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         help="restrict to one benchmark (repeatable; default: all)",
     )
-    t1.add_argument("--strategy", choices=STRATEGIES, default="serial")
+    t1.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default=None,  # None = "serial", unless --cache-dir upgrades to "auto"
+    )
     t1.add_argument("--search", choices=SEARCHES, default="greedy")
+    t1.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist oracle query outcomes under DIR (warm-starts reruns)",
+    )
+    t1.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="worker processes for the pool strategies (default: cpu count)",
+    )
     t1.add_argument(
         "--plans", action="store_true", help="print per-row plan provenance"
     )
@@ -221,8 +358,23 @@ def build_parser() -> argparse.ArgumentParser:
     source = rp.add_mutually_exclusive_group(required=True)
     source.add_argument("--benchmark", help="corpus benchmark name")
     source.add_argument("--file", help="path to a DSL program")
-    rp.add_argument("--strategy", choices=STRATEGIES, default="serial")
+    rp.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default=None,  # None = "serial", unless --cache-dir upgrades to "auto"
+    )
     rp.add_argument("--search", choices=SEARCHES, default="greedy")
+    rp.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist oracle query outcomes under DIR (warm-starts reruns)",
+    )
+    rp.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="worker processes for the pool strategies (default: cpu count)",
+    )
     rp.add_argument(
         "--plan-out", metavar="FILE", help="write the rewrite plan as JSON"
     )
@@ -239,7 +391,8 @@ def build_parser() -> argparse.ArgumentParser:
     rp.set_defaults(func=cmd_repair)
 
     be = sub.add_parser(
-        "bench", help="time the repair search per benchmark (serial vs incremental)"
+        "bench",
+        help="time the repair search per benchmark (serial vs a warm strategy)",
     )
     be.add_argument(
         "--benchmark",
@@ -253,7 +406,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="full",
         help="'small' = the CI smoke subset",
     )
+    be.add_argument(
+        "--strategy",
+        choices=BENCH_STRATEGIES,
+        default="incremental",
+        help="the warm oracle strategy timed against the serial seed",
+    )
     be.add_argument("--search", choices=SEARCHES, default="greedy")
+    be.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist oracle query outcomes under DIR; a second run "
+        "warm-starts and reports a higher cache hit rate",
+    )
+    be.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="worker processes for the pool strategies (default: cpu count)",
+    )
     be.add_argument("--json", metavar="FILE", help="write timings as JSON")
     be.set_defaults(func=cmd_bench)
     return parser

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis import AnomalyOracle, CC, RR
-from repro.analysis.pipeline import QueryCache, resolve_strategy
+from repro.analysis.pipeline import QueryCache, make_query_cache, resolve_strategy
 from repro.corpus import ALL_BENCHMARKS, Benchmark
 from repro.repair import repair
 from repro.repair.engine import RepairReport
@@ -95,6 +95,7 @@ def run_table1_row(
     strategy: object = "serial",
     cache: Optional[QueryCache] = None,
     search: object = "greedy",
+    cache_dir: Optional[str] = None,
 ) -> Table1Row:
     """Analyse and repair one benchmark.
 
@@ -103,13 +104,19 @@ def run_table1_row(
     instance is the caller's to close.  ``search`` selects the plan
     search (see :func:`repro.repair.engine.repair`); the produced plan
     rides on the row (``row.plan`` / ``row.plan_provenance()``).
+    ``cache_dir`` (ignored when an explicit ``cache`` is given) backs
+    the row's memo cache with a
+    :class:`~repro.analysis.pipeline.PersistentQueryCache`, so repeated
+    runs warm-start from disk.
     """
     start = time.perf_counter()
     program = benchmark.program()
     owns_runner = isinstance(strategy, str) and strategy != "serial"
     runner = resolve_strategy(strategy) if owns_runner else strategy
+    owns_cache = False
     if runner != "serial" and cache is None:
-        cache = QueryCache()
+        cache = make_query_cache(cache_dir)
+        owns_cache = cache_dir is not None
     try:
         report = repair(program, strategy=runner, cache=cache, search=search)
         oracle_stats: Dict[str, int] = {}
@@ -118,6 +125,8 @@ def run_table1_row(
     finally:
         if owns_runner:
             runner.close()
+        if owns_cache:
+            cache.close()
     for analysis in (cc_report, rr_report):
         _merge_stats(oracle_stats, analysis)
     elapsed = time.perf_counter() - start
@@ -143,18 +152,24 @@ def run_table1(
     strategy: object = "serial",
     cache: Optional[QueryCache] = None,
     search: object = "greedy",
+    cache_dir: Optional[str] = None,
 ) -> List[Table1Row]:
     """The full Table 1 sweep.
 
     With a caching strategy, one strategy instance (and its worker pool,
-    if any) plus one memo cache is shared across all rows.
+    if any) plus one memo cache is shared across all rows.  A
+    ``cache_dir`` (ignored when an explicit ``cache`` is given) makes
+    that shared cache persistent, so a repeated sweep -- even in a fresh
+    process -- warm-starts from the previous run's query outcomes.
     """
     benches = benchmarks or ALL_BENCHMARKS
     if strategy == "serial":
         return [run_table1_row(b, search=search) for b in benches]
     runner = resolve_strategy(strategy)
+    owns_cache = False
     if cache is None:
-        cache = QueryCache()
+        cache = make_query_cache(cache_dir)
+        owns_cache = cache_dir is not None
     try:
         return [
             run_table1_row(b, strategy=runner, cache=cache, search=search)
@@ -162,3 +177,5 @@ def run_table1(
         ]
     finally:
         runner.close()
+        if owns_cache:
+            cache.close()

@@ -99,7 +99,11 @@ class RepairEngine:
     solver session per focus triple -- which is what makes cost-guided
     searches (``search="beam"``) affordable: every candidate plan's
     residual count lands on the same
-    :class:`~repro.analysis.oracle.OracleSession` pool.
+    :class:`~repro.analysis.oracle.OracleSession` pool.  On multi-core
+    hosts ``strategy="parallel-incremental"`` goes further: beam search
+    scores each candidate generation through one batched oracle call, so
+    the generation's queries fan out across the sharded warm-session
+    workers concurrently.
 
     ``search`` selects the plan-search strategy: ``"greedy"`` (default;
     reproduces the historical engine exactly), ``"beam"``, ``"random"``,
@@ -116,10 +120,15 @@ class RepairEngine:
         strategy: object = "serial",
         cache: Optional[object] = None,
         search: object = "greedy",
+        max_workers: Optional[int] = None,
         **search_options: object,
     ):
         self.oracle = AnomalyOracle(
-            level, use_prefilter, strategy=strategy, cache=cache
+            level,
+            use_prefilter,
+            strategy=strategy,
+            cache=cache,
+            max_workers=max_workers,
         )
         self.searcher = resolve_search(search, **search_options)
 
@@ -150,13 +159,18 @@ def repair(
     strategy: object = "serial",
     cache: Optional[object] = None,
     search: object = "greedy",
+    max_workers: Optional[int] = None,
     **search_options: object,
 ) -> RepairReport:
     """Run the full repair pipeline on ``program``.
 
     A strategy given by name is owned by this call and torn down (worker
     pools included) before returning; a strategy *instance* belongs to
-    the caller and is left running for reuse.
+    the caller and is left running for reuse.  ``max_workers`` sizes the
+    process-pool strategies (``"parallel"``, ``"parallel-incremental"``,
+    ``"auto"``); ``cache`` may be a
+    :class:`~repro.analysis.pipeline.PersistentQueryCache` to warm-start
+    the oracle from an earlier run's outcomes.
     """
     engine = RepairEngine(
         level,
@@ -164,6 +178,7 @@ def repair(
         strategy=strategy,
         cache=cache,
         search=search,
+        max_workers=max_workers,
         **search_options,
     )
     try:

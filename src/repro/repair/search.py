@@ -32,6 +32,14 @@ and an optional *simulated throughput* term: plug
 :func:`simulated_throughput_probe` in to score candidate plans by the
 closed-loop throughput of their AT-SC variant on the store simulator
 (:func:`repro.store.runner.simulate`).
+
+Beam search scores each generation of candidates through
+``CostModel.evaluate_many``, which routes all candidates' residual
+analyses into one ``oracle.analyze_many`` fan-out; with
+``AnomalyOracle(strategy="parallel-incremental")`` the whole
+generation's SAT queries run concurrently across the sharded
+warm-session workers instead of one candidate at a time.  Scores (and
+therefore search results) are identical under every execution strategy.
 """
 
 from __future__ import annotations
@@ -287,14 +295,36 @@ class CostModel:
     ) -> Tuple[float, List[AccessPair]]:
         """(cost, residual pairs) -- exposing the pairs lets callers
         reuse the oracle run the score already paid for."""
-        pairs = oracle.analyze(program).pairs
-        cost = self.anomaly_weight * len(pairs)
-        cost += self.table_weight * len(program.schemas)
-        if self.throughput_probe is not None and self.throughput_weight:
-            cost -= self.throughput_weight * self.throughput_probe(
-                program, pairs, ctx.rewrites
-            )
-        return cost, pairs
+        return self.evaluate_many([(program, ctx)], oracle)[0]
+
+    def evaluate_many(
+        self,
+        items: Sequence[Tuple[ast.Program, PlanContext]],
+        oracle: AnomalyOracle,
+    ) -> List[Tuple[float, List[AccessPair]]]:
+        """Score a whole generation of candidate states at once.
+
+        All candidates' residual analyses go through one
+        :meth:`~repro.analysis.oracle.AnomalyOracle.analyze_many` call,
+        so a fan-out oracle strategy (``"parallel-incremental"``)
+        overlaps every candidate's SAT queries across its warm shard
+        workers instead of analyzing candidates serially.  Scores are
+        identical to per-candidate :meth:`evaluate` calls -- analysis is
+        deterministic and order-independent -- so search results do not
+        depend on the oracle's execution strategy.
+        """
+        reports = oracle.analyze_many([program for program, _ in items])
+        out: List[Tuple[float, List[AccessPair]]] = []
+        for (program, ctx), report in zip(items, reports):
+            pairs = report.pairs
+            cost = self.anomaly_weight * len(pairs)
+            cost += self.table_weight * len(program.schemas)
+            if self.throughput_probe is not None and self.throughput_weight:
+                cost -= self.throughput_weight * self.throughput_probe(
+                    program, pairs, ctx.rewrites
+                )
+            out.append((cost, pairs))
+        return out
 
     def score(
         self,
@@ -449,6 +479,7 @@ class BeamSearch:
         trajectory: List[float] = []
         for pair in pairs:
             expanded: List[_BeamState] = []
+            fresh: List[_BeamState] = []
             for state in states:
                 count = 0
                 for cand in propose_candidates(state.program, state.ctx, pair):
@@ -458,8 +489,8 @@ class BeamSearch:
                         state.steps + cand.steps,
                         state.outcomes + (RepairOutcome(pair, cand.action),),
                     )
-                    new.score = self.cost_model.score(new.program, new.ctx, oracle)
                     expanded.append(new)
+                    fresh.append(new)
                     count += 1
                     if count >= self.max_candidates:
                         break
@@ -478,21 +509,36 @@ class BeamSearch:
                         score=state.score,
                     )
                 )
+            # Score the whole generation in one oracle fan-out: with a
+            # parallel-incremental strategy every candidate's residual
+            # analysis runs concurrently on the warm shard workers.
+            scored = self.cost_model.evaluate_many(
+                [(s.program, s.ctx) for s in fresh], oracle
+            )
+            for new, (cost, _) in zip(fresh, scored):
+                new.score = cost
             # Stable sort: ties go to the earlier (higher-priority) candidate.
             expanded.sort(key=lambda s: s.score)
             states = expanded[: self.width]
             trajectory.append(states[0].score)
 
-        finished: List[Tuple[float, int, _BeamState, List[AccessPair]]] = []
-        for i, state in enumerate(states):
+        final_states: List[_BeamState] = []
+        for state in states:
             post = PostprocessStep()
             program_f = post.apply(state.program, state.ctx)
-            state_f = _BeamState(
-                program_f, state.ctx, state.steps + (post,), state.outcomes
+            final_states.append(
+                _BeamState(
+                    program_f, state.ctx, state.steps + (post,), state.outcomes
+                )
             )
-            state_f.score, pairs_f = self.cost_model.evaluate(
-                program_f, state_f.ctx, oracle
-            )
+        final_scored = self.cost_model.evaluate_many(
+            [(s.program, s.ctx) for s in final_states], oracle
+        )
+        finished: List[Tuple[float, int, _BeamState, List[AccessPair]]] = []
+        for i, (state_f, (cost, pairs_f)) in enumerate(
+            zip(final_states, final_scored)
+        ):
+            state_f.score = cost
             finished.append((state_f.score, i, state_f, pairs_f))
         finished.sort(key=lambda t: (t[0], t[1]))
         _, _, best, residual = finished[0]

@@ -14,6 +14,7 @@ from repro.analysis import (
 )
 from repro.analysis.pipeline import (
     IncrementalStrategy,
+    ParallelIncrementalStrategy,
     ParallelStrategy,
     SerialStrategy,
     fingerprint_command,
@@ -216,8 +217,12 @@ class TestStrategyResolution:
         assert isinstance(resolve_strategy("incremental"), IncrementalStrategy)
         assert isinstance(resolve_strategy("parallel"), ParallelStrategy)
         auto = resolve_strategy("auto")
-        # Multi-core hosts fan out; single-core hosts use warm sessions.
-        assert isinstance(auto, (IncrementalStrategy, ParallelStrategy))
+        # Multi-core hosts get the sharded warm-session pool;
+        # single-core hosts use in-process warm sessions.
+        assert isinstance(
+            auto, (IncrementalStrategy, ParallelIncrementalStrategy)
+        )
+        auto.close()
 
     def test_instance_passthrough(self):
         runner = SerialStrategy()

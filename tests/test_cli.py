@@ -123,6 +123,99 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert "repair_s" in out
         data = json.loads(out_file.read_text())
+        assert data["strategy"] == "incremental"
         (row,) = data["rows"]
         assert row["name"] == "SIBench"
+        assert row["plan_steps"] == 2
+
+    def test_bench_cache_dir_warm_start(self, tmp_path, capsys):
+        """A second --cache-dir run must report a strictly higher cache
+        hit rate with identical result rows."""
+        cache_dir = str(tmp_path / "cache")
+        runs = []
+        for out_name in ("cold.json", "warm.json"):
+            out_file = tmp_path / out_name
+            assert (
+                main(
+                    [
+                        "bench",
+                        "--benchmark",
+                        "Courseware",
+                        "--cache-dir",
+                        cache_dir,
+                        "--json",
+                        str(out_file),
+                    ]
+                )
+                == 0
+            )
+            assert "cache:" in capsys.readouterr().out
+            runs.append(json.loads(out_file.read_text()))
+        cold, warm = runs
+        assert warm["cache"]["hit_rate"] > cold["cache"]["hit_rate"]
+        assert warm["cache"]["persistent_hits"] > 0
+
+        def stable(rows):
+            return [
+                {
+                    k: v
+                    for k, v in row.items()
+                    if not k.startswith("repair_seconds")
+                }
+                for row in rows
+            ]
+
+        assert stable(cold["rows"]) == stable(warm["rows"])
+
+    def test_cache_dir_upgrades_default_strategy_only(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert (
+            main(["table1", "--benchmark", "SIBench", "--cache-dir", cache_dir])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "using --strategy auto" in out
+        # An explicit --strategy serial is respected, with a note that
+        # the cache dir is unused.
+        assert (
+            main(
+                [
+                    "table1",
+                    "--benchmark",
+                    "SIBench",
+                    "--strategy",
+                    "serial",
+                    "--cache-dir",
+                    cache_dir,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "--cache-dir ignored" in out
+        # --workers under the default strategy upgrades the same way.
+        assert main(["table1", "--benchmark", "SIBench", "--workers", "2"]) == 0
+        assert "using --strategy auto" in capsys.readouterr().out
+
+    def test_bench_parallel_incremental_strategy(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--benchmark",
+                    "SIBench",
+                    "--strategy",
+                    "parallel-incremental",
+                    "--workers",
+                    "2",
+                    "--json",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(out_file.read_text())
+        assert data["strategy"] == "parallel-incremental[2]"
+        (row,) = data["rows"]
         assert row["plan_steps"] == 2
