@@ -66,6 +66,15 @@ def main() -> None:
     print()
     print(print_program(report.repaired_program))
 
+    # The same verdict through the versioned facade (repro.api): the
+    # HTTP service serves exactly this result for POST /v1/repair.
+    from repro.api import RepairRequest, Workspace
+
+    with Workspace(strategy="serial") as ws:
+        wire = ws.repair(RepairRequest(source=SOURCE))
+    assert wire.repaired_program == print_program(report.repaired_program)
+    print(f"(facade agrees: plan of {len(wire.plan['steps'])} steps, schema v1)")
+
     # Populate, migrate, and compare deployment configurations.
     db = Database(program)
     for ev in range(4):

@@ -4,6 +4,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import detect_anomalies, parse_program, print_program, repair
+from repro.api import RepairRequest, Workspace
 
 # A tiny account service: the read-then-write pattern races with itself
 # (lost update), and the two-table read can observe fractured state.
@@ -39,6 +40,15 @@ def main() -> None:
     print()
     print("== repaired program ==")
     print(print_program(report.repaired_program))
+
+    # The same repair through the versioned facade (what the HTTP
+    # service speaks): a frozen request in, a JSON-stable result out.
+    with Workspace(strategy="serial") as ws:
+        result = ws.repair(RepairRequest(source=SOURCE))
+    assert result.repaired_program == print_program(report.repaired_program)
+    print("== facade ==")
+    print(f"repro.api agrees: {result.repaired_count} pair(s) repaired, "
+          f"{len(result.plan['steps'])}-step plan (schema v1)")
 
 
 if __name__ == "__main__":

@@ -267,11 +267,13 @@ class AnomalyOracle:
         strategy: object = "serial",
         cache: Optional[object] = None,
         max_workers: Optional[int] = None,
+        progress=None,
     ):
         self.level = level
         self.use_prefilter = use_prefilter
         self.distinct_args = distinct_args
         self.strategy = strategy
+        self.progress = progress
         if strategy == "serial":
             self._pipeline = None
         else:
@@ -284,6 +286,7 @@ class AnomalyOracle:
                 strategy=strategy,
                 cache=cache,
                 max_workers=max_workers,
+                progress=progress,
             )
 
     @property
@@ -308,8 +311,17 @@ class AnomalyOracle:
     def analyze(self, program: ast.Program) -> AnalysisReport:
         if self._pipeline is not None:
             return self._pipeline.analyze(program)
+        from repro.events import emit
+
         start = time.perf_counter()
         summaries = summarize_program(program)
+        emit(
+            self.progress,
+            "analyze.start",
+            level=self.level.name,
+            programs=1,
+            transactions=len(summaries),
+        )
         pairs: List[AccessPair] = []
         checked = 0
         sat_queries = 0
@@ -331,6 +343,13 @@ class AnomalyOracle:
                 if witnesses:
                     pairs.append(_merge_witnesses(summary, c1, c2, witnesses))
         elapsed = time.perf_counter() - start
+        emit(
+            self.progress,
+            "analyze.done",
+            level=self.level.name,
+            pairs=len(pairs),
+            elapsed_seconds=elapsed,
+        )
         return AnalysisReport(
             level=self.level.name,
             pairs=pairs,

@@ -353,8 +353,20 @@ class PersistentQueryCache(QueryCache):
         os.makedirs(cache_dir, exist_ok=True)
         self.path = os.path.join(cache_dir, "oracle_cache.sqlite")
         self._conn = None
+        # check_same_thread=False: a long-lived holder (the API
+        # Workspace, and the HTTP service on top of it) opens the cache
+        # on its constructing thread but stores/looks up from whichever
+        # thread holds its lock.  Callers already serialize all cache
+        # access (the workspace lock; the CLI is single-threaded), and
+        # sqlite connections are safe to move between threads as long
+        # as uses never overlap -- without this flag the first
+        # cross-thread store raises ProgrammingError, which _guard_db
+        # would swallow into a silent memory-only downgrade.
+        connect = lambda target: sqlite3.connect(  # noqa: E731
+            target, isolation_level=None, check_same_thread=False
+        )
         try:
-            self._conn = sqlite3.connect(self.path, isolation_level=None)
+            self._conn = connect(self.path)
             self._open_pragmas()
             self._conn.executescript(self._SCHEMA)
         except sqlite3.DatabaseError:
@@ -369,13 +381,13 @@ class PersistentQueryCache(QueryCache):
                         os.remove(self.path + suffix)
                     except FileNotFoundError:
                         pass
-                self._conn = sqlite3.connect(self.path, isolation_level=None)
+                self._conn = connect(self.path)
                 self._open_pragmas()
                 self._conn.executescript(self._SCHEMA)
             except (sqlite3.Error, OSError):  # pragma: no cover - disk gone
                 self._db_broken = True
         if self._conn is None:  # pragma: no cover - connect itself failed
-            self._conn = sqlite3.connect(":memory:", isolation_level=None)
+            self._conn = connect(":memory:")
         if not self._db_broken:
             # The version handshake needs the write lock; a concurrent
             # writer holding its batched transaction past busy_timeout
@@ -1348,6 +1360,7 @@ class AnalysisPipeline:
         strategy=None,
         cache: Optional[QueryCache] = None,
         max_workers: Optional[int] = None,
+        progress=None,
     ):
         self.level = level
         self.use_prefilter = use_prefilter
@@ -1355,6 +1368,11 @@ class AnalysisPipeline:
         self.planner = QueryPlanner()
         self.strategy = resolve_strategy(strategy, max_workers)
         self.cache = cache if cache is not None else QueryCache()
+        # Progress callback (see repro.events): coarse per-batch
+        # narration -- start (planned queries, cache hits), solved (the
+        # strategy fan-out's size), done (pairs found).  Mutable so a
+        # long-lived pipeline can be observed per call.
+        self.progress = progress
 
     def analyze(self, program: ast.Program):
         return self.analyze_many([program])[0]
@@ -1376,6 +1394,7 @@ class AnalysisPipeline:
         honest.
         """
         from repro.analysis.oracle import AnalysisReport, _merge_witnesses
+        from repro.events import emit
 
         start = time.perf_counter()
         plans = []
@@ -1405,6 +1424,15 @@ class AnalysisPipeline:
             outcomes_by_program.append(outcomes)
             lookup_counts.append((hits, misses))
 
+        emit(
+            self.progress,
+            "analyze.start",
+            level=self.level.name,
+            programs=len(programs),
+            queries=sum(h + m for h, m in lookup_counts),
+            cache_hits=sum(h for h, _ in lookup_counts),
+            cache_misses=sum(m for _, m in lookup_counts),
+        )
         sat_queries = [0] * len(plans)
         solver_stats: List[Dict[str, int]] = [{} for _ in plans]
         if pending:
@@ -1430,6 +1458,12 @@ class AnalysisPipeline:
                     | {s.summary_b.name for _, s in group},
                     tables=frozenset().union(*(s.tables for _, s in group)),
                 )
+            emit(
+                self.progress,
+                "analyze.solved",
+                unique_queries=len(unique),
+                strategy=self.strategy.name,
+            )
 
         elapsed = time.perf_counter() - start
         reports = []
@@ -1471,6 +1505,13 @@ class AnalysisPipeline:
                     solver_stats=stats,
                 )
             )
+        emit(
+            self.progress,
+            "analyze.done",
+            level=self.level.name,
+            pairs=sum(len(r.pairs) for r in reports),
+            elapsed_seconds=elapsed,
+        )
         return reports
 
     def close(self) -> None:

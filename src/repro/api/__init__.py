@@ -1,0 +1,91 @@
+"""``repro.api``: the versioned façade every caller goes through.
+
+One :class:`Workspace` (corpus + cache + execution strategy) answers
+three operations -- **analyze**, **repair**, **bench** -- over frozen,
+versioned request/response dataclasses with ``to_json``/``from_json``
+(see :mod:`repro.api.types`; wire shapes are pinned by the golden
+documents under ``schemas/``).  Errors are :class:`~repro.errors.
+ReproError` subclasses with stable machine-readable codes
+(:mod:`repro.api.errors`); long operations narrate themselves through
+:class:`~repro.api.events.ProgressEvent` callbacks.
+
+The package shortcuts (:func:`repro.detect_anomalies`,
+:func:`repro.repair`), the :mod:`repro.exp` drivers, the CLI, and the
+HTTP service (:mod:`repro.service`) are all thin wrappers over this
+module::
+
+    from repro.api import Workspace, AnalyzeRequest, RepairRequest
+
+    with Workspace(strategy="auto", cache_dir=".cache") as ws:
+        verdict = ws.analyze(AnalyzeRequest(benchmark="Courseware"))
+        fix = ws.repair(RepairRequest(benchmark="Courseware"))
+        print(fix.repaired_program)
+        payload = fix.to_json()          # versioned, schema-validated
+"""
+
+from repro.api.errors import (
+    ApiError,
+    InvalidRequestError,
+    JobNotFoundError,
+    SchemaVersionError,
+    UnknownBenchmarkError,
+    error_payload,
+    http_status_of,
+)
+from repro.api.events import ProgressCallback, ProgressEvent, emit
+from repro.api.schema import all_schemas, check_schemas, dump_schemas, validate
+from repro.api.types import (
+    LEVELS,
+    SCHEMA_VERSION,
+    SEARCHES,
+    AnalyzeRequest,
+    AnalyzeResult,
+    BenchRequest,
+    BenchResult,
+    BenchRow,
+    OutcomeData,
+    PairData,
+    RepairRequest,
+    RepairResult,
+    decode_request,
+)
+from repro.api.workspace import (
+    DEFAULT_STRATEGY,
+    STRATEGIES,
+    Workspace,
+    requested_strategy,
+)
+
+__all__ = [
+    "Workspace",
+    "DEFAULT_STRATEGY",
+    "STRATEGIES",
+    "requested_strategy",
+    "SCHEMA_VERSION",
+    "LEVELS",
+    "SEARCHES",
+    "AnalyzeRequest",
+    "AnalyzeResult",
+    "RepairRequest",
+    "RepairResult",
+    "BenchRequest",
+    "BenchResult",
+    "BenchRow",
+    "PairData",
+    "OutcomeData",
+    "decode_request",
+    "ApiError",
+    "InvalidRequestError",
+    "SchemaVersionError",
+    "UnknownBenchmarkError",
+    "JobNotFoundError",
+    "error_payload",
+    "http_status_of",
+    "ProgressEvent",
+    "ProgressCallback",
+    "emit",
+    "all_schemas",
+    "dump_schemas",
+    "check_schemas",
+    "validate",
+]

@@ -1,0 +1,71 @@
+"""Façade-level errors: request decoding and service faults.
+
+These extend the library hierarchy (:mod:`repro.errors`) with the
+categories that only exist at the API boundary -- a malformed request
+envelope, an unknown benchmark name, an unsupported schema version, a
+job id that never existed.  Like every :class:`~repro.errors.ReproError`
+they carry a stable machine-readable ``code``; additionally each class
+maps to the HTTP status the service answers with (``http_status``), so
+:mod:`repro.service` never invents status codes ad hoc.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ApiError(ReproError):
+    """Base class for errors raised at the façade boundary."""
+
+    code = "api-error"
+    http_status = 400
+
+
+class InvalidRequestError(ApiError):
+    """The request envelope is malformed: missing/extra fields, a field
+    of the wrong type, or a value outside its enum."""
+
+    code = "invalid-request"
+
+
+class SchemaVersionError(InvalidRequestError):
+    """The request names a schema version this server does not speak."""
+
+    code = "unsupported-version"
+
+
+class UnknownBenchmarkError(InvalidRequestError):
+    """The request names a corpus benchmark that does not exist."""
+
+    code = "unknown-benchmark"
+
+
+class JobNotFoundError(ApiError):
+    """``GET /v1/jobs/<id>`` for an id that was never issued."""
+
+    code = "job-not-found"
+    http_status = 404
+
+
+def http_status_of(exc: BaseException) -> int:
+    """The HTTP status an error serializes under: ``ApiError`` subclasses
+    declare theirs, any other library error is the client's fault (400),
+    anything else is ours (500)."""
+    if isinstance(exc, ApiError):
+        return exc.http_status
+    if isinstance(exc, ReproError):
+        return 400
+    return 500
+
+
+def error_payload(exc: BaseException) -> dict:
+    """The wire form of any exception (``schemas/error.v1.json``);
+    non-library errors are masked behind a generic ``internal-error``."""
+    if isinstance(exc, ReproError):
+        return exc.to_payload()
+    return {
+        "error": {
+            "code": "internal-error",
+            "message": f"{type(exc).__name__}: {exc}",
+        }
+    }

@@ -1,0 +1,12 @@
+"""Re-export of :mod:`repro.events` under the façade's namespace.
+
+The event types live below the façade (:mod:`repro.events`) so the
+low-level layers (:mod:`repro.analysis`, :mod:`repro.repair`) can emit
+them without importing ``repro.api`` -- the documented layering puts
+the façade above those layers, and this shim keeps
+``from repro.api.events import ProgressEvent`` as the public spelling.
+"""
+
+from repro.events import Detail, ProgressCallback, ProgressEvent, emit
+
+__all__ = ["Detail", "ProgressCallback", "ProgressEvent", "emit"]

@@ -1,0 +1,378 @@
+"""Versioned JSON schemas for every wire type, plus a tiny validator.
+
+The documents returned by :func:`all_schemas` are the contract of the
+``/v1`` HTTP surface.  They are dumped to the committed ``schemas/``
+directory (``repro schemas --out schemas``) and CI regenerates and
+diffs them (``repro schemas --check``): any change to a wire shape
+either bumps :data:`~repro.api.types.SCHEMA_VERSION` (producing new
+``*.v2.json`` files next to the frozen v1 ones) or is a build failure.
+That is the whole drift gate -- no schema review by eyeball.
+
+The validator implements the subset of JSON Schema the documents use
+(``type``, ``properties``, ``required``, ``additionalProperties``,
+``items``, ``enum``, nullable via type lists) so the test suite can
+validate live service responses without a third-party dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.api.types import LEVELS, SCHEMA_VERSION, SEARCHES
+
+# ---------------------------------------------------------------------------
+# Schema documents
+# ---------------------------------------------------------------------------
+
+
+def _envelope(kind: str, extra_props: dict, required: List[str]) -> dict:
+    """The shared request/response envelope: pinned version + kind."""
+    props = {
+        "version": {"enum": [SCHEMA_VERSION]},
+        "kind": {"enum": [kind]},
+    }
+    props.update(extra_props)
+    return {
+        "type": "object",
+        "properties": props,
+        "required": ["version", "kind"] + required,
+        "additionalProperties": False,
+    }
+
+
+_STR = {"type": "string"}
+_OPT_STR = {"type": ["string", "null"]}
+_INT = {"type": "integer"}
+_NUM = {"type": "number"}
+_BOOL = {"type": "boolean"}
+_STR_LIST = {"type": "array", "items": _STR}
+_LEVEL = {"enum": list(LEVELS)}
+_SEARCH = {"enum": list(SEARCHES)}
+
+#: Plan documents have their own internal version (RewritePlan JSON);
+#: the API schema treats them as opaque objects with a version+steps.
+_PLAN = {
+    "type": "object",
+    "properties": {
+        "version": _INT,
+        "steps": {"type": "array", "items": {"type": "object"}},
+    },
+    "required": ["version", "steps"],
+    "additionalProperties": False,
+}
+
+_PAIR = {
+    "type": "object",
+    "properties": {
+        "txn": _STR,
+        "c1": _STR,
+        "fields1": _STR_LIST,
+        "c2": _STR,
+        "fields2": _STR_LIST,
+        "interferers": _STR_LIST,
+        "patterns": _STR_LIST,
+    },
+    "required": ["txn", "c1", "fields1", "c2", "fields2"],
+    "additionalProperties": False,
+}
+
+_PAIR_LIST = {"type": "array", "items": _PAIR}
+
+_OUTCOME = {
+    "type": "object",
+    "properties": {"action": _STR, "pair": _PAIR},
+    "required": ["action", "pair"],
+    "additionalProperties": False,
+}
+
+_BENCH_ROW = {
+    "type": "object",
+    "properties": {
+        "name": _STR,
+        "txns": _INT,
+        "tables_before": _INT,
+        "tables_after": _INT,
+        "ec": _INT,
+        "at": _INT,
+        "cc": _INT,
+        "rr": _INT,
+        "time_s": _NUM,
+        "repair_seconds": _NUM,
+        "plan_steps": _INT,
+        "plan": _PLAN,
+    },
+    "required": ["name", "ec", "at", "cc", "rr", "plan_steps"],
+    "additionalProperties": False,
+}
+
+_COUNTERS = {"type": "object", "additionalProperties": _INT}
+
+_EVENT = {
+    "type": "object",
+    "properties": {"stage": _STR, "detail": {"type": "object"}},
+    "required": ["stage", "detail"],
+    "additionalProperties": False,
+}
+
+
+def all_schemas() -> Dict[str, dict]:
+    """``name -> schema document`` for the current protocol version.
+    Names map to files ``schemas/<name>.v<version>.json``."""
+    analyze_request = _envelope(
+        "analyze_request",
+        {
+            "source": _OPT_STR,
+            "benchmark": _OPT_STR,
+            "level": _LEVEL,
+            "use_prefilter": _BOOL,
+            "distinct_args": _BOOL,
+        },
+        [],
+    )
+    analyze_result = _envelope(
+        "analyze_result",
+        {
+            "level": _LEVEL,
+            "pairs": _PAIR_LIST,
+            "pairs_checked": _INT,
+            "sat_queries": _INT,
+            "cache_hits": _INT,
+            "cache_misses": _INT,
+            "strategy": _STR,
+            "elapsed_seconds": _NUM,
+        },
+        ["level", "pairs"],
+    )
+    repair_request = _envelope(
+        "repair_request",
+        {
+            "source": _OPT_STR,
+            "benchmark": _OPT_STR,
+            "level": _LEVEL,
+            "search": _SEARCH,
+            "use_prefilter": _BOOL,
+            "plan": _PLAN,
+        },
+        [],
+    )
+    repair_result = _envelope(
+        "repair_result",
+        {
+            "initial_pairs": _PAIR_LIST,
+            "residual_pairs": _PAIR_LIST,
+            "outcomes": {"type": "array", "items": _OUTCOME},
+            "plan": _PLAN,
+            "repaired_program": _STR,
+            "serializable_variant": _STR,
+            "tables_before": _INT,
+            "tables_after": _INT,
+            "search": _STR,
+            "strategy": _STR,
+            "elapsed_seconds": _NUM,
+        },
+        ["initial_pairs", "residual_pairs", "plan", "repaired_program"],
+    )
+    bench_request = _envelope(
+        "bench_request",
+        {"benchmarks": _STR_LIST, "search": _SEARCH},
+        [],
+    )
+    bench_result = _envelope(
+        "bench_result",
+        {
+            "rows": {"type": "array", "items": _BENCH_ROW},
+            "search": _STR,
+            "strategy": _STR,
+            "elapsed_seconds": _NUM,
+        },
+        ["rows"],
+    )
+    error = {
+        "type": "object",
+        "properties": {
+            "error": {
+                "type": "object",
+                "properties": {"code": _STR, "message": _STR},
+                "required": ["code", "message"],
+                "additionalProperties": False,
+            }
+        },
+        "required": ["error"],
+        "additionalProperties": False,
+    }
+    health = {
+        "type": "object",
+        "properties": {
+            "status": {"enum": ["ok"]},
+            "version": _STR,
+            "protocol": {"enum": [SCHEMA_VERSION]},
+            "strategy": _STR,
+        },
+        "required": ["status", "version", "protocol"],
+        "additionalProperties": False,
+    }
+    stats = {
+        "type": "object",
+        "properties": {
+            "version": _STR,
+            "strategy": _STR,
+            "uptime_seconds": _NUM,
+            "requests": _COUNTERS,
+            "cache": {
+                "type": ["object", "null"],
+                "properties": {
+                    "hits": _INT,
+                    "misses": _INT,
+                    "hit_rate": _NUM,
+                    "persistent_hits": _INT,
+                    "entries": _INT,
+                },
+                "required": ["hits", "misses", "hit_rate"],
+                "additionalProperties": False,
+            },
+            "sessions": _COUNTERS,
+            "jobs": _COUNTERS,
+        },
+        "required": ["version", "strategy", "requests"],
+        "additionalProperties": False,
+    }
+    job = {
+        "type": "object",
+        "properties": {
+            "id": _STR,
+            "kind": {"enum": ["analyze", "repair", "bench"]},
+            "status": {"enum": ["queued", "running", "done", "failed"]},
+            "created_at": _NUM,
+            "started_at": {"type": ["number", "null"]},
+            "finished_at": {"type": ["number", "null"]},
+            "events": {"type": "array", "items": _EVENT},
+            "result": {"type": ["object", "null"]},
+            "error": {"type": ["object", "null"]},
+        },
+        "required": ["id", "kind", "status", "events"],
+        "additionalProperties": False,
+    }
+    return {
+        "analyze_request": analyze_request,
+        "analyze_result": analyze_result,
+        "repair_request": repair_request,
+        "repair_result": repair_result,
+        "bench_request": bench_request,
+        "bench_result": bench_result,
+        "error": error,
+        "health": health,
+        "stats": stats,
+        "job": job,
+    }
+
+
+def schema_filename(name: str, version: int = SCHEMA_VERSION) -> str:
+    return f"{name}.v{version}.json"
+
+
+def dump_schemas(out_dir: str) -> List[str]:
+    """Write every schema document under ``out_dir``; returns the file
+    names written.  Documents are serialized with sorted keys so the
+    golden diff is stable."""
+    import os
+
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    for name, doc in sorted(all_schemas().items()):
+        filename = schema_filename(name)
+        with open(os.path.join(out_dir, filename), "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        written.append(filename)
+    return written
+
+
+def check_schemas(out_dir: str) -> List[str]:
+    """Compare the committed golden files against the live documents;
+    returns a list of human-readable drift descriptions (empty = clean)."""
+    import os
+
+    problems = []
+    for name, doc in sorted(all_schemas().items()):
+        path = os.path.join(out_dir, schema_filename(name))
+        if not os.path.exists(path):
+            problems.append(f"{schema_filename(name)}: missing (run `repro schemas --out {out_dir}`)")
+            continue
+        with open(path) as fh:
+            try:
+                committed = json.load(fh)
+            except json.JSONDecodeError as exc:
+                problems.append(f"{schema_filename(name)}: unreadable ({exc})")
+                continue
+        if committed != doc:
+            problems.append(
+                f"{schema_filename(name)}: drift -- the live schema differs from "
+                "the committed golden; bump SCHEMA_VERSION or fix the change"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Mini validator
+# ---------------------------------------------------------------------------
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: object, name: str) -> bool:
+    expected = _TYPES[name]
+    if name in ("integer", "number") and isinstance(value, bool):
+        return False
+    return isinstance(value, expected)
+
+
+def iter_violations(value: object, schema: dict, path: str = "$") -> Iterator[str]:
+    """Yield every violation of ``schema`` by ``value`` (subset validator
+    -- see the module docstring for the supported keywords)."""
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            yield f"{path}: {value!r} not in enum {schema['enum']}"
+        return
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(value, n) for n in names):
+            yield (
+                f"{path}: expected {'/'.join(names)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for req in schema.get("required", []):
+            if req not in value:
+                yield f"{path}: missing required property {req!r}"
+        additional = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            if key in props:
+                yield from iter_violations(sub, props[key], f"{path}.{key}")
+            elif additional is False:
+                yield f"{path}: unexpected property {key!r}"
+            elif isinstance(additional, dict):
+                yield from iter_violations(sub, additional, f"{path}.{key}")
+    elif isinstance(value, list):
+        items = schema.get("items")
+        if items is not None:
+            for i, sub in enumerate(value):
+                yield from iter_violations(sub, items, f"{path}[{i}]")
+
+
+def validate(value: object, schema: dict) -> Tuple[bool, Optional[str]]:
+    """(ok, first violation) -- convenience over :func:`iter_violations`."""
+    for violation in iter_violations(value, schema):
+        return False, violation
+    return True, None

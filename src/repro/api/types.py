@@ -1,0 +1,594 @@
+"""The façade's wire types: frozen, versioned request/response objects.
+
+Every public operation of :class:`~repro.api.workspace.Workspace` is a
+pure function from a frozen request dataclass to a frozen result
+dataclass.  Each type serializes through ``to_json``/``from_json`` under
+an explicit envelope -- ``{"version": 1, "kind": "analyze_request", ...}``
+-- and the JSON shapes are pinned by the golden documents under
+``schemas/`` (see :mod:`repro.api.schema`): changing a shape without
+bumping :data:`SCHEMA_VERSION` fails the drift gate in CI.
+
+Decoding is strict: a missing required field, an unknown field, a value
+of the wrong type, or a value outside its enum raises
+:class:`~repro.api.errors.InvalidRequestError`; a different ``version``
+raises :class:`~repro.api.errors.SchemaVersionError`.  Strictness is the
+point -- the service must never half-understand a request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Type
+
+from repro.api.errors import InvalidRequestError, SchemaVersionError
+
+#: The one protocol version this build speaks (the ``v1`` in ``/v1/...``).
+SCHEMA_VERSION = 1
+
+LEVELS = ("EC", "CC", "RR", "SC")
+SEARCHES = ("greedy", "beam", "random")
+
+
+# ---------------------------------------------------------------------------
+# Envelope + field decoding helpers
+# ---------------------------------------------------------------------------
+
+
+def _check_envelope(data: object, kind: str) -> Dict[str, object]:
+    if not isinstance(data, dict):
+        raise InvalidRequestError(
+            f"expected a JSON object for {kind}, got {type(data).__name__}"
+        )
+    version = data.get("version")
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"unsupported schema version {version!r} "
+            f"(this server speaks version {SCHEMA_VERSION})"
+        )
+    got_kind = data.get("kind")
+    if got_kind != kind:
+        raise InvalidRequestError(f"expected kind {kind!r}, got {got_kind!r}")
+    return {k: v for k, v in data.items() if k not in ("version", "kind")}
+
+
+def _no_extras(kind: str, body: Dict[str, object], known: Tuple[str, ...]) -> None:
+    extras = sorted(set(body) - set(known))
+    if extras:
+        raise InvalidRequestError(f"unknown field(s) for {kind}: {', '.join(extras)}")
+
+
+def _field(kind, body, name, types, default, required=False, enum=None):
+    if name not in body:
+        if required:
+            raise InvalidRequestError(f"{kind} is missing required field {name!r}")
+        return default
+    value = body[name]
+    # JSON true/false must not satisfy integer/number fields (bool is an
+    # int subclass in Python); the shipped validator agrees (_type_ok).
+    if not isinstance(value, types) or (
+        isinstance(value, bool) and bool not in types
+    ):
+        raise InvalidRequestError(
+            f"{kind}.{name} must be {'/'.join(t.__name__ for t in types)}, "
+            f"got {type(value).__name__}"
+        )
+    if enum is not None and value not in enum:
+        raise InvalidRequestError(
+            f"{kind}.{name} must be one of {', '.join(enum)}; got {value!r}"
+        )
+    return value
+
+
+def _str_tuple(kind: str, body: Dict[str, object], name: str) -> Tuple[str, ...]:
+    value = body.get(name, [])
+    if not isinstance(value, list) or any(not isinstance(v, str) for v in value):
+        raise InvalidRequestError(f"{kind}.{name} must be a list of strings")
+    return tuple(value)
+
+
+# ---------------------------------------------------------------------------
+# Shared payload fragments
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PairData:
+    """One anomalous access pair (the paper's chi tuple), wire form.
+
+    Field sets are sorted tuples so the JSON is canonical -- two runs
+    that find the same anomalies serialize byte-identically.
+    """
+
+    txn: str
+    c1: str
+    fields1: Tuple[str, ...]
+    c2: str
+    fields2: Tuple[str, ...]
+    interferers: Tuple[str, ...]
+    patterns: Tuple[str, ...]
+
+    @classmethod
+    def from_pair(cls, pair) -> "PairData":
+        """From an :class:`~repro.analysis.oracle.AccessPair`."""
+        return cls(
+            txn=pair.txn,
+            c1=pair.c1,
+            fields1=tuple(sorted(pair.fields1)),
+            c2=pair.c2,
+            fields2=tuple(sorted(pair.fields2)),
+            interferers=tuple(pair.interferers),
+            patterns=tuple(pair.patterns),
+        )
+
+    def describe(self) -> str:
+        f1 = "{" + ", ".join(self.fields1) + "}"
+        f2 = "{" + ", ".join(self.fields2) + "}"
+        return f"{self.txn}: ({self.c1}, {f1}, {self.c2}, {f2})"
+
+    def to_json(self) -> dict:
+        return {
+            "txn": self.txn,
+            "c1": self.c1,
+            "fields1": list(self.fields1),
+            "c2": self.c2,
+            "fields2": list(self.fields2),
+            "interferers": list(self.interferers),
+            "patterns": list(self.patterns),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PairData":
+        kind = "pair"
+        if not isinstance(data, dict):
+            raise InvalidRequestError(f"{kind} must be a JSON object")
+        _no_extras(kind, data, ("txn", "c1", "fields1", "c2", "fields2",
+                                "interferers", "patterns"))
+        for name in ("fields1", "fields2"):
+            if name not in data:
+                raise InvalidRequestError(
+                    f"{kind} is missing required field {name!r}"
+                )
+        return cls(
+            txn=_field(kind, data, "txn", (str,), "", required=True),
+            c1=_field(kind, data, "c1", (str,), "", required=True),
+            fields1=_str_tuple(kind, data, "fields1"),
+            c2=_field(kind, data, "c2", (str,), "", required=True),
+            fields2=_str_tuple(kind, data, "fields2"),
+            interferers=_str_tuple(kind, data, "interferers"),
+            patterns=_str_tuple(kind, data, "patterns"),
+        )
+
+
+@dataclass(frozen=True)
+class OutcomeData:
+    """What the search did to one anomalous pair."""
+
+    action: str
+    pair: PairData
+
+    def to_json(self) -> dict:
+        return {"action": self.action, "pair": self.pair.to_json()}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "OutcomeData":
+        if not isinstance(data, dict):
+            raise InvalidRequestError("outcome must be a JSON object")
+        _no_extras("outcome", data, ("action", "pair"))
+        return cls(
+            action=_field("outcome", data, "action", (str,), "", required=True),
+            pair=PairData.from_json(
+                _field("outcome", data, "pair", (dict,), {}, required=True)
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# analyze
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnalyzeRequest:
+    """Run the anomaly oracle on a program.
+
+    Exactly one of ``source`` (DSL text) or ``benchmark`` (a corpus name
+    such as ``"Courseware"``) selects the program.
+    """
+
+    source: Optional[str] = None
+    benchmark: Optional[str] = None
+    level: str = "EC"
+    use_prefilter: bool = True
+    distinct_args: bool = True
+
+    kind = "analyze_request"
+
+    def to_json(self) -> dict:
+        out = {"version": SCHEMA_VERSION, "kind": self.kind, "level": self.level,
+               "use_prefilter": self.use_prefilter,
+               "distinct_args": self.distinct_args}
+        if self.source is not None:
+            out["source"] = self.source
+        if self.benchmark is not None:
+            out["benchmark"] = self.benchmark
+        return out
+
+    @classmethod
+    def from_json(cls, data: object) -> "AnalyzeRequest":
+        body = _check_envelope(data, cls.kind)
+        _no_extras(cls.kind, body, ("source", "benchmark", "level",
+                                    "use_prefilter", "distinct_args"))
+        return cls(
+            source=_field(cls.kind, body, "source", (str,), None),
+            benchmark=_field(cls.kind, body, "benchmark", (str,), None),
+            level=_field(cls.kind, body, "level", (str,), "EC", enum=LEVELS),
+            use_prefilter=_field(cls.kind, body, "use_prefilter", (bool,), True),
+            distinct_args=_field(cls.kind, body, "distinct_args", (bool,), True),
+        )
+
+
+@dataclass(frozen=True)
+class AnalyzeResult:
+    """The oracle's verdict plus execution bookkeeping."""
+
+    level: str
+    pairs: Tuple[PairData, ...]
+    pairs_checked: int
+    sat_queries: int
+    cache_hits: int
+    cache_misses: int
+    strategy: str
+    elapsed_seconds: float
+
+    kind = "analyze_result"
+
+    @classmethod
+    def from_report(cls, report) -> "AnalyzeResult":
+        """From an :class:`~repro.analysis.oracle.AnalysisReport`."""
+        return cls(
+            level=report.level,
+            pairs=tuple(PairData.from_pair(p) for p in report.pairs),
+            pairs_checked=report.pairs_checked,
+            sat_queries=report.sat_queries,
+            cache_hits=report.cache_hits,
+            cache_misses=report.cache_misses,
+            strategy=report.strategy,
+            elapsed_seconds=report.elapsed_seconds,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "level": self.level,
+            "pairs": [p.to_json() for p in self.pairs],
+            "pairs_checked": self.pairs_checked,
+            "sat_queries": self.sat_queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "strategy": self.strategy,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "AnalyzeResult":
+        body = _check_envelope(data, cls.kind)
+        _no_extras(cls.kind, body, ("level", "pairs", "pairs_checked",
+                                    "sat_queries", "cache_hits",
+                                    "cache_misses", "strategy",
+                                    "elapsed_seconds"))
+        pairs = _field(cls.kind, body, "pairs", (list,), [], required=True)
+        return cls(
+            level=_field(cls.kind, body, "level", (str,), "", required=True),
+            pairs=tuple(PairData.from_json(p) for p in pairs),
+            pairs_checked=_field(cls.kind, body, "pairs_checked", (int,), 0),
+            sat_queries=_field(cls.kind, body, "sat_queries", (int,), 0),
+            cache_hits=_field(cls.kind, body, "cache_hits", (int,), 0),
+            cache_misses=_field(cls.kind, body, "cache_misses", (int,), 0),
+            strategy=_field(cls.kind, body, "strategy", (str,), ""),
+            elapsed_seconds=_field(cls.kind, body, "elapsed_seconds",
+                                   (int, float), 0.0),
+        )
+
+
+# ---------------------------------------------------------------------------
+# repair
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RepairRequest:
+    """Repair a program (or replay a saved plan on it).
+
+    ``plan`` -- a serialized :class:`~repro.repair.plan.RewritePlan`
+    document -- switches the call to replay mode: the plan is applied
+    verbatim and no oracle work runs.
+    """
+
+    source: Optional[str] = None
+    benchmark: Optional[str] = None
+    level: str = "EC"
+    search: str = "greedy"
+    use_prefilter: bool = True
+    plan: Optional[dict] = None
+
+    kind = "repair_request"
+
+    def to_json(self) -> dict:
+        out = {"version": SCHEMA_VERSION, "kind": self.kind, "level": self.level,
+               "search": self.search, "use_prefilter": self.use_prefilter}
+        if self.source is not None:
+            out["source"] = self.source
+        if self.benchmark is not None:
+            out["benchmark"] = self.benchmark
+        if self.plan is not None:
+            out["plan"] = self.plan
+        return out
+
+    @classmethod
+    def from_json(cls, data: object) -> "RepairRequest":
+        body = _check_envelope(data, cls.kind)
+        _no_extras(cls.kind, body, ("source", "benchmark", "level", "search",
+                                    "use_prefilter", "plan"))
+        return cls(
+            source=_field(cls.kind, body, "source", (str,), None),
+            benchmark=_field(cls.kind, body, "benchmark", (str,), None),
+            level=_field(cls.kind, body, "level", (str,), "EC", enum=LEVELS),
+            search=_field(cls.kind, body, "search", (str,), "greedy",
+                          enum=SEARCHES),
+            use_prefilter=_field(cls.kind, body, "use_prefilter", (bool,), True),
+            plan=_field(cls.kind, body, "plan", (dict,), None),
+        )
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """A repair's full verdict.
+
+    ``repaired_program`` and ``serializable_variant`` are printed DSL
+    text (the printer is deterministic, so equality is byte equality);
+    ``plan`` is the versioned plan document replayable via
+    :class:`~repro.repair.plan.RewritePlan` or a ``RepairRequest`` with
+    ``plan`` set.
+    """
+
+    initial_pairs: Tuple[PairData, ...]
+    residual_pairs: Tuple[PairData, ...]
+    outcomes: Tuple[OutcomeData, ...]
+    plan: dict
+    repaired_program: str
+    serializable_variant: str
+    tables_before: int
+    tables_after: int
+    search: str
+    strategy: str
+    elapsed_seconds: float
+
+    kind = "repair_result"
+
+    @classmethod
+    def from_report(cls, report, strategy: str = "serial") -> "RepairResult":
+        """From a :class:`~repro.repair.engine.RepairReport`;
+        ``strategy`` names the oracle execution strategy used."""
+        from repro.lang import print_program
+
+        return cls(
+            initial_pairs=tuple(
+                PairData.from_pair(p) for p in report.initial_pairs
+            ),
+            residual_pairs=tuple(
+                PairData.from_pair(p) for p in report.residual_pairs
+            ),
+            outcomes=tuple(
+                OutcomeData(action=o.action, pair=PairData.from_pair(o.pair))
+                for o in report.outcomes
+            ),
+            plan=report.plan.to_json(),
+            repaired_program=print_program(report.repaired_program),
+            serializable_variant=print_program(report.serializable_variant()),
+            tables_before=len(report.original_program.schemas),
+            tables_after=len(report.repaired_program.schemas),
+            search=report.strategy,
+            strategy=strategy,
+            elapsed_seconds=report.elapsed_seconds,
+        )
+
+    @property
+    def repaired_count(self) -> int:
+        return len(self.initial_pairs) - len(self.residual_pairs)
+
+    def to_json(self) -> dict:
+        return {
+            "version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "initial_pairs": [p.to_json() for p in self.initial_pairs],
+            "residual_pairs": [p.to_json() for p in self.residual_pairs],
+            "outcomes": [o.to_json() for o in self.outcomes],
+            "plan": self.plan,
+            "repaired_program": self.repaired_program,
+            "serializable_variant": self.serializable_variant,
+            "tables_before": self.tables_before,
+            "tables_after": self.tables_after,
+            "search": self.search,
+            "strategy": self.strategy,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "RepairResult":
+        body = _check_envelope(data, cls.kind)
+        _no_extras(cls.kind, body, ("initial_pairs", "residual_pairs",
+                                    "outcomes", "plan", "repaired_program",
+                                    "serializable_variant", "tables_before",
+                                    "tables_after", "search", "strategy",
+                                    "elapsed_seconds"))
+
+        def pair_list(name):
+            value = _field(cls.kind, body, name, (list,), [], required=True)
+            return tuple(PairData.from_json(p) for p in value)
+
+        outcomes = _field(cls.kind, body, "outcomes", (list,), [])
+        return cls(
+            initial_pairs=pair_list("initial_pairs"),
+            residual_pairs=pair_list("residual_pairs"),
+            outcomes=tuple(OutcomeData.from_json(o) for o in outcomes),
+            plan=_field(cls.kind, body, "plan", (dict,), {}, required=True),
+            repaired_program=_field(cls.kind, body, "repaired_program", (str,),
+                                    "", required=True),
+            serializable_variant=_field(cls.kind, body, "serializable_variant",
+                                        (str,), ""),
+            tables_before=_field(cls.kind, body, "tables_before", (int,), 0),
+            tables_after=_field(cls.kind, body, "tables_after", (int,), 0),
+            search=_field(cls.kind, body, "search", (str,), ""),
+            strategy=_field(cls.kind, body, "strategy", (str,), ""),
+            elapsed_seconds=_field(cls.kind, body, "elapsed_seconds",
+                                   (int, float), 0.0),
+        )
+
+
+# ---------------------------------------------------------------------------
+# bench
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchRequest:
+    """Measure the Table-1 workload (repair + CC/RR sweeps) per benchmark.
+
+    ``benchmarks`` is a list of corpus names; empty means the full corpus.
+    """
+
+    benchmarks: Tuple[str, ...] = ()
+    search: str = "greedy"
+
+    kind = "bench_request"
+
+    def to_json(self) -> dict:
+        return {"version": SCHEMA_VERSION, "kind": self.kind,
+                "benchmarks": list(self.benchmarks), "search": self.search}
+
+    @classmethod
+    def from_json(cls, data: object) -> "BenchRequest":
+        body = _check_envelope(data, cls.kind)
+        _no_extras(cls.kind, body, ("benchmarks", "search"))
+        return cls(
+            benchmarks=_str_tuple(cls.kind, body, "benchmarks"),
+            search=_field(cls.kind, body, "search", (str,), "greedy",
+                          enum=SEARCHES),
+        )
+
+
+@dataclass(frozen=True)
+class BenchRow:
+    """One benchmark's Table-1 measurements."""
+
+    name: str
+    txns: int
+    tables_before: int
+    tables_after: int
+    ec: int
+    at: int
+    cc: int
+    rr: int
+    time_s: float
+    repair_seconds: float
+    plan_steps: int
+    plan: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "txns": self.txns,
+            "tables_before": self.tables_before,
+            "tables_after": self.tables_after,
+            "ec": self.ec,
+            "at": self.at,
+            "cc": self.cc,
+            "rr": self.rr,
+            "time_s": self.time_s,
+            "repair_seconds": self.repair_seconds,
+            "plan_steps": self.plan_steps,
+            "plan": self.plan,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "BenchRow":
+        kind = "bench_row"
+        if not isinstance(data, dict):
+            raise InvalidRequestError(f"{kind} must be a JSON object")
+        _no_extras(kind, data, ("name", "txns", "tables_before",
+                                "tables_after", "ec", "at", "cc", "rr",
+                                "time_s", "repair_seconds", "plan_steps",
+                                "plan"))
+        return cls(
+            name=_field(kind, data, "name", (str,), "", required=True),
+            txns=_field(kind, data, "txns", (int,), 0),
+            tables_before=_field(kind, data, "tables_before", (int,), 0),
+            tables_after=_field(kind, data, "tables_after", (int,), 0),
+            ec=_field(kind, data, "ec", (int,), 0),
+            at=_field(kind, data, "at", (int,), 0),
+            cc=_field(kind, data, "cc", (int,), 0),
+            rr=_field(kind, data, "rr", (int,), 0),
+            time_s=_field(kind, data, "time_s", (int, float), 0.0),
+            repair_seconds=_field(kind, data, "repair_seconds",
+                                  (int, float), 0.0),
+            plan_steps=_field(kind, data, "plan_steps", (int,), 0),
+            plan=_field(kind, data, "plan", (dict,), {}),
+        )
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """A bench sweep's rows plus the execution configuration used."""
+
+    rows: Tuple[BenchRow, ...]
+    search: str
+    strategy: str
+    elapsed_seconds: float
+
+    kind = "bench_result"
+
+    def to_json(self) -> dict:
+        return {
+            "version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "rows": [r.to_json() for r in self.rows],
+            "search": self.search,
+            "strategy": self.strategy,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "BenchResult":
+        body = _check_envelope(data, cls.kind)
+        _no_extras(cls.kind, body, ("rows", "search", "strategy",
+                                    "elapsed_seconds"))
+        rows = _field(cls.kind, body, "rows", (list,), [], required=True)
+        return cls(
+            rows=tuple(BenchRow.from_json(r) for r in rows),
+            search=_field(cls.kind, body, "search", (str,), ""),
+            strategy=_field(cls.kind, body, "strategy", (str,), ""),
+            elapsed_seconds=_field(cls.kind, body, "elapsed_seconds",
+                                   (int, float), 0.0),
+        )
+
+
+#: kind -> request class, for envelope-dispatched decoders (the service's
+#: job endpoint accepts any request kind).
+REQUEST_KINDS: Dict[str, Type] = {
+    AnalyzeRequest.kind: AnalyzeRequest,
+    RepairRequest.kind: RepairRequest,
+    BenchRequest.kind: BenchRequest,
+}
+
+
+def decode_request(data: object):
+    """Decode any request envelope by its ``kind``."""
+    if not isinstance(data, dict):
+        raise InvalidRequestError("request body must be a JSON object")
+    kind = data.get("kind")
+    cls = REQUEST_KINDS.get(kind)
+    if cls is None:
+        known = ", ".join(sorted(REQUEST_KINDS))
+        raise InvalidRequestError(f"unknown request kind {kind!r} (known: {known})")
+    return cls.from_json(data)

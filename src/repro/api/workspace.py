@@ -1,0 +1,462 @@
+"""The one front door: a :class:`Workspace` owning corpus, cache, and
+execution strategy.
+
+Every supported way of invoking the system -- the ``repro`` package
+shortcuts (:func:`repro.detect_anomalies` / :func:`repro.repair`), the
+experiment drivers under :mod:`repro.exp`, the CLI, and the HTTP service
+-- is a thin wrapper over a workspace.  The workspace owns exactly the
+state worth sharing between calls:
+
+- one resolved oracle **execution strategy** (for the warm strategies
+  that means the long-lived :class:`~repro.analysis.oracle.OracleSession`
+  pools / shard workers survive across requests);
+- one **memo cache** (optionally a
+  :class:`~repro.analysis.pipeline.PersistentQueryCache` under
+  ``cache_dir``, shared by every analysis the workspace runs);
+- request counters and uptime for ``/v1/stats``.
+
+Two API tiers coexist deliberately:
+
+- the **object tier** -- :meth:`analyze_program` / :meth:`repair_program`
+  take and return library objects (:class:`~repro.lang.ast.Program`,
+  :class:`~repro.analysis.oracle.AnalysisReport`,
+  :class:`~repro.repair.engine.RepairReport`) for in-process callers;
+- the **wire tier** -- :meth:`analyze` / :meth:`repair` / :meth:`bench`
+  take and return the frozen, versioned dataclasses of
+  :mod:`repro.api.types`, which is what the service serializes.
+
+A workspace is thread-safe: calls serialize on an internal lock (the
+solver sessions and memo cache are single-threaded structures; the
+parallelism lives *inside* a strategy's worker processes, not across
+API callers).  Results are independent of the execution strategy by
+hard test gate, so any two workspaces agree on every verdict and plan.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.errors import InvalidRequestError, UnknownBenchmarkError
+from repro.api.events import ProgressCallback, emit
+from repro.api.types import (
+    AnalyzeRequest,
+    AnalyzeResult,
+    BenchRequest,
+    BenchResult,
+    BenchRow,
+    RepairRequest,
+    RepairResult,
+)
+from repro.analysis.consistency import EC, ConsistencyLevel, by_name
+
+#: Strategy names the façade accepts (``None`` means :data:`DEFAULT_STRATEGY`).
+STRATEGIES = (
+    "serial",
+    "cached",
+    "parallel",
+    "incremental",
+    "parallel-incremental",
+    "auto",
+)
+
+#: What a workspace runs when the caller does not choose: ``"auto"``
+#: picks the fastest strategy for the host and records its pick.
+DEFAULT_STRATEGY = "auto"
+
+
+def requested_strategy(
+    strategy: Optional[str],
+    cache_dir: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> Tuple[str, Optional[str]]:
+    """The CLI/default strategy contract, in one place.
+
+    Returns ``(effective_strategy, note)``.  The seed ``"serial"`` loop
+    has no cache and no pool, so ``--cache-dir``/``--workers`` silently
+    doing nothing under the *implicit* default would betray their
+    contract: an unset strategy upgrades to ``"auto"`` (with a note
+    saying so) whenever either flag is given.  An **explicit**
+    ``"serial"`` is always respected -- the flags are then genuinely
+    unused, the note says so, and the caller must not open a cache or a
+    pool on their behalf.
+    """
+    flags = [
+        flag
+        for flag, value in (("--cache-dir", cache_dir), ("--workers", workers))
+        if value
+    ]
+    if flags:
+        joined = "/".join(flags)
+        if strategy is None:
+            return "auto", (
+                f"note: {joined} needs a caching strategy; "
+                "using --strategy auto (pass --strategy to override)"
+            )
+        if strategy == "serial":
+            return "serial", (
+                "note: --strategy serial runs the uncached, single-"
+                f"threaded seed loop; {joined} ignored"
+            )
+    return strategy or "serial", None
+
+
+class Workspace:
+    """Shared execution context for analyze/repair/bench calls.
+
+    ``strategy`` is a name from :data:`STRATEGIES` or a strategy
+    *instance* (anything with ``run``/``close``); named strategies are
+    resolved once and owned by the workspace (torn down on
+    :meth:`close`), instances stay the caller's.  ``cache`` follows the
+    same ownership rule; without one, a caching strategy gets a fresh
+    memo cache -- persistent under ``cache_dir`` when given.
+
+    ``strategy="serial"`` selects the seed oracle loop: no pipeline, no
+    cache, no pool -- the reference configuration the differential tests
+    compare everything else against.
+    """
+
+    def __init__(
+        self,
+        strategy: object = DEFAULT_STRATEGY,
+        cache: Optional[object] = None,
+        cache_dir: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        search: object = "greedy",
+        use_prefilter: bool = True,
+        distinct_args: bool = True,
+    ):
+        from repro.analysis.pipeline import make_query_cache, resolve_strategy
+
+        if isinstance(strategy, str) and strategy not in STRATEGIES:
+            raise InvalidRequestError(
+                f"unknown strategy {strategy!r} "
+                f"(expected one of {', '.join(STRATEGIES)})"
+            )
+        self.search = search
+        self.use_prefilter = use_prefilter
+        self.distinct_args = distinct_args
+        self.max_workers = max_workers
+        self._serial = strategy == "serial"
+        self._owns_runner = isinstance(strategy, str) and not self._serial
+        self._owns_cache = False
+        if self._serial:
+            self._runner = None
+            self.cache = None
+        else:
+            self._runner = (
+                resolve_strategy(strategy, max_workers)
+                if self._owns_runner
+                else strategy
+            )
+            if cache is None:
+                try:
+                    cache = make_query_cache(cache_dir)
+                except BaseException:
+                    # A failed cache open (unwritable cache_dir) must not
+                    # orphan the worker pool the line above spawned.
+                    if self._owns_runner:
+                        self._runner.close()
+                    raise
+                self._owns_cache = True
+            self.cache = cache
+        self._lock = threading.RLock()
+        self._started = time.time()
+        self._requests: Dict[str, int] = {
+            "analyze": 0, "repair": 0, "bench": 0,
+        }
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def strategy_name(self) -> str:
+        """The resolved strategy's reported name (``"serial"`` for the
+        seed loop)."""
+        if self._runner is None:
+            return "serial"
+        return getattr(self._runner, "name", type(self._runner).__name__)
+
+    def close(self) -> None:
+        """Release owned resources (worker pools, the persistent cache).
+        Caller-provided strategy/cache instances are left running."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._owns_runner and self._runner is not None:
+                self._runner.close()
+            if self._owns_cache and self.cache is not None:
+                self.cache.close()
+
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- object tier -------------------------------------------------------
+
+    def analyze_program(
+        self,
+        program,
+        level: ConsistencyLevel = EC,
+        use_prefilter: Optional[bool] = None,
+        distinct_args: Optional[bool] = None,
+        on_progress: Optional[ProgressCallback] = None,
+    ):
+        """Run the anomaly oracle; returns an
+        :class:`~repro.analysis.oracle.AnalysisReport`."""
+        with self._lock:
+            self._requests["analyze"] += 1
+        return self._analyze(
+            program, level, use_prefilter, distinct_args, on_progress
+        )
+
+    def _analyze(
+        self,
+        program,
+        level: ConsistencyLevel = EC,
+        use_prefilter: Optional[bool] = None,
+        distinct_args: Optional[bool] = None,
+        on_progress: Optional[ProgressCallback] = None,
+    ):
+        """Uncounted core of :meth:`analyze_program` (bench rows go
+        through here so one bench request does not inflate the
+        analyze/repair counters in ``/v1/stats``)."""
+        from repro.analysis.oracle import AnomalyOracle
+
+        with self._lock:
+            oracle = AnomalyOracle(
+                level,
+                use_prefilter=self.use_prefilter
+                if use_prefilter is None
+                else use_prefilter,
+                distinct_args=self.distinct_args
+                if distinct_args is None
+                else distinct_args,
+                strategy="serial" if self._serial else self._runner,
+                cache=self.cache,
+                progress=on_progress,
+            )
+            return oracle.analyze(program)
+
+    def repair_program(
+        self,
+        program,
+        level: ConsistencyLevel = EC,
+        search: object = None,
+        use_prefilter: Optional[bool] = None,
+        on_progress: Optional[ProgressCallback] = None,
+        **search_options,
+    ):
+        """Run the full repair pipeline; returns a
+        :class:`~repro.repair.engine.RepairReport`."""
+        with self._lock:
+            self._requests["repair"] += 1
+        return self._repair(
+            program, level, search, use_prefilter, on_progress, **search_options
+        )
+
+    def _repair(
+        self,
+        program,
+        level: ConsistencyLevel = EC,
+        search: object = None,
+        use_prefilter: Optional[bool] = None,
+        on_progress: Optional[ProgressCallback] = None,
+        **search_options,
+    ):
+        """Uncounted core of :meth:`repair_program`."""
+        from repro.repair.engine import RepairEngine
+
+        with self._lock:
+            engine = RepairEngine(
+                level,
+                self.use_prefilter if use_prefilter is None else use_prefilter,
+                strategy="serial" if self._serial else self._runner,
+                cache=self.cache,
+                search=self.search if search is None else search,
+                max_workers=self.max_workers,
+                progress=on_progress,
+                **search_options,
+            )
+            # The engine borrowed the workspace's runner/cache; nothing
+            # to tear down here -- close() owns that.
+            return engine.repair(program)
+
+    # -- wire tier ---------------------------------------------------------
+
+    def analyze(
+        self,
+        request: AnalyzeRequest,
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> AnalyzeResult:
+        program, _ = self._resolve_program(
+            request.source, request.benchmark, request.kind
+        )
+        report = self.analyze_program(
+            program,
+            level=_level(request.level),
+            use_prefilter=request.use_prefilter,
+            distinct_args=request.distinct_args,
+            on_progress=on_progress,
+        )
+        return AnalyzeResult.from_report(report)
+
+    def repair(
+        self,
+        request: RepairRequest,
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> RepairResult:
+        program, _ = self._resolve_program(
+            request.source, request.benchmark, request.kind
+        )
+        if request.plan is not None:
+            from repro.repair.engine import replay_plan
+            from repro.repair.plan import RewritePlan
+
+            with self._lock:
+                self._requests["repair"] += 1
+                emit(on_progress, "search.start", mode="replay",
+                     steps=len(request.plan.get("steps", [])))
+                report = replay_plan(program, RewritePlan.from_json(request.plan))
+                emit(on_progress, "search.done", mode="replay",
+                     steps=len(report.plan))
+            return RepairResult.from_report(report, strategy="replay")
+        report = self.repair_program(
+            program,
+            level=_level(request.level),
+            search=request.search,
+            use_prefilter=request.use_prefilter,
+            on_progress=on_progress,
+        )
+        return RepairResult.from_report(report, strategy=self.strategy_name)
+
+    def bench(
+        self,
+        request: BenchRequest,
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> BenchResult:
+        """The Table-1 workload per benchmark: repair at EC plus the
+        CC/RR sweeps, all through this workspace's shared strategy.
+
+        Deliberately *not* one long critical section: each inner
+        repair/analyze call takes the workspace lock on its own, so
+        concurrent API callers (``/v1/stats``, a sync analyze) interleave
+        between rows of a minutes-long sweep instead of queueing behind
+        it."""
+        benches = self._resolve_benchmarks(request.benchmarks)
+        with self._lock:
+            self._requests["bench"] += 1
+        start = time.perf_counter()
+        rows: List[BenchRow] = []
+        from repro.analysis.consistency import CC, RR
+
+        for bench in benches:
+            row_start = time.perf_counter()
+            program = bench.program()
+            report = self._repair(
+                program, search=request.search, on_progress=on_progress
+            )
+            cc = self._analyze(program, CC, on_progress=on_progress)
+            rr = self._analyze(program, RR, on_progress=on_progress)
+            rows.append(
+                BenchRow(
+                    name=bench.name,
+                    txns=len(program.transactions),
+                    tables_before=len(program.schemas),
+                    tables_after=len(report.repaired_program.schemas),
+                    ec=len(report.initial_pairs),
+                    at=len(report.residual_pairs),
+                    cc=cc.count,
+                    rr=rr.count,
+                    time_s=time.perf_counter() - row_start,
+                    repair_seconds=report.elapsed_seconds,
+                    plan_steps=len(report.plan),
+                    plan=report.plan.to_json(),
+                )
+            )
+            emit(on_progress, "bench.row", benchmark=bench.name,
+                 ec=rows[-1].ec, at=rows[-1].at,
+                 plan_steps=rows[-1].plan_steps)
+        return BenchResult(
+            rows=tuple(rows),
+            search=request.search,
+            strategy=self.strategy_name,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Operational counters for ``/v1/stats``: cache hit rates,
+        warm-session/shard counters, request totals."""
+        from repro import __version__
+
+        with self._lock:
+            cache = self.cache
+            cache_stats = None
+            if cache is not None:
+                cache_stats = {
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "hit_rate": round(cache.hit_rate, 4),
+                    "persistent_hits": getattr(cache, "persistent_hits", 0),
+                    "entries": len(cache),
+                }
+            sessions: Dict[str, int] = {}
+            counters = getattr(self._runner, "counters", None)
+            if callable(counters):
+                sessions = dict(counters())
+            pool = getattr(self._runner, "pool", None)
+            if not sessions and pool is not None and hasattr(pool, "counters"):
+                sessions = dict(pool.counters())
+            return {
+                "version": __version__,
+                "strategy": self.strategy_name,
+                "uptime_seconds": round(time.time() - self._started, 3),
+                "requests": dict(self._requests),
+                "cache": cache_stats,
+                "sessions": sessions,
+            }
+
+    # -- helpers -----------------------------------------------------------
+
+    def _resolve_program(self, source, benchmark, kind):
+        """(program, label) from a request's source/benchmark fields."""
+        if (source is None) == (benchmark is None):
+            raise InvalidRequestError(
+                f"{kind} needs exactly one of 'source' or 'benchmark'"
+            )
+        if benchmark is not None:
+            bench = self._resolve_benchmarks((benchmark,))[0]
+            return bench.program(), bench.name
+        from repro.lang import parse_program
+
+        return parse_program(source), "<source>"
+
+    @staticmethod
+    def _resolve_benchmarks(names: Tuple[str, ...]):
+        from repro.corpus import ALL_BENCHMARKS, BY_NAME
+
+        if not names:
+            return list(ALL_BENCHMARKS)
+        picked = []
+        for name in names:
+            if name not in BY_NAME:
+                known = ", ".join(sorted(BY_NAME))
+                raise UnknownBenchmarkError(
+                    f"unknown benchmark {name!r} (known: {known})"
+                )
+            picked.append(BY_NAME[name])
+        return picked
+
+
+def _level(name: str) -> ConsistencyLevel:
+    try:
+        return by_name(name)
+    except (KeyError, ValueError) as exc:
+        raise InvalidRequestError(f"unknown consistency level {name!r}") from exc

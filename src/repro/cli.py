@@ -1,6 +1,9 @@
 """Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
-Three subcommands mirror the workflows the library is used for:
+A thin client of :mod:`repro.api` -- every subcommand builds one
+:class:`~repro.api.Workspace` from its flags and goes through the
+façade, so the CLI, the HTTP service, and direct library calls are the
+same code path by construction:
 
 - ``repro table1`` -- regenerate the paper's Table 1 (optionally a
   subset of benchmarks), with ``--plans`` provenance and ``--json``
@@ -10,12 +13,18 @@ Three subcommands mirror the workflows the library is used for:
   instead of searching (no oracle work);
 - ``repro bench`` -- time the repair search per benchmark: the serial
   seed oracle against a warm strategy (incremental by default,
-  ``--strategy parallel-incremental`` for the sharded worker pool).
+  ``--strategy parallel-incremental`` for the sharded worker pool);
+- ``repro serve`` -- run the JSON-over-HTTP service
+  (:mod:`repro.service`) on one long-lived workspace;
+- ``repro schemas`` -- dump (or ``--check``) the versioned wire schemas
+  against the committed ``schemas/`` goldens.
 
-``--cache-dir DIR`` (on every subcommand that runs the oracle) backs
-the memo cache with a persistent sqlite store, so repeated invocations
--- separate processes included -- warm-start from earlier outcomes; the
-store self-invalidates when the encoding's source changes.
+``--strategy`` contract (see :func:`repro.api.requested_strategy`): the
+default is the serial seed loop; passing ``--cache-dir``/``--workers``
+without a strategy upgrades to ``auto`` with a note, and an *explicit*
+``--strategy serial`` is respected -- the flags are then genuinely
+unused: no cache is opened, no pool is built, and no cache summary is
+printed.
 
 Every subcommand exits non-zero on failure and prints plain text
 (``repro.exp.reporting``) so output diffs cleanly in CI logs.
@@ -26,21 +35,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from contextlib import contextmanager
 from typing import List, Optional, Sequence
 
+from repro.api import SEARCHES, STRATEGIES
 from repro.corpus import ALL_BENCHMARKS, BY_NAME
 from repro.errors import ReproError
 
-STRATEGIES = (
-    "serial",
-    "cached",
-    "parallel",
-    "incremental",
-    "parallel-incremental",
-    "auto",
-)
-SEARCHES = ("greedy", "beam", "random")
 BENCH_STRATEGIES = ("incremental", "parallel-incremental", "auto")
 
 
@@ -56,69 +56,31 @@ def _pick_benchmarks(names: Sequence[str]) -> List:
     return picked
 
 
-def _load_program(args) -> "tuple":
-    """(label, program) from --benchmark or --file."""
-    from repro.lang import parse_program
+def _resolved_strategy(args) -> str:
+    """Apply the documented --strategy/--cache-dir/--workers contract,
+    printing the note when a flag changed or lost its meaning."""
+    from repro.api import requested_strategy
 
-    if args.benchmark:
-        bench = _pick_benchmarks([args.benchmark])[0]
-        return bench.name, bench.program()
-    with open(args.file) as fh:
-        return args.file, parse_program(fh.read())
-
-
-# ---------------------------------------------------------------------------
-# table1
-# ---------------------------------------------------------------------------
+    strategy, note = requested_strategy(
+        args.strategy, args.cache_dir, args.workers
+    )
+    if note:
+        print(note)
+    return strategy
 
 
-@contextmanager
-def _open_cache(cache_dir: Optional[str]):
-    """Yield a persistent query cache for ``cache_dir`` (None without
-    one), closing it on exit -- the one cache lifecycle every
-    subcommand shares."""
-    if not cache_dir:
-        yield None
-        return
-    from repro.analysis.pipeline import make_query_cache
+def _workspace(args, strategy: str):
+    """One workspace per invocation, honouring the strategy contract:
+    under an (explicit) serial strategy no cache is opened and no pool
+    is built -- the flags were already declared unused."""
+    from repro.api import Workspace
 
-    cache = make_query_cache(cache_dir)
-    try:
-        yield cache
-    finally:
-        cache.close()
-
-
-def _caching_strategy(args) -> str:
-    """The oracle strategy honouring ``--cache-dir``/``--workers``: the
-    seed serial loop has no cache and no pool, so either flag silently
-    doing nothing under the *default* strategy would betray its
-    contract -- upgrade to "auto" and say so.  An explicit
-    ``--strategy serial`` (the argparse default is None, so the two are
-    distinguishable) is respected; the flags are then genuinely unused
-    and say so too."""
-    pipeline_flags = [
-        flag
-        for flag, value in (
-            ("--cache-dir", args.cache_dir),
-            ("--workers", args.workers),
-        )
-        if value
-    ]
-    if pipeline_flags:
-        flags = "/".join(pipeline_flags)
-        if args.strategy is None:
-            print(
-                f"note: {flags} needs a caching strategy; "
-                "using --strategy auto (pass --strategy to override)"
-            )
-            return "auto"
-        if args.strategy == "serial":
-            print(
-                "note: --strategy serial runs the uncached, single-"
-                f"threaded seed loop; {flags} ignored"
-            )
-    return args.strategy or "serial"
+    return Workspace(
+        strategy=strategy,
+        cache_dir=args.cache_dir if strategy != "serial" else None,
+        max_workers=args.workers,
+        search=getattr(args, "search", "greedy"),
+    )
 
 
 def _cache_summary(cache) -> str:
@@ -130,27 +92,29 @@ def _cache_summary(cache) -> str:
     )
 
 
+def _maybe_cache_summary(args, workspace) -> None:
+    if args.cache_dir and workspace.cache is not None:
+        print(_cache_summary(workspace.cache))
+
+
+# ---------------------------------------------------------------------------
+# table1
+# ---------------------------------------------------------------------------
+
+
 def cmd_table1(args) -> int:
     from repro.exp import format_plan, format_table, run_table1
 
     benches = _pick_benchmarks(args.benchmark)
-    strategy = _caching_strategy(args)
-    strategy_name = strategy
-    if args.workers and strategy != "serial":
-        from repro.analysis.pipeline import resolve_strategy
-
-        strategy = resolve_strategy(strategy, max_workers=args.workers)
-        strategy_name = strategy.name
-    with _open_cache(args.cache_dir) as cache:
-        rows = run_table1(
-            benches, strategy=strategy, search=args.search, cache=cache
-        )
+    strategy = _resolved_strategy(args)
+    with _workspace(args, strategy) as ws:
+        rows = run_table1(benches, search=args.search, workspace=ws)
         headers = [
             "Benchmark", "#Txns", "#Tables", "EC", "AT", "CC", "RR", "Time",
         ]
         print(format_table(headers, [row.columns() for row in rows]))
-        if cache is not None:
-            print(_cache_summary(cache))
+        _maybe_cache_summary(args, ws)
+        strategy_name = ws.strategy_name
     if args.plans:
         print()
         for row in rows:
@@ -188,38 +152,78 @@ def cmd_table1(args) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _repair_request(args, plan: Optional[dict]):
+    """(label, RepairRequest) from --benchmark or --file."""
+    from repro.api import RepairRequest
+
+    if args.benchmark:
+        bench = _pick_benchmarks([args.benchmark])[0]
+        return bench.name, RepairRequest(
+            benchmark=bench.name, search=args.search, plan=plan
+        )
+    with open(args.file) as fh:
+        return args.file, RepairRequest(
+            source=fh.read(), search=args.search, plan=plan
+        )
+
+
+def _repair_summary(result) -> str:
+    """Plain-text summary of a wire :class:`~repro.api.RepairResult`
+    (mirrors :meth:`repro.repair.engine.RepairReport.summary`)."""
+    initial = len(result.initial_pairs)
+    residual = len(result.residual_pairs)
+    ratio = (initial - residual) / initial if initial else 1.0
+    lines = [
+        f"anomalous pairs: {initial} -> {residual} ({ratio:.0%} repaired)",
+        f"tables: {result.tables_before} -> {result.tables_after}",
+        f"time: {result.elapsed_seconds:.2f}s",
+    ]
+    for outcome in result.outcomes:
+        lines.append(f"  [{outcome.action}] {outcome.pair.describe()}")
+    return "\n".join(lines)
+
+
 def cmd_repair(args) -> int:
     from repro.exp import format_plan
-    from repro.lang import print_program
-    from repro.repair import RewritePlan, repair, replay_plan
+    from repro.repair import RewritePlan
 
-    label, program = _load_program(args)
+    plan_doc = None
     if args.plan_in:
         with open(args.plan_in) as fh:
-            plan = RewritePlan.loads(fh.read())
-        report = replay_plan(program, plan)
-        print(f"replayed {len(plan)}-step plan from {args.plan_in} on {label}")
-    else:
-        with _open_cache(args.cache_dir) as cache:
-            report = repair(
-                program,
-                strategy=_caching_strategy(args),
-                search=args.search,
-                cache=cache,
-                max_workers=args.workers,
+            plan_doc = json.load(fh)
+        ignored = [
+            flag
+            for flag, value in (
+                ("--strategy", args.strategy),
+                ("--cache-dir", args.cache_dir),
+                ("--workers", args.workers),
             )
-            print(report.summary())
-            if cache is not None:
-                print(_cache_summary(cache))
-    print(format_plan("plan", report.plan))
+            if value
+        ]
+        if ignored:
+            print(
+                "note: --plan-in replays the saved plan without oracle "
+                f"work; {'/'.join(ignored)} ignored"
+            )
+    label, request = _repair_request(args, plan_doc)
+    strategy = "serial" if args.plan_in else _resolved_strategy(args)
+    with _workspace(args, strategy) as ws:
+        result = ws.repair(request)
+        if args.plan_in:
+            steps = len(result.plan.get("steps", []))
+            print(f"replayed {steps}-step plan from {args.plan_in} on {label}")
+        else:
+            print(_repair_summary(result))
+            _maybe_cache_summary(args, ws)
+    print(format_plan("plan", RewritePlan.from_json(result.plan)))
     if args.plan_out:
         with open(args.plan_out, "w") as fh:
-            fh.write(report.plan.dumps())
+            json.dump(result.plan, fh, indent=2)
             fh.write("\n")
         print(f"wrote plan to {args.plan_out}")
     if args.print_program:
         print()
-        print(print_program(report.repaired_program))
+        print(result.repaired_program)
     return 0
 
 
@@ -229,31 +233,34 @@ def cmd_repair(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.analysis.pipeline import make_query_cache, resolve_strategy
+    from repro.api import Workspace
     from repro.exp import run_table1_row
 
     benches = _pick_benchmarks(args.benchmark)
     if args.corpus == "small":
         small = {"TPC-C", "SmallBank", "Courseware"}
         benches = [b for b in benches if b.name in small]
-    cache = make_query_cache(args.cache_dir)
-    runner = resolve_strategy(args.strategy, max_workers=args.workers)
     rows = []
-    try:
+    with Workspace(strategy="serial") as serial_ws, Workspace(
+        strategy=args.strategy,
+        cache_dir=args.cache_dir,
+        max_workers=args.workers,
+    ) as warm_ws:
         for bench in benches:
-            serial_row = run_table1_row(bench, search=args.search)
+            serial_row = run_table1_row(
+                bench, search=args.search, workspace=serial_ws
+            )
             warm_row = run_table1_row(
-                bench, strategy=runner, cache=cache, search=args.search
+                bench, search=args.search, workspace=warm_ws
             )
             rows.append((bench.name, serial_row, warm_row))
-        return _report_bench(args, runner, cache, rows)
-    finally:
-        runner.close()
-        cache.close()
+        return _report_bench(args, warm_ws, rows)
 
 
-def _report_bench(args, runner, cache, rows) -> int:
+def _report_bench(args, warm_ws, rows) -> int:
     from repro.exp import format_table
+
+    cache = warm_ws.cache
 
     def fmt(name, serial_row, warm_row):
         speedup = (
@@ -272,7 +279,7 @@ def _report_bench(args, runner, cache, rows) -> int:
     headers = [
         "Benchmark",
         "repair_s (serial)",
-        f"repair_s ({runner.name})",
+        f"repair_s ({warm_ws.strategy_name})",
         "speedup",
         "plan steps",
     ]
@@ -281,7 +288,7 @@ def _report_bench(args, runner, cache, rows) -> int:
     if args.json:
         payload = {
             "search": args.search,
-            "strategy": runner.name,
+            "strategy": warm_ws.strategy_name,
             "cache": {
                 "hits": cache.hits,
                 "misses": cache.misses,
@@ -312,15 +319,88 @@ def _report_bench(args, runner, cache, rows) -> int:
 
 
 # ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    from repro.api import Workspace, requested_strategy
+    from repro.service import serve
+
+    # A server exists to stay warm: the implicit default is the fast
+    # auto strategy (no upgrade note needed -- the flags are honoured).
+    # An explicit --strategy (serial included) goes through the same
+    # contract as every other subcommand, notes included.
+    if args.strategy is None:
+        strategy = "auto"
+    else:
+        strategy, note = requested_strategy(
+            args.strategy, args.cache_dir, args.workers
+        )
+        if note:
+            print(note)
+    with Workspace(
+        strategy=strategy,
+        cache_dir=args.cache_dir if strategy != "serial" else None,
+        max_workers=args.workers,
+    ) as ws:
+        serve(ws, host=args.host, port=args.port, quiet=args.quiet)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# schemas
+# ---------------------------------------------------------------------------
+
+
+def cmd_schemas(args) -> int:
+    from repro.api import check_schemas, dump_schemas
+
+    if args.check:
+        problems = check_schemas(args.out)
+        if problems:
+            for problem in problems:
+                print(f"schema drift: {problem}", file=sys.stderr)
+            return 1
+        print(f"schemas under {args.out} match the live wire types")
+        return 0
+    written = dump_schemas(args.out)
+    print(f"wrote {len(written)} schema documents to {args.out}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
+
+
+def _oracle_flags(parser, strategies=STRATEGIES, default=None) -> None:
+    parser.add_argument(
+        "--strategy",
+        choices=strategies,
+        # None = "serial", unless --cache-dir/--workers upgrade to "auto"
+        # (see repro.api.requested_strategy).
+        default=default,
+    )
+    parser.add_argument("--search", choices=SEARCHES, default="greedy")
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist oracle query outcomes under DIR (warm-starts reruns)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="worker processes for the pool strategies (default: cpu count)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Atropos (PLDI 2021) reproduction: anomaly detection, "
-        "plan-based repair, and experiment drivers.",
+        "plan-based repair, experiment drivers, and the HTTP service.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -331,23 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         help="restrict to one benchmark (repeatable; default: all)",
     )
-    t1.add_argument(
-        "--strategy",
-        choices=STRATEGIES,
-        default=None,  # None = "serial", unless --cache-dir upgrades to "auto"
-    )
-    t1.add_argument("--search", choices=SEARCHES, default="greedy")
-    t1.add_argument(
-        "--cache-dir",
-        metavar="DIR",
-        help="persist oracle query outcomes under DIR (warm-starts reruns)",
-    )
-    t1.add_argument(
-        "--workers",
-        type=int,
-        metavar="N",
-        help="worker processes for the pool strategies (default: cpu count)",
-    )
+    _oracle_flags(t1)
     t1.add_argument(
         "--plans", action="store_true", help="print per-row plan provenance"
     )
@@ -358,23 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     source = rp.add_mutually_exclusive_group(required=True)
     source.add_argument("--benchmark", help="corpus benchmark name")
     source.add_argument("--file", help="path to a DSL program")
-    rp.add_argument(
-        "--strategy",
-        choices=STRATEGIES,
-        default=None,  # None = "serial", unless --cache-dir upgrades to "auto"
-    )
-    rp.add_argument("--search", choices=SEARCHES, default="greedy")
-    rp.add_argument(
-        "--cache-dir",
-        metavar="DIR",
-        help="persist oracle query outcomes under DIR (warm-starts reruns)",
-    )
-    rp.add_argument(
-        "--workers",
-        type=int,
-        metavar="N",
-        help="worker processes for the pool strategies (default: cpu count)",
-    )
+    _oracle_flags(rp)
     rp.add_argument(
         "--plan-out", metavar="FILE", help="write the rewrite plan as JSON"
     )
@@ -406,27 +454,53 @@ def build_parser() -> argparse.ArgumentParser:
         default="full",
         help="'small' = the CI smoke subset",
     )
-    be.add_argument(
-        "--strategy",
-        choices=BENCH_STRATEGIES,
-        default="incremental",
-        help="the warm oracle strategy timed against the serial seed",
+    _oracle_flags(be, strategies=BENCH_STRATEGIES, default="incremental")
+    be.add_argument("--json", metavar="FILE", help="write timings as JSON")
+    be.set_defaults(func=cmd_bench)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the JSON-over-HTTP service (POST /v1/analyze, /v1/repair, "
+        "/v1/jobs; GET /v1/health, /v1/stats)",
     )
-    be.add_argument("--search", choices=SEARCHES, default="greedy")
-    be.add_argument(
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8472)
+    sv.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default=None,  # None = "auto": a server exists to stay warm
+    )
+    sv.add_argument(
         "--cache-dir",
         metavar="DIR",
-        help="persist oracle query outcomes under DIR; a second run "
-        "warm-starts and reports a higher cache hit rate",
+        help="persist oracle query outcomes under DIR across restarts",
     )
-    be.add_argument(
+    sv.add_argument(
         "--workers",
         type=int,
         metavar="N",
         help="worker processes for the pool strategies (default: cpu count)",
     )
-    be.add_argument("--json", metavar="FILE", help="write timings as JSON")
-    be.set_defaults(func=cmd_bench)
+    sv.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+    sv.set_defaults(func=cmd_serve)
+
+    sc = sub.add_parser(
+        "schemas",
+        help="dump (or --check) the versioned wire schemas against the "
+        "committed schemas/ goldens",
+    )
+    sc.add_argument(
+        "--out", metavar="DIR", default="schemas",
+        help="golden directory (default: schemas)",
+    )
+    sc.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) if the committed goldens drifted from the code",
+    )
+    sc.set_defaults(func=cmd_schemas)
     return parser
 
 
@@ -439,6 +513,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -3,6 +3,12 @@
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch a single type at tool boundaries while the library keeps
 fine-grained categories internally.
+
+Every class carries a stable, machine-readable ``code`` (kebab-case,
+part of the versioned API surface -- see ``schemas/error.v1.json``):
+:mod:`repro.api` and :mod:`repro.service` serialize errors as
+``{"error": {"code": ..., "message": ...}}``, and clients are expected
+to dispatch on the code, never on the message text.
 """
 
 from __future__ import annotations
@@ -11,12 +17,20 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
+    code = "repro-error"
+
+    def to_payload(self) -> dict:
+        """The wire form of this error (see ``schemas/error.v1.json``)."""
+        return {"error": {"code": self.code, "message": str(self)}}
+
 
 class ParseError(ReproError):
     """Raised when DSL source text cannot be tokenized or parsed.
 
     Carries the 1-based source position to make error messages actionable.
     """
+
+    code = "parse-error"
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
         self.line = line
@@ -34,6 +48,8 @@ class ValidationError(ReproError):
     transaction name.
     """
 
+    code = "validation-error"
+
 
 class SemanticsError(ReproError):
     """Raised by the interpreter for runtime-level faults.
@@ -42,6 +58,8 @@ class SemanticsError(ReproError):
     insert that does not assign the full primary key.
     """
 
+    code = "semantics-error"
+
 
 class RefactoringError(ReproError):
     """Raised when a refactoring rule is applied outside its precondition.
@@ -49,6 +67,8 @@ class RefactoringError(ReproError):
     The repair engine treats these as "rule not applicable" and moves on;
     direct users of :mod:`repro.refactor` see them as hard errors.
     """
+
+    code = "refactoring-error"
 
 
 class PlanError(ReproError):
@@ -59,10 +79,16 @@ class PlanError(ReproError):
     them as hard errors.
     """
 
+    code = "plan-error"
+
 
 class SolverError(ReproError):
     """Raised for malformed solver input (e.g. clauses over unknown vars)."""
 
+    code = "solver-error"
+
 
 class SimulationError(ReproError):
     """Raised by the distributed-store simulator for invalid configs."""
+
+    code = "simulation-error"

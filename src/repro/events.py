@@ -1,0 +1,56 @@
+"""Progress events: how long-running façade calls narrate themselves.
+
+Every :class:`~repro.api.workspace.Workspace` operation accepts an
+``on_progress`` callback -- any callable taking one
+:class:`ProgressEvent`.  The callback is threaded down through the
+analysis pipeline (:class:`~repro.analysis.pipeline.AnalysisPipeline`)
+and the plan search strategies (:mod:`repro.repair.search`), so a
+caller -- the HTTP service's job queue, a CLI progress line, a test --
+observes the same stream regardless of which surface invoked the work.
+
+Stages are dotted names, coarse by design (a handful of events per
+analysis, one per repaired pair -- never one per SAT query, which would
+turn a hot loop into a callback storm):
+
+- ``analyze.start`` / ``analyze.solved`` / ``analyze.done`` -- one
+  oracle batch: queries planned, cache hits/misses, pairs found;
+- ``search.start`` / ``search.pair`` / ``search.done`` -- the plan
+  search: one event per anomalous pair with the action taken;
+- ``bench.row`` -- one per benchmark in a bench sweep.
+
+Callbacks run synchronously on the working thread; they must be cheap
+and must not raise (a raising callback aborts the operation -- that is
+deliberate, so a cancelling callback can stop a runaway job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
+
+Detail = Dict[str, Union[str, int, float]]
+
+#: The callback type every ``on_progress`` parameter accepts.
+ProgressCallback = Callable[["ProgressEvent"], None]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One narration step of a long-running operation."""
+
+    stage: str
+    detail: Detail = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {"stage": self.stage, "detail": dict(self.detail)}
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"{self.stage}({body})"
+
+
+def emit(progress: Optional[ProgressCallback], stage: str, **detail) -> None:
+    """Fire ``progress`` if set; the one helper the library layers use,
+    so a ``None`` callback costs a single falsy check."""
+    if progress is not None:
+        progress(ProgressEvent(stage=stage, detail=detail))

@@ -23,7 +23,6 @@ from typing import Dict, Sequence
 from repro.corpus.smallbank import SMALLBANK
 from repro.lang import ast
 from repro.refactor.migrate import migrate_database
-from repro.repair import repair
 from repro.semantics.interp import TxnCall
 from repro.semantics.scheduler import (
     count_db_commands,
@@ -117,10 +116,14 @@ def _min_balance(tables) -> int:
 
 
 def run_invariant_study(samples: int = 40, seed: int = 11) -> InvariantReport:
-    """Run the A.2 study on the original and repaired SmallBank."""
+    """Run the A.2 study on the original and repaired SmallBank (repair
+    step via :class:`repro.api.Workspace`)."""
+    from repro.api import Workspace
+
     program = SMALLBANK.program()
     db = SMALLBANK.database(scale=4)
-    report = repair(program)
+    with Workspace(strategy="serial") as ws:
+        report = ws.repair_program(program)
     at_program = report.repaired_program
     at_db = migrate_database(db, at_program, report.rewrites)
     return InvariantReport(

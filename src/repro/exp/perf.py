@@ -18,7 +18,6 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.corpus import Benchmark
 from repro.refactor.migrate import migrate_database
-from repro.repair import repair
 from repro.store import (
     ClusterSpec,
     PerfConfig,
@@ -79,16 +78,25 @@ def run_perf_sweep(
     scale: int = 16,
     seed: int = 7,
     strategy: object = "serial",
+    workspace=None,
 ) -> PerfSweep:
-    """Run the four-configuration sweep for one benchmark.
+    """Run the four-configuration sweep for one benchmark (repair step
+    via :class:`repro.api.Workspace`).
 
     ``strategy`` configures the repair step's anomaly oracle (the sweep
-    itself is simulation-bound); see :func:`repro.repair.engine.repair`.
+    itself is simulation-bound); a caller-provided ``workspace`` wins
+    over ``strategy`` and is left open for reuse.
     """
+    from repro.api import Workspace
+
     config = config or PerfConfig()
     rng = random.Random(seed)
     program = benchmark.program()
-    report = repair(program, strategy=strategy)
+    if workspace is not None:
+        report = workspace.repair_program(program)
+    else:
+        with Workspace(strategy=strategy) as ws:
+            report = ws.repair_program(program)
 
     db = benchmark.database(scale)
     calls = sample_calls_for(benchmark, rng, scale)

@@ -18,8 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.analysis import AnomalyOracle
-from repro.repair import RandomSearch, RewritePlan, repair
+from repro.repair import RandomSearch, RewritePlan
 
 
 @dataclass
@@ -44,17 +43,22 @@ def run_random_search(
     seed: int = 42,
 ) -> RandomSearchResult:
     """Figure 16 for one benchmark: ``rounds`` batches of random
-    refactorings, each scored by the EC anomaly count."""
+    refactorings, each scored by the EC anomaly count.  Both the
+    oracle-guided baseline repair and the random search run through one
+    :class:`repro.api.Workspace`."""
+    from repro.api import Workspace
+
     program = benchmark.program()
-    atropos = len(repair(program).residual_pairs)
     searcher = RandomSearch(
         rounds=rounds, steps_per_round=refactorings_per_round, seed=seed
     )
-    result = searcher.search(program, AnomalyOracle())
+    with Workspace(strategy="serial") as ws:
+        atropos = len(ws.repair_program(program).residual_pairs)
+        report = ws.repair_program(program, search=searcher)
     return RandomSearchResult(
         benchmark=benchmark.name,
         atropos_count=atropos,
-        initial_count=len(result.initial_pairs),
-        round_counts=list(result.extras["round_counts"]),
-        best_plan=result.plan,
+        initial_count=len(report.initial_pairs),
+        round_counts=list(report.extras["round_counts"]),
+        best_plan=report.plan,
     )

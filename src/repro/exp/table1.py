@@ -6,11 +6,15 @@ counts under EC for the original (EC) and refactored (AT) programs,
 anomaly counts under causal consistency (CC) and repeatable read (RR)
 for the original program, and the total analysis+repair time.
 
-``strategy`` selects the oracle execution path (see
-:class:`~repro.analysis.oracle.AnomalyOracle`); the caching strategies
-share one :class:`~repro.analysis.pipeline.QueryCache` per row across
-the repair loop's re-analyses and the CC/RR sweeps, which is where the
-incremental speedup of the pipeline comes from.
+Since the façade landed (:mod:`repro.api`) this driver is a thin
+wrapper over one :class:`~repro.api.workspace.Workspace`: the workspace
+owns the oracle execution strategy and the memo cache, and every row's
+repair run and CC/RR sweeps go through it -- sharing warm solver
+sessions and cache entries across rows exactly like the service does
+across requests.  ``strategy``/``cache``/``cache_dir`` keep their
+historical meanings and ownership rules (named strategies and
+``cache_dir`` caches are owned here and torn down; instances stay the
+caller's).
 """
 
 from __future__ import annotations
@@ -19,10 +23,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis import AnomalyOracle, CC, RR
-from repro.analysis.pipeline import QueryCache, make_query_cache, resolve_strategy
+from repro.analysis import CC, RR
+from repro.analysis.pipeline import QueryCache
 from repro.corpus import ALL_BENCHMARKS, Benchmark
-from repro.repair import repair
 from repro.repair.engine import RepairReport
 
 
@@ -96,8 +99,10 @@ def run_table1_row(
     cache: Optional[QueryCache] = None,
     search: object = "greedy",
     cache_dir: Optional[str] = None,
+    workspace=None,
 ) -> Table1Row:
-    """Analyse and repair one benchmark.
+    """Analyse and repair one benchmark (a thin wrapper over
+    :class:`repro.api.Workspace`).
 
     A strategy named by string is resolved once, shared by the repair
     run and the CC/RR sweeps, and torn down before returning; a strategy
@@ -107,26 +112,27 @@ def run_table1_row(
     ``cache_dir`` (ignored when an explicit ``cache`` is given) backs
     the row's memo cache with a
     :class:`~repro.analysis.pipeline.PersistentQueryCache`, so repeated
-    runs warm-start from disk.
+    runs warm-start from disk.  ``workspace`` short-circuits all of the
+    above: the row runs entirely on the caller's workspace (this is how
+    :func:`run_table1` shares one strategy/cache across the sweep).
     """
+    from repro.api import Workspace
+
+    owns_workspace = workspace is None
+    if owns_workspace:
+        workspace = Workspace(
+            strategy=strategy, cache=cache, cache_dir=cache_dir, search=search
+        )
     start = time.perf_counter()
     program = benchmark.program()
-    owns_runner = isinstance(strategy, str) and strategy != "serial"
-    runner = resolve_strategy(strategy) if owns_runner else strategy
-    owns_cache = False
-    if runner != "serial" and cache is None:
-        cache = make_query_cache(cache_dir)
-        owns_cache = cache_dir is not None
     try:
-        report = repair(program, strategy=runner, cache=cache, search=search)
+        report = workspace.repair_program(program, search=search)
         oracle_stats: Dict[str, int] = {}
-        cc_report = AnomalyOracle(CC, strategy=runner, cache=cache).analyze(program)
-        rr_report = AnomalyOracle(RR, strategy=runner, cache=cache).analyze(program)
+        cc_report = workspace.analyze_program(program, CC)
+        rr_report = workspace.analyze_program(program, RR)
     finally:
-        if owns_runner:
-            runner.close()
-        if owns_cache:
-            cache.close()
+        if owns_workspace:
+            workspace.close()
     for analysis in (cc_report, rr_report):
         _merge_stats(oracle_stats, analysis)
     elapsed = time.perf_counter() - start
@@ -153,29 +159,23 @@ def run_table1(
     cache: Optional[QueryCache] = None,
     search: object = "greedy",
     cache_dir: Optional[str] = None,
+    workspace=None,
 ) -> List[Table1Row]:
-    """The full Table 1 sweep.
+    """The full Table 1 sweep (a thin wrapper over
+    :class:`repro.api.Workspace`).
 
-    With a caching strategy, one strategy instance (and its worker pool,
-    if any) plus one memo cache is shared across all rows.  A
+    One workspace -- one strategy instance (and its worker pool, if
+    any) plus one memo cache -- is shared across all rows.  A
     ``cache_dir`` (ignored when an explicit ``cache`` is given) makes
     that shared cache persistent, so a repeated sweep -- even in a fresh
     process -- warm-starts from the previous run's query outcomes.
     """
+    from repro.api import Workspace
+
     benches = benchmarks or ALL_BENCHMARKS
-    if strategy == "serial":
-        return [run_table1_row(b, search=search) for b in benches]
-    runner = resolve_strategy(strategy)
-    owns_cache = False
-    if cache is None:
-        cache = make_query_cache(cache_dir)
-        owns_cache = cache_dir is not None
-    try:
-        return [
-            run_table1_row(b, strategy=runner, cache=cache, search=search)
-            for b in benches
-        ]
-    finally:
-        runner.close()
-        if owns_cache:
-            cache.close()
+    if workspace is not None:
+        return [run_table1_row(b, search=search, workspace=workspace) for b in benches]
+    with Workspace(
+        strategy=strategy, cache=cache, cache_dir=cache_dir, search=search
+    ) as ws:
+        return [run_table1_row(b, search=search, workspace=ws) for b in benches]

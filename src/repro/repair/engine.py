@@ -22,7 +22,7 @@ across chained merges -- formerly the engine's private ``_current`` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Union
 
 from repro.analysis.consistency import EC, ConsistencyLevel
@@ -53,6 +53,9 @@ class RepairReport:
     # `repaired_program` byte-for-byte (via the printer).
     plan: RewritePlan = RewritePlan()
     strategy: str = "greedy"
+    # Strategy-specific extras passed through from the search (random:
+    # per-round anomaly counts; beam: the score trajectory).
+    extras: dict = field(default_factory=dict)
 
     @property
     def repaired_count(self) -> int:
@@ -121,6 +124,7 @@ class RepairEngine:
         cache: Optional[object] = None,
         search: object = "greedy",
         max_workers: Optional[int] = None,
+        progress=None,
         **search_options: object,
     ):
         self.oracle = AnomalyOracle(
@@ -129,8 +133,17 @@ class RepairEngine:
             strategy=strategy,
             cache=cache,
             max_workers=max_workers,
+            progress=progress,
         )
         self.searcher = resolve_search(search, **search_options)
+        # The bundled strategies declare a `progress` slot; custom
+        # searchers may not -- observing them is best-effort.  Always
+        # assign (None included): a caller-owned searcher reused across
+        # engines must not keep emitting to a previous call's callback.
+        try:
+            self.searcher.progress = progress
+        except AttributeError:  # pragma: no cover - exotic searcher
+            pass
 
     def close(self) -> None:
         """Release the oracle's strategy resources (worker pools)."""
@@ -149,6 +162,7 @@ class RepairEngine:
             elapsed_seconds=result.elapsed_seconds,
             plan=result.plan,
             strategy=result.strategy,
+            extras=dict(result.extras),
         )
 
 
@@ -160,6 +174,7 @@ def repair(
     cache: Optional[object] = None,
     search: object = "greedy",
     max_workers: Optional[int] = None,
+    progress=None,
     **search_options: object,
 ) -> RepairReport:
     """Run the full repair pipeline on ``program``.
@@ -179,6 +194,7 @@ def repair(
         cache=cache,
         search=search,
         max_workers=max_workers,
+        progress=progress,
         **search_options,
     )
     try:

@@ -51,6 +51,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.accesses import rmw_field, summarize_transaction
 from repro.analysis.oracle import AccessPair, AnomalyOracle
+from repro.events import emit
 from repro.errors import PlanError
 from repro.lang import ast
 from repro.repair.plan import (
@@ -412,23 +413,32 @@ class GreedySearch:
     the historical in-place repair engine."""
 
     name = "greedy"
+    #: Optional progress callback (see :mod:`repro.events`); set by
+    #: the engine when the caller asked to observe the search.
+    progress = None
 
     def search(self, program: ast.Program, oracle: AnomalyOracle) -> SearchResult:
         start = time.perf_counter()
         program, ctx, steps, pairs = _prologue(program, oracle)
+        emit(self.progress, "search.start", strategy=self.name,
+             pairs=len(pairs))
         outcomes: List[RepairOutcome] = []
         for pair in pairs:
             cand = next(propose_candidates(program, ctx, pair), None)
             if cand is None:
                 outcomes.append(RepairOutcome(pair, "unrepaired"))
-                continue
-            program, ctx = cand.program, cand.ctx
-            steps.extend(cand.steps)
-            outcomes.append(RepairOutcome(pair, cand.action))
+            else:
+                program, ctx = cand.program, cand.ctx
+                steps.extend(cand.steps)
+                outcomes.append(RepairOutcome(pair, cand.action))
+            emit(self.progress, "search.pair", txn=pair.txn, c1=pair.c1,
+                 c2=pair.c2, action=outcomes[-1].action)
         post = PostprocessStep()
         program = post.apply(program, ctx)
         steps.append(post)
         residual = oracle.analyze(program).pairs
+        emit(self.progress, "search.done", strategy=self.name,
+             steps=len(steps), residual=len(residual))
         return SearchResult(
             plan=RewritePlan(tuple(steps)),
             repaired_program=program,
@@ -457,6 +467,7 @@ class BeamSearch:
     prices above the anomaly it removes."""
 
     name = "beam"
+    progress = None
 
     def __init__(
         self,
@@ -473,6 +484,8 @@ class BeamSearch:
     def search(self, program: ast.Program, oracle: AnomalyOracle) -> SearchResult:
         start = time.perf_counter()
         program, ctx, steps, pairs = _prologue(program, oracle)
+        emit(self.progress, "search.start", strategy=self.name,
+             pairs=len(pairs), width=self.width)
         base = _BeamState(program, ctx, tuple(steps), ())
         base.score = self.cost_model.score(program, ctx, oracle)
         states = [base]
@@ -521,6 +534,9 @@ class BeamSearch:
             expanded.sort(key=lambda s: s.score)
             states = expanded[: self.width]
             trajectory.append(states[0].score)
+            emit(self.progress, "search.pair", txn=pair.txn, c1=pair.c1,
+                 c2=pair.c2, action=states[0].outcomes[-1].action,
+                 best_score=states[0].score)
 
         final_states: List[_BeamState] = []
         for state in states:
@@ -542,6 +558,9 @@ class BeamSearch:
             finished.append((state_f.score, i, state_f, pairs_f))
         finished.sort(key=lambda t: (t[0], t[1]))
         _, _, best, residual = finished[0]
+        emit(self.progress, "search.done", strategy=self.name,
+             steps=len(best.steps), residual=len(residual),
+             best_score=best.score)
         return SearchResult(
             plan=RewritePlan(best.steps),
             repaired_program=best.program,
@@ -585,6 +604,7 @@ class RandomSearch:
     (Appendix A.3 / Figure 16).  Keeps the best-scoring round's plan."""
 
     name = "random"
+    progress = None
 
     def __init__(
         self,
@@ -622,6 +642,9 @@ class RandomSearch:
                 applied.append(step)
             pairs = oracle.analyze(candidate).pairs
             round_counts.append(len(pairs))
+            emit(self.progress, "search.round", strategy=self.name,
+                 round=len(round_counts), anomalies=len(pairs),
+                 best=best_count)
             if len(pairs) < best_count:
                 best_count = len(pairs)
                 best_plan = RewritePlan(tuple(applied))

@@ -1,0 +1,27 @@
+"""``repro.service``: the stdlib JSON-over-HTTP server on the façade.
+
+One :class:`~repro.api.workspace.Workspace` behind a
+``ThreadingHTTPServer`` (:mod:`repro.service.server`) with an async job
+queue for long repairs (:mod:`repro.service.jobs`).  Start it with
+``repro serve`` or::
+
+    from repro.service import serve
+    serve(port=8472)
+"""
+
+from repro.service.jobs import Job, JobQueue
+from repro.service.server import (
+    ReproHTTPServer,
+    ReproService,
+    make_server,
+    serve,
+)
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "ReproHTTPServer",
+    "ReproService",
+    "make_server",
+    "serve",
+]

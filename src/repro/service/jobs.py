@@ -1,0 +1,205 @@
+"""Async jobs: long repairs over HTTP without holding the connection.
+
+``POST /v1/jobs`` enqueues a request (any wire kind -- analyze, repair,
+bench) and returns immediately with a job id; ``GET /v1/jobs/<id>``
+polls status, the progress-event stream, and -- once ``done`` -- the
+full result document, identical to what the synchronous endpoint would
+have returned.  One daemon worker thread drains the queue in FIFO
+order; since the workspace serializes execution on its own lock anyway
+(the solver sessions are single-threaded), more job workers would add
+contention, not throughput.
+
+Jobs are held in memory: this service is an operational front door for
+one workspace process, not a durable task store -- restarting the
+server forgets finished jobs, exactly like restarting a CLI run.  A
+bounded history (:data:`JobQueue.max_finished`) keeps a long-lived
+server from accumulating every result ever computed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.api.errors import InvalidRequestError, JobNotFoundError, error_payload
+from repro.api.events import ProgressEvent
+from repro.api.types import AnalyzeRequest, BenchRequest, RepairRequest
+
+#: wire kind -> the short job kind reported in the job document.
+_JOB_KINDS = {
+    AnalyzeRequest.kind: "analyze",
+    RepairRequest.kind: "repair",
+    BenchRequest.kind: "bench",
+}
+
+#: Cap on progress events retained per job (a runaway search must not
+#: grow a job document without bound; the newest events win).
+_MAX_EVENTS = 500
+
+
+@dataclass
+class Job:
+    """One queued/running/finished unit of work."""
+
+    id: str
+    kind: str  # analyze | repair | bench
+    request: object
+    status: str = "queued"  # queued | running | done | failed
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    events: List[dict] = field(default_factory=list)
+    result: Optional[dict] = None
+    error: Optional[dict] = None
+
+    def to_json(self) -> dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "events": list(self.events),
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """FIFO job runner over one shared :class:`~repro.api.Workspace`."""
+
+    def __init__(self, workspace, max_finished: int = 256):
+        self.workspace = workspace
+        self.max_finished = max_finished
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        self._worker: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -- public API --------------------------------------------------------
+
+    def submit(self, request) -> Job:
+        """Enqueue a decoded wire request; returns the queued job."""
+        kind = _JOB_KINDS.get(getattr(request, "kind", None))
+        if kind is None:
+            raise InvalidRequestError(
+                f"cannot run {type(request).__name__} as a job"
+            )
+        job = Job(
+            id=f"job-{next(self._counter):04d}-{uuid.uuid4().hex[:8]}",
+            kind=kind,
+            request=request,
+        )
+        with self._lock:
+            if self._closed:
+                raise InvalidRequestError("job queue is shut down")
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._trim_locked()
+            self._ensure_worker_locked()
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no such job: {job_id}")
+        return job
+
+    def list(self) -> List[Job]:
+        with self._lock:
+            return [self._jobs[jid] for jid in self._order if jid in self._jobs]
+
+    def close(self) -> None:
+        """Stop the worker after the current job; still-queued jobs are
+        abandoned in ``queued`` state (the process is going away with
+        them), never started against a workspace that is being torn
+        down."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        # Drain the backlog before the stop sentinel so the worker
+        # cannot start another job; drained jobs simply stay "queued".
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        self._queue.put(None)
+        worker = self._worker
+        if worker is not None and worker.is_alive():
+            worker.join(timeout=5)
+
+    # -- internals ---------------------------------------------------------
+
+    def _ensure_worker_locked(self) -> None:
+        """Start the single drainer thread; caller holds ``_lock`` (two
+        concurrent submits must not each spawn a worker)."""
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._run, name="repro-job-worker", daemon=True
+            )
+            self._worker.start()
+
+    def _trim_locked(self) -> None:
+        finished = [
+            jid
+            for jid in self._order
+            if self._jobs[jid].status in ("done", "failed")
+        ]
+        while len(finished) > self.max_finished:
+            victim = finished.pop(0)
+            self._jobs.pop(victim, None)
+            self._order.remove(victim)
+
+    def _record_event(self, job: Job, event: ProgressEvent) -> None:
+        job.events.append(event.to_json())
+        if len(job.events) > _MAX_EVENTS:
+            del job.events[: len(job.events) - _MAX_EVENTS]
+
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.status = "running"
+            job.started_at = time.time()
+            try:
+                result = self._execute(job)
+                job.result = result.to_json()
+                job.status = "done"
+            except Exception as exc:  # noqa: BLE001 - job boundary
+                job.error = error_payload(exc)
+                job.status = "failed"
+            finally:
+                job.finished_at = time.time()
+
+    def _execute(self, job: Job):
+        on_progress = lambda event: self._record_event(job, event)  # noqa: E731
+        if job.kind == "analyze":
+            return self.workspace.analyze(job.request, on_progress=on_progress)
+        if job.kind == "repair":
+            return self.workspace.repair(job.request, on_progress=on_progress)
+        return self.workspace.bench(job.request, on_progress=on_progress)
+
+    def counters(self) -> Dict[str, int]:
+        """Job totals by status, for ``/v1/stats``."""
+        with self._lock:
+            totals: Dict[str, int] = {
+                "queued": 0, "running": 0, "done": 0, "failed": 0,
+            }
+            for job in self._jobs.values():
+                totals[job.status] = totals.get(job.status, 0) + 1
+            totals["total"] = len(self._jobs)
+            return totals

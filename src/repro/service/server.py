@@ -1,0 +1,249 @@
+"""The JSON-over-HTTP front door: stdlib only, one shared Workspace.
+
+``repro serve`` (or :func:`serve`) exposes the :mod:`repro.api` façade
+over a :class:`http.server.ThreadingHTTPServer`:
+
+=======  ==================  ==============================================
+method   path                body / response
+=======  ==================  ==============================================
+POST     ``/v1/analyze``     ``analyze_request`` -> ``analyze_result``
+POST     ``/v1/repair``      ``repair_request`` -> ``repair_result``
+POST     ``/v1/bench``       ``bench_request`` -> ``bench_result``
+POST     ``/v1/jobs``        any request kind -> ``job`` (202, async)
+GET      ``/v1/jobs``        ``{"jobs": [job, ...]}``
+GET      ``/v1/jobs/<id>``   ``job`` (status, progress events, result)
+GET      ``/v1/health``      ``{"status": "ok", "version", "protocol"}``
+GET      ``/v1/stats``       cache hit rates, session counters, job totals
+=======  ==================  ==============================================
+
+All documents are the versioned wire types of :mod:`repro.api.types`
+(goldens under ``schemas/``).  Errors serialize as
+``{"error": {"code", "message"}}`` with the status each error class
+declares; unexpected faults become ``internal-error`` 500s without
+leaking a traceback.
+
+Every handler thread shares **one** workspace, so concurrent requests
+hit the same warm :class:`~repro.analysis.oracle.OracleSession` pools
+and the same (optionally persistent) memo cache -- the workspace's lock
+serializes solver work while the HTTP layer stays concurrent.  Results
+are byte-identical to direct library calls by differential test gate.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import urlparse
+
+from repro.api.errors import (
+    ApiError,
+    InvalidRequestError,
+    error_payload,
+    http_status_of,
+)
+from repro.api.types import (
+    SCHEMA_VERSION,
+    AnalyzeRequest,
+    BenchRequest,
+    RepairRequest,
+    decode_request,
+)
+from repro.api.workspace import Workspace
+from repro.errors import ReproError
+from repro.service.jobs import JobQueue
+
+
+class NotFoundError(ApiError):
+    """No route matches the request path."""
+
+    code = "not-found"
+    http_status = 404
+
+
+class MethodNotAllowedError(ApiError):
+    """The route exists but not under this HTTP method."""
+
+    code = "method-not-allowed"
+    http_status = 405
+
+
+class ReproService:
+    """Transport-independent request router over one workspace.
+
+    Separating routing from :class:`http.server` keeps the whole
+    surface unit-testable without sockets and leaves the HTTP handler
+    with nothing but byte shuffling.
+    """
+
+    def __init__(self, workspace: Optional[Workspace] = None):
+        self._owns_workspace = workspace is None
+        self.workspace = workspace if workspace is not None else Workspace()
+        self.jobs = JobQueue(self.workspace)
+
+    def close(self) -> None:
+        self.jobs.close()
+        if self._owns_workspace:
+            self.workspace.close()
+
+    # -- routing -----------------------------------------------------------
+
+    def handle(self, method: str, path: str, body: bytes) -> Tuple[int, dict]:
+        """(status, JSON-ready payload) for one request."""
+        try:
+            return self._dispatch(method, path, body)
+        except ReproError as exc:
+            return http_status_of(exc), error_payload(exc)
+        except Exception as exc:  # noqa: BLE001 - service boundary
+            return 500, error_payload(exc)
+
+    def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, dict]:
+        parts = [p for p in urlparse(path).path.split("/") if p]
+        if not parts or parts[0] != "v1":
+            raise NotFoundError(f"no such endpoint: {path} (try /v1/health)")
+        route = parts[1:]
+        if route == ["health"]:
+            self._require(method, "GET", path)
+            return 200, self.health()
+        if route == ["stats"]:
+            self._require(method, "GET", path)
+            return 200, self.stats()
+        if route == ["analyze"]:
+            self._require(method, "POST", path)
+            request = AnalyzeRequest.from_json(self._json(body))
+            return 200, self.workspace.analyze(request).to_json()
+        if route == ["repair"]:
+            self._require(method, "POST", path)
+            request = RepairRequest.from_json(self._json(body))
+            return 200, self.workspace.repair(request).to_json()
+        if route == ["bench"]:
+            self._require(method, "POST", path)
+            request = BenchRequest.from_json(self._json(body))
+            return 200, self.workspace.bench(request).to_json()
+        if route == ["jobs"]:
+            if method == "POST":
+                request = decode_request(self._json(body))
+                return 202, self.jobs.submit(request).to_json()
+            self._require(method, "GET", path)
+            return 200, {"jobs": [j.to_json() for j in self.jobs.list()]}
+        if len(route) == 2 and route[0] == "jobs":
+            self._require(method, "GET", path)
+            return 200, self.jobs.get(route[1]).to_json()
+        raise NotFoundError(f"no such endpoint: {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise MethodNotAllowedError(f"{path} only accepts {expected}")
+
+    @staticmethod
+    def _json(body: bytes) -> object:
+        if not body:
+            raise InvalidRequestError("request body must be a JSON object")
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise InvalidRequestError(f"request body is not valid JSON: {exc}")
+
+    # -- leaf endpoints ----------------------------------------------------
+
+    def health(self) -> dict:
+        from repro import __version__
+
+        return {
+            "status": "ok",
+            "version": __version__,
+            "protocol": SCHEMA_VERSION,
+            "strategy": self.workspace.strategy_name,
+        }
+
+    def stats(self) -> dict:
+        payload = self.workspace.stats()
+        payload["jobs"] = self.jobs.counters()
+        return payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    quiet = True
+
+    @property
+    def service(self) -> ReproService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def version_string(self) -> str:
+        from repro import __version__
+
+        return f"repro/{__version__}"
+
+    def log_message(self, fmt, *args):  # noqa: A002
+        if not self.quiet:  # pragma: no cover - operator mode
+            super().log_message(fmt, *args)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _handle(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        status, payload = self.service.handle(method, self.path, body)
+        self._respond(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer owning a :class:`ReproService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: ReproService, quiet: bool = True):
+        self.service = service
+        handler = type("_BoundHandler", (_Handler,), {"quiet": quiet})
+        super().__init__(address, handler)
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+def make_server(
+    workspace: Optional[Workspace] = None,
+    host: str = "127.0.0.1",
+    port: int = 8472,
+    quiet: bool = True,
+) -> ReproHTTPServer:
+    """Bind (but do not run) a service; ``port=0`` picks a free port
+    (read it back from ``server.server_address``)."""
+    return ReproHTTPServer((host, port), ReproService(workspace), quiet=quiet)
+
+
+def serve(
+    workspace: Optional[Workspace] = None,
+    host: str = "127.0.0.1",
+    port: int = 8472,
+    quiet: bool = False,
+) -> None:
+    """Run the service until interrupted (the ``repro serve`` command)."""
+    server = make_server(workspace, host, port, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro service on http://{bound_host}:{bound_port}/v1/health "
+        f"(strategy: {server.service.workspace.strategy_name}; Ctrl-C stops)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    finally:
+        server.close()

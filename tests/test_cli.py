@@ -219,3 +219,131 @@ class TestBenchCommand:
         assert data["strategy"] == "parallel-incremental[2]"
         (row,) = data["rows"]
         assert row["plan_steps"] == 2
+
+
+class TestStrategyContract:
+    """Regression tests for the --strategy None-vs-"serial" footgun: an
+    explicit serial must make the flags *genuinely* unused -- no cache
+    created on disk, no cache summary printed -- while the implicit
+    default upgrades to auto per the documented contract."""
+
+    def test_explicit_serial_opens_no_cache(self, tmp_path, capsys):
+        import os
+
+        cache_dir = tmp_path / "never-created"
+        assert (
+            main(
+                [
+                    "table1",
+                    "--benchmark",
+                    "SIBench",
+                    "--strategy",
+                    "serial",
+                    "--cache-dir",
+                    str(cache_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "--cache-dir ignored" in out
+        assert "cache:" not in out, "serial must not print a cache summary"
+        assert not os.path.exists(cache_dir), (
+            "an ignored --cache-dir must not be created on disk"
+        )
+
+    def test_explicit_serial_repair_opens_no_cache(self, tmp_path, capsys):
+        import os
+
+        cache_dir = tmp_path / "never-created"
+        assert (
+            main(
+                [
+                    "repair",
+                    "--benchmark",
+                    "SIBench",
+                    "--strategy",
+                    "serial",
+                    "--cache-dir",
+                    str(cache_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "--cache-dir ignored" in out
+        assert "cache:" not in out
+        assert not os.path.exists(cache_dir)
+
+    def test_implicit_default_with_cache_dir_uses_and_fills_it(
+        self, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        assert (
+            main(
+                ["table1", "--benchmark", "SIBench", "--cache-dir", str(cache_dir)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "using --strategy auto" in out
+        assert "cache:" in out
+        assert (cache_dir / "oracle_cache.sqlite").exists()
+
+    def test_plain_default_stays_serial_without_notes(self, capsys):
+        assert main(["table1", "--benchmark", "SIBench"]) == 0
+        out = capsys.readouterr().out
+        assert "note:" not in out and "cache:" not in out
+
+    def test_plan_in_notes_ignored_oracle_flags(self, tmp_path, capsys):
+        plan_file = tmp_path / "plan.json"
+        assert (
+            main(["repair", "--benchmark", "SIBench", "--plan-out", str(plan_file)])
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "repair",
+                    "--benchmark",
+                    "SIBench",
+                    "--plan-in",
+                    str(plan_file),
+                    "--strategy",
+                    "parallel-incremental",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "--plan-in replays" in out
+        assert "--strategy/--workers ignored" in out
+
+
+class TestSchemasCommand:
+    def test_dump_then_check_round_trip(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "schemas")
+        assert main(["schemas", "--out", out_dir]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["schemas", "--out", out_dir, "--check"]) == 0
+        assert "match" in capsys.readouterr().out
+
+    def test_check_fails_on_drift(self, tmp_path, capsys):
+        out_dir = tmp_path / "schemas"
+        assert main(["schemas", "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        victim = next(out_dir.glob("*.json"))
+        victim.write_text("{}")
+        assert main(["schemas", "--out", str(out_dir), "--check"]) == 1
+        assert "schema drift" in capsys.readouterr().err
+
+    def test_committed_goldens_are_current(self, capsys):
+        """The same gate CI runs: schemas/ in the repo matches the code."""
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        assert main(["schemas", "--out", os.path.join(root, "schemas"), "--check"]) == 0
+        capsys.readouterr()

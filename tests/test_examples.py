@@ -1,0 +1,50 @@
+"""Smoke tests for the examples/ walkthroughs.
+
+Each example is the public-API tour a new user follows; executing them
+against the current tree (and, since PR 5, the repro.api façade they
+now demonstrate) keeps the tour from rotting.  `perf_study.py` is
+excluded -- it is a minutes-long simulation sweep, not an API tour.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+EXAMPLES = {
+    "quickstart.py": ("== repaired program ==", "repro.api agrees"),
+    "courseware_repair.py": (
+        "== refactored program (matches the paper's Figure 3) ==",
+        "containment violations : 0",
+    ),
+    "smallbank_study.py": (
+        "AT-SC pins these transactions to serializable execution",
+        "dynamic invariant study",
+    ),
+    "custom_benchmark.py": ("deployment comparison", "facade agrees"),
+}
+
+
+@pytest.mark.parametrize("example", sorted(EXAMPLES))
+def test_example_runs_clean(example):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(ROOT, "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "examples", example)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for marker in EXAMPLES[example]:
+        assert marker in proc.stdout, (
+            f"{example} no longer prints {marker!r}; tour drifted?\n"
+            f"stdout tail:\n{proc.stdout[-2000:]}"
+        )

@@ -234,3 +234,33 @@ class TestInvalidation:
         ).fetchall()
         conn.close()
         assert rows == [("table", "A"), ("txn", "t3")]
+
+
+class TestCrossThreadUse:
+    def test_store_from_worker_thread_persists(self, tmp_path):
+        """The API workspace (and the HTTP service on it) opens the
+        cache on one thread and stores from whichever thread holds its
+        lock; the sqlite tier must accept that instead of silently
+        degrading to memory-only (check_same_thread)."""
+        import threading
+
+        cache = PersistentQueryCache(str(tmp_path))
+        errors = []
+
+        def store():
+            try:
+                cache.store(KEY, WITNESS, txns={"t1"}, tables={"A"})
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        thread = threading.Thread(target=store)
+        thread.start()
+        thread.join()
+        assert not errors
+        assert not cache._db_broken, "cross-thread store tripped _guard_db"
+        cache.close()
+        reopened = PersistentQueryCache(str(tmp_path))
+        found, witness = reopened.lookup(KEY)
+        assert found and witness == WITNESS
+        assert reopened.persistent_hits == 1
+        reopened.close()
