@@ -1,0 +1,187 @@
+"""Compare a fresh service-load run against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_service_regression.py \
+        --fresh BENCH_fresh.json --baseline BENCH_service.json \
+        [--tolerance 0.3] [--min-speedup 1.5]
+
+Follows the same host-shape discipline as
+``check_bench_regression.py``: correctness gates are unconditional,
+timing gates only apply where timing is meaningful.
+
+Unconditional gates (any host, any shape):
+
+- the fresh run completed every job in every pass with zero errors;
+- the worker-path differential is ``identical: true`` -- results served
+  through worker processes matched direct library calls byte-for-byte;
+- the required fields (``passes.single``, ``passes.multi``,
+  ``multi_worker_speedup``, ``differential``) are present, so the bench
+  cannot silently stop measuring the subsystem.
+
+Shape-conditional gates:
+
+- **min speedup**: on a host with >= 2 CPUs the multi-worker pass must
+  reach ``--min-speedup`` (default 1.5x) over the single-worker pass.
+  On a one-core host N solver processes time-slice one core and the
+  ratio measures scheduler overhead, not scaling, so it is reported
+  but not gated;
+- **throughput vs baseline**: single- and multi-pass throughputs are
+  compared against the committed baseline only when the fresh host
+  shape (``environment.cpu_count``, per-pass ``workers``, and the
+  job/concurrency workload) matches the baseline's; a drop of more than
+  ``--tolerance`` (default 30% -- wall-clock throughput is noisier than
+  the oracle bench's internal ratios) fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+REQUIRED_FIELDS = ("passes", "multi_worker_speedup", "differential")
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def pass_shape(data: dict, name: str):
+    """(cpu_count, workers, jobs, concurrency) for one load pass."""
+    record = data.get("passes", {}).get(name, {})
+    return (
+        data.get("environment", {}).get("cpu_count"),
+        record.get("workers"),
+        record.get("jobs"),
+        record.get("concurrency"),
+    )
+
+
+def same_shape(fresh: dict, baseline: dict, name: str) -> bool:
+    return pass_shape(fresh, name) == pass_shape(baseline, name)
+
+
+def check(
+    fresh: dict,
+    baseline: dict,
+    tolerance: float,
+    min_speedup: float,
+) -> list:
+    failures = []
+
+    for field in REQUIRED_FIELDS:
+        if field not in fresh:
+            failures.append(f"fresh run is missing {field!r} (required field)")
+    for name in ("single", "multi"):
+        if name not in fresh.get("passes", {}):
+            failures.append(f"fresh run is missing passes.{name} (required)")
+    if failures:
+        return failures  # nothing below is meaningful on a malformed run
+
+    # Correctness gates, unconditional.
+    differential = fresh.get("differential", {})
+    if differential.get("identical") is not True:
+        failures.append(
+            "worker-path differential is not identical: "
+            f"{differential.get('benchmarks')}"
+        )
+    for name, record in fresh["passes"].items():
+        if record.get("errors", 1) != 0:
+            failures.append(
+                f"passes.{name} had {record.get('errors')} errored job(s): "
+                f"{record.get('error_samples')}"
+            )
+        if record.get("completed") != record.get("jobs"):
+            failures.append(
+                f"passes.{name} completed {record.get('completed')}/"
+                f"{record.get('jobs')} jobs"
+            )
+
+    # Scaling gate: only where there are cores to scale onto.
+    cpu_count = fresh.get("environment", {}).get("cpu_count") or 1
+    speedup = fresh.get("multi_worker_speedup", 0.0)
+    if cpu_count >= 2:
+        if speedup < min_speedup:
+            failures.append(
+                f"multi-worker speedup {speedup:.2f}x < {min_speedup:.2f}x "
+                f"on a {cpu_count}-core host"
+            )
+    else:
+        print(
+            f"single-core host: multi-worker speedup {speedup:.2f}x "
+            "reported but not gated (no cores to scale onto)"
+        )
+
+    # Baseline throughput comparison, same-shape hosts only.
+    for name in ("single", "multi"):
+        if not same_shape(fresh, baseline, name):
+            print(
+                f"passes.{name} host/workload shape differs "
+                f"({pass_shape(baseline, name)} -> {pass_shape(fresh, name)}); "
+                "throughput reported but not gated"
+            )
+            continue
+        base_tp = baseline["passes"][name].get("throughput_jobs_per_s")
+        fresh_tp = fresh["passes"][name].get("throughput_jobs_per_s")
+        if base_tp is None or fresh_tp is None:
+            continue
+        floor = base_tp * (1.0 - tolerance)
+        if fresh_tp < floor:
+            failures.append(
+                f"passes.{name} throughput regressed: {fresh_tp:.2f} < "
+                f"{floor:.2f} jobs/s (baseline {base_tp:.2f} - "
+                f"{tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True, help="freshly measured JSON")
+    parser.add_argument(
+        "--baseline", required=True, help="committed baseline JSON"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.3,
+        help="allowed fractional throughput drop vs baseline on "
+        "same-shape hosts (default 0.3)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.5,
+        help="required multi-vs-single-worker speedup on multi-core "
+        "hosts (default 1.5)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    failures = check(fresh, baseline, args.tolerance, args.min_speedup)
+
+    single = fresh.get("passes", {}).get("single", {})
+    multi = fresh.get("passes", {}).get("multi", {})
+    print(
+        f"fresh: single {single.get('throughput_jobs_per_s')} jobs/s, "
+        f"multi[{multi.get('workers')}w] "
+        f"{multi.get('throughput_jobs_per_s')} jobs/s "
+        f"({fresh.get('multi_worker_speedup')}x), differential "
+        f"identical={fresh.get('differential', {}).get('identical')} | "
+        f"baseline: single "
+        f"{baseline.get('passes', {}).get('single', {}).get('throughput_jobs_per_s')}"
+        f" jobs/s, speedup {baseline.get('multi_worker_speedup')}x"
+    )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("service regression gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

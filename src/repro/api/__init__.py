@@ -21,13 +21,33 @@ module::
         fix = ws.repair(RepairRequest(benchmark="Courseware"))
         print(fix.repaired_program)
         payload = fix.to_json()          # versioned, schema-validated
+
+When a workspace must be built in another process -- the service's
+worker pool does this for every worker -- describe it with a picklable
+:class:`WorkspaceConfig` and call :meth:`WorkspaceConfig.build` on the
+far side::
+
+    from repro.api import WorkspaceConfig
+
+    config = WorkspaceConfig(strategy="incremental", cache_dir=".cache")
+    ws = config.for_worker(3).build()    # private cache subdir worker-3
+
+Browse this surface with ``python -m pydoc repro.api`` (every exported
+name carries reference-grade docs); the service's own additions --
+admission-control errors like :class:`QueueFullError` -- live here too
+so clients never import from :mod:`repro.service` just to catch them.
 """
 
 from repro.api.errors import (
     ApiError,
+    BackpressureError,
     InvalidRequestError,
     JobNotFoundError,
+    QueueFullError,
+    RateLimitedError,
+    RequestTooLargeError,
     SchemaVersionError,
+    ServiceDrainingError,
     UnknownBenchmarkError,
     error_payload,
     http_status_of,
@@ -53,11 +73,13 @@ from repro.api.workspace import (
     DEFAULT_STRATEGY,
     STRATEGIES,
     Workspace,
+    WorkspaceConfig,
     requested_strategy,
 )
 
 __all__ = [
     "Workspace",
+    "WorkspaceConfig",
     "DEFAULT_STRATEGY",
     "STRATEGIES",
     "requested_strategy",
@@ -79,6 +101,11 @@ __all__ = [
     "SchemaVersionError",
     "UnknownBenchmarkError",
     "JobNotFoundError",
+    "BackpressureError",
+    "QueueFullError",
+    "RateLimitedError",
+    "RequestTooLargeError",
+    "ServiceDrainingError",
     "error_payload",
     "http_status_of",
     "ProgressEvent",

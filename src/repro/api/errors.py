@@ -41,10 +41,56 @@ class UnknownBenchmarkError(InvalidRequestError):
 
 
 class JobNotFoundError(ApiError):
-    """``GET /v1/jobs/<id>`` for an id that was never issued."""
+    """``GET /v1/jobs/<id>`` for an id that was never issued (or whose
+    row aged out of the job store's retention window)."""
 
     code = "job-not-found"
     http_status = 404
+
+
+class BackpressureError(ApiError):
+    """Base class for admission-control refusals (the service is
+    protecting itself, not blaming the request).  ``retry_after`` is the
+    suggested client backoff in seconds; the HTTP layer sends it as a
+    ``Retry-After`` header."""
+
+    code = "backpressure"
+    http_status = 429
+
+    def __init__(self, message: str, retry_after: int = 1):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QueueFullError(BackpressureError):
+    """``POST /v1/jobs`` while the durable queue already holds
+    ``max_queue_depth`` waiting jobs: the work is refused, not silently
+    enqueued into an unbounded backlog."""
+
+    code = "queue-full"
+
+
+class RateLimitedError(BackpressureError):
+    """The per-client token bucket is empty; retry after the indicated
+    backoff."""
+
+    code = "rate-limited"
+
+
+class RequestTooLargeError(ApiError):
+    """The request body exceeds the service's size cap; it was refused
+    before parsing."""
+
+    code = "request-too-large"
+    http_status = 413
+
+
+class ServiceDrainingError(BackpressureError):
+    """The server received SIGTERM and is finishing in-flight work; it
+    admits no new mutating requests.  Retry against a live instance."""
+
+    code = "draining"
+    http_status = 503
 
 
 def http_status_of(exc: BaseException) -> int:

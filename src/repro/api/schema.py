@@ -204,7 +204,7 @@ def all_schemas() -> Dict[str, dict]:
     health = {
         "type": "object",
         "properties": {
-            "status": {"enum": ["ok"]},
+            "status": {"enum": ["ok", "draining"]},
             "version": _STR,
             "protocol": {"enum": [SCHEMA_VERSION]},
             "strategy": _STR,
@@ -233,6 +233,23 @@ def all_schemas() -> Dict[str, dict]:
             },
             "sessions": _COUNTERS,
             "jobs": _COUNTERS,
+            "service": {
+                "type": "object",
+                "properties": {
+                    "workers": _INT,
+                    "workers_alive": _INT,
+                    "worker_restarts": _INT,
+                    "queue_depth": _INT,
+                    "max_queue_depth": _INT,
+                    "draining": _BOOL,
+                    "recovered_jobs": _INT,
+                    "admission": _COUNTERS,
+                },
+                "required": [
+                    "workers", "queue_depth", "draining", "admission",
+                ],
+                "additionalProperties": False,
+            },
         },
         "required": ["version", "strategy", "requests"],
         "additionalProperties": False,
@@ -246,6 +263,8 @@ def all_schemas() -> Dict[str, dict]:
             "created_at": _NUM,
             "started_at": {"type": ["number", "null"]},
             "finished_at": {"type": ["number", "null"]},
+            "attempts": _INT,
+            "worker": _OPT_STR,
             "events": {"type": "array", "items": _EVENT},
             "result": {"type": ["object", "null"]},
             "error": {"type": ["object", "null"]},

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.api.errors import InvalidRequestError, UnknownBenchmarkError
@@ -100,6 +101,57 @@ def requested_strategy(
                 f"threaded seed loop; {joined} ignored"
             )
     return strategy or "serial", None
+
+
+@dataclass(frozen=True)
+class WorkspaceConfig:
+    """A picklable recipe for building a :class:`Workspace`.
+
+    The multi-process service ships one of these to every worker
+    process (:mod:`repro.service.workers`): the config crosses the
+    process boundary, the workspace it :meth:`build`\\ s -- warm solver
+    sessions, caches, locks -- never does.  Fields mirror the
+    :class:`Workspace` constructor's keyword arguments; everything is a
+    plain value, so a config is safe to pickle, hash into logs, or
+    embed in an operator playbook.
+
+    ``for_worker`` derives the per-worker variant: when a persistent
+    ``cache_dir`` is set, each worker gets its own subdirectory
+    (``<cache_dir>/worker-<i>``), because the sqlite memo cache batches
+    writes in long transactions and is not built for concurrent
+    writers.  Shard affinity makes the split cheap: worker *i* keeps
+    seeing the same requests, so its private cache warms just as well.
+    """
+
+    strategy: str = DEFAULT_STRATEGY
+    cache_dir: Optional[str] = None
+    max_workers: Optional[int] = None
+    search: str = "greedy"
+    use_prefilter: bool = True
+    distinct_args: bool = True
+
+    def build(self) -> "Workspace":
+        """Construct the workspace this config describes."""
+        return Workspace(
+            strategy=self.strategy,
+            cache_dir=self.cache_dir,
+            max_workers=self.max_workers,
+            search=self.search,
+            use_prefilter=self.use_prefilter,
+            distinct_args=self.distinct_args,
+        )
+
+    def for_worker(self, index: int) -> "WorkspaceConfig":
+        """The variant worker ``index`` should build (private cache
+        subdirectory; everything else shared)."""
+        if self.cache_dir is None:
+            return self
+        import dataclasses
+        import os
+
+        return dataclasses.replace(
+            self, cache_dir=os.path.join(self.cache_dir, f"worker-{index}")
+        )
 
 
 class Workspace:

@@ -15,7 +15,9 @@ same code path by construction:
   seed oracle against a warm strategy (incremental by default,
   ``--strategy parallel-incremental`` for the sharded worker pool);
 - ``repro serve`` -- run the JSON-over-HTTP service
-  (:mod:`repro.service`) on one long-lived workspace;
+  (:mod:`repro.service`): a durable sqlite job queue (``--job-db``)
+  drained by ``--workers`` N worker processes, with admission control
+  (``--max-queue-depth``, ``--rate-limit``) and graceful SIGTERM drain;
 - ``repro schemas`` -- dump (or ``--check``) the versioned wire schemas
   against the committed ``schemas/`` goldens.
 
@@ -324,7 +326,7 @@ def _report_bench(args, warm_ws, rows) -> int:
 
 
 def cmd_serve(args) -> int:
-    from repro.api import Workspace, requested_strategy
+    from repro.api import Workspace, WorkspaceConfig, requested_strategy
     from repro.service import serve
 
     # A server exists to stay warm: the implicit default is the fast
@@ -335,16 +337,36 @@ def cmd_serve(args) -> int:
         strategy = "auto"
     else:
         strategy, note = requested_strategy(
-            args.strategy, args.cache_dir, args.workers
+            args.strategy, args.cache_dir, args.strategy_workers
         )
         if note:
             print(note)
+    cache_dir = args.cache_dir if strategy != "serial" else None
+    # Worker processes get the same recipe the server workspace uses
+    # (WorkspaceConfig.for_worker gives each its own cache subdir).
+    worker_config = WorkspaceConfig(
+        strategy=strategy,
+        cache_dir=cache_dir,
+        max_workers=args.strategy_workers,
+    )
     with Workspace(
         strategy=strategy,
-        cache_dir=args.cache_dir if strategy != "serial" else None,
-        max_workers=args.workers,
+        cache_dir=cache_dir,
+        max_workers=args.strategy_workers,
     ) as ws:
-        serve(ws, host=args.host, port=args.port, quiet=args.quiet)
+        serve(
+            ws,
+            host=args.host,
+            port=args.port,
+            quiet=args.quiet,
+            workers=args.workers,
+            worker_config=worker_config,
+            job_db=args.job_db,
+            max_queue_depth=args.max_queue_depth,
+            rate_limit=args.rate_limit,
+            max_request_bytes=args.max_request_bytes,
+            drain_timeout=args.drain_timeout,
+        )
     return 0
 
 
@@ -478,8 +500,52 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument(
         "--workers",
         type=int,
+        default=0,
         metavar="N",
-        help="worker processes for the pool strategies (default: cpu count)",
+        help="service worker processes draining the job queue (default: 0 "
+        "= run jobs on an in-process thread)",
+    )
+    sv.add_argument(
+        "--strategy-workers",
+        type=int,
+        metavar="N",
+        help="threads per workspace for the pool strategies "
+        "(default: cpu count)",
+    )
+    sv.add_argument(
+        "--job-db",
+        metavar="FILE",
+        help="sqlite job queue path; jobs in it survive restarts "
+        "(default: a private temp file)",
+    )
+    sv.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued jobs admitted before POST /v1/jobs answers 429 "
+        "queue-full (default: 64)",
+    )
+    sv.add_argument(
+        "--rate-limit",
+        type=float,
+        metavar="R",
+        help="per-client POST requests/second (burst 2R); default: off",
+    )
+    sv.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="request bodies over N bytes answer 413 (default: 1 MiB)",
+    )
+    sv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="seconds SIGTERM waits for in-flight jobs before forcing "
+        "shutdown (default: 60)",
     )
     sv.add_argument(
         "--quiet", action="store_true", help="suppress per-request log lines"

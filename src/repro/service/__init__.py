@@ -1,27 +1,42 @@
-"""``repro.service``: the stdlib JSON-over-HTTP server on the façade.
+"""``repro.service``: the durable multi-process HTTP service tier.
 
-One :class:`~repro.api.workspace.Workspace` behind a
-``ThreadingHTTPServer`` (:mod:`repro.service.server`) with an async job
-queue for long repairs (:mod:`repro.service.jobs`).  Start it with
-``repro serve`` or::
+Four modules, one topology (DESIGN.md has the diagram):
+
+- :mod:`repro.service.server` -- the stdlib ``ThreadingHTTPServer``
+  front door: routing, admission, job submission, event streaming;
+- :mod:`repro.service.store` -- the sqlite :class:`JobStore`: every
+  accepted job is a row, so restarts and worker crashes lose nothing;
+- :mod:`repro.service.workers` -- the execution tier: N worker
+  *processes* (each with its own warm workspace) or an in-process
+  thread at ``workers=0``;
+- :mod:`repro.service.admission` -- backpressure with stable error
+  codes (429/413/503) before work costs anything.
+
+Start it with ``repro serve --workers 4`` or::
 
     from repro.service import serve
-    serve(port=8472)
+    serve(port=8472, workers=4, job_db="jobs.sqlite")
 """
 
-from repro.service.jobs import Job, JobQueue
+from repro.service.admission import AdmissionController, TokenBucket
 from repro.service.server import (
     ReproHTTPServer,
     ReproService,
     make_server,
     serve,
 )
+from repro.service.store import Job, JobStore
+from repro.service.workers import InlineRunner, WorkerPool
 
 __all__ = [
+    "AdmissionController",
+    "InlineRunner",
     "Job",
-    "JobQueue",
+    "JobStore",
     "ReproHTTPServer",
     "ReproService",
+    "TokenBucket",
+    "WorkerPool",
     "make_server",
     "serve",
 ]

@@ -1,0 +1,154 @@
+"""Admission control: say no at the door, cheaply and machine-readably.
+
+Every rejection here exists to protect the expensive part of the system
+(solver work, the durable queue) from the cheap part (accepting bytes
+off a socket).  Three gates, checked in order, each with a stable error
+code so clients can dispatch without parsing messages:
+
+- **draining** (503, ``draining``) -- the server got SIGTERM and is
+  finishing in-flight work; retry against its replacement;
+- **request size** (413, ``request-too-large``) -- bodies over
+  ``max_request_bytes`` are refused before they are parsed;
+- **rate** (429, ``rate-limited``) -- a per-client token bucket
+  (``rate_limit`` requests/second sustained, ``rate_burst`` burst);
+- **queue depth** (429, ``queue-full``) -- applied by the server at job
+  submission: once the store holds ``max_queue_depth`` queued jobs, new
+  work is refused rather than accepted into an ever-growing backlog.
+
+429/503 responses carry ``Retry-After``; a well-behaved client backs
+off exactly that long (the load driver under ``benchmarks/`` does).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.api.errors import (
+    RateLimitedError,
+    RequestTooLargeError,
+    ServiceDrainingError,
+)
+
+#: Default admission knobs (see ``repro serve --help`` for the flags).
+DEFAULT_MAX_QUEUE_DEPTH = 64
+DEFAULT_MAX_REQUEST_BYTES = 1 << 20  # 1 MiB: the largest corpus program is ~4 KiB
+
+#: Client buckets tracked before the oldest-idle one is evicted; bounds
+#: admission-state memory under address churn (an evicted client simply
+#: starts from a full bucket again).
+MAX_TRACKED_CLIENTS = 4096
+
+
+class TokenBucket:
+    """The classic leaky counter: ``rate`` tokens/second, ``burst`` cap."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def try_take(self, now: float) -> Optional[float]:
+        """Take one token; returns ``None`` on success or the seconds
+        until one becomes available."""
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.updated) * self.rate
+        )
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return None
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Per-server admission state: drain flag, size cap, client buckets.
+
+    ``rate_limit=None`` disables rate limiting (the default: a private
+    service behind a trusted proxy should not surprise-throttle
+    itself).  All methods are thread-safe; the HTTP handler calls
+    :meth:`admit` once per mutating request.
+    """
+
+    def __init__(
+        self,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[float] = None,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ):
+        self.rate_limit = rate_limit
+        self.rate_burst = (
+            rate_burst
+            if rate_burst is not None
+            else (rate_limit * 2 if rate_limit else None)
+        )
+        self.max_request_bytes = max_request_bytes
+        self.draining = False
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "admitted": 0,
+            "rate_limited": 0,
+            "queue_full": 0,
+            "too_large": 0,
+            "draining": 0,
+        }
+
+    # -- the gate ----------------------------------------------------------
+
+    def admit(self, client: Optional[str], body_bytes: int) -> None:
+        """Raise the right :class:`~repro.api.errors.ApiError` subclass
+        if this mutating request must be refused; count it either way."""
+        if self.draining:
+            self._count("draining")
+            raise ServiceDrainingError(
+                "server is draining (finishing in-flight work before "
+                "shutdown); retry against a live instance"
+            )
+        if body_bytes > self.max_request_bytes:
+            self._count("too_large")
+            raise RequestTooLargeError(
+                f"request body of {body_bytes} bytes exceeds the "
+                f"{self.max_request_bytes}-byte cap"
+            )
+        if self.rate_limit and client is not None:
+            wait = self._take(client)
+            if wait is not None:
+                self._count("rate_limited")
+                raise RateLimitedError(
+                    f"client {client} exceeded {self.rate_limit:g} "
+                    "requests/second",
+                    retry_after=max(1, int(wait + 0.999)),
+                )
+        self._count("admitted")
+
+    def note_queue_full(self) -> None:
+        """The queue-depth gate lives at the submission site (it needs
+        the store); it reports its rejections here for ``/v1/stats``."""
+        self._count("queue_full")
+
+    # -- internals ---------------------------------------------------------
+
+    def _take(self, client: str) -> Optional[float]:
+        now = time.monotonic()
+        with self._lock:
+            bucket = self._buckets.pop(client, None)
+            if bucket is None:
+                bucket = TokenBucket(self.rate_limit, self.rate_burst, now)
+            self._buckets[client] = bucket  # re-insert = most recent
+            while len(self._buckets) > MAX_TRACKED_CLIENTS:
+                self._buckets.popitem(last=False)
+            return bucket.try_take(now)
+
+    def _count(self, key: str) -> None:
+        with self._lock:
+            self._counters[key] += 1
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)

@@ -1,44 +1,60 @@
-"""The JSON-over-HTTP front door: stdlib only, one shared Workspace.
+"""The JSON-over-HTTP front door: stdlib only, durable jobs, N workers.
 
 ``repro serve`` (or :func:`serve`) exposes the :mod:`repro.api` façade
 over a :class:`http.server.ThreadingHTTPServer`:
 
-=======  ==================  ==============================================
-method   path                body / response
-=======  ==================  ==============================================
-POST     ``/v1/analyze``     ``analyze_request`` -> ``analyze_result``
-POST     ``/v1/repair``      ``repair_request`` -> ``repair_result``
-POST     ``/v1/bench``       ``bench_request`` -> ``bench_result``
-POST     ``/v1/jobs``        any request kind -> ``job`` (202, async)
-GET      ``/v1/jobs``        ``{"jobs": [job, ...]}``
-GET      ``/v1/jobs/<id>``   ``job`` (status, progress events, result)
-GET      ``/v1/health``      ``{"status": "ok", "version", "protocol"}``
-GET      ``/v1/stats``       cache hit rates, session counters, job totals
-=======  ==================  ==============================================
+=======  =========================  =========================================
+method   path                       body / response
+=======  =========================  =========================================
+POST     ``/v1/analyze``            ``analyze_request`` -> ``analyze_result``
+POST     ``/v1/repair``             ``repair_request`` -> ``repair_result``
+POST     ``/v1/bench``              ``bench_request`` -> ``bench_result``
+POST     ``/v1/jobs``               any request kind -> ``job`` (202) or
+                                    429 ``queue-full`` when the durable
+                                    queue is at ``max_queue_depth``
+GET      ``/v1/jobs``               ``{"jobs": [job, ...]}``
+GET      ``/v1/jobs/<id>``          ``job`` (status, events, stored result)
+GET      ``/v1/jobs/<id>/events``   chunked NDJSON progress-event stream
+GET      ``/v1/health``             ``{"status": "ok", "version", ...}``
+GET      ``/v1/stats``              cache/session/job/admission counters
+=======  =========================  =========================================
 
-All documents are the versioned wire types of :mod:`repro.api.types`
-(goldens under ``schemas/``).  Errors serialize as
+The topology (see DESIGN.md for the diagram, OPERATIONS.md for the
+runbook): this process parses, validates, and *admits*; accepted jobs
+are rows in a sqlite :class:`~repro.service.store.JobStore`; worker
+processes (:class:`~repro.service.workers.WorkerPool`, ``workers=N``)
+or an in-process thread (``workers=0``) claim and run them.  Sync
+endpoints still execute on the shared in-process workspace -- they are
+the low-latency path for small programs; jobs are the scalable path.
+
+Admission control (:mod:`repro.service.admission`) refuses work with
+stable codes before it costs anything: 429 ``rate-limited`` /
+``queue-full`` (with ``Retry-After``), 413 ``request-too-large``, 503
+``draining``.  SIGTERM starts a graceful drain: stop admitting, finish
+in-flight jobs, checkpoint caches, exit.  All other errors serialize as
 ``{"error": {"code", "message"}}`` with the status each error class
 declares; unexpected faults become ``internal-error`` 500s without
 leaking a traceback.
 
-Every handler thread shares **one** workspace, so concurrent requests
-hit the same warm :class:`~repro.analysis.oracle.OracleSession` pools
-and the same (optionally persistent) memo cache -- the workspace's lock
-serializes solver work while the HTTP layer stays concurrent.  Results
-are byte-identical to direct library calls by differential test gate.
+Results are byte-identical to direct library calls -- on the sync path
+*and* through the worker processes -- by differential test gate.
 """
 
 from __future__ import annotations
 
 import json
+import shutil
+import signal
+import tempfile
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 from urllib.parse import urlparse
 
 from repro.api.errors import (
     ApiError,
     InvalidRequestError,
+    QueueFullError,
     error_payload,
     http_status_of,
 )
@@ -49,9 +65,17 @@ from repro.api.types import (
     RepairRequest,
     decode_request,
 )
-from repro.api.workspace import Workspace
+from repro.api.workspace import Workspace, WorkspaceConfig
 from repro.errors import ReproError
-from repro.service.jobs import JobQueue
+from repro.service.admission import (
+    DEFAULT_MAX_QUEUE_DEPTH,
+    AdmissionController,
+)
+from repro.service.store import JobStore
+from repro.service.workers import InlineRunner, WorkerPool
+
+#: How often the event stream polls the store for new rows.
+STREAM_POLL_INTERVAL = 0.05
 
 
 class NotFoundError(ApiError):
@@ -68,34 +92,118 @@ class MethodNotAllowedError(ApiError):
     http_status = 405
 
 
+def _headers_of(exc: BaseException) -> Dict[str, str]:
+    """Extra response headers an error wants sent (``Retry-After``)."""
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        return {"Retry-After": str(retry_after)}
+    return {}
+
+
 class ReproService:
-    """Transport-independent request router over one workspace.
+    """Transport-independent request router over one workspace + store.
 
     Separating routing from :class:`http.server` keeps the whole
-    surface unit-testable without sockets and leaves the HTTP handler
-    with nothing but byte shuffling.
+    surface unit-testable without sockets: :meth:`handle` is the JSON
+    request/response path, :meth:`open_event_stream` the streaming one.
+
+    ``workers=0`` (default) runs jobs on an in-process thread against
+    the shared workspace; ``workers=N`` spawns N worker processes, each
+    building its own workspace from ``worker_config``.  ``job_db`` is
+    the sqlite queue path -- pass a real path to survive restarts; the
+    default is a private temp file deleted on :meth:`close` (durable
+    against worker crashes, not against losing the server's temp dir).
     """
 
-    def __init__(self, workspace: Optional[Workspace] = None):
+    def __init__(
+        self,
+        workspace: Optional[Workspace] = None,
+        *,
+        job_db: Optional[str] = None,
+        workers: int = 0,
+        worker_config: Optional[WorkspaceConfig] = None,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[float] = None,
+        max_request_bytes: Optional[int] = None,
+        start_runner: bool = True,
+    ):
         self._owns_workspace = workspace is None
         self.workspace = workspace if workspace is not None else Workspace()
-        self.jobs = JobQueue(self.workspace)
+        self._tmpdir = None
+        if job_db is None:
+            self._tmpdir = tempfile.mkdtemp(prefix="repro-jobs-")
+            job_db = f"{self._tmpdir}/jobs.sqlite"
+        self.store = JobStore(job_db)
+        self.max_queue_depth = max_queue_depth
+        admission_kwargs = {}
+        if max_request_bytes is not None:
+            admission_kwargs["max_request_bytes"] = max_request_bytes
+        self.admission = AdmissionController(
+            rate_limit=rate_limit, rate_burst=rate_burst, **admission_kwargs
+        )
+        self.workers = workers
+        if workers > 0:
+            config = worker_config or WorkspaceConfig(strategy="incremental")
+            self.runner = WorkerPool(job_db, config, workers)
+        else:
+            self.runner = InlineRunner(self.store, self.workspace)
+        # Anything still `running` in a reopened store belongs to a
+        # previous process generation: re-enqueue before workers start,
+        # so a restart loses zero accepted jobs.
+        requeued, _ = self.store.recover(set())
+        self.recovered_jobs = len(requeued)
+        if start_runner:
+            self.runner.start()
+        self._started_runner = start_runner
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Graceful shutdown, phase one: stop admitting (503
+        ``draining``), let workers finish in-flight jobs and checkpoint
+        their caches.  Read endpoints stay up throughout so operators
+        can watch the queue empty via ``/v1/stats``."""
+        self.admission.draining = True
+        return self.runner.drain(timeout=timeout)
 
     def close(self) -> None:
-        self.jobs.close()
+        """Release everything: runner, store, owned workspace (closing
+        the workspace checkpoints the server-side persistent cache)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started_runner:
+            if self.admission.draining:
+                self.runner.drain(timeout=5)
+            else:
+                self.runner.stop()
+        self.store.close()
         if self._owns_workspace:
             self.workspace.close()
+        if self._tmpdir is not None:
+            shutil.rmtree(self._tmpdir, ignore_errors=True)
 
     # -- routing -----------------------------------------------------------
 
-    def handle(self, method: str, path: str, body: bytes) -> Tuple[int, dict]:
-        """(status, JSON-ready payload) for one request."""
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        client: Optional[str] = None,
+    ) -> Tuple[int, dict, Dict[str, str]]:
+        """(status, JSON-ready payload, extra headers) for one request."""
         try:
-            return self._dispatch(method, path, body)
+            if method == "POST":
+                self.admission.admit(client, len(body))
+            status, payload = self._dispatch(method, path, body)
+            return status, payload, {}
         except ReproError as exc:
-            return http_status_of(exc), error_payload(exc)
+            return http_status_of(exc), error_payload(exc), _headers_of(exc)
         except Exception as exc:  # noqa: BLE001 - service boundary
-            return 500, error_payload(exc)
+            return 500, error_payload(exc), {}
 
     def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, dict]:
         parts = [p for p in urlparse(path).path.split("/") if p]
@@ -123,13 +231,65 @@ class ReproService:
         if route == ["jobs"]:
             if method == "POST":
                 request = decode_request(self._json(body))
-                return 202, self.jobs.submit(request).to_json()
+                return 202, self.submit_job(request).to_json()
             self._require(method, "GET", path)
-            return 200, {"jobs": [j.to_json() for j in self.jobs.list()]}
+            return 200, {"jobs": [j.to_json() for j in self.store.list()]}
         if len(route) == 2 and route[0] == "jobs":
             self._require(method, "GET", path)
-            return 200, self.jobs.get(route[1]).to_json()
+            return 200, self.store.get(route[1]).to_json()
         raise NotFoundError(f"no such endpoint: {path}")
+
+    def submit_job(self, request):
+        """Admit one job into the durable queue (the queue-depth gate
+        lives here because it needs the store)."""
+        depth = self.store.depth()
+        if depth >= self.max_queue_depth:
+            self.admission.note_queue_full()
+            raise QueueFullError(
+                f"job queue is full ({depth} waiting, cap "
+                f"{self.max_queue_depth}); retry later",
+                retry_after=2,
+            )
+        return self.store.submit(request)
+
+    # -- streaming ---------------------------------------------------------
+
+    def match_event_stream(self, path: str) -> Optional[str]:
+        """The job id iff ``path`` is ``/v1/jobs/<id>/events``."""
+        parts = [p for p in urlparse(path).path.split("/") if p]
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "events":
+            return parts[2]
+        return None
+
+    def open_event_stream(
+        self, job_id: str, poll: float = STREAM_POLL_INTERVAL,
+        timeout: float = 3600.0,
+    ) -> Iterator[bytes]:
+        """NDJSON lines: every stored progress event as it lands, then a
+        terminal ``job.end`` line once the job is done/failed.  Raises
+        :class:`~repro.api.errors.JobNotFoundError` before the first
+        byte, so the HTTP layer can still answer 404."""
+        self.store.get(job_id)  # 404 now, not mid-stream
+
+        def lines() -> Iterator[bytes]:
+            after = 0
+            deadline = time.monotonic() + timeout
+            while True:
+                events, status = self.store.events_since(job_id, after)
+                for seq, event in events:
+                    after = seq
+                    yield json.dumps(event, sort_keys=True).encode() + b"\n"
+                if status in ("done", "failed"):
+                    end = {"stage": "job.end", "detail": {"status": status}}
+                    yield json.dumps(end, sort_keys=True).encode() + b"\n"
+                    return
+                if time.monotonic() > deadline:
+                    end = {"stage": "job.end", "detail": {"status": "timeout"}}
+                    yield json.dumps(end, sort_keys=True).encode() + b"\n"
+                    return
+                time.sleep(poll)
+
+        return lines()
 
     @staticmethod
     def _require(method: str, expected: str, path: str) -> None:
@@ -151,7 +311,7 @@ class ReproService:
         from repro import __version__
 
         return {
-            "status": "ok",
+            "status": "draining" if self.admission.draining else "ok",
             "version": __version__,
             "protocol": SCHEMA_VERSION,
             "strategy": self.workspace.strategy_name,
@@ -159,7 +319,18 @@ class ReproService:
 
     def stats(self) -> dict:
         payload = self.workspace.stats()
-        payload["jobs"] = self.jobs.counters()
+        payload["jobs"] = self.store.counters()
+        runner = self.runner.counters()
+        payload["service"] = {
+            "workers": runner.get("workers", 0),
+            "workers_alive": runner.get("alive", 0),
+            "worker_restarts": runner.get("restarts", 0),
+            "queue_depth": self.store.depth(),
+            "max_queue_depth": self.max_queue_depth,
+            "draining": self.admission.draining,
+            "recovered_jobs": self.recovered_jobs,
+            "admission": self.admission.counters(),
+        }
         return payload
 
 
@@ -180,19 +351,59 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.quiet:  # pragma: no cover - operator mode
             super().log_message(fmt, *args)
 
-    def _respond(self, status: int, payload: dict) -> None:
+    def _respond(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
         data = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
+    def _stream(self, chunks: "Iterator[bytes]") -> None:
+        """Chunked transfer: one NDJSON line per chunk, flushed as it
+        happens, so a client sees events live, not on job completion."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for chunk in chunks:
+                self.wfile.write(f"{len(chunk):x}\r\n".encode())
+                self.wfile.write(chunk)
+                self.wfile.write(b"\r\n")
+                self.wfile.flush()
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-stream; nothing to clean up
+
     def _handle(self, method: str) -> None:
+        if method == "GET":
+            job_id = self.service.match_event_stream(self.path)
+            if job_id is not None:
+                try:
+                    chunks = self.service.open_event_stream(job_id)
+                except ReproError as exc:
+                    self._respond(http_status_of(exc), error_payload(exc))
+                    return
+                self._stream(chunks)
+                return
         length = int(self.headers.get("Content-Length") or 0)
-        body = self.rfile.read(length) if length else b""
-        status, payload = self.service.handle(method, self.path, body)
-        self._respond(status, payload)
+        cap = self.service.admission.max_request_bytes
+        # Never buffer more than the cap: read one byte past it so the
+        # oversized request is detected without swallowing gigabytes.
+        body = self.rfile.read(min(length, cap + 1)) if length else b""
+        if length > len(body):
+            # Part of the body is still on the socket; this connection
+            # cannot be reused.
+            self.close_connection = True
+        status, payload, headers = self.service.handle(
+            method, self.path, body, client=self.client_address[0]
+        )
+        self._respond(status, payload, headers)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
         self._handle("GET")
@@ -222,10 +433,15 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8472,
     quiet: bool = True,
+    **service_options,
 ) -> ReproHTTPServer:
     """Bind (but do not run) a service; ``port=0`` picks a free port
-    (read it back from ``server.server_address``)."""
-    return ReproHTTPServer((host, port), ReproService(workspace), quiet=quiet)
+    (read it back from ``server.server_address``).  ``service_options``
+    are forwarded to :class:`ReproService` (``workers=``, ``job_db=``,
+    ``max_queue_depth=``, ``rate_limit=``, ...)."""
+    return ReproHTTPServer(
+        (host, port), ReproService(workspace, **service_options), quiet=quiet
+    )
 
 
 def serve(
@@ -233,17 +449,37 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8472,
     quiet: bool = False,
+    drain_timeout: float = 60.0,
+    **service_options,
 ) -> None:
-    """Run the service until interrupted (the ``repro serve`` command)."""
-    server = make_server(workspace, host, port, quiet=quiet)
+    """Run the service until SIGTERM/SIGINT (the ``repro serve``
+    command).  SIGTERM drains gracefully: admission flips to 503
+    ``draining``, in-flight jobs finish and caches checkpoint, then the
+    listener stops."""
+    server = make_server(workspace, host, port, quiet=quiet, **service_options)
+    service = server.service
     bound_host, bound_port = server.server_address[:2]
     print(
         f"repro service on http://{bound_host}:{bound_port}/v1/health "
-        f"(strategy: {server.service.workspace.strategy_name}; Ctrl-C stops)"
+        f"(strategy: {service.workspace.strategy_name}; "
+        f"workers: {service.workers or 'in-process'}; "
+        f"queue: {service.store.path}; SIGTERM drains, Ctrl-C stops)"
     )
+
+    def _drain_and_stop(signum, frame):  # pragma: no cover - signal path
+        import threading
+
+        def run():
+            service.drain(timeout=drain_timeout)
+            server.shutdown()
+
+        threading.Thread(target=run, daemon=True).start()
+
+    previous = signal.signal(signal.SIGTERM, _drain_and_stop)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive teardown
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.close()

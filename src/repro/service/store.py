@@ -1,0 +1,474 @@
+"""The durable job store: every submitted job lives in sqlite, not RAM.
+
+This is the spine of the multi-process service topology.  ``POST
+/v1/jobs`` inserts a row; worker processes (:mod:`repro.service.workers`)
+claim rows with an atomic ``queued -> running`` transition; results,
+errors, and the progress-event log are written back to the same file.
+Because the store *is* the queue, the properties the old in-memory
+``JobQueue`` could not offer fall out of the schema:
+
+- **restart-safe**: a server restart loses zero submitted jobs -- the
+  new process reopens the file, :meth:`JobStore.recover` re-enqueues
+  anything a dead owner left ``running``, and the workers drain the
+  backlog exactly where it stood;
+- **crash-safe**: a worker killed mid-job is detected by the pool
+  monitor, its claimed jobs go back to ``queued`` (up to
+  ``max_attempts``, then ``failed`` with code ``worker-crashed`` so a
+  poison job cannot crash-loop the fleet);
+- **result retention**: ``GET /v1/jobs/<id>`` for a finished job reads
+  the stored result off disk for as long as the retention window keeps
+  the row (:meth:`prune`), across restarts -- not until the next
+  process exit.
+
+Concurrency model: one sqlite file in WAL mode, opened by the server
+process and by every worker process.  Claims run under ``BEGIN
+IMMEDIATE`` so two workers can never claim the same row; everything
+else is a single-statement autocommit write.  In-process callers
+serialize on a lock (one connection per :class:`JobStore` instance,
+``check_same_thread=False`` exactly like the persistent query cache).
+
+Shard affinity: each job carries a ``shard_key`` -- a stable hash of
+its canonical request document -- and :meth:`claim` prefers rows in the
+calling worker's shard before stealing from others.  Identical or
+re-submitted requests therefore land on the worker whose warm
+:class:`~repro.analysis.oracle.OracleSession` pool already holds their
+solver state (the PR 4 fingerprint-affinity routing, lifted from
+threads to processes), while the steal fallback keeps a skewed shard
+from idling the rest of the pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.api.errors import InvalidRequestError, JobNotFoundError
+
+#: wire kind -> the short job kind reported in the job document.
+JOB_KINDS = {
+    "analyze_request": "analyze",
+    "repair_request": "repair",
+    "bench_request": "bench",
+}
+
+#: Cap on progress events retained per job (a runaway search must not
+#: grow a job document without bound; the newest events win).
+MAX_EVENTS = 500
+
+#: Finished (done/failed) rows kept before :meth:`JobStore.prune`
+#: deletes the oldest.  This is the retention window: within it, results
+#: survive restarts; beyond it, eviction is explicit policy, not a
+#: process lifetime accident.
+MAX_FINISHED = 1024
+
+#: Claims per job before the store gives up on it (a job whose worker
+#: dies this many times is treated as the cause, not the victim).
+MAX_ATTEMPTS = 3
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    status TEXT NOT NULL,
+    request TEXT NOT NULL,
+    shard_key INTEGER NOT NULL,
+    result TEXT,
+    error TEXT,
+    created_at REAL NOT NULL,
+    started_at REAL,
+    finished_at REAL,
+    owner TEXT,
+    attempts INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS jobs_by_status ON jobs (status);
+CREATE TABLE IF NOT EXISTS events (
+    job_id TEXT NOT NULL,
+    seq INTEGER NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (job_id, seq)
+);
+"""
+
+
+@dataclass
+class Job:
+    """One stored job, hydrated from its row (plus its event log)."""
+
+    id: str
+    kind: str  # analyze | repair | bench
+    status: str  # queued | running | done | failed
+    request: dict
+    created_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    worker: Optional[str] = None
+    events: List[dict] = field(default_factory=list)
+    result: Optional[dict] = None
+    error: Optional[dict] = None
+
+    def to_json(self) -> dict:
+        """The wire job document (``schemas/job.v1.json``)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "events": list(self.events),
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+def shard_key_of(request_json: dict) -> int:
+    """Stable shard key for a request document.
+
+    Canonical-JSON sha1, truncated to a signed-53-bit-safe int so the
+    value round-trips through sqlite and JSON untouched.  The same
+    request always lands in the same shard -- that is the affinity the
+    warm solver pools exploit.
+    """
+    canonical = json.dumps(request_json, sort_keys=True).encode("utf-8")
+    return int(hashlib.sha1(canonical).hexdigest()[:12], 16)
+
+
+class JobStore:
+    """Sqlite-backed job queue + result archive (one file, many processes).
+
+    ``path`` is the database file; parents are created.  Every process
+    that touches the queue (the HTTP server, each worker) opens its own
+    ``JobStore`` on the same path.  ``max_attempts``/``max_finished``
+    bound crash-retry loops and on-disk retention.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_attempts: int = MAX_ATTEMPTS,
+        max_finished: int = MAX_FINISHED,
+    ):
+        self.path = path
+        self.max_attempts = max_attempts
+        self.max_finished = max_finished
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        try:
+            self._conn = sqlite3.connect(
+                path, isolation_level=None, check_same_thread=False,
+                timeout=30.0,
+            )
+            # WAL lets the server list/poll jobs while a worker writes
+            # results; NORMAL (not the memo cache's OFF) because this
+            # file is the source of truth for accepted work, not a memo.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.executescript(_SCHEMA)
+        except sqlite3.DatabaseError as exc:
+            raise RuntimeError(
+                f"job database {path!r} is unreadable ({exc}); move the "
+                "corrupt file aside and restart (accepted jobs in it are "
+                "lost -- see OPERATIONS.md, failure modes)"
+            ) from exc
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request) -> Job:
+        """Persist a decoded wire request as a ``queued`` job."""
+        kind = JOB_KINDS.get(getattr(request, "kind", None))
+        if kind is None:
+            raise InvalidRequestError(
+                f"cannot run {type(request).__name__} as a job"
+            )
+        request_json = request.to_json()
+        job = Job(
+            id=f"job-{next(self._counter):04d}-{uuid.uuid4().hex[:8]}",
+            kind=kind,
+            status="queued",
+            request=request_json,
+            created_at=time.time(),
+        )
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO jobs (id, kind, status, request, shard_key,"
+                " created_at, attempts) VALUES (?, ?, 'queued', ?, ?, ?, 0)",
+                (
+                    job.id,
+                    kind,
+                    json.dumps(request_json, sort_keys=True),
+                    shard_key_of(request_json),
+                    job.created_at,
+                ),
+            )
+        return job
+
+    # -- worker side -------------------------------------------------------
+
+    def claim(
+        self,
+        owner: str,
+        shard: Optional[int] = None,
+        shards: Optional[int] = None,
+    ) -> Optional[Job]:
+        """Atomically move the next ``queued`` job to ``running``.
+
+        With ``shard``/``shards`` the oldest job in the caller's shard
+        wins; an empty shard falls back to the oldest job anywhere
+        (work stealing), so affinity never starves the pool.  Returns
+        ``None`` when the queue is empty.
+        """
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = None
+                if shard is not None and shards:
+                    row = self._conn.execute(
+                        "SELECT id FROM jobs WHERE status='queued'"
+                        " AND (shard_key % ?) = ? ORDER BY rowid LIMIT 1",
+                        (shards, shard),
+                    ).fetchone()
+                if row is None:
+                    row = self._conn.execute(
+                        "SELECT id FROM jobs WHERE status='queued'"
+                        " ORDER BY rowid LIMIT 1"
+                    ).fetchone()
+                if row is None:
+                    self._conn.execute("COMMIT")
+                    return None
+                job_id = row[0]
+                self._conn.execute(
+                    "UPDATE jobs SET status='running', owner=?,"
+                    " started_at=?, attempts=attempts+1 WHERE id=?",
+                    (owner, time.time(), job_id),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return self.get(job_id)
+
+    def record_event(self, job_id: str, event) -> None:
+        """Append one progress event to a job's log (oldest trimmed
+        beyond :data:`MAX_EVENTS`)."""
+        payload = json.dumps(event.to_json(), sort_keys=True)
+        with self._lock:
+            cur = self._conn.execute(
+                "SELECT COALESCE(MAX(seq), 0) FROM events WHERE job_id=?",
+                (job_id,),
+            )
+            seq = cur.fetchone()[0] + 1
+            self._conn.execute(
+                "INSERT INTO events (job_id, seq, payload) VALUES (?, ?, ?)",
+                (job_id, seq, payload),
+            )
+            if seq > MAX_EVENTS:
+                self._conn.execute(
+                    "DELETE FROM events WHERE job_id=? AND seq<=?",
+                    (job_id, seq - MAX_EVENTS),
+                )
+
+    def finish(self, job_id: str, result: dict) -> None:
+        """``running -> done`` with the result document persisted."""
+        self._finish(job_id, "done", result=result)
+
+    def fail(self, job_id: str, error: dict) -> None:
+        """``running -> failed`` with the error payload persisted."""
+        self._finish(job_id, "failed", error=error)
+
+    def _finish(self, job_id, status, result=None, error=None):
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET status=?, result=?, error=?, finished_at=?"
+                " WHERE id=?",
+                (
+                    status,
+                    json.dumps(result, sort_keys=True) if result else None,
+                    json.dumps(error, sort_keys=True) if error else None,
+                    time.time(),
+                    job_id,
+                ),
+            )
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self, active_owners: Iterable[str]) -> Tuple[List[str], List[str]]:
+        """Re-enqueue orphaned ``running`` jobs; fail the over-retried.
+
+        A ``running`` row whose ``owner`` is not in ``active_owners`` is
+        an orphan: its worker (or the whole previous server process)
+        died mid-job.  Orphans under the attempt cap go back to
+        ``queued`` -- their next claim re-runs them from the pristine
+        request, which is safe because jobs are pure functions of their
+        request document.  Orphans at the cap become ``failed`` with
+        code ``worker-crashed``.  Returns ``(requeued, failed)`` ids.
+        """
+        active: Set[str] = set(active_owners)
+        requeued: List[str] = []
+        failed: List[str] = []
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                rows = self._conn.execute(
+                    "SELECT id, owner, attempts FROM jobs"
+                    " WHERE status='running' ORDER BY rowid"
+                ).fetchall()
+                for job_id, owner, attempts in rows:
+                    if owner in active:
+                        continue
+                    if attempts >= self.max_attempts:
+                        error = json.dumps({
+                            "error": {
+                                "code": "worker-crashed",
+                                "message": (
+                                    f"job crashed its worker {attempts} "
+                                    "time(s); giving up (max_attempts="
+                                    f"{self.max_attempts})"
+                                ),
+                            }
+                        }, sort_keys=True)
+                        self._conn.execute(
+                            "UPDATE jobs SET status='failed', error=?,"
+                            " finished_at=?, owner=NULL WHERE id=?",
+                            (error, time.time(), job_id),
+                        )
+                        failed.append(job_id)
+                    else:
+                        self._conn.execute(
+                            "UPDATE jobs SET status='queued', owner=NULL,"
+                            " started_at=NULL WHERE id=?",
+                            (job_id,),
+                        )
+                        requeued.append(job_id)
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return requeued, failed
+
+    # -- read side ---------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        """Hydrate one job (row + event log); raises
+        :class:`~repro.api.errors.JobNotFoundError` for unknown ids."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT id, kind, status, request, created_at, started_at,"
+                " finished_at, attempts, owner, result, error"
+                " FROM jobs WHERE id=?",
+                (job_id,),
+            ).fetchone()
+            if row is None:
+                raise JobNotFoundError(f"no such job: {job_id}")
+            events = [
+                json.loads(payload)
+                for (payload,) in self._conn.execute(
+                    "SELECT payload FROM events WHERE job_id=? ORDER BY seq",
+                    (job_id,),
+                )
+            ]
+        return Job(
+            id=row[0], kind=row[1], status=row[2],
+            request=json.loads(row[3]),
+            created_at=row[4], started_at=row[5], finished_at=row[6],
+            attempts=row[7], worker=row[8],
+            events=events,
+            result=json.loads(row[9]) if row[9] else None,
+            error=json.loads(row[10]) if row[10] else None,
+        )
+
+    def events_since(self, job_id: str, after: int) -> Tuple[List[Tuple[int, dict]], str]:
+        """(new ``(seq, event)`` pairs, current status) -- the polling
+        primitive behind the ``/v1/jobs/<id>/events`` stream."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT status FROM jobs WHERE id=?", (job_id,)
+            ).fetchone()
+            if row is None:
+                raise JobNotFoundError(f"no such job: {job_id}")
+            events = [
+                (seq, json.loads(payload))
+                for seq, payload in self._conn.execute(
+                    "SELECT seq, payload FROM events"
+                    " WHERE job_id=? AND seq>? ORDER BY seq",
+                    (job_id, after),
+                )
+            ]
+        return events, row[0]
+
+    def list(self, limit: int = 256) -> List[Job]:
+        """The newest ``limit`` jobs, oldest first (the ``GET /v1/jobs``
+        listing)."""
+        with self._lock:
+            ids = [
+                job_id
+                for (job_id,) in self._conn.execute(
+                    "SELECT id FROM (SELECT id, rowid FROM jobs"
+                    " ORDER BY rowid DESC LIMIT ?) ORDER BY rowid",
+                    (limit,),
+                )
+            ]
+        return [self.get(job_id) for job_id in ids]
+
+    def depth(self) -> int:
+        """Jobs waiting to run -- the number admission control compares
+        against ``max_queue_depth``."""
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE status='queued'"
+            ).fetchone()[0]
+
+    def counters(self) -> Dict[str, int]:
+        """Job totals by status, for ``/v1/stats``."""
+        totals: Dict[str, int] = {
+            "queued": 0, "running": 0, "done": 0, "failed": 0,
+        }
+        with self._lock:
+            for status, count in self._conn.execute(
+                "SELECT status, COUNT(*) FROM jobs GROUP BY status"
+            ):
+                totals[status] = count
+            totals["total"] = self._conn.execute(
+                "SELECT COUNT(*) FROM jobs"
+            ).fetchone()[0]
+        return totals
+
+    def prune(self) -> int:
+        """Delete the oldest finished rows beyond ``max_finished``;
+        returns how many were dropped."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT id FROM jobs WHERE status IN ('done', 'failed')"
+                " ORDER BY rowid DESC LIMIT -1 OFFSET ?",
+                (self.max_finished,),
+            ).fetchall()
+            for (job_id,) in rows:
+                self._conn.execute("DELETE FROM jobs WHERE id=?", (job_id,))
+                self._conn.execute(
+                    "DELETE FROM events WHERE job_id=?", (job_id,)
+                )
+        return len(rows)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,308 @@
+"""Worker processes: the execution tier of the service topology.
+
+The HTTP process accepts and persists jobs; *these* processes run them.
+Each worker is a real OS process (stdlib ``multiprocessing``, spawn
+context) with its own :class:`~repro.api.Workspace` -- its own warm
+:class:`~repro.analysis.oracle.OracleSession` pool and memo cache -- so
+N workers put N cores to work where the old single-process queue was
+GIL-bound.  Workers consume from the shared
+:class:`~repro.service.store.JobStore` with shard preference (see
+:func:`~repro.service.store.shard_key_of`): a worker's shard of the
+request space keeps hitting the same warm solver state, and the steal
+fallback keeps skewed shards from idling anyone.
+
+Crash handling is the pool monitor's job: a dead worker's claimed jobs
+are re-enqueued through :meth:`~repro.service.store.JobStore.recover`
+and a replacement process is spawned, so a SIGKILL mid-job delays that
+job's result rather than losing it.  Graceful drain flips a shared stop
+event; each worker finishes its in-flight job, checkpoints its caches
+(``Workspace.close`` flushes the persistent query cache), and exits.
+
+``workers=0`` keeps execution in the server process: an
+:class:`InlineRunner` thread drains the same store with the server's
+own shared workspace.  Same durability (the store is still sqlite),
+no process fan-out -- the right default for tests and one-core hosts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.api.errors import error_payload
+from repro.api.types import decode_request
+from repro.api.workspace import WorkspaceConfig
+from repro.service.store import Job, JobStore
+
+#: Idle delay between empty claim attempts.  Low enough that job pickup
+#: latency is invisible next to solver work, high enough that an idle
+#: fleet costs no measurable CPU.
+POLL_INTERVAL = 0.05
+
+
+def execute_job(workspace, store: JobStore, job: Job) -> None:
+    """Run one claimed job to completion against ``workspace``.
+
+    Progress events stream into the store as they happen (the
+    ``/v1/jobs/<id>/events`` endpoint tails them); the result or error
+    document is persisted in the final state transition.  Jobs are pure
+    functions of their request document, which is what makes crash-
+    retry (re-claiming the same row) safe.
+    """
+    on_progress = lambda event: store.record_event(job.id, event)  # noqa: E731
+    try:
+        request = decode_request(job.request)
+        if job.kind == "analyze":
+            result = workspace.analyze(request, on_progress=on_progress)
+        elif job.kind == "repair":
+            result = workspace.repair(request, on_progress=on_progress)
+        else:
+            result = workspace.bench(request, on_progress=on_progress)
+        store.finish(job.id, result.to_json())
+    except Exception as exc:  # noqa: BLE001 - job boundary
+        store.fail(job.id, error_payload(exc))
+
+
+def _drain_loop(
+    store: JobStore,
+    workspace,
+    owner: str,
+    should_stop: Callable[[], bool],
+    shard: Optional[int] = None,
+    shards: Optional[int] = None,
+    poll_interval: float = POLL_INTERVAL,
+) -> None:
+    """Claim-execute until told to stop; shared by both runner kinds."""
+    while not should_stop():
+        job = store.claim(owner, shard=shard, shards=shards)
+        if job is None:
+            time.sleep(poll_interval)
+            continue
+        execute_job(workspace, store, job)
+        store.prune()
+
+
+def worker_main(
+    index: int,
+    shards: int,
+    job_db: str,
+    config: WorkspaceConfig,
+    stop_event,
+    poll_interval: float = POLL_INTERVAL,
+) -> None:
+    """Entry point of one worker process (must be importable: spawn)."""
+    store = JobStore(job_db)
+    workspace = config.build()
+    owner = f"w{index}-{os.getpid()}"
+    try:
+        _drain_loop(
+            store, workspace, owner,
+            stop_event.is_set,
+            shard=index, shards=shards,
+            poll_interval=poll_interval,
+        )
+    finally:
+        # Graceful exit checkpoints the worker's persistent query cache
+        # (Workspace.close flushes it) -- the warm state a drain hands
+        # to the next process generation.
+        workspace.close()
+        store.close()
+
+
+class WorkerPool:
+    """N worker processes over one job database, with crash recovery.
+
+    The pool owns only process lifecycle; all work state lives in the
+    store.  The monitor thread restarts dead workers and re-enqueues
+    whatever they had claimed; :meth:`drain` is the graceful path
+    (finish in-flight, then exit), :meth:`stop` the immediate one.
+    """
+
+    def __init__(
+        self,
+        job_db: str,
+        config: WorkspaceConfig,
+        workers: int,
+        poll_interval: float = POLL_INTERVAL,
+    ):
+        if workers < 1:
+            raise ValueError("WorkerPool needs at least one worker")
+        self.job_db = job_db
+        self.config = config
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self.restarts = 0
+        self._ctx = multiprocessing.get_context("spawn")
+        self._stop_event = self._ctx.Event()
+        self._procs: List[Optional[multiprocessing.Process]] = [None] * workers
+        self._store = JobStore(job_db)
+        self._monitor: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        for index in range(self.workers):
+            self._spawn(index)
+        self._monitor = threading.Thread(
+            target=self._watch, name="repro-worker-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    def _spawn(self, index: int) -> None:
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(
+                index,
+                self.workers,
+                self.job_db,
+                self.config.for_worker(index),
+                self._stop_event,
+                self.poll_interval,
+            ),
+            name=f"repro-worker-{index}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[index] = proc
+
+    def active_owners(self) -> List[str]:
+        """Owner ids of currently live workers (dead workers' claims are
+        orphans by definition)."""
+        with self._lock:
+            return [
+                f"w{index}-{proc.pid}"
+                for index, proc in enumerate(self._procs)
+                if proc is not None and proc.is_alive()
+            ]
+
+    def pids(self) -> List[int]:
+        with self._lock:
+            return [
+                proc.pid
+                for proc in self._procs
+                if proc is not None and proc.pid is not None
+            ]
+
+    def _watch(self) -> None:
+        """Restart dead workers and rescue their claimed jobs.
+
+        Respawns back off exponentially (0.2s -> 5s) while workers keep
+        dying, so a worker that cannot even boot (bad cache dir, broken
+        environment) costs a few respawns per second, not thousands."""
+        delay = 0.2
+        while not self._monitor_stop.wait(delay):
+            if self._stop_event.is_set():
+                continue
+            died = False
+            with self._lock:
+                for index, proc in enumerate(self._procs):
+                    if proc is not None and not proc.is_alive():
+                        died = True
+                        self.restarts += 1
+                        proc.join(timeout=0)
+                        self._spawn(index)
+            delay = min(5.0, delay * 2) if died else 0.2
+            if died:
+                # Recover *after* respawning: the replacement's owner id
+                # is live, the dead one is not, so exactly the orphaned
+                # claims go back to queued.
+                self._store.recover(self.active_owners())
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Graceful stop: finish in-flight jobs, checkpoint caches, exit.
+        Returns whether every worker exited within ``timeout``."""
+        self._monitor_stop.set()
+        self._stop_event.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
+        deadline = time.monotonic() + timeout
+        clean = True
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+                clean = False
+        self._store.close()
+        return clean
+
+    def stop(self) -> None:
+        """Immediate teardown (tests, error paths); claimed jobs become
+        orphans for the next :meth:`~repro.service.store.JobStore.recover`."""
+        self._monitor_stop.set()
+        self._stop_event.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
+        for proc in self._procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        self._store.close()
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "workers": self.workers,
+            "alive": sum(
+                1
+                for proc in self._procs
+                if proc is not None and proc.is_alive()
+            ),
+            "restarts": self.restarts,
+        }
+
+
+class InlineRunner:
+    """The ``workers=0`` execution tier: one daemon thread, the server's
+    own workspace, the same durable store semantics."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        workspace,
+        poll_interval: float = POLL_INTERVAL,
+    ):
+        self.store = store
+        self.workspace = workspace
+        self.poll_interval = poll_interval
+        self.owner = f"inline-{os.getpid()}"
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-inline-runner", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        _drain_loop(
+            self.store, self.workspace, self.owner,
+            self._stop.is_set, poll_interval=self.poll_interval,
+        )
+
+    def active_owners(self) -> List[str]:
+        return [self.owner]
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            return not self._thread.is_alive()
+        return True
+
+    def stop(self) -> None:
+        # A thread cannot be killed; "immediate" stop for the inline
+        # tier means stop claiming and let the in-flight job finish in
+        # the daemon thread (the process is usually exiting anyway).
+        self._stop.set()
+
+    def counters(self) -> Dict[str, int]:
+        alive = self._thread is not None and self._thread.is_alive()
+        return {"workers": 0, "alive": int(alive), "restarts": 0}

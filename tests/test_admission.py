@@ -1,0 +1,94 @@
+"""Admission control: token buckets, gate ordering, counters."""
+
+import pytest
+
+from repro.api import (
+    RateLimitedError,
+    RequestTooLargeError,
+    ServiceDrainingError,
+)
+from repro.service.admission import (
+    DEFAULT_MAX_REQUEST_BYTES,
+    MAX_TRACKED_CLIENTS,
+    AdmissionController,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0, now=0.0)
+        assert bucket.try_take(0.0) is None
+        assert bucket.try_take(0.0) is None
+        wait = bucket.try_take(0.0)
+        assert wait == pytest.approx(1.0)
+
+    def test_tokens_refill_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0, now=0.0)
+        bucket.try_take(0.0)
+        bucket.try_take(0.0)
+        assert bucket.try_take(0.0) is not None
+        # Half a second at 2 tokens/s refills one token.
+        assert bucket.try_take(0.5) is None
+
+    def test_refill_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0, now=0.0)
+        for _ in range(3):
+            assert bucket.try_take(100.0) is None
+        assert bucket.try_take(100.0) is not None
+
+
+class TestAdmissionController:
+    def test_default_admits_everything(self):
+        controller = AdmissionController()
+        for _ in range(100):
+            controller.admit("10.0.0.1", 1024)
+        assert controller.counters()["admitted"] == 100
+
+    def test_draining_refuses_first(self):
+        controller = AdmissionController(rate_limit=0.0001)
+        controller.draining = True
+        # Draining wins even over a size violation: clients get the
+        # one code that tells them to go elsewhere.
+        with pytest.raises(ServiceDrainingError) as exc:
+            controller.admit("c", DEFAULT_MAX_REQUEST_BYTES * 10)
+        assert exc.value.code == "draining"
+        assert exc.value.http_status == 503
+        assert controller.counters()["draining"] == 1
+
+    def test_oversized_body_is_413(self):
+        controller = AdmissionController(max_request_bytes=100)
+        with pytest.raises(RequestTooLargeError) as exc:
+            controller.admit("c", 101)
+        assert exc.value.code == "request-too-large"
+        assert exc.value.http_status == 413
+        controller.admit("c", 100)  # the cap itself is admitted
+
+    def test_rate_limit_is_per_client_with_retry_after(self):
+        controller = AdmissionController(rate_limit=1.0, rate_burst=1.0)
+        controller.admit("alice", 1)
+        with pytest.raises(RateLimitedError) as exc:
+            controller.admit("alice", 1)
+        assert exc.value.code == "rate-limited"
+        assert exc.value.retry_after >= 1
+        # Bob has his own bucket.
+        controller.admit("bob", 1)
+        counters = controller.counters()
+        assert counters["admitted"] == 2
+        assert counters["rate_limited"] == 1
+
+    def test_anonymous_clients_are_not_rate_limited(self):
+        controller = AdmissionController(rate_limit=1.0, rate_burst=1.0)
+        for _ in range(5):
+            controller.admit(None, 1)
+
+    def test_bucket_table_is_bounded(self):
+        controller = AdmissionController(rate_limit=100.0)
+        for i in range(MAX_TRACKED_CLIENTS + 50):
+            controller.admit(f"client-{i}", 1)
+        assert len(controller._buckets) == MAX_TRACKED_CLIENTS
+
+    def test_queue_full_counter(self):
+        controller = AdmissionController()
+        controller.note_queue_full()
+        assert controller.counters()["queue_full"] == 1

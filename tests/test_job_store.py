@@ -1,0 +1,200 @@
+"""The durable job store: claims, shard affinity, crash recovery,
+retention, and persistence across reopen."""
+
+import json
+import os
+
+import pytest
+
+from repro.api import AnalyzeRequest, JobNotFoundError
+from repro.api.events import ProgressEvent
+from repro.service.store import (
+    MAX_EVENTS,
+    JobStore,
+    shard_key_of,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with JobStore(str(tmp_path / "jobs.sqlite")) as s:
+        yield s
+
+
+def request_for(benchmark):
+    return AnalyzeRequest(benchmark=benchmark)
+
+
+class TestSubmitAndClaim:
+    def test_submit_persists_a_queued_row(self, store):
+        job = store.submit(request_for("SIBench"))
+        assert job.status == "queued"
+        loaded = store.get(job.id)
+        assert loaded.status == "queued"
+        assert loaded.request == request_for("SIBench").to_json()
+        assert store.depth() == 1
+
+    def test_claim_is_fifo_and_single_winner(self, store):
+        first = store.submit(request_for("SIBench"))
+        second = store.submit(request_for("Courseware"))
+        claimed = store.claim("w0")
+        assert claimed.id == first.id
+        assert claimed.status == "running"
+        assert claimed.worker == "w0"
+        assert claimed.attempts == 1
+        # The same row can never be claimed twice.
+        assert store.claim("w1").id == second.id
+        assert store.claim("w2") is None
+
+    def test_claim_prefers_own_shard_then_steals(self, store):
+        jobs = [
+            store.submit(request_for(name))
+            for name in ("SIBench", "Courseware", "SmallBank", "TPC-C")
+        ]
+        shards = 2
+        mine = [
+            j.id for j in jobs
+            if shard_key_of(j.request) % shards == 0
+        ]
+        others = [j.id for j in jobs if j.id not in mine]
+        for expected in mine:
+            assert store.claim("w0", shard=0, shards=shards).id == expected
+        # Own shard drained: stealing picks up the rest, oldest first.
+        for expected in others:
+            assert store.claim("w0", shard=0, shards=shards).id == expected
+        assert store.claim("w0", shard=0, shards=shards) is None
+
+    def test_shard_key_is_stable(self):
+        doc = request_for("SIBench").to_json()
+        assert shard_key_of(doc) == shard_key_of(json.loads(json.dumps(doc)))
+        assert shard_key_of(doc) != shard_key_of(
+            request_for("Courseware").to_json()
+        )
+
+
+class TestLifecycle:
+    def test_finish_persists_result(self, store):
+        job = store.submit(request_for("SIBench"))
+        store.claim("w0")
+        store.finish(job.id, {"version": 1, "kind": "analyze_result"})
+        done = store.get(job.id)
+        assert done.status == "done"
+        assert done.result == {"version": 1, "kind": "analyze_result"}
+        assert done.finished_at is not None
+
+    def test_fail_persists_error(self, store):
+        job = store.submit(request_for("Nope"))
+        store.claim("w0")
+        store.fail(job.id, {"error": {"code": "unknown-benchmark", "message": "x"}})
+        failed = store.get(job.id)
+        assert failed.status == "failed"
+        assert failed.error["error"]["code"] == "unknown-benchmark"
+
+    def test_events_are_ordered_and_trimmed(self, store):
+        job = store.submit(request_for("SIBench"))
+        for i in range(MAX_EVENTS + 25):
+            store.record_event(job.id, ProgressEvent("tick", {"i": i}))
+        events = store.get(job.id).events
+        assert len(events) == MAX_EVENTS
+        # Newest survive; the oldest 25 were trimmed.
+        assert events[0]["detail"]["i"] == 25
+        assert events[-1]["detail"]["i"] == MAX_EVENTS + 24
+
+    def test_events_since_pages_incrementally(self, store):
+        job = store.submit(request_for("SIBench"))
+        store.record_event(job.id, ProgressEvent("a", {}))
+        store.record_event(job.id, ProgressEvent("b", {}))
+        batch, status = store.events_since(job.id, 0)
+        assert [e["stage"] for _, e in batch] == ["a", "b"]
+        assert status == "queued"
+        last_seq = batch[-1][0]
+        store.record_event(job.id, ProgressEvent("c", {}))
+        batch, _ = store.events_since(job.id, last_seq)
+        assert [e["stage"] for _, e in batch] == ["c"]
+
+    def test_unknown_job_raises(self, store):
+        with pytest.raises(JobNotFoundError):
+            store.get("job-9999-deadbeef")
+        with pytest.raises(JobNotFoundError):
+            store.events_since("job-9999-deadbeef", 0)
+
+
+class TestRecovery:
+    def test_orphans_are_requeued(self, store):
+        job = store.submit(request_for("SIBench"))
+        store.claim("w0-dead")
+        requeued, failed = store.recover(active_owners={"w1-alive"})
+        assert requeued == [job.id]
+        assert failed == []
+        recovered = store.get(job.id)
+        assert recovered.status == "queued"
+        assert recovered.worker is None
+        # Attempts carry across the crash: the retry budget is real.
+        assert recovered.attempts == 1
+
+    def test_live_owners_keep_their_claims(self, store):
+        job = store.submit(request_for("SIBench"))
+        store.claim("w0-alive")
+        requeued, failed = store.recover(active_owners={"w0-alive"})
+        assert requeued == [] and failed == []
+        assert store.get(job.id).status == "running"
+
+    def test_poison_job_fails_at_attempt_cap(self, tmp_path):
+        with JobStore(str(tmp_path / "jobs.sqlite"), max_attempts=2) as store:
+            job = store.submit(request_for("SIBench"))
+            store.claim("w0")
+            assert store.recover(set()) == ([job.id], [])
+            store.claim("w0")
+            requeued, failed = store.recover(set())
+            assert requeued == [] and failed == [job.id]
+            dead = store.get(job.id)
+            assert dead.status == "failed"
+            assert dead.error["error"]["code"] == "worker-crashed"
+
+
+class TestDurability:
+    def test_everything_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "jobs.sqlite")
+        with JobStore(path) as store:
+            queued = store.submit(request_for("SIBench"))
+            finished = store.submit(request_for("Courseware"))
+            store.claim("w0")  # claims `queued` (FIFO)
+            store.finish(queued.id, {"ok": 1})
+            store.record_event(finished.id, ProgressEvent("early", {}))
+        with JobStore(path) as store:
+            assert store.get(queued.id).result == {"ok": 1}
+            still_queued = store.get(finished.id)
+            assert still_queued.status == "queued"
+            assert [e["stage"] for e in still_queued.events] == ["early"]
+            assert store.counters() == {
+                "queued": 1, "running": 0, "done": 1, "failed": 0, "total": 2,
+            }
+
+    def test_prune_drops_oldest_finished_beyond_cap(self, tmp_path):
+        with JobStore(str(tmp_path / "jobs.sqlite"), max_finished=2) as store:
+            ids = []
+            for name in ("SIBench", "Courseware", "SmallBank"):
+                job = store.submit(request_for(name))
+                store.claim("w0")
+                store.finish(job.id, {"n": name})
+                ids.append(job.id)
+            assert store.prune() == 1
+            with pytest.raises(JobNotFoundError):
+                store.get(ids[0])
+            assert store.get(ids[1]).status == "done"
+            assert store.get(ids[2]).status == "done"
+
+    def test_corrupt_db_fails_loud_with_runbook_pointer(self, tmp_path):
+        path = tmp_path / "jobs.sqlite"
+        path.write_bytes(b"this is not a sqlite file" * 64)
+        with pytest.raises(RuntimeError, match="OPERATIONS.md"):
+            JobStore(str(path))
+
+    def test_ids_stay_unique_across_reopen(self, tmp_path):
+        path = str(tmp_path / "jobs.sqlite")
+        with JobStore(path) as store:
+            first = store.submit(request_for("SIBench")).id
+        with JobStore(path) as store:
+            second = store.submit(request_for("SIBench")).id
+        assert first != second
+        assert os.path.exists(path)
