@@ -433,14 +433,14 @@ class PairEncoder:
 
     # -- top level ---------------------------------------------------------
 
-    def solve(self) -> Optional[PairWitness]:
+    def solve(self, budget=None) -> Optional[PairWitness]:
         """Check the pair against this interferer; None when safe."""
         disjuncts = self.collect_disjuncts()
         if not disjuncts:
             return None
         self.assert_axioms()
         self.builder.add(big_or([d.formula for d in disjuncts]))
-        model = self.builder.check()
+        model = self.builder.check(budget=budget)
         if model is None:
             return None
         fields1: FrozenSet[str] = frozenset()
@@ -600,7 +600,10 @@ class PairSession:
         return groups
 
     def query(
-        self, level: ConsistencyLevel, use_prefilter: bool = True
+        self,
+        level: ConsistencyLevel,
+        use_prefilter: bool = True,
+        budget=None,
     ) -> Tuple[Optional[PairWitness], bool, Dict[str, int]]:
         """Check the triple at ``level`` on the warm solver.
 
@@ -629,7 +632,7 @@ class PairSession:
             builder = self._encoder.builder
             groups = self._axiom_groups(level)
             before = builder.solver.stats()
-            model = builder.check(groups=groups)
+            model = builder.check(groups=groups, budget=budget)
             delta = stats_delta(builder.solver.stats(), before)
             if model is None:
                 return None, True, delta

@@ -26,7 +26,29 @@ from repro.analysis.accesses import (
 )
 from repro.analysis.consistency import EC, ConsistencyLevel
 from repro.analysis.encoding import PairEncoder, PairSession, PairWitness
+from repro.errors import BudgetExhaustedError, DeadlineExceededError
 from repro.lang import ast
+
+
+def deadline_error(
+    level_name: str,
+    pairs: List["AccessPair"],
+    checked: int,
+    total: int,
+) -> DeadlineExceededError:
+    """A structured deadline error carrying the partial per-pair results
+    established before the cut.  ``partial_pairs`` are oracle-level
+    :class:`AccessPair` objects; the API façade converts them to wire
+    ``PairData`` and fills ``exc.partial`` for serialization."""
+    exc = DeadlineExceededError(
+        f"analysis budget exhausted after {checked}/{total} pair checks"
+        f" at {level_name}"
+    )
+    exc.partial_pairs = list(pairs)
+    exc.pairs_checked = checked
+    exc.pairs_total = total
+    exc.level = level_name
+    return exc
 
 
 @dataclass(frozen=True)
@@ -174,13 +196,16 @@ class OracleSession:
         distinct_args: Optional[bool] = None,
         use_prefilter: bool = True,
         key: Optional[SessionKey] = None,
+        budget=None,
     ):
         """Discharge one anomaly query on the triple's warm session;
         returns a :class:`~repro.analysis.pipeline.QueryOutcome`."""
         from repro.analysis.pipeline import QueryOutcome, WitnessData
 
         sess = self.session(c1, c2, summary_b, distinct_args, key=key)
-        witness, solved, stats = sess.query(level, use_prefilter=use_prefilter)
+        witness, solved, stats = sess.query(
+            level, use_prefilter=use_prefilter, budget=budget
+        )
         data = (
             WitnessData(
                 pattern=witness.pattern,
@@ -268,12 +293,14 @@ class AnomalyOracle:
         cache: Optional[object] = None,
         max_workers: Optional[int] = None,
         progress=None,
+        budget=None,
     ):
         self.level = level
         self.use_prefilter = use_prefilter
         self.distinct_args = distinct_args
         self.strategy = strategy
         self.progress = progress
+        self.budget = budget
         if strategy == "serial":
             self._pipeline = None
         else:
@@ -287,6 +314,7 @@ class AnomalyOracle:
                 cache=cache,
                 max_workers=max_workers,
                 progress=progress,
+                budget=budget,
             )
 
     @property
@@ -325,23 +353,38 @@ class AnomalyOracle:
         pairs: List[AccessPair] = []
         checked = 0
         sat_queries = 0
-        for summary in summaries.values():
-            for c1, c2 in summary.ordered_pairs():
-                checked += 1
-                witnesses: List[PairWitness] = []
-                for other in summaries.values():
-                    encoder = PairEncoder(
-                        summary, c1, c2, other, self.level,
-                        distinct_args=self.distinct_args,
-                    )
-                    if self.use_prefilter and not encoder.collect_disjuncts():
-                        continue
-                    sat_queries += 1
-                    witness = encoder.solve()
-                    if witness is not None:
-                        witnesses.append(witness)
-                if witnesses:
-                    pairs.append(_merge_witnesses(summary, c1, c2, witnesses))
+        work = [
+            (summary, c1, c2)
+            for summary in summaries.values()
+            for c1, c2 in summary.ordered_pairs()
+        ]
+        for summary, c1, c2 in work:
+            if self.budget is not None and self.budget.expired():
+                raise deadline_error(
+                    self.level.name, pairs, checked, len(work)
+                )
+            checked += 1
+            witnesses: List[PairWitness] = []
+            for other in summaries.values():
+                encoder = PairEncoder(
+                    summary, c1, c2, other, self.level,
+                    distinct_args=self.distinct_args,
+                )
+                if self.use_prefilter and not encoder.collect_disjuncts():
+                    continue
+                sat_queries += 1
+                try:
+                    witness = encoder.solve(budget=self.budget)
+                except BudgetExhaustedError:
+                    # The current pair is half-checked: report only the
+                    # fully established ones.
+                    raise deadline_error(
+                        self.level.name, pairs, checked - 1, len(work)
+                    ) from None
+                if witness is not None:
+                    witnesses.append(witness)
+            if witnesses:
+                pairs.append(_merge_witnesses(summary, c1, c2, witnesses))
         elapsed = time.perf_counter() - start
         emit(
             self.progress,

@@ -71,6 +71,8 @@ from repro.analysis.accesses import (
 )
 from repro.analysis.consistency import ConsistencyLevel, by_name
 from repro.analysis.encoding import PairEncoder, PairWitness, tables_may_conflict
+from repro.errors import BudgetExhaustedError
+from repro.faults import FaultInjected, failpoint_bytes
 from repro.lang import ast
 from repro.smt.formula import big_or, evaluate
 
@@ -327,6 +329,7 @@ class PersistentQueryCache(QueryCache):
             c1 TEXT NOT NULL, c2 TEXT NOT NULL, b TEXT NOT NULL,
             level TEXT NOT NULL, distinct_args INTEGER NOT NULL,
             witness TEXT, txns TEXT NOT NULL, tabs TEXT NOT NULL,
+            checksum TEXT,
             PRIMARY KEY (c1, c2, b, level, distinct_args));
         CREATE TABLE IF NOT EXISTS participants (
             kind TEXT NOT NULL, name TEXT NOT NULL,
@@ -348,6 +351,7 @@ class PersistentQueryCache(QueryCache):
         self.version = version or encoding_fingerprint()
         self.persistent_hits = 0
         self.version_evictions = 0
+        self.quarantined = 0
         self._db_broken = False
         self._pending_writes = 0
         os.makedirs(cache_dir, exist_ok=True)
@@ -369,6 +373,7 @@ class PersistentQueryCache(QueryCache):
             self._conn = connect(self.path)
             self._open_pragmas()
             self._conn.executescript(self._SCHEMA)
+            self._migrate_schema()
         except sqlite3.DatabaseError:
             # Not a sqlite file (torn write, foreign junk): rebuild
             # once -- removing the WAL/shm sidecars too, or sqlite may
@@ -412,6 +417,22 @@ class PersistentQueryCache(QueryCache):
         # lookups only ever pay off for rows persisted by *earlier* runs;
         # a store that opened empty can skip them entirely.
         self._persisted_at_open = 0 if self._db_broken else self._db_len()
+
+    def _migrate_schema(self) -> None:
+        # Caches written before entries grew a checksum column lack it
+        # (CREATE TABLE IF NOT EXISTS never alters); add it in place so
+        # the version handshake, not the schema, decides their fate.
+        cols = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(entries)")
+        }
+        if "checksum" not in cols:
+            self._conn.execute("ALTER TABLE entries ADD COLUMN checksum TEXT")
+
+    @staticmethod
+    def _checksum(raw_witness, txns_json: str, tabs_json: str) -> str:
+        payload = "|".join((raw_witness or "", txns_json, tabs_json))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()
 
     def _open_pragmas(self) -> None:
         # WAL lets concurrent readers proceed under an open write
@@ -478,8 +499,8 @@ class PersistentQueryCache(QueryCache):
 
         try:
             row = self._conn.execute(
-                "SELECT witness, txns, tabs FROM entries WHERE c1=? AND c2=? "
-                "AND b=? AND level=? AND distinct_args=?",
+                "SELECT witness, txns, tabs, checksum FROM entries "
+                "WHERE c1=? AND c2=? AND b=? AND level=? AND distinct_args=?",
                 self._db_key(key),
             ).fetchone()
         except sqlite3.Error as error:
@@ -487,16 +508,54 @@ class PersistentQueryCache(QueryCache):
             return None
         if row is None:
             return None
-        raw_witness, txns, tables = row
+        raw_witness, txns, tables, checksum = row
+        # Re-decode through the corruption failpoint, then verify the
+        # stored checksum: a torn or bit-flipped row is quarantined
+        # (deleted) and reported as a miss, so the caller re-solves and
+        # re-stores a clean entry instead of replaying garbage.
+        payload = "|".join(
+            (raw_witness or "", txns, tables)
+        ).encode("utf-8")
+        try:
+            payload = failpoint_bytes("cache.read", payload)
+        except FaultInjected:
+            return None
+        if checksum is not None and (
+            hashlib.sha1(payload).hexdigest() != checksum
+        ):
+            self._quarantine(key)
+            return None
         witness = None
-        if raw_witness is not None:
-            data = json.loads(raw_witness)
-            witness = WitnessData(
-                pattern=data["pattern"],
-                fields1=frozenset(data["fields1"]),
-                fields2=frozenset(data["fields2"]),
+        try:
+            if raw_witness is not None:
+                data = json.loads(raw_witness)
+                witness = WitnessData(
+                    pattern=data["pattern"],
+                    fields1=frozenset(data["fields1"]),
+                    fields2=frozenset(data["fields2"]),
+                )
+            return witness, json.loads(txns), json.loads(tables)
+        except (ValueError, KeyError, TypeError):
+            # Undetectable without the checksum (legacy row) or a
+            # collision-free corruption: still never crash the run.
+            self._quarantine(key)
+            return None
+
+    def _quarantine(self, key: CacheKey) -> None:
+        import sqlite3
+
+        self.quarantined += 1
+        db_key = self._db_key(key)
+        where = "c1=? AND c2=? AND b=? AND level=? AND distinct_args=?"
+        try:
+            self._begin_write()
+            self._conn.execute(f"DELETE FROM entries WHERE {where}", db_key)
+            self._conn.execute(
+                f"DELETE FROM participants WHERE {where}", db_key
             )
-        return witness, json.loads(txns), json.loads(tables)
+            self._written()
+        except sqlite3.Error as error:
+            self._guard_db(error)
 
     @staticmethod
     def _db_key(key: CacheKey) -> Tuple[str, str, str, str, int]:
@@ -538,15 +597,21 @@ class PersistentQueryCache(QueryCache):
                 }
             )
         db_key = self._db_key(key)
+        txns_json = json.dumps(sorted(entry.txns))
+        tabs_json = json.dumps(sorted(entry.tables))
         try:
             self._begin_write()
             self._conn.execute(
-                "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                "INSERT OR REPLACE INTO entries "
+                "(c1, c2, b, level, distinct_args, "
+                "witness, txns, tabs, checksum) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 db_key
                 + (
                     raw_witness,
-                    json.dumps(sorted(entry.txns)),
-                    json.dumps(sorted(entry.tables)),
+                    txns_json,
+                    tabs_json,
+                    self._checksum(raw_witness, txns_json, tabs_json),
                 ),
             )
             self._conn.execute(
@@ -813,6 +878,7 @@ def solve_query(
     level: ConsistencyLevel,
     distinct_args: bool,
     use_prefilter: bool = True,
+    budget=None,
 ) -> QueryOutcome:
     """Discharge one anomaly query; pure function of its arguments.
 
@@ -836,7 +902,7 @@ def solve_query(
         return QueryOutcome(witness=None, solved=not use_prefilter, stats={})
     encoder.assert_axioms()
     encoder.builder.add(big_or([d.formula for d in disjuncts]))
-    model = encoder.builder.check()
+    model = encoder.builder.check(budget=budget)
     stats = encoder.builder.solver.stats()
     if model is None:
         return QueryOutcome(witness=None, solved=True, stats=stats)
@@ -883,6 +949,7 @@ class SerialStrategy:
     """
 
     name = "cached"
+    supports_budget = True
 
     def run(
         self,
@@ -890,9 +957,13 @@ class SerialStrategy:
         level: ConsistencyLevel,
         distinct_args: bool,
         use_prefilter: bool = True,
+        budget=None,
     ) -> List[QueryOutcome]:
         return [
-            solve_query(s.c1, s.c2, s.summary_b, level, distinct_args, use_prefilter)
+            solve_query(
+                s.c1, s.c2, s.summary_b, level, distinct_args,
+                use_prefilter, budget=budget,
+            )
             for s in specs
         ]
 
@@ -1019,6 +1090,7 @@ class IncrementalStrategy:
     """
 
     name = "incremental"
+    supports_budget = True
 
     def __init__(self, pool=None):
         if pool is None:
@@ -1033,6 +1105,7 @@ class IncrementalStrategy:
         level: ConsistencyLevel,
         distinct_args: bool,
         use_prefilter: bool = True,
+        budget=None,
     ) -> List[QueryOutcome]:
         return [
             self.pool.solve(
@@ -1043,6 +1116,7 @@ class IncrementalStrategy:
                 distinct_args,
                 use_prefilter=use_prefilter,
                 key=(s.cache_key[0], s.cache_key[1], s.cache_key[2], distinct_args),
+                budget=budget,
             )
             for s in specs
         ]
@@ -1361,6 +1435,7 @@ class AnalysisPipeline:
         cache: Optional[QueryCache] = None,
         max_workers: Optional[int] = None,
         progress=None,
+        budget=None,
     ):
         self.level = level
         self.use_prefilter = use_prefilter
@@ -1373,6 +1448,10 @@ class AnalysisPipeline:
         # strategy fan-out's size), done (pairs found).  Mutable so a
         # long-lived pipeline can be observed per call.
         self.progress = progress
+        # Optional repro.budget.Budget: bounds the strategy fan-out.
+        # Exhaustion raises DeadlineExceededError carrying the pairs
+        # from every batch whose queries all completed in time.
+        self.budget = budget
 
     def analyze(self, program: ast.Program):
         return self.analyze_many([program])[0]
@@ -1435,12 +1514,55 @@ class AnalysisPipeline:
         )
         sat_queries = [0] * len(plans)
         solver_stats: List[Dict[str, int]] = [{} for _ in plans]
+        exhausted = False
         if pending:
             unique = [group[0][1] for group in pending.values()]
             owners = [group[0][0] for group in pending.values()]
-            results = self.strategy.run(
-                unique, self.level, self.distinct_args, self.use_prefilter
-            )
+            # With a budget (or an observer) the fan-out is chunked so
+            # the deadline is re-checked -- and a cancellation-minded
+            # progress callback gets a chance to abort -- between
+            # chunks, without ever emitting one event per SAT query
+            # (ticks are throttled to one per 0.2s).  Budget-aware
+            # strategies additionally bound each solve internally.
+            budget = self.budget
+            chunked = budget is not None or self.progress is not None
+            step = 32 if chunked else max(len(unique), 1)
+            run_kwargs = {}
+            if budget is not None and getattr(
+                self.strategy, "supports_budget", False
+            ):
+                run_kwargs["budget"] = budget
+            results: List[QueryOutcome] = []
+            last_tick = start
+            for lo in range(0, len(unique), step):
+                now = time.perf_counter()
+                if chunked and lo and now - last_tick >= 0.2:
+                    last_tick = now
+                    emit(
+                        self.progress,
+                        "analyze.tick",
+                        completed=lo,
+                        total=len(unique),
+                    )
+                if budget is not None and budget.expired():
+                    exhausted = True
+                    break
+                try:
+                    results.extend(
+                        self.strategy.run(
+                            unique[lo : lo + step],
+                            self.level,
+                            self.distinct_args,
+                            self.use_prefilter,
+                            **run_kwargs,
+                        )
+                    )
+                except BudgetExhaustedError:
+                    exhausted = True
+                    break
+            # zip() stops at the shorter list, so an exhausted run
+            # still attributes and caches every completed outcome --
+            # the retry after a deadline warm-starts from them.
             for owner, spec, outcome in zip(owners, unique, results):
                 if outcome.solved:
                     sat_queries[owner] += 1
@@ -1461,9 +1583,11 @@ class AnalysisPipeline:
             emit(
                 self.progress,
                 "analyze.solved",
-                unique_queries=len(unique),
+                unique_queries=len(results),
                 strategy=self.strategy.name,
             )
+        if exhausted:
+            self._raise_deadline(plans, outcomes_by_program)
 
         elapsed = time.perf_counter() - start
         reports = []
@@ -1513,6 +1637,44 @@ class AnalysisPipeline:
             elapsed_seconds=elapsed,
         )
         return reports
+
+    def _raise_deadline(self, plans, outcomes_by_program) -> None:
+        """Raise DeadlineExceededError carrying the partial result.
+
+        A batch (access pair) counts as checked only when *every* one
+        of its queries has an outcome -- reporting a pair anomaly-free
+        on a half-finished batch would be unsound.
+        """
+        from repro.analysis.oracle import _merge_witnesses, deadline_error
+
+        pairs = []
+        checked = 0
+        total = 0
+        for plan, outcomes in zip(plans, outcomes_by_program):
+            for batch in plan.batches:
+                total += 1
+                if any(
+                    spec.index not in outcomes for spec in batch.queries
+                ):
+                    continue
+                checked += 1
+                witnesses = [
+                    PairWitness(
+                        interferer=spec.summary_b.name,
+                        pattern=outcomes[spec.index].pattern,
+                        fields1=outcomes[spec.index].fields1,
+                        fields2=outcomes[spec.index].fields2,
+                    )
+                    for spec in batch.queries
+                    if outcomes[spec.index] is not None
+                ]
+                if witnesses:
+                    pairs.append(
+                        _merge_witnesses(
+                            batch.summary_a, batch.c1, batch.c2, witnesses
+                        )
+                    )
+        raise deadline_error(self.level.name, pairs, checked, total)
 
     def close(self) -> None:
         self.strategy.close()

@@ -41,7 +41,10 @@ so clients never import from :mod:`repro.service` just to catch them.
 from repro.api.errors import (
     ApiError,
     BackpressureError,
+    BudgetExhaustedError,
+    DeadlineExceededError,
     InvalidRequestError,
+    JobCancelledError,
     JobNotFoundError,
     QueueFullError,
     RateLimitedError,
@@ -52,6 +55,7 @@ from repro.api.errors import (
     error_payload,
     http_status_of,
 )
+from repro.budget import Budget
 from repro.api.events import ProgressCallback, ProgressEvent, emit
 from repro.api.schema import all_schemas, check_schemas, dump_schemas, validate
 from repro.api.types import (
@@ -97,9 +101,13 @@ __all__ = [
     "OutcomeData",
     "decode_request",
     "ApiError",
+    "Budget",
+    "BudgetExhaustedError",
+    "DeadlineExceededError",
     "InvalidRequestError",
     "SchemaVersionError",
     "UnknownBenchmarkError",
+    "JobCancelledError",
     "JobNotFoundError",
     "BackpressureError",
     "QueueFullError",

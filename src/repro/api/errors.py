@@ -11,7 +11,25 @@ maps to the HTTP status the service answers with (``http_status``), so
 
 from __future__ import annotations
 
-from repro.errors import ReproError
+from repro.errors import BudgetExhaustedError, DeadlineExceededError, ReproError
+
+__all__ = [
+    "ApiError",
+    "BackpressureError",
+    "BudgetExhaustedError",
+    "DeadlineExceededError",
+    "InvalidRequestError",
+    "JobCancelledError",
+    "JobNotFoundError",
+    "QueueFullError",
+    "RateLimitedError",
+    "RequestTooLargeError",
+    "SchemaVersionError",
+    "ServiceDrainingError",
+    "UnknownBenchmarkError",
+    "error_payload",
+    "http_status_of",
+]
 
 
 class ApiError(ReproError):
@@ -93,12 +111,29 @@ class ServiceDrainingError(BackpressureError):
     http_status = 503
 
 
+class JobCancelledError(ApiError):
+    """Internal control-flow signal: a running job's ``cancel_requested``
+    flag was observed by the worker's progress hook.
+
+    Raised *from inside* a progress callback (the events contract makes
+    a raising callback abort the operation -- that is the designed
+    cancellation lever) and caught by ``service.workers.execute_job``,
+    which lands the job in the terminal ``cancelled`` state.  Clients
+    never see this on the sync endpoints.
+    """
+
+    code = "job-cancelled"
+    http_status = 409
+
+
 def http_status_of(exc: BaseException) -> int:
     """The HTTP status an error serializes under: ``ApiError`` subclasses
-    declare theirs, any other library error is the client's fault (400),
-    anything else is ours (500)."""
+    declare theirs, a deadline cut is a timeout (504), any other library
+    error is the client's fault (400), anything else is ours (500)."""
     if isinstance(exc, ApiError):
         return exc.http_status
+    if isinstance(exc, DeadlineExceededError):
+        return 504
     if isinstance(exc, ReproError):
         return 400
     return 500

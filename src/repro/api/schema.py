@@ -79,6 +79,29 @@ _PAIR = {
 
 _PAIR_LIST = {"type": "array", "items": _PAIR}
 
+#: Budget documents accepted by analyze/repair requests; today the only
+#: knob is a solver conflict cap (wall-clock lives in ``deadline_ms``).
+_BUDGET = {
+    "type": "object",
+    "properties": {"max_conflicts": _INT},
+    "additionalProperties": False,
+}
+
+#: Partial results attached to a ``deadline-exceeded`` error payload:
+#: every pair confirmed anomalous before the deadline, plus how far the
+#: sweep got (``pairs_checked`` of ``pairs_total`` candidate pairs).
+_PARTIAL = {
+    "type": "object",
+    "properties": {
+        "level": _STR,
+        "pairs": _PAIR_LIST,
+        "pairs_checked": _INT,
+        "pairs_total": _INT,
+    },
+    "required": ["pairs", "pairs_checked", "pairs_total"],
+    "additionalProperties": False,
+}
+
 _OUTCOME = {
     "type": "object",
     "properties": {"action": _STR, "pair": _PAIR},
@@ -127,6 +150,8 @@ def all_schemas() -> Dict[str, dict]:
             "level": _LEVEL,
             "use_prefilter": _BOOL,
             "distinct_args": _BOOL,
+            "deadline_ms": _INT,
+            "budget": _BUDGET,
         },
         [],
     )
@@ -153,6 +178,8 @@ def all_schemas() -> Dict[str, dict]:
             "search": _SEARCH,
             "use_prefilter": _BOOL,
             "plan": _PLAN,
+            "deadline_ms": _INT,
+            "budget": _BUDGET,
         },
         [],
     )
@@ -193,7 +220,11 @@ def all_schemas() -> Dict[str, dict]:
         "properties": {
             "error": {
                 "type": "object",
-                "properties": {"code": _STR, "message": _STR},
+                "properties": {
+                    "code": _STR,
+                    "message": _STR,
+                    "partial": _PARTIAL,
+                },
                 "required": ["code", "message"],
                 "additionalProperties": False,
             }
@@ -243,6 +274,7 @@ def all_schemas() -> Dict[str, dict]:
                     "max_queue_depth": _INT,
                     "draining": _BOOL,
                     "recovered_jobs": _INT,
+                    "breaker_trips": _INT,
                     "admission": _COUNTERS,
                 },
                 "required": [
@@ -259,7 +291,9 @@ def all_schemas() -> Dict[str, dict]:
         "properties": {
             "id": _STR,
             "kind": {"enum": ["analyze", "repair", "bench"]},
-            "status": {"enum": ["queued", "running", "done", "failed"]},
+            "status": {
+                "enum": ["queued", "running", "done", "failed", "cancelled"]
+            },
             "created_at": _NUM,
             "started_at": {"type": ["number", "null"]},
             "finished_at": {"type": ["number", "null"]},
@@ -270,6 +304,19 @@ def all_schemas() -> Dict[str, dict]:
             "error": {"type": ["object", "null"]},
         },
         "required": ["id", "kind", "status", "events"],
+        "additionalProperties": False,
+    }
+    # One NDJSON line on a ``GET /v1/jobs/<id>/events?stream=1`` body:
+    # either a progress event (``stage`` + ``detail``) or, when the
+    # stream has been idle for the heartbeat interval, a keep-alive
+    # ``{"kind": "heartbeat"}`` that clients must ignore.
+    job_event = {
+        "type": "object",
+        "properties": {
+            "stage": _STR,
+            "detail": {"type": "object"},
+            "kind": {"enum": ["heartbeat"]},
+        },
         "additionalProperties": False,
     }
     return {
@@ -283,6 +330,7 @@ def all_schemas() -> Dict[str, dict]:
         "health": health,
         "stats": stats,
         "job": job,
+        "job_event": job_event,
     }
 
 

@@ -200,6 +200,8 @@ class AnalyzeRequest:
     level: str = "EC"
     use_prefilter: bool = True
     distinct_args: bool = True
+    deadline_ms: Optional[int] = None
+    budget: Optional[dict] = None
 
     kind = "analyze_request"
 
@@ -211,19 +213,26 @@ class AnalyzeRequest:
             out["source"] = self.source
         if self.benchmark is not None:
             out["benchmark"] = self.benchmark
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
+        if self.budget is not None:
+            out["budget"] = self.budget
         return out
 
     @classmethod
     def from_json(cls, data: object) -> "AnalyzeRequest":
         body = _check_envelope(data, cls.kind)
         _no_extras(cls.kind, body, ("source", "benchmark", "level",
-                                    "use_prefilter", "distinct_args"))
+                                    "use_prefilter", "distinct_args",
+                                    "deadline_ms", "budget"))
         return cls(
             source=_field(cls.kind, body, "source", (str,), None),
             benchmark=_field(cls.kind, body, "benchmark", (str,), None),
             level=_field(cls.kind, body, "level", (str,), "EC", enum=LEVELS),
             use_prefilter=_field(cls.kind, body, "use_prefilter", (bool,), True),
             distinct_args=_field(cls.kind, body, "distinct_args", (bool,), True),
+            deadline_ms=_field(cls.kind, body, "deadline_ms", (int,), None),
+            budget=_field(cls.kind, body, "budget", (dict,), None),
         )
 
 
@@ -311,6 +320,8 @@ class RepairRequest:
     search: str = "greedy"
     use_prefilter: bool = True
     plan: Optional[dict] = None
+    deadline_ms: Optional[int] = None
+    budget: Optional[dict] = None
 
     kind = "repair_request"
 
@@ -323,13 +334,18 @@ class RepairRequest:
             out["benchmark"] = self.benchmark
         if self.plan is not None:
             out["plan"] = self.plan
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
+        if self.budget is not None:
+            out["budget"] = self.budget
         return out
 
     @classmethod
     def from_json(cls, data: object) -> "RepairRequest":
         body = _check_envelope(data, cls.kind)
         _no_extras(cls.kind, body, ("source", "benchmark", "level", "search",
-                                    "use_prefilter", "plan"))
+                                    "use_prefilter", "plan",
+                                    "deadline_ms", "budget"))
         return cls(
             source=_field(cls.kind, body, "source", (str,), None),
             benchmark=_field(cls.kind, body, "benchmark", (str,), None),
@@ -338,6 +354,8 @@ class RepairRequest:
                           enum=SEARCHES),
             use_prefilter=_field(cls.kind, body, "use_prefilter", (bool,), True),
             plan=_field(cls.kind, body, "plan", (dict,), None),
+            deadline_ms=_field(cls.kind, body, "deadline_ms", (int,), None),
+            budget=_field(cls.kind, body, "budget", (dict,), None),
         )
 
 

@@ -47,10 +47,13 @@ from repro.api.types import (
     BenchRequest,
     BenchResult,
     BenchRow,
+    PairData,
     RepairRequest,
     RepairResult,
 )
 from repro.analysis.consistency import EC, ConsistencyLevel, by_name
+from repro.budget import Budget
+from repro.errors import DeadlineExceededError
 
 #: Strategy names the façade accepts (``None`` means :data:`DEFAULT_STRATEGY`).
 STRATEGIES = (
@@ -258,13 +261,15 @@ class Workspace:
         use_prefilter: Optional[bool] = None,
         distinct_args: Optional[bool] = None,
         on_progress: Optional[ProgressCallback] = None,
+        budget: Optional[Budget] = None,
     ):
         """Run the anomaly oracle; returns an
         :class:`~repro.analysis.oracle.AnalysisReport`."""
         with self._lock:
             self._requests["analyze"] += 1
         return self._analyze(
-            program, level, use_prefilter, distinct_args, on_progress
+            program, level, use_prefilter, distinct_args, on_progress,
+            budget=budget,
         )
 
     def _analyze(
@@ -274,6 +279,7 @@ class Workspace:
         use_prefilter: Optional[bool] = None,
         distinct_args: Optional[bool] = None,
         on_progress: Optional[ProgressCallback] = None,
+        budget: Optional[Budget] = None,
     ):
         """Uncounted core of :meth:`analyze_program` (bench rows go
         through here so one bench request does not inflate the
@@ -292,6 +298,7 @@ class Workspace:
                 strategy="serial" if self._serial else self._runner,
                 cache=self.cache,
                 progress=on_progress,
+                budget=budget,
             )
             return oracle.analyze(program)
 
@@ -302,6 +309,7 @@ class Workspace:
         search: object = None,
         use_prefilter: Optional[bool] = None,
         on_progress: Optional[ProgressCallback] = None,
+        budget: Optional[Budget] = None,
         **search_options,
     ):
         """Run the full repair pipeline; returns a
@@ -309,7 +317,8 @@ class Workspace:
         with self._lock:
             self._requests["repair"] += 1
         return self._repair(
-            program, level, search, use_prefilter, on_progress, **search_options
+            program, level, search, use_prefilter, on_progress,
+            budget=budget, **search_options
         )
 
     def _repair(
@@ -319,6 +328,7 @@ class Workspace:
         search: object = None,
         use_prefilter: Optional[bool] = None,
         on_progress: Optional[ProgressCallback] = None,
+        budget: Optional[Budget] = None,
         **search_options,
     ):
         """Uncounted core of :meth:`repair_program`."""
@@ -333,6 +343,7 @@ class Workspace:
                 search=self.search if search is None else search,
                 max_workers=self.max_workers,
                 progress=on_progress,
+                budget=budget,
                 **search_options,
             )
             # The engine borrowed the workspace's runner/cache; nothing
@@ -349,13 +360,17 @@ class Workspace:
         program, _ = self._resolve_program(
             request.source, request.benchmark, request.kind
         )
-        report = self.analyze_program(
-            program,
-            level=_level(request.level),
-            use_prefilter=request.use_prefilter,
-            distinct_args=request.distinct_args,
-            on_progress=on_progress,
-        )
+        try:
+            report = self.analyze_program(
+                program,
+                level=_level(request.level),
+                use_prefilter=request.use_prefilter,
+                distinct_args=request.distinct_args,
+                on_progress=on_progress,
+                budget=Budget.start(request.deadline_ms, request.budget),
+            )
+        except DeadlineExceededError as exc:
+            raise _with_partial(exc)
         return AnalyzeResult.from_report(report)
 
     def repair(
@@ -378,13 +393,17 @@ class Workspace:
                 emit(on_progress, "search.done", mode="replay",
                      steps=len(report.plan))
             return RepairResult.from_report(report, strategy="replay")
-        report = self.repair_program(
-            program,
-            level=_level(request.level),
-            search=request.search,
-            use_prefilter=request.use_prefilter,
-            on_progress=on_progress,
-        )
+        try:
+            report = self.repair_program(
+                program,
+                level=_level(request.level),
+                search=request.search,
+                use_prefilter=request.use_prefilter,
+                on_progress=on_progress,
+                budget=Budget.start(request.deadline_ms, request.budget),
+            )
+        except DeadlineExceededError as exc:
+            raise _with_partial(exc)
         return RepairResult.from_report(report, strategy=self.strategy_name)
 
     def bench(
@@ -505,6 +524,25 @@ class Workspace:
                 )
             picked.append(BY_NAME[name])
         return picked
+
+
+def _with_partial(exc: DeadlineExceededError) -> DeadlineExceededError:
+    """Attach the wire form of a deadline error's partial result.
+
+    The oracle tags the exception with library objects (AccessPair
+    lists); the wire tier converts them once, here, so every surface
+    (HTTP 504 body, CLI error report) shows the same document.
+    """
+    exc.partial = {
+        "level": getattr(exc, "level", ""),
+        "pairs": [
+            PairData.from_pair(p).to_json()
+            for p in getattr(exc, "partial_pairs", None) or []
+        ],
+        "pairs_checked": getattr(exc, "pairs_checked", 0),
+        "pairs_total": getattr(exc, "pairs_total", 0),
+    }
+    return exc
 
 
 def _level(name: str) -> ConsistencyLevel:

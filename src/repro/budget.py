@@ -1,0 +1,98 @@
+"""Wall-clock deadlines and solver-work budgets, threaded end to end.
+
+A :class:`Budget` is a tiny immutable record carried from the API
+request (``deadline_ms`` / ``budget``) down to the CDCL solver's main
+loop.  Two independent limits:
+
+- ``deadline`` -- an *absolute* ``time.monotonic()`` instant.  On
+  Linux the monotonic clock is system-wide, so a budget built in the
+  server process means the same instant inside a spawned worker;
+- ``max_conflicts`` -- a per-solve conflict cap, the classic SAT
+  effort budget (deterministic, unlike wall clock).
+
+The solver checks cheaply and *cooperatively* (a countdown in the main
+loop, ~one check per few hundred iterations) and reports exhaustion as
+an ``unknown`` result rather than raising mid-search, so warm
+incremental sessions stay reusable.  The layers above turn ``unknown``
+into :class:`~repro.errors.BudgetExhaustedError` and ultimately into
+the structured :class:`~repro.errors.DeadlineExceededError` carrying
+partial per-pair results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Budget:
+    """An absolute deadline and/or a conflict budget.  Picklable, so it
+    crosses the service's process boundaries intact."""
+
+    deadline: Optional[float] = None      # absolute time.monotonic()
+    max_conflicts: Optional[int] = None   # per-solve conflict cap
+
+    @classmethod
+    def start(
+        cls,
+        deadline_ms: Optional[int] = None,
+        budget: Optional[dict] = None,
+    ) -> Optional["Budget"]:
+        """Build a budget from the wire-level request fields; ``None``
+        when neither field is present (the overwhelmingly common case,
+        so callers can skip every downstream check)."""
+        max_conflicts = None
+        if budget is not None:
+            extras = set(budget) - {"max_conflicts"}
+            if extras:
+                raise ValidationError(
+                    f"unknown budget keys: {sorted(extras)}"
+                )
+            max_conflicts = budget.get("max_conflicts")
+            if max_conflicts is not None and (
+                isinstance(max_conflicts, bool)
+                or not isinstance(max_conflicts, int)
+                or max_conflicts < 1
+            ):
+                raise ValidationError(
+                    "budget.max_conflicts must be a positive integer"
+                )
+        if deadline_ms is not None and (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, int)
+            or deadline_ms < 1
+        ):
+            raise ValidationError("deadline_ms must be a positive integer")
+        if deadline_ms is None and max_conflicts is None:
+            return None
+        deadline = (
+            time.monotonic() + deadline_ms / 1000.0
+            if deadline_ms is not None
+            else None
+        )
+        return cls(deadline=deadline, max_conflicts=max_conflicts)
+
+    def expired(self) -> Optional[str]:
+        """The exhaustion reason (``"deadline"``) or ``None``.  Checks
+        only the clock; conflict accounting is the solver's."""
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            return "deadline"
+        return None
+
+    def exhausted(self, conflicts_used: int) -> Optional[str]:
+        """Full check: conflict cap first (deterministic), then clock."""
+        if (
+            self.max_conflicts is not None
+            and conflicts_used >= self.max_conflicts
+        ):
+            return "conflicts"
+        return self.expired()
+
+    def remaining_ms(self) -> Optional[int]:
+        if self.deadline is None:
+            return None
+        return max(0, int((self.deadline - time.monotonic()) * 1000))

@@ -18,6 +18,9 @@ same code path by construction:
   (:mod:`repro.service`): a durable sqlite job queue (``--job-db``)
   drained by ``--workers`` N worker processes, with admission control
   (``--max-queue-depth``, ``--rate-limit``) and graceful SIGTERM drain;
+- ``repro chaos`` -- one seeded fault-injection experiment against an
+  in-process service (``repro.service.chaos``): inject faults, check
+  the no-lost-jobs / all-terminal / results-unchanged gates;
 - ``repro schemas`` -- dump (or ``--check``) the versioned wire schemas
   against the committed ``schemas/`` goldens.
 
@@ -36,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -329,6 +333,24 @@ def cmd_serve(args) -> int:
     from repro.api import Workspace, WorkspaceConfig, requested_strategy
     from repro.service import serve
 
+    if args.fail:
+        from repro import faults
+
+        spec = args.fail
+        if os.path.exists(spec):
+            with open(spec) as fh:
+                spec = fh.read()
+        plan = faults.FaultPlan.from_spec(spec)
+        # Active in this process (inline runner, store, event streams)
+        # and exported so spawned worker processes re-arm it -- crash
+        # actions included -- at worker_main boot.
+        faults.activate(plan)
+        os.environ[faults.ENV_VAR] = plan.to_spec()
+        print(
+            f"fault plan active: seed {plan.seed}, "
+            f"{len(plan.rules)} rule(s)"
+        )
+
     # A server exists to stay warm: the implicit default is the fast
     # auto strategy (no upgrade note needed -- the flags are honoured).
     # An explicit --strategy (serial included) goes through the same
@@ -368,6 +390,40 @@ def cmd_serve(args) -> int:
             drain_timeout=args.drain_timeout,
         )
     return 0
+
+
+# ---------------------------------------------------------------------------
+# chaos
+# ---------------------------------------------------------------------------
+
+
+def cmd_chaos(args) -> int:
+    from repro.service import run_chaos
+
+    report = run_chaos(
+        seed=args.seed,
+        jobs=args.jobs,
+        workers=args.workers,
+        log_path=args.log,
+    )
+    fired = report["faults_fired"]
+    print(
+        f"chaos seed {report['seed']}: {report['jobs_submitted']} jobs, "
+        f"{fired} fault(s) fired, "
+        f"{report['cache_quarantined']} cache quarantine(s), "
+        f"cancel probe -> {report['cancel_status']}"
+    )
+    for violation in report["violations"]:
+        print(f"GATE VIOLATION: {violation}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if report["ok"]:
+        print("all gates passed")
+        return 0
+    return 1
 
 
 # ---------------------------------------------------------------------------
@@ -548,9 +604,42 @@ def build_parser() -> argparse.ArgumentParser:
         "shutdown (default: 60)",
     )
     sv.add_argument(
+        "--fail",
+        metavar="SPEC",
+        help="activate a fault-injection plan: a JSON plan spec (inline "
+        "or a file path; see repro.faults) -- testing only",
+    )
+    sv.add_argument(
         "--quiet", action="store_true", help="suppress per-request log lines"
     )
     sv.set_defaults(func=cmd_serve)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="run one seeded fault-injection experiment against an "
+        "in-process service and check the durability gates",
+    )
+    ch.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-plan seed (same seed = same schedule; default: 0)",
+    )
+    ch.add_argument(
+        "--jobs", type=int, default=6,
+        help="analyze jobs in the mix, plus one cancel probe (default: 6)",
+    )
+    ch.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 = inline runner; default: 0)",
+    )
+    ch.add_argument(
+        "--log", metavar="FILE",
+        help="append every fired fault to FILE as NDJSON (survives "
+        "worker crashes)",
+    )
+    ch.add_argument(
+        "--json", metavar="FILE", help="also write the report as JSON"
+    )
+    ch.set_defaults(func=cmd_chaos)
 
     sc = sub.add_parser(
         "schemas",

@@ -88,6 +88,47 @@ class SolverError(ReproError):
     code = "solver-error"
 
 
+class BudgetExhaustedError(ReproError):
+    """A single SAT query ran out of its :class:`~repro.budget.Budget`
+    (wall-clock deadline or conflict cap) and answered *unknown*.
+
+    Raised by the formula layer when the solver reports an unknown
+    result; the analysis layers catch it and convert to a
+    :class:`DeadlineExceededError` carrying whatever partial results
+    were already established.
+    """
+
+    code = "budget-exhausted"
+
+    def __init__(self, message: str, reason: str = "deadline"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class DeadlineExceededError(ReproError):
+    """An operation exceeded its ``deadline_ms``/``budget`` and was cut
+    short cooperatively.
+
+    ``partial`` is a JSON-ready document with whatever the analysis
+    established before the cut (per-pair verdicts found so far and the
+    checked/total counts); the service serializes it inside the error
+    payload so a client paying for a bounded answer gets the bounded
+    answer, not nothing.  The HTTP layer maps this to 504.
+    """
+
+    code = "deadline-exceeded"
+
+    def __init__(self, message: str, partial: dict = None):
+        super().__init__(message)
+        self.partial = partial
+
+    def to_payload(self) -> dict:
+        payload = super().to_payload()
+        if self.partial is not None:
+            payload["error"]["partial"] = self.partial
+        return payload
+
+
 class SimulationError(ReproError):
     """Raised by the distributed-store simulator for invalid configs."""
 

@@ -1,0 +1,294 @@
+"""Seeded fault injection: named failpoints with a pluggable plan.
+
+The service's recovery machinery (crash respawn, orphan re-enqueue,
+retry-with-backoff, cache quarantine) is only trustworthy if it is
+exercised under *combinatorial* failures, not the one hand-scripted
+SIGKILL a unit test can stage.  This module provides the injection
+half of that story:
+
+- **failpoints** are named call sites sprinkled through the hot paths
+  (``failpoint("jobstore.claim")``, ``failpoint_bytes("cache.read",
+  data)``).  With no plan installed they are a single ``is None``
+  check -- zero overhead in production;
+- a :class:`FaultPlan` is a *seeded* set of :class:`FaultRule`\\ s
+  (site -> trigger -> action).  Triggers are ``nth``-hit (exact,
+  deterministic) or probability ``p`` (drawn from the plan's private
+  ``random.Random(seed)``, so a seed fully reproduces a schedule);
+- actions: ``raise`` (a :class:`FaultInjected`), ``busy`` (a sqlite
+  "database is locked" error, to exercise retry-with-backoff),
+  ``delay`` (sleep), ``corrupt`` (flip bytes at a ``failpoint_bytes``
+  site), and ``crash`` (``os._exit`` -- worker processes only, see
+  :func:`activate`);
+- every fired fault is appended to the plan's **schedule** (and, when
+  ``log_path`` is set, to an NDJSON file survived by crashes) so CI
+  can upload the exact failure history of a red run.
+
+Plans travel to spawned worker processes through the ``REPRO_FAULTS``
+environment variable (a JSON spec, see :meth:`FaultPlan.to_spec`);
+:func:`install_from_env` is called by ``service.workers.worker_main``.
+Rules may carry a ``gate`` file path: the rule fires only while the
+file does not exist and creates it when it fires, which is how a
+"crash exactly once across process generations" schedule is written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+ACTIONS = ("raise", "busy", "delay", "corrupt", "crash")
+
+#: Environment variable carrying a plan spec into worker processes.
+ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultInjected(Exception):
+    """Raised by a ``raise``-action failpoint.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults model infrastructure failures, and the layers above must
+    handle them the way they handle real ones (retry, re-enqueue,
+    quarantine) rather than reporting them as user errors.
+    """
+
+    def __init__(self, site: str):
+        super().__init__(f"fault injected at {site}")
+        self.site = site
+
+
+@dataclass
+class FaultRule:
+    """One (site, trigger, action) arm of a plan.
+
+    ``nth`` fires on exactly the nth hit of the site (1-based,
+    deterministic); ``p`` fires each hit with probability ``p`` from
+    the plan's seeded RNG.  ``times`` caps total firings (0 = no cap);
+    ``gate`` names a file that suppresses the rule once it exists and
+    is created when the rule fires (cross-process "only once").
+    """
+
+    site: str
+    action: str
+    nth: int = 0
+    p: float = 0.0
+    times: int = 1
+    delay_s: float = 0.05
+    gate: Optional[str] = None
+    fired: int = field(default=0, compare=False)
+
+    def to_json(self) -> dict:
+        doc = {"site": self.site, "action": self.action}
+        if self.nth:
+            doc["nth"] = self.nth
+        if self.p:
+            doc["p"] = self.p
+        if self.times != 1:
+            doc["times"] = self.times
+        if self.delay_s != 0.05:
+            doc["delay_s"] = self.delay_s
+        if self.gate:
+            doc["gate"] = self.gate
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "FaultRule":
+        if doc.get("action") not in ACTIONS:
+            raise ValueError(f"unknown fault action: {doc.get('action')!r}")
+        return cls(
+            site=doc["site"],
+            action=doc["action"],
+            nth=int(doc.get("nth", 0)),
+            p=float(doc.get("p", 0.0)),
+            times=int(doc.get("times", 1)),
+            delay_s=float(doc.get("delay_s", 0.05)),
+            gate=doc.get("gate"),
+        )
+
+
+class FaultPlan:
+    """A seeded, reproducible schedule of failures.
+
+    Thread-safe: hit counters and the RNG are guarded by one lock (the
+    service's runner threads and event streams share the process-wide
+    plan).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rules: List[FaultRule],
+        log_path: Optional[str] = None,
+    ):
+        self.seed = seed
+        self.rules = rules
+        self.log_path = log_path
+        self.hits: Dict[str, int] = {}
+        self.schedule: List[dict] = []
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._allow_crash = False
+
+    # -- spec round-trip ---------------------------------------------------
+
+    def to_spec(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "rules": [rule.to_json() for rule in self.rules],
+                **({"log_path": self.log_path} if self.log_path else {}),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_spec(cls, text: str) -> "FaultPlan":
+        doc = json.loads(text)
+        return cls(
+            seed=int(doc.get("seed", 0)),
+            rules=[FaultRule.from_json(r) for r in doc.get("rules", [])],
+            log_path=doc.get("log_path"),
+        )
+
+    # -- firing ------------------------------------------------------------
+
+    def _pick(self, site: str) -> Optional[FaultRule]:
+        """The rule (if any) that fires on this hit of ``site``."""
+        self.hits[site] = self.hits.get(site, 0) + 1
+        count = self.hits[site]
+        for rule in self.rules:
+            if rule.site != site:
+                continue
+            if rule.times and rule.fired >= rule.times:
+                continue
+            if rule.gate and os.path.exists(rule.gate):
+                continue
+            triggered = (rule.nth and count == rule.nth) or (
+                rule.p and self._rng.random() < rule.p
+            )
+            if not triggered:
+                continue
+            rule.fired += 1
+            self._record(site, rule)
+            return rule
+        return None
+
+    def _record(self, site: str, rule: FaultRule) -> None:
+        entry = {
+            "site": site,
+            "action": rule.action,
+            "hit": self.hits[site],
+            "seed": self.seed,
+            "pid": os.getpid(),
+        }
+        self.schedule.append(entry)
+        if rule.gate:
+            # Create the gate *before* acting so even a crash action
+            # leaves the "already fired" marker behind.
+            try:
+                with open(rule.gate, "x"):
+                    pass
+            except FileExistsError:
+                pass
+        if self.log_path:
+            try:
+                with open(self.log_path, "a") as fh:
+                    fh.write(json.dumps(entry, sort_keys=True) + "\n")
+                    fh.flush()
+            except OSError:
+                pass
+
+    def _act(self, rule: FaultRule, site: str) -> None:
+        action = rule.action
+        if action == "crash" and not self._allow_crash:
+            # In-process plans (inline runner, tests) must not take the
+            # host down; degrade to a raise, which exercises the same
+            # release-and-retry path.
+            action = "raise"
+        if action == "raise":
+            raise FaultInjected(site)
+        if action == "busy":
+            raise sqlite3.OperationalError("database is locked (injected)")
+        if action == "delay":
+            time.sleep(rule.delay_s)
+            return
+        if action == "crash":
+            os._exit(13)
+
+    def hit(self, site: str) -> None:
+        with self._lock:
+            rule = self._pick(site)
+        if rule is not None:
+            self._act(rule, site)
+
+    def hit_bytes(self, site: str, data: bytes) -> bytes:
+        with self._lock:
+            rule = self._pick(site)
+        if rule is None:
+            return data
+        if rule.action == "corrupt":
+            if not data:
+                return b"\xff"
+            with self._lock:
+                index = self._rng.randrange(len(data))
+            corrupted = bytearray(data)
+            corrupted[index] ^= 0xFF
+            return bytes(corrupted)
+        self._act(rule, site)
+        return data
+
+
+#: The process-wide active plan.  ``None`` means every failpoint is a
+#: single attribute load + comparison -- the zero-overhead contract.
+_PLAN: Optional[FaultPlan] = None
+
+
+def failpoint(site: str) -> None:
+    """Declare a named failure site.  No-op unless a plan is active."""
+    if _PLAN is None:
+        return
+    _PLAN.hit(site)
+
+
+def failpoint_bytes(site: str, data: bytes) -> bytes:
+    """A failure site through which payload bytes flow (``corrupt``
+    rules rewrite them).  Identity unless a plan is active."""
+    if _PLAN is None:
+        return data
+    return _PLAN.hit_bytes(site, data)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _PLAN
+
+
+def activate(plan: Optional[FaultPlan], allow_crash: bool = False) -> None:
+    """Install ``plan`` process-wide (``None`` deactivates).
+
+    ``allow_crash`` unlocks the ``crash`` action; only worker processes
+    (whose death the pool monitor is built to survive) should pass
+    ``True`` -- :func:`install_from_env` does.
+    """
+    global _PLAN
+    if plan is not None:
+        plan._allow_crash = allow_crash
+    _PLAN = plan
+
+
+def deactivate() -> None:
+    activate(None)
+
+
+def install_from_env(allow_crash: bool = True) -> Optional[FaultPlan]:
+    """Activate the plan in ``$REPRO_FAULTS``, if any (worker boot)."""
+    spec = os.environ.get(ENV_VAR)
+    if not spec:
+        return None
+    plan = FaultPlan.from_spec(spec)
+    activate(plan, allow_crash=allow_crash)
+    return plan

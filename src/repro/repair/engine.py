@@ -125,6 +125,7 @@ class RepairEngine:
         search: object = "greedy",
         max_workers: Optional[int] = None,
         progress=None,
+        budget=None,
         **search_options: object,
     ):
         self.oracle = AnomalyOracle(
@@ -134,6 +135,7 @@ class RepairEngine:
             cache=cache,
             max_workers=max_workers,
             progress=progress,
+            budget=budget,
         )
         self.searcher = resolve_search(search, **search_options)
         # The bundled strategies declare a `progress` slot; custom

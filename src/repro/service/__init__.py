@@ -1,6 +1,6 @@
 """``repro.service``: the durable multi-process HTTP service tier.
 
-Four modules, one topology (DESIGN.md has the diagram):
+Five modules, one topology (DESIGN.md has the diagram):
 
 - :mod:`repro.service.server` -- the stdlib ``ThreadingHTTPServer``
   front door: routing, admission, job submission, event streaming;
@@ -10,7 +10,10 @@ Four modules, one topology (DESIGN.md has the diagram):
   *processes* (each with its own warm workspace) or an in-process
   thread at ``workers=0``;
 - :mod:`repro.service.admission` -- backpressure with stable error
-  codes (429/413/503) before work costs anything.
+  codes (429/413/503) before work costs anything;
+- :mod:`repro.service.chaos` -- the seeded fault-injection harness
+  (:func:`run_chaos`) that proves the recovery machinery above under
+  combinatorial failures.
 
 Start it with ``repro serve --workers 4`` or::
 
@@ -19,6 +22,7 @@ Start it with ``repro serve --workers 4`` or::
 """
 
 from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.chaos import default_plan, run_chaos
 from repro.service.server import (
     ReproHTTPServer,
     ReproService,
@@ -37,6 +41,8 @@ __all__ = [
     "ReproService",
     "TokenBucket",
     "WorkerPool",
+    "default_plan",
     "make_server",
+    "run_chaos",
     "serve",
 ]

@@ -21,6 +21,7 @@ off exactly that long (the load driver under ``benchmarks/`` does).
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from collections import OrderedDict
@@ -80,6 +81,7 @@ class AdmissionController:
         rate_limit: Optional[float] = None,
         rate_burst: Optional[float] = None,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        jitter_seed: Optional[int] = None,
     ):
         self.rate_limit = rate_limit
         self.rate_burst = (
@@ -89,6 +91,11 @@ class AdmissionController:
         )
         self.max_request_bytes = max_request_bytes
         self.draining = False
+        # Seeded jitter on Retry-After: without it, every client told
+        # "retry in 2" comes back in the same instant and the 429s
+        # synchronize into a thundering herd.  A seed makes backoff
+        # schedules reproducible in tests and chaos runs.
+        self._jitter = random.Random(jitter_seed)
         self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {
@@ -108,7 +115,8 @@ class AdmissionController:
             self._count("draining")
             raise ServiceDrainingError(
                 "server is draining (finishing in-flight work before "
-                "shutdown); retry against a live instance"
+                "shutdown); retry against a live instance",
+                retry_after=self.retry_after(1),
             )
         if body_bytes > self.max_request_bytes:
             self._count("too_large")
@@ -123,7 +131,7 @@ class AdmissionController:
                 raise RateLimitedError(
                     f"client {client} exceeded {self.rate_limit:g} "
                     "requests/second",
-                    retry_after=max(1, int(wait + 0.999)),
+                    retry_after=self.retry_after(int(wait + 0.999)),
                 )
         self._count("admitted")
 
@@ -131,6 +139,12 @@ class AdmissionController:
         """The queue-depth gate lives at the submission site (it needs
         the store); it reports its rejections here for ``/v1/stats``."""
         self._count("queue_full")
+
+    def retry_after(self, base: int) -> int:
+        """``base`` seconds plus 0-2s of seeded jitter, floored at 1 --
+        the value every 429/503 puts in its ``Retry-After`` header."""
+        with self._lock:
+            return max(1, int(base) + self._jitter.randrange(0, 3))
 
     # -- internals ---------------------------------------------------------
 

@@ -1,0 +1,267 @@
+"""The chaos harness: run the service under a seeded fault plan and
+check the invariants that make the durability story true.
+
+One :func:`run_chaos` call is one experiment:
+
+1. compute the **fault-free baseline** -- every analyze verdict on the
+   serial seed workspace, no faults active;
+2. warm a persistent query cache on disk (so ``cache.read`` failpoints
+   actually sit on the read path -- a cold cache never touches disk);
+3. boot a :class:`~repro.service.server.ReproService` over a durable
+   job db with a :func:`default_plan` of seeded faults active, submit
+   the job mix, cancel one probe job, and wait for quiescence;
+4. check the **gates**:
+
+   - *no lost or duplicated jobs*: the store holds exactly one row per
+     accepted submission;
+   - *every job terminal*: ``done``/``failed``/``cancelled``, nothing
+     stuck ``queued``/``running``;
+   - *results unchanged*: every ``done`` analyze job's verdict (level +
+     anomalous pairs) is identical to the fault-free baseline --
+     injected corruption may cost retries and quarantines, never
+     wrong answers.
+
+The return value is a JSON-ready report (seed, rules, fired-fault
+schedule, per-job statuses, violations).  ``repro chaos --seed N``
+prints it; ``tests/test_chaos.py`` asserts ``report["ok"]`` over a
+fixed seed matrix plus a fresh seed per CI run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import tempfile
+import time
+from typing import List, Optional
+
+from repro.api import AnalyzeRequest, Workspace
+from repro.api.workspace import WorkspaceConfig
+from repro.faults import ENV_VAR, FaultPlan, FaultRule, activate, deactivate
+from repro.service.server import ReproService
+
+#: Benchmarks the chaos mix draws from: small enough that a full run
+#: with retries stays in CI-smoke territory, distinct enough to spread
+#: across shards and cache lines.
+CHAOS_BENCHMARKS = ("SIBench", "Courseware", "SmallBank")
+
+#: Per-site actions a generated plan may use.  ``crash`` is reserved
+#: for explicit worker-process plans (see tests); a generated plan must
+#: stay safe for the inline runner.
+_SITE_ACTIONS = {
+    "jobstore.claim": ("raise", "busy", "delay"),
+    "cache.read": ("corrupt", "delay"),
+    "worker.pre_result": ("raise", "busy"),
+    "events.write": ("raise", "busy"),
+    "solver.propagate": ("raise", "delay"),
+}
+
+
+def default_plan(seed: int, log_path: Optional[str] = None) -> FaultPlan:
+    """A seeded, generated fault plan: 4-7 rules over the failpoint
+    sites, mixing exact ``nth``-hit triggers with probabilistic ones.
+    The same seed always yields the same rules *and* (via the plan's
+    private RNG) the same probabilistic firing schedule."""
+    rng = random.Random(seed)
+    sites = sorted(_SITE_ACTIONS)
+    rules: List[FaultRule] = []
+    # One guaranteed corruption: the quarantine path must be exercised
+    # by every seed, not just the lucky ones.
+    rules.append(
+        FaultRule(site="cache.read", action="corrupt", nth=rng.randint(1, 3))
+    )
+    for _ in range(rng.randint(3, 6)):
+        site = rng.choice(sites)
+        action = rng.choice(_SITE_ACTIONS[site])
+        if rng.random() < 0.5:
+            rules.append(
+                FaultRule(
+                    site=site, action=action,
+                    nth=rng.randint(1, 10), delay_s=0.01,
+                )
+            )
+        else:
+            rules.append(
+                FaultRule(
+                    site=site, action=action,
+                    p=rng.uniform(0.05, 0.25),
+                    times=rng.randint(1, 3), delay_s=0.01,
+                )
+            )
+    return FaultPlan(seed, rules, log_path=log_path)
+
+
+def _essence(result_doc: dict) -> dict:
+    """The deterministic core of an analyze result: the verdict.
+    Timings and cache counters legitimately vary run to run (and under
+    faults); the level and the anomalous pairs may not."""
+    return {
+        "level": result_doc.get("level"),
+        "pairs": result_doc.get("pairs"),
+    }
+
+
+def run_chaos(
+    seed: int,
+    jobs: int = 6,
+    workers: int = 0,
+    job_db: Optional[str] = None,
+    log_path: Optional[str] = None,
+    plan: Optional[FaultPlan] = None,
+    timeout: float = 300.0,
+) -> dict:
+    """Run one seeded chaos experiment; returns the gate report.
+
+    ``workers=0`` (default) exercises the inline tier in-process --
+    crash actions degrade to raises.  ``workers=N`` spawns real worker
+    processes which inherit the plan through ``$REPRO_FAULTS`` (crash
+    actions enabled there).  ``plan`` overrides :func:`default_plan`
+    for hand-written schedules.
+    """
+    benches = [CHAOS_BENCHMARKS[i % len(CHAOS_BENCHMARKS)] for i in range(jobs)]
+    requests = [AnalyzeRequest(benchmark=name) for name in benches]
+
+    # 1. Fault-free baseline on the serial seed oracle.
+    baseline = {}
+    with Workspace(strategy="serial") as ws:
+        for name in sorted(set(benches)):
+            baseline[name] = _essence(
+                ws.analyze(AnalyzeRequest(benchmark=name)).to_json()
+            )
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    if job_db is None:
+        job_db = os.path.join(tmpdir, "jobs.sqlite")
+    cache_dir = os.path.join(tmpdir, "cache")
+
+    # 2. Warm the persistent cache so cache.read failpoints sit on a
+    #    real disk-read path (a fresh cache never consults disk).
+    with Workspace(strategy="incremental", cache_dir=cache_dir) as ws:
+        for name in sorted(set(benches)):
+            ws.analyze(AnalyzeRequest(benchmark=name))
+
+    plan = plan if plan is not None else default_plan(seed, log_path=log_path)
+    violations: List[str] = []
+    statuses = {}
+    cancel_status = None
+    saved_env = os.environ.get(ENV_VAR)
+    activate(plan, allow_crash=False)
+    if workers:
+        os.environ[ENV_VAR] = plan.to_spec()
+    service = None
+    try:
+        service = ReproService(
+            Workspace(strategy="incremental", cache_dir=cache_dir),
+            job_db=job_db,
+            workers=workers,
+            worker_config=WorkspaceConfig(
+                strategy="incremental", cache_dir=cache_dir
+            ),
+            jitter_seed=seed,
+        )
+        job_ids = []
+        for request in requests:
+            status, payload, _ = service.handle(
+                "POST", "/v1/jobs", json.dumps(request.to_json()).encode()
+            )
+            if status != 202:
+                violations.append(f"submit refused: {status} {payload}")
+                continue
+            job_ids.append(payload["id"])
+
+        # The cancel probe: one extra job, cancelled right away.
+        status, payload, _ = service.handle(
+            "POST", "/v1/jobs",
+            json.dumps(AnalyzeRequest(benchmark=benches[0]).to_json()).encode(),
+        )
+        cancel_id = payload["id"] if status == 202 else None
+        if cancel_id is not None:
+            job_ids.append(cancel_id)
+            status, payload, _ = service.handle(
+                "POST", f"/v1/jobs/{cancel_id}/cancel", b""
+            )
+            if status != 200:
+                violations.append(f"cancel refused: {status} {payload}")
+
+        if len(set(job_ids)) != len(job_ids):
+            violations.append("duplicate job ids returned at submission")
+
+        # 3. Wait for quiescence: every accepted job terminal.
+        deadline = time.monotonic() + timeout
+        docs = {}
+        pending = set(job_ids)
+        while pending and time.monotonic() < deadline:
+            for job_id in sorted(pending):
+                status, doc, _ = service.handle(
+                    "GET", f"/v1/jobs/{job_id}", b""
+                )
+                if status == 200 and doc["status"] in (
+                    "done", "failed", "cancelled",
+                ):
+                    docs[job_id] = doc
+                    pending.discard(job_id)
+            if pending:
+                time.sleep(0.05)
+        for job_id in sorted(pending):
+            status, doc, _ = service.handle("GET", f"/v1/jobs/{job_id}", b"")
+            violations.append(
+                f"job {job_id} not terminal after {timeout}s "
+                f"(status {doc.get('status') if status == 200 else status})"
+            )
+
+        # 4. Gates.
+        counters = service.store.counters()
+        if counters["total"] != len(job_ids):
+            violations.append(
+                f"store holds {counters['total']} jobs for "
+                f"{len(job_ids)} accepted submissions (lost or duplicated)"
+            )
+        statuses = {
+            job_id: doc["status"] for job_id, doc in sorted(docs.items())
+        }
+        if cancel_id is not None and cancel_id in docs:
+            cancel_status = docs[cancel_id]["status"]
+            if cancel_status not in ("cancelled", "done"):
+                violations.append(
+                    f"cancel probe landed {cancel_status!r}, expected "
+                    "cancelled (or done, if it outran the cancel)"
+                )
+        for job_id, name in zip(job_ids, benches):
+            doc = docs.get(job_id)
+            if doc is None or doc["status"] != "done":
+                continue
+            if _essence(doc["result"] or {}) != baseline[name]:
+                violations.append(
+                    f"job {job_id} ({name}) diverged from the fault-free "
+                    "baseline under faults"
+                )
+        quarantined = 0
+        cache = service.workspace.cache
+        if cache is not None:
+            quarantined = getattr(cache, "quarantined", 0)
+    finally:
+        deactivate()
+        if workers:
+            if saved_env is None:
+                os.environ.pop(ENV_VAR, None)
+            else:
+                os.environ[ENV_VAR] = saved_env
+        if service is not None:
+            service.close()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    return {
+        "ok": not violations,
+        "seed": seed,
+        "workers": workers,
+        "jobs_submitted": jobs + 1,
+        "statuses": statuses,
+        "cancel_status": cancel_status,
+        "rules": [rule.to_json() for rule in plan.rules],
+        "schedule": plan.schedule,
+        "faults_fired": len(plan.schedule),
+        "cache_quarantined": quarantined,
+        "violations": violations,
+    }

@@ -14,7 +14,13 @@ POST     ``/v1/jobs``               any request kind -> ``job`` (202) or
                                     queue is at ``max_queue_depth``
 GET      ``/v1/jobs``               ``{"jobs": [job, ...]}``
 GET      ``/v1/jobs/<id>``          ``job`` (status, events, stored result)
+POST     ``/v1/jobs/<id>/cancel``   cooperative cancel -> ``{"id",
+                                    "status"}`` (queued jobs cancel
+                                    immediately; running jobs stop at
+                                    their next progress event)
 GET      ``/v1/jobs/<id>/events``   chunked NDJSON progress-event stream
+                                    (idle streams carry ``{"kind":
+                                    "heartbeat"}`` keep-alive lines)
 GET      ``/v1/health``             ``{"status": "ok", "version", ...}``
 GET      ``/v1/stats``              cache/session/job/admission counters
 =======  =========================  =========================================
@@ -46,6 +52,7 @@ import json
 import shutil
 import signal
 import tempfile
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterator, Optional, Tuple
@@ -76,6 +83,18 @@ from repro.service.workers import InlineRunner, WorkerPool
 
 #: How often the event stream polls the store for new rows.
 STREAM_POLL_INTERVAL = 0.05
+
+#: Idle seconds before an event stream emits a ``{"kind": "heartbeat"}``
+#: keep-alive line (documented in ``schemas/job_event.v1.json``), so
+#: proxies and client read-timeouts don't sever a quiet long stream.
+HEARTBEAT_INTERVAL = 15.0
+
+#: How often the server-side timer prunes finished jobs past the
+#: retention window (finished includes terminal ``cancelled``).
+PRUNE_INTERVAL = 60.0
+
+#: Statuses a job can never leave (the event stream's end condition).
+TERMINAL_STATUSES = ("done", "failed", "cancelled")
 
 
 class NotFoundError(ApiError):
@@ -126,6 +145,7 @@ class ReproService:
         rate_limit: Optional[float] = None,
         rate_burst: Optional[float] = None,
         max_request_bytes: Optional[int] = None,
+        jitter_seed: Optional[int] = None,
         start_runner: bool = True,
     ):
         self._owns_workspace = workspace is None
@@ -140,7 +160,8 @@ class ReproService:
         if max_request_bytes is not None:
             admission_kwargs["max_request_bytes"] = max_request_bytes
         self.admission = AdmissionController(
-            rate_limit=rate_limit, rate_burst=rate_burst, **admission_kwargs
+            rate_limit=rate_limit, rate_burst=rate_burst,
+            jitter_seed=jitter_seed, **admission_kwargs
         )
         self.workers = workers
         if workers > 0:
@@ -157,6 +178,22 @@ class ReproService:
             self.runner.start()
         self._started_runner = start_runner
         self._closed = False
+        # Retention is a policy, not an accident of traffic: prune on a
+        # timer too, so a server that stops receiving jobs still honours
+        # the window (satellite fix: cancelled rows are now pruned).
+        self._prune_stop = threading.Event()
+        self._prune_thread = threading.Thread(
+            target=self._prune_loop, name="repro-prune", daemon=True
+        )
+        if start_runner:
+            self._prune_thread.start()
+
+    def _prune_loop(self) -> None:
+        while not self._prune_stop.wait(PRUNE_INTERVAL):
+            try:
+                self.store.prune()
+            except Exception:  # noqa: BLE001 - maintenance must not die
+                pass
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -174,6 +211,9 @@ class ReproService:
         if self._closed:
             return
         self._closed = True
+        self._prune_stop.set()
+        if self._prune_thread.is_alive():
+            self._prune_thread.join(timeout=5)
         if self._started_runner:
             if self.admission.draining:
                 self.runner.drain(timeout=5)
@@ -196,7 +236,10 @@ class ReproService:
     ) -> Tuple[int, dict, Dict[str, str]]:
         """(status, JSON-ready payload, extra headers) for one request."""
         try:
-            if method == "POST":
+            if method == "POST" and not self._is_cancel_path(path):
+                # Cancels bypass admission entirely: they *shed* work,
+                # so refusing them while draining or rate-limited would
+                # be backwards.
                 self.admission.admit(client, len(body))
             status, payload = self._dispatch(method, path, body)
             return status, payload, {}
@@ -234,10 +277,23 @@ class ReproService:
                 return 202, self.submit_job(request).to_json()
             self._require(method, "GET", path)
             return 200, {"jobs": [j.to_json() for j in self.store.list()]}
+        if len(route) == 3 and route[0] == "jobs" and route[2] == "cancel":
+            self._require(method, "POST", path)
+            status = self.store.request_cancel(route[1])
+            return 200, {"id": route[1], "status": status}
         if len(route) == 2 and route[0] == "jobs":
             self._require(method, "GET", path)
             return 200, self.store.get(route[1]).to_json()
         raise NotFoundError(f"no such endpoint: {path}")
+
+    @staticmethod
+    def _is_cancel_path(path: str) -> bool:
+        parts = [p for p in urlparse(path).path.split("/") if p]
+        return (
+            len(parts) == 4
+            and parts[:2] == ["v1", "jobs"]
+            and parts[3] == "cancel"
+        )
 
     def submit_job(self, request):
         """Admit one job into the durable queue (the queue-depth gate
@@ -248,7 +304,7 @@ class ReproService:
             raise QueueFullError(
                 f"job queue is full ({depth} waiting, cap "
                 f"{self.max_queue_depth}); retry later",
-                retry_after=2,
+                retry_after=self.admission.retry_after(2),
             )
         return self.store.submit(request)
 
@@ -264,9 +320,13 @@ class ReproService:
     def open_event_stream(
         self, job_id: str, poll: float = STREAM_POLL_INTERVAL,
         timeout: float = 3600.0,
+        heartbeat: float = HEARTBEAT_INTERVAL,
     ) -> Iterator[bytes]:
         """NDJSON lines: every stored progress event as it lands, then a
-        terminal ``job.end`` line once the job is done/failed.  Raises
+        terminal ``job.end`` line once the job reaches a terminal status
+        (``done``/``failed``/``cancelled``).  A stream idle for
+        ``heartbeat`` seconds emits ``{"kind": "heartbeat"}`` keep-alive
+        lines so intermediaries don't time the connection out.  Raises
         :class:`~repro.api.errors.JobNotFoundError` before the first
         byte, so the HTTP layer can still answer 404."""
         self.store.get(job_id)  # 404 now, not mid-stream
@@ -274,19 +334,25 @@ class ReproService:
         def lines() -> Iterator[bytes]:
             after = 0
             deadline = time.monotonic() + timeout
+            last_line = time.monotonic()
             while True:
                 events, status = self.store.events_since(job_id, after)
                 for seq, event in events:
                     after = seq
+                    last_line = time.monotonic()
                     yield json.dumps(event, sort_keys=True).encode() + b"\n"
-                if status in ("done", "failed"):
+                if status in TERMINAL_STATUSES:
                     end = {"stage": "job.end", "detail": {"status": status}}
                     yield json.dumps(end, sort_keys=True).encode() + b"\n"
                     return
-                if time.monotonic() > deadline:
+                now = time.monotonic()
+                if now > deadline:
                     end = {"stage": "job.end", "detail": {"status": "timeout"}}
                     yield json.dumps(end, sort_keys=True).encode() + b"\n"
                     return
+                if now - last_line >= heartbeat:
+                    last_line = now
+                    yield json.dumps({"kind": "heartbeat"}).encode() + b"\n"
                 time.sleep(poll)
 
         return lines()
@@ -325,6 +391,7 @@ class ReproService:
             "workers": runner.get("workers", 0),
             "workers_alive": runner.get("alive", 0),
             "worker_restarts": runner.get("restarts", 0),
+            "breaker_trips": runner.get("breaker_trips", 0),
             "queue_depth": self.store.depth(),
             "max_queue_depth": self.max_queue_depth,
             "draining": self.admission.draining,

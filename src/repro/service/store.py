@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.api.errors import InvalidRequestError, JobNotFoundError
+from repro.faults import failpoint
 
 #: wire kind -> the short job kind reported in the job document.
 JOB_KINDS = {
@@ -73,6 +74,13 @@ MAX_FINISHED = 1024
 #: dies this many times is treated as the cause, not the victim).
 MAX_ATTEMPTS = 3
 
+#: Bounded retry-with-backoff for SQLITE_BUSY: beyond sqlite's own
+#: ``busy_timeout``, a mutating statement that still loses the lock race
+#: (or hits an injected busy fault) is retried this many times with
+#: exponential backoff before the error propagates.
+BUSY_RETRIES = 5
+BUSY_BACKOFF_S = 0.01
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
     id TEXT PRIMARY KEY,
@@ -86,7 +94,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     started_at REAL,
     finished_at REAL,
     owner TEXT,
-    attempts INTEGER NOT NULL DEFAULT 0
+    attempts INTEGER NOT NULL DEFAULT 0,
+    cancel_requested INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS jobs_by_status ON jobs (status);
 CREATE TABLE IF NOT EXISTS events (
@@ -104,7 +113,7 @@ class Job:
 
     id: str
     kind: str  # analyze | repair | bench
-    status: str  # queued | running | done | failed
+    status: str  # queued | running | done | failed | cancelled
     request: dict
     created_at: float
     started_at: Optional[float] = None
@@ -178,12 +187,42 @@ class JobStore:
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.execute("PRAGMA busy_timeout=30000")
             self._conn.executescript(_SCHEMA)
+            # Databases written before jobs grew cancel_requested lack
+            # the column (CREATE TABLE IF NOT EXISTS never alters).
+            cols = {
+                row[1]
+                for row in self._conn.execute("PRAGMA table_info(jobs)")
+            }
+            if "cancel_requested" not in cols:
+                self._conn.execute(
+                    "ALTER TABLE jobs ADD COLUMN cancel_requested"
+                    " INTEGER NOT NULL DEFAULT 0"
+                )
         except sqlite3.DatabaseError as exc:
             raise RuntimeError(
                 f"job database {path!r} is unreadable ({exc}); move the "
                 "corrupt file aside and restart (accepted jobs in it are "
                 "lost -- see OPERATIONS.md, failure modes)"
             ) from exc
+
+    def _retry_busy(self, op):
+        """Run ``op`` with bounded retry-with-backoff on SQLITE_BUSY.
+
+        The store is opened by several processes; sqlite's own
+        ``busy_timeout`` already absorbs most lock contention, so a
+        busy error that still escapes is either pathological load or an
+        injected fault -- both deserve a few patient retries before the
+        caller sees the failure.
+        """
+        for attempt in range(BUSY_RETRIES):
+            try:
+                return op()
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                transient = "locked" in message or "busy" in message
+                if not transient or attempt == BUSY_RETRIES - 1:
+                    raise
+                time.sleep(BUSY_BACKOFF_S * (2 ** attempt))
 
     # -- submission --------------------------------------------------------
 
@@ -203,16 +242,18 @@ class JobStore:
             created_at=time.time(),
         )
         with self._lock:
-            self._conn.execute(
-                "INSERT INTO jobs (id, kind, status, request, shard_key,"
-                " created_at, attempts) VALUES (?, ?, 'queued', ?, ?, ?, 0)",
-                (
-                    job.id,
-                    kind,
-                    json.dumps(request_json, sort_keys=True),
-                    shard_key_of(request_json),
-                    job.created_at,
-                ),
+            self._retry_busy(
+                lambda: self._conn.execute(
+                    "INSERT INTO jobs (id, kind, status, request, shard_key,"
+                    " created_at, attempts) VALUES (?, ?, 'queued', ?, ?, ?, 0)",
+                    (
+                        job.id,
+                        kind,
+                        json.dumps(request_json, sort_keys=True),
+                        shard_key_of(request_json),
+                        job.created_at,
+                    ),
+                )
             )
         return job
 
@@ -231,7 +272,16 @@ class JobStore:
         (work stealing), so affinity never starves the pool.  Returns
         ``None`` when the queue is empty.
         """
+        return self._retry_busy(lambda: self._claim_once(owner, shard, shards))
+
+    def _claim_once(
+        self,
+        owner: str,
+        shard: Optional[int] = None,
+        shards: Optional[int] = None,
+    ) -> Optional[Job]:
         with self._lock:
+            failpoint("jobstore.claim")
             self._conn.execute("BEGIN IMMEDIATE")
             try:
                 row = None
@@ -266,20 +316,24 @@ class JobStore:
         beyond :data:`MAX_EVENTS`)."""
         payload = json.dumps(event.to_json(), sort_keys=True)
         with self._lock:
-            cur = self._conn.execute(
-                "SELECT COALESCE(MAX(seq), 0) FROM events WHERE job_id=?",
-                (job_id,),
-            )
-            seq = cur.fetchone()[0] + 1
+            self._retry_busy(lambda: self._record_event(job_id, payload))
+
+    def _record_event(self, job_id: str, payload: str) -> None:
+        failpoint("events.write")
+        cur = self._conn.execute(
+            "SELECT COALESCE(MAX(seq), 0) FROM events WHERE job_id=?",
+            (job_id,),
+        )
+        seq = cur.fetchone()[0] + 1
+        self._conn.execute(
+            "INSERT INTO events (job_id, seq, payload) VALUES (?, ?, ?)",
+            (job_id, seq, payload),
+        )
+        if seq > MAX_EVENTS:
             self._conn.execute(
-                "INSERT INTO events (job_id, seq, payload) VALUES (?, ?, ?)",
-                (job_id, seq, payload),
+                "DELETE FROM events WHERE job_id=? AND seq<=?",
+                (job_id, seq - MAX_EVENTS),
             )
-            if seq > MAX_EVENTS:
-                self._conn.execute(
-                    "DELETE FROM events WHERE job_id=? AND seq<=?",
-                    (job_id, seq - MAX_EVENTS),
-                )
 
     def finish(self, job_id: str, result: dict) -> None:
         """``running -> done`` with the result document persisted."""
@@ -291,17 +345,139 @@ class JobStore:
 
     def _finish(self, job_id, status, result=None, error=None):
         with self._lock:
-            self._conn.execute(
-                "UPDATE jobs SET status=?, result=?, error=?, finished_at=?"
-                " WHERE id=?",
-                (
-                    status,
-                    json.dumps(result, sort_keys=True) if result else None,
-                    json.dumps(error, sort_keys=True) if error else None,
-                    time.time(),
-                    job_id,
-                ),
+            self._retry_busy(
+                lambda: self._conn.execute(
+                    "UPDATE jobs SET status=?, result=?, error=?,"
+                    " finished_at=? WHERE id=?",
+                    (
+                        status,
+                        json.dumps(result, sort_keys=True) if result else None,
+                        json.dumps(error, sort_keys=True) if error else None,
+                        time.time(),
+                        job_id,
+                    ),
+                )
             )
+
+    # -- cancellation ------------------------------------------------------
+
+    def request_cancel(self, job_id: str) -> str:
+        """Ask for a job's cooperative cancellation.
+
+        ``queued`` jobs cancel immediately (terminal ``cancelled``);
+        ``running`` jobs get their ``cancel_requested`` flag set -- the
+        executing worker observes it at its next progress event and
+        stops (returns ``"cancelling"``).  Terminal jobs are left
+        untouched (idempotent; returns their status).
+        """
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT status FROM jobs WHERE id=?", (job_id,)
+                ).fetchone()
+                status = row[0] if row else None
+                if status == "queued":
+                    self._conn.execute(
+                        "UPDATE jobs SET status='cancelled',"
+                        " cancel_requested=1, finished_at=?, owner=NULL"
+                        " WHERE id=?",
+                        (time.time(), job_id),
+                    )
+                    status = "cancelled"
+                elif status == "running":
+                    self._conn.execute(
+                        "UPDATE jobs SET cancel_requested=1 WHERE id=?",
+                        (job_id,),
+                    )
+                    status = "cancelling"
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        if status is None:
+            raise JobNotFoundError(f"no such job: {job_id}")
+        return status
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """Has :meth:`request_cancel` flagged this job?  The polling
+        primitive the worker's progress hook uses."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT cancel_requested FROM jobs WHERE id=?", (job_id,)
+            ).fetchone()
+        return bool(row and row[0])
+
+    def mark_cancelled(self, job_id: str) -> None:
+        """``running -> cancelled`` (terminal), once the worker has
+        actually stopped working on the job."""
+        with self._lock:
+            self._retry_busy(
+                lambda: self._conn.execute(
+                    "UPDATE jobs SET status='cancelled', finished_at=?,"
+                    " owner=NULL WHERE id=? AND status='running'",
+                    (time.time(), job_id),
+                )
+            )
+
+    def release(self, job_id: str) -> str:
+        """Give a claimed job back after a transient worker failure.
+
+        The claim already burned an attempt; a job released at the
+        attempt cap becomes ``failed`` (code ``worker-crashed``) so a
+        poison job cannot bounce forever.  A release that finds the
+        cancel flag set lands the job ``cancelled`` instead of
+        re-queueing work nobody wants.  Returns the resulting status.
+        """
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT status, attempts, cancel_requested FROM jobs"
+                    " WHERE id=?",
+                    (job_id,),
+                ).fetchone()
+                status = row[0] if row else None
+                if status == "running":
+                    _, attempts, cancel = row
+                    if cancel:
+                        self._conn.execute(
+                            "UPDATE jobs SET status='cancelled',"
+                            " finished_at=?, owner=NULL WHERE id=?",
+                            (time.time(), job_id),
+                        )
+                        status = "cancelled"
+                    elif attempts >= self.max_attempts:
+                        error = json.dumps({
+                            "error": {
+                                "code": "worker-crashed",
+                                "message": (
+                                    f"job failed {attempts} attempt(s);"
+                                    " giving up (max_attempts="
+                                    f"{self.max_attempts})"
+                                ),
+                            }
+                        }, sort_keys=True)
+                        self._conn.execute(
+                            "UPDATE jobs SET status='failed', error=?,"
+                            " finished_at=?, owner=NULL WHERE id=?",
+                            (error, time.time(), job_id),
+                        )
+                        status = "failed"
+                    else:
+                        self._conn.execute(
+                            "UPDATE jobs SET status='queued', owner=NULL,"
+                            " started_at=NULL WHERE id=?",
+                            (job_id,),
+                        )
+                        status = "queued"
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        if status is None:
+            raise JobNotFoundError(f"no such job: {job_id}")
+        return status
 
     # -- recovery ----------------------------------------------------------
 
@@ -323,11 +499,20 @@ class JobStore:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
                 rows = self._conn.execute(
-                    "SELECT id, owner, attempts FROM jobs"
+                    "SELECT id, owner, attempts, cancel_requested FROM jobs"
                     " WHERE status='running' ORDER BY rowid"
                 ).fetchall()
-                for job_id, owner, attempts in rows:
+                for job_id, owner, attempts, cancel in rows:
                     if owner in active:
+                        continue
+                    if cancel:
+                        # The caller asked for this job to stop; its
+                        # worker dying obliged.  Land it terminal.
+                        self._conn.execute(
+                            "UPDATE jobs SET status='cancelled',"
+                            " finished_at=?, owner=NULL WHERE id=?",
+                            (time.time(), job_id),
+                        )
                         continue
                     if attempts >= self.max_attempts:
                         error = json.dumps({
@@ -435,6 +620,7 @@ class JobStore:
         """Job totals by status, for ``/v1/stats``."""
         totals: Dict[str, int] = {
             "queued": 0, "running": 0, "done": 0, "failed": 0,
+            "cancelled": 0,
         }
         with self._lock:
             for status, count in self._conn.execute(
@@ -451,7 +637,8 @@ class JobStore:
         returns how many were dropped."""
         with self._lock:
             rows = self._conn.execute(
-                "SELECT id FROM jobs WHERE status IN ('done', 'failed')"
+                "SELECT id FROM jobs"
+                " WHERE status IN ('done', 'failed', 'cancelled')"
                 " ORDER BY rowid DESC LIMIT -1 OFFSET ?",
                 (self.max_finished,),
             ).fetchall()

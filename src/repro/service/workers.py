@@ -28,19 +28,40 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sqlite3
 import threading
 import time
 from typing import Callable, Dict, List, Optional
 
-from repro.api.errors import error_payload
+from repro import faults
+from repro.api.errors import JobCancelledError, error_payload
+from repro.api.events import ProgressEvent
 from repro.api.types import decode_request
 from repro.api.workspace import WorkspaceConfig
+from repro.faults import FaultInjected, failpoint
 from repro.service.store import Job, JobStore
 
 #: Idle delay between empty claim attempts.  Low enough that job pickup
 #: latency is invisible next to solver work, high enough that an idle
 #: fleet costs no measurable CPU.
 POLL_INTERVAL = 0.05
+
+#: Floor between cancel-flag polls in the progress hook.  Every progress
+#: event is a poll opportunity; this keeps a chatty phase from turning
+#: each one into a store read.
+CANCEL_POLL_INTERVAL = 0.05
+
+#: Consecutive fast worker deaths before that worker slot's circuit
+#: breaker opens (no respawn until the cooldown passes).
+BREAKER_THRESHOLD = 3
+
+#: How long an open breaker keeps its slot down.  Work keeps flowing:
+#: the other workers steal the idle shard's jobs.
+BREAKER_COOLDOWN_S = 30.0
+
+#: A worker that survived at least this long before dying was doing real
+#: work, not crash-looping; its death resets the streak.
+BREAKER_HEALTHY_S = 10.0
 
 
 def execute_job(workspace, store: JobStore, job: Job) -> None:
@@ -51,8 +72,32 @@ def execute_job(workspace, store: JobStore, job: Job) -> None:
     document is persisted in the final state transition.  Jobs are pure
     functions of their request document, which is what makes crash-
     retry (re-claiming the same row) safe.
+
+    The progress hook doubles as the cooperative-cancellation check:
+    each event (time-gated) re-reads the job's ``cancel_requested``
+    flag and aborts the operation by raising out of the callback (the
+    :mod:`repro.events` contract), landing the job terminal
+    ``cancelled`` without killing the worker.
     """
-    on_progress = lambda event: store.record_event(job.id, event)  # noqa: E731
+    last_poll = [0.0]
+
+    def on_progress(event) -> None:
+        now = time.monotonic()
+        if now - last_poll[0] >= CANCEL_POLL_INTERVAL:
+            last_poll[0] = now
+            if store.cancel_requested(job.id):
+                raise JobCancelledError(f"job {job.id} cancelled by request")
+        if event.stage == "analyze.tick":
+            # Ticks exist to give this hook something to poll on during
+            # long fan-outs; persisting them would spam the event log.
+            return
+        try:
+            store.record_event(job.id, event)
+        except (FaultInjected, sqlite3.Error):
+            # The event log is best-effort narration -- an injected or
+            # real write failure must not fail the job itself.
+            pass
+
     try:
         request = decode_request(job.request)
         if job.kind == "analyze":
@@ -61,7 +106,20 @@ def execute_job(workspace, store: JobStore, job: Job) -> None:
             result = workspace.repair(request, on_progress=on_progress)
         else:
             result = workspace.bench(request, on_progress=on_progress)
+        failpoint("worker.pre_result")
         store.finish(job.id, result.to_json())
+    except JobCancelledError:
+        store.mark_cancelled(job.id)
+        try:
+            store.record_event(job.id, ProgressEvent("job.cancelled", {}))
+        except (FaultInjected, sqlite3.Error):
+            pass
+    except FaultInjected:
+        # An injected fault is transient by definition: give the job
+        # back (burning the attempt the claim took) instead of failing
+        # it -- the chaos gate requires every job to land terminal with
+        # its fault-free result whenever attempts remain.
+        store.release(job.id)
     except Exception as exc:  # noqa: BLE001 - job boundary
         store.fail(job.id, error_payload(exc))
 
@@ -77,12 +135,22 @@ def _drain_loop(
 ) -> None:
     """Claim-execute until told to stop; shared by both runner kinds."""
     while not should_stop():
-        job = store.claim(owner, shard=shard, shards=shards)
+        try:
+            job = store.claim(owner, shard=shard, shards=shards)
+        except (FaultInjected, sqlite3.OperationalError):
+            # A claim that failed (injected, or a real lock pile-up
+            # outliving the store's bounded retry) claimed nothing:
+            # back off and try again rather than killing the runner.
+            time.sleep(poll_interval)
+            continue
         if job is None:
             time.sleep(poll_interval)
             continue
         execute_job(workspace, store, job)
-        store.prune()
+        try:
+            store.prune()
+        except sqlite3.OperationalError:
+            pass  # retention is periodic; the next pass catches up
 
 
 def worker_main(
@@ -94,6 +162,10 @@ def worker_main(
     poll_interval: float = POLL_INTERVAL,
 ) -> None:
     """Entry point of one worker process (must be importable: spawn)."""
+    # Spawned processes inherit the environment, not the parent's
+    # in-process fault plan: re-arm it here (crash actions included --
+    # killing a worker is exactly what the pool monitor must survive).
+    faults.install_from_env()
     store = JobStore(job_db)
     workspace = config.build()
     owner = f"w{index}-{os.getpid()}"
@@ -135,9 +207,17 @@ class WorkerPool:
         self.workers = workers
         self.poll_interval = poll_interval
         self.restarts = 0
+        self.breaker_trips = 0
         self._ctx = multiprocessing.get_context("spawn")
         self._stop_event = self._ctx.Event()
         self._procs: List[Optional[multiprocessing.Process]] = [None] * workers
+        # Per-slot circuit breaker: consecutive fast deaths trip it,
+        # opening the slot (no respawn) for a cooldown; the shard-steal
+        # fallback in JobStore.claim keeps that shard's jobs flowing
+        # through the surviving workers meanwhile.
+        self._streaks = [0] * workers
+        self._spawned_at = [0.0] * workers
+        self._cooldown_until = [0.0] * workers
         self._store = JobStore(job_db)
         self._monitor: Optional[threading.Thread] = None
         self._monitor_stop = threading.Event()
@@ -169,6 +249,7 @@ class WorkerPool:
         )
         proc.start()
         self._procs[index] = proc
+        self._spawned_at[index] = time.monotonic()
 
     def active_owners(self) -> List[str]:
         """Owner ids of currently live workers (dead workers' claims are
@@ -193,19 +274,43 @@ class WorkerPool:
 
         Respawns back off exponentially (0.2s -> 5s) while workers keep
         dying, so a worker that cannot even boot (bad cache dir, broken
-        environment) costs a few respawns per second, not thousands."""
+        environment) costs a few respawns per second, not thousands.
+        A slot that dies :data:`BREAKER_THRESHOLD` times in quick
+        succession trips its circuit breaker instead: no respawn for
+        :data:`BREAKER_COOLDOWN_S`, the remaining workers steal its
+        shard's jobs."""
         delay = 0.2
         while not self._monitor_stop.wait(delay):
             if self._stop_event.is_set():
                 continue
             died = False
+            now = time.monotonic()
             with self._lock:
                 for index, proc in enumerate(self._procs):
-                    if proc is not None and not proc.is_alive():
+                    if proc is None:
+                        if now >= self._cooldown_until[index]:
+                            # Breaker half-open: try one fresh worker.
+                            self._streaks[index] = 0
+                            self._spawn(index)
+                        continue
+                    if not proc.is_alive():
                         died = True
                         self.restarts += 1
                         proc.join(timeout=0)
-                        self._spawn(index)
+                        healthy = (
+                            now - self._spawned_at[index] >= BREAKER_HEALTHY_S
+                        )
+                        self._streaks[index] = (
+                            1 if healthy else self._streaks[index] + 1
+                        )
+                        if self._streaks[index] >= BREAKER_THRESHOLD:
+                            self.breaker_trips += 1
+                            self._cooldown_until[index] = (
+                                now + BREAKER_COOLDOWN_S
+                            )
+                            self._procs[index] = None
+                        else:
+                            self._spawn(index)
             delay = min(5.0, delay * 2) if died else 0.2
             if died:
                 # Recover *after* respawning: the replacement's owner id
@@ -255,6 +360,7 @@ class WorkerPool:
                 if proc is not None and proc.is_alive()
             ),
             "restarts": self.restarts,
+            "breaker_trips": self.breaker_trips,
         }
 
 
@@ -305,4 +411,7 @@ class InlineRunner:
 
     def counters(self) -> Dict[str, int]:
         alive = self._thread is not None and self._thread.is_alive()
-        return {"workers": 0, "alive": int(alive), "restarts": 0}
+        return {
+            "workers": 0, "alive": int(alive),
+            "restarts": 0, "breaker_trips": 0,
+        }

@@ -17,7 +17,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import SolverError
+from repro.errors import BudgetExhaustedError, SolverError
 from repro.smt import solver as sat
 
 
@@ -511,7 +511,11 @@ class FormulaBuilder:
 
     # -- solving ----------------------------------------------------------
 
-    def check(self, groups: Sequence[int] = ()) -> Optional[Dict[str, bool]]:
+    def check(
+        self,
+        groups: Sequence[int] = (),
+        budget=None,
+    ) -> Optional[Dict[str, bool]]:
         """Solve the asserted conjunction.
 
         ``groups`` lists the retractable assertion groups to enforce for
@@ -522,7 +526,9 @@ class FormulaBuilder:
         happen to exist in the session.
 
         Returns a model as ``{var name: bool}`` when satisfiable, else
-        ``None``.
+        ``None``.  A :class:`~repro.budget.Budget` bounds the solve; an
+        exhausted budget raises :class:`~repro.errors.
+        BudgetExhaustedError` rather than masquerading as UNSAT.
         """
         active = set(groups)
         assumptions: List[int] = []
@@ -533,8 +539,12 @@ class FormulaBuilder:
         for group_id in self._all_groups:
             if group_id not in active and not self.solver.is_retired(group_id):
                 assumptions.append(sat.lit(group_id, False))
-        result = self.solver.solve(assumptions)
+        result = self.solver.solve(assumptions, budget=budget)
         if not result.sat:
+            if result.unknown:
+                raise BudgetExhaustedError(
+                    "SAT query exhausted its budget before deciding"
+                )
             return None
         return {name: result.value(idx) for name, idx in self._vars.items()}
 

@@ -32,7 +32,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.budget import Budget
 from repro.errors import SolverError
+from repro.faults import failpoint
 
 
 def lit(var: int, positive: bool = True) -> int:
@@ -55,13 +57,26 @@ def lit_sign(literal: int) -> bool:
 
 
 class SolverResult:
-    """Outcome of a :meth:`Solver.solve` call."""
+    """Outcome of a :meth:`Solver.solve` call.
 
-    __slots__ = ("sat", "model")
+    ``unknown`` is True when a :class:`~repro.budget.Budget` ran out
+    before the search decided either way; ``sat`` is then False so the
+    (budget-less) callers that truth-test the result keep their exact
+    historical behaviour, and budget-aware callers must check
+    ``unknown`` before trusting an UNSAT answer.
+    """
 
-    def __init__(self, sat: bool, model: Optional[Dict[int, bool]] = None):
+    __slots__ = ("sat", "model", "unknown")
+
+    def __init__(
+        self,
+        sat: bool,
+        model: Optional[Dict[int, bool]] = None,
+        unknown: bool = False,
+    ):
         self.sat = sat
         self.model = model or {}
+        self.unknown = unknown
 
     def __bool__(self) -> bool:
         return self.sat
@@ -80,6 +95,12 @@ class _Clause:
 
 
 _UNASSIGNED = -1
+
+#: Main-loop iterations between cooperative budget/failpoint checks.
+#: Each iteration already does a full propagation pass, so one check
+#: per 128 iterations is unmeasurable while still bounding how long a
+#: solve can overrun its deadline (well under a millisecond).
+_CHECK_EVERY = 128
 
 
 class Solver:
@@ -597,8 +618,18 @@ class Solver:
     # Main loop
     # ------------------------------------------------------------------
 
-    def solve(self, assumptions: Sequence[int] = ()) -> SolverResult:
-        """Decide satisfiability under optional assumption literals."""
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        budget: Optional[Budget] = None,
+    ) -> SolverResult:
+        """Decide satisfiability under optional assumption literals.
+
+        With a ``budget``, the main loop checks it cooperatively (once
+        per :data:`_CHECK_EVERY` iterations -- effectively free) and
+        answers ``unknown`` instead of raising mid-search, so a warm
+        incremental solver stays reusable after an exhausted query.
+        """
         if not self._ok:
             return SolverResult(False)
         self._cancel_until(0)
@@ -613,8 +644,18 @@ class Solver:
         conflicts_until_restart = 32 * _luby(restart_idx)
         conflict_budget_used = 0
         max_learned = max(1000, len(self.clauses) // 2)
+        entry_conflicts = self._stats["conflicts"]
+        check_countdown = _CHECK_EVERY
 
         while True:
+            check_countdown -= 1
+            if check_countdown <= 0:
+                check_countdown = _CHECK_EVERY
+                failpoint("solver.propagate")
+                if budget is not None and budget.exhausted(
+                    self._stats["conflicts"] - entry_conflicts
+                ):
+                    return SolverResult(False, unknown=True)
             conflict = self._propagate()
             if conflict is not None:
                 self._stats["conflicts"] += 1

@@ -1,0 +1,163 @@
+"""The chaos gate: seeded fault injection across solver, cache, store,
+and service, with the durability invariants checked after every run.
+
+``CHAOS_SEED`` (env) adds one extra seed to the matrix -- CI's
+chaos-smoke job passes a fresh random seed per run so the fixed seeds
+guard against regression while the random one keeps exploring.  On a
+violation the full report (rules + fired-fault schedule) is written to
+``CHAOS_ARTIFACT`` when set, so a red CI run uploads the exact failure
+history needed to replay it.
+"""
+
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultInjected, FaultPlan, FaultRule
+from repro.service import default_plan, run_chaos
+
+FIXED_SEEDS = [0, 7, 42]
+
+
+def _seeds():
+    seeds = list(FIXED_SEEDS)
+    extra = os.environ.get("CHAOS_SEED")
+    if extra is not None:
+        seeds.append(int(extra))
+    return seeds
+
+
+def _save_artifact(report):
+    path = os.environ.get("CHAOS_ARTIFACT")
+    if path:
+        with open(path, "a") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+class TestFaultPlan:
+    """The injection machinery itself, before anything is built on it."""
+
+    def test_failpoints_are_noops_without_a_plan(self):
+        assert faults.active_plan() is None
+        faults.failpoint("jobstore.claim")  # must not raise
+        assert faults.failpoint_bytes("cache.read", b"abc") == b"abc"
+
+    def test_nth_trigger_is_exact(self):
+        plan = FaultPlan(0, [FaultRule(site="s", action="raise", nth=3)])
+        faults.activate(plan)
+        try:
+            faults.failpoint("s")
+            faults.failpoint("s")
+            with pytest.raises(FaultInjected):
+                faults.failpoint("s")
+            faults.failpoint("s")  # times=1: never fires again
+        finally:
+            faults.deactivate()
+        assert [e["hit"] for e in plan.schedule] == [3]
+
+    def test_busy_action_raises_sqlite_locked(self):
+        plan = FaultPlan(0, [FaultRule(site="s", action="busy", nth=1)])
+        faults.activate(plan)
+        try:
+            with pytest.raises(sqlite3.OperationalError, match="locked"):
+                faults.failpoint("s")
+        finally:
+            faults.deactivate()
+
+    def test_corrupt_action_flips_bytes(self):
+        plan = FaultPlan(5, [FaultRule(site="b", action="corrupt", nth=1)])
+        faults.activate(plan)
+        try:
+            corrupted = faults.failpoint_bytes("b", b"payload")
+        finally:
+            faults.deactivate()
+        assert corrupted != b"payload"
+        assert len(corrupted) == len(b"payload")
+
+    def test_crash_degrades_to_raise_in_process(self):
+        """An in-process plan must never take the host down."""
+        plan = FaultPlan(0, [FaultRule(site="s", action="crash", nth=1)])
+        faults.activate(plan, allow_crash=False)
+        try:
+            with pytest.raises(FaultInjected):
+                faults.failpoint("s")
+        finally:
+            faults.deactivate()
+
+    def test_gate_file_suppresses_refiring(self, tmp_path):
+        gate = str(tmp_path / "fired")
+        rule = FaultRule(site="s", action="raise", nth=1, gate=gate)
+        plan = FaultPlan(0, [rule])
+        faults.activate(plan)
+        try:
+            with pytest.raises(FaultInjected):
+                faults.failpoint("s")
+            assert os.path.exists(gate), "firing must create the gate"
+            # A fresh plan (a respawned worker) sees the gate and skips.
+            fresh = FaultPlan(
+                0, [FaultRule(site="s", action="raise", nth=1, gate=gate)]
+            )
+            faults.activate(fresh)
+            faults.failpoint("s")  # must not raise
+        finally:
+            faults.deactivate()
+
+    def test_spec_round_trip_and_env_install(self, monkeypatch):
+        plan = default_plan(11)
+        spec = plan.to_spec()
+        again = FaultPlan.from_spec(spec)
+        assert again.to_spec() == spec
+        monkeypatch.setenv(faults.ENV_VAR, spec)
+        installed = faults.install_from_env(allow_crash=False)
+        try:
+            assert installed is not None
+            assert installed.to_spec() == spec
+        finally:
+            faults.deactivate()
+
+    def test_same_seed_same_plan(self):
+        assert default_plan(123).to_spec() == default_plan(123).to_spec()
+        assert default_plan(1).to_spec() != default_plan(2).to_spec()
+
+
+class TestChaosGate:
+    """The acceptance gate: under a seeded fault schedule, no job is
+    lost or duplicated, every job lands terminal, and every completed
+    result matches the fault-free baseline."""
+
+    @pytest.mark.parametrize("seed", _seeds())
+    def test_inline_service_survives_faults(self, seed):
+        report = run_chaos(seed=seed, jobs=4, workers=0, timeout=240.0)
+        if not report["ok"]:
+            _save_artifact(report)
+        assert report["ok"], report["violations"]
+        assert report["cancel_status"] in ("cancelled", "done")
+        statuses = set(report["statuses"].values())
+        assert statuses <= {"done", "failed", "cancelled"}
+
+    def test_worker_crash_mid_job_is_survived(self, tmp_path):
+        """A real worker process killed between computing a result and
+        persisting it: the pool respawns, the store re-enqueues, the
+        job still completes with the correct result.  The gate file
+        makes the crash fire exactly once across process generations."""
+        gate = str(tmp_path / "crash-once")
+        plan = FaultPlan(
+            0,
+            [
+                FaultRule(
+                    site="worker.pre_result", action="crash", nth=1,
+                    gate=gate,
+                )
+            ],
+        )
+        report = run_chaos(
+            seed=0, jobs=2, workers=1, plan=plan, timeout=240.0
+        )
+        if not report["ok"]:
+            _save_artifact(report)
+        assert report["ok"], report["violations"]
+        assert os.path.exists(gate), "the crash rule must have fired"

@@ -167,7 +167,8 @@ class TestDurability:
             assert still_queued.status == "queued"
             assert [e["stage"] for e in still_queued.events] == ["early"]
             assert store.counters() == {
-                "queued": 1, "running": 0, "done": 1, "failed": 0, "total": 2,
+                "queued": 1, "running": 0, "done": 1, "failed": 0,
+                "cancelled": 0, "total": 2,
             }
 
     def test_prune_drops_oldest_finished_beyond_cap(self, tmp_path):
