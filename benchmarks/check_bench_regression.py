@@ -31,9 +31,14 @@ The persistent-cache record (``persistent_cache.cold`` / ``.warm``) is
 gated *within* the fresh run: the warm pass must hit at least as often
 as the cold pass, or the cross-run store is not actually warm-starting.
 ``--require-parallel-incremental`` additionally fails a fresh run that
-lacks the ``parallel_incremental_seconds`` / ``persistent_cache``
-fields entirely (CI passes it so the bench cannot silently stop
-measuring the subsystem).
+lacks the ``parallel_incremental_seconds`` / ``persistent_cache`` /
+``shard_scheduler`` fields entirely (CI passes it so the bench cannot
+silently stop measuring the subsystem).  The ``shard_scheduler`` record
+is also gated within the fresh run when the parallel-incremental
+strategy ran a real pool: per-worker utilization must be recorded for
+every worker, and no worker may have run zero chunks while work
+stealing was on -- a starved worker behind a healthy-looking aggregate
+speedup is exactly what the record exists to catch.
 
 Result rows (per-benchmark ec/at/cc/rr counts) are compared exactly for
 every benchmark present in both runs: a count drift is a correctness
@@ -105,6 +110,33 @@ def check(
             failures.append(
                 "fresh run is missing the persistent_cache record "
                 "(required field)"
+            )
+        if "shard_scheduler" not in fresh:
+            failures.append(
+                "fresh run is missing the shard_scheduler record "
+                "(required field)"
+            )
+
+    # Scheduler honesty, within the fresh run: a multi-worker
+    # parallel-incremental run must carry per-worker utilization, and a
+    # worker that did no chunks at all means the work-stealing scheduler
+    # is broken (steals should have drained the skew).  Single-worker
+    # (degraded in-process) runs record zeros by design and are exempt.
+    shards = fresh.get("shard_scheduler") or {}
+    _, pi_workers = strategy_shape(fresh, "parallel_incremental")
+    if pi_workers is not None and pi_workers > 1:
+        utilization = shards.get("shard_utilization") or []
+        if len(utilization) != pi_workers:
+            failures.append(
+                f"shard_scheduler records {len(utilization)} worker "
+                f"utilizations for {pi_workers} workers"
+            )
+        if shards.get("work_stealing") and any(
+            w.get("chunks", 0) == 0 for w in shards.get("workers", [])
+        ):
+            failures.append(
+                "a shard worker ran zero chunks despite work stealing "
+                f"(steal_count={shards.get('steal_count')})"
             )
 
     # Warm-start gate, within the fresh run: a second pass over the

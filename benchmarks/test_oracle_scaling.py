@@ -164,6 +164,7 @@ def test_oracle_scaling(capsys):
     # it across hosts whose worker shape matches.
     parallel_incremental_seconds = float("inf")
     pi_counters = {}
+    pi_shards = {}
     pi_workers = 0
     for _ in range(3):
         pi_cache = QueryCache()
@@ -175,6 +176,9 @@ def test_oracle_scaling(capsys):
                 parallel_incremental_seconds, time.perf_counter() - start
             )
             pi_counters = runner.counters()
+            # Work-stealing scheduler accounting (all zeros when the
+            # strategy degraded to the in-process path on one core).
+            pi_shards = runner.shard_stats()
 
     # Persistent cross-run cache: one cold and one warm pass over the
     # same on-disk store, each with a *fresh* cache object (standing in
@@ -311,6 +315,15 @@ def test_oracle_scaling(capsys):
         "persistent_cache": persistent,
         "sessions": session_counters,
         "shard_sessions": pi_counters,
+        # Scheduler honesty record: steal totals plus per-shard-worker
+        # utilization, so a "speedup" with one starved worker is visible
+        # in the JSON rather than averaged away.
+        "shard_scheduler": {
+            **pi_shards,
+            "shard_utilization": [
+                w["utilization"] for w in pi_shards.get("workers", [])
+            ],
+        },
         "solver": solver_stats,
         "incremental_solver": incremental_stats,
         "rows": [

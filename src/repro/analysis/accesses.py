@@ -78,6 +78,43 @@ class CommandInfo:
     def rmw_map(self) -> Mapping[str, Set[Tuple[str, str]]]:
         return {f: set(srcs) for f, srcs in self.rmw_sources}
 
+    def __hash__(self) -> int:
+        # Summaries are hashed constantly on the oracle hot path (memo
+        # keys, warm-session keys, alias-verdict memo); the generated
+        # dataclass hash rewalks every nested key expression per call,
+        # so cache it on first use (legal on a frozen instance: the
+        # fields the hash covers can never change).
+        h = self.__dict__.get("_cached_hash")
+        if h is None:
+            h = hash(
+                (
+                    self.txn,
+                    self.label,
+                    self.kind,
+                    self.table,
+                    self.read_fields,
+                    self.write_fields,
+                    self.key_exprs,
+                    self.var,
+                    self.rmw_sources,
+                    self.uuid_key,
+                    self.in_loop,
+                    self.in_branch,
+                )
+            )
+            object.__setattr__(self, "_cached_hash", h)
+        return h
+
+    def __getstate__(self):
+        # str hashes are salted per process (PYTHONHASHSEED), so a
+        # cached hash must never cross a pickle boundary.
+        state = dict(self.__dict__)
+        state.pop("_cached_hash", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
 
 @dataclass(frozen=True)
 class TransactionSummary:
@@ -88,6 +125,24 @@ class TransactionSummary:
     commands: Tuple[CommandInfo, ...]
     # var -> label of the select that binds it
     bindings: Tuple[Tuple[str, str], ...]
+
+    def __hash__(self) -> int:
+        # Cached like CommandInfo's (see there): summaries key the
+        # warm-session pool and the alias/fingerprint memos.
+        h = self.__dict__.get("_cached_hash")
+        if h is None:
+            h = hash((self.name, self.params, self.commands, self.bindings))
+            object.__setattr__(self, "_cached_hash", h)
+        return h
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_cached_hash", None)
+        state.pop("_writes", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     def command(self, label: str) -> CommandInfo:
         for info in self.commands:
@@ -102,7 +157,13 @@ class TransactionSummary:
         return None
 
     def writes(self) -> Tuple[CommandInfo, ...]:
-        return tuple(c for c in self.commands if c.is_write)
+        # Cached like the hash: every axiom generator and conflict scan
+        # re-asks for the write subsequence of the same frozen summary.
+        w = self.__dict__.get("_writes")
+        if w is None:
+            w = tuple(c for c in self.commands if c.is_write)
+            object.__setattr__(self, "_writes", w)
+        return w
 
     def reads(self) -> Tuple[CommandInfo, ...]:
         return tuple(c for c in self.commands if c.is_read)
@@ -114,6 +175,31 @@ class TransactionSummary:
             for j in range(i + 1, len(self.commands)):
                 out.append((self.commands[i], self.commands[j]))
         return out
+
+
+# Interning tables: the repair search summarises thousands of candidate
+# programs whose transactions mostly equal ones already seen, but every
+# summarisation builds fresh (frozen) objects.  Downstream memo caches
+# (alias verdicts, conflict lists, fingerprints) key on these objects,
+# and a cache hit against an equal-but-distinct key pays a deep
+# dataclass comparison through the nested key-expression ASTs.  Interning
+# at the summarise chokepoint makes equal summaries *identical*, so
+# every downstream lookup collapses to a pointer check.  The tables are
+# caches, not registries: clearing them (at the size cap) only costs
+# identity, never correctness.
+_COMMAND_INTERN: Dict[CommandInfo, CommandInfo] = {}
+_SUMMARY_INTERN: Dict["TransactionSummary", "TransactionSummary"] = {}
+_INTERN_LIMIT = 1 << 16
+
+
+def _interned(table, obj):
+    cached = table.get(obj)
+    if cached is not None:
+        return cached
+    if len(table) >= _INTERN_LIMIT:
+        table.clear()
+    table[obj] = obj
+    return obj
 
 
 def summarize_transaction(
@@ -142,12 +228,13 @@ def summarize_transaction(
                 walk(cmd.body, True, in_branch)
 
     walk(txn.body, False, False)
-    return TransactionSummary(
+    summary = TransactionSummary(
         name=txn.name,
         params=txn.params,
-        commands=tuple(commands),
+        commands=tuple(_interned(_COMMAND_INTERN, c) for c in commands),
         bindings=tuple(bindings),
     )
+    return _interned(_SUMMARY_INTERN, summary)
 
 
 def summarize_program(program: ast.Program) -> Dict[str, TransactionSummary]:

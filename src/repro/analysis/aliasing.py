@@ -21,6 +21,7 @@ or free:
 from __future__ import annotations
 
 from enum import Enum
+from functools import lru_cache
 from typing import Optional
 
 from repro.lang import ast
@@ -35,6 +36,7 @@ class Alias(Enum):
     MAYBE = "maybe"
 
 
+@lru_cache(maxsize=262144)
 def alias_commands(
     a: CommandInfo,
     b: CommandInfo,
@@ -49,6 +51,10 @@ def alias_commands(
     assumed to address different records.  Callers that want the fully
     conservative analysis (parameters may coincide at runtime) can turn
     it off; the ablation benchmark measures the effect.
+
+    Memoised: the verdict is a pure function of the two (frozen) command
+    summaries, and the repair search re-derives the same pairs across
+    thousands of candidate programs.
     """
     if a.table != b.table:
         return Alias.NEVER

@@ -43,6 +43,7 @@ Consistency levels contribute axiom sets over ``V``/``W``:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.accesses import CommandInfo, TransactionSummary
@@ -119,6 +120,17 @@ class PairEncoder:
         # builders, every axiom generator, and model evaluation; memoise
         # them to skip the name formatting and interning lookups.
         self._vis_cache: Dict[Tuple[str, str, str], BoolVar] = {}
+        # Materialised once on first use: the alias triangle list (shared
+        # by assertion and model screening) and the per-feature variable
+        # *name* lists that model_satisfies walks per candidate model.
+        self._triangles: Optional[List[Tuple[Formula, Formula, Formula]]] = None
+        self._tri_screen: Optional[List[Tuple[object, object, object]]] = None
+        self._serial_links: Optional[List[Tuple[BoolVar, bool]]] = None
+        self._frozen_links: Optional[List[Tuple[BoolVar, BoolVar]]] = None
+        self._causal_links: Optional[List[Tuple[BoolVar, BoolVar]]] = None
+        self._frozen_names: Optional[List[Tuple[str, str]]] = None
+        self._causal_names: Optional[List[Tuple[str, str]]] = None
+        self._serial_names: Optional[List[Tuple[str, bool]]] = None
 
     # -- variable constructors ------------------------------------------
 
@@ -142,10 +154,17 @@ class PairEncoder:
         """Alias formula between a node of side ``x_side`` ('A'/'B') and
         one of ``y_side``; sides matter because two instances of the same
         transaction have independent arguments."""
-        key = self._node_key(x, x_side), self._node_key(y, y_side)
-        canon = tuple(sorted(key))
-        if canon in self._alias_cache:
-            return self._alias_cache[canon]
+        # Tuple-keyed memo: (side, label) tuples order exactly like the
+        # historical "side:label" strings (labels contain no colons), so
+        # the canonical orientation -- and hence variable naming and
+        # allocation order -- is unchanged, minus the per-call string
+        # formatting.
+        kx = (x_side, x.label)
+        ky = (y_side, y.label)
+        canon = (kx, ky) if kx <= ky else (ky, kx)
+        cached = self._alias_cache.get(canon)
+        if cached is not None:
+            return cached
         same_instance = x_side == y_side
         verdict = alias_commands(
             x, y, same_instance=same_instance, distinct_args=self.distinct_args
@@ -155,7 +174,8 @@ class PairEncoder:
         elif verdict is Alias.NEVER:
             out = FALSE
         else:
-            out = self.builder.var(f"alias[{canon[0]}|{canon[1]}]")
+            (s0, l0), (s1, l1) = canon
+            out = self.builder.var(f"alias[{s0}:{l0}|{s1}:{l1}]")
         self._alias_cache[canon] = out
         return out
 
@@ -189,50 +209,223 @@ class PairEncoder:
         out += [(cmd, "B") for cmd in self.b.commands]
         return out
 
-    def _alias_triangles(self):
-        """Yield per-table alias triangles ``(axy, ayz, axz)``; each is
-        transitively closed in all three directions."""
+    def _alias_triangles(self) -> List[Tuple[Formula, Formula, Formula]]:
+        """Per-table alias triangles ``(axy, ayz, axz)``; each is
+        transitively closed in all three directions.  Materialised once:
+        both assertion and per-candidate model screening walk the same
+        list, and the alias variables intern on the first build."""
+        if self._triangles is not None:
+            return self._triangles
         nodes = self._nodes()
         by_table: Dict[str, List[Tuple[CommandInfo, str]]] = {}
         for node in nodes:
             by_table.setdefault(node[0].table, []).append(node)
+        triangles: List[Tuple[Formula, Formula, Formula]] = []
         for group in by_table.values():
             n = len(group)
+            if n < 3:
+                continue
+            # Index-keyed pair memo: self.alias() pays string formatting
+            # and a sorted-tuple cache key per call, which the O(n^3)
+            # triangle loop repeats ~n times per pair.  First-call order
+            # per pair is exactly the inline loop's, so alias-variable
+            # allocation order (and hence models) is unchanged.
+            pair: Dict[Tuple[int, int], Formula] = {}
+
+            def side(i: int, j: int) -> Formula:
+                f = pair.get((i, j))
+                if f is None:
+                    x, y = group[i], group[j]
+                    f = self.alias(x[0], x[1], y[0], y[1])
+                    pair[(i, j)] = f
+                return f
+
             for i in range(n):
                 for j in range(i + 1, n):
                     for k in range(j + 1, n):
-                        x, y, z = group[i], group[j], group[k]
-                        axy = self.alias(x[0], x[1], y[0], y[1])
-                        ayz = self.alias(y[0], y[1], z[0], z[1])
-                        axz = self.alias(x[0], x[1], z[0], z[1])
-                        yield axy, ayz, axz
+                        triangles.append((side(i, j), side(j, k), side(i, k)))
+        self._triangles = triangles
+        return triangles
 
     def _assert_alias_transitivity(self) -> None:
-        for axy, ayz, axz in self._alias_triangles():
-            self.builder.assert_implication((axy, ayz), axz)
-            self.builder.assert_implication((axy, axz), ayz)
-            self.builder.assert_implication((ayz, axz), axy)
+        builder = self.builder
+        if not builder.fold_constants:
+            for axy, ayz, axz in self._alias_triangles():
+                builder.assert_implication((axy, ayz), axz)
+                builder.assert_implication((axy, axz), ayz)
+                builder.assert_implication((ayz, axz), axy)
+            return
+        # Folding fast path: resolve each triangle side to its literal
+        # once (the generic path re-encodes each side per implication)
+        # and emit the three clauses at the literal level.  Emission
+        # order and variable allocation order match assert_implication
+        # exactly, so models -- and hence witnesses -- are unchanged.
+        fold = builder.fold_literal
+        emit = builder.assert_implication_lits
+        emit_raw = builder._emit
+        # Each alias formula appears in up to n-2 triangles; resolve it
+        # to its literal once (id-keyed: formulas are interned per
+        # encoder, and the triangle list keeps them alive).  First-fold
+        # order matches the inline loop's, so variable allocation order
+        # -- and hence models and witnesses -- is unchanged.
+        lits: Dict[int, object] = {}
+        true_lit = false_lit = None
+
+        def _raw_installer():
+            # Direct arena installation for the screened fast-path
+            # clauses.  Sound only while add_clause_unchecked's passes
+            # would all no-op: no active group (no guard literal to
+            # append), arena backend (the install below IS the arena
+            # layout), root level with nothing but the pinned constant
+            # assigned (no simplification possible: fast-path clauses
+            # never contain the constant), and the solver still
+            # consistent.  Returns None when any condition fails.
+            solver = builder.solver
+            if (
+                builder._group is not None
+                or solver.clause_db != "arena"
+                or not solver._ok
+                or solver.trail_lim
+                or any((t >> 1) != const_var for t in solver.trail)
+            ):
+                return None
+            c_off = solver._c_off
+            c_len = solver._c_len
+            c_act = solver._c_act
+            c_learned = solver._c_learned
+            arena = solver._lits
+            watches = solver.watches
+            clauses = solver.clauses
+
+            def raw(cl):
+                cid = len(c_off)
+                c_off.append(len(arena))
+                c_len.append(len(cl))
+                c_act.append(0.0)
+                c_learned.append(False)
+                arena.extend(cl)
+                watches[cl[0] ^ 1].append(cid)
+                watches[cl[1] ^ 1].append(cid)
+                clauses.append(cid)
+
+            return raw
+
+        for triangle in self._alias_triangles():
+            sides = []
+            for f in triangle:
+                l = lits.get(id(f))
+                if l is None:
+                    l = fold(f)
+                    lits[id(f)] = l
+                sides.append(l)
+            if true_lit is None:
+                # Pin the shared constant exactly where the historical
+                # first assert_implication_lits call did, keeping the
+                # constant's variable index and root unit unchanged.
+                true_lit = builder._const_lit(True)
+                false_lit = sat_neg(true_lit)
+                const_var = true_lit >> 1
+                emit_raw = _raw_installer() or emit_raw
+            lxy, lyz, lxz = sides
+            kxy = lxy >> 1 == const_var
+            kyz = lyz >> 1 == const_var
+            kxz = lxz >> 1 == const_var
+            if not (kxy or kyz or kxz):
+                # All-free fast path: triangle sides are three *distinct*
+                # positive alias-variable literals (each unordered node
+                # pair interns its own variable), admitting no folding,
+                # deduplication, or tautology -- emit exactly the clauses
+                # assert_implication_lits would, minus its screening.
+                nxy, nyz, nxz = sat_neg(lxy), sat_neg(lyz), sat_neg(lxz)
+                emit_raw([nxy, nyz, lxz])
+                emit_raw([nxy, nxz, lyz])
+                emit_raw([nyz, nxz, lxy])
+            elif kxy + kyz + kxz == 1:
+                # One constant side (an ALWAYS/NEVER alias verdict), two
+                # free ones: the three implications fold to the clause
+                # lists below -- hand-evaluated from the
+                # assert_implication_lits rules, emission order preserved.
+                if kxz:
+                    if lxz == false_lit:
+                        emit_raw([sat_neg(lxy), sat_neg(lyz)])
+                    else:
+                        emit_raw([sat_neg(lxy), lyz])
+                        emit_raw([sat_neg(lyz), lxy])
+                elif kyz:
+                    if lyz == false_lit:
+                        emit_raw([sat_neg(lxy), sat_neg(lxz)])
+                    else:
+                        emit_raw([sat_neg(lxy), lxz])
+                        emit_raw([sat_neg(lxz), lxy])
+                else:
+                    if lxy == false_lit:
+                        emit_raw([sat_neg(lyz), sat_neg(lxz)])
+                    else:
+                        emit_raw([sat_neg(lyz), lxz])
+                        emit_raw([sat_neg(lxz), lyz])
+            else:
+                emit((lxy, lyz), lxz)
+                emit((lxy, lxz), lyz)
+                emit((lyz, lxz), lxy)
+                # The generic path can enqueue root units (folded
+                # multi-constant triangles) or flip the solver
+                # inconsistent; re-validate the raw installer before
+                # the next fast-path use.
+                emit_raw = _raw_installer() or builder._emit
 
     def transitivity_holds(self, model: Dict[str, bool]) -> bool:
         """Whether a candidate assignment respects alias transitivity."""
-        for triangle in self._alias_triangles():
-            a, b, c = (evaluate(f, model) for f in triangle)
+        screen = self._tri_screen
+        if screen is None:
+            # Triangle sides are alias() results -- TRUE/FALSE or a
+            # BoolVar -- so flatten each to a bool or a variable name
+            # once; the screen then runs per candidate model on plain
+            # dict lookups instead of recursive formula evaluation.
+            screen = [
+                tuple(
+                    f.value if f is TRUE or f is FALSE else f.name
+                    for f in triangle
+                )
+                for triangle in self._alias_triangles()
+            ]
+            self._tri_screen = screen
+        get = model.get
+        for sa, sb, sc in screen:
+            a = sa if sa.__class__ is bool else get(sa, False)
+            b = sb if sb.__class__ is bool else get(sb, False)
+            c = sc if sc.__class__ is bool else get(sc, False)
             if (a and b and not c) or (a and c and not b) or (b and c and not a):
                 return False
         return True
 
+    # The three per-feature link lists below were generators; every
+    # axiom-group build and model screen re-ran them from scratch, and
+    # generator resumption dominated the profile.  They are now built
+    # once per encoder (the constituent variables are interned, so the
+    # lists stay valid) in exactly the historical yield order, which
+    # pins variable allocation order and hence models and witnesses.
+
     def _serializable_links(self):
-        """Yield ``(vis, flipped)``: each visibility variable is
+        """``(vis, flipped)`` pairs: each visibility variable is
         equivalent to the commit-order boolean (``order[A<B]`` true means
         the A instance commits first), negated when ``flipped``."""
-        for b in self.b.writes():
-            for a in (self.c1, self.c2):
-                yield self.vis_b_to_a(b, a), True
-        for a in (self.c1, self.c2):
-            if not a.is_write:
-                continue
-            for b in self.b.commands:
-                yield self.vis_a_to_b(a, b), False
+        links = self._serial_links
+        if links is None:
+            links = []
+            app = links.append
+            vis_b = self.vis_b_to_a
+            vis_a = self.vis_a_to_b
+            c1, c2 = self.c1, self.c2
+            for b in self.b.writes():
+                app((vis_b(b, c1), True))
+                app((vis_b(b, c2), True))
+            for a in (c1, c2):
+                if not a.is_write:
+                    continue
+                for b in self.b.commands:
+                    app((vis_a(a, b), False))
+            self._serial_links = links
+        return links
 
     def _assert_serializable(self) -> None:
         # `ab` true: the A instance commits first.
@@ -241,43 +434,61 @@ class PairEncoder:
             self.builder.add(Iff(vis, Not(ab) if flipped else ab))
 
     def _frozen_pairs(self):
-        """Yield variable pairs constrained to be equivalent: a
-        transaction's view is fixed for its whole execution."""
-        for b in self.b.writes():
-            yield self.vis_b_to_a(b, self.c1), self.vis_b_to_a(b, self.c2)
-        a_writes = [c for c in (self.c1, self.c2) if c.is_write]
-        b_cmds = self.b.commands
-        for a in a_writes:
-            for i in range(len(b_cmds)):
-                for j in range(i + 1, len(b_cmds)):
-                    yield self.vis_a_to_b(a, b_cmds[i]), self.vis_a_to_b(a, b_cmds[j])
+        """Variable pairs constrained to be equivalent: a transaction's
+        view is fixed for its whole execution."""
+        pairs = self._frozen_links
+        if pairs is None:
+            pairs = []
+            app = pairs.append
+            vis_b = self.vis_b_to_a
+            vis_a = self.vis_a_to_b
+            c1, c2 = self.c1, self.c2
+            for b in self.b.writes():
+                app((vis_b(b, c1), vis_b(b, c2)))
+            a_writes = [c for c in (c1, c2) if c.is_write]
+            b_cmds = self.b.commands
+            for a in a_writes:
+                for i in range(len(b_cmds)):
+                    for j in range(i + 1, len(b_cmds)):
+                        app((vis_a(a, b_cmds[i]), vis_a(a, b_cmds[j])))
+            self._frozen_links = pairs
+        return pairs
 
     def _assert_frozen(self) -> None:
         for v1, v2 in self._frozen_pairs():
             self.builder.add(Iff(v1, v2))
 
     def _causal_implications(self):
-        """Yield ``(antecedent, consequent)`` visibility implications."""
-        # Session-prefix closure: seeing a later write of a session
-        # implies seeing its earlier writes.
-        b_writes = list(self.b.writes())
-        for i in range(len(b_writes)):
-            for j in range(i + 1, len(b_writes)):
-                earlier, later = b_writes[i], b_writes[j]
-                for a in (self.c1, self.c2):
-                    yield self.vis_b_to_a(later, a), self.vis_b_to_a(earlier, a)
-        # Monotone growth: views never shrink within a session.
-        for b in b_writes:
-            yield self.vis_b_to_a(b, self.c1), self.vis_b_to_a(b, self.c2)
-        if self.c1.is_write and self.c2.is_write:
-            for b in self.b.commands:
-                yield self.vis_a_to_b(self.c2, b), self.vis_a_to_b(self.c1, b)
-        a_writes = [c for c in (self.c1, self.c2) if c.is_write]
-        b_cmds = self.b.commands
-        for a in a_writes:
-            for i in range(len(b_cmds)):
-                for j in range(i + 1, len(b_cmds)):
-                    yield self.vis_a_to_b(a, b_cmds[i]), self.vis_a_to_b(a, b_cmds[j])
+        """``(antecedent, consequent)`` visibility implications."""
+        impls = self._causal_links
+        if impls is None:
+            impls = []
+            app = impls.append
+            vis_b = self.vis_b_to_a
+            vis_a = self.vis_a_to_b
+            c1, c2 = self.c1, self.c2
+            # Session-prefix closure: seeing a later write of a session
+            # implies seeing its earlier writes.
+            b_writes = self.b.writes()
+            for i in range(len(b_writes)):
+                for j in range(i + 1, len(b_writes)):
+                    earlier, later = b_writes[i], b_writes[j]
+                    app((vis_b(later, c1), vis_b(earlier, c1)))
+                    app((vis_b(later, c2), vis_b(earlier, c2)))
+            # Monotone growth: views never shrink within a session.
+            for b in b_writes:
+                app((vis_b(b, c1), vis_b(b, c2)))
+            if c1.is_write and c2.is_write:
+                for b in self.b.commands:
+                    app((vis_a(c2, b), vis_a(c1, b)))
+            a_writes = [c for c in (c1, c2) if c.is_write]
+            b_cmds = self.b.commands
+            for a in a_writes:
+                for i in range(len(b_cmds)):
+                    for j in range(i + 1, len(b_cmds)):
+                        app((vis_a(a, b_cmds[i]), vis_a(a, b_cmds[j])))
+            self._causal_links = impls
+        return impls
 
     def _assert_causal(self) -> None:
         for antecedent, consequent in self._causal_implications():
@@ -286,23 +497,38 @@ class PairEncoder:
     def model_satisfies(self, level: ConsistencyLevel, model: Dict[str, bool]) -> bool:
         """Whether a (skeleton) model already satisfies ``level``'s
         axioms -- the warm-session shortcut that turns a repeat query
-        into a pure model evaluation.  Uses the same constraint
-        generators as the assertion methods."""
+        into a pure model evaluation.  Walks per-feature variable-name
+        lists materialised once from the same constraint generators the
+        assertion methods use, so the screen can never drift from what
+        the solver would enforce."""
         get = model.get
         if level.session_frozen:
-            for v1, v2 in self._frozen_pairs():
-                if get(v1.name, False) != get(v2.name, False):
+            if self._frozen_names is None:
+                self._frozen_names = [
+                    (v1.name, v2.name) for v1, v2 in self._frozen_pairs()
+                ]
+            for n1, n2 in self._frozen_names:
+                if get(n1, False) != get(n2, False):
                     return False
         if level.causal:
-            for antecedent, consequent in self._causal_implications():
-                if get(antecedent.name, False) and not get(consequent.name, False):
+            if self._causal_names is None:
+                self._causal_names = [
+                    (a.name, c.name) for a, c in self._causal_implications()
+                ]
+            for antecedent, consequent in self._causal_names:
+                if get(antecedent, False) and not get(consequent, False):
                     return False
         if level.total_order:
-            links = list(self._serializable_links())
+            if self._serial_names is None:
+                self._serial_names = [
+                    (vis.name, flipped)
+                    for vis, flipped in self._serializable_links()
+                ]
+            links = self._serial_names
             for order_ab in (False, True):
                 if all(
-                    get(vis.name, False) == (not order_ab if flipped else order_ab)
-                    for vis, flipped in links
+                    get(name, False) == (not order_ab if flipped else order_ab)
+                    for name, flipped in links
                 ):
                     break
             else:
@@ -319,31 +545,13 @@ class PairEncoder:
         out += self._read_write_race(self.c2, self.c1, forward=False)
         return out
 
-    def _read_conflicts(self, cmd: CommandInfo) -> List[Tuple[CommandInfo, FrozenSet[str]]]:
+    def _read_conflicts(self, cmd: CommandInfo):
         """B writes conflicting with ``cmd``'s reads."""
-        out = []
-        for w in self.b.writes():
-            if w.table != cmd.table:
-                continue
-            fields = frozenset(w.write_fields) & frozenset(cmd.read_fields)
-            if fields and alias_commands(
-                w, cmd, same_instance=False, distinct_args=self.distinct_args
-            ) is not Alias.NEVER:
-                out.append((w, fields))
-        return out
+        return _read_conflict_list(cmd, self.b.commands, self.distinct_args)
 
-    def _write_conflicts(self, cmd: CommandInfo) -> List[Tuple[CommandInfo, FrozenSet[str]]]:
+    def _write_conflicts(self, cmd: CommandInfo):
         """B reads conflicting with ``cmd``'s writes."""
-        out = []
-        for r in self.b.commands:
-            if r.table != cmd.table:
-                continue
-            fields = frozenset(cmd.write_fields) & frozenset(r.read_fields)
-            if fields and alias_commands(
-                cmd, r, same_instance=False, distinct_args=self.distinct_args
-            ) is not Alias.NEVER:
-                out.append((r, fields))
-        return out
+        return _write_conflict_list(cmd, self.b.commands, self.distinct_args)
 
     def _fractured_read(self) -> List[Disjunct]:
         cands1 = self._read_conflicts(self.c1)
@@ -459,6 +667,99 @@ class PairEncoder:
         )
 
 
+@lru_cache(maxsize=16384)
+def _field_set(fields: Tuple[str, ...]) -> FrozenSet[str]:
+    """Interned frozenset view of a field tuple: the conflict scans
+    intersect the same few field tuples across thousands of sessions."""
+    return frozenset(fields)
+
+
+@lru_cache(maxsize=65536)
+def _read_conflict_list(
+    cmd: CommandInfo,
+    b_commands: Tuple[CommandInfo, ...],
+    distinct_args: bool,
+) -> Tuple[Tuple[CommandInfo, FrozenSet[str]], ...]:
+    """Interferer writes conflicting with ``cmd``'s reads.
+
+    A pure function of the (frozen) command summaries, memoised
+    globally: the repair search re-derives the same ``(command,
+    interferer)`` conflict scans across thousands of candidate
+    programs whose focus *triples* are fresh but whose components
+    repeat.  Entry order matches the historical inline scan (command
+    order filtered to writes), so disjunct order -- and hence models
+    and witnesses -- is unchanged.
+    """
+    out = []
+    for w in b_commands:
+        if not w.is_write or w.table != cmd.table:
+            continue
+        fields = _field_set(w.write_fields) & _field_set(cmd.read_fields)
+        if fields and alias_commands(
+            w, cmd, same_instance=False, distinct_args=distinct_args
+        ) is not Alias.NEVER:
+            out.append((w, fields))
+    return tuple(out)
+
+
+@lru_cache(maxsize=65536)
+def _write_conflict_list(
+    cmd: CommandInfo,
+    b_commands: Tuple[CommandInfo, ...],
+    distinct_args: bool,
+) -> Tuple[Tuple[CommandInfo, FrozenSet[str]], ...]:
+    """Interferer reads conflicting with ``cmd``'s writes (see
+    :func:`_read_conflict_list` for the memoisation rationale)."""
+    out = []
+    for r in b_commands:
+        if r.table != cmd.table:
+            continue
+        fields = _field_set(cmd.write_fields) & _field_set(r.read_fields)
+        if fields and alias_commands(
+            cmd, r, same_instance=False, distinct_args=distinct_args
+        ) is not Alias.NEVER:
+            out.append((r, fields))
+    return tuple(out)
+
+
+def has_disjuncts(
+    c1: CommandInfo,
+    c2: CommandInfo,
+    b_commands: Tuple[CommandInfo, ...],
+    distinct_args: bool,
+) -> bool:
+    """Whether :meth:`PairEncoder.collect_disjuncts` would be non-empty.
+
+    Decides emptiness from the memoised conflict lists alone -- without
+    a builder, a solver, or any formula construction -- mirroring each
+    pattern's candidate-product shape exactly.  Most repair-candidate
+    queries die here: the rewrite removed the conflict, so the triple
+    has no disjuncts and needs no encoder at all.
+    """
+    r1 = _read_conflict_list(c1, b_commands, distinct_args)
+    r2 = _read_conflict_list(c2, b_commands, distinct_args)
+    # Fractured read: one disjunct per (w1, w2) candidate pair.
+    if r1 and r2:
+        return True
+    # Fractured write: both focus commands write, candidates on both.
+    if (
+        c1.is_write
+        and c2.is_write
+        and _write_conflict_list(c1, b_commands, distinct_args)
+        and _write_conflict_list(c2, b_commands, distinct_args)
+    ):
+        return True
+    # Read-write race, both orientations.
+    for reader, writer, r_cands in ((c1, c2, r1), (c2, c1, r2)):
+        if not writer.is_write or not reader.read_fields or writer.uuid_key:
+            continue
+        if any(not w.uuid_key for w, _ in r_cands) and _write_conflict_list(
+            writer, b_commands, distinct_args
+        ):
+            return True
+    return False
+
+
 def tables_may_conflict(
     c1: CommandInfo, c2: CommandInfo, summary_b: TransactionSummary
 ) -> bool:
@@ -533,6 +834,15 @@ class PairSession:
         if self._disjuncts is not None:
             return
         if not tables_may_conflict(self.c1, self.c2, self.summary_b):
+            self._disjuncts = []
+            return
+        if not has_disjuncts(
+            self.c1, self.c2, self.summary_b.commands, self.distinct_args
+        ):
+            # Emptiness decided from the memoised conflict lists: skip
+            # the builder, the solver, and all formula construction.
+            # Externally identical to building the encoder and finding
+            # collect_disjuncts() empty (the encoder was discarded).
             self._disjuncts = []
             return
         encoder = PairEncoder(
@@ -637,6 +947,66 @@ class PairSession:
             if model is None:
                 return None, True, delta
             self._remember_model(model)
+        return self._witness_for(model), True, delta
+
+    def query_batch(
+        self,
+        levels: List[ConsistencyLevel],
+        use_prefilter: bool = True,
+        budget=None,
+    ) -> List[Tuple[Optional[PairWitness], bool, Dict[str, int]]]:
+        """Check the triple at several levels in one warm sweep.
+
+        Semantically one :meth:`query` per level, in order, but the
+        levels that miss the model-reuse shortcut are discharged through
+        a single :meth:`FormulaBuilder.check_batch` call -- one
+        incremental solve sequence per triple instead of one Python
+        round-trip through the stack per level.
+
+        The only divergence from back-to-back ``query`` calls: pending
+        levels are screened against the models known *before* the batch,
+        so a model found mid-batch is not consulted for later levels.
+        That can turn a would-be model hit into a (warm, assumption-
+        based) solve; verdicts are unaffected, and each solve is
+        independent of its batch neighbours by the group-assumption
+        scheme.
+        """
+        self._ensure_warm()
+        results: List[Tuple[Optional[PairWitness], bool, Dict[str, int]]]
+        results = [None] * len(levels)  # type: ignore[list-item]
+        if not self._disjuncts:
+            for i in range(len(levels)):
+                self.queries += 1
+                results[i] = (None, not use_prefilter, {})
+            return results
+        assert self._encoder is not None
+        pending: List[int] = []
+        for i, level in enumerate(levels):
+            self.queries += 1
+            model = self._reusable_model(level)
+            if model is not None:
+                self.model_hits += 1
+                results[i] = (self._witness_for(model), True, {})
+            else:
+                pending.append(i)
+        if pending:
+            builder = self._encoder.builder
+            group_sets = [self._axiom_groups(levels[i]) for i in pending]
+            stats_out: List[Dict[str, int]] = []
+            models = builder.check_batch(
+                group_sets, budget=budget, stats_out=stats_out
+            )
+            for i, model, delta in zip(pending, models, stats_out):
+                if model is None:
+                    results[i] = (None, True, delta)
+                else:
+                    self._remember_model(model)
+                    results[i] = (self._witness_for(model), True, delta)
+        return results
+
+    def _witness_for(self, model: Dict[str, bool]) -> PairWitness:
+        """Extract (and memoise) the witness a model proves."""
+        assert self._disjuncts is not None
         witness = self._witness_by_model.get(id(model))
         if witness is None:
             fields1: FrozenSet[str] = frozenset()
@@ -654,7 +1024,7 @@ class PairSession:
                 fields2=fields2,
             )
             self._witness_by_model[id(model)] = witness
-        return witness, True, delta
+        return witness
 
     _MAX_MODELS = 4
 
@@ -787,10 +1157,13 @@ class PairSession:
         return dropped
 
     def close(self) -> None:
-        """Retire every axiom group and release the warm solver."""
-        if self._encoder is not None:
-            for group_id in self._groups.values():
-                self._encoder.builder.retire_group(group_id)
+        """Release the warm solver.
+
+        The axiom groups die with the solver -- the whole builder is
+        dropped here, so retiring them first (a root unit clause plus
+        propagation bookkeeping per group, on a solver about to be
+        garbage collected) would be pure overhead.
+        """
         self._groups = {}
         self._encoder = None
         self._disjuncts = None

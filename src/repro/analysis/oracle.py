@@ -217,6 +217,43 @@ class OracleSession:
         )
         return QueryOutcome(witness=data, solved=solved, stats=stats)
 
+    def solve_batch(
+        self,
+        c1: CommandInfo,
+        c2: CommandInfo,
+        summary_b: TransactionSummary,
+        levels: List[ConsistencyLevel],
+        distinct_args: Optional[bool] = None,
+        use_prefilter: bool = True,
+        key: Optional[SessionKey] = None,
+        budget=None,
+    ):
+        """Discharge one anomaly query per level on the triple's warm
+        session as a single incremental sweep (see
+        :meth:`PairSession.query_batch`); returns one
+        :class:`~repro.analysis.pipeline.QueryOutcome` per level, in
+        order."""
+        from repro.analysis.pipeline import QueryOutcome, WitnessData
+
+        sess = self.session(c1, c2, summary_b, distinct_args, key=key)
+        outcomes = []
+        for witness, solved, stats in sess.query_batch(
+            list(levels), use_prefilter=use_prefilter, budget=budget
+        ):
+            data = (
+                WitnessData(
+                    pattern=witness.pattern,
+                    fields1=witness.fields1,
+                    fields2=witness.fields2,
+                )
+                if witness is not None
+                else None
+            )
+            outcomes.append(
+                QueryOutcome(witness=data, solved=solved, stats=stats)
+            )
+        return outcomes
+
     def counters(self) -> Dict[str, int]:
         """Pool accounting: sessions created/reused/evicted/live, plus
         query and model-reuse totals (including closed sessions)."""
@@ -335,6 +372,27 @@ class AnomalyOracle:
         if self._pipeline is not None:
             return self._pipeline.analyze_many(programs)
         return [self.analyze(program) for program in programs]
+
+    def analyze_levels(self, program: ast.Program, levels) -> List[
+        AnalysisReport
+    ]:
+        """Analyze one program at several consistency levels in one
+        sweep, sharing each focus triple's (warm) solver work across
+        the levels (see :meth:`~repro.analysis.pipeline.
+        AnalysisPipeline.analyze_levels`).  The serial seed path simply
+        analyzes level by level."""
+        levels = list(levels)
+        if self._pipeline is not None:
+            return self._pipeline.analyze_levels(program, levels)
+        saved = self.level
+        try:
+            reports = []
+            for level in levels:
+                self.level = level
+                reports.append(self.analyze(program))
+            return reports
+        finally:
+            self.level = saved
 
     def analyze(self, program: ast.Program) -> AnalysisReport:
         if self._pipeline is not None:

@@ -52,6 +52,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import (
     Dict,
     FrozenSet,
@@ -70,7 +71,12 @@ from repro.analysis.accesses import (
     summarize_program,
 )
 from repro.analysis.consistency import ConsistencyLevel, by_name
-from repro.analysis.encoding import PairEncoder, PairWitness, tables_may_conflict
+from repro.analysis.encoding import (
+    PairEncoder,
+    PairWitness,
+    has_disjuncts,
+    tables_may_conflict,
+)
 from repro.errors import BudgetExhaustedError
 from repro.faults import FaultInjected, failpoint_bytes
 from repro.lang import ast
@@ -101,12 +107,15 @@ class QueryOutcome(NamedTuple):
 # ---------------------------------------------------------------------------
 
 
+@lru_cache(maxsize=65536)
 def fingerprint_command(cmd: CommandInfo) -> str:
     """Stable structural digest of one command summary.
 
     Everything the encoder can observe is included; the owning
     transaction's *name* is not, so a renamed-but-identical transaction
-    still hits the cache.
+    still hits the cache.  Memoised: summaries are frozen dataclasses,
+    and the planner re-fingerprints the same commands on every repair
+    fixpoint iteration and level sweep.
     """
     payload = repr(
         (
@@ -126,6 +135,7 @@ def fingerprint_command(cmd: CommandInfo) -> str:
     return hashlib.sha1(payload.encode()).hexdigest()
 
 
+@lru_cache(maxsize=65536)
 def fingerprint_summary(summary: TransactionSummary) -> str:
     """Stable structural digest of a whole transaction summary."""
     payload = repr(summary.params).encode() + b"|".join(
@@ -797,6 +807,16 @@ class QueryPlan:
         return generations
 
 
+# Plan memo shared by every planner instance: summaries are interned
+# (see repro.analysis.accesses), so re-planning the same program at the
+# same level -- repeated analyses across strategy runs, service
+# requests, level sweeps -- is a pointer-keyed dict hit.  Plans are
+# construction-only data (nothing mutates a QueryPlan after the planner
+# returns it), so sharing one instance across runs is safe.
+_PLAN_CACHE: Dict[object, QueryPlan] = {}
+_PLAN_CACHE_LIMIT = 1024
+
+
 class QueryPlanner:
     """Enumerates the oracle's SAT queries for one program."""
 
@@ -806,6 +826,10 @@ class QueryPlanner:
         level: ConsistencyLevel,
         distinct_args: bool,
     ) -> QueryPlan:
+        cache_key = (tuple(summaries.values()), level, distinct_args)
+        cached = _PLAN_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
         summary_fps = {
             name: fingerprint_summary(s) for name, s in summaries.items()
         }
@@ -858,12 +882,16 @@ class QueryPlanner:
                     )
                 )
                 batches.append(batch)
-        return QueryPlan(
+        plan = QueryPlan(
             level=level,
             distinct_args=distinct_args,
             batches=batches,
             nodes=nodes,
         )
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+            _PLAN_CACHE.clear()
+        _PLAN_CACHE[cache_key] = plan
+        return plan
 
 
 # ---------------------------------------------------------------------------
@@ -892,6 +920,11 @@ def solve_query(
     if not tables_may_conflict(c1, c2, summary_b):
         # No interferer command shares a table with the focus pair, so
         # the disjunct set is empty -- skip building the encoder at all.
+        return QueryOutcome(witness=None, solved=not use_prefilter, stats={})
+    if not has_disjuncts(c1, c2, summary_b.commands, distinct_args):
+        # Emptiness decided from the memoised conflict lists alone --
+        # identical outcome to building the encoder and finding the
+        # disjunct list empty, minus the builder and solver setup.
         return QueryOutcome(witness=None, solved=not use_prefilter, stats={})
     encoder = PairEncoder(
         None, c1, c2, summary_b, level,
@@ -965,6 +998,28 @@ class SerialStrategy:
                 use_prefilter, budget=budget,
             )
             for s in specs
+        ]
+
+    def run_levels(
+        self,
+        specs: Sequence[QuerySpec],
+        spec_levels: Sequence[Sequence[ConsistencyLevel]],
+        distinct_args: bool,
+        use_prefilter: bool = True,
+        budget=None,
+    ) -> List[List[QueryOutcome]]:
+        """Level-sweep entry point (see
+        :meth:`AnalysisPipeline.analyze_levels`): ``specs[i]`` is solved
+        once per level in ``spec_levels[i]``, in order."""
+        return [
+            [
+                solve_query(
+                    s.c1, s.c2, s.summary_b, level, distinct_args,
+                    use_prefilter, budget=budget,
+                )
+                for level in levels
+            ]
+            for s, levels in zip(specs, spec_levels)
         ]
 
     def close(self) -> None:  # symmetry with ParallelStrategy
@@ -1057,6 +1112,34 @@ class ParallelStrategy:
             return self._serial.run(specs, level, distinct_args, use_prefilter)
         return [by_position[i] for i in range(len(specs))]
 
+    def run_levels(
+        self,
+        specs: Sequence[QuerySpec],
+        spec_levels: Sequence[Sequence[ConsistencyLevel]],
+        distinct_args: bool,
+        use_prefilter: bool = True,
+    ) -> List[List[QueryOutcome]]:
+        """Level sweep over cold solves: there is no warm state to
+        share, so the sweep is regrouped by level and fanned out through
+        :meth:`run` once per level."""
+        by_level: Dict[str, List[Tuple[int, int, QuerySpec, ConsistencyLevel]]]
+        by_level = {}
+        for i, (s, levels) in enumerate(zip(specs, spec_levels)):
+            for j, level in enumerate(levels):
+                by_level.setdefault(level.name, []).append((i, j, s, level))
+        out: List[List[Optional[QueryOutcome]]] = [
+            [None] * len(levels) for levels in spec_levels
+        ]
+        for entries in by_level.values():
+            level = entries[0][3]
+            outcomes = self.run(
+                [s for _, _, s, _ in entries], level, distinct_args,
+                use_prefilter,
+            )
+            for (i, j, _, _), outcome in zip(entries, outcomes):
+                out[i][j] = outcome
+        return out  # type: ignore[return-value]
+
     def close(self) -> None:
         if self._executor is not None:
             self._executor.shutdown()
@@ -1121,6 +1204,33 @@ class IncrementalStrategy:
             for s in specs
         ]
 
+    def run_levels(
+        self,
+        specs: Sequence[QuerySpec],
+        spec_levels: Sequence[Sequence[ConsistencyLevel]],
+        distinct_args: bool,
+        use_prefilter: bool = True,
+        budget=None,
+    ) -> List[List[QueryOutcome]]:
+        """One warm assumption sweep per focus triple: ``specs[i]`` is
+        discharged at every level of ``spec_levels[i]`` through a single
+        :meth:`~repro.analysis.oracle.OracleSession.solve_batch` call,
+        so the level sweep pays one session lookup and one incremental
+        solve sequence instead of one Python round-trip per level."""
+        return [
+            self.pool.solve_batch(
+                s.c1,
+                s.c2,
+                s.summary_b,
+                list(levels),
+                distinct_args,
+                use_prefilter=use_prefilter,
+                key=(s.cache_key[0], s.cache_key[1], s.cache_key[2], distinct_args),
+                budget=budget,
+            )
+            for s, levels in zip(specs, spec_levels)
+        ]
+
     def close(self) -> None:
         self.pool.close()
 
@@ -1173,6 +1283,41 @@ def _shard_worker_solve(payload):
     return out
 
 
+def _shard_worker_run_chunk(payload):
+    """Timed worker entry point for the work-stealing scheduler: solve
+    one chunk (same payload as :func:`_shard_worker_solve`) and report
+    how long the worker was busy on it."""
+    start = time.perf_counter()
+    out = _shard_worker_solve(payload)
+    return out, time.perf_counter() - start
+
+
+def _shard_worker_sweep(payload):
+    """Timed worker entry point for level sweeps: each shard item names
+    its own level list and is discharged through the warm pool's
+    :meth:`~repro.analysis.oracle.OracleSession.solve_batch`."""
+    distinct_args, use_prefilter, shard = payload
+    start = time.perf_counter()
+    out = []
+    for position, c1, c2, summary_b, session_key, level_names in shard:
+        levels = [by_name(name) for name in level_names]
+        out.append(
+            (
+                position,
+                _WORKER_SESSIONS.solve_batch(
+                    c1,
+                    c2,
+                    summary_b,
+                    levels,
+                    distinct_args,
+                    use_prefilter=use_prefilter,
+                    key=session_key,
+                ),
+            )
+        )
+    return out, time.perf_counter() - start
+
+
 def _shard_worker_counters() -> Dict[str, int]:
     return _WORKER_SESSIONS.counters() if _WORKER_SESSIONS is not None else {}
 
@@ -1209,6 +1354,19 @@ class ParallelIncrementalStrategy:
     sweep and its fixpoint re-analyses therefore always hit the same
     warm solver, while distinct triples solve concurrently.
 
+    Static sha1 sharding balances *triples*, not *work*: one benchmark
+    can contribute 63 anomalous pairs and another 1, so a shard can run
+    long after every other worker went idle.  Each shard is therefore
+    split into up to ``chunks_per_shard`` chunks queued per worker, and
+    (with ``work_stealing``, the default) a worker whose own queue runs
+    dry steals the *tail* chunk of the longest remaining queue instead
+    of idling.  Stolen triples build cold on the thief -- affinity is
+    traded for utilization only once the owner is saturated -- so tests
+    that assert strict affinity pass ``work_stealing=False``.  The
+    scheduler keeps per-worker busy-seconds and chunk/steal counts;
+    :meth:`shard_stats` exposes them (``BENCH_oracle.json`` records
+    them as ``shard_utilization``/``steal_count``).
+
     On single-core hosts (or ``max_workers=1``) the processes would be
     pure IPC overhead, so execution degrades to one in-process
     :class:`IncrementalStrategy` -- same results, same warmth, no pool.
@@ -1219,14 +1377,23 @@ class ParallelIncrementalStrategy:
         self,
         max_workers: Optional[int] = None,
         max_sessions_per_worker: int = 4096,
+        work_stealing: bool = True,
+        chunks_per_shard: int = 4,
     ):
         self.max_workers = max_workers or os.cpu_count() or 1
         self.max_sessions_per_worker = max_sessions_per_worker
+        self.work_stealing = work_stealing
+        self.chunks_per_shard = max(1, chunks_per_shard)
         self._executors: Optional[List] = None
         self._fallback: Optional[IncrementalStrategy] = None
         self._retired_counters: Dict[str, int] = {}
         self._used_workers: Set[int] = set()
         self._broken = False
+        self._steal_count = 0
+        self._worker_busy: Dict[int, float] = {}
+        self._worker_chunks: Dict[int, int] = {}
+        self._worker_stolen: Dict[int, int] = {}
+        self._sched_elapsed = 0.0
 
     @property
     def name(self) -> str:
@@ -1273,13 +1440,9 @@ class ParallelIncrementalStrategy:
         # Results are keyed by *position* in `specs`, not QuerySpec.index:
         # a batched analyze_many hands this runner specs from several
         # plans at once, whose plan-local indexes collide.
-        shards: Dict[int, List[Tuple[int, QuerySpec]]] = {}
-        for position, spec in enumerate(specs):
-            shards.setdefault(
-                shard_of(spec.cache_key, self.max_workers), []
-            ).append((position, spec))
-        payloads = {
-            worker: (
+        queues = self._shard_queues(
+            specs,
+            lambda chunk: (
                 level.name,
                 distinct_args,
                 use_prefilter,
@@ -1291,22 +1454,12 @@ class ParallelIncrementalStrategy:
                         s.summary_b,
                         s.cache_key[:3] + (distinct_args,),
                     )
-                    for position, s in shard
+                    for position, s in chunk
                 ],
-            )
-            for worker, shard in shards.items()
-        }
+            ),
+        )
         try:
-            executors = self._ensure_executors()
-            futures = [
-                executors[worker].submit(_shard_worker_solve, payload)
-                for worker, payload in payloads.items()
-            ]
-            self._used_workers.update(payloads)
-            by_position: Dict[int, QueryOutcome] = {}
-            for future in futures:
-                for position, outcome in future.result():
-                    by_position[position] = outcome
+            merged = self._dispatch_chunks(queues, _shard_worker_run_chunk)
         except Exception:
             # A dead worker must not take the analysis down; the
             # in-process incremental path produces the same outcomes.
@@ -1318,7 +1471,153 @@ class ParallelIncrementalStrategy:
             return self._ensure_fallback().run(
                 specs, level, distinct_args, use_prefilter
             )
+        by_position: Dict[int, QueryOutcome] = dict(merged)
         return [by_position[i] for i in range(len(specs))]
+
+    def run_levels(
+        self,
+        specs: Sequence[QuerySpec],
+        spec_levels: Sequence[Sequence[ConsistencyLevel]],
+        distinct_args: bool,
+        use_prefilter: bool = True,
+        budget=None,
+    ) -> List[List[QueryOutcome]]:
+        """Sharded level sweeps: every spec's whole level list is
+        discharged by its shard worker as one warm
+        :meth:`~repro.analysis.oracle.OracleSession.solve_batch` sweep,
+        with the same chunking/stealing scheduler as :meth:`run`."""
+        if self.max_workers <= 1 or self._broken:
+            return self._ensure_fallback().run_levels(
+                specs, spec_levels, distinct_args, use_prefilter,
+                budget=budget,
+            )
+        queues = self._shard_queues(
+            specs,
+            lambda chunk: (
+                distinct_args,
+                use_prefilter,
+                [
+                    (
+                        position,
+                        s.c1,
+                        s.c2,
+                        s.summary_b,
+                        s.cache_key[:3] + (distinct_args,),
+                        tuple(lv.name for lv in spec_levels[position]),
+                    )
+                    for position, s in chunk
+                ],
+            ),
+        )
+        try:
+            merged = self._dispatch_chunks(queues, _shard_worker_sweep)
+        except Exception:
+            self._broken = True
+            self._shutdown_executors()
+            return self._ensure_fallback().run_levels(
+                specs, spec_levels, distinct_args, use_prefilter,
+                budget=budget,
+            )
+        by_position: Dict[int, List[QueryOutcome]] = dict(merged)
+        return [by_position[i] for i in range(len(specs))]
+
+    def _shard_queues(self, specs, make_payload) -> List[List]:
+        """Route specs to their shard, split each shard into up to
+        ``chunks_per_shard`` chunks (preserving shard order), and build
+        each worker's payload queue."""
+        shards: Dict[int, List[Tuple[int, QuerySpec]]] = {}
+        for position, spec in enumerate(specs):
+            shards.setdefault(
+                shard_of(spec.cache_key, self.max_workers), []
+            ).append((position, spec))
+        queues: List[List] = [[] for _ in range(self.max_workers)]
+        for worker, shard in shards.items():
+            per = -(-len(shard) // self.chunks_per_shard)
+            for i in range(0, len(shard), per):
+                queues[worker].append(make_payload(shard[i : i + per]))
+        return queues
+
+    def _dispatch_chunks(self, queues: List[List], entry) -> List:
+        """Drain per-worker chunk queues, keeping one chunk in flight
+        per worker (each shard executor is a single process, so deeper
+        submission would only reorder the shard).  A worker whose own
+        queue is empty steals the tail of the longest remaining queue
+        when ``work_stealing`` is on; otherwise it idles.  Returns the
+        concatenated chunk results."""
+        from concurrent.futures import FIRST_COMPLETED, wait
+
+        executors = self._ensure_executors()
+        started = time.perf_counter()
+        merged: List = []
+        inflight: Dict[object, int] = {}
+
+        def take(worker: int):
+            if queues[worker]:
+                return queues[worker].pop(0)
+            if self.work_stealing:
+                victim = max(
+                    range(len(queues)), key=lambda w: len(queues[w])
+                )
+                if queues[victim]:
+                    self._steal_count += 1
+                    self._worker_stolen[worker] = (
+                        self._worker_stolen.get(worker, 0) + 1
+                    )
+                    return queues[victim].pop()
+            return None
+
+        def feed(worker: int) -> None:
+            payload = take(worker)
+            if payload is None:
+                return
+            future = executors[worker].submit(entry, payload)
+            inflight[future] = worker
+            self._used_workers.add(worker)
+
+        for worker in range(self.max_workers):
+            feed(worker)
+        while inflight:
+            done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+            for future in done:
+                worker = inflight.pop(future)
+                out, busy = future.result()
+                merged.extend(out)
+                self._worker_busy[worker] = (
+                    self._worker_busy.get(worker, 0.0) + busy
+                )
+                self._worker_chunks[worker] = (
+                    self._worker_chunks.get(worker, 0) + 1
+                )
+                feed(worker)
+        self._sched_elapsed += time.perf_counter() - started
+        return merged
+
+    def shard_stats(self) -> Dict[str, object]:
+        """Scheduler accounting over the strategy's lifetime: total
+        steals, scheduler wall-clock, and per-worker busy-seconds /
+        chunk counts / utilization (busy over scheduler wall-clock).
+        All zeros when execution degraded to the in-process path."""
+        elapsed = self._sched_elapsed
+        workers = []
+        for worker in range(self.max_workers):
+            busy = self._worker_busy.get(worker, 0.0)
+            workers.append(
+                {
+                    "worker": worker,
+                    "busy_seconds": round(busy, 4),
+                    "chunks": self._worker_chunks.get(worker, 0),
+                    "stolen_chunks": self._worker_stolen.get(worker, 0),
+                    "utilization": (
+                        round(busy / elapsed, 4) if elapsed > 0 else 0.0
+                    ),
+                }
+            )
+        return {
+            "work_stealing": self.work_stealing,
+            "steal_count": self._steal_count,
+            "scheduler_seconds": round(elapsed, 4),
+            "workers": workers,
+        }
 
     def _live_counters(self) -> Dict[str, int]:
         """Session counters over every live shard worker plus the
@@ -1638,7 +1937,226 @@ class AnalysisPipeline:
         )
         return reports
 
-    def _raise_deadline(self, plans, outcomes_by_program) -> None:
+    def analyze_levels(
+        self, program: ast.Program, levels: Sequence[ConsistencyLevel]
+    ) -> List:
+        """Analyze one program at several consistency levels in one
+        strategy sweep; returns one report per level, in order.
+
+        Results are identical to one :meth:`analyze` per level (each
+        query is a pure function of its fingerprints, and the cache is
+        consulted per level exactly as before), but the cache misses of
+        all levels are grouped by focus triple and handed to the
+        strategy together, so a warm runner discharges a triple's whole
+        level sweep on one session in one incremental solve sequence
+        (``run_levels``) instead of re-entering the stack per level.
+        Strategies without a ``run_levels`` sweep entry point fall back
+        to one ``run()`` fan-out per level.
+
+        Like :meth:`analyze_many`, each report's ``elapsed_seconds`` is
+        the whole sweep's wall-clock, and a solve shared between levels
+        -- impossible here, since the level is part of the cache key --
+        never arises; attribution (``sat_queries``, ``solver_stats``)
+        goes to the first level that requested the triple's query.
+        """
+        from repro.analysis.oracle import AnalysisReport, _merge_witnesses
+        from repro.events import emit
+
+        levels = list(levels)
+        start = time.perf_counter()
+        summaries = summarize_program(program)
+        plans = [
+            self.planner.plan(summaries, level, self.distinct_args)
+            for level in levels
+        ]
+        outcomes_by_level: List[Dict[int, Optional[WitnessData]]] = [
+            {} for _ in levels
+        ]
+        lookup_counts: List[Tuple[int, int]] = []
+        # Misses grouped by focus triple; within a triple, by full cache
+        # key (one solve per key -- structurally identical twins at the
+        # same level share it, and distinct levels are distinct keys).
+        pending: Dict[
+            Tuple, Dict[CacheKey, List[Tuple[int, QuerySpec]]]
+        ] = {}
+        for level_index, plan in enumerate(plans):
+            hits = misses = 0
+            for spec in plan.queries():
+                found, witness = self.cache.lookup(spec.cache_key)
+                if found:
+                    hits += 1
+                    outcomes_by_level[level_index][spec.index] = witness
+                else:
+                    misses += 1
+                    triple_key = spec.cache_key[:3] + (self.distinct_args,)
+                    pending.setdefault(triple_key, {}).setdefault(
+                        spec.cache_key, []
+                    ).append((level_index, spec))
+            lookup_counts.append((hits, misses))
+
+        sweep_name = "+".join(level.name for level in levels)
+        emit(
+            self.progress,
+            "analyze.start",
+            level=sweep_name,
+            programs=1,
+            queries=sum(h + m for h, m in lookup_counts),
+            cache_hits=sum(h for h, _ in lookup_counts),
+            cache_misses=sum(m for _, m in lookup_counts),
+        )
+        sat_queries = [0] * len(levels)
+        solver_stats: List[Dict[str, int]] = [{} for _ in levels]
+        exhausted = False
+        if pending:
+            triples = list(pending.items())
+            budget = self.budget
+            chunked = budget is not None or self.progress is not None
+            step = 32 if chunked else max(len(triples), 1)
+            run_kwargs = {}
+            if budget is not None and getattr(
+                self.strategy, "supports_budget", False
+            ):
+                run_kwargs["budget"] = budget
+            sweep = getattr(self.strategy, "run_levels", None)
+            results: List[List[QueryOutcome]] = []
+            last_tick = start
+            for lo in range(0, len(triples), step):
+                now = time.perf_counter()
+                if chunked and lo and now - last_tick >= 0.2:
+                    last_tick = now
+                    emit(
+                        self.progress,
+                        "analyze.tick",
+                        completed=lo,
+                        total=len(triples),
+                    )
+                if budget is not None and budget.expired():
+                    exhausted = True
+                    break
+                chunk = triples[lo : lo + step]
+                chunk_specs = [
+                    next(iter(groups.values()))[0][1] for _, groups in chunk
+                ]
+                chunk_levels = [
+                    [by_name(key[3]) for key in groups]
+                    for _, groups in chunk
+                ]
+                try:
+                    if sweep is not None:
+                        results.extend(
+                            sweep(
+                                chunk_specs,
+                                chunk_levels,
+                                self.distinct_args,
+                                self.use_prefilter,
+                                **run_kwargs,
+                            )
+                        )
+                    else:
+                        results.extend(
+                            [
+                                self.strategy.run(
+                                    [spec],
+                                    lv,
+                                    self.distinct_args,
+                                    self.use_prefilter,
+                                    **run_kwargs,
+                                )[0]
+                                for lv in lvs
+                            ]
+                            for spec, lvs in zip(chunk_specs, chunk_levels)
+                        )
+                except BudgetExhaustedError:
+                    exhausted = True
+                    break
+            # zip() stops at the shorter list, so an exhausted run still
+            # attributes and caches every completed triple's outcomes.
+            for (_, groups), outs in zip(triples, results):
+                for (key, group), outcome in zip(groups.items(), outs):
+                    owner, _ = group[0]
+                    if outcome.solved:
+                        sat_queries[owner] += 1
+                    for stat, value in outcome.stats.items():
+                        solver_stats[owner][stat] = (
+                            solver_stats[owner].get(stat, 0) + value
+                        )
+                    for twin_owner, twin in group:
+                        outcomes_by_level[twin_owner][twin.index] = (
+                            outcome.witness
+                        )
+                    self.cache.store(
+                        key,
+                        outcome.witness,
+                        txns={s.a_name for _, s in group}
+                        | {s.summary_b.name for _, s in group},
+                        tables=frozenset().union(
+                            *(s.tables for _, s in group)
+                        ),
+                    )
+            emit(
+                self.progress,
+                "analyze.solved",
+                unique_queries=sum(len(outs) for outs in results),
+                strategy=self.strategy.name,
+            )
+        if exhausted:
+            self._raise_deadline(
+                plans, outcomes_by_level, level_name=sweep_name
+            )
+
+        elapsed = time.perf_counter() - start
+        reports = []
+        for level, plan, outcomes, (hits, misses), sat, stats in zip(
+            levels,
+            plans,
+            outcomes_by_level,
+            lookup_counts,
+            sat_queries,
+            solver_stats,
+        ):
+            pairs = []
+            for batch in plan.batches:
+                witnesses = [
+                    PairWitness(
+                        interferer=spec.summary_b.name,
+                        pattern=outcomes[spec.index].pattern,
+                        fields1=outcomes[spec.index].fields1,
+                        fields2=outcomes[spec.index].fields2,
+                    )
+                    for spec in batch.queries
+                    if outcomes[spec.index] is not None
+                ]
+                if witnesses:
+                    pairs.append(
+                        _merge_witnesses(
+                            batch.summary_a, batch.c1, batch.c2, witnesses
+                        )
+                    )
+            reports.append(
+                AnalysisReport(
+                    level=level.name,
+                    pairs=pairs,
+                    pairs_checked=len(plan.batches),
+                    sat_queries=sat,
+                    elapsed_seconds=elapsed,
+                    strategy=self.strategy.name,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                    solver_stats=stats,
+                )
+            )
+        emit(
+            self.progress,
+            "analyze.done",
+            level=sweep_name,
+            pairs=sum(len(r.pairs) for r in reports),
+            elapsed_seconds=elapsed,
+        )
+        return reports
+
+    def _raise_deadline(
+        self, plans, outcomes_by_program, level_name: Optional[str] = None
+    ) -> None:
         """Raise DeadlineExceededError carrying the partial result.
 
         A batch (access pair) counts as checked only when *every* one
@@ -1674,7 +2192,9 @@ class AnalysisPipeline:
                             batch.summary_a, batch.c1, batch.c2, witnesses
                         )
                     )
-        raise deadline_error(self.level.name, pairs, checked, total)
+        raise deadline_error(
+            level_name or self.level.name, pairs, checked, total
+        )
 
     def close(self) -> None:
         self.strategy.close()

@@ -302,6 +302,69 @@ class Workspace:
             )
             return oracle.analyze(program)
 
+    def analyze_program_levels(
+        self,
+        program,
+        levels,
+        use_prefilter: Optional[bool] = None,
+        distinct_args: Optional[bool] = None,
+        on_progress: Optional[ProgressCallback] = None,
+        budget: Optional[Budget] = None,
+    ):
+        """Run the anomaly oracle at several consistency levels in one
+        sweep; returns one report per level, in order.
+
+        On a warm strategy every focus triple's levels are discharged
+        as one incremental solve sequence (:meth:`~repro.analysis.
+        pipeline.AnalysisPipeline.analyze_levels`); the seed serial loop
+        simply analyzes level by level.  One call counts once per level
+        in the ``/v1/stats`` analyze counter, matching what it
+        replaces."""
+        levels = list(levels)
+        with self._lock:
+            self._requests["analyze"] += len(levels)
+        return self._analyze_levels(
+            program, levels, use_prefilter, distinct_args, on_progress,
+            budget=budget,
+        )
+
+    def _analyze_levels(
+        self,
+        program,
+        levels,
+        use_prefilter: Optional[bool] = None,
+        distinct_args: Optional[bool] = None,
+        on_progress: Optional[ProgressCallback] = None,
+        budget: Optional[Budget] = None,
+    ):
+        """Uncounted core of :meth:`analyze_program_levels` (bench rows
+        go through here)."""
+        if self._serial:
+            return [
+                self._analyze(
+                    program, level, use_prefilter, distinct_args,
+                    on_progress, budget=budget,
+                )
+                for level in levels
+            ]
+        from repro.analysis.oracle import AnomalyOracle
+
+        with self._lock:
+            oracle = AnomalyOracle(
+                levels[0] if levels else EC,
+                use_prefilter=self.use_prefilter
+                if use_prefilter is None
+                else use_prefilter,
+                distinct_args=self.distinct_args
+                if distinct_args is None
+                else distinct_args,
+                strategy=self._runner,
+                cache=self.cache,
+                progress=on_progress,
+                budget=budget,
+            )
+            return oracle.analyze_levels(program, levels)
+
     def repair_program(
         self,
         program,
@@ -432,8 +495,9 @@ class Workspace:
             report = self._repair(
                 program, search=request.search, on_progress=on_progress
             )
-            cc = self._analyze(program, CC, on_progress=on_progress)
-            rr = self._analyze(program, RR, on_progress=on_progress)
+            cc, rr = self._analyze_levels(
+                program, (CC, RR), on_progress=on_progress
+            )
             rows.append(
                 BenchRow(
                     name=bench.name,

@@ -53,7 +53,7 @@ class BoolVar(Formula):
 
 
 class _NaryFormula(Formula):
-    __slots__ = ("operands",)
+    __slots__ = ("operands", "_hash")
 
     def __init__(self, *operands: Formula):
         flat: List[Formula] = []
@@ -63,12 +63,21 @@ class _NaryFormula(Formula):
             else:
                 flat.append(op)
         self.operands = tuple(flat)
+        self._hash: Optional[int] = None
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return type(other) is type(self) and self.operands == other.operands  # type: ignore[attr-defined]
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.operands))
+        # Cached: the hash-consing tables hash the same (deep) formula
+        # objects on every intern lookup, which made recursive hashing a
+        # measurable slice of warm-session construction.
+        h = self._hash
+        if h is None:
+            h = self._hash = hash((type(self).__name__, self.operands))
+        return h
 
     def __repr__(self) -> str:
         inner = ", ".join(map(repr, self.operands))
@@ -155,10 +164,16 @@ class FormulaBuilder:
     exists.
     """
 
-    def __init__(self, fold_constants: bool = False) -> None:
-        self.solver = sat.Solver()
+    def __init__(
+        self, fold_constants: bool = False, clause_db: Optional[str] = None
+    ) -> None:
+        self.solver = sat.Solver(clause_db=clause_db)
         self.fold_constants = fold_constants
         self._vars: Dict[str, int] = {}
+        # name -> interned BoolVar: var() is called per axiom link on
+        # the warm path, and returning one shared (frozen, equal) object
+        # keeps downstream formula hashing on the identity fast path.
+        self._var_objs: Dict[str, BoolVar] = {}
         self._aux_count = 0
         self._true_lit: Optional[int] = None
         # Hash-consing caches for the folding pass: formula -> literal.
@@ -173,9 +188,13 @@ class FormulaBuilder:
 
     def var(self, name: str) -> BoolVar:
         """Declare (or fetch) a named variable."""
-        if name not in self._vars:
-            self._vars[name] = self.solver.new_var()
-        return BoolVar(name)
+        bv = self._var_objs.get(name)
+        if bv is None:
+            if name not in self._vars:
+                self._vars[name] = self.solver.new_var()
+            bv = BoolVar(name)
+            self._var_objs[name] = bv
+        return bv
 
     def var_names(self) -> Tuple[str, ...]:
         return tuple(self._vars)
@@ -408,6 +427,52 @@ class FormulaBuilder:
             return
         self._emit(lits)
 
+    def assert_implication_lits(
+        self, antecedents: Sequence[int], consequent: int
+    ) -> None:
+        """Literal-level :meth:`assert_implication` (folding pass only).
+
+        For callers that already resolved their operands to solver
+        literals (via :meth:`literal` / :meth:`fold_literal`); emits
+        exactly the clause ``assert_implication`` would emit for the
+        same operand literals, skipping the per-call formula dispatch.
+        """
+        true = self._const_lit(True)
+        false = sat.neg(true)
+        lits: List[int] = []
+        for l in antecedents:
+            if l == false:
+                return  # antecedent unsatisfiable: implication holds
+            if l == true:
+                continue
+            lits.append(sat.neg(l))
+        if consequent == true:
+            return
+        if consequent != false:
+            lits.append(consequent)
+        lits = list(dict.fromkeys(lits))
+        present = set(lits)
+        if any(sat.neg(l) in present for l in lits):
+            return  # tautology
+        if not lits:
+            self._emit_empty()
+            return
+        self._emit(lits)
+
+    def fold_literal(self, formula: Formula) -> int:
+        """Resolve a formula to its folded literal (folding pass only).
+
+        The public face of :meth:`_encode_folded` for encoders that
+        batch-resolve operands once and then emit several clauses over
+        them at the literal level.
+        """
+        if not self.fold_constants:
+            raise SolverError(
+                "literal resolution requires the folding Tseitin pass "
+                "(FormulaBuilder(fold_constants=True))"
+            )
+        return self._encode_folded(formula)
+
     def _assert_lit(self, literal: int) -> None:
         if literal == self._const_lit(True):
             return
@@ -434,10 +499,16 @@ class FormulaBuilder:
         cached per group (their defining clauses carry the group guard
         and vanish with it); permanent results are shared everywhere.
         """
+        if isinstance(formula, BoolVar):
+            # Most frequent case (interned alias/visibility variables):
+            # resolve the name inline rather than via _lookup + sat.lit.
+            vars_ = self._vars
+            v = vars_.get(formula.name)
+            if v is None:
+                v = vars_[formula.name] = self.solver.new_var()
+            return v << 1
         if isinstance(formula, BoolConst):
             return self._const_lit(formula.value)
-        if isinstance(formula, BoolVar):
-            return sat.lit(self._lookup(formula), True)
         if isinstance(formula, Not):
             return sat.neg(self._encode_folded(formula.operand))
         out = self._interned.get(formula)
@@ -530,6 +601,38 @@ class FormulaBuilder:
         exhausted budget raises :class:`~repro.errors.
         BudgetExhaustedError` rather than masquerading as UNSAT.
         """
+        result = self.solver.solve(self._assumptions_for(groups), budget=budget)
+        return self._model_of(result)
+
+    def check_batch(
+        self,
+        group_sets: Sequence[Sequence[int]],
+        budget=None,
+        stats_out=None,
+    ) -> List[Optional[Dict[str, bool]]]:
+        """Solve one :meth:`check` per entry of ``group_sets`` in a
+        single :meth:`Solver.solve_batch` call.
+
+        The batched entry point for level sweeps: each entry lists the
+        assertion groups to enforce for that solve, results come back in
+        order, and each solve is independent (every other live group is
+        switched off exactly as in ``check``, so a solve never observes
+        its batch neighbours).  ``stats_out``, when given, receives one
+        per-solve :func:`repro.smt.solver.stats_delta` per result.
+
+        An exhausted budget raises :class:`BudgetExhaustedError`; solves
+        before the exhausted one completed normally but their results
+        are not returned (callers retry the whole sweep).
+        """
+        assumption_sets = [self._assumptions_for(groups) for groups in group_sets]
+        results = self.solver.solve_batch(
+            assumption_sets, budget=budget, stats_out=stats_out
+        )
+        return [self._model_of(result) for result in results]
+
+    def _assumptions_for(self, groups: Sequence[int]) -> List[int]:
+        """Assumption literals enforcing exactly ``groups``: activate
+        each requested group, switch every other live group off."""
         active = set(groups)
         assumptions: List[int] = []
         for group_id in groups:
@@ -539,7 +642,9 @@ class FormulaBuilder:
         for group_id in self._all_groups:
             if group_id not in active and not self.solver.is_retired(group_id):
                 assumptions.append(sat.lit(group_id, False))
-        result = self.solver.solve(assumptions, budget=budget)
+        return assumptions
+
+    def _model_of(self, result: sat.SolverResult) -> Optional[Dict[str, bool]]:
         if not result.sat:
             if result.unknown:
                 raise BudgetExhaustedError(

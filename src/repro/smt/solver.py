@@ -26,15 +26,37 @@ among the assumptions switches the group on, and
 :meth:`Solver.retire_group` pins the activation variable false forever,
 turning every clause of the group (including learned clauses derived
 from them, which carry the guard literal) permanently inert.
+
+Clause storage comes in two flavours, selected by the ``clause_db``
+constructor argument (default :data:`DEFAULT_CLAUSE_DB`):
+
+- ``"arena"`` -- clause literals live in one flat ``array('i')`` with
+  (offset, length) headers in parallel lists; watcher lists and reason
+  slots hold small integer clause ids, and propagation walks a
+  ``memoryview`` over the literal arena.  ``_reduce_db`` marks its
+  victims dead (length 0) and a compaction pass reclaims their arena
+  storage once dead literals dominate, so long-lived warm solvers stop
+  accreting garbage.
+- ``"objects"`` -- the original per-clause ``_Clause`` objects,
+  retained for one release as a differential oracle for the arena.
+
+Both paths are decision-faithful transliterations of each other: same
+watch order, same analysis traversal, same reduction order -- so they
+return identical models and identical search statistics.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.budget import Budget
 from repro.errors import SolverError
 from repro.faults import failpoint
+
+#: Default clause storage backend; ``"objects"`` keeps the historical
+#: per-clause object path (scheduled for removal after one release).
+DEFAULT_CLAUSE_DB = "arena"
 
 
 def lit(var: int, positive: bool = True) -> int:
@@ -102,6 +124,11 @@ _UNASSIGNED = -1
 #: solve can overrun its deadline (well under a millisecond).
 _CHECK_EVERY = 128
 
+#: Compaction threshold: reclaim arena storage once at least this many
+#: literal slots are dead *and* the dead slots are the majority.  The
+#: floor keeps tiny solvers from compacting on every reduction.
+_COMPACT_MIN_DEAD = 1024
+
 
 class Solver:
     """CDCL SAT solver over integer variables.
@@ -120,21 +147,50 @@ class Solver:
     activity, popped lazily at decision time; ``"linear"`` is the
     reference O(num_vars) scan.  Ties break toward the lowest variable
     index in both, so the two modes make identical decisions.
+
+    ``clause_db`` selects the clause storage backend (see the module
+    docstring): ``"arena"`` (default) or ``"objects"``.
     """
 
-    def __init__(self, branching: str = "heap") -> None:
+    def __new__(cls, branching: str = "heap", clause_db: Optional[str] = None):
+        # `Solver(clause_db="objects")` transparently constructs the
+        # object-backed sibling; explicit subclasses (tests probe the
+        # backtracking hooks) always get the arena path they inherit.
+        db = clause_db if clause_db is not None else DEFAULT_CLAUSE_DB
+        if cls is Solver and db == "objects":
+            return super().__new__(ObjectDbSolver)
+        return super().__new__(cls)
+
+    def __init__(
+        self, branching: str = "heap", clause_db: Optional[str] = None
+    ) -> None:
         if branching not in ("heap", "linear"):
             raise SolverError(f"unknown branching mode {branching!r}")
+        db = clause_db if clause_db is not None else DEFAULT_CLAUSE_DB
+        if db not in ("arena", "objects"):
+            raise SolverError(f"unknown clause_db mode {db!r}")
         self.branching = branching
+        self.clause_db = db
         self.num_vars = 0
-        self.clauses: List[_Clause] = []
-        self.learned: List[_Clause] = []
-        # watches[l] = clauses currently watching literal l.
-        self.watches: List[List[_Clause]] = []
+        # Arena clause storage: all clause literals in one flat int
+        # array; clause `cid` occupies _lits[_c_off[cid] : _c_off[cid] +
+        # _c_len[cid]].  A length of 0 marks a deleted clause whose
+        # storage is reclaimed by _compact().  self.clauses/self.learned
+        # hold clause ids; so do watcher lists and reason slots.
+        self._lits = array("i")
+        self._c_off: List[int] = []
+        self._c_len: List[int] = []
+        self._c_act: List[float] = []
+        self._c_learned: List[bool] = []
+        self._dead_lits = 0
+        self.clauses: List[int] = []
+        self.learned: List[int] = []
+        # watches[l] = clause ids currently watching literal l.
+        self.watches: List[List[int]] = []
         # assigns[v] in {0 (false), 1 (true), _UNASSIGNED}.
         self.assigns: List[int] = []
         self.levels: List[int] = []
-        self.reasons: List[Optional[_Clause]] = []
+        self.reasons: List[Optional[int]] = []
         self.trail: List[int] = []
         self.trail_lim: List[int] = []
         self.prop_head = 0
@@ -150,6 +206,10 @@ class Solver:
         # lazily at pop time and re-inserted on unassignment.
         self.heap: List[int] = []
         self.heap_pos: List[int] = []
+        # Set when new variables arrived since the last bulk heap fill;
+        # _cancel_until re-inserts unassigned variables itself, so the
+        # O(V) fill only needs to run again after new_var().
+        self._heap_dirty = True
         self._ok = True
         # Activation variables of live and retired clause groups.
         self._groups: set[int] = set()
@@ -160,6 +220,10 @@ class Solver:
             "conflicts": 0,
             "restarts": 0,
             "learned": 0,
+            # Arena-era counters: watcher visits during propagation and
+            # completed learned-DB reductions.
+            "props": 0,
+            "db_reductions": 0,
         }
 
     def stats(self) -> Dict[str, int]:
@@ -169,8 +233,19 @@ class Solver:
         incremental consumers must take per-query deltas between
         snapshots (see :func:`stats_delta`) rather than reading the
         totals after each solve.
+
+        Two entries are gauges rather than counters: ``arena_bytes``
+        (current byte size of the literal arena, 0 on the object path)
+        and ``learned_live`` (learned clauses currently in the DB).
+        Their deltas measure growth between snapshots.
         """
-        return dict(self._stats)
+        snapshot = dict(self._stats)
+        snapshot["arena_bytes"] = self._arena_nbytes()
+        snapshot["learned_live"] = len(self.learned)
+        return snapshot
+
+    def _arena_nbytes(self) -> int:
+        return len(self._lits) * self._lits.itemsize
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -179,9 +254,10 @@ class Solver:
     def new_var(self) -> int:
         """Allocate a fresh variable and return its index."""
         v = self.num_vars
-        self.num_vars += 1
-        self.watches.append([])
-        self.watches.append([])
+        self.num_vars = v + 1
+        w = self.watches
+        w.append([])
+        w.append([])
         self.assigns.append(_UNASSIGNED)
         self.levels.append(0)
         self.reasons.append(None)
@@ -190,6 +266,7 @@ class Solver:
         # Joined to the decision heap in bulk at the next solve() call;
         # per-variable insertion here would cost O(V log V) per problem.
         self.heap_pos.append(-1)
+        self._heap_dirty = True
         return v
 
     def new_group(self) -> int:
@@ -277,29 +354,56 @@ class Solver:
             return
         if self.trail_lim:
             self._cancel_until(0)
+        # Root simplification and installation inlined (no _value /
+        # _install_clause calls): this is the single hottest solver
+        # entry point -- every Tseitin-emitted clause lands here.
+        assigns = self.assigns
         filtered = []
+        app = filtered.append
         for l in lits:
-            val = self._value(l)
-            if val == 1:
+            a = assigns[l >> 1]
+            if a == _UNASSIGNED:
+                app(l)
+            elif (a ^ (l & 1)) == 1:
                 return
-            if val == 0:
-                continue
-            filtered.append(l)
-        lits = filtered
-        if not lits:
+            # else: root-falsified literal, dropped
+        n = len(filtered)
+        if n == 0:
             self._ok = False
             return
-        if len(lits) == 1:
-            if not self._enqueue(lits[0], None):
+        if n == 1:
+            if not self._enqueue(filtered[0], None):
                 self._ok = False
             return
-        clause = _Clause(lits, learned=False)
-        self.clauses.append(clause)
-        self._watch(clause)
+        if self.clause_db == "arena":
+            cid = len(self._c_off)
+            self._c_off.append(len(self._lits))
+            self._c_len.append(n)
+            self._c_act.append(0.0)
+            self._c_learned.append(False)
+            self._lits.extend(filtered)
+            self.watches[filtered[0] ^ 1].append(cid)
+            self.watches[filtered[1] ^ 1].append(cid)
+            self.clauses.append(cid)
+        else:
+            self.clauses.append(self._install_clause(filtered, learned=False))
 
-    def _watch(self, clause: _Clause) -> None:
-        self.watches[neg(clause.lits[0])].append(clause)
-        self.watches[neg(clause.lits[1])].append(clause)
+    def _install_clause(self, lits: Sequence[int], learned: bool) -> int:
+        """Append a clause to the arena and watch it; returns its id."""
+        cid = len(self._c_off)
+        self._c_off.append(len(self._lits))
+        self._c_len.append(len(lits))
+        self._c_act.append(0.0)
+        self._c_learned.append(learned)
+        self._lits.extend(lits)
+        self.watches[lits[0] ^ 1].append(cid)
+        self.watches[lits[1] ^ 1].append(cid)
+        return cid
+
+    def _clause_lits(self, cid: int) -> Sequence[int]:
+        """Read-only copy of a clause's literals (cold paths only)."""
+        base = self._c_off[cid]
+        return self._lits[base : base + self._c_len[cid]]
 
     # ------------------------------------------------------------------
     # Assignment plumbing
@@ -316,7 +420,7 @@ class Solver:
     def _decision_level(self) -> int:
         return len(self.trail_lim)
 
-    def _enqueue(self, literal: int, reason: Optional[_Clause]) -> bool:
+    def _enqueue(self, literal: int, reason) -> bool:
         val = self._value(literal)
         if val == 0:
             return False
@@ -329,66 +433,90 @@ class Solver:
         self.trail.append(literal)
         return True
 
-    def _propagate(self) -> Optional[_Clause]:
-        """Exhaust unit propagation; returns a conflicting clause or None."""
-        while self.prop_head < len(self.trail):
-            literal = self.trail[self.prop_head]
-            self.prop_head += 1
-            self._stats["propagations"] += 1
-            watchers = self.watches[literal]
-            self.watches[literal] = []
-            i = 0
-            n = len(watchers)
-            while i < n:
-                clause = watchers[i]
-                i += 1
-                lits = clause.lits
-                # Ensure the falsified watch is lits[1].
-                if lits[0] == neg(literal):
-                    lits[0], lits[1] = lits[1], lits[0]
-                first = lits[0]
-                if self._value(first) == 1:
-                    self.watches[literal].append(clause)
-                    continue
-                # Look for a new watch.
-                found = False
-                for k in range(2, len(lits)):
-                    if self._value(lits[k]) != 0:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        self.watches[neg(lits[1])].append(clause)
-                        found = True
-                        break
-                if found:
-                    continue
-                # Clause is unit or conflicting.
-                self.watches[literal].append(clause)
-                if not self._enqueue(first, clause):
-                    # Conflict: restore remaining watchers and report.
-                    self.watches[literal].extend(watchers[i:])
-                    return clause
-        return None
+    def _propagate(self) -> Optional[int]:
+        """Exhaust unit propagation; returns a conflicting clause id or
+        None.
+
+        Walks a ``memoryview`` over the literal arena.  The view is
+        released before returning: a live view pins the array's buffer,
+        and the caller is about to append learned-clause literals.
+        """
+        trail = self.trail
+        assigns = self.assigns
+        watches = self.watches
+        offs = self._c_off
+        lens = self._c_len
+        stats = self._stats
+        mv = memoryview(self._lits)
+        try:
+            while self.prop_head < len(trail):
+                literal = trail[self.prop_head]
+                self.prop_head += 1
+                stats["propagations"] += 1
+                watchers = watches[literal]
+                watches[literal] = []
+                nl = literal ^ 1
+                i = 0
+                n = len(watchers)
+                stats["props"] += n
+                while i < n:
+                    cid = watchers[i]
+                    i += 1
+                    base = offs[cid]
+                    # Ensure the falsified watch is position 1.
+                    if mv[base] == nl:
+                        mv[base], mv[base + 1] = mv[base + 1], mv[base]
+                    first = mv[base]
+                    a = assigns[first >> 1]
+                    if a != _UNASSIGNED and a ^ (first & 1) == 1:
+                        watches[literal].append(cid)
+                        continue
+                    # Look for a new watch.
+                    found = False
+                    for k in range(base + 2, base + lens[cid]):
+                        lk = mv[k]
+                        ak = assigns[lk >> 1]
+                        if ak == _UNASSIGNED or ak ^ (lk & 1) != 0:
+                            mv[base + 1], mv[k] = mv[k], mv[base + 1]
+                            watches[mv[base + 1] ^ 1].append(cid)
+                            found = True
+                            break
+                    if found:
+                        continue
+                    # Clause is unit or conflicting.
+                    watches[literal].append(cid)
+                    if not self._enqueue(first, cid):
+                        # Conflict: restore remaining watchers and report.
+                        watches[literal].extend(watchers[i:])
+                        return cid
+            return None
+        finally:
+            mv.release()
 
     # ------------------------------------------------------------------
     # Conflict analysis
     # ------------------------------------------------------------------
 
-    def _analyze(self, conflict: _Clause) -> tuple[List[int], int]:
+    def _analyze(self, conflict: int) -> tuple[List[int], int]:
         """First-UIP analysis; returns (learned clause, backjump level)."""
         learned: List[int] = [0]  # placeholder for the asserting literal
         seen = [False] * self.num_vars
         counter = 0
         literal = -1
-        reason: Optional[_Clause] = conflict
+        reason: Optional[int] = conflict
         index = len(self.trail)
+        arena = self._lits
+        offs = self._c_off
+        lens = self._c_len
         while True:
             assert reason is not None
             self._bump_clause(reason)
             start = 0 if literal == -1 else 1
-            lits = reason.lits
+            base = offs[reason]
             # For the conflict clause consider all literals; for a reason
             # clause skip the asserting literal itself (position 0).
-            for k in range(start, len(lits)):
-                q = lits[k] if literal == -1 or lits[k] != literal else None
+            for k in range(base + start, base + lens[reason]):
+                q = arena[k] if literal == -1 or arena[k] != literal else None
                 if q is None:
                     continue
                 v = lit_var(q)
@@ -414,10 +542,13 @@ class Solver:
             reason = self.reasons[v]
             # Reason clause has the asserting literal at position 0; rotate
             # if necessary.
-            if reason is not None and reason.lits[0] != literal:
-                rl = reason.lits
-                idx = rl.index(literal)
-                rl[0], rl[idx] = rl[idx], rl[0]
+            if reason is not None:
+                rbase = offs[reason]
+                if arena[rbase] != literal:
+                    idx = rbase
+                    while arena[idx] != literal:
+                        idx += 1
+                    arena[rbase], arena[idx] = arena[idx], arena[rbase]
         # Minimise: drop literals implied by the rest (cheap self-subsumption).
         learned = self._minimize(learned, seen)
         if len(learned) == 1:
@@ -434,6 +565,7 @@ class Solver:
         for l in learned:
             seen[lit_var(l)] = True
         out = [learned[0]]
+        arena = self._lits
         for l in learned[1:]:
             reason = self.reasons[lit_var(l)]
             if reason is None:
@@ -441,10 +573,12 @@ class Solver:
                 continue
             # Redundant if every other literal of the reason is already in
             # the learned clause (or assigned at level 0).
+            base = self._c_off[reason]
+            nl = neg(l)
             redundant = all(
                 seen[lit_var(q)] or self.levels[lit_var(q)] == 0
-                for q in reason.lits
-                if q != neg(l)
+                for q in arena[base : base + self._c_len[reason]]
+                if q != nl
             )
             if not redundant:
                 out.append(l)
@@ -472,12 +606,13 @@ class Solver:
     def _decay_var_activity(self) -> None:
         self.var_inc /= self.var_decay
 
-    def _bump_clause(self, clause: _Clause) -> None:
-        if clause.learned:
-            clause.activity += self.cla_inc
-            if clause.activity > 1e20:
+    def _bump_clause(self, cid: int) -> None:
+        if self._c_learned[cid]:
+            self._c_act[cid] += self.cla_inc
+            if self._c_act[cid] > 1e20:
+                acts = self._c_act
                 for c in self.learned:
-                    c.activity *= 1e-20
+                    acts[c] *= 1e-20
                 self.cla_inc *= 1e-20
 
     def _decay_clause_activity(self) -> None:
@@ -597,22 +732,59 @@ class Solver:
     # Learned clause management
     # ------------------------------------------------------------------
 
+    def _learn(self, lits: List[int]) -> int:
+        """Install a freshly learned clause; returns its reason handle."""
+        cid = self._install_clause(lits, learned=True)
+        self.learned.append(cid)
+        return cid
+
     def _reduce_db(self) -> None:
-        self.learned.sort(key=lambda c: c.activity)
+        acts = self._c_act
+        self.learned.sort(key=lambda cid: acts[cid])
         keep_from = len(self.learned) // 2
         removed = set()
-        for c in self.learned[:keep_from]:
-            if len(c.lits) > 2 and not self._is_reason(c):
-                removed.add(id(c))
+        for cid in self.learned[:keep_from]:
+            if self._c_len[cid] > 2 and not self._is_reason(cid):
+                removed.add(cid)
         if not removed:
             return
-        self.learned = [c for c in self.learned if id(c) not in removed]
+        self.learned = [cid for cid in self.learned if cid not in removed]
         for wl in self.watches:
-            wl[:] = [c for c in wl if id(c) not in removed]
+            wl[:] = [cid for cid in wl if cid not in removed]
+        # Mark the victims dead; their arena storage is reclaimed in
+        # bulk once dead slots dominate the arena.
+        for cid in removed:
+            self._dead_lits += self._c_len[cid]
+            self._c_len[cid] = 0
+        self._stats["db_reductions"] += 1
+        if (
+            self._dead_lits >= _COMPACT_MIN_DEAD
+            and self._dead_lits * 2 > len(self._lits)
+        ):
+            self._compact()
 
-    def _is_reason(self, clause: _Clause) -> bool:
-        v = lit_var(clause.lits[0])
-        return self.reasons[v] is clause and self.assigns[v] != _UNASSIGNED
+    def _compact(self) -> None:
+        """Rewrite the literal arena without dead clauses.
+
+        Clause ids are stable (headers are rewritten in place), so
+        watcher lists and reason slots survive compaction untouched.
+        """
+        fresh = array("i")
+        arena = self._lits
+        offs = self._c_off
+        lens = self._c_len
+        for cid in range(len(offs)):
+            length = lens[cid]
+            if length:
+                base = offs[cid]
+                offs[cid] = len(fresh)
+                fresh.extend(arena[base : base + length])
+        self._lits = fresh
+        self._dead_lits = 0
+
+    def _is_reason(self, cid: int) -> bool:
+        v = self._lits[self._c_off[cid]] >> 1
+        return self.reasons[v] == cid and self.assigns[v] != _UNASSIGNED
 
     # ------------------------------------------------------------------
     # Main loop
@@ -637,8 +809,12 @@ class Solver:
         if conflict is not None:
             self._ok = False
             return SolverResult(False)
-        if self.branching != "linear":
+        if self.branching != "linear" and self._heap_dirty:
+            # _cancel_until re-inserts everything it unassigns, so the
+            # heap stays complete between solves; only fresh variables
+            # require the bulk fill.
             self._heap_fill()
+            self._heap_dirty = False
 
         restart_idx = 0
         conflicts_until_restart = 32 * _luby(restart_idx)
@@ -682,11 +858,9 @@ class Solver:
                     if not self._enqueue(learned_lits[0], None):
                         return SolverResult(False)
                 else:
-                    clause = _Clause(learned_lits, learned=True)
-                    self.learned.append(clause)
+                    reason = self._learn(learned_lits)
                     self._stats["learned"] += 1
-                    self._watch(clause)
-                    self._enqueue(learned_lits[0], clause)
+                    self._enqueue(learned_lits[0], reason)
                 self._decay_var_activity()
                 self._decay_clause_activity()
                 continue
@@ -720,6 +894,34 @@ class Solver:
             self.trail_lim.append(len(self.trail))
             self._enqueue(next_lit, None)
 
+    def solve_batch(
+        self,
+        assumption_sets: Sequence[Sequence[int]],
+        budget: Optional[Budget] = None,
+        stats_out: Optional[List[Dict[str, int]]] = None,
+    ) -> List[SolverResult]:
+        """Solve a sequence of assumption sets on the warm solver.
+
+        Equivalent to calling :meth:`solve` once per assumption set, in
+        order, but in a single call -- the batched entry point for level
+        sweeps, which otherwise pay one Python round-trip through the
+        formula/encoding stack per level.  When ``stats_out`` is given,
+        one per-solve :func:`stats_delta` is appended to it per result.
+
+        An exhausted budget stops the batch: the unknown result is the
+        last entry of the (possibly shorter) returned list.
+        """
+        results: List[SolverResult] = []
+        for assumptions in assumption_sets:
+            before = self.stats() if stats_out is not None else None
+            result = self.solve(assumptions, budget=budget)
+            if stats_out is not None:
+                stats_out.append(stats_delta(self.stats(), before))
+            results.append(result)
+            if result.unknown:
+                break
+        return results
+
     def _assumption_level(self, assumptions: Sequence[int]) -> int:
         """Number of leading decision levels forced by assumptions.
 
@@ -751,13 +953,196 @@ class Solver:
         return None
 
 
+class ObjectDbSolver(Solver):
+    """The historical per-clause-object storage path.
+
+    Kept for one release behind ``Solver(clause_db="objects")`` as a
+    differential oracle for the arena: same decisions, same models, same
+    statistics.  Watcher lists and reason slots hold ``_Clause`` objects
+    instead of arena clause ids; every override below is the pre-arena
+    implementation verbatim.
+    """
+
+    def __init__(
+        self, branching: str = "heap", clause_db: Optional[str] = None
+    ) -> None:
+        super().__init__(branching, clause_db="objects")
+        self.clauses: List[_Clause] = []
+        self.learned: List[_Clause] = []
+        self.watches: List[List[_Clause]] = [[] for _ in self.watches]
+
+    def _arena_nbytes(self) -> int:
+        return 0
+
+    def _install_clause(self, lits: Sequence[int], learned: bool) -> _Clause:
+        clause = _Clause(list(lits), learned=learned)
+        self.watches[neg(clause.lits[0])].append(clause)
+        self.watches[neg(clause.lits[1])].append(clause)
+        return clause
+
+    def _clause_lits(self, clause: _Clause) -> Sequence[int]:
+        return clause.lits
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Exhaust unit propagation; returns a conflicting clause or None."""
+        while self.prop_head < len(self.trail):
+            literal = self.trail[self.prop_head]
+            self.prop_head += 1
+            self._stats["propagations"] += 1
+            watchers = self.watches[literal]
+            self.watches[literal] = []
+            i = 0
+            n = len(watchers)
+            self._stats["props"] += n
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # Ensure the falsified watch is lits[1].
+                if lits[0] == neg(literal):
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == 1:
+                    self.watches[literal].append(clause)
+                    continue
+                # Look for a new watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self.watches[neg(lits[1])].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                self.watches[literal].append(clause)
+                if not self._enqueue(first, clause):
+                    # Conflict: restore remaining watchers and report.
+                    self.watches[literal].extend(watchers[i:])
+                    return clause
+        return None
+
+    def _analyze(self, conflict: _Clause) -> tuple[List[int], int]:
+        """First-UIP analysis; returns (learned clause, backjump level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * self.num_vars
+        counter = 0
+        literal = -1
+        reason: Optional[_Clause] = conflict
+        index = len(self.trail)
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            start = 0 if literal == -1 else 1
+            lits = reason.lits
+            # For the conflict clause consider all literals; for a reason
+            # clause skip the asserting literal itself (position 0).
+            for k in range(start, len(lits)):
+                q = lits[k] if literal == -1 or lits[k] != literal else None
+                if q is None:
+                    continue
+                v = lit_var(q)
+                if not seen[v] and self.levels[v] > 0:
+                    seen[v] = True
+                    self._bump_var(v)
+                    if self.levels[v] >= self._decision_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Pick the next trail literal to resolve on.
+            while True:
+                index -= 1
+                literal = self.trail[index]
+                if seen[lit_var(literal)]:
+                    break
+            v = lit_var(literal)
+            seen[v] = False
+            counter -= 1
+            if counter == 0:
+                learned[0] = neg(literal)
+                break
+            reason = self.reasons[v]
+            # Reason clause has the asserting literal at position 0; rotate
+            # if necessary.
+            if reason is not None and reason.lits[0] != literal:
+                rl = reason.lits
+                idx = rl.index(literal)
+                rl[0], rl[idx] = rl[idx], rl[0]
+        # Minimise: drop literals implied by the rest (cheap self-subsumption).
+        learned = self._minimize(learned, seen)
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest level in the clause.
+        max_i = 1
+        for k in range(2, len(learned)):
+            if self.levels[lit_var(learned[k])] > self.levels[lit_var(learned[max_i])]:
+                max_i = k
+        learned[1], learned[max_i] = learned[max_i], learned[1]
+        return learned, self.levels[lit_var(learned[1])]
+
+    def _minimize(self, learned: List[int], seen: List[bool]) -> List[int]:
+        for l in learned:
+            seen[lit_var(l)] = True
+        out = [learned[0]]
+        for l in learned[1:]:
+            reason = self.reasons[lit_var(l)]
+            if reason is None:
+                out.append(l)
+                continue
+            # Redundant if every other literal of the reason is already in
+            # the learned clause (or assigned at level 0).
+            redundant = all(
+                seen[lit_var(q)] or self.levels[lit_var(q)] == 0
+                for q in reason.lits
+                if q != neg(l)
+            )
+            if not redundant:
+                out.append(l)
+        for l in learned:
+            seen[lit_var(l)] = False
+        return out
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if clause.learned:
+            clause.activity += self.cla_inc
+            if clause.activity > 1e20:
+                for c in self.learned:
+                    c.activity *= 1e-20
+                self.cla_inc *= 1e-20
+
+    def _learn(self, lits: List[int]) -> _Clause:
+        clause = self._install_clause(lits, learned=True)
+        self.learned.append(clause)
+        return clause
+
+    def _reduce_db(self) -> None:
+        self.learned.sort(key=lambda c: c.activity)
+        keep_from = len(self.learned) // 2
+        removed = set()
+        for c in self.learned[:keep_from]:
+            if len(c.lits) > 2 and not self._is_reason(c):
+                removed.add(id(c))
+        if not removed:
+            return
+        self.learned = [c for c in self.learned if id(c) not in removed]
+        for wl in self.watches:
+            wl[:] = [c for c in wl if id(c) not in removed]
+        self._stats["db_reductions"] += 1
+
+    def _is_reason(self, clause: _Clause) -> bool:
+        v = lit_var(clause.lits[0])
+        return self.reasons[v] is clause and self.assigns[v] != _UNASSIGNED
+
+
 def stats_delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
     """Per-query counter delta between two :meth:`Solver.stats` snapshots.
 
     Incremental sessions solve many queries on one warm solver; billing a
     query with the raw totals would double-count every earlier query's
     decisions and propagations, so accounting subtracts the snapshot
-    taken just before the solve.
+    taken just before the solve.  Gauge entries (``arena_bytes``,
+    ``learned_live``) delta to their growth between the snapshots.
     """
     return {key: after[key] - before.get(key, 0) for key in after}
 

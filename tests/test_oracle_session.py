@@ -104,6 +104,159 @@ class TestDifferential:
         assert witness.fields1 == fields1 and witness.fields2 == fields2
 
 
+class TestClauseDbDifferential:
+    """The arena clause store against the retired object store, corpus
+    wide: the arena is a decision-faithful transliteration, so warm
+    sessions over either backend must produce identical witnesses on
+    every pair x mode -- not just identical verdicts."""
+
+    @pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=lambda b: b.name)
+    def test_all_pairs_all_modes(self, bench, monkeypatch):
+        import repro.smt.solver as solver_module
+
+        summaries = summarize_program(bench.program())
+        planner = QueryPlanner()
+        arena_pool = OracleSession()
+        objects_pool = OracleSession()
+        checked = 0
+        for level in ALL_LEVELS:
+            plan = planner.plan(summaries, level, True)
+            for spec in plan.queries():
+                key = spec.cache_key[:3] + (True,)
+                # Sessions warm lazily, so the backend default must be
+                # right whenever either pool touches its solver.
+                monkeypatch.setattr(
+                    solver_module, "DEFAULT_CLAUSE_DB", "arena"
+                )
+                arena = arena_pool.solve(
+                    spec.c1, spec.c2, spec.summary_b, level, key=key
+                )
+                monkeypatch.setattr(
+                    solver_module, "DEFAULT_CLAUSE_DB", "objects"
+                )
+                objects = objects_pool.solve(
+                    spec.c1, spec.c2, spec.summary_b, level, key=key
+                )
+                checked += 1
+                assert arena.witness == objects.witness, (
+                    bench.name, level.name, spec.a_name,
+                    spec.c1.label, spec.c2.label, spec.summary_b.name,
+                )
+                assert arena.solved == objects.solved
+        assert checked > 0
+        for key, sess in objects_pool._sessions.items():
+            if sess._encoder is not None:
+                assert (
+                    sess._encoder.builder.solver.clause_db == "objects"
+                ), key
+
+
+class TestBatchedSweeps:
+    """``solve_batch``/``query_batch``: one warm assumption sweep per
+    triple, same verdicts as back-to-back per-level queries."""
+
+    @pytest.mark.parametrize("name", ["Courseware", "SmallBank"])
+    def test_solve_batch_matches_sequential(self, name):
+        summaries = summarize_program(BY_NAME[name].program())
+        specs = QueryPlanner().plan(summaries, EC, True).queries()
+        seq_pool = OracleSession()
+        batch_pool = OracleSession()
+        levels = list(ALL_LEVELS)
+        for spec in specs:
+            key = spec.cache_key[:3] + (True,)
+            seq = [
+                seq_pool.solve(
+                    spec.c1, spec.c2, spec.summary_b, level, key=key
+                )
+                for level in levels
+            ]
+            batch = batch_pool.solve_batch(
+                spec.c1, spec.c2, spec.summary_b, levels, key=key
+            )
+            assert len(batch) == len(levels)
+            for level, s, b in zip(levels, seq, batch):
+                # Verdicts agree on every level; EC comes first in both
+                # schedules, so its witness is bit-identical.  Later
+                # levels may reuse different remembered models (the
+                # batch screens before solving), which shifts witness
+                # fields but never the verdict.
+                assert (s.witness is None) == (b.witness is None), (
+                    name, level.name, spec.a_name,
+                    spec.c1.label, spec.c2.label,
+                )
+                assert s.solved == b.solved
+                if level is EC:
+                    assert s.witness == b.witness
+        assert seq_pool.counters()["queries"] == (
+            batch_pool.counters()["queries"]
+        )
+
+    def test_single_level_batch_equals_query(self):
+        summaries = summarize_program(BY_NAME["Courseware"].program())
+        specs = QueryPlanner().plan(summaries, EC, True).queries()
+        pool_a = OracleSession()
+        pool_b = OracleSession()
+        for spec in specs:
+            key = spec.cache_key[:3] + (True,)
+            one = pool_a.solve(
+                spec.c1, spec.c2, spec.summary_b, EC, key=key
+            )
+            (batched,) = pool_b.solve_batch(
+                spec.c1, spec.c2, spec.summary_b, [EC], key=key
+            )
+            assert one.witness == batched.witness
+            assert one.solved == batched.solved
+
+    def test_query_batch_counts_and_prefilter(self):
+        summaries = summarize_program(BY_NAME["Courseware"].program())
+        # Find a triple with no disjuncts to exercise the screen path.
+        empty = None
+        for summary in summaries.values():
+            for c1, c2 in summary.ordered_pairs():
+                for other in summaries.values():
+                    session = PairSession(c1, c2, other)
+                    session._ensure_warm()
+                    if not session._disjuncts:
+                        empty = (c1, c2, other)
+                        break
+                if empty:
+                    break
+            if empty:
+                break
+        if empty is None:
+            pytest.skip("corpus pair with empty disjuncts not found")
+        c1, c2, other = empty
+        session = PairSession(c1, c2, other)
+        results = session.query_batch([EC, CC], use_prefilter=True)
+        assert [(w, s) for w, s, _ in results] == [(None, False)] * 2
+        assert session.queries == 2
+        results = session.query_batch([EC, CC], use_prefilter=False)
+        assert [(w, s) for w, s, _ in results] == [(None, True)] * 2
+        assert session.queries == 4
+
+    def test_query_batch_model_reuse_screen(self):
+        summaries = summarize_program(BY_NAME["SmallBank"].program())
+        specs = QueryPlanner().plan(summaries, EC, True).queries()
+        pool = OracleSession()
+        hit = False
+        for spec in specs:
+            key = spec.cache_key[:3] + (True,)
+            first = pool.solve_batch(
+                spec.c1, spec.c2, spec.summary_b, [EC], key=key
+            )[0]
+            if first.witness is None:
+                continue
+            before = pool.counters()["model_hits"]
+            again = pool.solve_batch(
+                spec.c1, spec.c2, spec.summary_b, [EC], key=key
+            )[0]
+            assert again.witness == first.witness
+            assert pool.counters()["model_hits"] == before + 1
+            hit = True
+            break
+        assert hit, "corpus has no SAT EC pair"
+
+
 class TestActivationGroupStress:
     """Randomized add/retire/solve stress for the activation-literal
     machinery: the incremental solver must agree with a fresh solver

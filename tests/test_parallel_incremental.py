@@ -62,7 +62,12 @@ class TestDifferential:
     def test_all_pairs_all_modes(self, bench):
         summaries = summarize_program(bench.program())
         planner = QueryPlanner()
-        strategy = ParallelIncrementalStrategy(max_workers=WORKERS)
+        # work_stealing off: the shadow replay below needs every triple
+        # to stay on its sha1 shard (a stolen chunk warms the thief's
+        # pool instead).
+        strategy = ParallelIncrementalStrategy(
+            max_workers=WORKERS, work_stealing=False
+        )
         # One shadow pool per shard, fed the exact per-shard sequence the
         # worker receives: equality proves the pool faithfully runs the
         # in-process warm-session code on every query.
@@ -182,8 +187,12 @@ class TestShardAffinity:
 
     def test_sessions_never_rebuilt_cold_twice(self, courseware):
         """Level sweeps on one strategy instance reuse each triple's
-        warm worker session instead of re-creating it."""
-        strategy = ParallelIncrementalStrategy(max_workers=WORKERS)
+        warm worker session instead of re-creating it (strict affinity
+        needs work stealing off: a stolen chunk builds cold on the
+        thief)."""
+        strategy = ParallelIncrementalStrategy(
+            max_workers=WORKERS, work_stealing=False
+        )
         summaries = summarize_program(courseware)
         planner = QueryPlanner()
         total_specs = 0
@@ -204,6 +213,100 @@ class TestShardAffinity:
         assert counters["created"] == len(triples)
         assert counters["reused"] == total_specs - len(triples)
         assert counters["queries"] == total_specs
+
+
+class TestWorkStealing:
+    """The chunked scheduler: a worker whose queue runs dry steals the
+    tail of the longest queue instead of idling."""
+
+    def test_skewed_shard_is_stolen(self, courseware, monkeypatch):
+        import repro.analysis.pipeline as pipeline_module
+
+        summaries = summarize_program(courseware)
+        specs = QueryPlanner().plan(summaries, EC, True).queries()
+        # Skew: route every triple to shard 0, so worker 1 starts idle
+        # and can only make progress by stealing.
+        monkeypatch.setattr(
+            pipeline_module, "shard_of", lambda key, shards: 0
+        )
+        strategy = ParallelIncrementalStrategy(max_workers=WORKERS)
+        try:
+            outcomes = strategy.run(specs, EC, True)
+            stats = strategy.shard_stats()
+        finally:
+            strategy.close()
+        assert len(outcomes) == len(specs)
+        for spec, outcome in zip(specs, outcomes):
+            cold = solve_query(spec.c1, spec.c2, spec.summary_b, EC, True)
+            assert (cold.witness is None) == (outcome.witness is None)
+        # The idle worker stole and did real work: no worker idles
+        # while another's queue is non-empty.
+        assert stats["steal_count"] > 0
+        by_worker = {w["worker"]: w for w in stats["workers"]}
+        assert by_worker[1]["chunks"] > 0
+        assert by_worker[1]["stolen_chunks"] > 0
+        assert by_worker[0]["utilization"] > 0
+        assert stats["scheduler_seconds"] > 0
+
+    def test_stealing_disabled_leaves_skewed_queue_alone(
+        self, courseware, monkeypatch
+    ):
+        import repro.analysis.pipeline as pipeline_module
+
+        summaries = summarize_program(courseware)
+        specs = QueryPlanner().plan(summaries, EC, True).queries()
+        monkeypatch.setattr(
+            pipeline_module, "shard_of", lambda key, shards: 0
+        )
+        strategy = ParallelIncrementalStrategy(
+            max_workers=WORKERS, work_stealing=False
+        )
+        try:
+            outcomes = strategy.run(specs, EC, True)
+            stats = strategy.shard_stats()
+        finally:
+            strategy.close()
+        assert len(outcomes) == len(specs)
+        assert stats["steal_count"] == 0
+        by_worker = {w["worker"]: w for w in stats["workers"]}
+        assert by_worker[0]["chunks"] > 0
+        assert by_worker[1]["chunks"] == 0
+
+    def test_run_levels_sweep_matches_cold_verdicts(self, courseware):
+        summaries = summarize_program(courseware)
+        specs = QueryPlanner().plan(summaries, EC, True).queries()
+        sweep = [(EC, CC, RR) for _ in specs]
+        strategy = ParallelIncrementalStrategy(max_workers=WORKERS)
+        try:
+            swept = strategy.run_levels(specs, sweep, True)
+        finally:
+            strategy.close()
+        assert len(swept) == len(specs)
+        for spec, outs in zip(specs, swept):
+            assert len(outs) == 3
+            for level, outcome in zip((EC, CC, RR), outs):
+                cold = solve_query(
+                    spec.c1, spec.c2, spec.summary_b, level, True
+                )
+                assert (cold.witness is None) == (outcome.witness is None)
+                if level is EC and outcome.witness is not None:
+                    # The first EC solve of a virgin session matches the
+                    # cold solver bit for bit.
+                    assert outcome.witness == cold.witness
+
+    def test_run_levels_degrades_in_process(self, courseware):
+        summaries = summarize_program(courseware)
+        specs = QueryPlanner().plan(summaries, EC, True).queries()
+        sweep = [(EC, CC) for _ in specs]
+        strategy = ParallelIncrementalStrategy(max_workers=1)
+        try:
+            swept = strategy.run_levels(specs, sweep, True)
+            assert strategy._executors is None
+            assert strategy.shard_stats()["steal_count"] == 0
+        finally:
+            strategy.close()
+        assert len(swept) == len(specs)
+        assert all(len(outs) == 2 for outs in swept)
 
 
 class TestDegradation:

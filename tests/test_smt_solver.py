@@ -2,12 +2,14 @@
 cross-check against brute-force enumeration."""
 
 import itertools
+import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.budget import Budget
 from repro.errors import SolverError
-from repro.smt.solver import Solver, lit, neg, lit_var, lit_sign
+from repro.smt.solver import Solver, lit, neg, lit_var, lit_sign, stats_delta
 
 
 class TestLiteralEncoding:
@@ -342,3 +344,203 @@ class TestIncremental:
         s.solve()
         assert s.stats()["conflicts"] > 0
         assert s.stats()["decisions"] > 0
+
+
+def _batch_instance(seed=58):
+    """Twin solvers over the same deterministic 3-SAT instance plus a
+    spread of assumption sets (satisfiable, conflicting, empty)."""
+    a, b = Solver(), Solver()
+    vs, clauses, assumptions = _assumption_instance(a, seed=seed)
+    for _ in vs:
+        b.new_var()
+    for c in clauses:
+        b.add_clause(c)
+    sets = [
+        list(assumptions),
+        [],
+        [neg(assumptions[0])],
+        [assumptions[0], neg(assumptions[1])],
+        [neg(lit(vs[5])), lit(vs[7]), lit(vs[19])],
+    ]
+    return a, b, vs, sets
+
+
+class TestSolveBatch:
+    """solve_batch is the batched entry point for level sweeps: it must
+    be observationally identical to a sequential loop of solve calls."""
+
+    def test_matches_sequential_in_order(self):
+        batched, sequential, vs, sets = _batch_instance()
+        batch = batched.solve_batch(sets)
+        loop = [sequential.solve(s) for s in sets]
+        assert len(batch) == len(sets)
+        for got, want in zip(batch, loop):
+            assert got.sat == want.sat
+            assert not got.unknown and not want.unknown
+            if got.sat:
+                assert [got.value(v) for v in vs] == [want.value(v) for v in vs]
+
+    def test_verdicts_independent_of_batch_composition(self):
+        _, _, _, sets = _batch_instance()
+        solo = []
+        for aset in sets:
+            s = Solver()
+            _assumption_instance(s)
+            solo.append(s.solve_batch([aset])[0].sat)
+        full = Solver()
+        _assumption_instance(full)
+        assert [r.sat for r in full.solve_batch(sets)] == solo
+        rev = Solver()
+        _assumption_instance(rev)
+        assert [r.sat for r in rev.solve_batch(list(reversed(sets)))] == list(
+            reversed(solo)
+        )
+
+    def test_stats_out_one_delta_per_solve(self):
+        s = Solver()
+        _, _, assumptions = _assumption_instance(s)
+        sets = [list(assumptions), [], [neg(assumptions[0])]]
+        before = s.stats()
+        deltas = []
+        results = s.solve_batch(sets, stats_out=deltas)
+        total = stats_delta(s.stats(), before)
+        assert len(deltas) == len(results) == len(sets)
+        for key in ("props", "decisions", "conflicts", "arena_bytes"):
+            # Consecutive snapshots chain, so per-solve deltas telescope
+            # to the whole-batch delta.
+            assert sum(d[key] for d in deltas) == total[key]
+        assert all(d["props"] >= 0 for d in deltas)
+
+    def test_exhausted_budget_truncates_batch(self):
+        s = _pigeonhole(6, 5)
+        results = s.solve_batch([[], [], []], budget=Budget(max_conflicts=1))
+        assert len(results) < 3
+        assert results[-1].unknown
+        # The solver stays reusable after the exhausted query.
+        assert not s.solve().sat
+
+    def test_empty_batch(self):
+        assert Solver().solve_batch([]) == []
+
+
+class TestClauseDbSelection:
+    def test_default_is_arena(self):
+        s = Solver()
+        assert s.clause_db == "arena"
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([lit(a), lit(b)])
+        assert s.stats()["arena_bytes"] > 0
+
+    def test_objects_backend_keeps_zero_arena(self):
+        s = Solver(clause_db="objects")
+        assert s.clause_db == "objects"
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([lit(a), lit(b)])
+        assert s.stats()["arena_bytes"] == 0
+        assert s.solve().sat
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SolverError):
+            Solver(clause_db="bogus")
+
+
+class TestArenaCompactionStress:
+    """Randomized add/retire/reduce churn on the arena backend, mirrored
+    against the retained object backend.  The compaction floor is
+    lowered so ``_reduce_db`` actually reclaims arena storage in-test."""
+
+    NUM_VARS = 24
+
+    def _model_satisfies(self, result, clauses):
+        return all(
+            any(result.value(lit_var(l)) == lit_sign(l) for l in c)
+            for c in clauses
+        )
+
+    def _seed_hard_group(self, s):
+        """A pigeonhole(6,5) sub-problem in its own group: refuting it
+        once leaves a learned DB that dominates the original clauses,
+        which is the long-lived-warm-solver shape compaction targets."""
+        hard = s.new_group()
+        v = [[s.new_var() for _ in range(5)] for _ in range(6)]
+        for i in range(6):
+            s.add_clause([lit(v[i][j]) for j in range(5)], group=hard)
+        for j in range(5):
+            for i1 in range(6):
+                for i2 in range(i1 + 1, 6):
+                    s.add_clause(
+                        [neg(lit(v[i1][j])), neg(lit(v[i2][j]))], group=hard
+                    )
+        assert not s.solve([s.group_literal(hard)]).sat
+        s.retire_group(hard)
+
+    def test_randomized_add_retire_reduce(self, monkeypatch):
+        import repro.smt.solver as solver_module
+
+        monkeypatch.setattr(solver_module, "_COMPACT_MIN_DEAD", 16)
+        rng = random.Random(2024)
+        arena = Solver()
+        objects = Solver(clause_db="objects")
+        for s in (arena, objects):
+            for _ in range(self.NUM_VARS):
+                s.new_var()
+            self._seed_hard_group(s)
+        groups = []  # [(arena_group, objects_group, clauses)]
+        shrank = False
+        for round_no in range(10):
+            ga, go = arena.new_group(), objects.new_group()
+            body = [
+                [
+                    lit(rng.randrange(self.NUM_VARS), rng.random() < 0.5)
+                    for _ in range(3)
+                ]
+                for _ in range(30)
+            ]
+            for c in body:
+                arena.add_clause(c, group=ga)
+                objects.add_clause(c, group=go)
+            groups.append((ga, go, body))
+            # A few solves per round under varying assumptions keeps the
+            # conflict analysis (and so the learned DB) churning.
+            for _ in range(3):
+                active = [g for g in groups if not arena.is_retired(g[0])]
+                extra = [
+                    lit(rng.randrange(self.NUM_VARS), rng.random() < 0.5)
+                    for _ in range(rng.randrange(3))
+                ]
+                ra = arena.solve(
+                    [arena.group_literal(g) for g, _, _ in active] + extra
+                )
+                ro = objects.solve(
+                    [objects.group_literal(g) for _, g, _ in active] + extra
+                )
+                assert ra.sat == ro.sat, f"round {round_no}"
+                if ra.sat:
+                    assert self._model_satisfies(
+                        ra, [c for _, _, body in active for c in body]
+                    )
+            before = arena.stats()["arena_bytes"]
+            arena._reduce_db()
+            objects._reduce_db()
+            shrank = shrank or arena.stats()["arena_bytes"] < before
+            if rng.random() < 0.4:
+                victim = rng.choice(groups)
+                arena.retire_group(victim[0])
+                objects.retire_group(victim[1])
+        stats = arena.stats()
+        # _reduce_db is a no-op (and doesn't count) on rounds with no
+        # eligible victims, so only a lower bound is stable here.
+        assert stats["db_reductions"] >= 1
+        assert stats["learned_live"] == len(arena.learned)
+        assert shrank, "no _reduce_db round ever compacted the arena"
+        # The churned warm solver still agrees with a cold solver on the
+        # surviving formula.
+        live = [g for g in groups if not arena.is_retired(g[0])]
+        cold = Solver()
+        for _ in range(self.NUM_VARS):
+            cold.new_var()
+        for _, _, body in live:
+            for c in body:
+                cold.add_clause(c)
+        warm = arena.solve([arena.group_literal(g) for g, _, _ in live])
+        assert warm.sat == cold.solve().sat
