@@ -17,7 +17,13 @@ Unconditional gates (any host, any shape):
   through worker processes matched direct library calls byte-for-byte;
 - the required fields (``passes.single``, ``passes.multi``,
   ``multi_worker_speedup``, ``differential``) are present, so the bench
-  cannot silently stop measuring the subsystem.
+  cannot silently stop measuring the subsystem;
+- when the fresh run carries a ``fairness`` record (and always under
+  ``--require-fairness``): the trickling tenant completed at least
+  ``--min-victim-ratio`` of its jobs under the flooding tenant's
+  backlog, and no job was lost or duplicated.  Victim latency is
+  reported, not gated -- the 3x-solo latency bound lives in the
+  dedicated ``repro chaos --scenario tenant-isolation`` experiment.
 
 Shape-conditional gates:
 
@@ -61,6 +67,43 @@ def pass_shape(data: dict, name: str):
 
 def same_shape(fresh: dict, baseline: dict, name: str) -> bool:
     return pass_shape(fresh, name) == pass_shape(baseline, name)
+
+
+def check_fairness(
+    fresh: dict,
+    min_victim_ratio: float,
+    require_fairness: bool,
+) -> list:
+    """Gate the two-tenant fairness record (when present/required)."""
+    failures = []
+    fairness = fresh.get("fairness")
+    if fairness is None:
+        if require_fairness:
+            failures.append(
+                "fresh run has no fairness record but --require-fairness "
+                "is set (two-tenant pass disabled or silently dropped)"
+            )
+        return failures
+    ratio = fairness.get("victim_completion_ratio", 0.0)
+    if ratio < min_victim_ratio:
+        failures.append(
+            f"victim tenant completed only {ratio:.0%} of its jobs under "
+            f"the aggressor flood (floor {min_victim_ratio:.0%}): the "
+            "scheduler is starving the trickling tenant"
+        )
+    if fairness.get("lost_or_duplicated"):
+        failures.append(
+            f"fairness pass lost or duplicated jobs: store holds "
+            f"{fairness.get('jobs_in_store')} rows for "
+            f"{fairness.get('jobs_expected')} submissions"
+        )
+    victim = fairness.get("victim", {})
+    if victim.get("errors", 0) != 0:
+        failures.append(
+            f"victim tenant had {victim.get('errors')} errored job(s): "
+            f"{victim.get('error_samples')}"
+        )
+    return failures
 
 
 def check(
@@ -157,11 +200,34 @@ def main(argv=None) -> int:
         help="required multi-vs-single-worker speedup on multi-core "
         "hosts (default 1.5)",
     )
+    parser.add_argument(
+        "--require-fairness",
+        action="store_true",
+        help="fail when the fresh run carries no two-tenant fairness "
+        "record (instead of skipping those gates)",
+    )
+    parser.add_argument(
+        "--min-victim-ratio",
+        type=float,
+        default=1.0,
+        help="fraction of the trickling tenant's jobs that must "
+        "complete under flood (default 1.0)",
+    )
     args = parser.parse_args(argv)
 
     fresh = load(args.fresh)
     baseline = load(args.baseline)
     failures = check(fresh, baseline, args.tolerance, args.min_speedup)
+    failures += check_fairness(
+        fresh, args.min_victim_ratio, args.require_fairness
+    )
+    fairness = fresh.get("fairness")
+    if fairness:
+        print(
+            f"fairness: victim {fairness.get('victim_completion_ratio', 0):.0%} "
+            f"complete @ p99 {fairness.get('victim_p99_s')}s under "
+            f"{fairness.get('aggressor_jobs')} aggressor jobs"
+        )
 
     single = fresh.get("passes", {}).get("single", {})
     multi = fresh.get("passes", {}).get("multi", {})

@@ -81,12 +81,14 @@ def job_request(index: int, kind: str = "repair_request", txns: int = 4) -> dict
     }
 
 
-def _post_json(url: str, body: dict, timeout: float):
+def _post_json(url: str, body: dict, timeout: float, tenant: Optional[str] = None):
     """(status, payload, retry_after_seconds) for one POST."""
     data = json.dumps(body).encode("utf-8")
+    headers = {"Content-Type": "application/json"}
+    if tenant is not None:
+        headers["X-Repro-Tenant"] = tenant
     request = urllib.request.Request(
-        url, data=data, method="POST",
-        headers={"Content-Type": "application/json"},
+        url, data=data, method="POST", headers=headers,
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as resp:
@@ -105,19 +107,21 @@ def submit_and_wait(
     body: dict,
     timeout: float = 300.0,
     poll_interval: float = POLL_INTERVAL,
+    tenant: Optional[str] = None,
 ):
     """Submit one job, honouring backpressure, and poll it to the end.
 
     Returns ``(final_job_doc, latency_seconds, backpressure_retries)``;
     latency counts from the *first* submission attempt, so time spent
     backing off is charged to the request, exactly as a client feels it.
+    ``tenant`` is sent as ``X-Repro-Tenant`` when given.
     """
     deadline = time.monotonic() + timeout
     started = time.monotonic()
     retries = 0
     while True:
         status, payload, retry_after = _post_json(
-            base + "/v1/jobs", body, timeout=timeout
+            base + "/v1/jobs", body, timeout=timeout, tenant=tenant
         )
         if status == 202:
             break
@@ -159,9 +163,13 @@ def run_load(
     txns: int = 4,
     timeout: float = 300.0,
     first_index: int = 0,
+    tenant: Optional[str] = None,
 ) -> dict:
     """Closed-loop load: ``concurrency`` clients drain ``jobs`` unique
-    jobs; returns the metrics record for one BENCH_service.json pass."""
+    jobs; returns the metrics record for one BENCH_service.json pass.
+    ``tenant`` stamps every submission with that ``X-Repro-Tenant``
+    identity (the two-tenant fairness smoke drives one flooding and one
+    trickling instance of this function)."""
     indexes = iter(range(first_index, first_index + jobs))
     index_lock = threading.Lock()
     latencies: List[float] = []
@@ -178,7 +186,7 @@ def run_load(
             try:
                 doc, latency, retries = submit_and_wait(
                     base, job_request(index, kind=kind, txns=txns),
-                    timeout=timeout,
+                    timeout=timeout, tenant=tenant,
                 )
                 with results_lock:
                     retries_total[0] += retries
@@ -204,6 +212,7 @@ def run_load(
         "jobs": jobs,
         "concurrency": concurrency,
         "kind": kind,
+        "tenant": tenant,
         "completed": completed,
         "errors": len(errors),
         "error_samples": errors[:5],
@@ -227,11 +236,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="repair_request",
     )
     parser.add_argument(
+        "--tenant", default=None,
+        help="send every request as this X-Repro-Tenant identity",
+    )
+    parser.add_argument(
         "--json", metavar="FILE", help="also write the metrics as JSON"
     )
     args = parser.parse_args(argv)
     record = run_load(
-        args.url, args.jobs, args.concurrency, kind=args.kind
+        args.url, args.jobs, args.concurrency, kind=args.kind,
+        tenant=args.tenant,
     )
     print(json.dumps(record, indent=2, sort_keys=True))
     if args.json:

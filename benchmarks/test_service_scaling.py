@@ -29,7 +29,16 @@ Environment knobs:
   fewer);
 - ``SERVICE_BENCH_CONCURRENCY`` -- closed-loop clients (default 8);
 - ``SERVICE_BENCH_WORKERS`` -- worker processes in the multi pass
-  (default: ``min(4, cpu_count)``, at least 2).
+  (default: ``min(4, cpu_count)``, at least 2);
+- ``SERVICE_BENCH_AGGRESSOR`` / ``SERVICE_BENCH_VICTIM`` -- job counts
+  for the two-tenant fairness pass (0 aggressors skips it).
+
+The fairness pass floods tenant ``flood`` with a backlog of unique
+jobs, then trickles tenant ``trickle`` through the same service one
+job at a time.  Deficit-weighted claim scheduling must keep the victim
+flowing: the gates (here and in ``check_service_regression.py
+--require-fairness``) are full victim completion and zero lost or
+duplicated jobs; victim latency is recorded for the report.
 """
 
 import json
@@ -42,9 +51,14 @@ import urllib.request
 from repro.api import AnalyzeRequest, RepairRequest, Workspace, WorkspaceConfig
 from repro.service import make_server
 
-from service_load import run_load
+from service_load import job_request, run_load
 
 DIFFERENTIAL_BENCHMARKS = ("SIBench", "Courseware", "SmallBank")
+
+#: Index offsets keeping the fairness pass's synthetic programs unique
+#: against the throughput passes (and each tenant against the other).
+AGGRESSOR_INDEX = 10_000
+VICTIM_INDEX = 20_000
 
 
 def _host_workers() -> int:
@@ -106,11 +120,13 @@ def _wait_workers(base, workers, timeout=60):
         _wait(base, job_id, timeout=timeout)
 
 
-def _post(base, path, body):
+def _post(base, path, body, tenant=None):
     data = json.dumps(body).encode()
+    headers = {"Content-Type": "application/json"}
+    if tenant is not None:
+        headers["X-Repro-Tenant"] = tenant
     request = urllib.request.Request(
-        base + path, data=data, method="POST",
-        headers={"Content-Type": "application/json"},
+        base + path, data=data, method="POST", headers=headers,
     )
     with urllib.request.urlopen(request, timeout=300) as resp:
         return json.loads(resp.read())
@@ -127,6 +143,55 @@ def _wait(base, job_id, timeout=300):
             return doc
         time.sleep(0.05)
     raise TimeoutError(job_id)
+
+
+def _fairness_pass(tmp_path, workers):
+    """Two-tenant isolation smoke: flood one tenant, trickle the other.
+
+    Returns the ``fairness`` record for BENCH_service.json (or ``None``
+    when disabled via ``SERVICE_BENCH_AGGRESSOR=0``).
+    """
+    aggressor_jobs = int(os.environ.get("SERVICE_BENCH_AGGRESSOR", "24"))
+    victim_jobs = int(os.environ.get("SERVICE_BENCH_VICTIM", "5"))
+    if aggressor_jobs <= 0 or victim_jobs <= 0:
+        return None
+    server, thread, base = _serve(tmp_path, "fairness", workers)
+    try:
+        _wait_workers(base, workers)
+        # Flood: fire-and-forget submissions build a real backlog (a
+        # closed-loop driver would cap it at its own concurrency).
+        for i in range(aggressor_jobs):
+            _post(
+                base, "/v1/jobs",
+                job_request(AGGRESSOR_INDEX + i, kind="analyze_request"),
+                tenant="flood",
+            )
+        # Trickle: one closed-loop victim client submitting into the
+        # standing backlog.
+        victim = run_load(
+            base, victim_jobs, 1, kind="analyze_request",
+            first_index=VICTIM_INDEX, tenant="trickle",
+        )
+        with urllib.request.urlopen(base + "/v1/stats", timeout=30) as resp:
+            stats = json.loads(resp.read())
+        expected = workers * 2 + aggressor_jobs + victim_jobs  # + warmups
+        total = stats["jobs"]["total"]
+        tenants = stats["service"].get("tenants", {})
+    finally:
+        server.close()
+        thread.join(timeout=10)
+    return {
+        "aggressor_jobs": aggressor_jobs,
+        "victim": victim,
+        "victim_completion_ratio": (
+            victim["completed"] / victim_jobs if victim_jobs else 0.0
+        ),
+        "victim_p99_s": victim["latency_p99_s"],
+        "jobs_expected": expected,
+        "jobs_in_store": total,
+        "lost_or_duplicated": total != expected,
+        "tenants": tenants,
+    }
 
 
 def test_service_scaling(tmp_path, capsys):
@@ -192,6 +257,8 @@ def test_service_scaling(tmp_path, capsys):
         server.close()
         thread.join(timeout=10)
 
+    fairness = _fairness_pass(tmp_path, multi_workers)
+
     single = passes["single"]
     multi = passes["multi"]
     speedup = (
@@ -215,6 +282,7 @@ def test_service_scaling(tmp_path, capsys):
         "passes": passes,
         "multi_worker_speedup": round(speedup, 2),
         "differential": differential,
+        "fairness": fairness,
     }
     out_path = os.environ.get("SERVICE_BENCH_OUT", "BENCH_service.json")
     with open(out_path, "w") as fh:
@@ -228,7 +296,13 @@ def test_service_scaling(tmp_path, capsys):
             f"{multi['throughput_jobs_per_s']:.2f} jobs/s "
             f"({speedup:.2f}x), p99 {multi['latency_p99_s']:.2f}s, "
             f"differential identical={differential['identical']} "
-            f"-> {out_path}"
+            + (
+                f"fairness victim {fairness['victim_completion_ratio']:.0%} "
+                f"@ p99 {fairness['victim_p99_s']:.2f}s "
+                if fairness
+                else ""
+            )
+            + f"-> {out_path}"
         )
 
     # Unconditional gates: no job may fail or error, and worker-path
@@ -238,6 +312,14 @@ def test_service_scaling(tmp_path, capsys):
     assert single["completed"] == jobs
     assert multi["completed"] == jobs
     assert differential["identical"]
+    if fairness is not None:
+        # The isolation gates: a flooded queue must not starve (or
+        # lose) the trickling tenant's jobs.
+        assert fairness["victim"]["errors"] == 0, (
+            fairness["victim"]["error_samples"]
+        )
+        assert fairness["victim_completion_ratio"] == 1.0, fairness
+        assert not fairness["lost_or_duplicated"], fairness
     # The scaling gate needs cores to scale onto: on a single-CPU host
     # N solver processes time-slice one core (the recorded cpu_count
     # tells check_service_regression.py the same thing about the

@@ -26,6 +26,9 @@ __all__ = [
     "RequestTooLargeError",
     "SchemaVersionError",
     "ServiceDrainingError",
+    "TenantQueueFullError",
+    "TenantRateLimitedError",
+    "TenantSuspendedError",
     "UnknownBenchmarkError",
     "error_payload",
     "http_status_of",
@@ -93,6 +96,30 @@ class RateLimitedError(BackpressureError):
     backoff."""
 
     code = "rate-limited"
+
+
+class TenantQueueFullError(QueueFullError):
+    """The queue holds this *tenant's* full ``max_queued_per_tenant``
+    share; other tenants' submissions are still admitted.  Tenant-scoped
+    refusals subclass their global counterparts so clients dispatching
+    on the class hierarchy keep working."""
+
+    code = "tenant-queue-full"
+
+
+class TenantRateLimitedError(RateLimitedError):
+    """The per-tenant token bucket (keyed by the ``X-Repro-Tenant``
+    identity, not the client address) is empty."""
+
+    code = "tenant-rate-limited"
+
+
+class TenantSuspendedError(BackpressureError):
+    """The tenant is shedding load: either an operator suspended it, or
+    its per-tenant circuit breaker opened because its recent jobs keep
+    failing.  ``Retry-After`` carries the breaker cooldown."""
+
+    code = "tenant-suspended"
 
 
 class RequestTooLargeError(ApiError):

@@ -131,6 +131,23 @@ _BENCH_ROW = {
 
 _COUNTERS = {"type": "object", "additionalProperties": _INT}
 
+#: One tenant's entry in ``stats.service.tenants``: job totals from the
+#: store plus the admission-side shed/breaker counters.
+_TENANT_STATS = {
+    "type": "object",
+    "properties": {
+        "queued": _INT,
+        "running": _INT,
+        "done": _INT,
+        "failed": _INT,
+        "cancelled": _INT,
+        "shed": _INT,
+        "breaker_trips": _INT,
+        "suspended": _BOOL,
+    },
+    "additionalProperties": False,
+}
+
 _EVENT = {
     "type": "object",
     "properties": {"stage": _STR, "detail": {"type": "object"}},
@@ -152,6 +169,7 @@ def all_schemas() -> Dict[str, dict]:
             "distinct_args": _BOOL,
             "deadline_ms": _INT,
             "budget": _BUDGET,
+            "tenant": _STR,
         },
         [],
     )
@@ -180,6 +198,7 @@ def all_schemas() -> Dict[str, dict]:
             "plan": _PLAN,
             "deadline_ms": _INT,
             "budget": _BUDGET,
+            "tenant": _STR,
         },
         [],
     )
@@ -202,7 +221,7 @@ def all_schemas() -> Dict[str, dict]:
     )
     bench_request = _envelope(
         "bench_request",
-        {"benchmarks": _STR_LIST, "search": _SEARCH},
+        {"benchmarks": _STR_LIST, "search": _SEARCH, "tenant": _STR},
         [],
     )
     bench_result = _envelope(
@@ -276,6 +295,10 @@ def all_schemas() -> Dict[str, dict]:
                     "recovered_jobs": _INT,
                     "breaker_trips": _INT,
                     "admission": _COUNTERS,
+                    "tenants": {
+                        "type": "object",
+                        "additionalProperties": _TENANT_STATS,
+                    },
                 },
                 "required": [
                     "workers", "queue_depth", "draining", "admission",
@@ -294,6 +317,7 @@ def all_schemas() -> Dict[str, dict]:
             "status": {
                 "enum": ["queued", "running", "done", "failed", "cancelled"]
             },
+            "tenant": _STR,
             "created_at": _NUM,
             "started_at": {"type": ["number", "null"]},
             "finished_at": {"type": ["number", "null"]},

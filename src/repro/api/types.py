@@ -202,6 +202,7 @@ class AnalyzeRequest:
     distinct_args: bool = True
     deadline_ms: Optional[int] = None
     budget: Optional[dict] = None
+    tenant: Optional[str] = None
 
     kind = "analyze_request"
 
@@ -217,6 +218,8 @@ class AnalyzeRequest:
             out["deadline_ms"] = self.deadline_ms
         if self.budget is not None:
             out["budget"] = self.budget
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
         return out
 
     @classmethod
@@ -224,7 +227,7 @@ class AnalyzeRequest:
         body = _check_envelope(data, cls.kind)
         _no_extras(cls.kind, body, ("source", "benchmark", "level",
                                     "use_prefilter", "distinct_args",
-                                    "deadline_ms", "budget"))
+                                    "deadline_ms", "budget", "tenant"))
         return cls(
             source=_field(cls.kind, body, "source", (str,), None),
             benchmark=_field(cls.kind, body, "benchmark", (str,), None),
@@ -233,6 +236,7 @@ class AnalyzeRequest:
             distinct_args=_field(cls.kind, body, "distinct_args", (bool,), True),
             deadline_ms=_field(cls.kind, body, "deadline_ms", (int,), None),
             budget=_field(cls.kind, body, "budget", (dict,), None),
+            tenant=_field(cls.kind, body, "tenant", (str,), None),
         )
 
 
@@ -322,6 +326,7 @@ class RepairRequest:
     plan: Optional[dict] = None
     deadline_ms: Optional[int] = None
     budget: Optional[dict] = None
+    tenant: Optional[str] = None
 
     kind = "repair_request"
 
@@ -338,6 +343,8 @@ class RepairRequest:
             out["deadline_ms"] = self.deadline_ms
         if self.budget is not None:
             out["budget"] = self.budget
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
         return out
 
     @classmethod
@@ -345,7 +352,7 @@ class RepairRequest:
         body = _check_envelope(data, cls.kind)
         _no_extras(cls.kind, body, ("source", "benchmark", "level", "search",
                                     "use_prefilter", "plan",
-                                    "deadline_ms", "budget"))
+                                    "deadline_ms", "budget", "tenant"))
         return cls(
             source=_field(cls.kind, body, "source", (str,), None),
             benchmark=_field(cls.kind, body, "benchmark", (str,), None),
@@ -356,6 +363,7 @@ class RepairRequest:
             plan=_field(cls.kind, body, "plan", (dict,), None),
             deadline_ms=_field(cls.kind, body, "deadline_ms", (int,), None),
             budget=_field(cls.kind, body, "budget", (dict,), None),
+            tenant=_field(cls.kind, body, "tenant", (str,), None),
         )
 
 
@@ -478,21 +486,26 @@ class BenchRequest:
 
     benchmarks: Tuple[str, ...] = ()
     search: str = "greedy"
+    tenant: Optional[str] = None
 
     kind = "bench_request"
 
     def to_json(self) -> dict:
-        return {"version": SCHEMA_VERSION, "kind": self.kind,
-                "benchmarks": list(self.benchmarks), "search": self.search}
+        out = {"version": SCHEMA_VERSION, "kind": self.kind,
+               "benchmarks": list(self.benchmarks), "search": self.search}
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
+        return out
 
     @classmethod
     def from_json(cls, data: object) -> "BenchRequest":
         body = _check_envelope(data, cls.kind)
-        _no_extras(cls.kind, body, ("benchmarks", "search"))
+        _no_extras(cls.kind, body, ("benchmarks", "search", "tenant"))
         return cls(
             benchmarks=_str_tuple(cls.kind, body, "benchmarks"),
             search=_field(cls.kind, body, "search", (str,), "greedy",
                           enum=SEARCHES),
+            tenant=_field(cls.kind, body, "tenant", (str,), None),
         )
 
 

@@ -156,6 +156,23 @@ class WorkspaceConfig:
             self, cache_dir=os.path.join(self.cache_dir, f"worker-{index}")
         )
 
+    def for_tenant(self, tenant: str) -> "WorkspaceConfig":
+        """The variant serving ``tenant``: its own ``tenant-<id>`` cache
+        subdirectory, so one tenant's persistent cache entries can
+        neither serve nor poison another's.  Identity-free configs
+        (``cache_dir=None``) have nothing durable to isolate and are
+        returned unchanged."""
+        if self.cache_dir is None:
+            return self
+        import dataclasses
+        import os
+        import re
+
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", tenant) or "_"
+        return dataclasses.replace(
+            self, cache_dir=os.path.join(self.cache_dir, f"tenant-{safe}")
+        )
+
 
 class Workspace:
     """Shared execution context for analyze/repair/bench calls.

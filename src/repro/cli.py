@@ -371,6 +371,23 @@ def cmd_serve(args) -> int:
         cache_dir=cache_dir,
         max_workers=args.strategy_workers,
     )
+    tenant_weights = {}
+    for spec in args.tenant_weight or []:
+        name, sep, weight = spec.partition("=")
+        if not sep or not name:
+            print(
+                f"--tenant-weight wants NAME=W, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            tenant_weights[name] = float(weight)
+        except ValueError:
+            print(
+                f"--tenant-weight {name}: {weight!r} is not a number",
+                file=sys.stderr,
+            )
+            return 2
     with Workspace(
         strategy=strategy,
         cache_dir=cache_dir,
@@ -388,6 +405,9 @@ def cmd_serve(args) -> int:
             rate_limit=args.rate_limit,
             max_request_bytes=args.max_request_bytes,
             drain_timeout=args.drain_timeout,
+            tenant_weights=tenant_weights,
+            max_queued_per_tenant=args.max_queued_per_tenant,
+            max_running_per_tenant=args.max_running_per_tenant,
         )
     return 0
 
@@ -399,20 +419,36 @@ def cmd_serve(args) -> int:
 
 def cmd_chaos(args) -> int:
     from repro.service import run_chaos
+    from repro.service.chaos import run_tenant_isolation
 
-    report = run_chaos(
-        seed=args.seed,
-        jobs=args.jobs,
-        workers=args.workers,
-        log_path=args.log,
-    )
-    fired = report["faults_fired"]
-    print(
-        f"chaos seed {report['seed']}: {report['jobs_submitted']} jobs, "
-        f"{fired} fault(s) fired, "
-        f"{report['cache_quarantined']} cache quarantine(s), "
-        f"cancel probe -> {report['cancel_status']}"
-    )
+    if args.scenario == "tenant-isolation":
+        report = run_tenant_isolation(
+            seed=args.seed,
+            aggressor_jobs=args.aggressor_jobs,
+            victim_jobs=args.victim_jobs,
+            workers=args.workers,
+        )
+        print(
+            f"tenant isolation seed {report['seed']}: "
+            f"{report['aggressor_jobs']} aggressor + "
+            f"{report['victim_jobs']} victim jobs, victim p99 "
+            f"{report['contended_p99_s']}s vs solo {report['solo_p99_s']}s "
+            f"(threshold {report['threshold_s']}s)"
+        )
+    else:
+        report = run_chaos(
+            seed=args.seed,
+            jobs=args.jobs,
+            workers=args.workers,
+            log_path=args.log,
+        )
+        fired = report["faults_fired"]
+        print(
+            f"chaos seed {report['seed']}: {report['jobs_submitted']} jobs, "
+            f"{fired} fault(s) fired, "
+            f"{report['cache_quarantined']} cache quarantine(s), "
+            f"cancel probe -> {report['cancel_status']}"
+        )
     for violation in report["violations"]:
         print(f"GATE VIOLATION: {violation}", file=sys.stderr)
     if args.json:
@@ -586,7 +622,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate-limit",
         type=float,
         metavar="R",
-        help="per-client POST requests/second (burst 2R); default: off",
+        help="per-tenant POST requests/second (burst 2R); default: off",
+    )
+    sv.add_argument(
+        "--tenant-weight",
+        action="append",
+        default=None,
+        metavar="NAME=W",
+        help="claim-scheduling weight for tenant NAME (repeatable; "
+        "unlisted tenants weigh 1.0)",
+    )
+    sv.add_argument(
+        "--max-queued-per-tenant",
+        type=int,
+        default=None,
+        metavar="N",
+        help="queued jobs one tenant may hold before its submissions "
+        "answer 429 tenant-queue-full (default: off)",
+    )
+    sv.add_argument(
+        "--max-running-per-tenant",
+        type=int,
+        default=None,
+        metavar="N",
+        help="jobs one tenant may have running at once across the "
+        "worker fleet (default: off)",
     )
     sv.add_argument(
         "--max-request-bytes",
@@ -630,6 +690,22 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument(
         "--workers", type=int, default=0,
         help="worker processes (0 = inline runner; default: 0)",
+    )
+    ch.add_argument(
+        "--scenario",
+        choices=("faults", "tenant-isolation"),
+        default="faults",
+        help="'faults': the seeded fault-plan experiment; "
+        "'tenant-isolation': the aggressor/victim fairness experiment "
+        "(default: faults)",
+    )
+    ch.add_argument(
+        "--aggressor-jobs", type=int, default=50,
+        help="flood size for --scenario tenant-isolation (default: 50)",
+    )
+    ch.add_argument(
+        "--victim-jobs", type=int, default=5,
+        help="trickle size for --scenario tenant-isolation (default: 5)",
     )
     ch.add_argument(
         "--log", metavar="FILE",

@@ -13,7 +13,8 @@ Five modules, one topology (DESIGN.md has the diagram):
   codes (429/413/503) before work costs anything;
 - :mod:`repro.service.chaos` -- the seeded fault-injection harness
   (:func:`run_chaos`) that proves the recovery machinery above under
-  combinatorial failures.
+  combinatorial failures, and the two-tenant aggressor/victim fairness
+  scenario (:func:`run_tenant_isolation`).
 
 Start it with ``repro serve --workers 4`` or::
 
@@ -22,7 +23,7 @@ Start it with ``repro serve --workers 4`` or::
 """
 
 from repro.service.admission import AdmissionController, TokenBucket
-from repro.service.chaos import default_plan, run_chaos
+from repro.service.chaos import default_plan, run_chaos, run_tenant_isolation
 from repro.service.server import (
     ReproHTTPServer,
     ReproService,
@@ -44,5 +45,6 @@ __all__ = [
     "default_plan",
     "make_server",
     "run_chaos",
+    "run_tenant_isolation",
     "serve",
 ]

@@ -2,45 +2,103 @@
 
 Every rejection here exists to protect the expensive part of the system
 (solver work, the durable queue) from the cheap part (accepting bytes
-off a socket).  Three gates, checked in order, each with a stable error
+off a socket).  The gates, checked in order, each with a stable error
 code so clients can dispatch without parsing messages:
 
 - **draining** (503, ``draining``) -- the server got SIGTERM and is
   finishing in-flight work; retry against its replacement;
 - **request size** (413, ``request-too-large``) -- bodies over
   ``max_request_bytes`` are refused before they are parsed;
-- **rate** (429, ``rate-limited``) -- a per-client token bucket
-  (``rate_limit`` requests/second sustained, ``rate_burst`` burst);
-- **queue depth** (429, ``queue-full``) -- applied by the server at job
-  submission: once the store holds ``max_queue_depth`` queued jobs, new
-  work is refused rather than accepted into an ever-growing backlog.
+- **suspension** (429, ``tenant-suspended``) -- the tenant was
+  suspended by an operator, or its circuit breaker opened because its
+  recent jobs keep failing;
+- **rate** (429, ``rate-limited`` / ``tenant-rate-limited``) -- a
+  per-tenant token bucket (``rate_limit`` requests/second sustained,
+  ``rate_burst`` burst);
+- **queue depth** (429, ``tenant-queue-full`` / ``queue-full``) --
+  applied by the server at job submission: first the tenant's
+  ``max_queued_per_tenant`` share (when configured), then the global
+  ``max_queue_depth`` cap.
 
 429/503 responses carry ``Retry-After``; a well-behaved client backs
 off exactly that long (the load driver under ``benchmarks/`` does).
+
+Tenant identity: :func:`resolve_tenant` maps the ``X-Repro-Tenant``
+header to the tenant id, falling back to the client address (so a
+deployment that never sends the header gets exactly the old per-address
+behavior).  Resolution is failure-proof by design: a malformed header
+or an injected fault at the ``admission.tenant_lookup`` failpoint
+degrades to the address-keyed default instead of a 500.
 """
 
 from __future__ import annotations
 
 import random
+import re
 import threading
 import time
-from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.api.errors import (
     RateLimitedError,
     RequestTooLargeError,
     ServiceDrainingError,
+    TenantRateLimitedError,
+    TenantSuspendedError,
 )
+from repro.faults import FaultInjected, failpoint
+from repro.service.store import DEFAULT_TENANT
 
 #: Default admission knobs (see ``repro serve --help`` for the flags).
 DEFAULT_MAX_QUEUE_DEPTH = 64
 DEFAULT_MAX_REQUEST_BYTES = 1 << 20  # 1 MiB: the largest corpus program is ~4 KiB
 
-#: Client buckets tracked before the oldest-idle one is evicted; bounds
-#: admission-state memory under address churn (an evicted client simply
+#: Tenant buckets tracked before the longest-idle one is evicted; bounds
+#: admission-state memory under identity churn (an evicted tenant simply
 #: starts from a full bucket again).
 MAX_TRACKED_CLIENTS = 4096
+
+#: Tenant ids accepted from the ``X-Repro-Tenant`` header.  Anything
+#: else (too long, empty, shell-hostile characters) falls back to the
+#: client address -- resolution must never be a 400 or a 500.
+MAX_TENANT_LENGTH = 64
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._:-]*$")
+
+#: Per-tenant circuit breaker: judge the tenant's newest finished jobs
+#: within the window; at least ``BREAKER_MIN_SAMPLE`` finished with a
+#: failure ratio at or above ``BREAKER_FAILURE_RATIO`` opens the
+#: breaker for ``BREAKER_COOLDOWN_S``.  The store probe is cached for
+#: ``BREAKER_PROBE_TTL_S`` so a hot tenant costs one indexed query per
+#: second, not one per request.
+BREAKER_WINDOW_S = 60.0
+BREAKER_SAMPLE = 8
+BREAKER_MIN_SAMPLE = 4
+BREAKER_FAILURE_RATIO = 0.75
+BREAKER_COOLDOWN_S = 15.0
+BREAKER_PROBE_TTL_S = 1.0
+
+
+def resolve_tenant(header: Optional[str], client: Optional[str]) -> str:
+    """The tenant a request acts as: the ``X-Repro-Tenant`` header when
+    present and well-formed, else the client address, else
+    :data:`DEFAULT_TENANT`.
+
+    The ``admission.tenant_lookup`` failpoint models a failing identity
+    backend (a directory service, a token introspection); any fault
+    there degrades to the address-keyed default -- tenancy failures
+    must cost isolation, never availability.
+    """
+    fallback = client or DEFAULT_TENANT
+    try:
+        failpoint("admission.tenant_lookup")
+    except FaultInjected:
+        return fallback
+    if header is None:
+        return fallback
+    name = header.strip()
+    if not name or len(name) > MAX_TENANT_LENGTH or not _TENANT_RE.match(name):
+        return fallback
+    return name
 
 
 class TokenBucket:
@@ -68,12 +126,16 @@ class TokenBucket:
 
 
 class AdmissionController:
-    """Per-server admission state: drain flag, size cap, client buckets.
+    """Per-server admission state: drain flag, size cap, tenant buckets,
+    suspensions, and the per-tenant circuit breaker.
 
     ``rate_limit=None`` disables rate limiting (the default: a private
     service behind a trusted proxy should not surprise-throttle
-    itself).  All methods are thread-safe; the HTTP handler calls
-    :meth:`admit` once per mutating request.
+    itself).  ``failure_probe`` -- wired by the server to
+    :meth:`~repro.service.store.JobStore.tenant_failure_window` -- feeds
+    the breaker; without one the breaker is inert.  All methods are
+    thread-safe; the HTTP handler calls :meth:`admit` once per mutating
+    request with the tenant :func:`resolve_tenant` produced.
     """
 
     def __init__(
@@ -82,6 +144,7 @@ class AdmissionController:
         rate_burst: Optional[float] = None,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         jitter_seed: Optional[int] = None,
+        failure_probe: Optional[Callable[[str], Tuple[int, int]]] = None,
     ):
         self.rate_limit = rate_limit
         self.rate_burst = (
@@ -91,12 +154,16 @@ class AdmissionController:
         )
         self.max_request_bytes = max_request_bytes
         self.draining = False
+        self.failure_probe = failure_probe
         # Seeded jitter on Retry-After: without it, every client told
         # "retry in 2" comes back in the same instant and the 429s
         # synchronize into a thundering herd.  A seed makes backoff
         # schedules reproducible in tests and chaos runs.
         self._jitter = random.Random(jitter_seed)
-        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._suspended: set = set()
+        self._breaker_open_until: Dict[str, float] = {}
+        self._breaker_probed_at: Dict[str, float] = {}
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {
             "admitted": 0,
@@ -104,13 +171,29 @@ class AdmissionController:
             "queue_full": 0,
             "too_large": 0,
             "draining": 0,
+            "suspended": 0,
+            "breaker_trips": 0,
         }
+        #: tenant -> {"shed": refused requests, "breaker_trips": opens}.
+        self._tenant_counters: Dict[str, Dict[str, int]] = {}
 
     # -- the gate ----------------------------------------------------------
 
-    def admit(self, client: Optional[str], body_bytes: int) -> None:
+    def admit(
+        self,
+        tenant: Optional[str],
+        body_bytes: int,
+        explicit_tenant: bool = False,
+    ) -> None:
         """Raise the right :class:`~repro.api.errors.ApiError` subclass
-        if this mutating request must be refused; count it either way."""
+        if this mutating request must be refused; count it either way.
+
+        ``tenant`` is the resolved identity (an address when no header
+        was sent); ``explicit_tenant`` selects the tenant-scoped error
+        codes (``tenant-rate-limited``) over the address-keyed legacy
+        ones (``rate-limited``), so header-less deployments keep their
+        exact pre-tenancy wire surface.
+        """
         if self.draining:
             self._count("draining")
             raise ServiceDrainingError(
@@ -124,21 +207,32 @@ class AdmissionController:
                 f"request body of {body_bytes} bytes exceeds the "
                 f"{self.max_request_bytes}-byte cap"
             )
-        if self.rate_limit and client is not None:
-            wait = self._take(client)
+        if tenant is not None:
+            self._check_suspended(tenant)
+            self._check_breaker(tenant)
+        if self.rate_limit and tenant is not None:
+            wait = self._take(tenant)
             if wait is not None:
                 self._count("rate_limited")
-                raise RateLimitedError(
-                    f"client {client} exceeded {self.rate_limit:g} "
+                self._count_tenant(tenant, "shed")
+                exc_cls = (
+                    TenantRateLimitedError
+                    if explicit_tenant
+                    else RateLimitedError
+                )
+                raise exc_cls(
+                    f"tenant {tenant} exceeded {self.rate_limit:g} "
                     "requests/second",
                     retry_after=self.retry_after(int(wait + 0.999)),
                 )
         self._count("admitted")
 
-    def note_queue_full(self) -> None:
-        """The queue-depth gate lives at the submission site (it needs
-        the store); it reports its rejections here for ``/v1/stats``."""
+    def note_queue_full(self, tenant: Optional[str] = None) -> None:
+        """The queue-depth gates live at the submission site (they need
+        the store); they report their rejections here for ``/v1/stats``."""
         self._count("queue_full")
+        if tenant is not None:
+            self._count_tenant(tenant, "shed")
 
     def retry_after(self, base: int) -> int:
         """``base`` seconds plus 0-2s of seeded jitter, floored at 1 --
@@ -146,23 +240,119 @@ class AdmissionController:
         with self._lock:
             return max(1, int(base) + self._jitter.randrange(0, 3))
 
-    # -- internals ---------------------------------------------------------
+    # -- suspension and the circuit breaker --------------------------------
 
-    def _take(self, client: str) -> Optional[float]:
+    def suspend(self, tenant: str) -> None:
+        """Operator suspension: every mutating request from ``tenant``
+        is refused with ``tenant-suspended`` until :meth:`resume`."""
+        with self._lock:
+            self._suspended.add(tenant)
+
+    def resume(self, tenant: str) -> None:
+        """Lift an operator suspension and any open breaker cooldown."""
+        with self._lock:
+            self._suspended.discard(tenant)
+            self._breaker_open_until.pop(tenant, None)
+            self._breaker_probed_at.pop(tenant, None)
+
+    def is_suspended(self, tenant: str) -> bool:
+        with self._lock:
+            return tenant in self._suspended
+
+    def _check_suspended(self, tenant: str) -> None:
+        with self._lock:
+            suspended = tenant in self._suspended
+        if suspended:
+            self._count("suspended")
+            self._count_tenant(tenant, "shed")
+            raise TenantSuspendedError(
+                f"tenant {tenant} is suspended by an operator; contact "
+                "the service owner (or POST /v1/tenants/<id>/resume)",
+                retry_after=self.retry_after(30),
+            )
+
+    def _check_breaker(self, tenant: str) -> None:
         now = time.monotonic()
         with self._lock:
-            bucket = self._buckets.pop(client, None)
+            until = self._breaker_open_until.get(tenant, 0.0)
+            if until > now:
+                open_for = until - now
+            else:
+                open_for = None
+                probe_due = (
+                    self.failure_probe is not None
+                    and now - self._breaker_probed_at.get(tenant, 0.0)
+                    >= BREAKER_PROBE_TTL_S
+                )
+                if probe_due:
+                    self._breaker_probed_at[tenant] = now
+        if open_for is None and probe_due:
+            try:
+                finished, failed = self.failure_probe(tenant)
+            except Exception:  # noqa: BLE001 - the breaker fails open
+                return
+            if (
+                finished >= BREAKER_MIN_SAMPLE
+                and failed / finished >= BREAKER_FAILURE_RATIO
+            ):
+                with self._lock:
+                    self._breaker_open_until[tenant] = (
+                        time.monotonic() + BREAKER_COOLDOWN_S
+                    )
+                self._count("breaker_trips")
+                self._count_tenant(tenant, "breaker_trips")
+                open_for = BREAKER_COOLDOWN_S
+        if open_for is not None:
+            self._count("suspended")
+            self._count_tenant(tenant, "shed")
+            raise TenantSuspendedError(
+                f"tenant {tenant} is shedding load: its recent jobs keep "
+                "failing (circuit breaker open); fix the requests and "
+                "retry after the cooldown",
+                retry_after=self.retry_after(int(open_for + 0.999)),
+            )
+
+    # -- internals ---------------------------------------------------------
+
+    def _take(self, tenant: str) -> Optional[float]:
+        now = time.monotonic()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
             if bucket is None:
                 bucket = TokenBucket(self.rate_limit, self.rate_burst, now)
-            self._buckets[client] = bucket  # re-insert = most recent
+                self._buckets[tenant] = bucket
             while len(self._buckets) > MAX_TRACKED_CLIENTS:
-                self._buckets.popitem(last=False)
+                # Evict by idle time (oldest bucket.updated), not by
+                # insertion order: an old-but-active tenant must survive
+                # a churn of one-shot newcomers, and an actively
+                # throttled abuser must not reset its bucket by pushing
+                # the table over the cap.
+                idlest = min(
+                    self._buckets, key=lambda k: self._buckets[k].updated
+                )
+                del self._buckets[idlest]
             return bucket.try_take(now)
 
     def _count(self, key: str) -> None:
         with self._lock:
             self._counters[key] += 1
 
+    def _count_tenant(self, tenant: str, key: str) -> None:
+        with self._lock:
+            entry = self._tenant_counters.setdefault(
+                tenant, {"shed": 0, "breaker_trips": 0}
+            )
+            entry[key] += 1
+
     def counters(self) -> Dict[str, int]:
         with self._lock:
             return dict(self._counters)
+
+    def tenant_counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant shed/breaker counters (the admission half of
+        ``stats.service.tenants``)."""
+        with self._lock:
+            return {
+                tenant: dict(entry)
+                for tenant, entry in self._tenant_counters.items()
+            }

@@ -56,6 +56,10 @@ _SITE_ACTIONS = {
     "worker.pre_result": ("raise", "busy"),
     "events.write": ("raise", "busy"),
     "solver.propagate": ("raise", "delay"),
+    # Tenant resolution failing must cost isolation, never availability:
+    # a raise here makes resolve_tenant fall back to the address-keyed
+    # default (asserted directly in tests/test_chaos.py).
+    "admission.tenant_lookup": ("raise", "delay"),
 }
 
 
@@ -263,5 +267,182 @@ def run_chaos(
         "schedule": plan.schedule,
         "faults_fired": len(plan.schedule),
         "cache_quarantined": quarantined,
+        "violations": violations,
+    }
+
+
+def _tenant_source(tag: str, index: int, txns: int = 2) -> str:
+    """A unique-by-construction DSL program for the isolation scenario.
+
+    Distinct identifiers per (tenant tag, index) keep every job out of
+    the memo cache -- an aggressor whose 50 jobs all hit one cache line
+    drains instantly and proves nothing about scheduling.
+    """
+    parts = [
+        f"schema T{tag}{index} {{\n"
+        f"  key t{tag}{index}_id;\n"
+        f"  field t{tag}{index}_a;\n"
+        f"  field t{tag}{index}_b;\n"
+        f"}}\n"
+    ]
+    for t in range(txns):
+        parts.append(
+            f"txn T{tag}{index}x{t}(k) {{\n"
+            f"  x := select t{tag}{index}_a from T{tag}{index}"
+            f" where t{tag}{index}_id = k;\n"
+            f"  update T{tag}{index} set t{tag}{index}_a ="
+            f" x.t{tag}{index}_a + {t} where t{tag}{index}_id = k;\n"
+            f"}}\n"
+        )
+    return "\n".join(parts)
+
+
+def _victim_pass(service: ReproService, jobs: int, timeout: float,
+                 violations: List[str], label: str) -> List[float]:
+    """Trickle ``jobs`` victim jobs through ``service`` one at a time
+    (closed loop, one in flight) and return per-job latencies."""
+    latencies: List[float] = []
+    for index in range(jobs):
+        body = json.dumps({
+            "version": 1, "kind": "analyze_request",
+            "source": _tenant_source("v", index),
+        }).encode()
+        started = time.monotonic()
+        status, payload, _ = service.handle(
+            "POST", "/v1/jobs", body, tenant_header="victim"
+        )
+        if status != 202:
+            violations.append(
+                f"{label}: victim submit {index} refused: {status} {payload}"
+            )
+            continue
+        job_id = payload["id"]
+        deadline = time.monotonic() + timeout
+        while True:
+            status, doc, _ = service.handle("GET", f"/v1/jobs/{job_id}", b"")
+            if status == 200 and doc["status"] in (
+                "done", "failed", "cancelled",
+            ):
+                break
+            if time.monotonic() > deadline:
+                doc = {"status": "stuck"}
+                break
+            time.sleep(0.02)
+        if doc["status"] != "done":
+            violations.append(
+                f"{label}: victim job {index} landed {doc['status']!r}"
+            )
+            continue
+        latencies.append(time.monotonic() - started)
+    return latencies
+
+
+def run_tenant_isolation(
+    seed: int,
+    aggressor_jobs: int = 50,
+    victim_jobs: int = 5,
+    workers: int = 0,
+    timeout: float = 120.0,
+) -> dict:
+    """The aggressor/victim fairness experiment (no injected faults --
+    the "fault" is a noisy neighbour).
+
+    Tenant ``aggressor`` floods the queue with ``aggressor_jobs``
+    distinct analyze jobs; tenant ``victim`` then trickles
+    ``victim_jobs`` jobs one at a time.  With equal weights, the
+    deficit-weighted claim loop must interleave the two queues, so each
+    victim job waits behind at most one in-flight aggressor job --
+    never behind the whole backlog.
+
+    Gates: every victim job completes ``done``; the victim's p99
+    latency under flood stays within ``max(3x solo, solo + 1s)`` of a
+    solo baseline measured on an identical fresh service; the store
+    holds exactly one row per accepted submission (no lost or
+    duplicated work).  Returns a JSON-ready report.
+    """
+    def percentile(values: List[float], q: float) -> float:
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    violations: List[str] = []
+    service_kwargs = dict(
+        workers=workers,
+        worker_config=WorkspaceConfig(strategy="incremental"),
+        max_queue_depth=aggressor_jobs + victim_jobs + 8,
+        jitter_seed=seed,
+    )
+    # 1. Solo baseline: the victim alone on a fresh service.
+    solo_service = ReproService(
+        Workspace(strategy="incremental"), **service_kwargs
+    )
+    try:
+        solo = _victim_pass(
+            solo_service, victim_jobs, timeout, violations, "solo"
+        )
+    finally:
+        solo_service.close()
+
+    # 2. Contended run: flood as the aggressor, then trickle the
+    #    victim through the same (equal-weight) service.
+    service = ReproService(
+        Workspace(strategy="incremental"), **service_kwargs
+    )
+    try:
+        for index in range(aggressor_jobs):
+            body = json.dumps({
+                "version": 1, "kind": "analyze_request",
+                "source": _tenant_source("a", index),
+            }).encode()
+            status, payload, _ = service.handle(
+                "POST", "/v1/jobs", body, tenant_header="aggressor"
+            )
+            if status != 202:
+                violations.append(
+                    f"aggressor submit {index} refused: {status} {payload}"
+                )
+        contended = _victim_pass(
+            service, victim_jobs, timeout, violations, "contended"
+        )
+        counters = service.store.counters()
+        submitted = aggressor_jobs + victim_jobs - sum(
+            1 for v in violations if "refused" in v
+        )
+        if counters["total"] != submitted:
+            violations.append(
+                f"store holds {counters['total']} rows for "
+                f"{submitted} accepted submissions (lost or duplicated)"
+            )
+        tenants = service.store.tenant_counters()
+    finally:
+        service.close()
+
+    solo_p99 = percentile(solo, 99)
+    contended_p99 = percentile(contended, 99)
+    # The absolute floor keeps CI timing noise out of the gate: on a
+    # loaded runner a 0.05s solo baseline would make 3x a 0.15s trap.
+    threshold = max(3.0 * solo_p99, solo_p99 + 1.0)
+    if len(contended) == victim_jobs and contended_p99 > threshold:
+        violations.append(
+            f"victim p99 {contended_p99:.3f}s exceeds fairness threshold "
+            f"{threshold:.3f}s (solo p99 {solo_p99:.3f}s): the aggressor "
+            "backlog is starving the victim"
+        )
+
+    return {
+        "ok": not violations,
+        "seed": seed,
+        "workers": workers,
+        "aggressor_jobs": aggressor_jobs,
+        "victim_jobs": victim_jobs,
+        "victim_completed": len(contended),
+        "solo_p50_s": round(percentile(solo, 50), 4),
+        "solo_p99_s": round(solo_p99, 4),
+        "contended_p50_s": round(percentile(contended, 50), 4),
+        "contended_p99_s": round(contended_p99, 4),
+        "threshold_s": round(threshold, 4),
+        "tenants": tenants,
         "violations": violations,
     }

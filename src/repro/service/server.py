@@ -21,9 +21,23 @@ POST     ``/v1/jobs/<id>/cancel``   cooperative cancel -> ``{"id",
 GET      ``/v1/jobs/<id>/events``   chunked NDJSON progress-event stream
                                     (idle streams carry ``{"kind":
                                     "heartbeat"}`` keep-alive lines)
+POST     ``/v1/tenants/<id>/suspend``  operator kill-switch: shed every
+                                    mutating request from ``<id>`` with
+                                    429 ``tenant-suspended``
+POST     ``/v1/tenants/<id>/resume``   lift a suspension (and any open
+                                    circuit-breaker cooldown)
 GET      ``/v1/health``             ``{"status": "ok", "version", ...}``
 GET      ``/v1/stats``              cache/session/job/admission counters
+                                    plus per-tenant ``service.tenants``
 =======  =========================  =========================================
+
+Multi-tenancy: requests carrying an ``X-Repro-Tenant`` header (or a
+``tenant`` field on the job envelope) act as that tenant; everything
+else is keyed by client address.  Tenants get their own rate bucket,
+an optional queued-jobs share (``max_queued_per_tenant``), an optional
+running cap (``max_running_per_tenant``), deficit-weighted-fair claim
+scheduling across the worker fleet (``tenant_weights``), and a circuit
+breaker that sheds a tenant whose recent jobs keep failing.
 
 The topology (see DESIGN.md for the diagram, OPERATIONS.md for the
 runbook): this process parses, validates, and *admits*; accepted jobs
@@ -56,12 +70,13 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterator, Optional, Tuple
-from urllib.parse import urlparse
+from urllib.parse import parse_qs, urlparse
 
 from repro.api.errors import (
     ApiError,
     InvalidRequestError,
     QueueFullError,
+    TenantQueueFullError,
     error_payload,
     http_status_of,
 )
@@ -75,10 +90,13 @@ from repro.api.types import (
 from repro.api.workspace import Workspace, WorkspaceConfig
 from repro.errors import ReproError
 from repro.service.admission import (
+    BREAKER_SAMPLE,
+    BREAKER_WINDOW_S,
     DEFAULT_MAX_QUEUE_DEPTH,
     AdmissionController,
+    resolve_tenant,
 )
-from repro.service.store import JobStore
+from repro.service.store import DEFAULT_TENANT, JobStore
 from repro.service.workers import InlineRunner, WorkerPool
 
 #: How often the event stream polls the store for new rows.
@@ -146,6 +164,9 @@ class ReproService:
         rate_burst: Optional[float] = None,
         max_request_bytes: Optional[int] = None,
         jitter_seed: Optional[int] = None,
+        tenant_weights: Optional[Dict[str, float]] = None,
+        max_queued_per_tenant: Optional[int] = None,
+        max_running_per_tenant: Optional[int] = None,
         start_runner: bool = True,
     ):
         self._owns_workspace = workspace is None
@@ -156,19 +177,34 @@ class ReproService:
             job_db = f"{self._tmpdir}/jobs.sqlite"
         self.store = JobStore(job_db)
         self.max_queue_depth = max_queue_depth
+        self.tenant_weights = dict(tenant_weights or {})
+        self.max_queued_per_tenant = max_queued_per_tenant
+        self.max_running_per_tenant = max_running_per_tenant
         admission_kwargs = {}
         if max_request_bytes is not None:
             admission_kwargs["max_request_bytes"] = max_request_bytes
         self.admission = AdmissionController(
             rate_limit=rate_limit, rate_burst=rate_burst,
-            jitter_seed=jitter_seed, **admission_kwargs
+            jitter_seed=jitter_seed,
+            failure_probe=lambda tenant: self.store.tenant_failure_window(
+                tenant, BREAKER_WINDOW_S, BREAKER_SAMPLE
+            ),
+            **admission_kwargs,
         )
         self.workers = workers
         if workers > 0:
             config = worker_config or WorkspaceConfig(strategy="incremental")
-            self.runner = WorkerPool(job_db, config, workers)
+            self.runner = WorkerPool(
+                job_db, config, workers,
+                tenant_weights=self.tenant_weights,
+                max_running_per_tenant=max_running_per_tenant,
+            )
         else:
-            self.runner = InlineRunner(self.store, self.workspace)
+            self.runner = InlineRunner(
+                self.store, self.workspace,
+                tenant_weights=self.tenant_weights,
+                max_running_per_tenant=max_running_per_tenant,
+            )
         # Anything still `running` in a reopened store belongs to a
         # previous process generation: re-enqueue before workers start,
         # so a restart loses zero accepted jobs.
@@ -233,22 +269,42 @@ class ReproService:
         path: str,
         body: bytes,
         client: Optional[str] = None,
+        tenant_header: Optional[str] = None,
     ) -> Tuple[int, dict, Dict[str, str]]:
-        """(status, JSON-ready payload, extra headers) for one request."""
+        """(status, JSON-ready payload, extra headers) for one request.
+
+        ``tenant_header`` is the raw ``X-Repro-Tenant`` value (or
+        ``None``); :func:`resolve_tenant` maps it -- with degradation,
+        never an error -- to the identity every gate below keys on.
+        """
+        tenant = resolve_tenant(tenant_header, client)
+        # Tenant-scoped error codes only apply to explicitly identified
+        # tenants; address-derived identities keep the pre-tenancy codes
+        # so header-less clients see an unchanged wire surface.
+        explicit = (
+            tenant_header is not None and tenant == tenant_header.strip()
+        )
         try:
-            if method == "POST" and not self._is_cancel_path(path):
-                # Cancels bypass admission entirely: they *shed* work,
-                # so refusing them while draining or rate-limited would
-                # be backwards.
-                self.admission.admit(client, len(body))
-            status, payload = self._dispatch(method, path, body)
+            if method == "POST" and not self._is_admission_exempt(path):
+                # Cancels and tenant suspend/resume bypass admission
+                # entirely: they *shed* work, so refusing them while
+                # draining or rate-limited would be backwards.
+                self.admission.admit(tenant, len(body), explicit_tenant=explicit)
+            status, payload = self._dispatch(method, path, body, tenant, explicit)
             return status, payload, {}
         except ReproError as exc:
             return http_status_of(exc), error_payload(exc), _headers_of(exc)
         except Exception as exc:  # noqa: BLE001 - service boundary
             return 500, error_payload(exc), {}
 
-    def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, dict]:
+    def _dispatch(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        tenant: str = DEFAULT_TENANT,
+        explicit: bool = False,
+    ) -> Tuple[int, dict]:
         parts = [p for p in urlparse(path).path.split("/") if p]
         if not parts or parts[0] != "v1":
             raise NotFoundError(f"no such endpoint: {path} (try /v1/health)")
@@ -274,9 +330,14 @@ class ReproService:
         if route == ["jobs"]:
             if method == "POST":
                 request = decode_request(self._json(body))
-                return 202, self.submit_job(request).to_json()
+                return 202, self.submit_job(
+                    request, tenant=tenant, explicit=explicit
+                ).to_json()
             self._require(method, "GET", path)
-            return 200, {"jobs": [j.to_json() for j in self.store.list()]}
+            query = parse_qs(urlparse(path).query)
+            tenant_filter = (query.get("tenant") or [None])[0]
+            jobs = self.store.list(tenant=tenant_filter)
+            return 200, {"jobs": [j.to_json() for j in jobs]}
         if len(route) == 3 and route[0] == "jobs" and route[2] == "cancel":
             self._require(method, "POST", path)
             status = self.store.request_cancel(route[1])
@@ -284,29 +345,75 @@ class ReproService:
         if len(route) == 2 and route[0] == "jobs":
             self._require(method, "GET", path)
             return 200, self.store.get(route[1]).to_json()
+        if (
+            len(route) == 3
+            and route[0] == "tenants"
+            and route[2] in ("suspend", "resume")
+        ):
+            self._require(method, "POST", path)
+            if route[2] == "suspend":
+                self.admission.suspend(route[1])
+            else:
+                self.admission.resume(route[1])
+            return 200, {
+                "tenant": route[1],
+                "suspended": self.admission.is_suspended(route[1]),
+            }
         raise NotFoundError(f"no such endpoint: {path}")
 
     @staticmethod
-    def _is_cancel_path(path: str) -> bool:
+    def _is_admission_exempt(path: str) -> bool:
+        """POSTs that shed or govern load -- job cancels and tenant
+        suspend/resume -- bypass admission: refusing a cancel while
+        rate-limited, or a resume while that tenant's breaker is open,
+        would be backwards."""
         parts = [p for p in urlparse(path).path.split("/") if p]
-        return (
-            len(parts) == 4
-            and parts[:2] == ["v1", "jobs"]
-            and parts[3] == "cancel"
+        return len(parts) == 4 and (
+            (parts[:2] == ["v1", "jobs"] and parts[3] == "cancel")
+            or (parts[:2] == ["v1", "tenants"]
+                and parts[3] in ("suspend", "resume"))
         )
 
-    def submit_job(self, request):
-        """Admit one job into the durable queue (the queue-depth gate
-        lives here because it needs the store)."""
+    def submit_job(
+        self,
+        request,
+        tenant: Optional[str] = None,
+        explicit: bool = False,
+    ):
+        """Admit one job into the durable queue (the queue-depth gates
+        live here because they need the store).
+
+        Identity precedence: ``X-Repro-Tenant`` header, then the
+        ``tenant`` field on the request envelope, then the resolved
+        fallback (client address / default).  The per-tenant share gate
+        -- opt-in via ``max_queued_per_tenant`` -- fires before the
+        global cap, so one tenant's backlog refuses *that tenant*, not
+        everyone.
+        """
+        if not explicit:
+            body_tenant = getattr(request, "tenant", None)
+            if body_tenant:
+                tenant, explicit = body_tenant, True
+        tenant = tenant or DEFAULT_TENANT
+        if self.max_queued_per_tenant is not None:
+            tenant_depth = self.store.depth(tenant=tenant)
+            if tenant_depth >= self.max_queued_per_tenant:
+                self.admission.note_queue_full(tenant)
+                raise TenantQueueFullError(
+                    f"tenant {tenant} already has {tenant_depth} queued "
+                    f"jobs (per-tenant cap {self.max_queued_per_tenant}); "
+                    "other tenants are unaffected",
+                    retry_after=self.admission.retry_after(2),
+                )
         depth = self.store.depth()
         if depth >= self.max_queue_depth:
-            self.admission.note_queue_full()
+            self.admission.note_queue_full(tenant)
             raise QueueFullError(
                 f"job queue is full ({depth} waiting, cap "
                 f"{self.max_queue_depth}); retry later",
                 retry_after=self.admission.retry_after(2),
             )
-        return self.store.submit(request)
+        return self.store.submit(request, tenant=tenant)
 
     # -- streaming ---------------------------------------------------------
 
@@ -397,8 +504,23 @@ class ReproService:
             "draining": self.admission.draining,
             "recovered_jobs": self.recovered_jobs,
             "admission": self.admission.counters(),
+            "tenants": self._tenant_stats(),
         }
         return payload
+
+    def _tenant_stats(self) -> Dict[str, dict]:
+        """Per-tenant view for ``stats.service.tenants``: job-state
+        counts from the store merged with admission shed/breaker
+        counters and the suspension flag."""
+        tenants: Dict[str, dict] = {}
+        for tenant, counts in self.store.tenant_counters().items():
+            tenants[tenant] = dict(counts)
+        for tenant, counts in self.admission.tenant_counters().items():
+            tenants.setdefault(tenant, {}).update(counts)
+        for tenant, entry in tenants.items():
+            if self.admission.is_suspended(tenant):
+                entry["suspended"] = True
+        return tenants
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -468,7 +590,8 @@ class _Handler(BaseHTTPRequestHandler):
             # cannot be reused.
             self.close_connection = True
         status, payload, headers = self.service.handle(
-            method, self.path, body, client=self.client_address[0]
+            method, self.path, body, client=self.client_address[0],
+            tenant_header=self.headers.get("X-Repro-Tenant"),
         )
         self._respond(status, payload, headers)
 

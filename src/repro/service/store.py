@@ -35,6 +35,19 @@ re-submitted requests therefore land on the worker whose warm
 solver state (the PR 4 fingerprint-affinity routing, lifted from
 threads to processes), while the steal fallback keeps a skewed shard
 from idling the rest of the pool.
+
+Tenancy: every job carries a ``tenant`` (resolved at admission from the
+``X-Repro-Tenant`` header, the request envelope, or the client
+address).  :meth:`claim` schedules *across* tenants with deficit-
+weighted round-robin -- each claimer cycles tenants in sorted order,
+granting each its weight in credit per pass and serving a job per
+credit -- so a 1000-job backlog from one tenant delays another tenant's
+first job by at most the in-flight job, not the whole backlog.  Shard
+affinity still applies *within* the chosen tenant, and an optional
+``max_running_per_tenant`` cap keeps one tenant from occupying every
+worker at once.  DWRR state is per-claimer (per ``JobStore`` instance)
+and needs no cross-process coordination: every claimer being locally
+fair makes the fleet fair.
 """
 
 from __future__ import annotations
@@ -74,6 +87,17 @@ MAX_FINISHED = 1024
 #: dies this many times is treated as the cause, not the victim).
 MAX_ATTEMPTS = 3
 
+#: The tenant jobs land under when nothing identifies one (no
+#: ``X-Repro-Tenant`` header, no envelope ``tenant``, no client
+#: address).  Also the sqlite column default, so pre-tenancy rows
+#: migrate into this tenant.
+DEFAULT_TENANT = "default"
+
+#: Floor for configured DWRR weights: a zero or negative weight would
+#: starve its tenant (or spin the scheduler loop); clamping keeps every
+#: tenant schedulable and the credit loop bounded.
+MIN_TENANT_WEIGHT = 0.05
+
 #: Bounded retry-with-backoff for SQLITE_BUSY: beyond sqlite's own
 #: ``busy_timeout``, a mutating statement that still loses the lock race
 #: (or hits an injected busy fault) is retried this many times with
@@ -95,7 +119,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     finished_at REAL,
     owner TEXT,
     attempts INTEGER NOT NULL DEFAULT 0,
-    cancel_requested INTEGER NOT NULL DEFAULT 0
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    tenant TEXT NOT NULL DEFAULT 'default'
 );
 CREATE INDEX IF NOT EXISTS jobs_by_status ON jobs (status);
 CREATE TABLE IF NOT EXISTS events (
@@ -123,6 +148,7 @@ class Job:
     events: List[dict] = field(default_factory=list)
     result: Optional[dict] = None
     error: Optional[dict] = None
+    tenant: str = DEFAULT_TENANT
 
     def to_json(self) -> dict:
         """The wire job document (``schemas/job.v1.json``)."""
@@ -130,6 +156,7 @@ class Job:
             "id": self.id,
             "kind": self.kind,
             "status": self.status,
+            "tenant": self.tenant,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -167,12 +194,19 @@ class JobStore:
         path: str,
         max_attempts: int = MAX_ATTEMPTS,
         max_finished: int = MAX_FINISHED,
+        max_finished_per_tenant: Optional[int] = None,
     ):
         self.path = path
         self.max_attempts = max_attempts
         self.max_finished = max_finished
+        # None means per-tenant retention equals the global window (a
+        # single-tenant store behaves exactly as before tenancy).
+        self.max_finished_per_tenant = max_finished_per_tenant
         self._lock = threading.Lock()
         self._counter = itertools.count(1)
+        # DWRR scheduler state (per claimer; see _pick_tenant).
+        self._dwrr_credit: Dict[str, float] = {}
+        self._dwrr_last: Optional[str] = None
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         try:
@@ -198,6 +232,18 @@ class JobStore:
                     "ALTER TABLE jobs ADD COLUMN cancel_requested"
                     " INTEGER NOT NULL DEFAULT 0"
                 )
+            if "tenant" not in cols:
+                self._conn.execute(
+                    "ALTER TABLE jobs ADD COLUMN tenant"
+                    f" TEXT NOT NULL DEFAULT '{DEFAULT_TENANT}'"
+                )
+            # The per-tenant depth/stats index is created outside
+            # _SCHEMA: on a pre-tenancy database the column only exists
+            # after the ALTER above.
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS jobs_by_tenant_status"
+                " ON jobs (tenant, status)"
+            )
         except sqlite3.DatabaseError as exc:
             raise RuntimeError(
                 f"job database {path!r} is unreadable ({exc}); move the "
@@ -226,32 +272,46 @@ class JobStore:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, request) -> Job:
-        """Persist a decoded wire request as a ``queued`` job."""
+    def submit(self, request, tenant: Optional[str] = None) -> Job:
+        """Persist a decoded wire request as a ``queued`` job.
+
+        ``tenant`` (usually the identity admission resolved from the
+        ``X-Repro-Tenant`` header) wins over the request envelope's own
+        ``tenant`` field; with neither, the job lands under
+        :data:`DEFAULT_TENANT`.
+        """
         kind = JOB_KINDS.get(getattr(request, "kind", None))
         if kind is None:
             raise InvalidRequestError(
                 f"cannot run {type(request).__name__} as a job"
             )
         request_json = request.to_json()
+        tenant = (
+            tenant
+            or getattr(request, "tenant", None)
+            or DEFAULT_TENANT
+        )
         job = Job(
             id=f"job-{next(self._counter):04d}-{uuid.uuid4().hex[:8]}",
             kind=kind,
             status="queued",
             request=request_json,
             created_at=time.time(),
+            tenant=tenant,
         )
         with self._lock:
             self._retry_busy(
                 lambda: self._conn.execute(
                     "INSERT INTO jobs (id, kind, status, request, shard_key,"
-                    " created_at, attempts) VALUES (?, ?, 'queued', ?, ?, ?, 0)",
+                    " created_at, attempts, tenant)"
+                    " VALUES (?, ?, 'queued', ?, ?, ?, 0, ?)",
                     (
                         job.id,
                         kind,
                         json.dumps(request_json, sort_keys=True),
                         shard_key_of(request_json),
                         job.created_at,
+                        tenant,
                     ),
                 )
             )
@@ -264,41 +324,119 @@ class JobStore:
         owner: str,
         shard: Optional[int] = None,
         shards: Optional[int] = None,
+        weights: Optional[Dict[str, float]] = None,
+        max_running_per_tenant: Optional[int] = None,
     ) -> Optional[Job]:
         """Atomically move the next ``queued`` job to ``running``.
 
-        With ``shard``/``shards`` the oldest job in the caller's shard
-        wins; an empty shard falls back to the oldest job anywhere
-        (work stealing), so affinity never starves the pool.  Returns
-        ``None`` when the queue is empty.
+        Tenant selection runs first: deficit-weighted round-robin over
+        every tenant with backlog (``weights`` maps tenant -> relative
+        share, default 1.0; ``max_running_per_tenant`` skips tenants
+        already running that many jobs).  Within the chosen tenant,
+        ``shard``/``shards`` prefer the caller's shard with a steal
+        fallback, exactly as before tenancy.  Returns ``None`` when no
+        eligible job exists.
         """
-        return self._retry_busy(lambda: self._claim_once(owner, shard, shards))
+        return self._retry_busy(
+            lambda: self._claim_once(
+                owner, shard, shards, weights, max_running_per_tenant
+            )
+        )
+
+    def _pick_tenant(
+        self,
+        eligible: List[str],
+        weights: Optional[Dict[str, float]],
+    ) -> str:
+        """Deficit-weighted round-robin over ``eligible`` tenants.
+
+        Classic DRR with unit-cost jobs: the claimer keeps a credit
+        counter per tenant; a tenant is served while it holds a full
+        credit, and earns its weight in credit each time the round-robin
+        pointer reaches it.  Credits of tenants with no backlog are
+        dropped (an empty queue must not bank credit for a later
+        burst).  Caller holds ``self._lock``.
+        """
+        ring = sorted(eligible)
+        for tenant in list(self._dwrr_credit):
+            if tenant not in eligible:
+                del self._dwrr_credit[tenant]
+        if len(ring) == 1:
+            self._dwrr_last = ring[0]
+            return ring[0]
+
+        def weight_of(tenant: str) -> float:
+            value = (weights or {}).get(tenant, 1.0)
+            return max(MIN_TENANT_WEIGHT, float(value))
+
+        last = self._dwrr_last
+        if last in self._dwrr_credit and self._dwrr_credit[last] >= 1.0:
+            # Stay on the last-served tenant while it has credit: this
+            # is what makes a weight of 2 mean two jobs per turn.
+            self._dwrr_credit[last] -= 1.0
+            return last
+        start = (ring.index(last) + 1) if last in ring else 0
+        # Each pass grants every tenant >= MIN_TENANT_WEIGHT credit, so
+        # ceil(1 / MIN_TENANT_WEIGHT) passes guarantee a winner.
+        limit = len(ring) * (int(1.0 / MIN_TENANT_WEIGHT) + 1)
+        for step in range(limit):
+            tenant = ring[(start + step) % len(ring)]
+            credit = self._dwrr_credit.get(tenant, 0.0) + weight_of(tenant)
+            if credit >= 1.0:
+                self._dwrr_credit[tenant] = credit - 1.0
+                self._dwrr_last = tenant
+                return tenant
+            self._dwrr_credit[tenant] = credit
+        return ring[0]  # unreachable: the clamped weights bound the loop
 
     def _claim_once(
         self,
         owner: str,
         shard: Optional[int] = None,
         shards: Optional[int] = None,
+        weights: Optional[Dict[str, float]] = None,
+        max_running_per_tenant: Optional[int] = None,
     ) -> Optional[Job]:
         with self._lock:
             failpoint("jobstore.claim")
             self._conn.execute("BEGIN IMMEDIATE")
             try:
+                queued = dict(
+                    self._conn.execute(
+                        "SELECT tenant, COUNT(*) FROM jobs"
+                        " WHERE status='queued' GROUP BY tenant"
+                    ).fetchall()
+                )
+                eligible = list(queued)
+                if eligible and max_running_per_tenant is not None:
+                    running = dict(
+                        self._conn.execute(
+                            "SELECT tenant, COUNT(*) FROM jobs"
+                            " WHERE status='running' GROUP BY tenant"
+                        ).fetchall()
+                    )
+                    eligible = [
+                        t for t in eligible
+                        if running.get(t, 0) < max_running_per_tenant
+                    ]
+                if not eligible:
+                    self._conn.execute("COMMIT")
+                    return None
+                tenant = self._pick_tenant(eligible, weights)
                 row = None
                 if shard is not None and shards:
                     row = self._conn.execute(
                         "SELECT id FROM jobs WHERE status='queued'"
-                        " AND (shard_key % ?) = ? ORDER BY rowid LIMIT 1",
-                        (shards, shard),
+                        " AND tenant=? AND (shard_key % ?) = ?"
+                        " ORDER BY rowid LIMIT 1",
+                        (tenant, shards, shard),
                     ).fetchone()
                 if row is None:
                     row = self._conn.execute(
                         "SELECT id FROM jobs WHERE status='queued'"
-                        " ORDER BY rowid LIMIT 1"
+                        " AND tenant=? ORDER BY rowid LIMIT 1",
+                        (tenant,),
                     ).fetchone()
-                if row is None:
-                    self._conn.execute("COMMIT")
-                    return None
                 job_id = row[0]
                 self._conn.execute(
                     "UPDATE jobs SET status='running', owner=?,"
@@ -552,7 +690,7 @@ class JobStore:
         with self._lock:
             row = self._conn.execute(
                 "SELECT id, kind, status, request, created_at, started_at,"
-                " finished_at, attempts, owner, result, error"
+                " finished_at, attempts, owner, result, error, tenant"
                 " FROM jobs WHERE id=?",
                 (job_id,),
             ).fetchone()
@@ -573,6 +711,7 @@ class JobStore:
             events=events,
             result=json.loads(row[9]) if row[9] else None,
             error=json.loads(row[10]) if row[10] else None,
+            tenant=row[11],
         )
 
     def events_since(self, job_id: str, after: int) -> Tuple[List[Tuple[int, dict]], str]:
@@ -594,26 +733,40 @@ class JobStore:
             ]
         return events, row[0]
 
-    def list(self, limit: int = 256) -> List[Job]:
+    def list(self, limit: int = 256, tenant: Optional[str] = None) -> List[Job]:
         """The newest ``limit`` jobs, oldest first (the ``GET /v1/jobs``
-        listing)."""
+        listing).  ``tenant`` scopes the listing to one tenant's jobs
+        (``GET /v1/jobs?tenant=...``)."""
         with self._lock:
-            ids = [
-                job_id
-                for (job_id,) in self._conn.execute(
+            if tenant is None:
+                cursor = self._conn.execute(
                     "SELECT id FROM (SELECT id, rowid FROM jobs"
                     " ORDER BY rowid DESC LIMIT ?) ORDER BY rowid",
                     (limit,),
                 )
-            ]
+            else:
+                cursor = self._conn.execute(
+                    "SELECT id FROM (SELECT id, rowid FROM jobs"
+                    " WHERE tenant=? ORDER BY rowid DESC LIMIT ?)"
+                    " ORDER BY rowid",
+                    (tenant, limit),
+                )
+            ids = [job_id for (job_id,) in cursor]
         return [self.get(job_id) for job_id in ids]
 
-    def depth(self) -> int:
+    def depth(self, tenant: Optional[str] = None) -> int:
         """Jobs waiting to run -- the number admission control compares
-        against ``max_queue_depth``."""
+        against ``max_queue_depth`` (or, with ``tenant``, against the
+        per-tenant ``max_queued_per_tenant`` share)."""
         with self._lock:
+            if tenant is None:
+                return self._conn.execute(
+                    "SELECT COUNT(*) FROM jobs WHERE status='queued'"
+                ).fetchone()[0]
             return self._conn.execute(
-                "SELECT COUNT(*) FROM jobs WHERE status='queued'"
+                "SELECT COUNT(*) FROM jobs"
+                " WHERE status='queued' AND tenant=?",
+                (tenant,),
             ).fetchone()[0]
 
     def counters(self) -> Dict[str, int]:
@@ -632,22 +785,83 @@ class JobStore:
             ).fetchone()[0]
         return totals
 
-    def prune(self) -> int:
-        """Delete the oldest finished rows beyond ``max_finished``;
-        returns how many were dropped."""
+    def tenant_counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant job totals by status (the store half of
+        ``stats.service.tenants``); hits the (tenant, status) index."""
+        per_tenant: Dict[str, Dict[str, int]] = {}
+        with self._lock:
+            for tenant, status, count in self._conn.execute(
+                "SELECT tenant, status, COUNT(*) FROM jobs"
+                " GROUP BY tenant, status"
+            ):
+                totals = per_tenant.setdefault(tenant, {
+                    "queued": 0, "running": 0, "done": 0, "failed": 0,
+                    "cancelled": 0,
+                })
+                totals[status] = count
+        return per_tenant
+
+    def tenant_failure_window(
+        self, tenant: str, window_s: float, limit: int = 8
+    ) -> Tuple[int, int]:
+        """``(finished, failed)`` over the tenant's newest ``limit``
+        finished jobs within the last ``window_s`` seconds -- the sample
+        the per-tenant circuit breaker judges."""
         with self._lock:
             rows = self._conn.execute(
+                "SELECT status FROM jobs WHERE tenant=?"
+                " AND status IN ('done', 'failed')"
+                " AND finished_at IS NOT NULL AND finished_at >= ?"
+                " ORDER BY finished_at DESC LIMIT ?",
+                (tenant, time.time() - window_s, limit),
+            ).fetchall()
+        finished = len(rows)
+        failed = sum(1 for (status,) in rows if status == "failed")
+        return finished, failed
+
+    def prune(self) -> int:
+        """Delete finished rows beyond the retention windows; returns
+        how many were dropped.
+
+        Two windows apply: each tenant keeps its newest
+        ``max_finished_per_tenant`` finished rows (one tenant's burst of
+        finished jobs cannot evict another tenant's results), and the
+        store keeps ``max_finished`` overall.  With
+        ``max_finished_per_tenant=None`` the per-tenant window equals
+        the global one, so a single-tenant store prunes exactly as
+        before tenancy.
+        """
+        per_cap = (
+            self.max_finished_per_tenant
+            if self.max_finished_per_tenant is not None
+            else self.max_finished
+        )
+        doomed = set()
+        with self._lock:
+            for (tenant,) in self._conn.execute(
+                "SELECT DISTINCT tenant FROM jobs"
+                " WHERE status IN ('done', 'failed', 'cancelled')"
+            ).fetchall():
+                for (job_id,) in self._conn.execute(
+                    "SELECT id FROM jobs WHERE tenant=?"
+                    " AND status IN ('done', 'failed', 'cancelled')"
+                    " ORDER BY rowid DESC LIMIT -1 OFFSET ?",
+                    (tenant, per_cap),
+                ):
+                    doomed.add(job_id)
+            for (job_id,) in self._conn.execute(
                 "SELECT id FROM jobs"
                 " WHERE status IN ('done', 'failed', 'cancelled')"
                 " ORDER BY rowid DESC LIMIT -1 OFFSET ?",
                 (self.max_finished,),
-            ).fetchall()
-            for (job_id,) in rows:
+            ):
+                doomed.add(job_id)
+            for job_id in sorted(doomed):
                 self._conn.execute("DELETE FROM jobs WHERE id=?", (job_id,))
                 self._conn.execute(
                     "DELETE FROM events WHERE job_id=?", (job_id,)
                 )
-        return len(rows)
+        return len(doomed)
 
     def close(self) -> None:
         with self._lock:

@@ -31,6 +31,7 @@ import os
 import sqlite3
 import threading
 import time
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional
 
 from repro import faults
@@ -39,7 +40,7 @@ from repro.api.events import ProgressEvent
 from repro.api.types import decode_request
 from repro.api.workspace import WorkspaceConfig
 from repro.faults import FaultInjected, failpoint
-from repro.service.store import Job, JobStore
+from repro.service.store import DEFAULT_TENANT, Job, JobStore
 
 #: Idle delay between empty claim attempts.  Low enough that job pickup
 #: latency is invisible next to solver work, high enough that an idle
@@ -62,6 +63,52 @@ BREAKER_COOLDOWN_S = 30.0
 #: A worker that survived at least this long before dying was doing real
 #: work, not crash-looping; its death resets the streak.
 BREAKER_HEALTHY_S = 10.0
+
+#: Per-tenant workspaces a worker keeps warm at once.  Each open
+#: workspace is a solver-session pool plus a memo cache, so the pool is
+#: small; the least-recently-served tenant's workspace is closed (which
+#: checkpoints its persistent cache) when a new tenant needs a slot.
+MAX_TENANT_WORKSPACES = 4
+
+
+class TenantWorkspaces:
+    """Per-tenant workspace pool for one worker process.
+
+    Tenancy must isolate *caches* too: tenant A's persistent query
+    cache must not serve (or be poisoned by) tenant B's entries, so
+    each non-default tenant gets a workspace built from
+    :meth:`~repro.api.workspace.WorkspaceConfig.for_tenant` -- its own
+    ``tenant-<id>`` cache subdirectory.  The default tenant (and every
+    tenant when no ``cache_dir`` is configured, where there is nothing
+    durable to isolate) shares the base workspace, which keeps the
+    single-tenant hot path identical to the pre-tenancy behavior.
+    """
+
+    def __init__(self, config: WorkspaceConfig, max_open: int = MAX_TENANT_WORKSPACES):
+        self.config = config
+        self.max_open = max_open
+        self.base = config.build()
+        self._pool: "OrderedDict[str, object]" = OrderedDict()
+
+    def get(self, tenant: str):
+        if tenant == DEFAULT_TENANT or not self.config.cache_dir:
+            return self.base
+        workspace = self._pool.get(tenant)
+        if workspace is None:
+            workspace = self.config.for_tenant(tenant).build()
+            self._pool[tenant] = workspace
+            while len(self._pool) > self.max_open:
+                _, evicted = self._pool.popitem(last=False)
+                evicted.close()  # checkpoint before the slot is reused
+        else:
+            self._pool.move_to_end(tenant)
+        return workspace
+
+    def close(self) -> None:
+        for workspace in self._pool.values():
+            workspace.close()
+        self._pool.clear()
+        self.base.close()
 
 
 def execute_job(workspace, store: JobStore, job: Job) -> None:
@@ -132,11 +179,28 @@ def _drain_loop(
     shard: Optional[int] = None,
     shards: Optional[int] = None,
     poll_interval: float = POLL_INTERVAL,
+    weights: Optional[Dict[str, float]] = None,
+    max_running_per_tenant: Optional[int] = None,
+    workspace_for: Optional[Callable[[str], object]] = None,
 ) -> None:
-    """Claim-execute until told to stop; shared by both runner kinds."""
+    """Claim-execute until told to stop; shared by both runner kinds.
+
+    ``weights``/``max_running_per_tenant`` flow into the store's
+    deficit-weighted claim; ``workspace_for`` (when given) selects the
+    per-tenant workspace each claimed job runs against.
+    """
     while not should_stop():
         try:
-            job = store.claim(owner, shard=shard, shards=shards)
+            job = store.claim(
+                owner, shard=shard, shards=shards,
+                weights=weights,
+                max_running_per_tenant=max_running_per_tenant,
+            )
+        except sqlite3.ProgrammingError:
+            # The store was closed under us: the inline tier's daemon
+            # thread can lose the race with server shutdown between the
+            # stop check and the claim.  Nothing left to drain.
+            return
         except (FaultInjected, sqlite3.OperationalError):
             # A claim that failed (injected, or a real lock pile-up
             # outliving the store's bounded retry) claimed nothing:
@@ -146,11 +210,27 @@ def _drain_loop(
         if job is None:
             time.sleep(poll_interval)
             continue
-        execute_job(workspace, store, job)
+        target = workspace_for(job.tenant) if workspace_for else workspace
         try:
+            execute_job(target, store, job)
             store.prune()
+        except sqlite3.ProgrammingError:
+            # Closed under us mid-job (a non-draining shutdown stops
+            # claiming but lets the in-flight job run): the claimed row
+            # is re-enqueued on restart by owner expiry, so dropping
+            # this result loses nothing durable.
+            return
         except sqlite3.OperationalError:
             pass  # retention is periodic; the next pass catches up
+    # Drain exit is a retention checkpoint too: a worker told to stop
+    # while idle still leaves the store pruned, so retention does not
+    # depend on one more job arriving first.  sqlite3.Error (not just
+    # OperationalError): the inline tier's daemon thread can observe
+    # the stop flag after the server already closed the shared store.
+    try:
+        store.prune()
+    except sqlite3.Error:
+        pass
 
 
 def worker_main(
@@ -160,6 +240,8 @@ def worker_main(
     config: WorkspaceConfig,
     stop_event,
     poll_interval: float = POLL_INTERVAL,
+    tenant_weights: Optional[Dict[str, float]] = None,
+    max_running_per_tenant: Optional[int] = None,
 ) -> None:
     """Entry point of one worker process (must be importable: spawn)."""
     # Spawned processes inherit the environment, not the parent's
@@ -167,20 +249,23 @@ def worker_main(
     # killing a worker is exactly what the pool monitor must survive).
     faults.install_from_env()
     store = JobStore(job_db)
-    workspace = config.build()
+    workspaces = TenantWorkspaces(config)
     owner = f"w{index}-{os.getpid()}"
     try:
         _drain_loop(
-            store, workspace, owner,
+            store, workspaces.base, owner,
             stop_event.is_set,
             shard=index, shards=shards,
             poll_interval=poll_interval,
+            weights=tenant_weights,
+            max_running_per_tenant=max_running_per_tenant,
+            workspace_for=workspaces.get,
         )
     finally:
-        # Graceful exit checkpoints the worker's persistent query cache
-        # (Workspace.close flushes it) -- the warm state a drain hands
+        # Graceful exit checkpoints the worker's persistent query caches
+        # (Workspace.close flushes them) -- the warm state a drain hands
         # to the next process generation.
-        workspace.close()
+        workspaces.close()
         store.close()
 
 
@@ -199,6 +284,8 @@ class WorkerPool:
         config: WorkspaceConfig,
         workers: int,
         poll_interval: float = POLL_INTERVAL,
+        tenant_weights: Optional[Dict[str, float]] = None,
+        max_running_per_tenant: Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError("WorkerPool needs at least one worker")
@@ -206,6 +293,8 @@ class WorkerPool:
         self.config = config
         self.workers = workers
         self.poll_interval = poll_interval
+        self.tenant_weights = dict(tenant_weights or {})
+        self.max_running_per_tenant = max_running_per_tenant
         self.restarts = 0
         self.breaker_trips = 0
         self._ctx = multiprocessing.get_context("spawn")
@@ -243,6 +332,8 @@ class WorkerPool:
                 self.config.for_worker(index),
                 self._stop_event,
                 self.poll_interval,
+                self.tenant_weights,
+                self.max_running_per_tenant,
             ),
             name=f"repro-worker-{index}",
             daemon=True,
@@ -373,10 +464,14 @@ class InlineRunner:
         store: JobStore,
         workspace,
         poll_interval: float = POLL_INTERVAL,
+        tenant_weights: Optional[Dict[str, float]] = None,
+        max_running_per_tenant: Optional[int] = None,
     ):
         self.store = store
         self.workspace = workspace
         self.poll_interval = poll_interval
+        self.tenant_weights = dict(tenant_weights or {})
+        self.max_running_per_tenant = max_running_per_tenant
         self.owner = f"inline-{os.getpid()}"
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -388,9 +483,15 @@ class InlineRunner:
         self._thread.start()
 
     def _run(self) -> None:
+        # The inline tier shares the server's one workspace for every
+        # tenant: per-tenant cache isolation is a worker-process
+        # concern (workers own their cache directories; the server's
+        # is also serving the sync endpoints).
         _drain_loop(
             self.store, self.workspace, self.owner,
             self._stop.is_set, poll_interval=self.poll_interval,
+            weights=self.tenant_weights,
+            max_running_per_tenant=self.max_running_per_tenant,
         )
 
     def active_owners(self) -> List[str]:

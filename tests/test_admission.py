@@ -7,12 +7,16 @@ from repro.api import (
     RequestTooLargeError,
     ServiceDrainingError,
 )
+from repro.api.errors import TenantRateLimitedError, TenantSuspendedError
+from repro.faults import FaultPlan, FaultRule, activate, deactivate
 from repro.service.admission import (
     DEFAULT_MAX_REQUEST_BYTES,
     MAX_TRACKED_CLIENTS,
     AdmissionController,
     TokenBucket,
+    resolve_tenant,
 )
+from repro.service.store import DEFAULT_TENANT
 
 
 class TestTokenBucket:
@@ -92,3 +96,139 @@ class TestAdmissionController:
         controller = AdmissionController()
         controller.note_queue_full()
         assert controller.counters()["queue_full"] == 1
+
+
+class TestBucketEviction:
+    def test_eviction_is_idle_time_based_not_insertion_order(self, monkeypatch):
+        # Regression: the old OrderedDict eviction dropped the *first
+        # inserted* bucket, so a veteran active tenant lost its bucket
+        # (and an abuser its debt) whenever newcomers churned the table.
+        now = [0.0]
+        monkeypatch.setattr(
+            "repro.service.admission.time.monotonic", lambda: now[0]
+        )
+        controller = AdmissionController(rate_limit=1000.0)
+        controller.admit("veteran", 1)  # oldest insertion
+        now[0] = 10.0
+        for i in range(MAX_TRACKED_CLIENTS - 1):
+            controller.admit(f"newcomer-{i}", 1)
+        now[0] = 20.0
+        controller.admit("veteran", 1)  # recently active
+        now[0] = 30.0
+        controller.admit("fresh", 1)  # pushes the table over the cap
+        assert len(controller._buckets) == MAX_TRACKED_CLIENTS
+        # The idle newcomers pay, not the active veteran.
+        assert "veteran" in controller._buckets
+        assert "fresh" in controller._buckets
+
+
+class TestTenantResolution:
+    def test_header_wins_when_well_formed(self):
+        assert resolve_tenant("acme", "10.0.0.1") == "acme"
+        assert resolve_tenant("  team-7  ", "10.0.0.1") == "team-7"
+
+    def test_missing_header_falls_back(self):
+        assert resolve_tenant(None, "10.0.0.1") == "10.0.0.1"
+        assert resolve_tenant(None, None) == DEFAULT_TENANT
+
+    def test_malformed_header_degrades_to_fallback(self):
+        for bad in ("", "a" * 65, "has spaces", "semi;colon", "-leading"):
+            assert resolve_tenant(bad, "10.0.0.1") == "10.0.0.1"
+
+    def test_lookup_fault_degrades_to_fallback(self):
+        # The admission.tenant_lookup failpoint models a failing
+        # identity backend: resolution must degrade, never error.
+        plan = FaultPlan(
+            0,
+            [FaultRule(site="admission.tenant_lookup", action="raise", nth=1)],
+        )
+        activate(plan)
+        try:
+            assert resolve_tenant("acme", "10.0.0.1") == "10.0.0.1"
+            # The fault fired once; resolution recovers after it.
+            assert resolve_tenant("acme", "10.0.0.1") == "acme"
+        finally:
+            deactivate()
+
+
+class TestTenantGates:
+    def test_explicit_tenant_gets_tenant_scoped_code(self):
+        controller = AdmissionController(rate_limit=1.0, rate_burst=1.0)
+        controller.admit("acme", 1, explicit_tenant=True)
+        with pytest.raises(TenantRateLimitedError) as exc:
+            controller.admit("acme", 1, explicit_tenant=True)
+        assert exc.value.code == "tenant-rate-limited"
+        # Tenant-scoped refusals still answer isinstance dispatch on the
+        # legacy class.
+        assert isinstance(exc.value, RateLimitedError)
+        assert controller.tenant_counters()["acme"]["shed"] == 1
+
+    def test_implicit_identity_keeps_legacy_code(self):
+        controller = AdmissionController(rate_limit=1.0, rate_burst=1.0)
+        controller.admit("10.0.0.1", 1)
+        with pytest.raises(RateLimitedError) as exc:
+            controller.admit("10.0.0.1", 1)
+        assert exc.value.code == "rate-limited"
+
+    def test_suspend_sheds_and_resume_restores(self):
+        controller = AdmissionController()
+        controller.suspend("acme")
+        with pytest.raises(TenantSuspendedError) as exc:
+            controller.admit("acme", 1, explicit_tenant=True)
+        assert exc.value.code == "tenant-suspended"
+        assert exc.value.retry_after >= 1
+        controller.admit("other", 1)  # only acme is shed
+        controller.resume("acme")
+        controller.admit("acme", 1)
+        counters = controller.counters()
+        assert counters["suspended"] == 1
+        assert controller.tenant_counters()["acme"]["shed"] == 1
+
+
+class TestCircuitBreaker:
+    def test_failing_tenant_trips_and_stays_open(self):
+        probes = []
+
+        def probe(tenant):
+            probes.append(tenant)
+            return (8, 8)  # every recent job failed
+
+        controller = AdmissionController(failure_probe=probe)
+        with pytest.raises(TenantSuspendedError) as exc:
+            controller.admit("sad", 1, explicit_tenant=True)
+        assert exc.value.code == "tenant-suspended"
+        assert exc.value.retry_after >= 1
+        assert controller.counters()["breaker_trips"] == 1
+        assert controller.tenant_counters()["sad"]["breaker_trips"] == 1
+        # While open, requests shed without re-probing the store.
+        with pytest.raises(TenantSuspendedError):
+            controller.admit("sad", 1, explicit_tenant=True)
+        assert probes == ["sad"]
+
+    def test_healthy_tenant_passes(self):
+        controller = AdmissionController(failure_probe=lambda t: (8, 1))
+        controller.admit("fine", 1, explicit_tenant=True)
+
+    def test_small_sample_never_trips(self):
+        # A tenant's first failure must not suspend it: the breaker
+        # needs BREAKER_MIN_SAMPLE finished jobs to judge.
+        controller = AdmissionController(failure_probe=lambda t: (2, 2))
+        controller.admit("new", 1, explicit_tenant=True)
+
+    def test_probe_failure_fails_open(self):
+        def boom(tenant):
+            raise RuntimeError("store is gone")
+
+        controller = AdmissionController(failure_probe=boom)
+        controller.admit("anyone", 1, explicit_tenant=True)
+
+    def test_resume_lifts_an_open_breaker(self):
+        health = {"failed": 8}
+        controller = AdmissionController(
+            failure_probe=lambda t: (8, health["failed"])
+        )
+        with pytest.raises(TenantSuspendedError):
+            controller.admit("sad", 1, explicit_tenant=True)
+        health["failed"] = 0  # the tenant fixed its requests
+        controller.resume("sad")
+        controller.admit("sad", 1, explicit_tenant=True)

@@ -17,7 +17,12 @@ import pytest
 
 from repro import faults
 from repro.faults import FaultInjected, FaultPlan, FaultRule
-from repro.service import default_plan, run_chaos
+from repro.service import (
+    ReproService,
+    default_plan,
+    run_chaos,
+    run_tenant_isolation,
+)
 
 FIXED_SEEDS = [0, 7, 42]
 
@@ -161,3 +166,92 @@ class TestChaosGate:
             _save_artifact(report)
         assert report["ok"], report["violations"]
         assert os.path.exists(gate), "the crash rule must have fired"
+
+
+class TestTenantLookupFaults:
+    """The ``admission.tenant_lookup`` failpoint models a flaky
+    identity backend.  A fault there must degrade the request to the
+    address-keyed default identity -- the job is still accepted and
+    still lands in the store -- never surface as an error."""
+
+    def test_lookup_fault_degrades_to_address_identity(self, tmp_path):
+        plan = FaultPlan(
+            0,
+            [
+                FaultRule(
+                    site="admission.tenant_lookup", action="raise", nth=1
+                )
+            ],
+        )
+        service = ReproService(
+            job_db=str(tmp_path / "jobs.sqlite"), start_runner=False
+        )
+        body = json.dumps(
+            {"version": 1, "kind": "analyze_request", "benchmark": "SIBench"}
+        ).encode()
+        faults.activate(plan)
+        try:
+            # Fault fires on the first request: accepted, but keyed by
+            # the client address instead of the header.
+            status, job, _ = service.handle(
+                "POST", "/v1/jobs", body,
+                client="10.1.1.1", tenant_header="acme",
+            )
+            assert status == 202
+            assert job["tenant"] == "10.1.1.1"
+            # The backend recovered: the header counts again.
+            status, job, _ = service.handle(
+                "POST", "/v1/jobs", body,
+                client="10.1.1.1", tenant_header="acme",
+            )
+            assert status == 202
+            assert job["tenant"] == "acme"
+        finally:
+            faults.deactivate()
+            service.close()
+
+    def test_lookup_delay_fault_only_slows_the_request(self, tmp_path):
+        plan = FaultPlan(
+            0,
+            [
+                FaultRule(
+                    site="admission.tenant_lookup", action="delay", nth=1,
+                    delay_s=0.02,
+                )
+            ],
+        )
+        service = ReproService(
+            job_db=str(tmp_path / "jobs.sqlite"), start_runner=False
+        )
+        body = json.dumps(
+            {"version": 1, "kind": "analyze_request", "benchmark": "SIBench"}
+        ).encode()
+        faults.activate(plan)
+        try:
+            status, job, _ = service.handle(
+                "POST", "/v1/jobs", body,
+                client="10.1.1.1", tenant_header="acme",
+            )
+            assert status == 202
+            assert job["tenant"] == "acme"
+        finally:
+            faults.deactivate()
+            service.close()
+
+
+class TestTenantIsolationGate:
+    """The two-tenant fairness acceptance gate: a flooding aggressor
+    must not starve a trickling victim.  Every victim job completes and
+    its p99 stays within the 3x-solo bound computed by the scenario."""
+
+    @pytest.mark.parametrize("seed", _seeds())
+    def test_victim_latency_survives_aggressor_flood(self, seed):
+        report = run_tenant_isolation(
+            seed=seed, aggressor_jobs=8, victim_jobs=2, workers=0,
+            timeout=240.0,
+        )
+        if not report["ok"]:
+            _save_artifact(report)
+        assert report["ok"], report["violations"]
+        assert report["victim_completed"] == 2
+        assert report["contended_p99_s"] <= report["threshold_s"]

@@ -9,6 +9,7 @@ import pytest
 from repro.api import AnalyzeRequest, JobNotFoundError
 from repro.api.events import ProgressEvent
 from repro.service.store import (
+    DEFAULT_TENANT,
     MAX_EVENTS,
     JobStore,
     shard_key_of,
@@ -199,3 +200,118 @@ class TestDurability:
             second = store.submit(request_for("SIBench")).id
         assert first != second
         assert os.path.exists(path)
+
+
+class TestTenancy:
+    def test_tenant_persists_and_scopes_queries(self, store):
+        plain = store.submit(request_for("SIBench"))
+        acme = store.submit(request_for("Courseware"), tenant="acme")
+        assert store.get(plain.id).tenant == DEFAULT_TENANT
+        assert store.get(acme.id).tenant == "acme"
+        assert store.depth() == 2
+        assert store.depth(tenant="acme") == 1
+        assert [j.id for j in store.list(tenant="acme")] == [acme.id]
+        counters = store.tenant_counters()
+        assert counters["acme"]["queued"] == 1
+        assert counters[DEFAULT_TENANT]["queued"] == 1
+
+    def test_envelope_tenant_is_used_when_no_override(self, store):
+        request = AnalyzeRequest(benchmark="SIBench", tenant="from-envelope")
+        job = store.submit(request)
+        assert store.get(job.id).tenant == "from-envelope"
+        overridden = store.submit(request, tenant="from-header")
+        assert store.get(overridden.id).tenant == "from-header"
+
+    def test_equal_weights_alternate_claims(self, store):
+        # The fairness core: a 6-job backlog from tenant a must not
+        # delay tenant b's jobs behind all six.
+        for _ in range(6):
+            store.submit(request_for("SIBench"), tenant="a")
+        for _ in range(3):
+            store.submit(request_for("SIBench"), tenant="b")
+        served = [store.claim("w0").tenant for _ in range(6)]
+        assert served == ["a", "b", "a", "b", "a", "b"]
+        # b's queue is drained; a gets the leftovers.
+        assert [store.claim("w0").tenant for _ in range(3)] == ["a", "a", "a"]
+
+    def test_weights_shape_the_interleave(self, store):
+        for _ in range(6):
+            store.submit(request_for("SIBench"), tenant="a")
+            store.submit(request_for("SIBench"), tenant="b")
+        served = [
+            store.claim("w0", weights={"a": 2.0}).tenant for _ in range(6)
+        ]
+        # Weight 2 means two a jobs per b job.
+        assert served == ["a", "a", "b", "a", "a", "b"]
+
+    def test_running_cap_skips_saturated_tenant(self, store):
+        for _ in range(3):
+            store.submit(request_for("SIBench"), tenant="hog")
+        store.submit(request_for("SIBench"), tenant="calm")
+        first = store.claim("w0", max_running_per_tenant=1)
+        # With hog at its running cap after one claim, the second claim
+        # must take calm's job, not hog's second -- one of each runs.
+        second = store.claim("w1", max_running_per_tenant=1)
+        assert {first.tenant, second.tenant} == {"hog", "calm"}
+        # hog is capped and calm's queue is empty: nothing claimable
+        # despite hog's backlog.
+        assert store.claim("w2", max_running_per_tenant=1) is None
+        hog_job = first if first.tenant == "hog" else second
+        store.finish(hog_job.id, {"ok": 1})
+        assert store.claim("w2", max_running_per_tenant=1).tenant == "hog"
+
+    def test_prune_applies_per_tenant_retention(self, tmp_path):
+        with JobStore(
+            str(tmp_path / "jobs.sqlite"),
+            max_finished=100, max_finished_per_tenant=1,
+        ) as store:
+            kept = {}
+            for tenant in ("a", "b"):
+                for n in range(3):
+                    job = store.submit(request_for("SIBench"), tenant=tenant)
+                    store.claim("w0")
+                    store.finish(job.id, {"n": n})
+                    kept[tenant] = job.id
+            # Each tenant keeps its newest finished row; the global cap
+            # (100) never fires.
+            assert store.prune() == 4
+            for tenant, job_id in kept.items():
+                assert store.get(job_id).tenant == tenant
+            counters = store.tenant_counters()
+            assert counters["a"]["done"] == 1
+            assert counters["b"]["done"] == 1
+
+    def test_drain_exit_prunes(self, tmp_path):
+        # Satellite: a worker told to stop still runs retention on the
+        # way out, even if it never claimed a job.
+        from repro.service.workers import _drain_loop
+
+        with JobStore(str(tmp_path / "jobs.sqlite"), max_finished=1) as store:
+            for name in ("SIBench", "Courseware", "SmallBank"):
+                job = store.submit(request_for(name))
+                store.claim("w0")
+                store.finish(job.id, {"n": name})
+            assert store.counters()["done"] == 3
+            _drain_loop(store, None, "w0", should_stop=lambda: True)
+            assert store.counters()["done"] == 1
+
+    def test_pre_tenancy_database_is_migrated(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "jobs.sqlite")
+        with JobStore(path) as store:
+            job_id = store.submit(request_for("SIBench")).id
+        # Rewind the schema to the pre-tenancy shape.
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            "CREATE TABLE jobs_old AS SELECT id, kind, status, request,"
+            " shard_key, result, error, created_at, started_at,"
+            " finished_at, owner, attempts, cancel_requested FROM jobs;"
+            "DROP TABLE jobs;"
+            "ALTER TABLE jobs_old RENAME TO jobs;"
+        )
+        conn.close()
+        with JobStore(path) as store:
+            job = store.get(job_id)
+            assert job.tenant == DEFAULT_TENANT
+            assert store.depth(tenant=DEFAULT_TENANT) == 1

@@ -1,0 +1,338 @@
+"""Multi-tenant isolation at the service boundary: identity threading,
+gate ordering, per-tenant quotas, suspension, and the failure breaker.
+
+The admission gates are checked in a fixed order -- draining, request
+size, suspension/breaker, rate, per-tenant queue share, global queue
+depth -- and each refusal carries its own stable code.  These tests pin
+both the order (by arranging requests that violate two gates at once
+and asserting which code wins) and the wire shape (status,
+``Retry-After``) of every refusal.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import AnalyzeRequest
+from repro.service import make_server
+
+
+def start(server):
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    return thread, f"http://{host}:{port}"
+
+
+def call(base, method, path, body=None, tenant=None, timeout=300):
+    data = (
+        body if isinstance(body, bytes)
+        else json.dumps(body).encode() if body is not None
+        else None
+    )
+    headers = {"Content-Type": "application/json"}
+    if tenant is not None:
+        headers["X-Repro-Tenant"] = tenant
+    request = urllib.request.Request(
+        base + path, data=data, method=method, headers=headers,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def wait_terminal(base, job_id, timeout=60):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, doc, _ = call(base, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200, doc
+        if doc["status"] in ("done", "failed", "cancelled"):
+            return doc
+    pytest.fail(f"job {job_id} not terminal within {timeout}s")
+
+
+REQUEST = AnalyzeRequest(benchmark="SIBench").to_json()
+
+
+class TestGateOrdering:
+    def test_draining_beats_everything(self, tmp_path):
+        server = make_server(
+            port=0, job_db=str(tmp_path / "jobs.sqlite"),
+            max_request_bytes=64, start_runner=False,
+        )
+        server.service.admission.draining = True
+        server.service.admission.suspend("acme")
+        thread, base = start(server)
+        try:
+            # Draining + oversized + suspended: draining wins (the one
+            # code that says "go elsewhere").
+            status, payload, headers = call(
+                base, "POST", "/v1/jobs", b"x" * 1000, tenant="acme"
+            )
+            assert status == 503
+            assert payload["error"]["code"] == "draining"
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            server.close()
+            thread.join(timeout=10)
+
+    def test_size_beats_suspension(self, tmp_path):
+        server = make_server(
+            port=0, job_db=str(tmp_path / "jobs.sqlite"),
+            max_request_bytes=64, start_runner=False,
+        )
+        server.service.admission.suspend("acme")
+        thread, base = start(server)
+        try:
+            status, payload, _ = call(
+                base, "POST", "/v1/jobs", b"x" * 1000, tenant="acme"
+            )
+            assert status == 413
+            assert payload["error"]["code"] == "request-too-large"
+        finally:
+            server.close()
+            thread.join(timeout=10)
+
+    def test_suspension_beats_rate_limit(self, tmp_path):
+        server = make_server(
+            port=0, job_db=str(tmp_path / "jobs.sqlite"),
+            rate_limit=1.0, rate_burst=1.0, start_runner=False,
+        )
+        server.service.admission.suspend("acme")
+        thread, base = start(server)
+        try:
+            # Drain acme's bucket via another identity?  No: suspension
+            # must answer first even on the very first (in-bucket)
+            # request, so both gates are armed and suspended wins.
+            status, payload, headers = call(
+                base, "POST", "/v1/jobs", REQUEST, tenant="acme"
+            )
+            assert status == 429
+            assert payload["error"]["code"] == "tenant-suspended"
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            server.close()
+            thread.join(timeout=10)
+
+    def test_rate_limit_beats_tenant_queue_share(self, tmp_path):
+        server = make_server(
+            port=0, job_db=str(tmp_path / "jobs.sqlite"),
+            rate_limit=0.001, rate_burst=1.0,
+            max_queued_per_tenant=1, start_runner=False,
+        )
+        thread, base = start(server)
+        try:
+            status, _, _ = call(
+                base, "POST", "/v1/jobs", REQUEST, tenant="acme"
+            )
+            assert status == 202
+            # acme's queue share is now full AND its bucket is empty:
+            # the rate gate answers (admission runs before the store).
+            status, payload, headers = call(
+                base, "POST", "/v1/jobs", REQUEST, tenant="acme"
+            )
+            assert status == 429
+            assert payload["error"]["code"] == "tenant-rate-limited"
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            server.close()
+            thread.join(timeout=10)
+
+    def test_tenant_share_beats_global_depth(self, tmp_path):
+        server = make_server(
+            port=0, job_db=str(tmp_path / "jobs.sqlite"),
+            max_queue_depth=64, max_queued_per_tenant=1,
+            start_runner=False,
+        )
+        thread, base = start(server)
+        try:
+            status, _, _ = call(
+                base, "POST", "/v1/jobs", REQUEST, tenant="acme"
+            )
+            assert status == 202
+            status, payload, headers = call(
+                base, "POST", "/v1/jobs", REQUEST, tenant="acme"
+            )
+            assert status == 429
+            assert payload["error"]["code"] == "tenant-queue-full"
+            assert int(headers["Retry-After"]) >= 1
+            # The global queue (depth 1 of 64) still admits others.
+            status, _, _ = call(
+                base, "POST", "/v1/jobs", REQUEST, tenant="other"
+            )
+            assert status == 202
+        finally:
+            server.close()
+            thread.join(timeout=10)
+
+    def test_global_depth_still_answers_queue_full(self, tmp_path):
+        server = make_server(
+            port=0, job_db=str(tmp_path / "jobs.sqlite"),
+            max_queue_depth=2, max_queued_per_tenant=2,
+            start_runner=False,
+        )
+        thread, base = start(server)
+        try:
+            for tenant in ("a", "b"):
+                status, _, _ = call(
+                    base, "POST", "/v1/jobs", REQUEST, tenant=tenant
+                )
+                assert status == 202
+            # b holds 1 of its 2-job share, so the tenant gate passes;
+            # the global cap (2) answers with the legacy code.
+            status, payload, headers = call(
+                base, "POST", "/v1/jobs", REQUEST, tenant="b"
+            )
+            assert status == 429
+            assert payload["error"]["code"] == "queue-full"
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            server.close()
+            thread.join(timeout=10)
+
+
+class TestTenantIdentity:
+    def test_header_envelope_and_fallback_precedence(self, tmp_path):
+        server = make_server(
+            port=0, job_db=str(tmp_path / "jobs.sqlite"),
+            start_runner=False,
+        )
+        thread, base = start(server)
+        try:
+            # Header wins over the envelope field.
+            body = dict(REQUEST, tenant="from-envelope")
+            status, job, _ = call(
+                base, "POST", "/v1/jobs", body, tenant="from-header"
+            )
+            assert status == 202
+            assert job["tenant"] == "from-header"
+            # Envelope wins when there is no header.
+            status, job, _ = call(base, "POST", "/v1/jobs", body)
+            assert status == 202
+            assert job["tenant"] == "from-envelope"
+            # Neither: the client address keys the row.
+            status, job, _ = call(base, "POST", "/v1/jobs", REQUEST)
+            assert status == 202
+            assert job["tenant"] == "127.0.0.1"
+            # A malformed header degrades to the address, never a 4xx.
+            status, job, _ = call(
+                base, "POST", "/v1/jobs", REQUEST, tenant="not valid!!"
+            )
+            assert status == 202
+            assert job["tenant"] == "127.0.0.1"
+        finally:
+            server.close()
+            thread.join(timeout=10)
+
+    def test_jobs_listing_filters_by_tenant(self, tmp_path):
+        server = make_server(
+            port=0, job_db=str(tmp_path / "jobs.sqlite"),
+            start_runner=False,
+        )
+        thread, base = start(server)
+        try:
+            for tenant in ("a", "a", "b"):
+                call(base, "POST", "/v1/jobs", REQUEST, tenant=tenant)
+            status, payload, _ = call(base, "GET", "/v1/jobs?tenant=a")
+            assert status == 200
+            assert len(payload["jobs"]) == 2
+            assert all(j["tenant"] == "a" for j in payload["jobs"])
+            status, payload, _ = call(base, "GET", "/v1/jobs")
+            assert len(payload["jobs"]) == 3
+        finally:
+            server.close()
+            thread.join(timeout=10)
+
+
+class TestTenantLifecycle:
+    def test_end_to_end_with_stats_and_suspension(self, tmp_path):
+        server = make_server(port=0, job_db=str(tmp_path / "jobs.sqlite"))
+        thread, base = start(server)
+        try:
+            status, job, _ = call(
+                base, "POST", "/v1/jobs", REQUEST, tenant="acme"
+            )
+            assert status == 202
+            done = wait_terminal(base, job["id"])
+            assert done["status"] == "done"
+            assert done["tenant"] == "acme"
+
+            status, stats, _ = call(base, "GET", "/v1/stats")
+            assert stats["service"]["tenants"]["acme"]["done"] == 1
+
+            # Operator kill-switch: suspend, watch the shed, resume.
+            status, payload, _ = call(
+                base, "POST", "/v1/tenants/acme/suspend", b""
+            )
+            assert status == 200 and payload["suspended"] is True
+            status, payload, headers = call(
+                base, "POST", "/v1/jobs", REQUEST, tenant="acme"
+            )
+            assert status == 429
+            assert payload["error"]["code"] == "tenant-suspended"
+            assert int(headers["Retry-After"]) >= 1
+            # Other tenants are untouched.
+            status, _, _ = call(
+                base, "POST", "/v1/jobs", REQUEST, tenant="other"
+            )
+            assert status == 202
+
+            status, stats, _ = call(base, "GET", "/v1/stats")
+            assert stats["service"]["tenants"]["acme"]["shed"] == 1
+            assert stats["service"]["tenants"]["acme"]["suspended"] is True
+
+            status, payload, _ = call(
+                base, "POST", "/v1/tenants/acme/resume", b""
+            )
+            assert status == 200 and payload["suspended"] is False
+            status, _, _ = call(
+                base, "POST", "/v1/jobs", REQUEST, tenant="acme"
+            )
+            assert status == 202
+        finally:
+            server.close()
+            thread.join(timeout=10)
+
+    def test_breaker_sheds_a_tenant_whose_jobs_keep_failing(self, tmp_path):
+        from repro.service.admission import BREAKER_PROBE_TTL_S
+
+        server = make_server(port=0, job_db=str(tmp_path / "jobs.sqlite"))
+        thread, base = start(server)
+        try:
+            bad = {"version": 1, "kind": "analyze_request",
+                   "benchmark": "NoSuchBenchmark"}
+            ids = []
+            for _ in range(5):
+                status, job, _ = call(
+                    base, "POST", "/v1/jobs", bad, tenant="sad"
+                )
+                assert status == 202
+                ids.append(job["id"])
+            for job_id in ids:
+                assert wait_terminal(base, job_id)["status"] == "failed"
+            # Let the breaker's cached store probe expire, then the
+            # next submission judges the window: 5/5 recent failures.
+            time.sleep(BREAKER_PROBE_TTL_S + 0.1)
+            status, payload, headers = call(
+                base, "POST", "/v1/jobs", bad, tenant="sad"
+            )
+            assert status == 429
+            assert payload["error"]["code"] == "tenant-suspended"
+            assert int(headers["Retry-After"]) >= 1
+            status, stats, _ = call(base, "GET", "/v1/stats")
+            tenants = stats["service"]["tenants"]
+            assert tenants["sad"]["breaker_trips"] == 1
+            # A healthy tenant sails through while sad is shedding.
+            status, _, _ = call(
+                base, "POST", "/v1/jobs", REQUEST, tenant="fine"
+            )
+            assert status == 202
+        finally:
+            server.close()
+            thread.join(timeout=10)
