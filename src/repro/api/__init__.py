@@ -1,7 +1,8 @@
 """``repro.api``: the versioned façade every caller goes through.
 
 One :class:`Workspace` (corpus + cache + execution strategy) answers
-three operations -- **analyze**, **repair**, **bench** -- over frozen,
+four operations -- **analyze**, **repair**, **bench**, **protect**
+(live repair; see :mod:`repro.live`) -- over frozen,
 versioned request/response dataclasses with ``to_json``/``from_json``
 (see :mod:`repro.api.types`; wire shapes are pinned by the golden
 documents under ``schemas/``).  Errors are :class:`~repro.errors.
@@ -67,6 +68,8 @@ from repro.api.types import (
     BenchRequest,
     BenchResult,
     BenchRow,
+    LiveProtectRequest,
+    LiveProtectResult,
     OutcomeData,
     PairData,
     RepairRequest,
@@ -97,6 +100,8 @@ __all__ = [
     "BenchRequest",
     "BenchResult",
     "BenchRow",
+    "LiveProtectRequest",
+    "LiveProtectResult",
     "PairData",
     "OutcomeData",
     "decode_request",

@@ -155,6 +155,64 @@ _EVENT = {
     "additionalProperties": False,
 }
 
+#: One seeded weak-exploration count in a live-protect result.
+_EXPLORATION = {
+    "type": "object",
+    "properties": {"anomalies": _INT, "errors": _INT, "samples": _INT},
+    "required": ["anomalies", "errors", "samples"],
+    "additionalProperties": False,
+}
+
+#: One compiled mutation rule's wire row (match + serving + counters).
+_RULE_ROW = {
+    "type": "object",
+    "properties": {
+        "txn": _STR,
+        "label": _STR,
+        "op": {"enum": ["select", "update", "insert"]},
+        "table": _STR,
+        "fields": _STR_LIST,
+        "serving": _STR_LIST,
+        "identity": _BOOL,
+        "hits": _INT,
+        "rewrites": _INT,
+        "skips": _INT,
+    },
+    "required": ["txn", "label", "op", "table", "serving", "identity"],
+    "additionalProperties": False,
+}
+
+#: A plan step the live compiler could not lower, with its reason.
+_UNSUPPORTED_STEP = {
+    "type": "object",
+    "properties": {"step": {"type": "object"}, "reason": _STR},
+    "required": ["step", "reason"],
+    "additionalProperties": False,
+}
+
+#: The simulated overhead measurement document (see
+#: :mod:`repro.live.overhead`).
+_OVERHEAD = {
+    "type": "object",
+    "properties": {
+        "benchmark": _STR,
+        "clients": _INT,
+        "scale": _INT,
+        "seed": _INT,
+        "predicted_throughput": _NUM,
+        "live_throughput": _NUM,
+        "overhead_ratio": _NUM,
+        "live_avg_latency_ms": _NUM,
+        "live_p95_latency_ms": _NUM,
+        "rules": _INT,
+        "rewritten_rules": _INT,
+        "unsupported": _INT,
+    },
+    "required": ["benchmark", "predicted_throughput", "live_throughput",
+                 "overhead_ratio"],
+    "additionalProperties": False,
+}
+
 
 def all_schemas() -> Dict[str, dict]:
     """``name -> schema document`` for the current protocol version.
@@ -233,6 +291,52 @@ def all_schemas() -> Dict[str, dict]:
             "elapsed_seconds": _NUM,
         },
         ["rows"],
+    )
+    live_protect_request = _envelope(
+        "live_protect_request",
+        {
+            "benchmark": _STR,
+            "plan": _PLAN,
+            "samples": _INT,
+            "seed": _INT,
+            "scale": _INT,
+            "measure": _BOOL,
+            "clients": _INT,
+            "tenant": _STR,
+        },
+        ["benchmark"],
+    )
+    live_protect_result = _envelope(
+        "live_protect_result",
+        {
+            "benchmark": _STR,
+            "rules": _INT,
+            "identity_rules": _INT,
+            "unsupported": _INT,
+            "unsupported_steps": {"type": "array", "items": _UNSUPPORTED_STEP},
+            "serial_match": _BOOL,
+            "verdict_match": _BOOL,
+            "passed": _BOOL,
+            "samples": _INT,
+            "seed": _INT,
+            "scale": _INT,
+            "anomalies": {
+                "type": "object",
+                "properties": {
+                    "original": _EXPLORATION,
+                    "static": _EXPLORATION,
+                    "target": _EXPLORATION,
+                    "live": _EXPLORATION,
+                },
+                "required": ["original", "static", "target", "live"],
+                "additionalProperties": False,
+            },
+            "rule_summary": {"type": "array", "items": _RULE_ROW},
+            "overhead": _OVERHEAD,
+            "elapsed_seconds": _NUM,
+        },
+        ["benchmark", "rules", "serial_match", "verdict_match", "passed",
+         "anomalies"],
     )
     error = {
         "type": "object",
@@ -313,7 +417,7 @@ def all_schemas() -> Dict[str, dict]:
         "type": "object",
         "properties": {
             "id": _STR,
-            "kind": {"enum": ["analyze", "repair", "bench"]},
+            "kind": {"enum": ["analyze", "repair", "bench", "protect"]},
             "status": {
                 "enum": ["queued", "running", "done", "failed", "cancelled"]
             },
@@ -350,6 +454,8 @@ def all_schemas() -> Dict[str, dict]:
         "repair_result": repair_result,
         "bench_request": bench_request,
         "bench_result": bench_result,
+        "live_protect_request": live_protect_request,
+        "live_protect_result": live_protect_result,
         "error": error,
         "health": health,
         "stats": stats,

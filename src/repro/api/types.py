@@ -604,12 +604,182 @@ class BenchResult:
         )
 
 
+# ---------------------------------------------------------------------------
+# protect (live repair)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LiveProtectRequest:
+    """Compile a rewrite plan into live mutation rules and validate them.
+
+    Live protection replays a corpus benchmark's transaction mix, so
+    ``benchmark`` is required (a free-form ``source`` program has no
+    workload to validate against).  ``plan`` -- a serialized
+    :class:`~repro.repair.plan.RewritePlan` document -- protects with an
+    externally produced plan; by default the benchmark's own greedy
+    repair supplies it.  ``measure`` additionally runs the simulated
+    overhead point (heavier; compare against ``BENCH_live.json``).
+    """
+
+    benchmark: str
+    plan: Optional[dict] = None
+    samples: int = 120
+    seed: int = 11
+    scale: int = 2
+    measure: bool = False
+    clients: int = 16
+    tenant: Optional[str] = None
+
+    kind = "live_protect_request"
+
+    def to_json(self) -> dict:
+        out = {
+            "version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "benchmark": self.benchmark,
+            "samples": self.samples,
+            "seed": self.seed,
+            "scale": self.scale,
+            "measure": self.measure,
+            "clients": self.clients,
+        }
+        if self.plan is not None:
+            out["plan"] = self.plan
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
+        return out
+
+    @classmethod
+    def from_json(cls, data: object) -> "LiveProtectRequest":
+        body = _check_envelope(data, cls.kind)
+        _no_extras(cls.kind, body, ("benchmark", "plan", "samples", "seed",
+                                    "scale", "measure", "clients", "tenant"))
+        samples = _field(cls.kind, body, "samples", (int,), 120)
+        scale = _field(cls.kind, body, "scale", (int,), 2)
+        clients = _field(cls.kind, body, "clients", (int,), 16)
+        if samples <= 0:
+            raise InvalidRequestError(f"{cls.kind}.samples must be positive")
+        if scale <= 0:
+            raise InvalidRequestError(f"{cls.kind}.scale must be positive")
+        if clients <= 0:
+            raise InvalidRequestError(f"{cls.kind}.clients must be positive")
+        return cls(
+            benchmark=_field(cls.kind, body, "benchmark", (str,), "",
+                             required=True),
+            plan=_field(cls.kind, body, "plan", (dict,), None),
+            samples=samples,
+            seed=_field(cls.kind, body, "seed", (int,), 11),
+            scale=scale,
+            measure=_field(cls.kind, body, "measure", (bool,), False),
+            clients=clients,
+            tenant=_field(cls.kind, body, "tenant", (str,), None),
+        )
+
+
+@dataclass(frozen=True)
+class LiveProtectResult:
+    """A live-protection rollout report: rules, differential, overhead.
+
+    ``anomalies`` holds the four seeded weak-exploration counts
+    (``original``/``static``/``target``/``live``; see
+    :mod:`repro.live.validate` for why the enforcement *target* -- the
+    pre-postprocess repaired program -- is the gated comparison).
+    ``overhead`` is the simulated measurement document when the request
+    asked for one, else absent.
+    """
+
+    benchmark: str
+    rules: int
+    identity_rules: int
+    unsupported: int
+    unsupported_steps: Tuple[dict, ...]
+    serial_match: bool
+    verdict_match: bool
+    passed: bool
+    samples: int
+    seed: int
+    scale: int
+    anomalies: dict
+    rule_summary: Tuple[dict, ...]
+    overhead: Optional[dict] = None
+    elapsed_seconds: float = 0.0
+
+    kind = "live_protect_result"
+
+    def to_json(self) -> dict:
+        out = {
+            "version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "benchmark": self.benchmark,
+            "rules": self.rules,
+            "identity_rules": self.identity_rules,
+            "unsupported": self.unsupported,
+            "unsupported_steps": [dict(s) for s in self.unsupported_steps],
+            "serial_match": self.serial_match,
+            "verdict_match": self.verdict_match,
+            "passed": self.passed,
+            "samples": self.samples,
+            "seed": self.seed,
+            "scale": self.scale,
+            "anomalies": self.anomalies,
+            "rule_summary": [dict(r) for r in self.rule_summary],
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.overhead is not None:
+            out["overhead"] = self.overhead
+        return out
+
+    @classmethod
+    def from_json(cls, data: object) -> "LiveProtectResult":
+        body = _check_envelope(data, cls.kind)
+        _no_extras(cls.kind, body, ("benchmark", "rules", "identity_rules",
+                                    "unsupported", "unsupported_steps",
+                                    "serial_match", "verdict_match", "passed",
+                                    "samples", "seed", "scale", "anomalies",
+                                    "rule_summary", "overhead",
+                                    "elapsed_seconds"))
+        unsupported_steps = _field(cls.kind, body, "unsupported_steps",
+                                   (list,), [])
+        rule_summary = _field(cls.kind, body, "rule_summary", (list,), [])
+        for name, value in (("unsupported_steps", unsupported_steps),
+                            ("rule_summary", rule_summary)):
+            if any(not isinstance(v, dict) for v in value):
+                raise InvalidRequestError(
+                    f"{cls.kind}.{name} must be a list of objects"
+                )
+        return cls(
+            benchmark=_field(cls.kind, body, "benchmark", (str,), "",
+                             required=True),
+            rules=_field(cls.kind, body, "rules", (int,), 0, required=True),
+            identity_rules=_field(cls.kind, body, "identity_rules", (int,), 0),
+            unsupported=_field(cls.kind, body, "unsupported", (int,), 0),
+            unsupported_steps=tuple(unsupported_steps),
+            serial_match=_field(cls.kind, body, "serial_match", (bool,), False,
+                                required=True),
+            verdict_match=_field(cls.kind, body, "verdict_match", (bool,),
+                                 False, required=True),
+            passed=_field(cls.kind, body, "passed", (bool,), False,
+                          required=True),
+            samples=_field(cls.kind, body, "samples", (int,), 0),
+            seed=_field(cls.kind, body, "seed", (int,), 0),
+            scale=_field(cls.kind, body, "scale", (int,), 0),
+            anomalies=_field(cls.kind, body, "anomalies", (dict,), {},
+                             required=True),
+            rule_summary=tuple(rule_summary),
+            overhead=_field(cls.kind, body, "overhead", (dict,), None),
+            elapsed_seconds=_field(cls.kind, body, "elapsed_seconds",
+                                   (int, float), 0.0),
+        )
+
+
 #: kind -> request class, for envelope-dispatched decoders (the service's
 #: job endpoint accepts any request kind).
 REQUEST_KINDS: Dict[str, Type] = {
     AnalyzeRequest.kind: AnalyzeRequest,
     RepairRequest.kind: RepairRequest,
     BenchRequest.kind: BenchRequest,
+    LiveProtectRequest.kind: LiveProtectRequest,
 }
 
 

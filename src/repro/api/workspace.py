@@ -47,6 +47,8 @@ from repro.api.types import (
     BenchRequest,
     BenchResult,
     BenchRow,
+    LiveProtectRequest,
+    LiveProtectResult,
     PairData,
     RepairRequest,
     RepairResult,
@@ -236,7 +238,7 @@ class Workspace:
         self._lock = threading.RLock()
         self._started = time.time()
         self._requests: Dict[str, int] = {
-            "analyze": 0, "repair": 0, "bench": 0,
+            "analyze": 0, "repair": 0, "bench": 0, "protect": 0,
         }
         self._closed = False
 
@@ -430,6 +432,57 @@ class Workspace:
             # to tear down here -- close() owns that.
             return engine.repair(program)
 
+    def protect_program(
+        self,
+        benchmark,
+        plan=None,
+        *,
+        samples: int = 120,
+        seed: int = 11,
+        scale: int = 2,
+        measure: bool = False,
+        clients: int = 16,
+        on_progress: Optional[ProgressCallback] = None,
+    ):
+        """Compile a rewrite plan into live mutation rules and run the
+        live-vs-static differential (:mod:`repro.live`).
+
+        ``benchmark`` is a corpus name or Benchmark; ``plan`` an
+        optional :class:`~repro.repair.plan.RewritePlan` (the
+        benchmark's own repair -- through this workspace's strategy --
+        supplies it by default).  Returns ``(ruleset, verdict,
+        overhead)``: the compiled :class:`~repro.live.rules.RuleSet`,
+        the :class:`~repro.live.validate.BenchmarkVerdict`, and an
+        :class:`~repro.live.overhead.OverheadMeasurement` when
+        ``measure`` is set (else ``None``).
+        """
+        from repro.live import compile_plan, measure_overhead, validate_benchmark
+
+        with self._lock:
+            self._requests["protect"] += 1
+        if isinstance(benchmark, str):
+            benchmark = self._resolve_benchmarks((benchmark,))[0]
+        program = benchmark.program()
+        if plan is None:
+            plan = self._repair(program, on_progress=on_progress).plan
+        emit(on_progress, "protect.compile", benchmark=benchmark.name,
+             steps=len(plan))
+        ruleset = compile_plan(program, plan)
+        emit(on_progress, "protect.validate", benchmark=benchmark.name,
+             rules=len(ruleset.rules),
+             unsupported=len(ruleset.unsupported), samples=samples)
+        verdict = validate_benchmark(
+            benchmark, plan=plan, samples=samples, seed=seed, scale=scale
+        )
+        overhead = None
+        if measure:
+            emit(on_progress, "protect.measure", benchmark=benchmark.name,
+                 clients=clients)
+            overhead = measure_overhead(benchmark, clients=clients)
+        emit(on_progress, "protect.done", benchmark=benchmark.name,
+             passed=verdict.passed)
+        return ruleset, verdict, overhead
+
     # -- wire tier ---------------------------------------------------------
 
     def analyze(
@@ -485,6 +538,58 @@ class Workspace:
         except DeadlineExceededError as exc:
             raise _with_partial(exc)
         return RepairResult.from_report(report, strategy=self.strategy_name)
+
+    def protect(
+        self,
+        request: LiveProtectRequest,
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> LiveProtectResult:
+        start = time.perf_counter()
+        bench = self._resolve_benchmarks((request.benchmark,))[0]
+        plan = None
+        if request.plan is not None:
+            from repro.repair.plan import RewritePlan
+
+            plan = RewritePlan.from_json(request.plan)
+        ruleset, verdict, overhead = self.protect_program(
+            bench,
+            plan,
+            samples=request.samples,
+            seed=request.seed,
+            scale=request.scale,
+            measure=request.measure,
+            clients=request.clients,
+            on_progress=on_progress,
+        )
+        # The summary rows come from the compiled rule set (zeroed
+        # counters); splice in the validation run's counters so the wire
+        # document shows what actually fired.
+        summary = []
+        for row in ruleset.summary():
+            row.update(verdict.counters.get(f"{row['txn']}/{row['label']}", {}))
+            summary.append(row)
+        return LiveProtectResult(
+            benchmark=bench.name,
+            rules=verdict.rules,
+            identity_rules=verdict.identity_rules,
+            unsupported=verdict.unsupported,
+            unsupported_steps=tuple(u.to_json() for u in ruleset.unsupported),
+            serial_match=verdict.serial_match,
+            verdict_match=verdict.verdict_match,
+            passed=verdict.passed,
+            samples=request.samples,
+            seed=request.seed,
+            scale=request.scale,
+            anomalies={
+                "original": verdict.original.to_json(),
+                "static": verdict.static.to_json(),
+                "target": verdict.target.to_json(),
+                "live": verdict.live.to_json(),
+            },
+            rule_summary=tuple(summary),
+            overhead=overhead.to_json() if overhead is not None else None,
+            elapsed_seconds=round(time.perf_counter() - start, 6),
+        )
 
     def bench(
         self,

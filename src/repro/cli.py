@@ -234,6 +234,70 @@ def cmd_repair(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# protect (live repair)
+# ---------------------------------------------------------------------------
+
+
+def cmd_protect(args) -> int:
+    from repro.api import LiveProtectRequest, Workspace
+
+    plan_doc = None
+    if args.plan_in:
+        with open(args.plan_in) as fh:
+            plan_doc = json.load(fh)
+    request = LiveProtectRequest(
+        benchmark=args.benchmark,
+        plan=plan_doc,
+        samples=args.samples,
+        seed=args.seed,
+        scale=args.scale,
+        measure=args.measure,
+        clients=args.clients,
+    )
+    with Workspace(strategy="serial") as ws:
+        result = ws.protect(request)
+    source = f"plan from {args.plan_in}" if args.plan_in else "own repair plan"
+    print(
+        f"{result.benchmark} ({source}): {result.rules} rule(s), "
+        f"{result.identity_rules} identity, "
+        f"{result.unsupported} unsupported step(s)"
+    )
+    for step in result.unsupported_steps:
+        kind = step.get("step", {}).get("step", "?")
+        print(f"  [unsupported] {kind}: {step.get('reason', '')}")
+    counts = result.anomalies
+    print(
+        "serial fidelity vs static repair: "
+        + ("match" if result.serial_match else "MISMATCH")
+    )
+    print(
+        f"anomalies over {result.samples} weak replays: "
+        f"original {counts['original']['anomalies']}, "
+        f"static {counts['static']['anomalies']}, "
+        f"target {counts['target']['anomalies']}, "
+        f"live {counts['live']['anomalies']} -> verdict "
+        + ("agrees" if result.verdict_match else "DISAGREES")
+    )
+    if result.overhead is not None:
+        o = result.overhead
+        print(
+            f"overhead: predicted {o['predicted_throughput']:.1f} txn/s, "
+            f"live {o['live_throughput']:.1f} txn/s "
+            f"(ratio {o['overhead_ratio']:.3f})"
+        )
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote report to {args.report}")
+    if result.passed:
+        print("live protection: PASS")
+        return 0
+    print("live protection: FAIL", file=sys.stderr)
+    return 1
+
+
+# ---------------------------------------------------------------------------
 # bench
 # ---------------------------------------------------------------------------
 
@@ -418,11 +482,11 @@ def cmd_serve(args) -> int:
 
 
 def cmd_chaos(args) -> int:
-    from repro.service import run_chaos
-    from repro.service.chaos import run_tenant_isolation
+    from repro.service import run_scenario
 
     if args.scenario == "tenant-isolation":
-        report = run_tenant_isolation(
+        report = run_scenario(
+            args.scenario,
             seed=args.seed,
             aggressor_jobs=args.aggressor_jobs,
             victim_jobs=args.victim_jobs,
@@ -436,7 +500,8 @@ def cmd_chaos(args) -> int:
             f"(threshold {report['threshold_s']}s)"
         )
     else:
-        report = run_chaos(
+        report = run_scenario(
+            args.scenario,
             seed=args.seed,
             jobs=args.jobs,
             workers=args.workers,
@@ -551,6 +616,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the repaired program",
     )
     rp.set_defaults(func=cmd_repair)
+
+    pr = sub.add_parser(
+        "protect",
+        help="compile a repair plan into live mutation-rewrite rules and "
+        "validate them against the static repair (see repro.live)",
+    )
+    pr.add_argument("--benchmark", required=True, help="corpus benchmark name")
+    pr.add_argument(
+        "--plan-in",
+        metavar="FILE",
+        help="compile a saved rewrite plan (default: repair from scratch)",
+    )
+    pr.add_argument(
+        "--samples",
+        type=int,
+        default=120,
+        help="weak-replay schedules per anomaly probe (default: 120)",
+    )
+    pr.add_argument("--seed", type=int, default=11, help="validation seed")
+    pr.add_argument(
+        "--scale", type=int, default=2, help="corpus-mix repetitions per txn"
+    )
+    pr.add_argument(
+        "--measure",
+        action="store_true",
+        help="also measure rewrite overhead on the simulated store",
+    )
+    pr.add_argument(
+        "--clients",
+        type=int,
+        default=16,
+        help="simulated clients for --measure (default: 16)",
+    )
+    pr.add_argument(
+        "--report", metavar="FILE", help="write the full verdict as JSON"
+    )
+    pr.set_defaults(func=cmd_protect)
 
     be = sub.add_parser(
         "bench",
@@ -691,13 +793,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=0,
         help="worker processes (0 = inline runner; default: 0)",
     )
+    # Choices and help both derive from the scenario registry, so a new
+    # scenario registered in repro.service.chaos shows up here for free.
+    from repro.service.chaos import SCENARIOS, scenario_help
+
     ch.add_argument(
         "--scenario",
-        choices=("faults", "tenant-isolation"),
+        choices=sorted(SCENARIOS),
         default="faults",
-        help="'faults': the seeded fault-plan experiment; "
-        "'tenant-isolation': the aggressor/victim fairness experiment "
-        "(default: faults)",
+        help=f"{scenario_help()} (default: faults)",
     )
     ch.add_argument(
         "--aggressor-jobs", type=int, default=50,

@@ -133,3 +133,16 @@ class SimulationError(ReproError):
     """Raised by the distributed-store simulator for invalid configs."""
 
     code = "simulation-error"
+
+
+class LiveRewriteError(ReproError):
+    """Raised when a rewrite plan cannot be lowered into sound runtime
+    mutation rules (rule installation failure).
+
+    Steps with no runtime analogue that are *safe to skip* (postprocess)
+    are recorded as :class:`repro.live.rules.UnsupportedStep` entries
+    instead; this error is reserved for plans whose live enforcement
+    would silently diverge from the static repair.
+    """
+
+    code = "live-rewrite-error"

@@ -1,0 +1,70 @@
+"""Live repair: enforcing rewrite plans on running stores.
+
+The static pipeline (:mod:`repro.repair`) answers *what the application
+should look like*; this package answers *what to do about the copy that
+is already running*.  A :class:`~repro.repair.plan.RewritePlan` is
+compiled (:mod:`repro.live.compile`) into declarative
+:class:`~repro.live.rules.MutationRule`\\ s, a
+:class:`~repro.live.intercept.LiveInterceptor` enforces them inside
+each issuing transaction, :mod:`repro.live.validate` runs the
+full-corpus live-vs-static differential gate, and
+:mod:`repro.live.overhead` prices enforcement into the workload
+simulator against the static probe's prediction.
+"""
+
+from repro.live.compile import NO_RUNTIME_ANALOGUE, compile_plan
+from repro.live.intercept import LiveInterceptor
+from repro.live.overhead import (
+    LiveOpRewriter,
+    OverheadMeasurement,
+    OverheadModel,
+    build_rewriter,
+    measure_overhead,
+)
+from repro.live.rules import (
+    BindingSpec,
+    FieldSource,
+    MutationRule,
+    RuleMatch,
+    RuleSet,
+    UnsupportedStep,
+)
+from repro.live.validate import (
+    DEFAULT_SAMPLES,
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    BenchmarkVerdict,
+    ExplorationCount,
+    ProtectReport,
+    corpus_calls,
+    explore_anomalies,
+    validate_benchmark,
+    validate_corpus,
+)
+
+__all__ = [
+    "DEFAULT_SAMPLES",
+    "DEFAULT_SCALE",
+    "DEFAULT_SEED",
+    "BenchmarkVerdict",
+    "BindingSpec",
+    "ExplorationCount",
+    "FieldSource",
+    "LiveInterceptor",
+    "LiveOpRewriter",
+    "MutationRule",
+    "NO_RUNTIME_ANALOGUE",
+    "OverheadMeasurement",
+    "OverheadModel",
+    "ProtectReport",
+    "RuleMatch",
+    "RuleSet",
+    "UnsupportedStep",
+    "build_rewriter",
+    "compile_plan",
+    "corpus_calls",
+    "explore_anomalies",
+    "measure_overhead",
+    "validate_benchmark",
+    "validate_corpus",
+]

@@ -1,0 +1,458 @@
+"""Lowering a :class:`~repro.repair.plan.RewritePlan` into mutation rules.
+
+The compiler replays the plan step by step on the original program --
+exactly as ``RewritePlan.apply`` would -- while tracking, for every
+original database command, which live commands end up realising it and
+how every original select binding is reconstructed from live bindings.
+
+Two observations make this tractable without symbolic diffing:
+
+1. every step derives labels by a fixed grammar (splits append ``.i``,
+   logger companions append ``L``, merges record loser -> winner in the
+   :class:`~repro.repair.plan.PlanContext`), so the serving relation can
+   be folded step by step; and
+2. the refactoring rules rewrite selects *in place* (redirect renames
+   table/fields, logger replaces a select by a narrowed select plus a
+   log select, merges absorb the loser's fields into the winner), so a
+   per-select trace of (current table, current variable, per-field
+   source) composes across steps.
+
+The :class:`~repro.repair.plan.PostprocessStep` has no sound runtime
+analogue -- dead-select elimination and table dissolution are
+compile-time layout changes -- so it is recorded as an
+:class:`~repro.live.rules.UnsupportedStep` and the rules execute against
+the pre-postprocess layout (which retains every original table, so data
+migration along the plan's rewrites populates it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import LiveRewriteError, PlanError, ReproError
+from repro.lang import ast
+from repro.lang.traverse import iter_subexpressions
+from repro.lang.validate import well_formed_where
+from repro.live.rules import (
+    DIRECT,
+    KEY,
+    SUM,
+    BindingSpec,
+    FieldSource,
+    MutationRule,
+    RuleMatch,
+    RuleSet,
+    UnsupportedStep,
+)
+from repro.repair.plan import (
+    LoggerStep,
+    MergeStep,
+    PlanContext,
+    RedirectStep,
+    RewritePlan,
+    SplitStep,
+)
+
+NO_RUNTIME_ANALOGUE = (
+    "no sound runtime analogue: dead-select elimination and table "
+    "dissolution are compile-time layout changes; live rules run "
+    "against the pre-postprocess layout instead"
+)
+
+
+@dataclass
+class _Entry:
+    """One original select field tracked through the plan."""
+
+    osel: Tuple[str, str]  # (txn, original label)
+    orig_field: str
+    cur_field: str
+    mode: str = DIRECT
+    key_index: int = 0
+
+
+@dataclass
+class _Trace:
+    """The live select currently carrying some original fields."""
+
+    txn: str
+    label: str
+    var: str
+    table: str
+    entries: List[_Entry] = dc_field(default_factory=list)
+
+
+def compile_plan(program: ast.Program, plan: RewritePlan) -> RuleSet:
+    """Lower ``plan`` into a :class:`RuleSet` enforcing it on ``program``.
+
+    Raises :class:`~repro.errors.LiveRewriteError` when a step cannot be
+    installed (inapplicable at its position, or the lowered rules would
+    not be observationally faithful to the static repair).
+    """
+    serving: Dict[Tuple[str, str], List[str]] = {}
+    orig_cmds: Dict[Tuple[str, str], ast.Command] = {}
+    traces: List[_Trace] = []
+    for txn in program.transactions:
+        for cmd in ast.iter_db_commands(txn):
+            key = (txn.name, cmd.label)
+            if key in orig_cmds:
+                raise LiveRewriteError(
+                    f"{txn.name}: duplicate label {cmd.label!r}; labels must "
+                    "be unique for live rule matching"
+                )
+            orig_cmds[key] = cmd
+            serving[key] = [cmd.label]
+            if isinstance(cmd, ast.Select):
+                schema = program.schema(cmd.table)
+                traces.append(
+                    _Trace(
+                        txn=txn.name,
+                        label=cmd.label,
+                        var=cmd.var,
+                        table=cmd.table,
+                        entries=[
+                            _Entry(osel=key, orig_field=f, cur_field=f)
+                            for f in cmd.selected_fields(schema)
+                        ],
+                    )
+                )
+
+    ruleset = RuleSet(original_program=program, live_program=program)
+    ctx = PlanContext()
+    cur = program
+    for i, step in enumerate(plan.steps, 1):
+        if step.kind == "postprocess":
+            ruleset.unsupported.append(
+                UnsupportedStep(step=step.to_json(), reason=NO_RUNTIME_ANALOGUE)
+            )
+            continue
+        try:
+            _fold_step(cur, step, ctx, serving, traces)
+            cur = step.apply(cur, ctx)
+        except (PlanError, LiveRewriteError) as exc:
+            raise LiveRewriteError(
+                f"rule install failed at step {i} ({step.explain()}): {exc}"
+            ) from exc
+    ruleset.live_program = cur
+    ruleset.rewrites = list(ctx.rewrites)
+    _build_rules(ruleset, serving, traces)
+    return ruleset
+
+
+# ---------------------------------------------------------------------------
+# The fold: one case per step kind, inspecting the pre-application program
+# ---------------------------------------------------------------------------
+
+
+def _fold_step(cur, step, ctx, serving, traces) -> None:
+    if isinstance(step, SplitStep):
+        resolved = ctx.current(step.txn, step.label)
+        parts = [f"{resolved}.{i}" for i in range(1, len(step.groups) + 1)]
+        _replace_serving(serving, step.txn, resolved, parts)
+    elif isinstance(step, MergeStep):
+        _fold_merge(cur, step, ctx, serving, traces)
+    elif isinstance(step, RedirectStep):
+        _fold_redirect(cur, step, traces)
+    elif isinstance(step, LoggerStep):
+        _fold_logger(cur, step, serving, traces)
+    # intro_schema / intro_field only change the layout; nothing to track.
+
+
+def _replace_serving(serving, txn: str, old: str, new: List[str]) -> None:
+    for (t, _), labels in serving.items():
+        if t != txn or old not in labels:
+            continue
+        out: List[str] = []
+        for lab in labels:
+            if lab == old:
+                out.extend(n for n in new if n not in out)
+            elif lab not in out:
+                out.append(lab)
+        labels[:] = out
+
+
+def _fold_merge(cur, step: MergeStep, ctx, serving, traces) -> None:
+    l1 = ctx.current(step.txn, step.label1)
+    l2 = ctx.current(step.txn, step.label2)
+    # try_merging keeps the earlier-positioned command; mirror its swap.
+    body = list(cur.transaction(step.txn).body)
+    pos = {getattr(c, "label", ""): i for i, c in enumerate(body)}
+    if l1 in pos and l2 in pos and pos[l1] > pos[l2]:
+        l1, l2 = l2, l1
+    winner = _trace_at(traces, step.txn, l1)
+    loser = _trace_at(traces, step.txn, l2)
+    if loser is not None and winner is not None:
+        winner.entries.extend(loser.entries)
+        traces.remove(loser)
+    _replace_serving(serving, step.txn, l2, [l1])
+
+
+def _fold_redirect(cur, step: RedirectStep, traces) -> None:
+    rewrite = step._build(cur)
+    if rewrite is None:
+        raise LiveRewriteError(
+            f"no theta-hat from {step.src_table} to {step.dst_table}"
+        )
+    src = cur.schema(step.src_table)
+    moved = set(rewrite.moved_non_key_fields(cur))
+    fmap = rewrite.fields()
+    for trace in traces:
+        if trace.table != step.src_table:
+            continue
+        cmd = _live_command(cur, trace.txn, trace.label)
+        if not isinstance(cmd, ast.Select):
+            continue
+        if not (set(cmd.selected_fields(src)) & moved):
+            continue
+        trace.table = step.dst_table
+        for entry in trace.entries:
+            if entry.mode == DIRECT:
+                entry.cur_field = fmap[entry.cur_field]
+
+
+def _fold_logger(cur, step: LoggerStep, serving, traces) -> None:
+    rewrite = step._build(cur)
+    if rewrite is None:
+        raise LiveRewriteError(f"no schema named {step.table}")
+    src = cur.schema(step.table)
+    for trace in list(traces):
+        if trace.table != step.table:
+            continue
+        cmd = _live_command(cur, trace.txn, trace.label)
+        if not isinstance(cmd, ast.Select):
+            continue
+        selected = cmd.selected_fields(src)
+        if rewrite.field not in selected:
+            continue
+        others = tuple(f for f in selected if f != rewrite.field)
+        log_var = f"{cmd.var}_{rewrite.log_field}"
+        narrowed_kept = bool(others and set(others) - set(src.key))
+        log_label = f"{trace.label}L" if narrowed_kept else trace.label
+        log_trace = _Trace(
+            txn=trace.txn, label=log_label, var=log_var, table=rewrite.log_table
+        )
+        for entry in list(trace.entries):
+            if entry.cur_field == rewrite.field:
+                entry.mode = SUM
+                entry.cur_field = rewrite.log_field
+            elif narrowed_kept:
+                continue  # stays on the narrowed select
+            elif entry.cur_field in src.key:
+                entry.mode = KEY
+                entry.key_index = src.key.index(entry.cur_field)
+            else:  # pragma: no cover - walk() keeps such selects narrowed
+                raise LiveRewriteError(
+                    f"{trace.txn}/{trace.label}: field {entry.cur_field} "
+                    "stranded by logger lowering"
+                )
+            trace.entries.remove(entry)
+            log_trace.entries.append(entry)
+        affected = {e.osel for e in log_trace.entries} | {
+            e.osel for e in trace.entries
+        }
+        if narrowed_kept:
+            for txn, lab in affected:
+                labels = serving[(txn, lab)]
+                if trace.label in labels and log_label not in labels:
+                    labels.insert(labels.index(trace.label) + 1, log_label)
+        else:
+            traces.remove(trace)
+        traces.append(log_trace)
+    # Non-zero field initialisations gain a companion log insert (label+L).
+    for txn in cur.transactions:
+        for cmd in ast.iter_db_commands(txn):
+            if not isinstance(cmd, ast.Insert) or cmd.table != step.table:
+                continue
+            if rewrite.field not in cmd.written_fields:
+                continue
+            if dict(cmd.assignments)[rewrite.field] == ast.Const(0):
+                continue
+            for (t, _), labels in serving.items():
+                if t == txn.name and cmd.label in labels:
+                    companion = f"{cmd.label}L"
+                    if companion not in labels:
+                        labels.insert(labels.index(cmd.label) + 1, companion)
+
+
+def _trace_at(traces, txn: str, label: str) -> Optional[_Trace]:
+    for trace in traces:
+        if trace.txn == txn and trace.label == label:
+            return trace
+    return None
+
+
+def _live_command(program, txn_name: str, label: str) -> Optional[ast.Command]:
+    try:
+        txn = program.transaction(txn_name)
+    except (KeyError, ReproError):
+        return None
+    for cmd in ast.iter_db_commands(txn):
+        if getattr(cmd, "label", "") == label:
+            return cmd
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Final rule construction + soundness checks
+# ---------------------------------------------------------------------------
+
+
+def _build_rules(ruleset: RuleSet, serving, traces) -> None:
+    program = ruleset.original_program
+    live = ruleset.live_program
+    for txn in live.transactions:
+        for order, cmd in enumerate(ast.iter_db_commands(txn)):
+            key = (txn.name, cmd.label)
+            ruleset.live_commands[key] = cmd
+            ruleset.live_order[key] = order
+
+    entries_by_osel: Dict[Tuple[str, str], List[Tuple[_Entry, _Trace]]] = {}
+    for trace in traces:
+        for entry in trace.entries:
+            entries_by_osel.setdefault(entry.osel, []).append((entry, trace))
+
+    for txn in program.transactions:
+        for cmd in ast.iter_db_commands(txn):
+            key = (txn.name, cmd.label)
+            labels = serving[key]
+            for lab in labels:
+                if (txn.name, lab) not in ruleset.live_commands:
+                    raise LiveRewriteError(
+                        f"{txn.name}/{cmd.label}: serving live command "
+                        f"{lab!r} not found in the rewritten program "
+                        "(rule install failure)"
+                    )
+            labels = sorted(labels, key=lambda lab: ruleset.live_order[(txn.name, lab)])
+            identity = (
+                labels == [cmd.label]
+                and ruleset.live_commands[key] == cmd
+            )
+            binding = None
+            if isinstance(cmd, ast.Select):
+                binding = _binding_spec(program, txn, cmd, entries_by_osel[key])
+            match = RuleMatch(
+                txn=txn.name,
+                label=cmd.label,
+                op=_op_kind(cmd),
+                table=cmd.table,
+                fields=_accessed_fields(program, cmd),
+            )
+            ruleset.rules[key] = MutationRule(
+                match=match,
+                serving=tuple(labels),
+                identity=identity,
+                binding=binding,
+            )
+
+
+def _op_kind(cmd: ast.Command) -> str:
+    if isinstance(cmd, ast.Select):
+        return "select"
+    if isinstance(cmd, ast.Update):
+        return "update"
+    return "insert"
+
+
+def _accessed_fields(program, cmd: ast.Command) -> Tuple[str, ...]:
+    if isinstance(cmd, ast.Select):
+        return cmd.selected_fields(program.schema(cmd.table))
+    return cmd.written_fields
+
+
+def _binding_spec(program, txn, cmd: ast.Select, entry_pairs) -> BindingSpec:
+    by_field = {entry.orig_field: (entry, trace) for entry, trace in entry_pairs}
+    schema = program.schema(cmd.table)
+    sources: List[FieldSource] = []
+    direct_var: Optional[str] = None
+    for f in cmd.selected_fields(schema):
+        entry, trace = by_field[f]
+        if entry.mode == DIRECT:
+            direct_var = trace.var
+        sources.append(
+            FieldSource(
+                orig_field=f,
+                live_var=trace.var,
+                live_field=entry.cur_field,
+                mode=entry.mode,
+                key_index=entry.key_index,
+            )
+        )
+    spec = BindingSpec(
+        var=cmd.var, table=cmd.table, direct_var=direct_var, sources=tuple(sources)
+    )
+    _check_spec_sound(program, txn, cmd, spec, schema)
+    return spec
+
+
+def _check_spec_sound(program, txn, cmd: ast.Select, spec: BindingSpec, schema):
+    """Reject lowered bindings whose reconstruction could diverge.
+
+    A ``sum`` field is a scalar injected into every record of the
+    binding: ``at_1`` reads it exactly; an original ``sum(v.f)`` over it
+    is only faithful when the binding provably holds at most one record
+    (full-key where clause) or is synthesized as a single record.  A
+    ``key`` field recovered from log ids supports ``at_1`` access only.
+    """
+    summed = {s.orig_field for s in spec.sources if s.mode == SUM}
+    keyed = {s.orig_field for s in spec.sources if s.mode == KEY}
+    if not summed and not keyed:
+        return
+    single_record = spec.direct_var is None or (
+        well_formed_where(schema, cmd.where) is not None
+    )
+    for expr in _iter_txn_exprs(txn):
+        for sub in iter_subexpressions(expr):
+            if isinstance(sub, ast.At) and sub.var == cmd.var:
+                if sub.field in (summed | keyed) and sub.index != ast.Const(1):
+                    raise LiveRewriteError(
+                        f"{txn.name}: at_k (k != 1) access to "
+                        f"{cmd.var}.{sub.field} has no faithful live "
+                        "reconstruction"
+                    )
+            if isinstance(sub, ast.Agg) and sub.var == cmd.var:
+                if sub.field in summed and not (
+                    sub.func == "sum" and single_record
+                ):
+                    raise LiveRewriteError(
+                        f"{txn.name}: {sub.func} aggregation of logged "
+                        f"field {cmd.var}.{sub.field} is not faithful "
+                        "over a multi-record live binding"
+                    )
+                if sub.field in keyed:
+                    raise LiveRewriteError(
+                        f"{txn.name}: aggregation of key field "
+                        f"{cmd.var}.{sub.field} recovered from log ids "
+                        "is not supported"
+                    )
+
+
+def _iter_txn_exprs(txn) -> Iterator[ast.Expr]:
+    def where_exprs(where: ast.Where) -> Iterator[ast.Expr]:
+        if isinstance(where, ast.WhereCond):
+            yield where.expr
+        elif isinstance(where, ast.WhereBool):
+            yield from where_exprs(where.left)
+            yield from where_exprs(where.right)
+
+    def walk(body) -> Iterator[ast.Expr]:
+        for cmd in body:
+            if isinstance(cmd, ast.Select):
+                yield from where_exprs(cmd.where)
+            elif isinstance(cmd, ast.Update):
+                for _, e in cmd.assignments:
+                    yield e
+                yield from where_exprs(cmd.where)
+            elif isinstance(cmd, ast.Insert):
+                for _, e in cmd.assignments:
+                    yield e
+            elif isinstance(cmd, ast.If):
+                yield cmd.cond
+                yield from walk(cmd.body)
+            elif isinstance(cmd, ast.Iterate):
+                yield cmd.count
+                yield from walk(cmd.body)
+
+    yield from walk(txn.body)
+    if txn.ret is not None:
+        yield txn.ret

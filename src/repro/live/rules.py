@@ -1,0 +1,159 @@
+"""Declarative mutation rules: the runtime form of a rewrite plan.
+
+A :class:`MutationRule` is what one original database command compiles
+into: a match condition on (transaction, label, table, operation kind,
+fields) plus the ordered live commands that must execute in its place.
+The :class:`RuleSet` holds every rule of a compiled plan together with
+the live (pre-postprocess repaired) program they execute against and the
+binding translations that map live select results back into the shape
+the original transaction code expects.
+
+Rules are *declarative*: compiling a plan produces only data (matchers,
+live command references, translation specs); all execution lives in
+:mod:`repro.live.intercept`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import ast
+from repro.repair.plan import Rewrite
+
+# How one original select field is reconstructed from live bindings:
+#   ``direct``  -- projected per-record from a live select variable;
+#   ``sum``     -- the paper's functional-update readback: the scalar sum
+#                  of a log variable's records, injected into each record;
+#   ``key``     -- a source key component recovered positionally from log
+#                  record ids (the source select was replaced wholesale by
+#                  a log select).
+DIRECT = "direct"
+SUM = "sum"
+KEY = "key"
+
+
+@dataclass(frozen=True)
+class FieldSource:
+    """Where one original select field's value comes from at runtime."""
+
+    orig_field: str
+    live_var: str
+    live_field: str
+    mode: str = DIRECT
+    key_index: int = 0  # position in the source key (mode == KEY only)
+
+
+@dataclass(frozen=True)
+class BindingSpec:
+    """Rebuilds an original select binding from live select bindings.
+
+    ``direct_var`` names the live variable whose records carry the
+    per-record (non-aggregated) fields; when None every field is
+    synthesized (scalar sums / key recovery) into a single record.
+    """
+
+    var: str  # original select variable
+    table: str  # original table (used for synthesized record ids)
+    direct_var: Optional[str]
+    sources: Tuple[FieldSource, ...]
+
+
+@dataclass(frozen=True)
+class RuleMatch:
+    """The declarative match condition of one rule."""
+
+    txn: str
+    label: str
+    op: str  # "select" | "update" | "insert"
+    table: str
+    fields: Tuple[str, ...]
+
+
+@dataclass
+class MutationRule:
+    """One original command -> its live enforcement.
+
+    ``serving`` lists the labels of the live commands that realise this
+    original command, in live body order; ``identity`` marks commands the
+    plan left untouched (the rule still fires so counters account for
+    every operation).  ``hits`` counts issuances of the original command,
+    ``rewrites`` counts live commands executed on its behalf, and
+    ``skips`` counts issuances that executed nothing because a merge
+    partner already ran the shared live command.
+    """
+
+    match: RuleMatch
+    serving: Tuple[str, ...]
+    identity: bool = False
+    binding: Optional[BindingSpec] = None
+    hits: int = 0
+    rewrites: int = 0
+    skips: int = 0
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.match.txn, self.match.label)
+
+    def counters(self) -> Dict[str, int]:
+        return {"hits": self.hits, "rewrites": self.rewrites, "skips": self.skips}
+
+
+@dataclass(frozen=True)
+class UnsupportedStep:
+    """A plan step with no sound runtime analogue, recorded and skipped."""
+
+    step: dict  # the step's wire form (RewriteStep.to_json)
+    reason: str
+
+    def to_json(self) -> dict:
+        return {"step": dict(self.step), "reason": self.reason}
+
+
+@dataclass
+class RuleSet:
+    """Everything the interceptor needs to enforce one compiled plan."""
+
+    original_program: ast.Program
+    live_program: ast.Program
+    rules: Dict[Tuple[str, str], MutationRule] = field(default_factory=dict)
+    # Live commands indexed by (txn, live label), in live body order.
+    live_commands: Dict[Tuple[str, str], ast.Command] = field(default_factory=dict)
+    live_order: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    rewrites: List[Rewrite] = field(default_factory=list)
+    unsupported: List[UnsupportedStep] = field(default_factory=list)
+
+    def rule_for(self, txn: str, label: str) -> Optional[MutationRule]:
+        return self.rules.get((txn, label))
+
+    def reset_counters(self) -> None:
+        for rule in self.rules.values():
+            rule.hits = rule.rewrites = rule.skips = 0
+
+    def rewritten_rule_count(self) -> int:
+        return sum(1 for r in self.rules.values() if not r.identity)
+
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-rule counters keyed ``txn/label`` (stable report form)."""
+        return {
+            f"{txn}/{label}": rule.counters()
+            for (txn, label), rule in sorted(self.rules.items())
+        }
+
+    def summary(self) -> List[dict]:
+        """JSON-ready rule descriptions for reports and wire results."""
+        out = []
+        for (txn, label), rule in sorted(self.rules.items()):
+            out.append(
+                {
+                    "txn": txn,
+                    "label": label,
+                    "op": rule.match.op,
+                    "table": rule.match.table,
+                    "fields": list(rule.match.fields),
+                    "serving": list(rule.serving),
+                    "identity": rule.identity,
+                    **rule.counters(),
+                }
+            )
+        return out

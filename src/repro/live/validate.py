@@ -1,0 +1,301 @@
+"""The live-repair validation harness: a full-corpus differential gate.
+
+Installing mutation rules on a running store is only safe if the rules
+deliver what the static repair promised.  This module checks that on two
+axes, for every corpus program (or any single benchmark):
+
+**Serial fidelity** -- replaying a seeded transaction mix serially, the
+original program executed *through* the rules must produce exactly the
+results of the statically repaired program.  This is an equality gate:
+any divergence fails.
+
+**Anomaly verdict** -- replaying the same mix under seeded weak views
+(:class:`~repro.semantics.views.RandomPartialView`), the rules must
+agree with the static repair on whether anomalies remain, judged by the
+existing serializability verdict
+(:func:`~repro.semantics.history.is_serializable`).  The comparison
+target is the *pre-postprocess* repaired program: the exact program the
+rules execute.  Postprocessing only prunes commands made dead by the
+repair and has no runtime analogue (a running transaction still issues
+the original operation sequence), so the pruned program can show fewer
+dependency-graph cycles than the enforced layout while being equivalent
+on results.  The post-postprocess counts are recorded alongside for
+reference, as are the original program's (which show what the repair
+eliminated).
+
+Weak replays of some corpus programs can abort a schedule outright (a
+partial view hides a runtime-inserted record from its own ``at_1``
+reader); those schedules are counted as ``errors`` rather than failing
+the harness, identically on every side of the differential.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus import ALL_BENCHMARKS, BY_NAME, Benchmark
+from repro.errors import ReproError, SemanticsError
+from repro.lang import ast
+from repro.live.compile import compile_plan
+from repro.live.intercept import LiveInterceptor
+from repro.refactor.migrate import migrate_database
+from repro.repair import repair
+from repro.repair.plan import RewritePlan
+from repro.semantics.history import is_serializable
+from repro.semantics.interp import TxnCall
+from repro.semantics.scheduler import (
+    count_db_commands,
+    random_schedules,
+    run_interleaved,
+    run_serial,
+)
+from repro.semantics.state import Database
+from repro.semantics.views import RandomPartialView
+
+DEFAULT_SAMPLES = 120
+DEFAULT_SEED = 11
+DEFAULT_SCALE = 2
+
+
+@dataclass(frozen=True)
+class ExplorationCount:
+    """Outcome of one seeded weak exploration of a program."""
+
+    anomalies: int
+    errors: int
+    samples: int
+
+    def to_json(self) -> dict:
+        return {
+            "anomalies": self.anomalies,
+            "errors": self.errors,
+            "samples": self.samples,
+        }
+
+
+@dataclass(frozen=True)
+class BenchmarkVerdict:
+    """The differential outcome for one benchmark."""
+
+    benchmark: str
+    seed: int
+    scale: int
+    calls: int
+    rules: int
+    identity_rules: int
+    unsupported: int
+    serial_match: bool
+    original: ExplorationCount
+    static: ExplorationCount
+    target: ExplorationCount  # pre-postprocess repaired program
+    live: ExplorationCount  # original program + rules
+    counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def verdict_match(self) -> bool:
+        """Do rules and their target program agree on "anomalies remain"?"""
+        return (self.target.anomalies > 0) == (self.live.anomalies > 0)
+
+    @property
+    def passed(self) -> bool:
+        return self.serial_match and self.verdict_match
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "seed": self.seed,
+            "scale": self.scale,
+            "calls": self.calls,
+            "rules": self.rules,
+            "identity_rules": self.identity_rules,
+            "unsupported": self.unsupported,
+            "serial_match": self.serial_match,
+            "verdict_match": self.verdict_match,
+            "passed": self.passed,
+            "original": self.original.to_json(),
+            "static": self.static.to_json(),
+            "target": self.target.to_json(),
+            "live": self.live.to_json(),
+            "counters": {k: dict(v) for k, v in self.counters.items()},
+        }
+
+
+@dataclass(frozen=True)
+class ProtectReport:
+    """A validation run over one or more benchmarks."""
+
+    samples: int
+    seed: int
+    scale: int
+    verdicts: Tuple[BenchmarkVerdict, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(v.passed for v in self.verdicts)
+
+    @property
+    def failures(self) -> List[str]:
+        return [v.benchmark for v in self.verdicts if not v.passed]
+
+    def to_json(self) -> dict:
+        return {
+            "samples": self.samples,
+            "seed": self.seed,
+            "scale": self.scale,
+            "passed": self.passed,
+            "failures": self.failures,
+            "verdicts": [v.to_json() for v in self.verdicts],
+        }
+
+
+def corpus_calls(
+    bench: Benchmark, rng: random.Random, scale: int
+) -> List[TxnCall]:
+    """One call per mix entry plus a second instance of the head entry.
+
+    The duplicate gives every benchmark at least one same-transaction
+    race, which several corpus anomalies (lost updates in particular)
+    need to manifest.
+    """
+    calls = [TxnCall(name, gen(rng, scale)) for name, _, gen in bench.mix]
+    head_rng = random.Random(rng.random())
+    name0, _, gen0 = bench.mix[0]
+    calls.append(TxnCall(name0, gen0(head_rng, scale)))
+    return calls
+
+
+def explore_anomalies(
+    program: ast.Program,
+    db: Database,
+    calls: Sequence[TxnCall],
+    samples: int,
+    seed: int,
+    executor_factory: Optional[Callable[[], Callable[..., list]]] = None,
+) -> ExplorationCount:
+    """Count non-serializable histories over seeded weak replays.
+
+    Each schedule gets its own :class:`RandomPartialView` derived from
+    ``seed`` so every differential side explores the same visibility
+    space.  Schedules whose weak replay raises a
+    :class:`~repro.errors.SemanticsError` (a hidden record breaking an
+    ``at_1`` read) count as errors, not anomalies.
+    """
+    counts = [count_db_commands(program, call, db) for call in calls]
+    rng = random.Random(seed)
+    anomalies = errors = 0
+    for i, schedule in enumerate(random_schedules(counts, rng, samples)):
+        policy = RandomPartialView(random.Random(seed + i), p_visible=0.5)
+        executor = executor_factory() if executor_factory is not None else None
+        try:
+            history = run_interleaved(
+                program, db, calls, schedule, policy, executor=executor
+            )
+        except SemanticsError:
+            errors += 1
+            continue
+        if not is_serializable(history):
+            anomalies += 1
+    return ExplorationCount(anomalies=anomalies, errors=errors, samples=samples)
+
+
+def validate_benchmark(
+    bench: Benchmark,
+    *,
+    plan: Optional[RewritePlan] = None,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+    scale: int = DEFAULT_SCALE,
+) -> BenchmarkVerdict:
+    """Run the live-vs-static differential for one benchmark.
+
+    ``plan`` defaults to the benchmark's own greedy repair; passing a
+    plan validates an externally supplied repair (the ``--plan-in``
+    path) instead -- the static side is then that plan's replay, so the
+    differential compares the rules against exactly the repair they
+    were compiled from.
+    """
+    from repro.repair.engine import replay_plan
+
+    program = bench.program()
+    if plan is None:
+        report = repair(program)
+        plan = report.plan
+    else:
+        report = replay_plan(program, plan)
+    ruleset = compile_plan(program, plan)
+    db = bench.database(scale=scale)
+    live_db = migrate_database(db, ruleset.live_program, ruleset.rewrites)
+    static_db = migrate_database(db, report.repaired_program, report.rewrites)
+
+    rng = random.Random(seed)
+    calls = corpus_calls(bench, rng, scale)
+
+    serial_static = run_serial(report.repaired_program, static_db, calls)
+    ruleset.reset_counters()
+    serial_live = run_serial(
+        program, live_db, calls, executor=LiveInterceptor(ruleset)
+    )
+    serial_match = serial_static.results == serial_live.results
+    # Counters describe the serial validation replay alone; the weak
+    # explorations below would otherwise swamp them with sample noise.
+    counters = ruleset.counters()
+
+    original = explore_anomalies(program, db, calls, samples, seed)
+    static = explore_anomalies(
+        report.repaired_program, static_db, calls, samples, seed
+    )
+    target = explore_anomalies(
+        ruleset.live_program, live_db, calls, samples, seed
+    )
+    live = explore_anomalies(
+        program,
+        live_db,
+        calls,
+        samples,
+        seed,
+        executor_factory=lambda: LiveInterceptor(ruleset),
+    )
+    return BenchmarkVerdict(
+        benchmark=bench.name,
+        seed=seed,
+        scale=scale,
+        calls=len(calls),
+        rules=len(ruleset.rules),
+        identity_rules=sum(1 for r in ruleset.rules.values() if r.identity),
+        unsupported=len(ruleset.unsupported),
+        serial_match=serial_match,
+        original=original,
+        static=static,
+        target=target,
+        live=live,
+        counters=counters,
+    )
+
+
+def validate_corpus(
+    *,
+    names: Optional[Sequence[str]] = None,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+    scale: int = DEFAULT_SCALE,
+) -> ProtectReport:
+    """Run the differential gate over the whole corpus (or ``names``)."""
+    if names is None:
+        benches = list(ALL_BENCHMARKS)
+    else:
+        missing = [n for n in names if n not in BY_NAME]
+        if missing:
+            known = ", ".join(sorted(BY_NAME))
+            raise ReproError(
+                f"unknown benchmark(s) {', '.join(missing)}; choose from {known}"
+            )
+        benches = [BY_NAME[n] for n in names]
+    verdicts = tuple(
+        validate_benchmark(bench, samples=samples, seed=seed, scale=scale)
+        for bench in benches
+    )
+    return ProtectReport(
+        samples=samples, seed=seed, scale=scale, verdicts=verdicts
+    )

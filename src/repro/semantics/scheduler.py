@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import SemanticsError
 from repro.lang import ast
@@ -18,9 +18,17 @@ from repro.semantics.interp import Instance, TxnCall, execute_command
 from repro.semantics.state import Database, DatabaseState
 from repro.semantics.views import FullView, ViewPolicy
 
+# An executor performs one database command and returns its events; the
+# default is plain execute_command.  repro.live installs its rewrite
+# interceptor here without the schedulers knowing about rules.
+Executor = Callable[..., List]
+
 
 def run_serial(
-    program: ast.Program, db: Database, calls: Sequence[TxnCall]
+    program: ast.Program,
+    db: Database,
+    calls: Sequence[TxnCall],
+    executor: Optional[Executor] = None,
 ) -> History:
     """Run ``calls`` one after another under full visibility.
 
@@ -32,7 +40,7 @@ def run_serial(
     policy = FullView()
     for iid, call in enumerate(calls):
         instance = Instance(iid, program, call)
-        _run_to_completion(state, history, instance, policy)
+        _run_to_completion(state, history, instance, policy, executor)
         history.results[iid] = instance.result
     return history
 
@@ -43,6 +51,7 @@ def run_interleaved(
     calls: Sequence[TxnCall],
     schedule: Sequence[int],
     policy: ViewPolicy,
+    executor: Optional[Executor] = None,
 ) -> History:
     """Run ``calls`` interleaved according to ``schedule``.
 
@@ -60,22 +69,26 @@ def run_interleaved(
         cmd = pending[iid]
         if cmd is None:
             continue
-        _step(state, history, instances[iid], cmd, policy)
+        _step(state, history, instances[iid], cmd, policy, executor)
         pending[iid] = instances[iid].next_command()
     for iid, instance in enumerate(instances):
         while pending[iid] is not None:
-            _step(state, history, instance, pending[iid], policy)  # type: ignore[arg-type]
+            _step(state, history, instance, pending[iid], policy, executor)  # type: ignore[arg-type]
             pending[iid] = instance.next_command()
         history.results[iid] = instance.result
     return history
 
 
 def _run_to_completion(
-    state: DatabaseState, history: History, instance: Instance, policy: ViewPolicy
+    state: DatabaseState,
+    history: History,
+    instance: Instance,
+    policy: ViewPolicy,
+    executor: Optional[Executor] = None,
 ) -> None:
     cmd = instance.next_command()
     while cmd is not None:
-        _step(state, history, instance, cmd, policy)
+        _step(state, history, instance, cmd, policy, executor)
         cmd = instance.next_command()
 
 
@@ -85,9 +98,10 @@ def _step(
     instance: Instance,
     cmd: ast.Command,
     policy: ViewPolicy,
+    executor: Optional[Executor] = None,
 ) -> None:
     view = policy.choose_view(state, instance.iid)
-    events = execute_command(state, instance, cmd, view)
+    events = (executor or execute_command)(state, instance, cmd, view)
     history.record(
         Step(
             instance=instance.iid,

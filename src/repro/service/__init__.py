@@ -23,7 +23,14 @@ Start it with ``repro serve --workers 4`` or::
 """
 
 from repro.service.admission import AdmissionController, TokenBucket
-from repro.service.chaos import default_plan, run_chaos, run_tenant_isolation
+from repro.service.chaos import (
+    SCENARIOS,
+    default_plan,
+    run_chaos,
+    run_scenario,
+    run_tenant_isolation,
+    scenario_help,
+)
 from repro.service.server import (
     ReproHTTPServer,
     ReproService,
@@ -44,7 +51,10 @@ __all__ = [
     "WorkerPool",
     "default_plan",
     "make_server",
+    "SCENARIOS",
     "run_chaos",
+    "run_scenario",
     "run_tenant_isolation",
+    "scenario_help",
     "serve",
 ]

@@ -446,3 +446,49 @@ def run_tenant_isolation(
         "tenants": tenants,
         "violations": violations,
     }
+
+
+# ---------------------------------------------------------------------------
+# Scenario registry
+# ---------------------------------------------------------------------------
+
+#: Every named scenario ``repro chaos --scenario`` accepts, with the
+#: one-line description the CLI help derives.  Registering a scenario
+#: here is all it takes to surface it on the CLI and in the
+#: unknown-scenario error message.
+SCENARIOS = {
+    "faults": (
+        run_chaos,
+        "the seeded fault-plan experiment (crash/corruption injection "
+        "against the durability gates)",
+    ),
+    "tenant-isolation": (
+        run_tenant_isolation,
+        "the aggressor/victim fairness experiment (no injected faults; "
+        "the fault is a noisy neighbour)",
+    ),
+}
+
+
+def scenario_help() -> str:
+    """The CLI help text enumerating every registered scenario."""
+    return "; ".join(
+        f"'{name}': {description}"
+        for name, (_, description) in sorted(SCENARIOS.items())
+    )
+
+
+def run_scenario(name: str, **kwargs) -> dict:
+    """Dispatch one named scenario; keyword arguments pass through to
+    its runner.  Unknown names raise with the full registry listed, so
+    callers never have to read the source to learn what exists."""
+    from repro.errors import ReproError
+
+    entry = SCENARIOS.get(name)
+    if entry is None:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ReproError(
+            f"unknown chaos scenario {name!r} (valid scenarios: {known})"
+        )
+    runner, _ = entry
+    return runner(**kwargs)

@@ -9,6 +9,8 @@ method   path                       body / response
 POST     ``/v1/analyze``            ``analyze_request`` -> ``analyze_result``
 POST     ``/v1/repair``             ``repair_request`` -> ``repair_result``
 POST     ``/v1/bench``              ``bench_request`` -> ``bench_result``
+POST     ``/v1/protect``            ``live_protect_request`` ->
+                                    ``live_protect_result`` (live repair)
 POST     ``/v1/jobs``               any request kind -> ``job`` (202) or
                                     429 ``queue-full`` when the durable
                                     queue is at ``max_queue_depth``
@@ -84,6 +86,7 @@ from repro.api.types import (
     SCHEMA_VERSION,
     AnalyzeRequest,
     BenchRequest,
+    LiveProtectRequest,
     RepairRequest,
     decode_request,
 )
@@ -327,6 +330,10 @@ class ReproService:
             self._require(method, "POST", path)
             request = BenchRequest.from_json(self._json(body))
             return 200, self.workspace.bench(request).to_json()
+        if route == ["protect"]:
+            self._require(method, "POST", path)
+            request = LiveProtectRequest.from_json(self._json(body))
+            return 200, self.workspace.protect(request).to_json()
         if route == ["jobs"]:
             if method == "POST":
                 request = decode_request(self._json(body))

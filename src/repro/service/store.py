@@ -71,6 +71,7 @@ JOB_KINDS = {
     "analyze_request": "analyze",
     "repair_request": "repair",
     "bench_request": "bench",
+    "live_protect_request": "protect",
 }
 
 #: Cap on progress events retained per job (a runaway search must not
@@ -137,7 +138,7 @@ class Job:
     """One stored job, hydrated from its row (plus its event log)."""
 
     id: str
-    kind: str  # analyze | repair | bench
+    kind: str  # analyze | repair | bench | protect
     status: str  # queued | running | done | failed | cancelled
     request: dict
     created_at: float

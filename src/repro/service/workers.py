@@ -151,6 +151,8 @@ def execute_job(workspace, store: JobStore, job: Job) -> None:
             result = workspace.analyze(request, on_progress=on_progress)
         elif job.kind == "repair":
             result = workspace.repair(request, on_progress=on_progress)
+        elif job.kind == "protect":
+            result = workspace.protect(request, on_progress=on_progress)
         else:
             result = workspace.bench(request, on_progress=on_progress)
         failpoint("worker.pre_result")

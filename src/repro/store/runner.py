@@ -23,6 +23,7 @@ nothing flagged), AT-SC (refactored, residual transactions flagged).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -69,11 +70,33 @@ class PerfResult:
         return sum(self.latencies_ms) / len(self.latencies_ms)
 
     def percentile_latency_ms(self, q: float) -> float:
+        """Nearest-rank percentile: smallest sample with at least a
+        ``q`` fraction of the data at or below it (``q=0`` is the
+        minimum, ``q=1`` the maximum; a singleton sample answers every
+        quantile with its one value)."""
+        if not 0.0 <= q <= 1.0:
+            raise SimulationError(f"percentile must be in [0, 1], got {q}")
         if not self.latencies_ms:
             return 0.0
         data = sorted(self.latencies_ms)
-        idx = min(int(q * len(data)), len(data) - 1)
+        idx = max(math.ceil(q * len(data)) - 1, 0)
         return data[idx]
+
+
+class OpRewriter:
+    """Hook rewriting a transaction's operation stream at begin time.
+
+    ``rewrite`` maps a profile to ``(ops, commit_extra_ms)``: the
+    operations actually issued -- ``(kind, table)`` pairs or
+    ``(kind, table, extra_ms)`` triples whose third component is added
+    to that operation's service time -- plus a flat surcharge added to
+    the commit point.  :mod:`repro.live` installs its rule-enforcement
+    cost model through this hook; the default simulation passes no
+    rewriter and issues profiles verbatim.
+    """
+
+    def rewrite(self, profile: OpProfile) -> Tuple[Sequence[Tuple], float]:
+        raise NotImplementedError
 
 
 class _Client:
@@ -90,6 +113,7 @@ class _Client:
         result: PerfResult,
         loop: EventLoop,
         serialize_all: bool,
+        rewriter: Optional["OpRewriter"] = None,
     ):
         self.cid = cid
         self.region = region
@@ -100,6 +124,7 @@ class _Client:
         self.result = result
         self.loop = loop
         self.serialize_all = serialize_all
+        self.rewriter = rewriter
 
     def start(self, when: float) -> None:
         self.loop.schedule(when, self._begin_txn)
@@ -109,24 +134,39 @@ class _Client:
     def _begin_txn(self, now: float) -> None:
         profile: OpProfile = self.pick_profile()
         strong = self.serialize_all or profile.serializable
-        state = {"start": now, "ops": list(profile.ops), "strong": strong}
+        commit_extra = 0.0
+        if self.rewriter is not None:
+            ops, commit_extra = self.rewriter.rewrite(profile)
+            ops = list(ops)
+        else:
+            ops = list(profile.ops)
+        state = {
+            "start": now,
+            "ops": ops,
+            "strong": strong,
+            "commit_extra": commit_extra,
+        }
         self._next_op(now, state)
 
     def _next_op(self, now: float, state: Dict) -> None:
         if not state["ops"]:
             self._commit(now, state)
             return
-        kind, _table = state["ops"].pop(0)
+        # Ops are (kind, table) pairs; a rewriter may extend them to
+        # (kind, table, extra_ms) triples charging per-op surcharges.
+        op = state["ops"].pop(0)
+        kind = op[0]
+        extra_ms = op[2] if len(op) > 2 else 0.0
         cfg = self.config
         if state["strong"]:
             target = self.replicas[self.cluster.leader]
             half = self.cluster.rtt(self.region, self.cluster.leader) / 2.0
             half = max(half, cfg.local_half_rtt_ms)
-            service = cfg.sc_service_ms
+            service = cfg.sc_service_ms + extra_ms
         else:
             target = self.replicas[self.region]
             half = cfg.local_half_rtt_ms
-            service = cfg.ec_service_ms
+            service = cfg.ec_service_ms + extra_ms
 
         arrival = now + half
 
@@ -162,6 +202,7 @@ class _Client:
             done = now + commit_wait + half
         else:
             done = now
+        done += state.get("commit_extra", 0.0)
         self.loop.schedule(done, lambda t: self._finish(t, state))
 
     def _finish(self, now: float, state: Dict) -> None:
@@ -178,6 +219,7 @@ def simulate(
     clients: int,
     config: Optional[PerfConfig] = None,
     serialize_all: bool = False,
+    rewriter: Optional[OpRewriter] = None,
 ) -> PerfResult:
     """Run one closed-loop simulation point.
 
@@ -190,6 +232,9 @@ def simulate(
         config: model tunables.
         serialize_all: route *every* transaction through the strong path
             (the SC configuration); otherwise per-transaction flags rule.
+        rewriter: optional :class:`OpRewriter` rewriting each
+            transaction's operation stream (and charging overhead) at
+            begin time.
     """
     config = config or PerfConfig()
     if clients <= 0:
@@ -225,6 +270,7 @@ def simulate(
             result=result,
             loop=loop,
             serialize_all=serialize_all,
+            rewriter=rewriter,
         )
         client.start(rng.random())  # tiny stagger to avoid lockstep
     loop.run_until(config.duration_ms)

@@ -217,7 +217,12 @@ class TestWorkspace:
         with Workspace(strategy="serial") as ws:
             ws.bench(BenchRequest(benchmarks=("SIBench",)))
             requests = ws.stats()["requests"]
-        assert requests == {"analyze": 0, "repair": 0, "bench": 1}
+        assert requests == {
+            "analyze": 0,
+            "repair": 0,
+            "bench": 1,
+            "protect": 0,
+        }
 
     def test_serial_workspace_has_no_cache(self):
         with Workspace(strategy="serial") as ws:

@@ -25,6 +25,10 @@ EXAMPLES = {
         "dynamic invariant study",
     ),
     "custom_benchmark.py": ("deployment comparison", "facade agrees"),
+    "live_protection.py": (
+        "== live-vs-static differential ==",
+        "live results identical to the static repair",
+    ),
 }
 
 

@@ -156,6 +156,104 @@ class TestAggregates:
             run(p, db, ("max_of", (99,)))
 
 
+class TestUpdateWhereClauses:
+    SRC = """
+    schema T { key id; field grp; field v; }
+    txn set_group(g, n) { update T set v = n where grp = g; }
+    txn set_small(g, cap, n) {
+      update T set v = n where grp = g and v < cap;
+    }
+    txn set_all(n) { update T set v = n where true; }
+    txn set_none(n) { update T set v = n where id < 0; }
+    txn raise_to_max(g) {
+      x := select v from T where grp = g;
+      update T set v = max(x.v) where grp = g;
+    }
+    """
+
+    def _setup(self):
+        p = parse_program(self.SRC)
+        db = Database(p)
+        for i, (g, v) in enumerate([(1, 5), (1, 7), (2, 100)]):
+            db.insert("T", id=i, grp=g, v=v)
+        return p, db
+
+    def _values(self, h):
+        return {k[0]: r["v"] for k, r in h.state.materialize()["T"].items()}
+
+    def test_where_matches_only_its_group(self):
+        p, db = self._setup()
+        h = run(p, db, ("set_group", (1, 10)))
+        assert self._values(h) == {0: 10, 1: 10, 2: 100}
+
+    def test_compound_where_filters_on_both_conjuncts(self):
+        p, db = self._setup()
+        h = run(p, db, ("set_small", (1, 6, 10)))
+        # Only (grp=1, v=5) is below the cap; (grp=1, v=7) is not.
+        assert self._values(h) == {0: 10, 1: 7, 2: 100}
+
+    def test_where_true_touches_every_record(self):
+        p, db = self._setup()
+        h = run(p, db, ("set_all", (42,)))
+        assert self._values(h) == {0: 42, 1: 42, 2: 42}
+
+    def test_unmatched_where_touches_nothing(self):
+        p, db = self._setup()
+        h = run(p, db, ("set_none", (42,)))
+        assert self._values(h) == {0: 5, 1: 7, 2: 100}
+        assert all(not e.is_write for e in h.steps[0].events)
+
+    def test_aggregate_in_update_expression(self):
+        p, db = self._setup()
+        h = run(p, db, ("raise_to_max", (1,)))
+        assert self._values(h) == {0: 7, 1: 7, 2: 100}
+
+
+class TestInsertExpressions:
+    SRC = """
+    schema LOG { key l_id; field l_val; field l_rank; }
+    txn add_next(v) {
+      x := select l_val from LOG where true;
+      insert into LOG values (
+        l_id = uuid(), l_val = v, l_rank = count(x.l_val) + 1
+      );
+    }
+    txn add_sum() {
+      x := select l_val from LOG where true;
+      insert into LOG values (
+        l_id = uuid(), l_val = sum(x.l_val), l_rank = 0
+      );
+    }
+    """
+
+    def _setup(self):
+        p = parse_program(self.SRC)
+        return p, Database(p)
+
+    def test_aggregate_in_insert_values(self):
+        p, db = self._setup()
+        h = run(p, db, ("add_next", (5,)), ("add_next", (9,)))
+        ranks = sorted(
+            r["l_rank"] for r in h.state.materialize()["LOG"].values()
+        )
+        assert ranks == [1, 2]
+
+    def test_insert_derived_from_prior_rows(self):
+        p, db = self._setup()
+        h = run(p, db, ("add_next", (5,)), ("add_next", (9,)), ("add_sum", ()))
+        vals = sorted(
+            r["l_val"] for r in h.state.materialize()["LOG"].values()
+        )
+        assert vals == [5, 9, 14]
+
+    def test_insert_writes_alive_flag_last(self):
+        p, db = self._setup()
+        h = run(p, db, ("add_next", (3,)))
+        writes = [e for e in h.steps[1].events if e.is_write]
+        assert writes[-1].field == "alive"
+        assert writes[-1].value is True
+
+
 class TestEventGeneration:
     def test_select_generates_read_events(self, account_program, account_db):
         h = run(account_program, account_db, ("read_bal", (1,)))

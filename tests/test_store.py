@@ -172,6 +172,99 @@ class TestSimulate:
         assert result.percentile_latency_ms(0.95) >= result.percentile_latency_ms(0.5)
 
 
+class TestPerfResultEdges:
+    def test_empty_sample_answers_zero(self):
+        from repro.store.runner import PerfResult
+
+        result = PerfResult(clients=1, committed=0, duration_s=1.0)
+        assert result.percentile_latency_ms(0.5) == 0.0
+        assert result.avg_latency_ms == 0.0
+
+    def test_singleton_sample_answers_every_quantile(self):
+        from repro.store.runner import PerfResult
+
+        result = PerfResult(
+            clients=1, committed=1, duration_s=1.0, latencies_ms=[7.5]
+        )
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert result.percentile_latency_ms(q) == 7.5
+
+    def test_q0_is_min_and_q1_is_max(self):
+        from repro.store.runner import PerfResult
+
+        result = PerfResult(
+            clients=1,
+            committed=4,
+            duration_s=1.0,
+            latencies_ms=[4.0, 1.0, 3.0, 2.0],
+        )
+        assert result.percentile_latency_ms(0.0) == 1.0
+        assert result.percentile_latency_ms(1.0) == 4.0
+        # Nearest rank: the smallest sample covering half the data.
+        assert result.percentile_latency_ms(0.5) == 2.0
+
+    def test_out_of_range_quantile_rejected(self):
+        from repro.store.runner import PerfResult
+
+        result = PerfResult(
+            clients=1, committed=1, duration_s=1.0, latencies_ms=[1.0]
+        )
+        for q in (-0.1, 1.1):
+            with pytest.raises(SimulationError):
+                result.percentile_latency_ms(q)
+
+    def test_zero_duration_throughput_is_zero(self):
+        from repro.store.runner import PerfResult
+
+        assert PerfResult(clients=1, committed=5, duration_s=0.0).throughput == 0.0
+        assert (
+            PerfResult(clients=1, committed=5, duration_s=-1.0).throughput == 0.0
+        )
+
+
+class TestOpRewriter:
+    def _rewriter(self, extra_ms=0.0, commit_extra_ms=0.0):
+        from repro.store.runner import OpRewriter
+
+        class _Pad(OpRewriter):
+            def rewrite(self, profile):
+                ops = tuple((k, t, extra_ms) for (k, t) in profile.ops)
+                return ops, commit_extra_ms
+
+        return _Pad()
+
+    def test_identity_rewriter_changes_nothing(self):
+        cfg = PerfConfig(duration_ms=1000, warmup_ms=100, seed=3)
+        plain = simulate(_profiles(), MIX, US_CLUSTER, 4, cfg)
+        hooked = simulate(
+            _profiles(), MIX, US_CLUSTER, 4, cfg, rewriter=self._rewriter()
+        )
+        assert plain.throughput == hooked.throughput
+        assert plain.latencies_ms == hooked.latencies_ms
+
+    def test_rewrite_overhead_slows_the_store(self):
+        cfg = PerfConfig(duration_ms=1000, warmup_ms=100, seed=3)
+        plain = simulate(_profiles(), MIX, US_CLUSTER, 4, cfg)
+        padded = simulate(
+            _profiles(),
+            MIX,
+            US_CLUSTER,
+            4,
+            cfg,
+            rewriter=self._rewriter(extra_ms=2.0, commit_extra_ms=1.0),
+        )
+        assert padded.avg_latency_ms > plain.avg_latency_ms
+        assert padded.throughput < plain.throughput
+
+    def test_deterministic_given_seed(self):
+        cfg = PerfConfig(duration_ms=1000, warmup_ms=100, seed=9)
+        rewriter = self._rewriter(extra_ms=0.5, commit_extra_ms=0.2)
+        a = simulate(_profiles(), MIX, US_CLUSTER, 4, cfg, rewriter=rewriter)
+        b = simulate(_profiles(), MIX, US_CLUSTER, 4, cfg, rewriter=rewriter)
+        assert a.throughput == b.throughput
+        assert a.latencies_ms == b.latencies_ms
+
+
 class TestProfiles:
     def test_profile_counts_commands(self, account_program, account_db):
         from repro.semantics import TxnCall
